@@ -1,0 +1,370 @@
+package policyscope
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper (regenerating the experiment from a shared converged study), and
+// the ablation benchmarks DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem .
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/core"
+	"github.com/policyscope/policyscope/internal/gaorelation"
+	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+var (
+	benchOnce  sync.Once
+	benchStudy *Study
+)
+
+// sharedStudy amortizes generation+simulation across benchmarks; each
+// benchmark then measures its experiment's analysis cost.
+func sharedStudy(b *testing.B) *Study {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.NumASes = 800
+		cfg.Seed = 42
+		cfg.CollectorPeers = 24
+		cfg.LookingGlassASes = 12
+		s, err := NewStudy(cfg)
+		if err != nil {
+			b.Fatalf("study: %v", err)
+		}
+		benchStudy = s
+	})
+	if benchStudy == nil {
+		b.Skip("study construction failed earlier")
+	}
+	return benchStudy
+}
+
+func BenchmarkTable1Dataset(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table1Dataset(); len(rows) == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+func BenchmarkTable2TypicalLocalPref(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table2TypicalLocalPref(); len(rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable3IRRLocalPref(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table3IRR(Table3Options{}); len(rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable4RelVerification(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table4Verification(9); len(rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable5SAPrefixes(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table5SAPrefixes(); len(rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable6CustomerSA(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Table6CustomerView(3, 8, 2)
+	}
+}
+
+func BenchmarkTable7SAVerification(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table7Verification(3); len(rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable8Multihoming(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table8Multihoming(3); len(rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable9SplitAggregate(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table9SplitAggregate(3); len(rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable10PeerExport(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table10PeerExport(3); len(rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkTable11CommunityScheme(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Table11Scheme()
+	}
+}
+
+func BenchmarkFig2aNextHopConsistency(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Figure2aConsistency(); len(rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig2bRouterConsistency(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := s.Figure2bRouterConsistency(30, 4)
+		if err != nil || len(rows) != 30 {
+			b.Fatalf("rows %d err %v", len(rows), err)
+		}
+	}
+}
+
+func BenchmarkFig6Persistence(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Figure6and7Persistence(PersistenceOptions{Epochs: 5, ChurnFraction: 0.03})
+		if err != nil || len(res.Points) != 5 {
+			b.Fatalf("points %d err %v", len(res.Points), err)
+		}
+	}
+}
+
+func BenchmarkFig7Uptime(b *testing.B) {
+	s := sharedStudy(b)
+	res, err := s.Figure6and7Persistence(PersistenceOptions{Epochs: 5, ChurnFraction: 0.03})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hist := res.UptimeHistogram(); len(hist) == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+func BenchmarkFig9NeighborRank(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ranks := s.Figure9NeighborRanks(3); len(ranks) == 0 {
+			b.Fatal("empty ranks")
+		}
+	}
+}
+
+// ---- ablations ------------------------------------------------------------
+
+// BenchmarkAblationDecisionProcess compares full 7-step selection against
+// a localpref-only truncation across the whole propagation.
+func BenchmarkAblationDecisionProcess(b *testing.B) {
+	topo, err := topogen.Generate(topogen.DefaultConfig(300, 9))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vantage := topo.Order[:8]
+	for _, bench := range []struct {
+		name  string
+		depth bgp.DecisionStep
+	}{
+		{"full7step", 0},
+		{"localprefOnly", bgp.StepLocalPref},
+		{"pathLength", bgp.StepASPathLen},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := simulate.Run(topo, simulate.Options{
+					VantagePoints: vantage,
+					DecisionDepth: bench.depth,
+				})
+				if err != nil || len(res.Tables) == 0 {
+					b.Fatalf("err %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBestVsAllRoutes compares the paper's best-routes-only
+// SA detection against scanning full candidate sets.
+func BenchmarkAblationBestVsAllRoutes(b *testing.B) {
+	s := sharedStudy(b)
+	a := &core.ExportAnalyzer{Graph: s.Graph}
+	peer := s.TierOneVantages(1)[0]
+	b.Run("bestOnly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := a.SAPrefixes(s.PeerView(peer))
+			if res.ConePrefixes == 0 {
+				b.Fatal("empty cone")
+			}
+		}
+	})
+	b.Run("allCandidates", func(b *testing.B) {
+		rib := s.Result.Tables[peer]
+		for i := 0; i < b.N; i++ {
+			// Build a view per candidate rank and run detection on each:
+			// the cost of not exploiting the best-route observation.
+			n := 0
+			for _, prefix := range rib.Prefixes() {
+				for range rib.Candidates(prefix) {
+					n++
+				}
+			}
+			view := core.ViewFromRIB(rib)
+			res := a.SAPrefixes(view)
+			if res.ConePrefixes == 0 || n == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationRelationshipSource compares SA detection driven by
+// ground truth against Gao-inferred relationships (the Section 4.3
+// error pathway).
+func BenchmarkAblationRelationshipSource(b *testing.B) {
+	s := sharedStudy(b)
+	peer := s.TierOneVantages(1)[0]
+	view := s.PeerView(peer)
+	b.Run("groundTruth", func(b *testing.B) {
+		a := &core.ExportAnalyzer{Graph: s.Topo.Graph}
+		for i := 0; i < b.N; i++ {
+			a.SAPrefixes(view)
+		}
+	})
+	b.Run("gaoInferred", func(b *testing.B) {
+		a := &core.ExportAnalyzer{Graph: s.Inferred.Graph}
+		for i := 0; i < b.N; i++ {
+			a.SAPrefixes(view)
+		}
+	})
+}
+
+// BenchmarkAblationPropagation compares policy-rich propagation against
+// the import-policy-free (shortest-path) baseline of Section 4.1.
+func BenchmarkAblationPropagation(b *testing.B) {
+	topo, err := topogen.Generate(topogen.DefaultConfig(300, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vantage := topo.Order[:8]
+	b.Run("withImportPolicy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := simulate.Run(topo, simulate.Options{VantagePoints: vantage}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shortestPath", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := simulate.Run(topo, simulate.Options{
+				VantagePoints:      vantage,
+				IgnoreImportPolicy: true,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRelationshipInference measures Gao inference over the study's
+// path set.
+func BenchmarkRelationshipInference(b *testing.B) {
+	s := sharedStudy(b)
+	paths := s.Snapshot.AllPaths()
+	opts := gaorelation.DefaultOptions()
+	opts.VantagePoints = s.Peers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inf := gaorelation.Infer(paths, opts)
+		if inf.Graph.NumEdges() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+// BenchmarkEndToEndStudy measures the full pipeline (generation through
+// collection) at a smaller scale.
+func BenchmarkEndToEndStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.NumASes = 300
+		cfg.Seed = int64(100 + i)
+		cfg.CollectorPeers = 12
+		s, err := NewStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RunAll(io.Discard, RunAllOptions{
+			TierOneProviders: 3, Table6Rows: 8, Table6MinPrefixes: 2,
+			DailyEpochs: 0, HourlyEpochs: 0, Routers: 6, DriftRouters: 1, Figure9ASes: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMRTRoundTrip measures snapshot serialization.
+func BenchmarkMRTRoundTrip(b *testing.B) {
+	s := sharedStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Snapshot.WriteMRT(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Command inferrel reads an MRT TABLE_DUMP_V2 collector snapshot, runs
+// Gao's AS-relationship inference over its AS paths, and writes the
+// inferred annotated graph in the CAIDA a|b|rel format. With -truth it
+// also scores the inference (the paper's Section 4.3 bound).
+//
+// Usage:
+//
+//	inferrel -in table.mrt [-out rel.txt] [-truth rel-truth.txt]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/gaorelation"
+	"github.com/policyscope/policyscope/internal/routeviews"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input MRT file (required)")
+		out   = flag.String("out", "-", "output relationship file ('-' = stdout)")
+		truth = flag.String("truth", "", "optional ground-truth relationship file to score against")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "inferrel: -in is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	snap, err := routeviews.ReadMRT(bufio.NewReader(f))
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	opts := gaorelation.DefaultOptions()
+	opts.VantagePoints = snap.Peers
+	inf := gaorelation.Infer(snap.AllPaths(), opts)
+	fmt.Fprintf(os.Stderr, "inferred %d edges over %d ASes from %d peers\n",
+		inf.Graph.NumEdges(), inf.Graph.NumNodes(), len(snap.Peers))
+
+	var dst *os.File
+	if *out == "-" {
+		dst = os.Stdout
+	} else {
+		dst, err = os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer dst.Close()
+	}
+	w := bufio.NewWriter(dst)
+	if _, err := inf.Graph.WriteTo(w); err != nil {
+		fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		fail(err)
+	}
+
+	if *truth != "" {
+		tf, err := os.Open(*truth)
+		if err != nil {
+			fail(err)
+		}
+		truthGraph, err := asgraph.Read(bufio.NewReader(tf))
+		tf.Close()
+		if err != nil {
+			fail(err)
+		}
+		acc := gaorelation.Score(inf.Graph, truthGraph)
+		fmt.Fprintf(os.Stderr, "accuracy: %.2f%% of %d observed edges (missed %d, spurious %d)\n",
+			100*acc.Fraction(), acc.Total, acc.MissedEdges, acc.SpuriousEdges)
+		for truthRel, byInferred := range acc.Confusion {
+			for inferredRel, n := range byInferred {
+				if truthRel != inferredRel {
+					fmt.Fprintf(os.Stderr, "  %v inferred as %v: %d\n", truthRel, inferredRel, n)
+				}
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "inferrel: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command lookingglass simulates a small Internet and answers Cisco-
+// style queries against any vantage AS's table, the way the paper
+// queried 15 Looking Glass servers.
+//
+// Usage:
+//
+//	lookingglass [-ases 400] [-seed 42] -as 0 "show ip bgp"
+//	lookingglass -as <ASN> "show ip bgp 20.1.2.0/24"
+//
+// With -as 0 the tool lists the available vantage ASes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/lookingglass"
+	"github.com/policyscope/policyscope/internal/routeviews"
+	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+func main() {
+	var (
+		ases = flag.Int("ases", 400, "number of ASes")
+		seed = flag.Int64("seed", 42, "random seed")
+		asn  = flag.Uint("as", 0, "vantage AS to query (0 lists vantages)")
+	)
+	flag.Parse()
+
+	topo, err := topogen.Generate(topogen.DefaultConfig(*ases, *seed))
+	if err != nil {
+		fail(err)
+	}
+	peers := routeviews.SelectPeers(topo, 15)
+	res, err := simulate.Run(topo, simulate.Options{VantagePoints: peers})
+	if err != nil {
+		fail(err)
+	}
+	tables := make(map[bgp.ASN]*bgp.RIB, len(peers))
+	for _, p := range peers {
+		tables[p] = res.Tables[p]
+	}
+	srv := lookingglass.NewServer(tables)
+
+	if *asn == 0 {
+		fmt.Println("available vantage ASes:")
+		for _, a := range srv.ASes() {
+			info := topo.ASes[a]
+			fmt.Printf("  %-8v %-24s degree %3d tier %d\n", a, info.Name, topo.Graph.Degree(a), info.Tier)
+		}
+		return
+	}
+	command := strings.Join(flag.Args(), " ")
+	if command == "" {
+		command = "show ip bgp"
+	}
+	if err := srv.Query(bgp.ASN(*asn), command, os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "lookingglass: %v\n", err)
+	os.Exit(1)
+}

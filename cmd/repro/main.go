@@ -1,0 +1,63 @@
+// Command repro runs the complete experiment suite of "On Inferring and
+// Characterizing Internet Routing Policies" (IMC 2003) on a synthetic
+// Internet and prints every table and figure next to the paper's
+// reported shape.
+//
+// Usage:
+//
+//	repro [-ases 2000] [-seed 42] [-peers 56] [-lg 15] [-inferred]
+//	      [-daily 31] [-hourly 12] [-routers 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	policyscope "github.com/policyscope/policyscope"
+)
+
+func main() {
+	var (
+		ases     = flag.Int("ases", 2000, "number of ASes in the synthetic Internet")
+		seed     = flag.Int64("seed", 42, "random seed (runs are deterministic per seed)")
+		peers    = flag.Int("peers", 56, "collector peer count (the paper's RouteViews had 56)")
+		lg       = flag.Int("lg", 15, "Looking Glass vantage count")
+		inferred = flag.Bool("inferred", false, "use Gao-inferred relationships instead of ground truth")
+		daily    = flag.Int("daily", 31, "daily persistence epochs (0 skips Figures 6a/7a)")
+		hourly   = flag.Int("hourly", 12, "hourly persistence epochs (0 skips Figures 6b/7b)")
+		routers  = flag.Int("routers", 30, "border routers in the Figure 2(b) refinement")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	cfg := policyscope.DefaultConfig()
+	cfg.NumASes = *ases
+	cfg.Seed = *seed
+	cfg.CollectorPeers = *peers
+	cfg.LookingGlassASes = *lg
+	cfg.UseInferredRelationships = *inferred
+
+	fmt.Fprintf(os.Stderr, "generating and simulating %d ASes (seed %d)...\n", *ases, *seed)
+	study, err := policyscope.NewStudy(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "converged in %v; running experiments\n", time.Since(start).Round(time.Millisecond))
+
+	opts := policyscope.DefaultRunAllOptions()
+	opts.DailyEpochs = *daily
+	opts.HourlyEpochs = *hourly
+	opts.Routers = *routers
+	if err := study.RunAll(os.Stdout, opts); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+	if err := study.RenderSummary(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
+}

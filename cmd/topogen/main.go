@@ -1,0 +1,101 @@
+// Command topogen generates a synthetic annotated Internet and writes
+// its ground truth to files: the AS-relationship graph in the CAIDA
+// a|b|rel format, the prefix-to-origin table, and a policy summary.
+//
+// Usage:
+//
+//	topogen [-ases 2000] [-seed 42] [-rel rel.txt] [-prefixes prefixes.txt]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/policyscope/policyscope/internal/netx"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+func main() {
+	var (
+		ases     = flag.Int("ases", 2000, "number of ASes")
+		seed     = flag.Int64("seed", 42, "random seed")
+		relPath  = flag.String("rel", "", "write AS relationships (CAIDA format) to this file ('-' = stdout)")
+		pfxPath  = flag.String("prefixes", "", "write prefix origins to this file ('-' = stdout)")
+		showStat = flag.Bool("stats", true, "print topology statistics")
+	)
+	flag.Parse()
+
+	topo, err := topogen.Generate(topogen.DefaultConfig(*ases, *seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *showStat {
+		tiers := map[int]int{}
+		for _, asn := range topo.Order {
+			tiers[topo.TierOf(asn)]++
+		}
+		selective, tagged := 0, 0
+		for _, asn := range topo.Order {
+			pol := topo.Policies[asn]
+			selective += len(pol.Export.OriginProviders) + len(pol.Export.NoUpstream)
+			if pol.Tagging != nil {
+				tagged++
+			}
+		}
+		fmt.Printf("ASes: %d (tier1 %d, tier2 %d, stubs %d)\n",
+			len(topo.Order), tiers[1], tiers[2], tiers[3])
+		fmt.Printf("edges: %d, prefixes: %d\n", topo.Graph.NumEdges(), topo.TotalPrefixes())
+		fmt.Printf("selective announcement policies: %d, tagging ASes: %d\n", selective, tagged)
+	}
+
+	if *relPath != "" {
+		if err := writeTo(*relPath, func(w *bufio.Writer) error {
+			_, err := topo.Graph.WriteTo(w)
+			return err
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *pfxPath != "" {
+		if err := writeTo(*pfxPath, func(w *bufio.Writer) error {
+			var prefixes []netx.Prefix
+			for p := range topo.PrefixOrigin {
+				prefixes = append(prefixes, p)
+			}
+			netx.SortPrefixes(prefixes)
+			for _, p := range prefixes {
+				if _, err := fmt.Fprintf(w, "%s %s\n", p, topo.PrefixOrigin[p]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeTo(path string, fn func(*bufio.Writer) error) error {
+	var f *os.File
+	if path == "-" {
+		f = os.Stdout
+	} else {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	w := bufio.NewWriter(f)
+	if err := fn(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}

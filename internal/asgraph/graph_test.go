@@ -1,0 +1,290 @@
+package asgraph
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+)
+
+// figure1 builds the annotated graph of the paper's Figure 1:
+// AS1 and AS2 are Tier-1-style peers; AS2 is the provider of AS4 and AS5;
+// AS1 is the provider of AS3 and AS5; AS3 peers with AS4; AS4 is the
+// provider of AS6.
+func figure1(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	mustAdd(t, g.AddPeer(1, 2))
+	mustAdd(t, g.AddProviderCustomer(1, 3))
+	mustAdd(t, g.AddProviderCustomer(1, 5))
+	mustAdd(t, g.AddProviderCustomer(2, 4))
+	mustAdd(t, g.AddProviderCustomer(2, 5))
+	mustAdd(t, g.AddPeer(3, 4))
+	mustAdd(t, g.AddProviderCustomer(4, 6))
+	return g
+}
+
+func mustAdd(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelPerspectives(t *testing.T) {
+	g := figure1(t)
+	if got := g.Rel(4, 2); got != RelProvider {
+		t.Fatalf("Rel(4,2) = %v, want provider (AS2 is the provider of AS4)", got)
+	}
+	if got := g.Rel(2, 4); got != RelCustomer {
+		t.Fatalf("Rel(2,4) = %v, want customer", got)
+	}
+	if got := g.Rel(3, 4); got != RelPeer {
+		t.Fatalf("Rel(3,4) = %v, want peer", got)
+	}
+	if got := g.Rel(4, 3); got != RelPeer {
+		t.Fatalf("Rel(4,3) = %v, want peer", got)
+	}
+	if got := g.Rel(1, 6); got != RelNone {
+		t.Fatalf("Rel(1,6) = %v, want none", got)
+	}
+}
+
+func TestEdgeConflictAndIdempotence(t *testing.T) {
+	g := New()
+	mustAdd(t, g.AddProviderCustomer(10, 20))
+	if err := g.AddProviderCustomer(10, 20); err != nil {
+		t.Fatalf("idempotent re-add failed: %v", err)
+	}
+	if err := g.AddPeer(10, 20); !errors.Is(err, ErrEdgeConflict) {
+		t.Fatalf("conflicting re-add = %v, want ErrEdgeConflict", err)
+	}
+	if err := g.AddProviderCustomer(20, 10); !errors.Is(err, ErrEdgeConflict) {
+		t.Fatalf("reversed p2c = %v, want ErrEdgeConflict", err)
+	}
+	if err := g.AddPeer(5, 5); err == nil {
+		t.Fatal("self edge must fail")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestAdjacencyAccessors(t *testing.T) {
+	g := figure1(t)
+	if got := g.Providers(5); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Providers(5) = %v", got)
+	}
+	if got := g.Customers(2); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("Customers(2) = %v", got)
+	}
+	if got := g.Peers(1); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Peers(1) = %v", got)
+	}
+	if got := g.Neighbors(4); len(got) != 3 {
+		t.Fatalf("Neighbors(4) = %v", got)
+	}
+	if g.Degree(4) != 3 || g.Degree(6) != 1 {
+		t.Fatalf("degrees: %d, %d", g.Degree(4), g.Degree(6))
+	}
+	if g.NumNodes() != 6 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if !g.HasNode(6) || g.HasNode(99) {
+		t.Fatal("HasNode misbehaved")
+	}
+	nodes := g.Nodes()
+	if len(nodes) != 6 || nodes[0] != 1 || nodes[5] != 6 {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+}
+
+func TestSiblings(t *testing.T) {
+	g := New()
+	mustAdd(t, g.AddSibling(100, 200))
+	if g.Rel(100, 200) != RelSibling || g.Rel(200, 100) != RelSibling {
+		t.Fatal("sibling must be symmetric")
+	}
+	if got := g.Siblings(100); len(got) != 1 || got[0] != 200 {
+		t.Fatalf("Siblings = %v", got)
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New()
+	g.AddNode(42)
+	if !g.HasNode(42) || g.Degree(42) != 0 {
+		t.Fatal("AddNode failed")
+	}
+}
+
+func TestRelationshipStringAndInvert(t *testing.T) {
+	cases := map[Relationship]string{
+		RelNone: "none", RelProvider: "provider", RelCustomer: "customer",
+		RelPeer: "peer", RelSibling: "sibling", Relationship(9): "Relationship(9)",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", r, r.String(), want)
+		}
+	}
+	if RelProvider.Invert() != RelCustomer || RelCustomer.Invert() != RelProvider {
+		t.Fatal("p2c inversion broken")
+	}
+	if RelPeer.Invert() != RelPeer || RelSibling.Invert() != RelSibling || RelNone.Invert() != RelNone {
+		t.Fatal("symmetric relationships must invert to themselves")
+	}
+}
+
+func TestCustomerCone(t *testing.T) {
+	g := figure1(t)
+	cone := g.CustomerCone(2)
+	// AS2's cone: direct customers 4, 5 and indirect customer 6 (via 4).
+	want := []bgp.ASN{4, 5, 6}
+	if len(cone) != len(want) {
+		t.Fatalf("cone(2) = %v", cone)
+	}
+	for i := range want {
+		if cone[i] != want[i] {
+			t.Fatalf("cone(2) = %v, want %v", cone, want)
+		}
+	}
+	if got := g.CustomerCone(6); got != nil {
+		t.Fatalf("cone(6) = %v, want empty", got)
+	}
+	if !g.InCustomerCone(2, 6) {
+		t.Fatal("6 must be in 2's cone")
+	}
+	if g.InCustomerCone(6, 2) {
+		t.Fatal("2 must not be in 6's cone")
+	}
+	if g.InCustomerCone(3, 3) {
+		t.Fatal("an AS is not in its own cone")
+	}
+	// Peers do not extend the cone: AS3 peers with AS4 but 6 is not 3's customer.
+	if g.InCustomerCone(3, 6) {
+		t.Fatal("peer edge extended a customer cone")
+	}
+}
+
+func TestCustomerConeWithDiamond(t *testing.T) {
+	// 1 -> 2 -> 4, 1 -> 3 -> 4: 4 reachable twice, must appear once.
+	g := New()
+	mustAdd(t, g.AddProviderCustomer(1, 2))
+	mustAdd(t, g.AddProviderCustomer(1, 3))
+	mustAdd(t, g.AddProviderCustomer(2, 4))
+	mustAdd(t, g.AddProviderCustomer(3, 4))
+	cone := g.CustomerCone(1)
+	if len(cone) != 3 {
+		t.Fatalf("cone = %v, want {2,3,4}", cone)
+	}
+}
+
+func TestCustomerPath(t *testing.T) {
+	g := figure1(t)
+	path, ok := g.CustomerPath(2, 6)
+	if !ok {
+		t.Fatal("no customer path 2→6")
+	}
+	want := []bgp.ASN{2, 4, 6}
+	if len(path) != 3 {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if _, ok := g.CustomerPath(6, 2); ok {
+		t.Fatal("upward customer path must not exist")
+	}
+	if _, ok := g.CustomerPath(3, 6); ok {
+		t.Fatal("path through a peer edge must not count as customer path")
+	}
+	if _, ok := g.CustomerPath(2, 2); ok {
+		t.Fatal("self path must not exist")
+	}
+}
+
+func TestAllCustomerPaths(t *testing.T) {
+	// Diamond: two distinct customer paths 1→4.
+	g := New()
+	mustAdd(t, g.AddProviderCustomer(1, 2))
+	mustAdd(t, g.AddProviderCustomer(1, 3))
+	mustAdd(t, g.AddProviderCustomer(2, 4))
+	mustAdd(t, g.AddProviderCustomer(3, 4))
+	paths := g.AllCustomerPaths(1, 4, 0)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v, want 2", paths)
+	}
+	capped := g.AllCustomerPaths(1, 4, 1)
+	if len(capped) != 1 {
+		t.Fatalf("capped paths = %v, want 1", capped)
+	}
+	if got := g.AllCustomerPaths(4, 1, 0); len(got) != 0 {
+		t.Fatalf("reverse paths = %v", got)
+	}
+}
+
+func TestClassifyPath(t *testing.T) {
+	g := figure1(t)
+	cases := []struct {
+		name string
+		path bgp.Path
+		want PathKind
+	}{
+		// Receiver r (not on path) gets [4 6]: AS4 announced its customer
+		// AS6's route. Traversal: Rel(4,6)=customer. Valley-free.
+		{"customer route", bgp.Path{4, 6}, PathValleyFree},
+		// [3 4 6] at AS1: AS3 learned 6's prefix from its peer AS4. Rel(3,4)=peer,
+		// Rel(4,6)=customer: peer then uphill-side — valley-free.
+		{"peer then customer", bgp.Path{3, 4, 6}, PathValleyFree},
+		// [5 2 4] would mean AS5 exported a route learned from its provider
+		// AS2: Rel(5,2)=provider after start is downhill, then Rel(2,4)=customer
+		// — provider followed by customer is still valley-free (down then up
+		// seen from receiver is a normal transit path through the top).
+		{"over the top", bgp.Path{5, 2, 4}, PathValleyFree},
+		// [4 2 1 3]: Rel(4,2)=provider, Rel(2,1)=peer, Rel(1,3)=customer:
+		// downhill, one peer, uphill — valley-free.
+		{"down peer up", bgp.Path{4, 2, 1, 3}, PathValleyFree},
+		// [6 4 2]: Rel(6,4)=provider then Rel(4,2)=provider — fine (all downhill).
+		{"all downhill", bgp.Path{6, 4, 2}, PathValleyFree},
+		// Valley: customer step then provider step. [2 4 ... wait — use
+		// [1 3 4 2]: Rel(1,3)=customer, Rel(3,4)=peer → peer after uphill: valley.
+		{"peer after uphill", bgp.Path{1, 3, 4, 2}, PathValley},
+		// Two peer edges: [1 2 ...] no; craft [3 4 2 1]: Rel(3,4)=peer,
+		// Rel(4,2)=provider → provider after peer: valley.
+		{"provider after peer", bgp.Path{3, 4, 2, 1}, PathValley},
+		// Unknown edge.
+		{"unknown edge", bgp.Path{1, 99}, PathUnknown},
+		// Prepending: repeated ASN is skipped, not an edge.
+		{"prepended", bgp.Path{4, 4, 4, 6}, PathValleyFree},
+		// Single-hop and empty paths are trivially valley-free.
+		{"single", bgp.Path{4}, PathValleyFree},
+		{"empty", nil, PathValleyFree},
+	}
+	for _, c := range cases {
+		if got := g.ClassifyPath(c.path); got != c.want {
+			t.Errorf("%s: ClassifyPath(%v) = %v, want %v", c.name, c.path, got, c.want)
+		}
+	}
+}
+
+func TestClassifyPathSiblingTransparent(t *testing.T) {
+	g := New()
+	mustAdd(t, g.AddProviderCustomer(1, 2))
+	mustAdd(t, g.AddSibling(2, 3))
+	mustAdd(t, g.AddProviderCustomer(3, 4))
+	// [1 2 3 4] from some receiver: down to customer 2... Rel(1,2)=customer
+	// (uphill side), sibling hop, then Rel(3,4)=customer. Valley-free.
+	if got := g.ClassifyPath(bgp.Path{1, 2, 3, 4}); got != PathValleyFree {
+		t.Fatalf("sibling path = %v", got)
+	}
+}
+
+func TestPathKindString(t *testing.T) {
+	if PathValleyFree.String() != "valley-free" || PathValley.String() != "valley" ||
+		PathUnknown.String() != "unknown" || PathKind(9).String() != "invalid" {
+		t.Fatal("PathKind names wrong")
+	}
+}

@@ -1,0 +1,190 @@
+package asgraph
+
+import (
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+)
+
+// This file implements the reachability primitives of the paper's Figure 4
+// algorithm: "the first step ... is to find if an AS is a customer of a
+// given provider. This can be solved by using Depth First Search in a
+// directed graph to find a customer path from the provider to the AS."
+
+// CustomerCone returns every direct or indirect customer of asn (asn
+// excluded), in ascending order: the set reachable by repeatedly following
+// provider→customer edges. Sibling edges do not extend the cone.
+func (g *Graph) CustomerCone(asn bgp.ASN) []bgp.ASN {
+	visited := map[bgp.ASN]bool{asn: true}
+	stack := append([]bgp.ASN(nil), g.rawCustomers(asn)...)
+	var cone []bgp.ASN
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		cone = append(cone, v)
+		stack = append(stack, g.rawCustomers(v)...)
+	}
+	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
+	return cone
+}
+
+// InCustomerCone reports whether o is a direct or indirect customer of u —
+// Phase 2 of the Figure 4 algorithm.
+func (g *Graph) InCustomerCone(u, o bgp.ASN) bool {
+	if u == o {
+		return false
+	}
+	visited := map[bgp.ASN]bool{u: true}
+	stack := append([]bgp.ASN(nil), g.rawCustomers(u)...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == o {
+			return true
+		}
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		stack = append(stack, g.rawCustomers(v)...)
+	}
+	return false
+}
+
+// CustomerPath returns one customer path from provider u down to AS o,
+// inclusive of both endpoints: every consecutive pair on the path has a
+// provider-to-customer relationship ("from the direction of provider down
+// to customer, each pair of ASs in the path should have
+// provider-to-customer relationship"). The DFS prefers lower ASNs for
+// determinism. ok is false when o is not in u's customer cone.
+func (g *Graph) CustomerPath(u, o bgp.ASN) (path []bgp.ASN, ok bool) {
+	if u == o {
+		return nil, false
+	}
+	visited := map[bgp.ASN]bool{u: true}
+	var dfs func(cur bgp.ASN, acc []bgp.ASN) []bgp.ASN
+	dfs = func(cur bgp.ASN, acc []bgp.ASN) []bgp.ASN {
+		if cur == o {
+			return acc
+		}
+		for _, c := range sortedCopy(g.rawCustomers(cur)) {
+			if visited[c] {
+				continue
+			}
+			visited[c] = true
+			if found := dfs(c, append(acc, c)); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	found := dfs(u, []bgp.ASN{u})
+	if found == nil {
+		return nil, false
+	}
+	return found, true
+}
+
+// AllCustomerPaths returns every simple customer path from u to o, capped
+// at max paths (0 = unlimited). Used by the SA-prefix verifier, which must
+// check whether *some* customer path is active.
+func (g *Graph) AllCustomerPaths(u, o bgp.ASN, max int) [][]bgp.ASN {
+	var out [][]bgp.ASN
+	onPath := map[bgp.ASN]bool{u: true}
+	var dfs func(cur bgp.ASN, acc []bgp.ASN) bool // returns true when capped
+	dfs = func(cur bgp.ASN, acc []bgp.ASN) bool {
+		if cur == o {
+			out = append(out, append([]bgp.ASN(nil), acc...))
+			return max > 0 && len(out) >= max
+		}
+		for _, c := range sortedCopy(g.rawCustomers(cur)) {
+			if onPath[c] {
+				continue
+			}
+			onPath[c] = true
+			stop := dfs(c, append(acc, c))
+			onPath[c] = false
+			if stop {
+				return true
+			}
+		}
+		return false
+	}
+	dfs(u, []bgp.ASN{u})
+	return out
+}
+
+// PathKind classifies an AS path against the export rules of Section 2.2.
+type PathKind int8
+
+// Path classifications.
+const (
+	// PathValleyFree: uphill (customer→provider) segment, at most one
+	// peer edge, then downhill (provider→customer). Sibling edges are
+	// transparent.
+	PathValleyFree PathKind = iota
+	// PathValley: violates the export rules (e.g. provider→customer
+	// followed by customer→provider, or two peer edges).
+	PathValley
+	// PathUnknown: some edge on the path is absent from the graph.
+	PathUnknown
+)
+
+func (k PathKind) String() string {
+	switch k {
+	case PathValleyFree:
+		return "valley-free"
+	case PathValley:
+		return "valley"
+	case PathUnknown:
+		return "unknown"
+	}
+	return "invalid"
+}
+
+// ClassifyPath walks an AS path (as stored on a route: nearest AS first)
+// and reports whether it is valley-free under the graph's annotations.
+//
+// The walk direction matters. Propagation runs origin→receiver and a valid
+// propagation is uphill (customer exports to provider), at most one peer
+// edge, then downhill. A route's Path lists ASes nearest-first, so
+// traversing it left-to-right replays propagation *backwards*: the allowed
+// edge sequence becomes (b is a's provider)*, (peer)?, (b is a's
+// customer)*.
+func (g *Graph) ClassifyPath(path bgp.Path) PathKind {
+	const (
+		phaseProvider = iota // receiver-side downhill, seen as Rel==provider
+		phasePeer
+		phaseCustomer // origin-side uphill, seen as Rel==customer
+	)
+	phase := phaseProvider
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		if a == b {
+			continue // prepending repeats an ASN; not an edge
+		}
+		rel := g.Rel(a, b) // what b is to a
+		switch rel {
+		case RelNone:
+			return PathUnknown
+		case RelSibling:
+			continue
+		case RelProvider: // b exported to its customer a: downhill step
+			if phase != phaseProvider {
+				return PathValley
+			}
+		case RelPeer:
+			if phase != phaseProvider {
+				return PathValley // second peer edge, or peer past the peak
+			}
+			phase = phasePeer
+		case RelCustomer: // b exported to its provider a: uphill (origin) side
+			phase = phaseCustomer
+		}
+	}
+	return PathValleyFree
+}

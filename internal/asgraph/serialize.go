@@ -1,0 +1,114 @@
+package asgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+)
+
+// Serialization in the CAIDA AS-relationship file format the community
+// standardized on after Gao's work:
+//
+//	# comment
+//	<provider>|<customer>|-1
+//	<peer>|<peer>|0
+//	<sibling>|<sibling>|1
+//
+// Peer and sibling lines are written with the smaller ASN first.
+
+// Relationship codes used by the file format.
+const (
+	codeProviderCustomer = -1
+	codePeer             = 0
+	codeSibling          = 1
+)
+
+// WriteTo serializes the graph. Lines are emitted in deterministic order.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	keys := make([][2]bgp.ASN, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		a, b := k[0], k[1]
+		var line string
+		switch g.edges[k] { // what b is to a
+		case RelProvider:
+			line = fmt.Sprintf("%d|%d|%d\n", b, a, codeProviderCustomer)
+		case RelCustomer:
+			line = fmt.Sprintf("%d|%d|%d\n", a, b, codeProviderCustomer)
+		case RelPeer:
+			line = fmt.Sprintf("%d|%d|%d\n", a, b, codePeer)
+		case RelSibling:
+			line = fmt.Sprintf("%d|%d|%d\n", a, b, codeSibling)
+		}
+		n, err := bw.WriteString(line)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Read parses a CAIDA-format relationship file into a new graph. Comment
+// lines beginning with '#' and blank lines are skipped.
+func Read(r io.Reader) (*Graph, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("asgraph: line %d: want a|b|rel, got %q", lineNo, line)
+		}
+		a, err := strconv.ParseUint(parts[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("asgraph: line %d: bad ASN %q", lineNo, parts[0])
+		}
+		b, err := strconv.ParseUint(parts[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("asgraph: line %d: bad ASN %q", lineNo, parts[1])
+		}
+		code, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("asgraph: line %d: bad code %q", lineNo, parts[2])
+		}
+		switch code {
+		case codeProviderCustomer:
+			err = g.AddProviderCustomer(bgp.ASN(a), bgp.ASN(b))
+		case codePeer:
+			err = g.AddPeer(bgp.ASN(a), bgp.ASN(b))
+		case codeSibling:
+			err = g.AddSibling(bgp.ASN(a), bgp.ASN(b))
+		default:
+			err = fmt.Errorf("unknown relationship code %d", code)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("asgraph: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,84 @@
+package asgraph
+
+import (
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+)
+
+// Tier classification in the style of Subramanian et al. (INFOCOM 2002),
+// which the paper cites ([8]) for placing each vantage AS in the hierarchy:
+// Tier-1 ASes sit at the top (no providers), and every other AS is one
+// level below its highest-placed provider.
+
+// TierUnknown marks ASes unreachable from any provider-less AS via
+// provider→customer edges (possible when inference leaves an AS isolated
+// or relationship annotations form a cycle).
+const TierUnknown = 0
+
+// Tiers assigns a hierarchy level to every AS: tier 1 for ASes with no
+// providers (and at least one neighbor), tier(u) = 1 + min tier of u's
+// providers otherwise. Isolated or unreachable ASes get TierUnknown.
+func (g *Graph) Tiers() map[bgp.ASN]int {
+	tiers := make(map[bgp.ASN]int, len(g.nodes))
+	var frontier []bgp.ASN
+	for asn := range g.nodes {
+		if len(g.providers[asn]) == 0 && g.Degree(asn) > 0 {
+			tiers[asn] = 1
+			frontier = append(frontier, asn)
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	// BFS down provider→customer edges; a customer's tier is one more than
+	// the smallest provider tier, so first assignment in BFS order is final.
+	for len(frontier) > 0 {
+		var next []bgp.ASN
+		for _, u := range frontier {
+			for _, c := range g.rawCustomers(u) {
+				if _, done := tiers[c]; done {
+					continue
+				}
+				tiers[c] = tiers[u] + 1
+				next = append(next, c)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		frontier = next
+	}
+	for asn := range g.nodes {
+		if _, done := tiers[asn]; !done {
+			tiers[asn] = TierUnknown
+		}
+	}
+	return tiers
+}
+
+// TierOne returns the provider-less, peer-connected top of the hierarchy
+// in ascending order. Real Tier-1s form a peering clique; the generator
+// guarantees it and inference approximates it.
+func (g *Graph) TierOne() []bgp.ASN {
+	var out []bgp.ASN
+	for asn := range g.nodes {
+		if len(g.providers[asn]) == 0 && g.Degree(asn) > 0 {
+			out = append(out, asn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stubs returns ASes with no customers (the bottom of the hierarchy).
+func (g *Graph) Stubs() []bgp.ASN {
+	var out []bgp.ASN
+	for asn := range g.nodes {
+		if len(g.customers[asn]) == 0 && g.Degree(asn) > 0 {
+			out = append(out, asn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IsMultihomed reports whether asn has at least two providers — the
+// classification behind Table 8.
+func (g *Graph) IsMultihomed(asn bgp.ASN) bool { return len(g.providers[asn]) >= 2 }

@@ -1,0 +1,230 @@
+package asgraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+)
+
+func TestTiers(t *testing.T) {
+	g := figure1(t)
+	tiers := g.Tiers()
+	want := map[bgp.ASN]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 2, 6: 3}
+	for asn, w := range want {
+		if tiers[asn] != w {
+			t.Errorf("tier(%v) = %d, want %d", asn, tiers[asn], w)
+		}
+	}
+}
+
+func TestTiersMinProvider(t *testing.T) {
+	// 10 (T1) -> 20 -> 30, and 10 -> 30 directly: 30 takes the shallower
+	// placement, tier 2.
+	g := New()
+	mustAdd(t, g.AddProviderCustomer(10, 20))
+	mustAdd(t, g.AddProviderCustomer(20, 30))
+	mustAdd(t, g.AddProviderCustomer(10, 30))
+	tiers := g.Tiers()
+	if tiers[30] != 2 {
+		t.Fatalf("tier(30) = %d, want 2 (min over providers)", tiers[30])
+	}
+}
+
+func TestTiersUnknownForIsolated(t *testing.T) {
+	g := New()
+	g.AddNode(77)
+	// Two ASes only peering with each other have no providers: both tier 1
+	// by the provider-less rule. An isolated node is unknown.
+	mustAdd(t, g.AddPeer(1, 2))
+	tiers := g.Tiers()
+	if tiers[77] != TierUnknown {
+		t.Fatalf("tier(isolated) = %d", tiers[77])
+	}
+	if tiers[1] != 1 || tiers[2] != 1 {
+		t.Fatalf("peer-only ASes: %d, %d", tiers[1], tiers[2])
+	}
+}
+
+func TestTierOneAndStubs(t *testing.T) {
+	g := figure1(t)
+	t1 := g.TierOne()
+	if len(t1) != 2 || t1[0] != 1 || t1[1] != 2 {
+		t.Fatalf("TierOne = %v", t1)
+	}
+	stubs := g.Stubs()
+	// ASes without customers: 3 (peer+provider only), 5, 6.
+	if len(stubs) != 3 || stubs[0] != 3 || stubs[1] != 5 || stubs[2] != 6 {
+		t.Fatalf("Stubs = %v", stubs)
+	}
+}
+
+func TestIsMultihomed(t *testing.T) {
+	g := figure1(t)
+	if !g.IsMultihomed(5) {
+		t.Fatal("AS5 has two providers")
+	}
+	if g.IsMultihomed(6) {
+		t.Fatal("AS6 has one provider")
+	}
+	if g.IsMultihomed(1) {
+		t.Fatal("AS1 has no providers")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	g := figure1(t)
+	mustAdd(t, g.AddSibling(7, 8))
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "1|2|0") {
+		t.Fatalf("missing peer line:\n%s", text)
+	}
+	if !strings.Contains(text, "2|4|-1") {
+		t.Fatalf("missing p2c line:\n%s", text)
+	}
+	if !strings.Contains(text, "7|8|1") {
+		t.Fatalf("missing sibling line:\n%s", text)
+	}
+
+	back, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() || back.NumNodes() != g.NumNodes() {
+		t.Fatalf("round trip: %d/%d edges, %d/%d nodes",
+			back.NumEdges(), g.NumEdges(), back.NumNodes(), g.NumNodes())
+	}
+	for _, a := range g.Nodes() {
+		for _, b := range g.Nodes() {
+			if g.Rel(a, b) != back.Rel(a, b) {
+				t.Fatalf("Rel(%v,%v) changed across round trip", a, b)
+			}
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndErrors(t *testing.T) {
+	good := "# header\n\n1|2|-1\n"
+	if _, err := Read(strings.NewReader(good)); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"1|2\n",
+		"x|2|-1\n",
+		"1|y|-1\n",
+		"1|2|z\n",
+		"1|2|7\n",
+		"1|2|-1\n2|1|-1\n", // conflict
+	}
+	for _, b := range bad {
+		if _, err := Read(strings.NewReader(b)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", b)
+		}
+	}
+}
+
+// TestPropertySerializeRoundTrip fuzzes random graphs through the format.
+func TestPropertySerializeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		g := New()
+		n := 5 + r.Intn(20)
+		for i := 0; i < n*2; i++ {
+			a := bgp.ASN(1 + r.Intn(n))
+			b := bgp.ASN(1 + r.Intn(n))
+			if a == b {
+				continue
+			}
+			switch r.Intn(3) {
+			case 0:
+				_ = g.AddProviderCustomer(a, b) // conflicts allowed to fail
+			case 1:
+				_ = g.AddPeer(a, b)
+			case 2:
+				_ = g.AddSibling(a, b)
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, a := range g.Nodes() {
+			for _, b := range g.Neighbors(a) {
+				if g.Rel(a, b) != back.Rel(a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyConeConsistency: o in cone(u) ⇔ a customer path exists, and
+// every returned customer path is strictly provider→customer annotated.
+func TestPropertyConeConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	f := func() bool {
+		g := New()
+		n := 4 + r.Intn(12)
+		// Build a random DAG-ish hierarchy: provider has smaller ASN.
+		for i := 0; i < n*2; i++ {
+			a := bgp.ASN(1 + r.Intn(n))
+			b := bgp.ASN(1 + r.Intn(n))
+			if a < b {
+				_ = g.AddProviderCustomer(a, b)
+			} else if a > b && r.Intn(4) == 0 {
+				_ = g.AddPeer(b, a)
+			}
+		}
+		nodes := g.Nodes()
+		if len(nodes) < 2 {
+			return true
+		}
+		u := nodes[r.Intn(len(nodes))]
+		cone := map[bgp.ASN]bool{}
+		for _, c := range g.CustomerCone(u) {
+			cone[c] = true
+		}
+		for _, o := range nodes {
+			if o == u {
+				continue
+			}
+			path, ok := g.CustomerPath(u, o)
+			if ok != cone[o] || ok != g.InCustomerCone(u, o) {
+				return false
+			}
+			if !ok {
+				continue
+			}
+			if path[0] != u || path[len(path)-1] != o {
+				return false
+			}
+			for i := 0; i+1 < len(path); i++ {
+				if g.Rel(path[i], path[i+1]) != RelCustomer {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,183 @@
+// Package atoms computes BGP policy atoms — groups of prefixes that
+// share the same AS path at every vantage point (Afek, Ben-Shalom &
+// Bremler-Barr, IMW 2002). The paper's Section 5.1.5 closes with the
+// claim that its export-policy findings explain *what creates* atoms:
+// "Our work can answer the questions as to what kind of routing
+// policies create policy atoms in [21]. Policies for exporting to
+// providers are the major cause."
+//
+// This package makes that claim testable: it computes atoms from the
+// collector view and attributes multi-atom origins to the
+// selective-announcement classification of the Figure-4 detector.
+package atoms
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// Atom is one policy atom: a set of prefixes indistinguishable by
+// routing policy from every vantage point.
+type Atom struct {
+	// Prefixes in Compare order.
+	Prefixes []netx.Prefix
+	// Origin is the common origin AS (atoms never span origins).
+	Origin bgp.ASN
+	// Signature is the canonical path-vector key the atom groups by.
+	Signature string
+}
+
+// Result is the atom decomposition of a collector view.
+type Result struct {
+	// Atoms in deterministic order (by signature).
+	Atoms []Atom
+	// ByOrigin counts atoms per origin AS.
+	ByOrigin map[bgp.ASN]int
+	// PrefixCount is the number of prefixes decomposed.
+	PrefixCount int
+}
+
+// Compute groups prefixes by their path vector across the given peers:
+// two prefixes belong to the same atom iff every peer routes to them
+// along the same AS path (or lacks a route to both).
+//
+// table is a collector RIB (candidates keyed by peer); peers fixes the
+// vector order.
+func Compute(table *bgp.RIB, peers []bgp.ASN) *Result {
+	ordered := append([]bgp.ASN(nil), peers...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+
+	type group struct {
+		prefixes []netx.Prefix
+		origin   bgp.ASN
+	}
+	groups := make(map[string]*group)
+	res := &Result{ByOrigin: make(map[bgp.ASN]int)}
+	for _, prefix := range table.Prefixes() {
+		var sig strings.Builder
+		var origin bgp.ASN
+		routed := false
+		for _, peer := range ordered {
+			r := table.CandidateFrom(prefix, peer)
+			if r == nil {
+				sig.WriteByte('|')
+				continue
+			}
+			routed = true
+			sig.WriteString(r.Path.String())
+			sig.WriteByte('|')
+			if o, ok := r.OriginAS(); ok {
+				origin = o
+			} else {
+				origin = peer // the peer itself originates it
+			}
+		}
+		if !routed {
+			continue
+		}
+		res.PrefixCount++
+		key := origin.String() + "!" + sig.String()
+		g := groups[key]
+		if g == nil {
+			g = &group{origin: origin}
+			groups[key] = g
+		}
+		g.prefixes = append(g.prefixes, prefix)
+	}
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := groups[k]
+		netx.SortPrefixes(g.prefixes)
+		res.Atoms = append(res.Atoms, Atom{
+			Prefixes:  g.prefixes,
+			Origin:    g.origin,
+			Signature: k,
+		})
+		res.ByOrigin[g.origin]++
+	}
+	return res
+}
+
+// Stats summarizes a decomposition the way the IMW'02 paper does.
+type Stats struct {
+	// Atoms and Prefixes are the population sizes.
+	Atoms, Prefixes int
+	// SingletonAtoms contain exactly one prefix.
+	SingletonAtoms int
+	// MultiPrefixAtoms group two or more.
+	MultiPrefixAtoms int
+	// OriginsWithMultipleAtoms is the interesting population: origins
+	// whose prefixes routing policy splits apart.
+	OriginsWithMultipleAtoms int
+	// Origins is the total origin count.
+	Origins int
+}
+
+// Stats computes summary statistics.
+func (r *Result) Stats() Stats {
+	s := Stats{Atoms: len(r.Atoms), Prefixes: r.PrefixCount, Origins: len(r.ByOrigin)}
+	for _, a := range r.Atoms {
+		if len(a.Prefixes) == 1 {
+			s.SingletonAtoms++
+		} else {
+			s.MultiPrefixAtoms++
+		}
+	}
+	for _, n := range r.ByOrigin {
+		if n > 1 {
+			s.OriginsWithMultipleAtoms++
+		}
+	}
+	return s
+}
+
+// Attribution links atom splitting to export policies: for origins with
+// more than one atom, how many are explained by a selective-announcement
+// mechanism on at least one of their prefixes?
+type Attribution struct {
+	// MultiAtomOrigins is the population examined.
+	MultiAtomOrigins int
+	// ExplainedBySelective counts those with a selectively announced
+	// prefix (per the supplied set).
+	ExplainedBySelective int
+}
+
+// ExplainedPct returns the paper's headline share.
+func (a Attribution) ExplainedPct() float64 {
+	if a.MultiAtomOrigins == 0 {
+		return 0
+	}
+	return 100 * float64(a.ExplainedBySelective) / float64(a.MultiAtomOrigins)
+}
+
+// Attribute checks each multi-atom origin against a set of selectively
+// announced prefixes (from the Figure-4 detector or ground truth).
+func (r *Result) Attribute(selective map[netx.Prefix]bool) Attribution {
+	att := Attribution{}
+	selectiveOrigin := make(map[bgp.ASN]bool)
+	for _, a := range r.Atoms {
+		for _, p := range a.Prefixes {
+			if selective[p] {
+				selectiveOrigin[a.Origin] = true
+			}
+		}
+	}
+	for origin, n := range r.ByOrigin {
+		if n <= 1 {
+			continue
+		}
+		att.MultiAtomOrigins++
+		if selectiveOrigin[origin] {
+			att.ExplainedBySelective++
+		}
+	}
+	return att
+}

@@ -1,0 +1,177 @@
+package atoms
+
+import (
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/core"
+	"github.com/policyscope/policyscope/internal/netx"
+	"github.com/policyscope/policyscope/internal/routeviews"
+	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+func route(t *testing.T, prefix, path string) *bgp.Route {
+	t.Helper()
+	p, err := bgp.ParsePath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &bgp.Route{Prefix: netx.MustParsePrefix(prefix), Path: p, LocalPref: 100}
+}
+
+func TestComputeGroupsByPathVector(t *testing.T) {
+	table := bgp.NewRIB(0)
+	peers := []bgp.ASN{10, 20}
+	// pa and pb share identical vectors at both peers: one atom.
+	table.Upsert(10, route(t, "20.0.0.0/24", "10 5 900"))
+	table.Upsert(20, route(t, "20.0.0.0/24", "20 900"))
+	table.Upsert(10, route(t, "20.0.1.0/24", "10 5 900"))
+	table.Upsert(20, route(t, "20.0.1.0/24", "20 900"))
+	// pc differs at peer 20: separate atom, same origin.
+	table.Upsert(10, route(t, "20.0.2.0/24", "10 5 900"))
+	table.Upsert(20, route(t, "20.0.2.0/24", "20 7 900"))
+	// pd has a different origin entirely.
+	table.Upsert(10, route(t, "20.1.0.0/24", "10 901"))
+	table.Upsert(20, route(t, "20.1.0.0/24", "20 901"))
+
+	res := Compute(table, peers)
+	if len(res.Atoms) != 3 {
+		t.Fatalf("atoms = %d, want 3", len(res.Atoms))
+	}
+	if res.PrefixCount != 4 {
+		t.Fatalf("prefixes = %d", res.PrefixCount)
+	}
+	if res.ByOrigin[900] != 2 || res.ByOrigin[901] != 1 {
+		t.Fatalf("by origin: %v", res.ByOrigin)
+	}
+	// The two-prefix atom contains pa and pb.
+	var multi *Atom
+	for i := range res.Atoms {
+		if len(res.Atoms[i].Prefixes) == 2 {
+			multi = &res.Atoms[i]
+		}
+	}
+	if multi == nil || multi.Origin != 900 {
+		t.Fatalf("multi-prefix atom: %+v", multi)
+	}
+
+	stats := res.Stats()
+	if stats.Atoms != 3 || stats.SingletonAtoms != 2 || stats.MultiPrefixAtoms != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.OriginsWithMultipleAtoms != 1 || stats.Origins != 2 {
+		t.Fatalf("origin stats: %+v", stats)
+	}
+}
+
+func TestComputeHandlesMissingRoutes(t *testing.T) {
+	table := bgp.NewRIB(0)
+	peers := []bgp.ASN{10, 20}
+	// Peer 20 lacks a route to pa; pb routed at both. Different atoms
+	// even though peer 10's paths agree.
+	table.Upsert(10, route(t, "20.0.0.0/24", "10 900"))
+	table.Upsert(10, route(t, "20.0.1.0/24", "10 900"))
+	table.Upsert(20, route(t, "20.0.1.0/24", "20 900"))
+	res := Compute(table, peers)
+	if len(res.Atoms) != 2 {
+		t.Fatalf("atoms = %d, want 2 (missing route is part of the signature)", len(res.Atoms))
+	}
+	// A peer-originated prefix (path at the peer missing origin): origin
+	// falls back to the peer.
+	table2 := bgp.NewRIB(0)
+	local := &bgp.Route{Prefix: netx.MustParsePrefix("20.9.0.0/24"), LocalPref: 1 << 20}
+	table2.Upsert(10, local)
+	res2 := Compute(table2, []bgp.ASN{10})
+	if len(res2.Atoms) != 1 || res2.Atoms[0].Origin != 10 {
+		t.Fatalf("local-route atom: %+v", res2.Atoms)
+	}
+}
+
+func TestAttribution(t *testing.T) {
+	table := bgp.NewRIB(0)
+	peers := []bgp.ASN{10, 20}
+	// Origin 900 split into two atoms; pa selectively announced.
+	table.Upsert(10, route(t, "20.0.0.0/24", "10 5 900"))
+	table.Upsert(20, route(t, "20.0.0.0/24", "20 7 900"))
+	table.Upsert(10, route(t, "20.0.1.0/24", "10 5 900"))
+	table.Upsert(20, route(t, "20.0.1.0/24", "20 900"))
+	// Origin 901 split into two atoms with no selective explanation.
+	table.Upsert(10, route(t, "20.1.0.0/24", "10 901"))
+	table.Upsert(10, route(t, "20.1.1.0/24", "10 8 901"))
+	res := Compute(table, peers)
+
+	att := res.Attribute(map[netx.Prefix]bool{
+		netx.MustParsePrefix("20.0.0.0/24"): true,
+	})
+	if att.MultiAtomOrigins != 2 || att.ExplainedBySelective != 1 {
+		t.Fatalf("attribution: %+v", att)
+	}
+	if att.ExplainedPct() != 50 {
+		t.Fatalf("pct = %v", att.ExplainedPct())
+	}
+	if (Attribution{}).ExplainedPct() != 0 {
+		t.Fatal("empty attribution must be 0")
+	}
+}
+
+// TestEndToEndAtoms runs the decomposition on a simulated collector and
+// checks the paper's closing claim: origins whose prefixes split into
+// multiple atoms are largely those with selective-announcement
+// mechanisms configured.
+func TestEndToEndAtoms(t *testing.T) {
+	topo, err := topogen.Generate(topogen.DefaultConfig(350, 81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := routeviews.SelectPeers(topo, 16)
+	res, err := simulate.Run(topo, simulate.Options{VantagePoints: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := routeviews.Collect(res, peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decomp := Compute(snap.Table, peers)
+	stats := decomp.Stats()
+	if stats.Atoms == 0 || stats.Prefixes == 0 {
+		t.Fatal("empty decomposition")
+	}
+	if stats.Atoms > stats.Prefixes {
+		t.Fatalf("more atoms than prefixes: %+v", stats)
+	}
+	// Most prefixes of a single-prefix-policy origin collapse into one
+	// atom, so atoms << prefixes is expected with multi-prefix origins.
+	if stats.OriginsWithMultipleAtoms == 0 {
+		t.Fatal("no origin split into multiple atoms; selective policies missing?")
+	}
+
+	// Attribute splits to detected SA prefixes across all vantages.
+	analyzer := &core.ExportAnalyzer{Graph: topo.Graph}
+	selective := make(map[netx.Prefix]bool)
+	for _, peer := range peers {
+		view := core.ViewFromPeerTable(snap.Table, peer)
+		for p := range analyzer.SAPrefixes(view).SAPrefixSet() {
+			selective[p] = true
+		}
+	}
+	// Also count ground-truth mechanisms (splits can be caused by
+	// selective policies invisible at these 16 vantages).
+	for _, asn := range topo.Order {
+		pol := topo.Policies[asn]
+		for p := range pol.Export.OriginProviders {
+			selective[p] = true
+		}
+		for p := range pol.Export.NoUpstream {
+			selective[p] = true
+		}
+	}
+	att := decomp.Attribute(selective)
+	if att.MultiAtomOrigins == 0 {
+		t.Fatal("no multi-atom origins")
+	}
+	if att.ExplainedPct() < 50 {
+		t.Errorf("only %.1f%% of multi-atom origins explained by selective announcement; paper claims it is the major cause", att.ExplainedPct())
+	}
+}

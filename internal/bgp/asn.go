@@ -1,0 +1,128 @@
+// Package bgp models the BGP constructs the paper's analyses consume:
+// AS numbers and paths, communities, route attributes, the sequential
+// route-selection (decision) process, and routing information bases.
+//
+// The model is deliberately AS-level. The unit of routing is an AS (with an
+// optional multi-router refinement in internal/ibgp), matching how the IMC
+// 2003 paper reads BGP tables: one table per vantage AS, one route per
+// (prefix, neighbor AS).
+package bgp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ASN is an autonomous system number. The paper's era is 16-bit ASNs but we
+// store 32 bits so modern data sets fit.
+type ASN uint32
+
+// String renders the ASN in the conventional "AS123" form.
+func (a ASN) String() string { return "AS" + strconv.FormatUint(uint64(a), 10) }
+
+// Path is an AS path: the sequence of ASes a route announcement traversed,
+// nearest AS first (index 0 is the neighbor the route was learned from, the
+// last element is the origin AS). Only AS_SEQUENCE segments are modelled;
+// the analyses in the paper never rely on AS_SET internals.
+type Path []ASN
+
+// Clone returns an independent copy of p.
+func (p Path) Clone() Path {
+	if p == nil {
+		return nil
+	}
+	return append(Path(nil), p...)
+}
+
+// Prepend returns a new path with asn prepended n times (n >= 1). It is the
+// export-side AS-path prepending primitive.
+func (p Path) Prepend(asn ASN, n int) Path {
+	if n < 1 {
+		n = 1
+	}
+	out := make(Path, 0, len(p)+n)
+	for i := 0; i < n; i++ {
+		out = append(out, asn)
+	}
+	return append(out, p...)
+}
+
+// Contains reports whether asn appears anywhere in the path. BGP's loop
+// detection discards received routes whose path already contains the
+// receiver's ASN.
+func (p Path) Contains(asn ASN) bool {
+	for _, a := range p {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// Origin returns the originating AS (the last element) and false when the
+// path is empty (a locally originated route).
+func (p Path) Origin() (ASN, bool) {
+	if len(p) == 0 {
+		return 0, false
+	}
+	return p[len(p)-1], true
+}
+
+// First returns the neighbor AS the route was learned from and false when
+// the path is empty.
+func (p Path) First() (ASN, bool) {
+	if len(p) == 0 {
+		return 0, false
+	}
+	return p[0], true
+}
+
+// Len returns the AS-path length used by the decision process. Repeated
+// (prepended) ASNs each count.
+func (p Path) Len() int { return len(p) }
+
+// Equal reports element-wise equality.
+func (p Path) Equal(q Path) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the path in the space-separated form used by route
+// servers: "701 1239 7018".
+func (p Path) String() string {
+	var b strings.Builder
+	for i, a := range p {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.FormatUint(uint64(a), 10))
+	}
+	return b.String()
+}
+
+// ParsePath parses a space-separated AS path ("701 1239 7018"). An empty
+// string yields an empty path.
+func ParsePath(s string) (Path, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(s)
+	out := make(Path, 0, len(fields))
+	for _, f := range fields {
+		n, err := strconv.ParseUint(f, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bgp: bad AS path element %q: %v", f, err)
+		}
+		out = append(out, ASN(n))
+	}
+	return out, nil
+}

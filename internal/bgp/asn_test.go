@@ -1,0 +1,114 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestASNString(t *testing.T) {
+	if got := ASN(7018).String(); got != "AS7018" {
+		t.Fatalf("ASN.String = %q", got)
+	}
+}
+
+func TestPathBasics(t *testing.T) {
+	p, err := ParsePath("701 1239 7018")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if first, ok := p.First(); !ok || first != 701 {
+		t.Fatalf("First = %v, %v", first, ok)
+	}
+	if origin, ok := p.Origin(); !ok || origin != 7018 {
+		t.Fatalf("Origin = %v, %v", origin, ok)
+	}
+	if !p.Contains(1239) || p.Contains(9999) {
+		t.Fatal("Contains misbehaved")
+	}
+	if p.String() != "701 1239 7018" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestPathEmpty(t *testing.T) {
+	p, err := ParsePath("   ")
+	if err != nil || p != nil {
+		t.Fatalf("ParsePath(blank) = %v, %v", p, err)
+	}
+	if _, ok := p.First(); ok {
+		t.Fatal("First on empty path must fail")
+	}
+	if _, ok := p.Origin(); ok {
+		t.Fatal("Origin on empty path must fail")
+	}
+	if p.Len() != 0 {
+		t.Fatal("empty path has nonzero length")
+	}
+	if p.Clone() != nil {
+		t.Fatal("Clone(nil) must be nil")
+	}
+}
+
+func TestPathParseErrors(t *testing.T) {
+	for _, s := range []string{"70x18", "701 -5", "701 99999999999999"} {
+		if _, err := ParsePath(s); err == nil {
+			t.Errorf("ParsePath(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestPathPrepend(t *testing.T) {
+	base, _ := ParsePath("1239 7018")
+	p := base.Prepend(701, 3)
+	if p.String() != "701 701 701 1239 7018" {
+		t.Fatalf("Prepend x3 = %q", p.String())
+	}
+	if base.String() != "1239 7018" {
+		t.Fatal("Prepend mutated the receiver")
+	}
+	if got := base.Prepend(5, 0); got.Len() != 3 {
+		t.Fatalf("Prepend(n=0) must clamp to 1, got %v", got)
+	}
+}
+
+func TestPathEqualAndClone(t *testing.T) {
+	a, _ := ParsePath("1 2 3")
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b[0] = 9
+	if a.Equal(b) || a[0] == 9 {
+		t.Fatal("clone shares backing array")
+	}
+	c, _ := ParsePath("1 2")
+	if a.Equal(c) {
+		t.Fatal("different lengths equal")
+	}
+}
+
+func TestPropertyPathRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		n := r.Intn(8)
+		p := make(Path, n)
+		for i := range p {
+			p[i] = ASN(r.Intn(65536))
+		}
+		q, err := ParsePath(p.String())
+		if err != nil {
+			return false
+		}
+		if n == 0 {
+			return q == nil
+		}
+		return q.Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommunityParts(t *testing.T) {
+	c := MakeCommunity(12859, 1000)
+	if c.AS() != 12859 || c.Value() != 1000 {
+		t.Fatalf("parts = %v:%v", c.AS(), c.Value())
+	}
+	if c.String() != "12859:1000" {
+		t.Fatalf("String = %q", c.String())
+	}
+	if c.IsWellKnown() {
+		t.Fatal("ordinary community reported well-known")
+	}
+}
+
+func TestWellKnownCommunities(t *testing.T) {
+	cases := []struct {
+		c    Community
+		name string
+	}{
+		{NoExport, "no-export"},
+		{NoAdvertise, "no-advertise"},
+		{NoExportSubconfed, "no-export-subconfed"},
+	}
+	for _, tc := range cases {
+		if !tc.c.IsWellKnown() {
+			t.Errorf("%v not well-known", tc.c)
+		}
+		if tc.c.String() != tc.name {
+			t.Errorf("String(%v) = %q, want %q", uint32(tc.c), tc.c.String(), tc.name)
+		}
+		back, err := ParseCommunity(tc.name)
+		if err != nil || back != tc.c {
+			t.Errorf("ParseCommunity(%q) = %v, %v", tc.name, back, err)
+		}
+	}
+}
+
+func TestParseCommunityErrors(t *testing.T) {
+	for _, s := range []string{"", "12859", "70000:1", "1:70000", "a:b", "1:2:3"} {
+		if _, err := ParseCommunity(s); err == nil {
+			t.Errorf("ParseCommunity(%q) succeeded", s)
+		}
+	}
+}
+
+func TestCommunitiesNormalization(t *testing.T) {
+	cs := NewCommunities(MakeCommunity(3, 3), MakeCommunity(1, 1), MakeCommunity(3, 3), MakeCommunity(2, 2))
+	if len(cs) != 3 {
+		t.Fatalf("dedup failed: %v", cs)
+	}
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1] >= cs[i] {
+			t.Fatalf("not sorted: %v", cs)
+		}
+	}
+	if !cs.Has(MakeCommunity(2, 2)) || cs.Has(MakeCommunity(9, 9)) {
+		t.Fatal("Has misbehaved")
+	}
+	if NewCommunities() != nil {
+		t.Fatal("empty constructor must return nil")
+	}
+}
+
+func TestCommunitiesAddIsPersistent(t *testing.T) {
+	cs := NewCommunities(MakeCommunity(1, 1))
+	cs2 := cs.Add(MakeCommunity(2, 2))
+	if len(cs) != 1 || len(cs2) != 2 {
+		t.Fatalf("Add mutated receiver: %v -> %v", cs, cs2)
+	}
+	if got := cs2.Add(MakeCommunity(2, 2)); len(got) != 2 {
+		t.Fatal("Add of existing value must be a no-op")
+	}
+}
+
+func TestCommunitiesRoundTrip(t *testing.T) {
+	cs := NewCommunities(MakeCommunity(12859, 1000), NoExport, MakeCommunity(1, 2))
+	back, err := ParseCommunities(cs.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(cs) {
+		t.Fatalf("round trip %v -> %v", cs, back)
+	}
+	for i := range cs {
+		if back[i] != cs[i] {
+			t.Fatalf("round trip %v -> %v", cs, back)
+		}
+	}
+	if got, err := ParseCommunities("  "); err != nil || got != nil {
+		t.Fatalf("blank parse = %v, %v", got, err)
+	}
+	if _, err := ParseCommunities("1:1 bad"); err == nil {
+		t.Fatal("bad element must error")
+	}
+}
+
+func TestPropertyCommunitySetInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	f := func() bool {
+		n := r.Intn(10)
+		vals := make([]Community, n)
+		for i := range vals {
+			vals[i] = MakeCommunity(ASN(r.Intn(100)), uint16(r.Intn(16)))
+		}
+		cs := NewCommunities(vals...)
+		// Sorted, unique, and contains exactly the input values.
+		for i := 1; i < len(cs); i++ {
+			if cs[i-1] >= cs[i] {
+				return false
+			}
+		}
+		for _, v := range vals {
+			if !cs.Has(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

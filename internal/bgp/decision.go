@@ -1,0 +1,172 @@
+package bgp
+
+// The BGP decision process, as enumerated in Section 2.2.1 of the paper:
+//
+//  1. highest local preference
+//  2. shortest AS path
+//  3. lowest origin type
+//  4. smallest MED, compared only between routes with the same next-hop AS
+//  5. eBGP-learned preferred over iBGP-learned
+//  6. smallest IGP metric to the egress router
+//  7. smallest router ID
+//
+// Compare and Best implement it exactly; the *steps* are also exposed
+// individually so the ablation benchmarks can truncate the process.
+
+// DecisionStep identifies one stage of the route-selection process.
+type DecisionStep int
+
+// The seven steps, in order.
+const (
+	StepLocalPref DecisionStep = iota + 1
+	StepASPathLen
+	StepOrigin
+	StepMED
+	StepEBGP
+	StepIGPMetric
+	StepRouterID
+)
+
+func (s DecisionStep) String() string {
+	switch s {
+	case StepLocalPref:
+		return "local-preference"
+	case StepASPathLen:
+		return "as-path-length"
+	case StepOrigin:
+		return "origin"
+	case StepMED:
+		return "med"
+	case StepEBGP:
+		return "ebgp-over-ibgp"
+	case StepIGPMetric:
+		return "igp-metric"
+	case StepRouterID:
+		return "router-id"
+	}
+	return "unknown-step"
+}
+
+// Compare returns a negative value if a is preferred over b, positive if b
+// is preferred over a, and 0 if the full process cannot separate them. It
+// runs steps 1..maxStep; pass StepRouterID (or use Compare7) for the whole
+// process.
+func Compare(a, b *Route, maxStep DecisionStep) int {
+	if c := cmpStep(a, b, StepLocalPref); c != 0 || maxStep == StepLocalPref {
+		return c
+	}
+	if c := cmpStep(a, b, StepASPathLen); c != 0 || maxStep == StepASPathLen {
+		return c
+	}
+	if c := cmpStep(a, b, StepOrigin); c != 0 || maxStep == StepOrigin {
+		return c
+	}
+	if c := cmpStep(a, b, StepMED); c != 0 || maxStep == StepMED {
+		return c
+	}
+	if c := cmpStep(a, b, StepEBGP); c != 0 || maxStep == StepEBGP {
+		return c
+	}
+	if c := cmpStep(a, b, StepIGPMetric); c != 0 || maxStep == StepIGPMetric {
+		return c
+	}
+	return cmpStep(a, b, StepRouterID)
+}
+
+// Compare7 runs the full seven-step process.
+func Compare7(a, b *Route) int { return Compare(a, b, StepRouterID) }
+
+func cmpStep(a, b *Route, step DecisionStep) int {
+	switch step {
+	case StepLocalPref:
+		return cmpDesc(a.LocalPref, b.LocalPref)
+	case StepASPathLen:
+		return cmpAsc(uint32(a.Path.Len()), uint32(b.Path.Len()))
+	case StepOrigin:
+		return cmpAsc(uint32(a.Origin), uint32(b.Origin))
+	case StepMED:
+		an, aok := a.NextHopAS()
+		bn, bok := b.NextHopAS()
+		if !aok || !bok || an != bn {
+			return 0 // MED is only comparable between same-neighbor routes
+		}
+		return cmpAsc(a.MED, b.MED)
+	case StepEBGP:
+		switch {
+		case !a.FromIBGP && b.FromIBGP:
+			return -1
+		case a.FromIBGP && !b.FromIBGP:
+			return 1
+		}
+		return 0
+	case StepIGPMetric:
+		return cmpAsc(a.IGPMetric, b.IGPMetric)
+	case StepRouterID:
+		return cmpAsc(a.RouterID, b.RouterID)
+	}
+	return 0
+}
+
+func cmpAsc(a, b uint32) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpDesc(a, b uint32) int { return cmpAsc(b, a) }
+
+// Best returns the most preferred route among candidates under the process
+// truncated at maxStep. It returns nil for an empty set.
+//
+// Because MED is only comparable between routes with the same next-hop AS,
+// a naive linear scan is order-dependent (the well-known MED
+// non-transitivity). Best therefore implements deterministic-MED
+// selection, as production routers do: candidates are first grouped by
+// next-hop AS and the winner of each group is chosen (where MED applies),
+// then the group winners are compared (where MED never fires). Remaining
+// complete ties go to the earliest candidate ("oldest route wins").
+func Best(candidates []*Route, maxStep DecisionStep) *Route {
+	var (
+		order  []ASN
+		winner = make(map[ASN]*Route, len(candidates))
+	)
+	for _, r := range candidates {
+		if r == nil {
+			continue
+		}
+		nbr, _ := r.NextHopAS() // 0 groups all locally originated routes
+		cur, ok := winner[nbr]
+		if !ok {
+			winner[nbr] = r
+			order = append(order, nbr)
+		} else if Compare(r, cur, maxStep) < 0 {
+			winner[nbr] = r
+		}
+	}
+	var best *Route
+	for _, nbr := range order {
+		if r := winner[nbr]; best == nil || Compare(r, best, maxStep) < 0 {
+			best = r
+		}
+	}
+	return best
+}
+
+// Best7 selects under the full process.
+func Best7(candidates []*Route) *Route { return Best(candidates, StepRouterID) }
+
+// DecidedBy reports the first step that separates a from b, or 0 when the
+// routes tie through the whole process. Used to characterize how often the
+// paper-era default (shortest path) is overridden by local preference.
+func DecidedBy(a, b *Route) DecisionStep {
+	for _, s := range []DecisionStep{StepLocalPref, StepASPathLen, StepOrigin, StepMED, StepEBGP, StepIGPMetric, StepRouterID} {
+		if cmpStep(a, b, s) != 0 {
+			return s
+		}
+	}
+	return 0
+}

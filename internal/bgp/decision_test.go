@@ -1,0 +1,257 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+func mkRoute(pathStr string, lp uint32) *Route {
+	p, err := ParsePath(pathStr)
+	if err != nil {
+		panic(err)
+	}
+	return &Route{
+		Prefix:    netx.MustParsePrefix("10.0.0.0/8"),
+		Path:      p,
+		LocalPref: lp,
+	}
+}
+
+func TestDecisionLocalPrefDominates(t *testing.T) {
+	// A longer path with higher local preference must win: the paper's
+	// core observation is that localpref overrides shortest-path.
+	long := mkRoute("1 2 3 4", 200)
+	short := mkRoute("5 6", 100)
+	if Compare7(long, short) >= 0 {
+		t.Fatal("higher localpref must beat shorter path")
+	}
+	if got := DecidedBy(long, short); got != StepLocalPref {
+		t.Fatalf("DecidedBy = %v", got)
+	}
+}
+
+func TestDecisionPathLength(t *testing.T) {
+	a := mkRoute("1 2", 100)
+	b := mkRoute("3 4 5", 100)
+	if Compare7(a, b) >= 0 {
+		t.Fatal("shorter path must win at equal localpref")
+	}
+	if got := DecidedBy(a, b); got != StepASPathLen {
+		t.Fatalf("DecidedBy = %v", got)
+	}
+}
+
+func TestDecisionOrigin(t *testing.T) {
+	a := mkRoute("1 2", 100)
+	b := mkRoute("3 4", 100)
+	a.Origin = OriginIGP
+	b.Origin = OriginIncomplete
+	if Compare7(a, b) >= 0 {
+		t.Fatal("IGP origin must beat incomplete")
+	}
+	if got := DecidedBy(a, b); got != StepOrigin {
+		t.Fatalf("DecidedBy = %v", got)
+	}
+}
+
+func TestDecisionMEDOnlySameNeighbor(t *testing.T) {
+	sameA := mkRoute("7 2", 100)
+	sameB := mkRoute("7 3", 100)
+	sameA.MED = 10
+	sameB.MED = 5
+	if Compare7(sameB, sameA) >= 0 {
+		t.Fatal("lower MED from same neighbor must win")
+	}
+	diffA := mkRoute("7 2", 100)
+	diffB := mkRoute("8 3", 100)
+	diffA.MED = 10
+	diffB.MED = 5
+	if got := DecidedBy(diffA, diffB); got == StepMED {
+		t.Fatal("MED must not be compared across different next-hop ASes")
+	}
+}
+
+func TestDecisionEBGPOverIBGP(t *testing.T) {
+	e := mkRoute("1 2", 100)
+	i := mkRoute("3 4", 100)
+	i.FromIBGP = true
+	if Compare7(e, i) >= 0 {
+		t.Fatal("eBGP must beat iBGP")
+	}
+	if got := DecidedBy(e, i); got != StepEBGP {
+		t.Fatalf("DecidedBy = %v", got)
+	}
+}
+
+func TestDecisionIGPMetricAndRouterID(t *testing.T) {
+	a := mkRoute("1 2", 100)
+	b := mkRoute("3 4", 100)
+	a.IGPMetric, b.IGPMetric = 5, 9
+	if Compare7(a, b) >= 0 {
+		t.Fatal("lower IGP metric must win")
+	}
+	b.IGPMetric = 5
+	a.RouterID, b.RouterID = 2, 1
+	if Compare7(b, a) >= 0 {
+		t.Fatal("lower router ID must win")
+	}
+	a.RouterID = 1
+	if Compare7(a, b) != 0 {
+		t.Fatal("identical attribute routes must tie")
+	}
+	if DecidedBy(a, b) != 0 {
+		t.Fatal("DecidedBy on tie must be 0")
+	}
+}
+
+func TestDecisionTruncation(t *testing.T) {
+	a := mkRoute("1 2", 100)
+	b := mkRoute("3 4", 100)
+	a.Origin = OriginIGP
+	b.Origin = OriginIncomplete
+	// Truncated at path length, origin never inspected: tie.
+	if got := Compare(a, b, StepASPathLen); got != 0 {
+		t.Fatalf("truncated compare = %d, want 0", got)
+	}
+	if got := Compare(a, b, StepOrigin); got >= 0 {
+		t.Fatal("full-depth compare must separate them")
+	}
+}
+
+func TestBestSelection(t *testing.T) {
+	r1 := mkRoute("1 2 3", 100)
+	r2 := mkRoute("4 5", 100)
+	r3 := mkRoute("6 7 8 9", 300)
+	if got := Best7([]*Route{r1, r2, r3}); got != r3 {
+		t.Fatalf("Best = %v", got)
+	}
+	if got := Best7([]*Route{r1, nil, r2}); got != r2 {
+		t.Fatalf("Best with nil entries = %v", got)
+	}
+	if Best7(nil) != nil {
+		t.Fatal("Best(empty) must be nil")
+	}
+	// First wins on complete tie.
+	t1 := mkRoute("1 2", 100)
+	t2 := mkRoute("3 4", 100)
+	if got := Best7([]*Route{t1, t2}); got != t1 {
+		t.Fatal("first candidate must win a complete tie")
+	}
+}
+
+func randRoute(r *rand.Rand) *Route {
+	n := 1 + r.Intn(4)
+	path := make(Path, n)
+	for i := range path {
+		path[i] = ASN(1 + r.Intn(8))
+	}
+	return &Route{
+		Prefix:    netx.MustParsePrefix("10.0.0.0/8"),
+		Path:      path,
+		LocalPref: uint32(80 + 10*r.Intn(3)),
+		MED:       uint32(r.Intn(3)),
+		Origin:    Origin(r.Intn(3)),
+		FromIBGP:  r.Intn(2) == 0,
+		IGPMetric: uint32(r.Intn(3)),
+		RouterID:  uint32(r.Intn(3)),
+	}
+}
+
+// TestPropertyDecisionIsConsistent verifies antisymmetry of Compare and the
+// deterministic-MED invariant of Best: the selection is never beaten by a
+// candidate from its own next-hop-AS group (where MED is comparable), nor
+// by another group's winner.
+func TestPropertyDecisionIsConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	f := func() bool {
+		a, b := randRoute(r), randRoute(r)
+		if Compare7(a, b) != -Compare7(b, a) {
+			return false
+		}
+		cands := make([]*Route, 3+r.Intn(5))
+		for i := range cands {
+			cands[i] = randRoute(r)
+		}
+		best := Best7(cands)
+		bestNbr, _ := best.NextHopAS()
+		groupWinner := map[ASN]*Route{}
+		for _, c := range cands {
+			nbr, _ := c.NextHopAS()
+			if w, ok := groupWinner[nbr]; !ok || Compare7(c, w) < 0 {
+				groupWinner[nbr] = c
+			}
+		}
+		for nbr, w := range groupWinner {
+			if nbr == bestNbr {
+				if Compare7(w, best) < 0 {
+					return false // beaten within its own MED group
+				}
+			} else if Compare7(w, best) < 0 {
+				return false // beaten by another group's winner
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBestDeterministicMED pins the textbook MED-non-transitivity triangle
+// and checks Best resolves it the deterministic-MED way regardless of
+// input order.
+func TestBestDeterministicMED(t *testing.T) {
+	mk := func(nbr ASN, med, igp uint32) *Route {
+		rt := mkRoute("", 100)
+		rt.Path = Path{nbr, 900}
+		rt.MED = med
+		rt.IGPMetric = igp
+		return rt
+	}
+	x := mk(1, 0, 5) // same group as z, lower MED
+	y := mk(2, 1, 3)
+	z := mk(1, 1, 1) // beaten by x on MED despite best IGP metric
+	want := Best7([]*Route{x, y, z})
+	// Within group 1, x wins (MED). Across winners {x, y}: IGP 3 < 5 → y.
+	if nh, _ := want.NextHopAS(); nh != 2 {
+		t.Fatalf("deterministic-MED winner from %v, want 2", nh)
+	}
+	for _, perm := range [][]*Route{{z, y, x}, {y, x, z}, {z, x, y}} {
+		if got := Best7(perm); got != want {
+			t.Fatalf("Best is order-dependent: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestStepString(t *testing.T) {
+	steps := map[DecisionStep]string{
+		StepLocalPref:    "local-preference",
+		StepASPathLen:    "as-path-length",
+		StepOrigin:       "origin",
+		StepMED:          "med",
+		StepEBGP:         "ebgp-over-ibgp",
+		StepIGPMetric:    "igp-metric",
+		StepRouterID:     "router-id",
+		DecisionStep(99): "unknown-step",
+	}
+	for s, want := range steps {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	if OriginIGP.String() != "IGP" || OriginEGP.String() != "EGP" || OriginIncomplete.String() != "incomplete" {
+		t.Fatal("origin names wrong")
+	}
+	if Origin(9).String() != "Origin(9)" {
+		t.Fatal("unknown origin formatting wrong")
+	}
+	if OriginIGP.OriginCode() != 'i' || OriginEGP.OriginCode() != 'e' || OriginIncomplete.OriginCode() != '?' {
+		t.Fatal("origin codes wrong")
+	}
+}

@@ -1,0 +1,200 @@
+package bgp
+
+import (
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// RIB is a routing information base for one AS: for each prefix the set of
+// candidate routes (at most one per neighbor AS, as BGP sessions replace
+// prior announcements) and the selected best route.
+//
+// RIB is the unit the paper's analyses read. It intentionally keeps *all*
+// candidates, not just the best route, because Looking Glass output
+// ("show ip bgp") exposes every path and several analyses need them.
+type RIB struct {
+	// Owner is the AS whose table this is.
+	Owner ASN
+
+	entries map[netx.Prefix]*ribEntry
+	// maxStep lets ablations truncate the decision process; zero means
+	// the full seven steps.
+	maxStep DecisionStep
+}
+
+type ribEntry struct {
+	// candidates are keyed by announcing neighbor; locally originated
+	// routes use the owner's own ASN as the key.
+	candidates map[ASN]*Route
+	best       *Route
+}
+
+// NewRIB returns an empty table owned by asn.
+func NewRIB(asn ASN) *RIB {
+	return &RIB{Owner: asn, entries: make(map[netx.Prefix]*ribEntry)}
+}
+
+// SetDecisionDepth truncates the decision process at step s for all future
+// selections (ablation support). Zero restores the full process.
+func (t *RIB) SetDecisionDepth(s DecisionStep) { t.maxStep = s }
+
+func (t *RIB) depth() DecisionStep {
+	if t.maxStep == 0 {
+		return StepRouterID
+	}
+	return t.maxStep
+}
+
+// Upsert installs route (learned from the given neighbor; use the owner
+// ASN for locally originated prefixes), replacing any previous route from
+// the same neighbor for the same prefix. It returns true when the best
+// route for the prefix changed.
+func (t *RIB) Upsert(neighbor ASN, route *Route) bool {
+	e := t.entries[route.Prefix]
+	if e == nil {
+		e = &ribEntry{candidates: make(map[ASN]*Route, 4)}
+		t.entries[route.Prefix] = e
+	}
+	e.candidates[neighbor] = route
+	return t.reselect(route.Prefix, e)
+}
+
+// Withdraw removes the route for prefix learned from neighbor. It returns
+// true when the best route changed (including disappearing).
+func (t *RIB) Withdraw(neighbor ASN, prefix netx.Prefix) bool {
+	e := t.entries[prefix]
+	if e == nil {
+		return false
+	}
+	if _, ok := e.candidates[neighbor]; !ok {
+		return false
+	}
+	delete(e.candidates, neighbor)
+	if len(e.candidates) == 0 {
+		delete(t.entries, prefix)
+		return e.best != nil
+	}
+	return t.reselect(prefix, e)
+}
+
+func (t *RIB) reselect(prefix netx.Prefix, e *ribEntry) bool {
+	// Deterministic candidate order: neighbors ascending. This makes the
+	// "first wins" tie-break reproducible across runs.
+	neighbors := make([]ASN, 0, len(e.candidates))
+	for n := range e.candidates {
+		neighbors = append(neighbors, n)
+	}
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+	var best *Route
+	for _, n := range neighbors {
+		r := e.candidates[n]
+		if best == nil || Compare(r, best, t.depth()) < 0 {
+			best = r
+		}
+	}
+	changed := !routesEqual(best, e.best)
+	e.best = best
+	return changed
+}
+
+func routesEqual(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Prefix == b.Prefix &&
+		a.Path.Equal(b.Path) &&
+		a.LocalPref == b.LocalPref &&
+		a.MED == b.MED &&
+		a.Origin == b.Origin &&
+		a.FromIBGP == b.FromIBGP &&
+		a.IGPMetric == b.IGPMetric &&
+		a.RouterID == b.RouterID &&
+		len(a.Communities) == len(b.Communities)
+}
+
+// DropPrefix removes every candidate for prefix, reporting whether the
+// prefix was present. Used when a simulation epoch recomputes a prefix
+// from scratch.
+func (t *RIB) DropPrefix(prefix netx.Prefix) bool {
+	if _, ok := t.entries[prefix]; !ok {
+		return false
+	}
+	delete(t.entries, prefix)
+	return true
+}
+
+// Best returns the selected route for prefix, or nil.
+func (t *RIB) Best(prefix netx.Prefix) *Route {
+	if e := t.entries[prefix]; e != nil {
+		return e.best
+	}
+	return nil
+}
+
+// Candidates returns every candidate route for prefix in ascending
+// neighbor order (the order IOS would list paths deterministically).
+func (t *RIB) Candidates(prefix netx.Prefix) []*Route {
+	e := t.entries[prefix]
+	if e == nil {
+		return nil
+	}
+	neighbors := make([]ASN, 0, len(e.candidates))
+	for n := range e.candidates {
+		neighbors = append(neighbors, n)
+	}
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+	out := make([]*Route, 0, len(neighbors))
+	for _, n := range neighbors {
+		out = append(out, e.candidates[n])
+	}
+	return out
+}
+
+// CandidateFrom returns the candidate learned from the given neighbor.
+func (t *RIB) CandidateFrom(prefix netx.Prefix, neighbor ASN) *Route {
+	if e := t.entries[prefix]; e != nil {
+		return e.candidates[neighbor]
+	}
+	return nil
+}
+
+// Prefixes returns every prefix with at least one route, in Compare order.
+func (t *RIB) Prefixes() []netx.Prefix {
+	out := make([]netx.Prefix, 0, len(t.entries))
+	for p := range t.entries {
+		out = append(out, p)
+	}
+	netx.SortPrefixes(out)
+	return out
+}
+
+// Len returns the number of prefixes in the table.
+func (t *RIB) Len() int { return len(t.entries) }
+
+// NumRoutes returns the total number of candidate routes across prefixes.
+func (t *RIB) NumRoutes() int {
+	n := 0
+	for _, e := range t.entries {
+		n += len(e.candidates)
+	}
+	return n
+}
+
+// EachBest calls fn for every (prefix, best route) pair in Compare order.
+func (t *RIB) EachBest(fn func(netx.Prefix, *Route)) {
+	for _, p := range t.Prefixes() {
+		if b := t.entries[p].best; b != nil {
+			fn(p, b)
+		}
+	}
+}
+
+// BestRoutes returns all best routes in prefix order. The paper observes
+// that best routes suffice for SA-prefix inference; this accessor is what
+// the RouteViews-style collector exports.
+func (t *RIB) BestRoutes() []*Route {
+	out := make([]*Route, 0, len(t.entries))
+	t.EachBest(func(_ netx.Prefix, r *Route) { out = append(out, r) })
+	return out
+}

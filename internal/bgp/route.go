@@ -1,0 +1,116 @@
+package bgp
+
+import (
+	"fmt"
+
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// Origin is the BGP ORIGIN attribute. Lower values are preferred by step 3
+// of the decision process.
+type Origin uint8
+
+// Origin attribute values (RFC 4271 §5.1.1).
+const (
+	OriginIGP        Origin = 0
+	OriginEGP        Origin = 1
+	OriginIncomplete Origin = 2
+)
+
+func (o Origin) String() string {
+	switch o {
+	case OriginIGP:
+		return "IGP"
+	case OriginEGP:
+		return "EGP"
+	case OriginIncomplete:
+		return "incomplete"
+	}
+	return fmt.Sprintf("Origin(%d)", uint8(o))
+}
+
+// OriginCode returns the single-character code IOS prints ("i", "e", "?").
+func (o Origin) OriginCode() byte {
+	switch o {
+	case OriginIGP:
+		return 'i'
+	case OriginEGP:
+		return 'e'
+	default:
+		return '?'
+	}
+}
+
+// DefaultLocalPref is the local preference assigned when import policy does
+// not set one (Cisco default).
+const DefaultLocalPref = 100
+
+// Route is one path to one prefix as seen in an AS's routing table. It
+// bundles the attributes the paper's inference algorithms read: the AS
+// path (and hence next-hop AS and origin AS), local preference, MED,
+// communities, and the eBGP/iBGP + tie-break attributes that the decision
+// process needs.
+type Route struct {
+	// Prefix is the destination.
+	Prefix netx.Prefix
+	// Path is the AS path; Path[0] is the next-hop AS, the last element
+	// the origin AS. Empty for locally originated prefixes.
+	Path Path
+	// NextHop is the IP next hop, used only for table rendering.
+	NextHop uint32
+	// LocalPref ranks routes in step 1 of the decision process. Higher
+	// wins.
+	LocalPref uint32
+	// MED is the multi-exit discriminator; compared (lower wins) only
+	// between routes from the same next-hop AS.
+	MED uint32
+	// Origin is the ORIGIN attribute; lower wins.
+	Origin Origin
+	// Communities carries the route's community attribute.
+	Communities Communities
+	// FromIBGP marks routes learned from an internal peer; eBGP routes
+	// are preferred at step 5.
+	FromIBGP bool
+	// IGPMetric is the metric to the egress router, step 6.
+	IGPMetric uint32
+	// RouterID is the announcing router's ID, the final tie-break.
+	RouterID uint32
+}
+
+// NextHopAS returns the neighbor AS the route was learned from. ok is false
+// for locally originated routes.
+func (r *Route) NextHopAS() (ASN, bool) { return r.Path.First() }
+
+// OriginAS returns the AS that originated the prefix. ok is false for
+// locally originated routes (the origin is the table owner itself).
+func (r *Route) OriginAS() (ASN, bool) { return r.Path.Origin() }
+
+// IsLocal reports whether the route is locally originated (empty AS path).
+func (r *Route) IsLocal() bool { return len(r.Path) == 0 }
+
+// Clone returns a deep copy of r.
+func (r *Route) Clone() *Route {
+	c := *r
+	c.Path = r.Path.Clone()
+	c.Communities = r.Communities.Clone()
+	return &c
+}
+
+// String renders a compact single-line description for diagnostics.
+func (r *Route) String() string {
+	return fmt.Sprintf("%s via [%s] lp=%d med=%d %s", r.Prefix, r.Path, r.LocalPref, r.MED, r.Origin)
+}
+
+// Update is a routing message exchanged during propagation: either an
+// announcement of a route or a withdrawal of a prefix.
+type Update struct {
+	// From is the AS sending the update.
+	From ASN
+	// Withdraw, when true, retracts From's announcement of Prefix.
+	Withdraw bool
+	// Prefix is the destination being withdrawn (set for withdrawals).
+	Prefix netx.Prefix
+	// Route is the announced route as it leaves From, i.e. with From
+	// already prepended to the path (nil for withdrawals).
+	Route *Route
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// Cause analysis for SA prefixes (Section 5.1.5): multihoming
+// distribution (Table 8), prefix splitting and aggregation (Table 9),
+// and the selective-announcing breakdown (Case 3).
+
+// MultihomingResult is one provider's row of Table 8.
+type MultihomingResult struct {
+	Provider bgp.ASN
+	// Multihomed / SingleHomed count distinct origin ASes of SA
+	// prefixes by their provider count in the graph.
+	Multihomed, SingleHomed int
+}
+
+// MultihomedPct returns Table 8's multihomed share.
+func (m MultihomingResult) MultihomedPct() float64 {
+	return pct(m.Multihomed, m.Multihomed+m.SingleHomed)
+}
+
+// ClassifyMultihoming splits the origins of SA prefixes into multihomed
+// (≥2 providers) and single-homed.
+func ClassifyMultihoming(res SAResult, g *asgraph.Graph) MultihomingResult {
+	out := MultihomingResult{Provider: res.Vantage}
+	seen := make(map[bgp.ASN]bool)
+	for _, sa := range res.SA {
+		if seen[sa.Origin] {
+			continue
+		}
+		seen[sa.Origin] = true
+		if g.IsMultihomed(sa.Origin) {
+			out.Multihomed++
+		} else {
+			out.SingleHomed++
+		}
+	}
+	return out
+}
+
+// SplitAggregateResult is one provider's row of Table 9.
+type SplitAggregateResult struct {
+	Provider bgp.ASN
+	// SACount is the SA prefix population.
+	SACount int
+	// Splitting counts SA prefixes in a (specific, covering) pair from
+	// the same origin where the two halves arrive on different route
+	// classes — the paper's Case 1 signature.
+	Splitting int
+	// Aggregating counts SA prefixes covered by a less-specific prefix
+	// from a different origin — the paper's Case 2 upper bound.
+	Aggregating int
+}
+
+// AnalyzeSplitAggregate classifies SA prefixes against the vantage's
+// whole view using a radix trie for covering queries.
+func AnalyzeSplitAggregate(res SAResult, view BestView, g *asgraph.Graph) SplitAggregateResult {
+	out := SplitAggregateResult{Provider: res.Vantage, SACount: len(res.SA)}
+	var trie netx.Trie[bgp.ASN] // prefix → origin
+	for prefix, r := range view.Routes {
+		trie.Insert(prefix, originOf(view, r))
+	}
+	classOf := func(prefix netx.Prefix) asgraph.Relationship {
+		r, ok := view.Routes[prefix]
+		if !ok {
+			return asgraph.RelNone
+		}
+		nh, ok := r.NextHopAS()
+		if !ok {
+			return asgraph.RelNone
+		}
+		return g.Rel(view.AS, nh)
+	}
+	for _, sa := range res.SA {
+		saClass := classOf(sa.Prefix) // peer or provider by construction
+		related := trie.Covering(sa.Prefix)
+		related = append(related, trie.CoveredBy(sa.Prefix)...)
+		split, aggregated := false, false
+		for _, other := range related {
+			if other == sa.Prefix {
+				continue
+			}
+			otherOrigin, _ := trie.Get(other)
+			if otherOrigin == sa.Origin {
+				// Same source AS, different route class: split pair.
+				oc := classOf(other)
+				if oc != asgraph.RelNone && oc != saClass {
+					split = true
+				}
+			} else if other.Contains(sa.Prefix) {
+				// Covered by a different AS's (typically the allocating
+				// provider's) block: aggregation candidate.
+				aggregated = true
+			}
+		}
+		if split {
+			out.Splitting++
+		}
+		if aggregated {
+			out.Aggregating++
+		}
+	}
+	return out
+}
+
+// SelectiveAnnouncingResult is the Case-3 breakdown the paper reports
+// for AS1: of the SA prefixes whose origin-to-provider connectivity is
+// identifiable from observed paths, how many origins export to the
+// direct provider on the relevant side versus withhold.
+type SelectiveAnnouncingResult struct {
+	Provider bgp.ASN
+	// SACount is the SA prefix population.
+	SACount int
+	// Identified counts SA prefixes where observed paths reveal the
+	// origin's export behaviour toward at least one direct provider
+	// (the paper identifies ~90%).
+	Identified int
+	// Exported counts identified prefixes the origin demonstrably
+	// exports to a direct provider on a path containing the provider
+	// adjacent ("left") to the customer (~21% in the paper).
+	Exported int
+	// Withheld counts identified prefixes with no adjacent-provider
+	// evidence on any observed path (~79%).
+	Withheld int
+}
+
+// IdentifiedPct returns the identifiable share.
+func (r SelectiveAnnouncingResult) IdentifiedPct() float64 { return pct(r.Identified, r.SACount) }
+
+// ExportedPct returns the Case-3 "announce to this provider" share.
+func (r SelectiveAnnouncingResult) ExportedPct() float64 { return pct(r.Exported, r.Identified) }
+
+// WithheldPct returns the Case-3 "do not export" share.
+func (r SelectiveAnnouncingResult) WithheldPct() float64 { return pct(r.Withheld, r.Identified) }
+
+// AnalyzeSelectiveAnnouncing asks, for each SA prefix, how the origin
+// connects to the direct providers on the *vantage's* side — the
+// providers through which the vantage would have had a customer path.
+// Observed paths for the prefix give the evidence (Section 5.1.5
+// Case 3, mirroring the paper's Figure 8 reading):
+//
+//   - a path "... d o" with d a vantage-side direct provider of origin
+//     o means o exports the prefix to d ("if the provider is left to
+//     the customer, the customer exports the prefix to the provider");
+//   - a path where d appears but *not* adjacent to o means d reaches
+//     the prefix through someone else — o does not export to d ("if
+//     between the provider and the customer there is an upstream
+//     provider ... the customer does not export");
+//   - a prefix whose vantage-side providers never appear in any
+//     observed path stays unidentified (identification depends on the
+//     collector's peer coverage; the paper identifies ~90% at Oregon).
+func AnalyzeSelectiveAnnouncing(res SAResult, g *asgraph.Graph, pathsByPrefix map[netx.Prefix][]bgp.Path) SelectiveAnnouncingResult {
+	out := SelectiveAnnouncingResult{Provider: res.Vantage, SACount: len(res.SA)}
+	// Vantage-side membership: an AS is on the vantage's side when it is
+	// the vantage itself or inside its customer cone.
+	vantageSide := map[bgp.ASN]bool{res.Vantage: true}
+	for _, c := range g.CustomerCone(res.Vantage) {
+		vantageSide[c] = true
+	}
+	for _, sa := range res.SA {
+		var relevant []bgp.ASN
+		for _, d := range g.Providers(sa.Origin) {
+			if vantageSide[d] {
+				relevant = append(relevant, d)
+			}
+		}
+		if len(relevant) == 0 {
+			continue
+		}
+		relSet := make(map[bgp.ASN]bool, len(relevant))
+		for _, d := range relevant {
+			relSet[d] = true
+		}
+		seen, exported := false, false
+		for _, path := range pathsByPrefix[sa.Prefix] {
+			for i, asn := range path {
+				if !relSet[asn] {
+					continue
+				}
+				seen = true
+				if i+1 < len(path) && path[i+1] == sa.Origin {
+					exported = true
+				}
+			}
+		}
+		if !seen {
+			continue
+		}
+		out.Identified++
+		if exported {
+			out.Exported++
+		} else {
+			out.Withheld++
+		}
+	}
+	return out
+}
+
+// PathsByPrefix builds the observed-path index from a set of vantage
+// tables (candidates included when available). Each path is recorded as
+// the collector would see it: with the table's owner prepended, exactly
+// as the owner prepends itself when announcing to a RouteViews session.
+// The owner's position in paths is what lets the Case-3 analysis see a
+// provider reaching a prefix through someone else.
+func PathsByPrefix(ribs []*bgp.RIB) map[netx.Prefix][]bgp.Path {
+	out := make(map[netx.Prefix][]bgp.Path)
+	seen := make(map[netx.Prefix]map[string]bool)
+	for _, rib := range ribs {
+		for _, prefix := range rib.Prefixes() {
+			for _, r := range rib.Candidates(prefix) {
+				if len(r.Path) == 0 {
+					continue
+				}
+				path := r.Path.Prepend(rib.Owner, 1)
+				k := path.String()
+				if seen[prefix] == nil {
+					seen[prefix] = make(map[string]bool)
+				}
+				if seen[prefix][k] {
+					continue
+				}
+				seen[prefix][k] = true
+				out[prefix] = append(out[prefix], path)
+			}
+		}
+	}
+	return out
+}
+
+// AllPathsOf flattens a path index into a deduplicated path list (the
+// SA-verification input).
+func AllPathsOf(pathsByPrefix map[netx.Prefix][]bgp.Path) []bgp.Path {
+	seen := make(map[string]bool)
+	var out []bgp.Path
+	for _, paths := range pathsByPrefix {
+		for _, p := range paths {
+			k := p.String()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}

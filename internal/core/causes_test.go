@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+func TestClassifyMultihoming(t *testing.T) {
+	g := asgraph.New()
+	for _, err := range []error{
+		g.AddProviderCustomer(1, 10), // 10 multihomed to 1 and 2
+		g.AddProviderCustomer(2, 10),
+		g.AddProviderCustomer(1, 20), // 20 single-homed
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := ClassifyMultihoming(SAResult{
+		Vantage: 1,
+		SA: []SAInfo{
+			{Prefix: netx.MustParsePrefix("20.0.0.0/24"), Origin: 10},
+			{Prefix: netx.MustParsePrefix("20.0.1.0/24"), Origin: 10}, // same origin counted once
+			{Prefix: netx.MustParsePrefix("20.0.2.0/24"), Origin: 20},
+		},
+	}, g)
+	if res.Multihomed != 1 || res.SingleHomed != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.MultihomedPct() != 50 {
+		t.Fatalf("pct = %v", res.MultihomedPct())
+	}
+}
+
+func TestAnalyzeSplitAggregate(t *testing.T) {
+	g := figure5Graph(t)
+	cover := netx.MustParsePrefix("20.1.0.0/23")
+	specific := netx.MustParsePrefix("20.1.0.0/24")
+	foreignCover := netx.MustParsePrefix("20.4.0.0/16")
+	aggregated := netx.MustParsePrefix("20.4.1.0/24")
+	view := BestView{AS: 1, Routes: map[netx.Prefix]*bgp.Route{
+		// Split pair: same origin 6280, covering via customer path,
+		// specific via peer.
+		cover:    route(t, "20.1.0.0/23", "852 6280", 100),
+		specific: route(t, "20.1.0.0/24", "3549 13768 6280", 90),
+		// Aggregation case: SA prefix covered by a different origin's
+		// block (852's).
+		foreignCover: route(t, "20.4.0.0/16", "852", 100),
+		aggregated:   route(t, "20.4.1.0/24", "3549 13768 6280", 90),
+	}}
+	analyzer := &ExportAnalyzer{Graph: g}
+	sa := analyzer.SAPrefixes(view)
+	if len(sa.SA) != 2 {
+		t.Fatalf("SA detection: %+v", sa.SA)
+	}
+	res := AnalyzeSplitAggregate(sa, view, g)
+	if res.SACount != 2 {
+		t.Fatalf("SACount = %d", res.SACount)
+	}
+	if res.Splitting != 1 {
+		t.Fatalf("splitting = %d, want 1", res.Splitting)
+	}
+	if res.Aggregating != 1 {
+		t.Fatalf("aggregating = %d, want 1", res.Aggregating)
+	}
+}
+
+func TestAnalyzeSelectiveAnnouncing(t *testing.T) {
+	// Vantage 1; origin 6280 has providers 852 (on the vantage's side)
+	// and 13768 (on the peer side). Only 852 is relevant to AS1's view.
+	g := figure5Graph(t)
+	p := netx.MustParsePrefix("20.1.0.0/24")
+	q := netx.MustParsePrefix("20.1.1.0/24")
+	u := netx.MustParsePrefix("20.1.2.0/24")
+	sa := SAResult{
+		Vantage: 1,
+		SA: []SAInfo{
+			{Prefix: p, Origin: 6280, NextHop: 3549},
+			{Prefix: q, Origin: 6280, NextHop: 3549},
+			{Prefix: u, Origin: 6280, NextHop: 3549},
+		},
+	}
+	pathsByPrefix := map[netx.Prefix][]bgp.Path{
+		// p: 852 observed immediately left of the origin → exported.
+		p: {mustPath(t, "1 852 6280")},
+		// q: 852 observed reaching the prefix through its own provider
+		// chain (not adjacent to 6280) → withheld.
+		q: {mustPath(t, "852 1 3549 13768 6280")},
+		// u: the vantage-side provider never appears → unidentified.
+		u: {mustPath(t, "3549 13768 6280")},
+	}
+	res := AnalyzeSelectiveAnnouncing(sa, g, pathsByPrefix)
+	if res.SACount != 3 || res.Identified != 2 {
+		t.Fatalf("identified: %+v", res)
+	}
+	if res.Exported != 1 || res.Withheld != 1 {
+		t.Fatalf("split: %+v", res)
+	}
+	if res.ExportedPct() != 50 || res.WithheldPct() != 50 {
+		t.Fatalf("pcts: %+v", res)
+	}
+	if got := res.IdentifiedPct(); got < 66.6 || got > 66.7 {
+		t.Fatalf("identified pct: %v", got)
+	}
+	// Unobserved prefixes: nothing identified.
+	res2 := AnalyzeSelectiveAnnouncing(sa, g, map[netx.Prefix][]bgp.Path{})
+	if res2.Identified != 0 {
+		t.Fatalf("phantom identification: %+v", res2)
+	}
+}
+
+func TestPathsByPrefixAndAllPaths(t *testing.T) {
+	rib1 := bgp.NewRIB(1)
+	rib1.Upsert(10, route(t, "20.0.0.0/24", "10 900", 100))
+	rib1.Upsert(20, route(t, "20.0.0.0/24", "20 900", 90))
+	rib2 := bgp.NewRIB(2)
+	rib2.Upsert(10, route(t, "20.0.0.0/24", "10 900", 100)) // duplicate path
+	rib2.Upsert(30, route(t, "20.0.1.0/24", "30 901", 100))
+
+	idx := PathsByPrefix([]*bgp.RIB{rib1, rib2})
+	if len(idx) != 2 {
+		t.Fatalf("prefixes: %d", len(idx))
+	}
+	// Paths carry the table owner prepended, so rib1's and rib2's copies
+	// of "10 900" become distinct ("1 10 900" and "2 10 900").
+	shared := idx[netx.MustParsePrefix("20.0.0.0/24")]
+	if len(shared) != 3 {
+		t.Fatalf("paths for shared prefix: %d", len(shared))
+	}
+	for _, p := range shared {
+		if first, _ := p.First(); first != 1 && first != 2 {
+			t.Fatalf("owner not prepended: %v", p)
+		}
+	}
+	all := AllPathsOf(idx)
+	if len(all) != 4 {
+		t.Fatalf("all paths: %d", len(all))
+	}
+}

@@ -1,0 +1,91 @@
+// Package core implements the paper's contribution: inference and
+// characterization of Internet routing policies from observable routing
+// state.
+//
+// Section 4 (import policies): local-preference typicality against AS
+// relationships (Tables 2–3) and consistency of local preference with
+// next-hop ASes (Figure 2).
+//
+// Section 5 (export policies): the Figure-4 algorithm detecting
+// selectively announced (SA) prefixes (Tables 5–6), their verification
+// via communities and active customer paths (Tables 4, 7), persistence
+// over time (Figures 6–7), cause analysis — splitting, aggregation,
+// selective announcing (Tables 8–9) — and export-to-peer behaviour
+// (Table 10).
+//
+// Appendix: community-semantics inference from next-hop prefix counts
+// (Figure 9, Table 11).
+//
+// Every analyzer takes the annotated AS graph as an explicit input so
+// the same code runs against ground truth or Gao-inferred relationships
+// (the Section 4.3 error analysis becomes an ablation).
+package core
+
+import (
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// BestView is one vantage AS's best routes: the observable unit of the
+// paper's analyses (a RouteViews peer contributes exactly this; a
+// Looking Glass table contributes this plus candidates).
+type BestView struct {
+	// AS is the vantage AS.
+	AS bgp.ASN
+	// Routes maps each prefix to the vantage's best route.
+	Routes map[netx.Prefix]*bgp.Route
+}
+
+// ViewFromRIB extracts a BestView from a full table.
+func ViewFromRIB(rib *bgp.RIB) BestView {
+	v := BestView{AS: rib.Owner, Routes: make(map[netx.Prefix]*bgp.Route, rib.Len())}
+	rib.EachBest(func(p netx.Prefix, r *bgp.Route) { v.Routes[p] = r })
+	return v
+}
+
+// ViewFromPeerTable extracts the view a collector holds for one of its
+// peers: the candidate each prefix carries from that peer.
+func ViewFromPeerTable(collector *bgp.RIB, peer bgp.ASN) BestView {
+	v := BestView{AS: peer, Routes: make(map[netx.Prefix]*bgp.Route)}
+	for _, prefix := range collector.Prefixes() {
+		if r := collector.CandidateFrom(prefix, peer); r != nil {
+			v.Routes[prefix] = r
+		}
+	}
+	return v
+}
+
+// SortedPrefixes returns the view's prefixes in Compare order.
+func (v BestView) SortedPrefixes() []netx.Prefix {
+	out := make([]netx.Prefix, 0, len(v.Routes))
+	for p := range v.Routes {
+		out = append(out, p)
+	}
+	netx.SortPrefixes(out)
+	return out
+}
+
+// originOf resolves a route's origin AS, treating local routes as
+// originated by the view's own AS.
+func originOf(view BestView, r *bgp.Route) bgp.ASN {
+	if o, ok := r.OriginAS(); ok {
+		return o
+	}
+	return view.AS
+}
+
+// pct renders a ratio as a percentage, guarding the empty denominator.
+func pct(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * float64(num) / float64(den)
+}
+
+// sortASNs sorts in place and returns its argument.
+func sortASNs(asns []bgp.ASN) []bgp.ASN {
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	return asns
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"github.com/policyscope/policyscope/internal/bgp"
+)
+
+// Decision-step characterization: Section 4.1 opens with "BGP default
+// routing policy which selects the route with the shortest AS path
+// length is overridden by routing policies that set local preference."
+// This analysis quantifies the claim: for every prefix with a routing
+// choice, which step of the decision process actually decided it?
+
+// DecisionStats is the distribution of deciding steps for one table.
+type DecisionStats struct {
+	AS bgp.ASN
+	// Contested counts prefixes with at least two candidates.
+	Contested int
+	// ByStep counts contested prefixes by the step separating the best
+	// route from the runner-up (0 = full tie, decided by order).
+	ByStep map[bgp.DecisionStep]int
+}
+
+// Share returns the fraction of contested prefixes decided at step s.
+func (d DecisionStats) Share(s bgp.DecisionStep) float64 {
+	if d.Contested == 0 {
+		return 0
+	}
+	return float64(d.ByStep[s]) / float64(d.Contested)
+}
+
+// AnalyzeDecisions computes, per prefix, the step at which the best
+// route beat the strongest contender (the best of the rest).
+func AnalyzeDecisions(rib *bgp.RIB) DecisionStats {
+	stats := DecisionStats{AS: rib.Owner, ByStep: make(map[bgp.DecisionStep]int)}
+	for _, prefix := range rib.Prefixes() {
+		cands := rib.Candidates(prefix)
+		if len(cands) < 2 {
+			continue
+		}
+		best := rib.Best(prefix)
+		rest := make([]*bgp.Route, 0, len(cands)-1)
+		for _, c := range cands {
+			if c != best {
+				rest = append(rest, c)
+			}
+		}
+		runnerUp := bgp.Best7(rest)
+		if best == nil || runnerUp == nil {
+			continue
+		}
+		stats.Contested++
+		stats.ByStep[bgp.DecidedBy(best, runnerUp)]++
+	}
+	return stats
+}

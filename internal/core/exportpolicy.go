@@ -1,0 +1,210 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// ExportAnalyzer implements the paper's Figure 4: inferring export
+// policies to providers by detecting selectively announced (SA)
+// prefixes from a provider's viewpoint.
+type ExportAnalyzer struct {
+	// Graph supplies the annotated AS graph (Phase 2 of the algorithm
+	// walks provider→customer edges).
+	Graph *asgraph.Graph
+}
+
+// SAInfo describes one SA prefix at a vantage.
+type SAInfo struct {
+	Prefix netx.Prefix
+	// Origin is the customer that originated the prefix.
+	Origin bgp.ASN
+	// NextHop is the non-customer neighbor the best route arrived from.
+	NextHop bgp.ASN
+	// NextHopRel is the vantage's relationship to NextHop (peer or
+	// provider).
+	NextHopRel asgraph.Relationship
+	// Route is the observed best route.
+	Route *bgp.Route
+}
+
+// SAResult aggregates Figure-4 output for one vantage AS — a row of
+// Table 5.
+type SAResult struct {
+	Vantage bgp.ASN
+	// ConePrefixes counts prefixes in the view originated by a direct or
+	// indirect customer of the vantage.
+	ConePrefixes int
+	// SA lists the selectively announced ones (best route via peer or
+	// provider instead of a customer).
+	SA []SAInfo
+}
+
+// SAPct returns the Table 5 percentage.
+func (r SAResult) SAPct() float64 { return pct(len(r.SA), r.ConePrefixes) }
+
+// SAPrefixSet returns the SA prefixes as a set.
+func (r SAResult) SAPrefixSet() map[netx.Prefix]bool {
+	out := make(map[netx.Prefix]bool, len(r.SA))
+	for _, s := range r.SA {
+		out[s.Prefix] = true
+	}
+	return out
+}
+
+// SAPrefixes runs the Figure-4 algorithm over a vantage's best routes:
+//
+//	Phase 2 — is the prefix's origin a (direct or indirect) customer of
+//	the vantage? (customer-cone membership via DFS)
+//	Phase 3 — if so, is the best route's next-hop AS one the vantage is
+//	a provider of? If not, the prefix is selectively announced.
+//
+// Only best routes are needed: the paper argues (Section 5.1.1) that
+// with typical preferences a customer route, when present, is the best
+// route.
+func (a *ExportAnalyzer) SAPrefixes(view BestView) SAResult {
+	res := SAResult{Vantage: view.AS}
+	cone := make(map[bgp.ASN]bool)
+	for _, c := range a.Graph.CustomerCone(view.AS) {
+		cone[c] = true
+	}
+	for _, prefix := range view.SortedPrefixes() {
+		r := view.Routes[prefix]
+		origin := originOf(view, r)
+		if origin == view.AS || !cone[origin] {
+			continue
+		}
+		res.ConePrefixes++
+		nh, ok := r.NextHopAS()
+		if !ok {
+			continue
+		}
+		rel := a.Graph.Rel(view.AS, nh)
+		if rel == asgraph.RelCustomer || rel == asgraph.RelSibling {
+			continue // reached through a customer path: not SA
+		}
+		res.SA = append(res.SA, SAInfo{
+			Prefix:     prefix,
+			Origin:     origin,
+			NextHop:    nh,
+			NextHopRel: rel,
+			Route:      r,
+		})
+	}
+	return res
+}
+
+// CustomerSARow is one row of Table 6: a customer of several providers
+// and how many of its prefixes are SA with respect to any of them.
+type CustomerSARow struct {
+	Customer bgp.ASN
+	// Prefixes counts prefixes the customer originates (as observed).
+	Prefixes int
+	// SACount counts those that are SA for at least one of the target
+	// providers.
+	SACount int
+	// PerProvider breaks SA counts down by provider.
+	PerProvider map[bgp.ASN]int
+}
+
+// SAPct returns the Table 6 percentage.
+func (r CustomerSARow) SAPct() float64 { return pct(r.SACount, r.Prefixes) }
+
+// CustomerView computes Table 6: for customers that are (direct or
+// indirect) customers of every target provider, the share of their
+// prefixes observed as SA at one or more of the providers.
+//
+// views must hold a BestView per target provider. minPrefixes filters
+// for customers "which originate a significant number of prefixes".
+func (a *ExportAnalyzer) CustomerView(views []BestView, minPrefixes int) []CustomerSARow {
+	if len(views) == 0 {
+		return nil
+	}
+	// Customers of every provider.
+	inAll := make(map[bgp.ASN]int)
+	for _, v := range views {
+		for _, c := range a.Graph.CustomerCone(v.AS) {
+			inAll[c]++
+		}
+	}
+	// Observed origin → prefixes (from the union of views).
+	originPrefixes := make(map[bgp.ASN]map[netx.Prefix]bool)
+	for _, v := range views {
+		for prefix, r := range v.Routes {
+			o := originOf(v, r)
+			if originPrefixes[o] == nil {
+				originPrefixes[o] = make(map[netx.Prefix]bool)
+			}
+			originPrefixes[o][prefix] = true
+		}
+	}
+	// SA sets per provider.
+	saByProvider := make(map[bgp.ASN]map[netx.Prefix]bool, len(views))
+	for _, v := range views {
+		saByProvider[v.AS] = a.SAPrefixes(v).SAPrefixSet()
+	}
+
+	var rows []CustomerSARow
+	for customer, n := range inAll {
+		if n != len(views) {
+			continue
+		}
+		prefixes := originPrefixes[customer]
+		if len(prefixes) < minPrefixes {
+			continue
+		}
+		row := CustomerSARow{
+			Customer:    customer,
+			Prefixes:    len(prefixes),
+			PerProvider: make(map[bgp.ASN]int, len(views)),
+		}
+		for prefix := range prefixes {
+			sa := false
+			for provider, set := range saByProvider {
+				if set[prefix] {
+					row.PerProvider[provider]++
+					sa = true
+				}
+			}
+			if sa {
+				row.SACount++
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].SAPct() != rows[j].SAPct() {
+			return rows[i].SAPct() > rows[j].SAPct()
+		}
+		return rows[i].Customer < rows[j].Customer
+	})
+	return rows
+}
+
+// GroundTruthSA computes, from the generator's policy configuration,
+// whether each SA detection corresponds to a real selective-announcement
+// mechanism — used to score the inference, something the paper could
+// not do. The result maps each SA prefix to true when the origin (or an
+// intermediate policy) actually withheld or scoped the prefix.
+type GroundTruth interface {
+	// IsSelectivelyAnnounced reports whether prefix's origin configured
+	// any selective mechanism for it (provider subset, no-upstream tag,
+	// transit exclusion or aggregation upstream).
+	IsSelectivelyAnnounced(prefix netx.Prefix) bool
+}
+
+// ScoreSA compares detected SA prefixes against ground truth, returning
+// (truePositives, falsePositives).
+func ScoreSA(res SAResult, truth GroundTruth) (tp, fp int) {
+	for _, s := range res.SA {
+		if truth.IsSelectivelyAnnounced(s.Prefix) {
+			tp++
+		} else {
+			fp++
+		}
+	}
+	return tp, fp
+}

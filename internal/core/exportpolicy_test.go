@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// figure5Graph reproduces the paper's Figure 5: AS1 and AS3549 are
+// peers; AS852 is AS1's customer; AS6280 is a customer of both AS852 and
+// AS13768; AS13768 is AS3549's customer.
+func figure5Graph(t *testing.T) *asgraph.Graph {
+	t.Helper()
+	g := asgraph.New()
+	for _, err := range []error{
+		g.AddPeer(1, 3549),
+		g.AddProviderCustomer(1, 852),
+		g.AddProviderCustomer(852, 6280),
+		g.AddProviderCustomer(3549, 13768),
+		g.AddProviderCustomer(13768, 6280),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestSAPrefixesFigure5(t *testing.T) {
+	g := figure5Graph(t)
+	p := netx.MustParsePrefix("20.1.0.0/24")
+	// AS1's best route to p (originated by its indirect customer AS6280)
+	// arrives via its peer AS3549: the paper's canonical SA prefix.
+	view := BestView{AS: 1, Routes: map[netx.Prefix]*bgp.Route{
+		p: route(t, "20.1.0.0/24", "3549 13768 6280", 90),
+	}}
+	res := (&ExportAnalyzer{Graph: g}).SAPrefixes(view)
+	if res.ConePrefixes != 1 || len(res.SA) != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	sa := res.SA[0]
+	if sa.Origin != 6280 || sa.NextHop != 3549 || sa.NextHopRel != asgraph.RelPeer {
+		t.Fatalf("SA info: %+v", sa)
+	}
+	if res.SAPct() != 100 {
+		t.Fatalf("pct = %v", res.SAPct())
+	}
+	if !res.SAPrefixSet()[p] {
+		t.Fatal("SAPrefixSet missing the prefix")
+	}
+}
+
+func TestSAPrefixesCustomerRouteNotSA(t *testing.T) {
+	g := figure5Graph(t)
+	p := netx.MustParsePrefix("20.1.0.0/24")
+	view := BestView{AS: 1, Routes: map[netx.Prefix]*bgp.Route{
+		p: route(t, "20.1.0.0/24", "852 6280", 100),
+	}}
+	res := (&ExportAnalyzer{Graph: g}).SAPrefixes(view)
+	if res.ConePrefixes != 1 || len(res.SA) != 0 {
+		t.Fatalf("customer route misclassified: %+v", res)
+	}
+}
+
+func TestSAPrefixesIgnoresNonConeAndOwn(t *testing.T) {
+	g := figure5Graph(t)
+	own := netx.MustParsePrefix("20.2.0.0/24")
+	foreign := netx.MustParsePrefix("20.3.0.0/24")
+	view := BestView{AS: 1, Routes: map[netx.Prefix]*bgp.Route{
+		// Locally originated.
+		own: {Prefix: own, LocalPref: 1 << 20},
+		// Originated by the peer itself (not in AS1's cone).
+		foreign: route(t, "20.3.0.0/24", "3549", 90),
+	}}
+	res := (&ExportAnalyzer{Graph: g}).SAPrefixes(view)
+	if res.ConePrefixes != 0 || len(res.SA) != 0 {
+		t.Fatalf("non-cone prefixes counted: %+v", res)
+	}
+}
+
+func TestCustomerView(t *testing.T) {
+	// Two providers (1, 2) sharing customer 50 (via intermediate chains)
+	// and a second customer 60 below only provider 1.
+	g := asgraph.New()
+	for _, err := range []error{
+		g.AddPeer(1, 2),
+		g.AddProviderCustomer(1, 50),
+		g.AddProviderCustomer(2, 50),
+		g.AddProviderCustomer(1, 60),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pa := netx.MustParsePrefix("20.1.0.0/24")
+	pb := netx.MustParsePrefix("20.1.1.0/24")
+	pc := netx.MustParsePrefix("20.2.0.0/24")
+	views := []BestView{
+		{AS: 1, Routes: map[netx.Prefix]*bgp.Route{
+			pa: route(t, "20.1.0.0/24", "50", 100),  // direct customer route
+			pb: route(t, "20.1.1.0/24", "2 50", 90), // SA at 1
+			pc: route(t, "20.2.0.0/24", "60", 100),  // customer 60
+		}},
+		{AS: 2, Routes: map[netx.Prefix]*bgp.Route{
+			pa: route(t, "20.1.0.0/24", "50", 100),
+			pb: route(t, "20.1.1.0/24", "50", 100),
+		}},
+	}
+	rows := (&ExportAnalyzer{Graph: g}).CustomerView(views, 1)
+	// Customer 60 is not below provider 2 → excluded. Customer 50 has 2
+	// prefixes, pb SA at provider 1 only.
+	if len(rows) != 1 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	row := rows[0]
+	if row.Customer != 50 || row.Prefixes != 2 || row.SACount != 1 {
+		t.Fatalf("row: %+v", row)
+	}
+	if row.PerProvider[1] != 1 || row.PerProvider[2] != 0 {
+		t.Fatalf("per-provider: %+v", row.PerProvider)
+	}
+	if row.SAPct() != 50 {
+		t.Fatalf("pct = %v", row.SAPct())
+	}
+	// minPrefixes filter.
+	if got := (&ExportAnalyzer{Graph: g}).CustomerView(views, 3); len(got) != 0 {
+		t.Fatalf("minPrefixes filter failed: %+v", got)
+	}
+	if got := (&ExportAnalyzer{Graph: g}).CustomerView(nil, 1); got != nil {
+		t.Fatal("empty views must yield nil")
+	}
+}
+
+type fakeTruth map[netx.Prefix]bool
+
+func (f fakeTruth) IsSelectivelyAnnounced(p netx.Prefix) bool { return f[p] }
+
+func TestScoreSA(t *testing.T) {
+	pa := netx.MustParsePrefix("20.1.0.0/24")
+	pb := netx.MustParsePrefix("20.1.1.0/24")
+	res := SAResult{SA: []SAInfo{{Prefix: pa}, {Prefix: pb}}}
+	tp, fp := ScoreSA(res, fakeTruth{pa: true})
+	if tp != 1 || fp != 1 {
+		t.Fatalf("tp/fp = %d/%d", tp, fp)
+	}
+}
+
+func TestViewFromRIBAndPeerTable(t *testing.T) {
+	rib := bgp.NewRIB(7)
+	rib.Upsert(10, route(t, "20.0.0.0/24", "10 900", 100))
+	rib.Upsert(20, route(t, "20.0.0.0/24", "20 900", 90))
+	v := ViewFromRIB(rib)
+	if v.AS != 7 || len(v.Routes) != 1 {
+		t.Fatalf("view: %+v", v)
+	}
+	if nh, _ := v.Routes[netx.MustParsePrefix("20.0.0.0/24")].NextHopAS(); nh != 10 {
+		t.Fatalf("best not taken: %v", nh)
+	}
+	collector := bgp.NewRIB(0)
+	collector.Upsert(10, route(t, "20.0.0.0/24", "10 900", 100))
+	collector.Upsert(20, route(t, "20.0.0.0/24", "20 5 900", 100))
+	pv := ViewFromPeerTable(collector, 20)
+	if pv.AS != 20 || len(pv.Routes) != 1 {
+		t.Fatalf("peer view: %+v", pv)
+	}
+	if got := pv.Routes[netx.MustParsePrefix("20.0.0.0/24")].Path.String(); got != "20 5 900" {
+		t.Fatalf("peer route: %v", got)
+	}
+	if got := v.SortedPrefixes(); len(got) != 1 {
+		t.Fatalf("SortedPrefixes: %v", got)
+	}
+}

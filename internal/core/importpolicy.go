@@ -1,0 +1,267 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/ibgp"
+	"github.com/policyscope/policyscope/internal/irr"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// ImportAnalyzer infers import policies (Section 4) from full vantage
+// tables, which expose local preference on every candidate route.
+type ImportAnalyzer struct {
+	// Graph supplies AS relationships (ground truth or inferred).
+	Graph *asgraph.Graph
+}
+
+// TypicalityResult is one AS's row of Table 2: how often the observed
+// local preferences conform to customer > peer > provider.
+type TypicalityResult struct {
+	AS bgp.ASN
+	// Comparable counts prefixes carrying candidate routes from at least
+	// two different relationship classes (only those can violate or
+	// confirm the order).
+	Comparable int
+	// Typical counts comparable prefixes whose class preferences are
+	// ordered customer > peer > provider (ties break the order).
+	Typical int
+	// AtypicalPrefixes lists the violating prefixes.
+	AtypicalPrefixes []netx.Prefix
+}
+
+// TypicalPct returns the Table 2 percentage.
+func (r TypicalityResult) TypicalPct() float64 { return pct(r.Typical, r.Comparable) }
+
+// Typicality scans a full table. For every prefix with candidates from
+// more than one relationship class it checks the pairwise order: every
+// customer-route preference must exceed every peer- and provider-route
+// preference, and every peer-route preference must exceed every
+// provider-route preference.
+func (a *ImportAnalyzer) Typicality(rib *bgp.RIB) TypicalityResult {
+	res := TypicalityResult{AS: rib.Owner}
+	for _, prefix := range rib.Prefixes() {
+		var cust, peer, prov []uint32
+		for _, r := range rib.Candidates(prefix) {
+			nh, ok := r.NextHopAS()
+			if !ok {
+				continue // locally originated
+			}
+			switch a.Graph.Rel(rib.Owner, nh) {
+			case asgraph.RelCustomer:
+				cust = append(cust, r.LocalPref)
+			case asgraph.RelPeer:
+				peer = append(peer, r.LocalPref)
+			case asgraph.RelProvider:
+				prov = append(prov, r.LocalPref)
+			}
+		}
+		classes := 0
+		for _, s := range [][]uint32{cust, peer, prov} {
+			if len(s) > 0 {
+				classes++
+			}
+		}
+		if classes < 2 {
+			continue
+		}
+		res.Comparable++
+		if minOf(cust) > maxOf(peer) && minOf(cust) > maxOf(prov) && minOf(peer) > maxOf(prov) {
+			res.Typical++
+		} else {
+			res.AtypicalPrefixes = append(res.AtypicalPrefixes, prefix)
+		}
+	}
+	return res
+}
+
+// minOf returns the minimum, or the max uint32 for an empty slice so a
+// missing class never breaks an ordering check.
+func minOf(s []uint32) uint32 {
+	if len(s) == 0 {
+		return ^uint32(0)
+	}
+	m := s[0]
+	for _, v := range s[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// maxOf returns the maximum, or 0 for an empty slice.
+func maxOf(s []uint32) uint32 {
+	var m uint32
+	for _, v := range s {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ConsistencyResult is one AS's (or router's) bar of Figure 2: the share
+// of prefixes whose local preference is the one implied by the next-hop
+// AS.
+type ConsistencyResult struct {
+	AS bgp.ASN
+	// Router is the router index for per-router views (0 for AS-level).
+	Router int
+	// Prefixes counts candidate routes examined.
+	Prefixes int
+	// NextHopKeyed counts routes whose preference equals their
+	// neighbor's dominant (modal) preference.
+	NextHopKeyed int
+}
+
+// Pct returns the Figure 2 percentage.
+func (r ConsistencyResult) Pct() float64 { return pct(r.NextHopKeyed, r.Prefixes) }
+
+// NextHopConsistency measures, per neighbor, the modal local preference
+// and counts how many routes carry it. ASes that key policy on the next
+// hop produce near-100% shares; per-prefix configuration pulls the share
+// down (Figure 2a).
+func (a *ImportAnalyzer) NextHopConsistency(rib *bgp.RIB) ConsistencyResult {
+	type nbStats struct {
+		counts map[uint32]int
+		total  int
+	}
+	perNb := make(map[bgp.ASN]*nbStats)
+	for _, prefix := range rib.Prefixes() {
+		for _, r := range rib.Candidates(prefix) {
+			nh, ok := r.NextHopAS()
+			if !ok {
+				continue
+			}
+			st := perNb[nh]
+			if st == nil {
+				st = &nbStats{counts: make(map[uint32]int)}
+				perNb[nh] = st
+			}
+			st.counts[r.LocalPref]++
+			st.total++
+		}
+	}
+	res := ConsistencyResult{AS: rib.Owner}
+	for _, st := range perNb {
+		mode := 0
+		for _, c := range st.counts {
+			if c > mode {
+				mode = c
+			}
+		}
+		res.Prefixes += st.total
+		res.NextHopKeyed += mode
+	}
+	return res
+}
+
+// RouterConsistency runs NextHopConsistency per border router of a
+// multi-router AS, over eBGP candidates only (Figure 2b).
+func (a *ImportAnalyzer) RouterConsistency(m *ibgp.MultiRouterAS) []ConsistencyResult {
+	out := make([]ConsistencyResult, 0, len(m.Routers))
+	for _, router := range m.Routers {
+		type nbStats struct {
+			counts map[uint32]int
+			total  int
+		}
+		perNb := make(map[bgp.ASN]*nbStats)
+		for _, prefix := range router.Table.Prefixes() {
+			for _, r := range router.EBGPCandidates(prefix) {
+				nh, ok := r.NextHopAS()
+				if !ok {
+					continue
+				}
+				st := perNb[nh]
+				if st == nil {
+					st = &nbStats{counts: make(map[uint32]int)}
+					perNb[nh] = st
+				}
+				st.counts[r.LocalPref]++
+				st.total++
+			}
+		}
+		res := ConsistencyResult{AS: m.AS, Router: router.ID}
+		for _, st := range perNb {
+			mode := 0
+			for _, c := range st.counts {
+				if c > mode {
+					mode = c
+				}
+			}
+			res.Prefixes += st.total
+			res.NextHopKeyed += mode
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// IRRTypicalityResult is one AS's row of Table 3.
+type IRRTypicalityResult struct {
+	AS bgp.ASN
+	// Neighbors counts import lines with pref actions and a known
+	// relationship.
+	Neighbors int
+	// ComparablePairs counts neighbor pairs from different classes.
+	ComparablePairs int
+	// TypicalPairs counts pairs ordered customer > peer > provider
+	// (remembering RPSL pref inverts: smaller pref = more preferred).
+	TypicalPairs int
+}
+
+// TypicalPct returns the Table 3 percentage.
+func (r IRRTypicalityResult) TypicalPct() float64 {
+	return pct(r.TypicalPairs, r.ComparablePairs)
+}
+
+// IRRTypicality reproduces the Table 3 pipeline: discard stale objects,
+// keep ASes with at least minNeighbors known-relationship import lines,
+// and measure pairwise preference typicality.
+func IRRTypicality(db *irr.Database, g *asgraph.Graph, minDate, minNeighbors int) []IRRTypicalityResult {
+	fresh := db.FilterFresh(minDate)
+	var out []IRRTypicalityResult
+	for _, obj := range fresh.Objects {
+		prefs := obj.NeighborsWithPref()
+		type entry struct {
+			rel asgraph.Relationship
+			lp  uint32
+		}
+		var entries []entry
+		for nb, lp := range prefs {
+			rel := g.Rel(obj.ASN, nb)
+			if rel == asgraph.RelCustomer || rel == asgraph.RelPeer || rel == asgraph.RelProvider {
+				entries = append(entries, entry{rel, lp})
+			}
+		}
+		if len(entries) < minNeighbors {
+			continue
+		}
+		res := IRRTypicalityResult{AS: obj.ASN, Neighbors: len(entries)}
+		rank := map[asgraph.Relationship]int{
+			asgraph.RelCustomer: 3, asgraph.RelPeer: 2, asgraph.RelProvider: 1,
+		}
+		for i := 0; i < len(entries); i++ {
+			for j := i + 1; j < len(entries); j++ {
+				a, b := entries[i], entries[j]
+				if a.rel == b.rel {
+					continue
+				}
+				res.ComparablePairs++
+				// Typical: higher-ranked class has strictly higher
+				// localpref (equivalently strictly smaller RPSL pref).
+				if (rank[a.rel] > rank[b.rel]) == (a.lp > b.lp) && a.lp != b.lp {
+					res.TypicalPairs++
+				}
+			}
+		}
+		if res.ComparablePairs > 0 {
+			out = append(out, res)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AS < out[j].AS })
+	return out
+}

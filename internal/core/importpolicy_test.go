@@ -1,0 +1,168 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/irr"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// testGraph: vantage 100 with customer 10, peer 20, provider 30.
+func testGraph(t *testing.T) *asgraph.Graph {
+	t.Helper()
+	g := asgraph.New()
+	for _, err := range []error{
+		g.AddProviderCustomer(100, 10),
+		g.AddPeer(100, 20),
+		g.AddProviderCustomer(30, 100),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func route(t *testing.T, prefix, path string, lp uint32) *bgp.Route {
+	t.Helper()
+	p, err := bgp.ParsePath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &bgp.Route{Prefix: netx.MustParsePrefix(prefix), Path: p, LocalPref: lp}
+}
+
+func TestTypicality(t *testing.T) {
+	g := testGraph(t)
+	rib := bgp.NewRIB(100)
+	// Prefix A: customer 100 > peer 90 — typical.
+	rib.Upsert(10, route(t, "20.0.0.0/24", "10 900", 100))
+	rib.Upsert(20, route(t, "20.0.0.0/24", "20 900", 90))
+	// Prefix B: provider 95 > customer 80 — atypical.
+	rib.Upsert(10, route(t, "20.0.1.0/24", "10 901", 80))
+	rib.Upsert(30, route(t, "20.0.1.0/24", "30 901", 95))
+	// Prefix C: only one class — not comparable.
+	rib.Upsert(20, route(t, "20.0.2.0/24", "20 902", 90))
+	// Prefix D: tie between peer and provider — atypical ("not lower").
+	rib.Upsert(20, route(t, "20.0.3.0/24", "20 903", 85))
+	rib.Upsert(30, route(t, "20.0.3.0/24", "30 903", 85))
+
+	res := (&ImportAnalyzer{Graph: g}).Typicality(rib)
+	if res.Comparable != 3 {
+		t.Fatalf("comparable = %d, want 3", res.Comparable)
+	}
+	if res.Typical != 1 {
+		t.Fatalf("typical = %d, want 1", res.Typical)
+	}
+	if len(res.AtypicalPrefixes) != 2 {
+		t.Fatalf("atypical prefixes: %v", res.AtypicalPrefixes)
+	}
+	if got := res.TypicalPct(); got < 33.3 || got > 33.4 {
+		t.Fatalf("pct = %v", got)
+	}
+}
+
+func TestTypicalityEmptyAndLocal(t *testing.T) {
+	g := testGraph(t)
+	rib := bgp.NewRIB(100)
+	rib.Upsert(100, &bgp.Route{Prefix: netx.MustParsePrefix("20.0.0.0/24"), LocalPref: 1 << 20})
+	res := (&ImportAnalyzer{Graph: g}).Typicality(rib)
+	if res.Comparable != 0 || res.TypicalPct() != 0 {
+		t.Fatalf("local-only table: %+v", res)
+	}
+}
+
+func TestNextHopConsistency(t *testing.T) {
+	g := testGraph(t)
+	rib := bgp.NewRIB(100)
+	// Neighbor 10: three routes at 100, one deviating at 102.
+	rib.Upsert(10, route(t, "20.0.0.0/24", "10 900", 100))
+	rib.Upsert(10, route(t, "20.0.1.0/24", "10 901", 100))
+	rib.Upsert(10, route(t, "20.0.2.0/24", "10 902", 100))
+	rib.Upsert(10, route(t, "20.0.3.0/24", "10 903", 102))
+	// Neighbor 20: perfectly consistent.
+	rib.Upsert(20, route(t, "20.0.0.0/24", "20 900", 90))
+	rib.Upsert(20, route(t, "20.0.1.0/24", "20 901", 90))
+
+	res := (&ImportAnalyzer{Graph: g}).NextHopConsistency(rib)
+	if res.Prefixes != 6 {
+		t.Fatalf("prefixes = %d", res.Prefixes)
+	}
+	if res.NextHopKeyed != 5 {
+		t.Fatalf("next-hop keyed = %d, want 5 (3 of 4 + 2 of 2)", res.NextHopKeyed)
+	}
+	if got := res.Pct(); got < 83.3 || got > 83.4 {
+		t.Fatalf("pct = %v", got)
+	}
+}
+
+func TestIRRTypicality(t *testing.T) {
+	g := testGraph(t)
+	text := `aut-num: AS100
+import: from AS10 action pref = ` + itoa(irr.PrefFromLocalPref(100)) + `; accept ANY
+import: from AS20 action pref = ` + itoa(irr.PrefFromLocalPref(90)) + `; accept ANY
+import: from AS30 action pref = ` + itoa(irr.PrefFromLocalPref(80)) + `; accept ANY
+changed: noc@as100 20021001
+source: RADB
+
+aut-num: AS200
+import: from AS10 action pref = 1; accept ANY
+changed: noc@as200 20010101
+source: RADB
+`
+	db, err := irr.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := IRRTypicality(db, g, 20020101, 2)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v (stale AS200 must be dropped)", rows)
+	}
+	row := rows[0]
+	if row.AS != 100 || row.Neighbors != 3 || row.ComparablePairs != 3 {
+		t.Fatalf("row: %+v", row)
+	}
+	if row.TypicalPairs != 3 || row.TypicalPct() != 100 {
+		t.Fatalf("typicality: %+v", row)
+	}
+}
+
+func TestIRRTypicalityAtypical(t *testing.T) {
+	g := testGraph(t)
+	// Provider pref better (smaller) than customer: atypical pair.
+	text := `aut-num: AS100
+import: from AS10 action pref = 920; accept ANY
+import: from AS30 action pref = 900; accept ANY
+changed: noc@as100 20021001
+source: RADB
+`
+	db, err := irr.Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := IRRTypicality(db, g, 20020101, 2)
+	if len(rows) != 1 || rows[0].TypicalPairs != 0 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	// minNeighbors filter.
+	if got := IRRTypicality(db, g, 20020101, 3); len(got) != 0 {
+		t.Fatalf("minNeighbors filter failed: %+v", got)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// Export-to-peer analysis (Section 5.2, Table 10): do peers announce
+// their own prefixes directly to other peers?
+
+// PeerExportRow details one peer of the vantage.
+type PeerExportRow struct {
+	Peer bgp.ASN
+	// OwnPrefixes counts prefixes the peer originates, as observed
+	// anywhere in the supplied views.
+	OwnPrefixes int
+	// Direct counts those the vantage received with the peer as next
+	// hop (a direct announcement).
+	Direct int
+}
+
+// ExportsAll reports whether the peer announced every known prefix
+// directly.
+func (r PeerExportRow) ExportsAll() bool {
+	return r.OwnPrefixes > 0 && r.Direct == r.OwnPrefixes
+}
+
+// DirectPct returns the directly announced share.
+func (r PeerExportRow) DirectPct() float64 { return pct(r.Direct, r.OwnPrefixes) }
+
+// PeerExportResult is one vantage's row of Table 10.
+type PeerExportResult struct {
+	Vantage bgp.ASN
+	Rows    []PeerExportRow
+}
+
+// Announcing counts peers that export all their prefixes directly; the
+// Table 10 numerator.
+func (r PeerExportResult) Announcing() int {
+	n := 0
+	for _, row := range r.Rows {
+		if row.ExportsAll() {
+			n++
+		}
+	}
+	return n
+}
+
+// AnnouncingPct returns the Table 10 percentage.
+func (r PeerExportResult) AnnouncingPct() float64 { return pct(r.Announcing(), len(r.Rows)) }
+
+// AnalyzePeerExport checks, for each peer of the vantage, whether the
+// peer's own prefixes arrive at the vantage directly from that peer.
+//
+// The peer's prefix set is estimated from observation, as the paper
+// does: a prefix belongs to the peer when some view shows the peer as
+// its origin. originUniverse supplies that global view (e.g. the
+// union of all vantage views); the vantage's own view supplies the
+// directness check.
+func AnalyzePeerExport(view BestView, g *asgraph.Graph, originUniverse map[netx.Prefix]bgp.ASN) PeerExportResult {
+	res := PeerExportResult{Vantage: view.AS}
+	peers := g.Peers(view.AS)
+	prefixesOf := make(map[bgp.ASN][]netx.Prefix)
+	for prefix, origin := range originUniverse {
+		prefixesOf[origin] = append(prefixesOf[origin], prefix)
+	}
+	for _, peer := range peers {
+		own := prefixesOf[peer]
+		if len(own) == 0 {
+			continue // nothing observable for this peer
+		}
+		row := PeerExportRow{Peer: peer, OwnPrefixes: len(own)}
+		for _, prefix := range own {
+			r, ok := view.Routes[prefix]
+			if !ok {
+				continue
+			}
+			if nh, ok := r.NextHopAS(); ok && nh == peer {
+				row.Direct++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Peer < res.Rows[j].Peer })
+	return res
+}
+
+// OriginUniverse builds the prefix→origin map from a set of views,
+// ignoring conflicts (first observation wins; conflicting origins are
+// rare and correspond to MOAS prefixes).
+func OriginUniverse(views []BestView) map[netx.Prefix]bgp.ASN {
+	out := make(map[netx.Prefix]bgp.ASN)
+	for _, v := range views {
+		for prefix, r := range v.Routes {
+			if _, done := out[prefix]; !done {
+				out[prefix] = originOf(v, r)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+func TestAnalyzePeerExport(t *testing.T) {
+	g := asgraph.New()
+	for _, err := range []error{
+		g.AddPeer(1, 20),
+		g.AddPeer(1, 30),
+		g.AddPeer(1, 40),
+		g.AddProviderCustomer(1, 50),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pa := netx.MustParsePrefix("20.0.0.0/24") // peer 20's, announced directly
+	pb := netx.MustParsePrefix("20.0.1.0/24") // peer 20's, announced directly
+	pc := netx.MustParsePrefix("20.1.0.0/24") // peer 30's, arrives via 20!
+	pd := netx.MustParsePrefix("20.2.0.0/24") // peer 40's, absent at vantage
+
+	view := BestView{AS: 1, Routes: map[netx.Prefix]*bgp.Route{
+		pa: route(t, "20.0.0.0/24", "20", 90),
+		pb: route(t, "20.0.1.0/24", "20", 90),
+		pc: route(t, "20.1.0.0/24", "20 30", 90),
+	}}
+	universe := map[netx.Prefix]bgp.ASN{pa: 20, pb: 20, pc: 30, pd: 40}
+
+	res := AnalyzePeerExport(view, g, universe)
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %+v", res.Rows)
+	}
+	byPeer := map[bgp.ASN]PeerExportRow{}
+	for _, row := range res.Rows {
+		byPeer[row.Peer] = row
+	}
+	if row := byPeer[20]; !row.ExportsAll() || row.Direct != 2 {
+		t.Fatalf("peer 20: %+v", row)
+	}
+	if row := byPeer[30]; row.ExportsAll() || row.Direct != 0 {
+		t.Fatalf("peer 30: %+v", row)
+	}
+	if row := byPeer[40]; row.ExportsAll() || row.DirectPct() != 0 {
+		t.Fatalf("peer 40: %+v", row)
+	}
+	if res.Announcing() != 1 {
+		t.Fatalf("announcing = %d", res.Announcing())
+	}
+	if got := res.AnnouncingPct(); got < 33.3 || got > 33.4 {
+		t.Fatalf("pct = %v", got)
+	}
+}
+
+func TestOriginUniverse(t *testing.T) {
+	pa := netx.MustParsePrefix("20.0.0.0/24")
+	local := netx.MustParsePrefix("20.9.0.0/24")
+	views := []BestView{
+		{AS: 1, Routes: map[netx.Prefix]*bgp.Route{
+			pa:    route(t, "20.0.0.0/24", "20 900", 90),
+			local: {Prefix: local, LocalPref: 1 << 20}, // AS1's own
+		}},
+		{AS: 2, Routes: map[netx.Prefix]*bgp.Route{
+			pa: route(t, "20.0.0.0/24", "30 901", 90), // conflicting origin: first wins
+		}},
+	}
+	u := OriginUniverse(views)
+	if u[pa] != 900 {
+		t.Fatalf("origin of %v = %v", pa, u[pa])
+	}
+	if u[local] != 1 {
+		t.Fatalf("local origin = %v, want the view's own AS", u[local])
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// Persistence analysis (Section 5.1.4, Figures 6–7): how SA prefixes
+// evolve across collection epochs.
+
+// EpochPoint is one point of Figure 6: a snapshot's totals for one
+// vantage.
+type EpochPoint struct {
+	// Time is the snapshot timestamp.
+	Time uint32
+	// AllPrefixes counts prefixes in the vantage's view.
+	AllPrefixes int
+	// ConePrefixes counts customer-cone-originated prefixes.
+	ConePrefixes int
+	// SAPrefixes counts selectively announced ones.
+	SAPrefixes int
+}
+
+// PersistenceResult aggregates a series for one vantage.
+type PersistenceResult struct {
+	// Vantage is the AS whose view the series tracks.
+	Vantage bgp.ASN
+	// Points holds one entry per epoch, in time order.
+	Points []EpochPoint
+	// Uptime[p] counts epochs where prefix p appeared in the view.
+	Uptime map[netx.Prefix]int
+	// SAUptime[p] counts epochs where p was SA.
+	SAUptime map[netx.Prefix]int
+	// Epochs is the series length (max possible uptime).
+	Epochs int
+}
+
+// AnalyzePersistence runs the Figure-4 SA detection on each epoch's view
+// and accumulates uptime counters. views must be time-ordered and all
+// belong to the same vantage AS; times must parallel views.
+func AnalyzePersistence(a *ExportAnalyzer, views []BestView, times []uint32) PersistenceResult {
+	res := PersistenceResult{
+		Uptime:   make(map[netx.Prefix]int),
+		SAUptime: make(map[netx.Prefix]int),
+		Epochs:   len(views),
+	}
+	if len(views) == 0 {
+		return res
+	}
+	res.Vantage = views[0].AS
+	for i, view := range views {
+		sa := a.SAPrefixes(view)
+		point := EpochPoint{
+			AllPrefixes:  len(view.Routes),
+			ConePrefixes: sa.ConePrefixes,
+			SAPrefixes:   len(sa.SA),
+		}
+		if i < len(times) {
+			point.Time = times[i]
+		}
+		for p := range view.Routes {
+			res.Uptime[p]++
+		}
+		for _, s := range sa.SA {
+			res.SAUptime[s.Prefix]++
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res
+}
+
+// UptimeBucket is one x-position of Figure 7: prefixes with a given
+// uptime split into those that stayed SA whenever present versus those
+// that shifted between SA and non-SA.
+type UptimeBucket struct {
+	// Uptime is the number of epochs the prefixes were present.
+	Uptime int
+	// RemainingSA counts prefixes whose SA-uptime equals their uptime.
+	RemainingSA int
+	// Shifting counts prefixes that were SA in some epochs but not all
+	// the epochs they were present ("shift from SA prefix to non-SA").
+	Shifting int
+}
+
+// UptimeHistogram computes Figure 7's two series over every prefix that
+// was ever SA.
+func (r PersistenceResult) UptimeHistogram() []UptimeBucket {
+	buckets := make([]UptimeBucket, r.Epochs+1)
+	for i := range buckets {
+		buckets[i].Uptime = i
+	}
+	for p, saUp := range r.SAUptime {
+		up := r.Uptime[p]
+		if up == 0 || up > r.Epochs {
+			continue
+		}
+		if saUp == up {
+			buckets[up].RemainingSA++
+		} else {
+			buckets[up].Shifting++
+		}
+	}
+	return buckets[1:]
+}
+
+// ShiftingShare returns the fraction of ever-SA prefixes that shifted —
+// the paper observes "about one sixth of SA prefixes are not stable
+// during one month, but most of them are stable during one day".
+func (r PersistenceResult) ShiftingShare() float64 {
+	shifting, total := 0, 0
+	for p, saUp := range r.SAUptime {
+		total++
+		if saUp != r.Uptime[p] {
+			shifting++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(shifting) / float64(total)
+}

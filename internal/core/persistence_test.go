@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+func TestAnalyzePersistence(t *testing.T) {
+	g := figure5Graph(t)
+	a := &ExportAnalyzer{Graph: g}
+	p := netx.MustParsePrefix("20.1.0.0/24")
+	q := netx.MustParsePrefix("20.1.1.0/24")
+
+	saRoute := func() *bgp.Route { return route(t, "20.1.0.0/24", "3549 13768 6280", 90) }
+	custRoute := func() *bgp.Route { return route(t, "20.1.0.0/24", "852 6280", 100) }
+	qRoute := func() *bgp.Route {
+		r := route(t, "20.1.1.0/24", "852 6280", 100)
+		return r
+	}
+
+	// Epoch 0: p SA, q customer. Epoch 1: p customer, q customer.
+	// Epoch 2: p SA, q absent.
+	views := []BestView{
+		{AS: 1, Routes: map[netx.Prefix]*bgp.Route{p: saRoute(), q: qRoute()}},
+		{AS: 1, Routes: map[netx.Prefix]*bgp.Route{p: custRoute(), q: qRoute()}},
+		{AS: 1, Routes: map[netx.Prefix]*bgp.Route{p: saRoute()}},
+	}
+	res := AnalyzePersistence(a, views, []uint32{100, 200, 300})
+	if res.Epochs != 3 || len(res.Points) != 3 {
+		t.Fatalf("epochs: %+v", res)
+	}
+	if res.Points[0].SAPrefixes != 1 || res.Points[1].SAPrefixes != 0 || res.Points[2].SAPrefixes != 1 {
+		t.Fatalf("SA series: %+v", res.Points)
+	}
+	if res.Points[0].AllPrefixes != 2 || res.Points[2].AllPrefixes != 1 {
+		t.Fatalf("all series: %+v", res.Points)
+	}
+	if res.Points[1].Time != 200 {
+		t.Fatalf("times: %+v", res.Points)
+	}
+	if res.Uptime[p] != 3 || res.Uptime[q] != 2 {
+		t.Fatalf("uptime: %+v", res.Uptime)
+	}
+	if res.SAUptime[p] != 2 {
+		t.Fatalf("SA uptime: %+v", res.SAUptime)
+	}
+	// p shifted (SA 2 of 3 present epochs); q never SA → not tracked.
+	if res.ShiftingShare() != 1 {
+		t.Fatalf("shifting share = %v", res.ShiftingShare())
+	}
+	hist := res.UptimeHistogram()
+	if len(hist) != 3 {
+		t.Fatalf("histogram: %+v", hist)
+	}
+	if hist[2].Uptime != 3 || hist[2].Shifting != 1 || hist[2].RemainingSA != 0 {
+		t.Fatalf("bucket 3: %+v", hist[2])
+	}
+}
+
+func TestAnalyzePersistenceStableSA(t *testing.T) {
+	g := figure5Graph(t)
+	a := &ExportAnalyzer{Graph: g}
+	p := netx.MustParsePrefix("20.1.0.0/24")
+	mk := func() BestView {
+		return BestView{AS: 1, Routes: map[netx.Prefix]*bgp.Route{
+			p: route(t, "20.1.0.0/24", "3549 13768 6280", 90),
+		}}
+	}
+	res := AnalyzePersistence(a, []BestView{mk(), mk(), mk(), mk()}, nil)
+	if res.ShiftingShare() != 0 {
+		t.Fatalf("stable SA reported shifting: %v", res.ShiftingShare())
+	}
+	hist := res.UptimeHistogram()
+	if hist[3].RemainingSA != 1 || hist[3].Shifting != 0 {
+		t.Fatalf("bucket 4: %+v", hist[3])
+	}
+}
+
+func TestAnalyzePersistenceEmpty(t *testing.T) {
+	g := figure5Graph(t)
+	res := AnalyzePersistence(&ExportAnalyzer{Graph: g}, nil, nil)
+	if res.Epochs != 0 || res.ShiftingShare() != 0 || len(res.UptimeHistogram()) != 0 {
+		t.Fatalf("empty series: %+v", res)
+	}
+}

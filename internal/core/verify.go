@@ -1,0 +1,395 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// Community-based relationship verification (the paper's Appendix and
+// Section 4.3 / Table 4) and SA-prefix verification (Table 7).
+
+// NeighborRank is one point of Figure 9: a next-hop AS and how many
+// prefixes it announces to the vantage.
+type NeighborRank struct {
+	Neighbor bgp.ASN
+	Prefixes int
+}
+
+// RankNeighbors counts, per next-hop AS, the prefixes it contributed to
+// the table, sorted by non-increasing count (Figure 9's x-axis).
+func RankNeighbors(rib *bgp.RIB) []NeighborRank {
+	counts := make(map[bgp.ASN]int)
+	for _, prefix := range rib.Prefixes() {
+		for _, r := range rib.Candidates(prefix) {
+			if nh, ok := r.NextHopAS(); ok {
+				counts[nh]++
+			}
+		}
+	}
+	out := make([]NeighborRank, 0, len(counts))
+	for nb, c := range counts {
+		out = append(out, NeighborRank{Neighbor: nb, Prefixes: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefixes != out[j].Prefixes {
+			return out[i].Prefixes > out[j].Prefixes
+		}
+		return out[i].Neighbor < out[j].Neighbor
+	})
+	return out
+}
+
+// CommunitySemantics maps a tagging AS's community values to
+// relationship classes (Appendix step 2: "inferring the semantics of
+// community values").
+type CommunitySemantics struct {
+	// AS is the tagging AS.
+	AS bgp.ASN
+	// ClassOf maps each observed community value to the inferred class.
+	ClassOf map[bgp.Community]asgraph.Relationship
+}
+
+// InferCommunitySemantics implements the appendix heuristic:
+//
+//   - rank next-hop ASes by announced-prefix count (Figure 9);
+//   - if the AS has providers, the top announcer is a provider; if not
+//     (a Tier-1-like AS), the top announcers are peers;
+//   - the bottom announcers (a handful of prefixes) are customers;
+//   - the communities tagged on those anchor neighbors' routes label
+//     their value ranges; every other value is classed with its nearest
+//     labelled value.
+//
+// hasProviders is the analyst's prior (the paper: "AS1 and AS3549 do not
+// have providers"); derive it from inferred tiers.
+func InferCommunitySemantics(rib *bgp.RIB, hasProviders bool) CommunitySemantics {
+	sem := CommunitySemantics{AS: rib.Owner, ClassOf: make(map[bgp.Community]asgraph.Relationship)}
+	ranks := RankNeighbors(rib)
+	if len(ranks) == 0 {
+		return sem
+	}
+	// Tag values observed per neighbor (only the vantage's own tags).
+	tagsOf := make(map[bgp.ASN]map[bgp.Community]bool)
+	for _, prefix := range rib.Prefixes() {
+		for _, r := range rib.Candidates(prefix) {
+			nh, ok := r.NextHopAS()
+			if !ok {
+				continue
+			}
+			for _, c := range r.Communities {
+				if c.AS() == rib.Owner {
+					if tagsOf[nh] == nil {
+						tagsOf[nh] = make(map[bgp.Community]bool)
+					}
+					tagsOf[nh][c] = true
+				}
+			}
+		}
+	}
+
+	// Classification works on *values*, not neighbors: a tagging scheme
+	// assigns each relationship class a compact range of values (Table
+	// 11), so values cluster by class. The clusters are identified first,
+	// then classified:
+	//
+	//   - values carried by a top-cluster neighbor (a full-feed session:
+	//     ≥ half the top announcer's prefix count) belong to the top
+	//     class — provider when the AS has providers, peer otherwise;
+	//   - remaining values within intraClassGap of a top value are
+	//     same-class variants;
+	//   - the remaining value groups split peer from customer (only
+	//     meaningful when the AS has providers): the group whose carriers
+	//     announce the most prefixes (by median) is the peer range —
+	//     peers announce their customer cones, customers announce a
+	//     handful ("the last several next hop ASs, which announce very
+	//     small number of prefixes, should be customers").
+	countOf := make(map[bgp.ASN]int, len(ranks))
+	for _, r := range ranks {
+		countOf[r.Neighbor] = r.Prefixes
+	}
+	infoByValue := make(map[bgp.Community]*valueInfo)
+	for nb, tags := range tagsOf {
+		for c := range tags {
+			vi := infoByValue[c]
+			if vi == nil {
+				vi = &valueInfo{value: c}
+				infoByValue[c] = vi
+			}
+			vi.carriers = append(vi.carriers, countOf[nb])
+		}
+	}
+
+	topClass := asgraph.RelPeer
+	if hasProviders {
+		topClass = asgraph.RelProvider
+	}
+	topValues := make(map[bgp.Community]bool)
+	for _, r := range ranks {
+		if r.Prefixes*2 < ranks[0].Prefixes {
+			break
+		}
+		for c := range tagsOf[r.Neighbor] {
+			topValues[c] = true
+		}
+	}
+
+	// Group the remaining values by proximity on the value axis.
+	var rest []*valueInfo
+	for c, vi := range infoByValue {
+		nearTop := topValues[c]
+		for tv := range topValues {
+			if valueDistance(c, tv) <= intraClassGap {
+				nearTop = true
+			}
+		}
+		if nearTop {
+			sem.ClassOf[c] = topClass
+			continue
+		}
+		rest = append(rest, vi)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].value < rest[j].value })
+	var groups [][]*valueInfo
+	for _, vi := range rest {
+		if n := len(groups); n > 0 {
+			last := groups[n-1]
+			if valueDistance(vi.value, last[len(last)-1].value) <= intraClassGap {
+				groups[n-1] = append(last, vi)
+				continue
+			}
+		}
+		groups = append(groups, []*valueInfo{vi})
+	}
+
+	classify := func(group []*valueInfo, rel asgraph.Relationship) {
+		for _, vi := range group {
+			sem.ClassOf[vi.value] = rel
+		}
+	}
+	switch {
+	case !hasProviders:
+		// A top-of-hierarchy AS tags only peers and customers; everything
+		// outside the (peer) top ranges is a customer value.
+		for _, g := range groups {
+			classify(g, asgraph.RelCustomer)
+		}
+	case len(groups) == 1:
+		// One non-provider group: peers and customers are not both
+		// present. Decide by announcement size.
+		if groupMaxCarrier(groups[0]) > customerAnchorMax*2+1 {
+			classify(groups[0], asgraph.RelPeer)
+		} else {
+			classify(groups[0], asgraph.RelCustomer)
+		}
+	default:
+		// Peer group: the one whose carriers announce the most (median).
+		best, bestMed := -1, -1.0
+		for i, g := range groups {
+			if m := groupMedianCarrier(g); m > bestMed {
+				best, bestMed = i, m
+			}
+		}
+		for i, g := range groups {
+			if i == best {
+				classify(g, asgraph.RelPeer)
+			} else {
+				classify(g, asgraph.RelCustomer)
+			}
+		}
+	}
+	return sem
+}
+
+// valueInfo tracks one tag value and the prefix counts of the neighbors
+// carrying it.
+type valueInfo struct {
+	value    bgp.Community
+	carriers []int
+}
+
+// groupMaxCarrier returns the largest carrier prefix count in the group.
+func groupMaxCarrier(group []*valueInfo) int {
+	m := 0
+	for _, vi := range group {
+		for _, n := range vi.carriers {
+			if n > m {
+				m = n
+			}
+		}
+	}
+	return m
+}
+
+// groupMedianCarrier returns the median carrier prefix count.
+func groupMedianCarrier(group []*valueInfo) float64 {
+	var all []int
+	for _, vi := range group {
+		all = append(all, vi.carriers...)
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	sort.Ints(all)
+	mid := len(all) / 2
+	if len(all)%2 == 1 {
+		return float64(all[mid])
+	}
+	return float64(all[mid-1]+all[mid]) / 2
+}
+
+// customerAnchorMax is the "very small number of prefixes" cutoff for
+// customer anchors.
+const customerAnchorMax = 2
+
+// intraClassGap bounds how far apart two community values can be while
+// still denoting the same relationship class: published schemes use
+// class bases hundreds-to-thousands apart with variants tens apart
+// (AS12859's scheme in Table 11 spaces classes 1000 apart, variants 10).
+const intraClassGap = 100
+
+func valueDistance(a, b bgp.Community) int {
+	d := int(a.Value()) - int(b.Value())
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// SemanticsFromScheme builds exact semantics from a published tagging
+// scheme (the paper: "It is easy to infer the semantics of community
+// values when ASs publish their rules, such as registering them in IRR
+// database" — AS12859's Table 11 scheme, AS6667's web page).
+func SemanticsFromScheme(owner bgp.ASN, entries []topogen.TagSchemeEntry, classifier func(bgp.Community) (asgraph.Relationship, bool)) CommunitySemantics {
+	sem := CommunitySemantics{AS: owner, ClassOf: make(map[bgp.Community]asgraph.Relationship, len(entries))}
+	for _, e := range entries {
+		if rel, ok := classifier(e.Community); ok {
+			sem.ClassOf[e.Community] = rel
+		}
+	}
+	return sem
+}
+
+// VerificationResult is one AS's row of Table 4.
+type VerificationResult struct {
+	AS bgp.ASN
+	// Neighbors counts next-hop ASes carrying a classifiable tag.
+	Neighbors int
+	// Verified counts neighbors whose community class matches the
+	// graph's relationship annotation.
+	Verified int
+	// Mismatched lists disagreeing neighbors.
+	Mismatched []bgp.ASN
+}
+
+// VerifiedPct returns the Table 4 percentage.
+func (r VerificationResult) VerifiedPct() float64 { return pct(r.Verified, r.Neighbors) }
+
+// VerifyRelationships classifies every neighbor by its tag under the
+// inferred semantics and compares with the graph (Appendix step 3 /
+// Table 4).
+func VerifyRelationships(rib *bgp.RIB, sem CommunitySemantics, g *asgraph.Graph) VerificationResult {
+	res := VerificationResult{AS: rib.Owner}
+	classByNb := make(map[bgp.ASN]asgraph.Relationship)
+	for _, prefix := range rib.Prefixes() {
+		for _, r := range rib.Candidates(prefix) {
+			nh, ok := r.NextHopAS()
+			if !ok {
+				continue
+			}
+			if _, done := classByNb[nh]; done {
+				continue
+			}
+			for _, c := range r.Communities {
+				if rel, ok := sem.ClassOf[c]; ok && c.AS() == rib.Owner {
+					classByNb[nh] = rel
+					break
+				}
+			}
+		}
+	}
+	nbs := make([]bgp.ASN, 0, len(classByNb))
+	for nb := range classByNb {
+		nbs = append(nbs, nb)
+	}
+	sortASNs(nbs)
+	for _, nb := range nbs {
+		res.Neighbors++
+		if g.Rel(rib.Owner, nb) == classByNb[nb] {
+			res.Verified++
+		} else {
+			res.Mismatched = append(res.Mismatched, nb)
+		}
+	}
+	return res
+}
+
+// SAVerification is one provider's row of Table 7.
+type SAVerification struct {
+	Provider bgp.ASN
+	// SACount is the number of SA prefixes checked.
+	SACount int
+	// Verified counts SA prefixes whose customer path is corroborated:
+	// some customer path from the provider to the origin is "active",
+	// i.e. its AS-level steps appear as a consecutive subsequence of an
+	// observed path.
+	Verified int
+}
+
+// VerifiedPct returns the Table 7 percentage.
+func (v SAVerification) VerifiedPct() float64 { return pct(v.Verified, v.SACount) }
+
+// VerifySAPrefixes implements Section 5.1.3 step 2: for every SA prefix,
+// search the observed paths for evidence that a customer path from the
+// provider to the origin is active. maxPaths caps the DFS fan-out per
+// origin.
+func VerifySAPrefixes(res SAResult, g *asgraph.Graph, observed []bgp.Path, maxPaths int) SAVerification {
+	out := SAVerification{Provider: res.Vantage, SACount: len(res.SA)}
+	if maxPaths <= 0 {
+		maxPaths = 64
+	}
+	// Index observed adjacencies. Orientation is ignored: an AS-level
+	// adjacency traversed by any prefix in either direction corroborates
+	// the link's activity.
+	pairs := make(map[[2]bgp.ASN]bool)
+	for _, p := range observed {
+		for i := 0; i+1 < len(p); i++ {
+			pairs[[2]bgp.ASN{p[i], p[i+1]}] = true
+			pairs[[2]bgp.ASN{p[i+1], p[i]}] = true
+		}
+	}
+	verifiedOrigin := make(map[bgp.ASN]bool)
+	checkedOrigin := make(map[bgp.ASN]bool)
+	for _, sa := range res.SA {
+		if !checkedOrigin[sa.Origin] {
+			checkedOrigin[sa.Origin] = true
+			verifiedOrigin[sa.Origin] = customerPathActive(g, res.Vantage, sa.Origin, pairs, maxPaths)
+		}
+		if verifiedOrigin[sa.Origin] {
+			out.Verified++
+		}
+	}
+	return out
+}
+
+// customerPathActive reports whether some customer path u→o has every
+// step observed in real paths ("we call a customer path active if other
+// prefixes traverse the same path").
+func customerPathActive(g *asgraph.Graph, u, o bgp.ASN, pairs map[[2]bgp.ASN]bool, maxPaths int) bool {
+	for _, path := range g.AllCustomerPaths(u, o, maxPaths) {
+		ok := true
+		for i := 0; i+1 < len(path); i++ {
+			// Observed paths list nearer-AS first, so a provider step
+			// u→c appears as the pair (u, c).
+			if !pairs[[2]bgp.ASN{path[i], path[i+1]}] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// buildTaggedRIB builds a table for AS12859 (a Table-11-style tagger)
+// with one provider (announcing many prefixes), one peer (several) and
+// two customers (one or two each).
+func buildTaggedRIB(t *testing.T) (*bgp.RIB, *asgraph.Graph, *topogen.CommunityTagging) {
+	t.Helper()
+	const owner = 12859
+	g := asgraph.New()
+	for _, err := range []error{
+		g.AddProviderCustomer(701, owner),  // provider
+		g.AddPeer(owner, 8220),             // peer
+		g.AddProviderCustomer(owner, 4001), // customers
+		g.AddProviderCustomer(owner, 4002),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ct := &topogen.CommunityTagging{AS: owner, Variants: 2}
+	rib := bgp.NewRIB(owner)
+	add := func(nb bgp.ASN, rel asgraph.Relationship, prefix, path string, lp uint32) {
+		r := route(t, prefix, path, lp)
+		if tag, ok := ct.TagFor(rel, nb); ok {
+			r.Communities = bgp.NewCommunities(tag)
+		}
+		rib.Upsert(nb, r)
+	}
+	// Provider 701 announces a full-feed-sized share of the table (well
+	// over twice anything else, like a real transit session).
+	for i := 0; i < 40; i++ {
+		prefix := netx.Prefix{Addr: 0x14000000 + uint32(i)<<8, Len: 24}.String()
+		add(701, asgraph.RelProvider, prefix, "701 "+itoa(9000+i), 80)
+	}
+	// Peer 8220 announces its cone: a middle-band count.
+	for i := 0; i < 12; i++ {
+		prefix := netx.Prefix{Addr: 0x15000000 + uint32(i)<<8, Len: 24}.String()
+		add(8220, asgraph.RelPeer, prefix, "8220 "+itoa(9100+i), 90)
+	}
+	// Customers announce one or two prefixes.
+	add(4001, asgraph.RelCustomer, "22.0.0.0/24", "4001", 100)
+	add(4002, asgraph.RelCustomer, "22.0.1.0/24", "4002", 100)
+	add(4002, asgraph.RelCustomer, "22.0.2.0/24", "4002", 100)
+	return rib, g, ct
+}
+
+func TestRankNeighbors(t *testing.T) {
+	rib, _, _ := buildTaggedRIB(t)
+	ranks := RankNeighbors(rib)
+	if len(ranks) != 4 {
+		t.Fatalf("ranks: %+v", ranks)
+	}
+	if ranks[0].Neighbor != 701 || ranks[0].Prefixes != 40 {
+		t.Fatalf("top: %+v", ranks[0])
+	}
+	if ranks[1].Neighbor != 8220 {
+		t.Fatalf("second: %+v", ranks[1])
+	}
+	if ranks[3].Prefixes > ranks[2].Prefixes {
+		t.Fatal("ranks not sorted")
+	}
+}
+
+func TestInferCommunitySemanticsWithProvider(t *testing.T) {
+	rib, _, ct := buildTaggedRIB(t)
+	sem := InferCommunitySemantics(rib, true)
+	if sem.AS != 12859 {
+		t.Fatalf("AS = %v", sem.AS)
+	}
+	// Every tag the AS uses must be classified correctly.
+	for _, rel := range []asgraph.Relationship{asgraph.RelProvider, asgraph.RelPeer, asgraph.RelCustomer} {
+		for nb := bgp.ASN(1); nb < 10; nb++ {
+			tag, _ := ct.TagFor(rel, nb)
+			got, ok := sem.ClassOf[tag]
+			if !ok {
+				continue // variant not observed in this small table
+			}
+			if got != rel {
+				t.Fatalf("ClassOf(%v) = %v, want %v", tag, got, rel)
+			}
+		}
+	}
+}
+
+func TestInferCommunitySemanticsTopIsPeerWithoutProviders(t *testing.T) {
+	// A Tier-1-style tagger: top announcer must be classified peer.
+	const owner = 1
+	ct := &topogen.CommunityTagging{AS: owner, Variants: 1}
+	rib := bgp.NewRIB(owner)
+	for i := 0; i < 15; i++ {
+		r := route(t, netx.Prefix{Addr: 0x14000000 + uint32(i)<<8, Len: 24}.String(), "701 "+itoa(8000+i), 90)
+		tag, _ := ct.TagFor(asgraph.RelPeer, 701)
+		r.Communities = bgp.NewCommunities(tag)
+		rib.Upsert(701, r)
+	}
+	r := route(t, "23.0.0.0/24", "52", 100)
+	tag, _ := ct.TagFor(asgraph.RelCustomer, 52)
+	r.Communities = bgp.NewCommunities(tag)
+	rib.Upsert(52, r)
+
+	sem := InferCommunitySemantics(rib, false)
+	peerTag, _ := ct.TagFor(asgraph.RelPeer, 701)
+	if got := sem.ClassOf[peerTag]; got != asgraph.RelPeer {
+		t.Fatalf("top tag class = %v, want peer", got)
+	}
+	custTag, _ := ct.TagFor(asgraph.RelCustomer, 52)
+	if got := sem.ClassOf[custTag]; got != asgraph.RelCustomer {
+		t.Fatalf("customer tag class = %v", got)
+	}
+	// Empty table: no semantics.
+	if got := InferCommunitySemantics(bgp.NewRIB(5), false); len(got.ClassOf) != 0 {
+		t.Fatalf("empty table produced semantics: %+v", got)
+	}
+}
+
+func TestVerifyRelationships(t *testing.T) {
+	rib, g, _ := buildTaggedRIB(t)
+	sem := InferCommunitySemantics(rib, true)
+	res := VerifyRelationships(rib, sem, g)
+	if res.Neighbors != 4 {
+		t.Fatalf("neighbors = %d", res.Neighbors)
+	}
+	if res.Verified != 4 || res.VerifiedPct() != 100 {
+		t.Fatalf("verification: %+v", res)
+	}
+	// Break the graph: 4001 now recorded as peer → mismatch.
+	g2 := asgraph.New()
+	for _, err := range []error{
+		g2.AddProviderCustomer(701, 12859),
+		g2.AddPeer(12859, 8220),
+		g2.AddPeer(12859, 4001),
+		g2.AddProviderCustomer(12859, 4002),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res2 := VerifyRelationships(rib, sem, g2)
+	if res2.Verified != 3 || len(res2.Mismatched) != 1 || res2.Mismatched[0] != 4001 {
+		t.Fatalf("mismatch detection: %+v", res2)
+	}
+}
+
+func TestVerifySAPrefixes(t *testing.T) {
+	g := figure5Graph(t)
+	p := netx.MustParsePrefix("20.1.0.0/24")
+	res := SAResult{
+		Vantage: 1,
+		SA: []SAInfo{{
+			Prefix: p, Origin: 6280, NextHop: 3549, NextHopRel: asgraph.RelPeer,
+		}},
+	}
+	// Customer path 1→852→6280 active: another prefix traverses 852 6280.
+	observed := []bgp.Path{
+		mustPath(t, "1 852 6280"),
+	}
+	v := VerifySAPrefixes(res, g, observed, 0)
+	if v.SACount != 1 || v.Verified != 1 || v.VerifiedPct() != 100 {
+		t.Fatalf("verified: %+v", v)
+	}
+	// Without supporting paths, verification fails.
+	v2 := VerifySAPrefixes(res, g, []bgp.Path{mustPath(t, "9 8 7")}, 4)
+	if v2.Verified != 0 {
+		t.Fatalf("unsupported path verified: %+v", v2)
+	}
+	// Partial evidence (only half the path) is insufficient.
+	v3 := VerifySAPrefixes(res, g, []bgp.Path{mustPath(t, "1 852")}, 4)
+	if v3.Verified != 0 {
+		t.Fatalf("partial path verified: %+v", v3)
+	}
+}
+
+func mustPath(t *testing.T, s string) bgp.Path {
+	t.Helper()
+	p, err := bgp.ParsePath(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

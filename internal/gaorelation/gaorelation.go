@@ -1,0 +1,326 @@
+// Package gaorelation infers AS relationships from observed AS paths, in
+// the spirit of Gao (IEEE/ACM ToN 2001), the algorithm the paper uses for
+// all of its relationship input ("we choose the one described in [12]").
+//
+// The inference runs three passes over the path set:
+//
+//  1. Degree counting: an AS's degree is its number of distinct
+//     neighbors across all paths.
+//  2. Transit counting: each path is split at its highest-degree AS (the
+//     "top provider"); edges on the vantage side record the far AS as
+//     provider, edges on the origin side record the near AS as provider.
+//  3. Peering refinement: edges adjacent to a path's top provider are
+//     peer candidates (selected by the neighbor-degree comparison rule).
+//     A candidate edge becomes peer-to-peer when it never appears in the
+//     interior of a path (interior edges must be provider-to-customer by
+//     the export rules) and its endpoint degrees are within a ratio
+//     bound.
+//
+// Bidirectional transit evidence yields sibling edges, exactly as in
+// Gao's refined algorithm, with a smoothing threshold L for tolerating
+// misconfigured paths.
+package gaorelation
+
+import (
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+)
+
+// Options tunes the inference.
+type Options struct {
+	// L is the misconfiguration-smoothing threshold: transit evidence
+	// with count ≤ L in both directions is treated as noise (sibling),
+	// matching Gao's refined algorithm. Default 1.
+	L int
+	// DegreeRatio bounds how dissimilar two ASes' degrees may be for a
+	// candidate edge to be accepted as peer-to-peer. Gao's evaluation
+	// uses R = 60. Default 60.
+	DegreeRatio float64
+	// VantagePoints lists the ASes whose tables contributed the paths
+	// (the collector's peers). Paths that *start* at their own top
+	// provider carry no peering signal; knowing the vantage set lets the
+	// algorithm recognize the mutual-announcement signature of two
+	// peering vantage ASes (each appears as the other's first hop).
+	VantagePoints []bgp.ASN
+}
+
+// DefaultOptions returns the published parameterization.
+func DefaultOptions() Options { return Options{L: 1, DegreeRatio: 60} }
+
+func (o Options) withDefaults() Options {
+	if o.L <= 0 {
+		o.L = 1
+	}
+	if o.DegreeRatio <= 0 {
+		o.DegreeRatio = 60
+	}
+	return o
+}
+
+// Inference is the output of Infer.
+type Inference struct {
+	// Graph is the inferred annotated AS graph.
+	Graph *asgraph.Graph
+	// Degrees is the observed degree of every AS (Table 1's "degree"
+	// column when measured at a collector).
+	Degrees map[bgp.ASN]int
+}
+
+type edgeKey struct{ a, b bgp.ASN } // a < b
+
+func key(x, y bgp.ASN) edgeKey {
+	if x < y {
+		return edgeKey{x, y}
+	}
+	return edgeKey{y, x}
+}
+
+// Infer runs the algorithm over the path set. Paths shorter than two
+// hops contribute no edges. Prepending (repeated ASNs) is collapsed.
+func Infer(paths []bgp.Path, opts Options) *Inference {
+	opts = opts.withDefaults()
+	cleaned := make([]bgp.Path, 0, len(paths))
+	for _, p := range paths {
+		if c := collapse(p); len(c) >= 2 {
+			cleaned = append(cleaned, c)
+		}
+	}
+
+	// Pass 1: degrees from distinct neighbor sets.
+	neighborSets := make(map[bgp.ASN]map[bgp.ASN]bool)
+	addNeighbor := func(a, b bgp.ASN) {
+		if neighborSets[a] == nil {
+			neighborSets[a] = make(map[bgp.ASN]bool)
+		}
+		neighborSets[a][b] = true
+	}
+	for _, p := range cleaned {
+		for i := 0; i+1 < len(p); i++ {
+			addNeighbor(p[i], p[i+1])
+			addNeighbor(p[i+1], p[i])
+		}
+	}
+	degrees := make(map[bgp.ASN]int, len(neighborSets))
+	for asn, set := range neighborSets {
+		degrees[asn] = len(set)
+	}
+
+	// Pass 2 + 3 bookkeeping.
+	transit := make(map[edgeKey][2]int) // [0]: lower-ASN side provides; [1]: higher side provides
+	candidate := make(map[edgeKey]bool)
+	rejected := make(map[edgeKey]bool) // marked not-peering at a top-adjacent position
+	interior := make(map[edgeKey]bool)
+
+	addTransit := func(provider, customer bgp.ASN) {
+		k := key(provider, customer)
+		c := transit[k]
+		if provider == k.a {
+			c[0]++
+		} else {
+			c[1]++
+		}
+		transit[k] = c
+	}
+
+	for _, p := range cleaned {
+		j := topProviderIndex(p, degrees)
+		for i := 0; i+1 < len(p); i++ {
+			k := key(p[i], p[i+1])
+			if i+1 < j {
+				addTransit(p[i+1], p[i]) // vantage side: far AS is provider
+				interior[k] = true
+			} else if i > j {
+				addTransit(p[i], p[i+1]) // origin side: near AS is provider
+				interior[k] = true
+			} else {
+				// Top-adjacent edge: count transit evidence (Gao's
+				// algorithm 1 does) but remember it is a peer candidate
+				// position.
+				if i+1 == j {
+					addTransit(p[i+1], p[i])
+				} else {
+					addTransit(p[i], p[i+1])
+				}
+			}
+		}
+		// Candidate selection by the neighbor-degree comparison rule: of
+		// the two edges adjacent to the top provider, the one whose outer
+		// endpoint has the larger degree may be a peering edge; the other
+		// is marked not-peering (Gao's Algorithm 3, phase 2). A single
+		// not-peering mark anywhere disqualifies the edge. A path whose
+		// first AS is its own top provider carries no signal about that
+		// first edge (the vantage could be exporting either a customer or
+		// a peer route to the collector), so it marks nothing.
+		switch {
+		case j == 0:
+			// no information
+		case j == len(p)-1:
+			candidate[key(p[j-1], p[j])] = true
+		default:
+			if degrees[p[j-1]] > degrees[p[j+1]] {
+				candidate[key(p[j-1], p[j])] = true
+				rejected[key(p[j], p[j+1])] = true
+			} else {
+				candidate[key(p[j], p[j+1])] = true
+				rejected[key(p[j-1], p[j])] = true
+			}
+		}
+	}
+
+	// Final classification.
+	vantage := make(map[bgp.ASN]bool, len(opts.VantagePoints))
+	for _, v := range opts.VantagePoints {
+		vantage[v] = true
+	}
+	g := asgraph.New()
+	keys := make([]edgeKey, 0, len(transit))
+	for k := range transit {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		counts := transit[k]
+		ca, cb := counts[0], counts[1] // a provides for b; b provides for a
+		if !interior[k] && !rejected[k] && ratioOK(degrees[k.a], degrees[k.b], opts.DegreeRatio) {
+			// Peering by the degree-comparison candidacy rule, or by the
+			// mutual-announcement signature of two vantage ASes: each is
+			// the other's first hop for part of the table, producing
+			// transit "evidence" in both directions that interior
+			// appearances never corroborate.
+			mutualVantage := vantage[k.a] && vantage[k.b] && ca > 0 && cb > 0
+			if candidate[k] || mutualVantage {
+				mustAdd(g.AddPeer(k.a, k.b))
+				continue
+			}
+		}
+		switch {
+		case ca > opts.L && cb > opts.L:
+			mustAdd(g.AddSibling(k.a, k.b))
+		case ca > 0 && cb > 0 && ca <= opts.L && cb <= opts.L:
+			mustAdd(g.AddSibling(k.a, k.b))
+		case ca > cb:
+			mustAdd(g.AddProviderCustomer(k.a, k.b))
+		case cb > ca:
+			mustAdd(g.AddProviderCustomer(k.b, k.a))
+		default: // equal, both > L: mutual evidence
+			mustAdd(g.AddSibling(k.a, k.b))
+		}
+	}
+	return &Inference{Graph: g, Degrees: degrees}
+}
+
+// collapse removes consecutive duplicates (AS-path prepending).
+func collapse(p bgp.Path) bgp.Path {
+	if len(p) == 0 {
+		return nil
+	}
+	out := bgp.Path{p[0]}
+	for _, a := range p[1:] {
+		if a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// topProviderIndex returns the index of the highest-degree AS (first on
+// ties, which biases toward the vantage side as Gao does).
+func topProviderIndex(p bgp.Path, degrees map[bgp.ASN]int) int {
+	best, bestDeg := 0, -1
+	for i, asn := range p {
+		if d := degrees[asn]; d > bestDeg {
+			best, bestDeg = i, d
+		}
+	}
+	return best
+}
+
+func ratioOK(da, db int, r float64) bool {
+	if da == 0 || db == 0 {
+		return false
+	}
+	hi, lo := float64(da), float64(db)
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	return hi/lo <= r
+}
+
+func mustAdd(err error) {
+	if err != nil {
+		// Classification assigns each edge exactly once; a conflict is a
+		// bug in this package, not bad input.
+		panic(err)
+	}
+}
+
+// Accuracy summarizes agreement between an inferred graph and ground
+// truth, the quantity the paper bounds in Section 4.3 / Table 4.
+type Accuracy struct {
+	// Total is the number of edges present in both graphs.
+	Total int
+	// Correct counts matching relationship annotations.
+	Correct int
+	// MissedEdges counts truth edges absent from the inferred graph
+	// (unobserved links).
+	MissedEdges int
+	// SpuriousEdges counts inferred edges absent from the truth.
+	SpuriousEdges int
+	// Confusion[truth][inferred] counts per-class outcomes.
+	Confusion map[asgraph.Relationship]map[asgraph.Relationship]int
+}
+
+// Fraction returns Correct/Total, or 0 when nothing was comparable.
+func (a Accuracy) Fraction() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Correct) / float64(a.Total)
+}
+
+// Score compares inferred against truth over the edges of both graphs.
+func Score(inferred, truth *asgraph.Graph) Accuracy {
+	acc := Accuracy{Confusion: make(map[asgraph.Relationship]map[asgraph.Relationship]int)}
+	record := func(t, i asgraph.Relationship) {
+		if acc.Confusion[t] == nil {
+			acc.Confusion[t] = make(map[asgraph.Relationship]int)
+		}
+		acc.Confusion[t][i]++
+	}
+	for _, a := range truth.Nodes() {
+		for _, b := range truth.Neighbors(a) {
+			if b < a {
+				continue // visit each edge once
+			}
+			tRel := truth.Rel(a, b)
+			iRel := inferred.Rel(a, b)
+			if iRel == asgraph.RelNone {
+				acc.MissedEdges++
+				continue
+			}
+			acc.Total++
+			record(tRel, iRel)
+			if tRel == iRel {
+				acc.Correct++
+			}
+		}
+	}
+	for _, a := range inferred.Nodes() {
+		for _, b := range inferred.Neighbors(a) {
+			if b < a {
+				continue
+			}
+			if truth.Rel(a, b) == asgraph.RelNone {
+				acc.SpuriousEdges++
+			}
+		}
+	}
+	return acc
+}

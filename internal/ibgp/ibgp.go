@@ -1,0 +1,229 @@
+// Package ibgp refines one AS into multiple border routers with an iBGP
+// full mesh — the substrate for the paper's Figure 2(b), which measures
+// local-preference consistency across 30 AT&T backbone routers.
+//
+// The model: the AS's eBGP sessions are partitioned across routers. Each
+// router applies its own import map (normally the AS-wide next-hop-AS
+// policy, optionally with per-router prefix overrides that model
+// configuration drift), selects a best route among its eBGP candidates,
+// and advertises that choice to every other router over the mesh. Final
+// selection uses the full decision process, where eBGP beats iBGP and
+// the synthetic IGP metric breaks ties.
+package ibgp
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// Options configures the refinement.
+type Options struct {
+	// Routers is the number of border routers (the paper's AT&T view has
+	// 30).
+	Routers int
+	// DriftRouters is how many routers carry per-prefix localpref
+	// overrides diverging from the AS-wide policy.
+	DriftRouters int
+	// DriftShare is the per-prefix probability (deterministic hash) that
+	// a drifting router overrides a prefix's preference.
+	DriftShare float64
+	// Seed feeds the override hashing.
+	Seed int64
+}
+
+// Router is one border router's view.
+type Router struct {
+	// ID is the router index, 1-based like the paper's Figure 2(b) x-axis.
+	ID int
+	// Neighbors are the eBGP sessions homed on this router.
+	Neighbors []bgp.ASN
+	// Table is the router's Loc-RIB: eBGP candidates plus iBGP-learned
+	// bests from the mesh.
+	Table *bgp.RIB
+}
+
+// MultiRouterAS is the refined AS.
+type MultiRouterAS struct {
+	AS      bgp.ASN
+	Routers []*Router
+}
+
+// Build splits the AS's table (a full vantage RIB from the simulator)
+// across routers. The source RIB's candidates carry the AS-wide import
+// policy already applied; drifting routers rewrite localpref for a hash-
+// selected subset of (neighbor, prefix) pairs.
+func Build(topo *topogen.Topology, asn bgp.ASN, table *bgp.RIB, opts Options) (*MultiRouterAS, error) {
+	if opts.Routers <= 0 {
+		return nil, fmt.Errorf("ibgp: Routers must be positive")
+	}
+	if opts.DriftRouters > opts.Routers {
+		opts.DriftRouters = opts.Routers
+	}
+	neighbors := topo.Graph.Neighbors(asn)
+	if len(neighbors) == 0 {
+		return nil, fmt.Errorf("ibgp: %v has no neighbors", asn)
+	}
+	m := &MultiRouterAS{AS: asn}
+	for i := 0; i < opts.Routers; i++ {
+		m.Routers = append(m.Routers, &Router{ID: i + 1, Table: bgp.NewRIB(asn)})
+	}
+	// Deterministic round-robin homing of sessions onto routers.
+	homeOf := make(map[bgp.ASN]*Router, len(neighbors))
+	for i, nb := range neighbors {
+		r := m.Routers[i%opts.Routers]
+		r.Neighbors = append(r.Neighbors, nb)
+		homeOf[nb] = r
+	}
+
+	// Phase 1: install eBGP candidates on their home routers, applying
+	// per-router drift.
+	prefixes := table.Prefixes()
+	for _, prefix := range prefixes {
+		for _, cand := range table.Candidates(prefix) {
+			nb, ok := cand.NextHopAS()
+			if !ok {
+				// Locally originated prefixes live on every router.
+				for _, r := range m.Routers {
+					local := cand.Clone()
+					local.RouterID = uint32(r.ID)
+					r.Table.Upsert(asn, local)
+				}
+				continue
+			}
+			home := homeOf[nb]
+			if home == nil {
+				continue // session to an AS that is not a graph neighbor
+			}
+			route := cand.Clone()
+			route.RouterID = uint32(home.ID)
+			if home.ID <= opts.DriftRouters &&
+				driftHash(opts.Seed, home.ID, prefix) < opts.DriftShare {
+				// Configuration drift: this router sets a prefix-keyed
+				// preference instead of the next-hop-AS value.
+				route.LocalPref = driftPref(route.LocalPref, opts.Seed, home.ID, prefix)
+			}
+			home.Table.Upsert(nb, route)
+		}
+	}
+
+	// Phase 2: iBGP full mesh. Each router advertises its best
+	// eBGP-learned route per prefix; receivers install it as an iBGP
+	// candidate with an IGP metric reflecting router distance.
+	type advert struct {
+		from  *Router
+		route *bgp.Route
+	}
+	adverts := make(map[netx.Prefix][]advert)
+	for _, r := range m.Routers {
+		for _, prefix := range r.Table.Prefixes() {
+			best := r.Table.Best(prefix)
+			if best == nil || best.FromIBGP {
+				continue
+			}
+			adverts[prefix] = append(adverts[prefix], advert{from: r, route: best})
+		}
+	}
+	ordered := make([]netx.Prefix, 0, len(adverts))
+	for p := range adverts {
+		ordered = append(ordered, p)
+	}
+	netx.SortPrefixes(ordered)
+	for _, prefix := range ordered {
+		for _, ad := range adverts[prefix] {
+			for _, r := range m.Routers {
+				if r == ad.from {
+					continue
+				}
+				mirror := ad.route.Clone()
+				mirror.FromIBGP = true
+				mirror.IGPMetric = igpDistance(r.ID, ad.from.ID)
+				mirror.RouterID = uint32(ad.from.ID)
+				// Keyed by the *originating router* via a synthetic ASN
+				// offset so multiple iBGP candidates coexist.
+				r.Table.Upsert(ibgpKey(ad.from.ID), mirror)
+			}
+		}
+	}
+	return m, nil
+}
+
+// ibgpKey synthesizes a RIB candidate key for an iBGP session. Real
+// ASNs are ≤ 32 bits but our tables key candidates by ASN; reserving a
+// high range keeps iBGP entries distinct from any eBGP neighbor.
+func ibgpKey(routerID int) bgp.ASN { return bgp.ASN(0xFFFF0000 + uint32(routerID)) }
+
+// IsIBGPKey reports whether a candidate key names an iBGP mesh session.
+func IsIBGPKey(asn bgp.ASN) bool { return asn >= 0xFFFF0000 }
+
+func igpDistance(a, b int) uint32 {
+	if a > b {
+		return uint32(a - b)
+	}
+	return uint32(b - a)
+}
+
+func driftHash(seed int64, router int, prefix netx.Prefix) float64 {
+	return hash01(uint32(seed), uint32(router), prefix.Addr, uint32(prefix.Len))
+}
+
+func driftPref(base uint32, seed int64, router int, prefix netx.Prefix) uint32 {
+	delta := uint32(1 + uint32(hash01(prefix.Addr, uint32(router), uint32(seed))*3))
+	if hash01(uint32(router), prefix.Addr) < 0.5 {
+		return base + delta
+	}
+	if base > delta {
+		return base - delta
+	}
+	return base + delta
+}
+
+// hash01 maps inputs to [0,1) with FNV-1a (same scheme as topogen).
+func hash01(vals ...uint32) float64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range vals {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(v>>shift) & 0xff
+			h *= prime
+		}
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Router lookup helpers.
+
+// RouterFor returns the router homing the session to neighbor.
+func (m *MultiRouterAS) RouterFor(neighbor bgp.ASN) *Router {
+	for _, r := range m.Routers {
+		for _, nb := range r.Neighbors {
+			if nb == neighbor {
+				return r
+			}
+		}
+	}
+	return nil
+}
+
+// EBGPCandidates returns the router's eBGP-learned candidates for prefix
+// (iBGP mirrors excluded), sorted by neighbor.
+func (r *Router) EBGPCandidates(prefix netx.Prefix) []*bgp.Route {
+	var out []*bgp.Route
+	for _, cand := range r.Table.Candidates(prefix) {
+		if !cand.FromIBGP {
+			out = append(out, cand)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, _ := out[i].NextHopAS()
+		b, _ := out[j].NextHopAS()
+		return a < b
+	})
+	return out
+}

@@ -1,0 +1,199 @@
+package ibgp
+
+import (
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+func buildFixture(t *testing.T, routers, drift int) (*topogen.Topology, bgp.ASN, *MultiRouterAS) {
+	t.Helper()
+	topo, err := topogen.Generate(topogen.DefaultConfig(150, 71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The largest tier-1 plays AT&T.
+	var target bgp.ASN
+	bestDeg := -1
+	for _, asn := range topo.ASesByTier(1) {
+		if d := topo.Graph.Degree(asn); d > bestDeg {
+			target, bestDeg = asn, d
+		}
+	}
+	res, err := simulate.Run(topo, simulate.Options{VantagePoints: []bgp.ASN{target}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Build(topo, target, res.Tables[target], Options{
+		Routers:      routers,
+		DriftRouters: drift,
+		DriftShare:   0.3,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, target, m
+}
+
+func TestBuildPartitionsSessions(t *testing.T) {
+	topo, target, m := buildFixture(t, 8, 0)
+	if len(m.Routers) != 8 {
+		t.Fatalf("routers = %d", len(m.Routers))
+	}
+	// Every neighbor homed exactly once.
+	seen := map[bgp.ASN]int{}
+	for _, r := range m.Routers {
+		for _, nb := range r.Neighbors {
+			seen[nb]++
+		}
+	}
+	for _, nb := range topo.Graph.Neighbors(target) {
+		if seen[nb] != 1 {
+			t.Fatalf("neighbor %v homed %d times", nb, seen[nb])
+		}
+	}
+	// RouterFor agrees with the partition.
+	for _, r := range m.Routers {
+		for _, nb := range r.Neighbors {
+			if got := m.RouterFor(nb); got != r {
+				t.Fatalf("RouterFor(%v) = %v, want router %d", nb, got, r.ID)
+			}
+		}
+	}
+	if m.RouterFor(65500) != nil {
+		t.Fatal("RouterFor on foreign AS must be nil")
+	}
+}
+
+func TestIBGPMeshDistributesRoutes(t *testing.T) {
+	_, _, m := buildFixture(t, 8, 0)
+	// Every router must reach (almost) every prefix that any router
+	// learned, via eBGP or the mesh.
+	union := map[string]bool{}
+	for _, r := range m.Routers {
+		for _, p := range r.Table.Prefixes() {
+			union[p.String()] = true
+		}
+	}
+	for _, r := range m.Routers {
+		have := 0
+		for _, p := range r.Table.Prefixes() {
+			if r.Table.Best(p) != nil {
+				have++
+			}
+		}
+		if float64(have) < 0.95*float64(len(union)) {
+			t.Fatalf("router %d reaches %d of %d prefixes", r.ID, have, len(union))
+		}
+	}
+}
+
+func TestEBGPPreferredOverIBGP(t *testing.T) {
+	_, _, m := buildFixture(t, 6, 0)
+	// Wherever a router has an eBGP candidate with the top localpref
+	// among its candidates, its best route must not be an iBGP mirror
+	// with the same localpref.
+	violations, checked := 0, 0
+	for _, r := range m.Routers {
+		for _, prefix := range r.Table.Prefixes() {
+			best := r.Table.Best(prefix)
+			if best == nil || !best.FromIBGP {
+				continue
+			}
+			for _, c := range r.EBGPCandidates(prefix) {
+				checked++
+				if c.LocalPref == best.LocalPref && c.Path.Len() == best.Path.Len() &&
+					c.Origin == best.Origin {
+					violations++
+				}
+			}
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d eBGP candidates lost to equal-attribute iBGP routes (checked %d)", violations, checked)
+	}
+}
+
+func TestDriftChangesPreferences(t *testing.T) {
+	_, _, clean := buildFixture(t, 6, 0)
+	_, _, drifted := buildFixture(t, 6, 3)
+	// Drifted routers must disagree with the clean build on some
+	// localpref values; non-drifted routers must agree everywhere.
+	diffs := 0
+	for i, r := range drifted.Routers {
+		cleanR := clean.Routers[i]
+		for _, prefix := range r.Table.Prefixes() {
+			for _, cand := range r.EBGPCandidates(prefix) {
+				nb, _ := cand.NextHopAS()
+				ref := cleanR.Table.CandidateFrom(prefix, nb)
+				if ref == nil {
+					continue
+				}
+				if cand.LocalPref != ref.LocalPref {
+					diffs++
+					if r.ID > 3 {
+						t.Fatalf("non-drift router %d diverged at %v", r.ID, prefix)
+					}
+				}
+			}
+		}
+	}
+	if diffs == 0 {
+		t.Fatal("drift routers produced no divergence")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	topo, err := topogen.Generate(topogen.DefaultConfig(100, 72))
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn := topo.Order[0]
+	rib := bgp.NewRIB(asn)
+	if _, err := Build(topo, asn, rib, Options{Routers: 0}); err == nil {
+		t.Fatal("zero routers must fail")
+	}
+	if _, err := Build(topo, 65533, rib, Options{Routers: 2}); err == nil {
+		t.Fatal("AS with no neighbors must fail")
+	}
+	// DriftRouters clamped to Routers.
+	if _, err := Build(topo, asn, rib, Options{Routers: 2, DriftRouters: 10}); err != nil {
+		t.Fatalf("clamping failed: %v", err)
+	}
+}
+
+func TestIBGPKeySpace(t *testing.T) {
+	if !IsIBGPKey(ibgpKey(1)) || !IsIBGPKey(ibgpKey(30)) {
+		t.Fatal("ibgp keys must be recognizable")
+	}
+	if IsIBGPKey(7018) || IsIBGPKey(65535) {
+		t.Fatal("real ASNs misread as ibgp keys")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	_, _, a := buildFixture(t, 5, 2)
+	_, _, b := buildFixture(t, 5, 2)
+	for i := range a.Routers {
+		ra, rb := a.Routers[i], b.Routers[i]
+		if len(ra.Neighbors) != len(rb.Neighbors) {
+			t.Fatalf("router %d session split differs", ra.ID)
+		}
+		pa, pb := ra.Table.Prefixes(), rb.Table.Prefixes()
+		if len(pa) != len(pb) {
+			t.Fatalf("router %d table size differs", ra.ID)
+		}
+		for j, p := range pa {
+			if p != pb[j] {
+				t.Fatalf("router %d prefix order differs", ra.ID)
+			}
+			ba, bb := ra.Table.Best(p), rb.Table.Best(p)
+			if (ba == nil) != (bb == nil) || (ba != nil && ba.LocalPref != bb.LocalPref) {
+				t.Fatalf("router %d best differs at %v", ra.ID, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package irr
+
+import (
+	"math/rand"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// GenOptions controls synthetic IRR generation from a topology's ground
+// truth. The knobs model the paper's complaint that "the IRR database may
+// not be complete and some part of it can be out-of-date".
+type GenOptions struct {
+	// Seed drives the staleness/incompleteness draws.
+	Seed int64
+	// MissingProb is the probability an AS has no aut-num object at all.
+	MissingProb float64
+	// StaleProb is the probability an object carries a pre-measurement
+	// ChangedDate (and possibly outdated rules).
+	StaleProb float64
+	// NeighborCoverage is the fraction of an AS's neighbors that appear
+	// in its import lines (registries are chronically incomplete).
+	NeighborCoverage float64
+	// NoActionProb is the probability an import line omits the pref
+	// action entirely.
+	NoActionProb float64
+	// FreshDate / StaleDate are the YYYYMMDD dates stamped on fresh and
+	// stale objects.
+	FreshDate, StaleDate int
+}
+
+// DefaultGenOptions mirrors the rough health of the 2002 RADB snapshot.
+func DefaultGenOptions(seed int64) GenOptions {
+	return GenOptions{
+		Seed:             seed,
+		MissingProb:      0.25,
+		StaleProb:        0.20,
+		NeighborCoverage: 0.85,
+		NoActionProb:     0.10,
+		FreshDate:        20021015,
+		StaleDate:        20010312,
+	}
+}
+
+// prefBase converts BGP local preference to RPSL pref. RPSL prefers
+// smaller values, so pref = prefBase − localpref keeps the semantics
+// while inverting the ordering.
+const prefBase = 1000
+
+// PrefFromLocalPref converts a ground-truth local preference to the RPSL
+// pref value the generator writes.
+func PrefFromLocalPref(lp uint32) int { return prefBase - int(lp) }
+
+// LocalPrefFromPref inverts PrefFromLocalPref.
+func LocalPrefFromPref(pref int) uint32 { return uint32(prefBase - pref) }
+
+// Generate builds a synthetic registry from the topology's ground-truth
+// import policies.
+func Generate(topo *topogen.Topology, opts GenOptions) *Database {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	db := &Database{}
+	for _, asn := range topo.Order {
+		if rng.Float64() < opts.MissingProb {
+			continue
+		}
+		info := topo.ASes[asn]
+		pol := topo.Policies[asn]
+		obj := AutNum{
+			ASN:    asn,
+			ASName: rpslName(info.Name),
+			Descr:  info.Name,
+			Source: "RADB",
+		}
+		stale := rng.Float64() < opts.StaleProb
+		if stale {
+			obj.ChangedDate = opts.StaleDate
+		} else {
+			obj.ChangedDate = opts.FreshDate
+		}
+		for _, nb := range topo.Graph.Neighbors(asn) {
+			if rng.Float64() >= opts.NeighborCoverage {
+				continue
+			}
+			rule := ImportRule{From: nb, Pref: -1, Accept: "ANY"}
+			if lp, ok := pol.Import.NeighborPref[nb]; ok && rng.Float64() >= opts.NoActionProb {
+				rule.Pref = PrefFromLocalPref(lp)
+			}
+			obj.Imports = append(obj.Imports, rule)
+			obj.Exports = append(obj.Exports, ExportRule{To: nb, Announce: asn.String()})
+		}
+		db.Objects = append(db.Objects, obj)
+	}
+	return db
+}
+
+func rpslName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+			out = append(out, c-'a'+'A')
+		case (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-':
+			out = append(out, c)
+		default:
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}
+
+// NeighborsWithPref returns the (neighbor, localpref) pairs recoverable
+// from an object's import lines.
+func (o *AutNum) NeighborsWithPref() map[bgp.ASN]uint32 {
+	out := make(map[bgp.ASN]uint32)
+	for _, im := range o.Imports {
+		if im.Pref >= 0 {
+			out[im.From] = LocalPrefFromPref(im.Pref)
+		}
+	}
+	return out
+}

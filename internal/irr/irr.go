@@ -1,0 +1,332 @@
+// Package irr models the Internet Routing Registry as the paper uses it:
+// RPSL aut-num objects whose import lines carry preference actions
+// ("import: from AS2 action pref = 1; accept ANY"). The paper mines these
+// for the Table 3 import-policy view, after discarding objects not
+// updated during the measurement year.
+//
+// RPSL "pref" is opposite to BGP local preference: smaller values win
+// (the paper's footnote 2).
+package irr
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+)
+
+// ErrBadRPSL wraps parse failures.
+var ErrBadRPSL = errors.New("irr: bad RPSL")
+
+// ImportRule is one parsed "import:" line.
+type ImportRule struct {
+	// From is the neighbor AS.
+	From bgp.ASN
+	// Pref is the RPSL preference (smaller = more preferred); -1 when
+	// the line carries no pref action.
+	Pref int
+	// Accept is the filter expression ("ANY", "AS-FOO", a prefix, ...).
+	Accept string
+}
+
+// ExportRule is one parsed "export:" line.
+type ExportRule struct {
+	// To is the neighbor AS.
+	To bgp.ASN
+	// Announce is the announced object ("ANY", "AS1", ...).
+	Announce string
+}
+
+// AutNum is one aut-num object.
+type AutNum struct {
+	ASN     bgp.ASN
+	ASName  string
+	Descr   string
+	Imports []ImportRule
+	Exports []ExportRule
+	// ChangedDate is the YYYYMMDD date of the last "changed:" attribute;
+	// 0 when absent.
+	ChangedDate int
+	Source      string
+}
+
+// Database is a collection of aut-num objects.
+type Database struct {
+	Objects []AutNum
+}
+
+// Get returns the object for asn.
+func (db *Database) Get(asn bgp.ASN) (*AutNum, bool) {
+	for i := range db.Objects {
+		if db.Objects[i].ASN == asn {
+			return &db.Objects[i], true
+		}
+	}
+	return nil, false
+}
+
+// FilterFresh returns a database containing only objects whose
+// ChangedDate is >= minDate — the paper's "discard those ASs which are
+// not updated during 2002".
+func (db *Database) FilterFresh(minDate int) *Database {
+	out := &Database{}
+	for _, o := range db.Objects {
+		if o.ChangedDate >= minDate {
+			out.Objects = append(out.Objects, o)
+		}
+	}
+	return out
+}
+
+// WriteTo serializes the database in RPSL, objects separated by blank
+// lines, deterministically ordered by ASN.
+func (db *Database) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	objs := append([]AutNum(nil), db.Objects...)
+	sort.Slice(objs, func(i, j int) bool { return objs[i].ASN < objs[j].ASN })
+	var total int64
+	write := func(format string, args ...interface{}) error {
+		n, err := fmt.Fprintf(bw, format, args...)
+		total += int64(n)
+		return err
+	}
+	for i, o := range objs {
+		if i > 0 {
+			if err := write("\n"); err != nil {
+				return total, err
+			}
+		}
+		if err := write("aut-num:     %s\n", o.ASN); err != nil {
+			return total, err
+		}
+		if o.ASName != "" {
+			if err := write("as-name:     %s\n", o.ASName); err != nil {
+				return total, err
+			}
+		}
+		if o.Descr != "" {
+			if err := write("descr:       %s\n", o.Descr); err != nil {
+				return total, err
+			}
+		}
+		for _, im := range o.Imports {
+			if im.Pref >= 0 {
+				if err := write("import:      from %s action pref = %d; accept %s\n", im.From, im.Pref, im.Accept); err != nil {
+					return total, err
+				}
+			} else {
+				if err := write("import:      from %s accept %s\n", im.From, im.Accept); err != nil {
+					return total, err
+				}
+			}
+		}
+		for _, ex := range o.Exports {
+			if err := write("export:      to %s announce %s\n", ex.To, ex.Announce); err != nil {
+				return total, err
+			}
+		}
+		if o.ChangedDate > 0 {
+			if err := write("changed:     noc@%s %d\n", strings.ToLower(o.ASN.String()), o.ChangedDate); err != nil {
+				return total, err
+			}
+		}
+		src := o.Source
+		if src == "" {
+			src = "RADB"
+		}
+		if err := write("source:      %s\n", src); err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Parse reads an RPSL database. Unknown attributes are preserved only in
+// spirit (skipped); comment lines start with '%' or '#'.
+func Parse(r io.Reader) (*Database, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	db := &Database{}
+	var cur *AutNum
+	lineNo := 0
+	flush := func() {
+		if cur != nil {
+			db.Objects = append(db.Objects, *cur)
+			cur = nil
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			flush()
+			continue
+		}
+		if strings.HasPrefix(trimmed, "%") || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		colon := strings.IndexByte(trimmed, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("%w: line %d: no attribute", ErrBadRPSL, lineNo)
+		}
+		attr := strings.ToLower(strings.TrimSpace(trimmed[:colon]))
+		value := strings.TrimSpace(trimmed[colon+1:])
+		switch attr {
+		case "aut-num":
+			flush()
+			asn, err := parseASN(value)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadRPSL, lineNo, err)
+			}
+			cur = &AutNum{ASN: asn}
+		case "as-name":
+			if cur == nil {
+				return nil, fmt.Errorf("%w: line %d: attribute outside object", ErrBadRPSL, lineNo)
+			}
+			cur.ASName = value
+		case "descr":
+			if cur == nil {
+				return nil, fmt.Errorf("%w: line %d: attribute outside object", ErrBadRPSL, lineNo)
+			}
+			cur.Descr = value
+		case "import":
+			if cur == nil {
+				return nil, fmt.Errorf("%w: line %d: attribute outside object", ErrBadRPSL, lineNo)
+			}
+			rule, err := parseImport(value)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadRPSL, lineNo, err)
+			}
+			cur.Imports = append(cur.Imports, rule)
+		case "export":
+			if cur == nil {
+				return nil, fmt.Errorf("%w: line %d: attribute outside object", ErrBadRPSL, lineNo)
+			}
+			rule, err := parseExport(value)
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadRPSL, lineNo, err)
+			}
+			cur.Exports = append(cur.Exports, rule)
+		case "changed":
+			if cur == nil {
+				return nil, fmt.Errorf("%w: line %d: attribute outside object", ErrBadRPSL, lineNo)
+			}
+			fields := strings.Fields(value)
+			if len(fields) > 0 {
+				if d, err := strconv.Atoi(fields[len(fields)-1]); err == nil {
+					cur.ChangedDate = d
+				}
+			}
+		case "source":
+			if cur == nil {
+				return nil, fmt.Errorf("%w: line %d: attribute outside object", ErrBadRPSL, lineNo)
+			}
+			cur.Source = value
+		default:
+			// Other RPSL attributes (admin-c, tech-c, mnt-by, ...) are
+			// irrelevant to the analyses and skipped.
+		}
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func parseASN(s string) (bgp.ASN, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 3 || !strings.EqualFold(s[:2], "AS") {
+		return 0, fmt.Errorf("bad AS number %q", s)
+	}
+	n, err := strconv.ParseUint(s[2:], 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad AS number %q", s)
+	}
+	return bgp.ASN(n), nil
+}
+
+// parseImport handles "from ASx [action pref = n;] accept FILTER".
+func parseImport(value string) (ImportRule, error) {
+	rule := ImportRule{Pref: -1}
+	rest := strings.TrimSpace(value)
+	if !strings.HasPrefix(strings.ToLower(rest), "from ") {
+		return rule, fmt.Errorf("import without 'from': %q", value)
+	}
+	rest = strings.TrimSpace(rest[5:])
+	sp := strings.IndexAny(rest, " \t")
+	if sp < 0 {
+		return rule, fmt.Errorf("import missing filter: %q", value)
+	}
+	asn, err := parseASN(rest[:sp])
+	if err != nil {
+		return rule, err
+	}
+	rule.From = asn
+	rest = strings.TrimSpace(rest[sp:])
+	if strings.HasPrefix(strings.ToLower(rest), "action") {
+		semi := strings.IndexByte(rest, ';')
+		if semi < 0 {
+			return rule, fmt.Errorf("action without ';': %q", value)
+		}
+		action := strings.TrimSpace(rest[len("action"):semi])
+		rest = strings.TrimSpace(rest[semi+1:])
+		// Only the pref action matters to the analyses.
+		for _, part := range strings.Split(action, ",") {
+			part = strings.TrimSpace(part)
+			if strings.HasPrefix(strings.ToLower(part), "pref") {
+				eq := strings.IndexByte(part, '=')
+				if eq < 0 {
+					return rule, fmt.Errorf("pref without value: %q", value)
+				}
+				v, err := strconv.Atoi(strings.TrimSpace(part[eq+1:]))
+				if err != nil {
+					return rule, fmt.Errorf("bad pref value: %q", value)
+				}
+				rule.Pref = v
+			}
+		}
+	}
+	if !strings.HasPrefix(strings.ToLower(rest), "accept") {
+		return rule, fmt.Errorf("import missing 'accept': %q", value)
+	}
+	rule.Accept = strings.TrimSpace(rest[len("accept"):])
+	if rule.Accept == "" {
+		return rule, fmt.Errorf("empty accept filter: %q", value)
+	}
+	return rule, nil
+}
+
+// parseExport handles "to ASx announce OBJECT".
+func parseExport(value string) (ExportRule, error) {
+	var rule ExportRule
+	rest := strings.TrimSpace(value)
+	if !strings.HasPrefix(strings.ToLower(rest), "to ") {
+		return rule, fmt.Errorf("export without 'to': %q", value)
+	}
+	rest = strings.TrimSpace(rest[3:])
+	sp := strings.IndexAny(rest, " \t")
+	if sp < 0 {
+		return rule, fmt.Errorf("export missing announce: %q", value)
+	}
+	asn, err := parseASN(rest[:sp])
+	if err != nil {
+		return rule, err
+	}
+	rule.To = asn
+	rest = strings.TrimSpace(rest[sp:])
+	if !strings.HasPrefix(strings.ToLower(rest), "announce") {
+		return rule, fmt.Errorf("export missing 'announce': %q", value)
+	}
+	rule.Announce = strings.TrimSpace(rest[len("announce"):])
+	if rule.Announce == "" {
+		return rule, fmt.Errorf("empty announce: %q", value)
+	}
+	return rule, nil
+}

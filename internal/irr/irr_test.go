@@ -1,0 +1,255 @@
+package irr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+const sampleDB = `% RADB snapshot
+aut-num:     AS1
+as-name:     EXAMPLE-BACKBONE
+descr:       Example backbone network
+import:      from AS2 action pref = 1; accept ANY
+import:      from AS3 action pref = 10, med = 0; accept AS3
+import:      from AS4 accept ANY
+export:      to AS2 announce AS1
+changed:     noc@as1 20021104
+source:      RADB
+
+aut-num:     AS7
+descr:       Stale object
+import:      from AS8 action pref = 5; accept ANY
+changed:     noc@as7 20010101
+source:      RIPE
+`
+
+func TestParseSample(t *testing.T) {
+	db, err := Parse(strings.NewReader(sampleDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Objects) != 2 {
+		t.Fatalf("objects = %d", len(db.Objects))
+	}
+	o, ok := db.Get(1)
+	if !ok {
+		t.Fatal("AS1 missing")
+	}
+	if o.ASName != "EXAMPLE-BACKBONE" || o.ChangedDate != 20021104 || o.Source != "RADB" {
+		t.Fatalf("metadata: %+v", o)
+	}
+	if len(o.Imports) != 3 {
+		t.Fatalf("imports = %d", len(o.Imports))
+	}
+	if o.Imports[0].From != 2 || o.Imports[0].Pref != 1 || o.Imports[0].Accept != "ANY" {
+		t.Fatalf("import[0]: %+v", o.Imports[0])
+	}
+	// Multi-part action: pref extracted, med ignored.
+	if o.Imports[1].Pref != 10 || o.Imports[1].Accept != "AS3" {
+		t.Fatalf("import[1]: %+v", o.Imports[1])
+	}
+	// No action: pref = -1.
+	if o.Imports[2].Pref != -1 {
+		t.Fatalf("import[2]: %+v", o.Imports[2])
+	}
+	if len(o.Exports) != 1 || o.Exports[0].To != 2 || o.Exports[0].Announce != "AS1" {
+		t.Fatalf("exports: %+v", o.Exports)
+	}
+	if _, ok := db.Get(99); ok {
+		t.Fatal("phantom object")
+	}
+}
+
+func TestFilterFresh(t *testing.T) {
+	db, err := Parse(strings.NewReader(sampleDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := db.FilterFresh(20020101)
+	if len(fresh.Objects) != 1 || fresh.Objects[0].ASN != 1 {
+		t.Fatalf("fresh = %+v", fresh.Objects)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	db, err := Parse(strings.NewReader(sampleDB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Objects) != len(db.Objects) {
+		t.Fatalf("object count changed: %d -> %d", len(db.Objects), len(back.Objects))
+	}
+	a, _ := back.Get(1)
+	if len(a.Imports) != 3 || a.Imports[0].Pref != 1 || a.Imports[2].Pref != -1 {
+		t.Fatalf("imports after round trip: %+v", a.Imports)
+	}
+	if a.ChangedDate != 20021104 {
+		t.Fatalf("changed date lost: %d", a.ChangedDate)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"garbage line\n",
+		"aut-num: ASx\n",
+		"as-name: X\n", // attribute outside object
+		"aut-num: AS1\nimport: nonsense\n",
+		"aut-num: AS1\nimport: from AS2\n",
+		"aut-num: AS1\nimport: from AS2 action pref = x; accept ANY\n",
+		"aut-num: AS1\nimport: from AS2 action pref = 1 accept ANY\n", // missing ';'
+		"aut-num: AS1\nimport: from AS2 action pref = 1; accept\n",
+		"aut-num: AS1\nexport: to AS2\n",
+		"aut-num: AS1\nexport: announce AS1\n",
+		"aut-num: AS1\nexport: to AS2 announce\n",
+	}
+	for _, b := range bad {
+		if _, err := Parse(strings.NewReader(b)); err == nil {
+			t.Errorf("Parse(%q) succeeded", b)
+		}
+	}
+}
+
+func TestPrefConversion(t *testing.T) {
+	for _, lp := range []uint32{80, 90, 100, 104} {
+		if got := LocalPrefFromPref(PrefFromLocalPref(lp)); got != lp {
+			t.Fatalf("conversion: %d -> %d", lp, got)
+		}
+	}
+	// Inversion: higher localpref → smaller pref.
+	if PrefFromLocalPref(100) >= PrefFromLocalPref(80) {
+		t.Fatal("pref ordering must invert localpref ordering")
+	}
+}
+
+func TestGenerateFromTopology(t *testing.T) {
+	topo, err := topogen.Generate(topogen.DefaultConfig(200, 51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultGenOptions(3)
+	db := Generate(topo, opts)
+	if len(db.Objects) == 0 {
+		t.Fatal("empty registry")
+	}
+	// Missing fraction is roughly honored.
+	frac := float64(len(db.Objects)) / float64(len(topo.Order))
+	if frac < 0.6 || frac > 0.9 {
+		t.Fatalf("object coverage %.2f, expected ~0.75", frac)
+	}
+	stale, fresh := 0, 0
+	prefsSeen := 0
+	for _, o := range db.Objects {
+		switch o.ChangedDate {
+		case opts.FreshDate:
+			fresh++
+		case opts.StaleDate:
+			stale++
+		default:
+			t.Fatalf("unexpected date %d", o.ChangedDate)
+		}
+		pol := topo.Policies[o.ASN]
+		for _, im := range o.Imports {
+			if im.Pref < 0 {
+				continue
+			}
+			prefsSeen++
+			want, ok := pol.Import.NeighborPref[im.From]
+			if !ok {
+				// Neighbors without configured pref (siblings) never get
+				// actions in the generator.
+				t.Fatalf("%v: pref for unconfigured neighbor %v", o.ASN, im.From)
+			}
+			if LocalPrefFromPref(im.Pref) != want {
+				t.Fatalf("%v→%v: pref %d does not invert to localpref %d", o.ASN, im.From, im.Pref, want)
+			}
+		}
+	}
+	if stale == 0 || fresh == 0 {
+		t.Fatalf("staleness mix degenerate: %d stale, %d fresh", stale, fresh)
+	}
+	if prefsSeen == 0 {
+		t.Fatal("no pref actions generated")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	topo, err := topogen.Generate(topogen.DefaultConfig(120, 52))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if _, err := Generate(topo, DefaultGenOptions(9)).WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(topo, DefaultGenOptions(9)).WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("generation not deterministic")
+	}
+	var c bytes.Buffer
+	if _, err := Generate(topo, DefaultGenOptions(10)).WriteTo(&c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical registries")
+	}
+}
+
+func TestGenerateRoundTripThroughRPSL(t *testing.T) {
+	topo, err := topogen.Generate(topogen.DefaultConfig(120, 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Generate(topo, DefaultGenOptions(4))
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Objects) != len(db.Objects) {
+		t.Fatalf("count: %d -> %d", len(db.Objects), len(back.Objects))
+	}
+	for i := range db.Objects {
+		want, got := db.Objects[i], back.Objects[i]
+		if want.ASN != got.ASN || len(want.Imports) != len(got.Imports) {
+			t.Fatalf("object %v changed", want.ASN)
+		}
+		wantPrefs := want.NeighborsWithPref()
+		gotPrefs := got.NeighborsWithPref()
+		if len(wantPrefs) != len(gotPrefs) {
+			t.Fatalf("%v: pref count changed", want.ASN)
+		}
+		for nb, lp := range wantPrefs {
+			if gotPrefs[nb] != lp {
+				t.Fatalf("%v→%v: %d != %d", want.ASN, nb, gotPrefs[nb], lp)
+			}
+		}
+	}
+}
+
+func TestNeighborsWithPref(t *testing.T) {
+	o := AutNum{Imports: []ImportRule{
+		{From: 2, Pref: PrefFromLocalPref(100)},
+		{From: 3, Pref: -1},
+	}}
+	m := o.NeighborsWithPref()
+	if len(m) != 1 || m[bgp.ASN(2)] != 100 {
+		t.Fatalf("NeighborsWithPref = %v", m)
+	}
+}

@@ -1,0 +1,425 @@
+// Package lookingglass renders and parses Cisco-IOS-style "show ip bgp"
+// output — the format the paper retrieved from 15 Looking Glass servers
+// to obtain fine-grained routing information (local preference and BGP
+// communities) that RouteViews dumps lack.
+//
+// Two forms are supported, matching IOS:
+//
+//	show ip bgp            → the tabular full-table listing
+//	show ip bgp <prefix>   → the detailed per-prefix entry (with
+//	                         Community lines, as in the paper's appendix)
+package lookingglass
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// LocalWeight is the weight IOS assigns to locally originated routes.
+const LocalWeight = 32768
+
+// ErrBadFormat wraps parse failures.
+var ErrBadFormat = errors.New("lookingglass: bad format")
+
+// TableLine is one parsed line of the tabular listing.
+type TableLine struct {
+	// Best marks the '>' flag.
+	Best bool
+	// Internal marks the 'i' status (iBGP-learned).
+	Internal bool
+	// Weight is the IOS weight column (LocalWeight for local routes).
+	Weight int
+	// Route carries prefix, next hop, MED (metric), localpref, path and
+	// origin.
+	Route *bgp.Route
+}
+
+// RenderTable renders rib in the tabular "show ip bgp" format. Routes are
+// listed per prefix in candidate order with the best route first, the way
+// IOS groups paths under one Network stanza.
+func RenderTable(w io.Writer, rib *bgp.RIB, routerID uint32) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "BGP table version is 1, local router ID is %s\n", netx.FormatAddr(routerID))
+	fmt.Fprintf(bw, "Status codes: s suppressed, d damped, h history, * valid, > best, i - internal\n")
+	fmt.Fprintf(bw, "Origin codes: i - IGP, e - EGP, ? - incomplete\n\n")
+	fmt.Fprintf(bw, "   Network          Next Hop            Metric LocPrf Weight Path\n")
+	for _, prefix := range rib.Prefixes() {
+		best := rib.Best(prefix)
+		cands := rib.Candidates(prefix)
+		// Best first, then the rest in candidate order.
+		ordered := make([]*bgp.Route, 0, len(cands))
+		if best != nil {
+			ordered = append(ordered, best)
+		}
+		for _, c := range cands {
+			if c != best {
+				ordered = append(ordered, c)
+			}
+		}
+		for i, r := range ordered {
+			flags := "* "
+			if r == best {
+				flags = "*>"
+			}
+			net := prefix.String()
+			if i > 0 {
+				net = "" // continuation line, IOS style
+			}
+			weight := 0
+			if r.IsLocal() {
+				weight = LocalWeight
+			}
+			fmt.Fprintf(bw, "%s %-16s %-19s %6d %6d %6d %s %c\n",
+				flags, net, netx.FormatAddr(r.NextHop), r.MED, r.LocalPref, weight,
+				r.Path.String(), r.Origin.OriginCode())
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTable parses tabular output produced by RenderTable (or IOS, as
+// long as the numeric columns are populated).
+func ParseTable(r io.Reader) ([]TableLine, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var (
+		out     []TableLine
+		current netx.Prefix
+		haveCur bool
+		lineNo  int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || !strings.HasPrefix(line, "*") {
+			continue // banner/header lines
+		}
+		best := strings.HasPrefix(line, "*>")
+		rest := strings.TrimLeft(line, "*> sdhi")
+		fields := strings.Fields(rest)
+		// Layout: [prefix] nexthop metric locprf weight path... origin
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadFormat, lineNo, line)
+		}
+		idx := 0
+		if strings.ContainsRune(fields[0], '/') {
+			p, err := netx.ParsePrefix(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, lineNo, err)
+			}
+			current, haveCur = p, true
+			idx = 1
+		}
+		if !haveCur {
+			return nil, fmt.Errorf("%w: line %d: continuation before any network", ErrBadFormat, lineNo)
+		}
+		if len(fields) < idx+4 {
+			return nil, fmt.Errorf("%w: line %d: too few columns", ErrBadFormat, lineNo)
+		}
+		nextHop, err := netx.ParseAddr(fields[idx])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: next hop: %v", ErrBadFormat, lineNo, err)
+		}
+		med, err := strconv.ParseUint(fields[idx+1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: metric: %v", ErrBadFormat, lineNo, err)
+		}
+		lp, err := strconv.ParseUint(fields[idx+2], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: locprf: %v", ErrBadFormat, lineNo, err)
+		}
+		weight, err := strconv.Atoi(fields[idx+3])
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: weight: %v", ErrBadFormat, lineNo, err)
+		}
+		pathFields := fields[idx+4:]
+		if len(pathFields) == 0 {
+			return nil, fmt.Errorf("%w: line %d: missing origin code", ErrBadFormat, lineNo)
+		}
+		originCode := pathFields[len(pathFields)-1]
+		var origin bgp.Origin
+		switch originCode {
+		case "i":
+			origin = bgp.OriginIGP
+		case "e":
+			origin = bgp.OriginEGP
+		case "?":
+			origin = bgp.OriginIncomplete
+		default:
+			return nil, fmt.Errorf("%w: line %d: origin code %q", ErrBadFormat, lineNo, originCode)
+		}
+		path, err := bgp.ParsePath(strings.Join(pathFields[:len(pathFields)-1], " "))
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, lineNo, err)
+		}
+		out = append(out, TableLine{
+			Best:   best,
+			Weight: weight,
+			Route: &bgp.Route{
+				Prefix:    current,
+				Path:      path,
+				NextHop:   nextHop,
+				MED:       uint32(med),
+				LocalPref: uint32(lp),
+				Origin:    origin,
+			},
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EntryPath is one path in a detailed "show ip bgp <prefix>" entry.
+type EntryPath struct {
+	Route *bgp.Route
+	Best  bool
+	// FromIP is the announcing session address.
+	FromIP uint32
+}
+
+// RenderEntry renders the detailed per-prefix form, including the
+// Community line the paper's appendix relies on:
+//
+//	BGP routing table entry for 80.96.180.0/24
+//	Paths: (1 available, best #1)
+//	  8220 12878 5606 15471
+//	    193.148.15.101 from 213.136.31.5
+//	      Origin IGP, metric 5, localpref 210, best
+//	      Community: 12859:1000
+func RenderEntry(w io.Writer, rib *bgp.RIB, prefix netx.Prefix) error {
+	cands := rib.Candidates(prefix)
+	if len(cands) == 0 {
+		_, err := fmt.Fprintf(w, "%% Network not in table\n")
+		return err
+	}
+	best := rib.Best(prefix)
+	bestIdx := 0
+	for i, c := range cands {
+		if c == best {
+			bestIdx = i + 1
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "BGP routing table entry for %s\n", prefix)
+	fmt.Fprintf(bw, "Paths: (%d available, best #%d)\n", len(cands), bestIdx)
+	for _, c := range cands {
+		pathStr := c.Path.String()
+		if pathStr == "" {
+			pathStr = "Local"
+		}
+		fmt.Fprintf(bw, "  %s\n", pathStr)
+		fmt.Fprintf(bw, "    %s from %s\n", netx.FormatAddr(c.NextHop), netx.FormatAddr(c.NextHop))
+		attrs := fmt.Sprintf("      Origin %s, metric %d, localpref %d", c.Origin, c.MED, c.LocalPref)
+		if c.FromIBGP {
+			attrs += ", internal"
+		}
+		if c == best {
+			attrs += ", best"
+		}
+		fmt.Fprintf(bw, "%s\n", attrs)
+		if len(c.Communities) > 0 {
+			fmt.Fprintf(bw, "      Community: %s\n", c.Communities)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseEntry parses the detailed form back into paths.
+func ParseEntry(r io.Reader) ([]EntryPath, error) {
+	sc := bufio.NewScanner(r)
+	var (
+		out    []EntryPath
+		prefix netx.Prefix
+		cur    *EntryPath
+		lineNo int
+	)
+	flush := func() {
+		if cur != nil {
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "% Network not in table"):
+			return nil, nil
+		case strings.HasPrefix(trimmed, "BGP routing table entry for "):
+			p, err := netx.ParsePrefix(strings.TrimPrefix(trimmed, "BGP routing table entry for "))
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, lineNo, err)
+			}
+			prefix = p
+		case strings.HasPrefix(trimmed, "Paths:"):
+			// informational
+		case strings.HasPrefix(trimmed, "Origin "):
+			if cur == nil {
+				return nil, fmt.Errorf("%w: line %d: attributes before path", ErrBadFormat, lineNo)
+			}
+			if err := parseAttrLine(trimmed, cur); err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, lineNo, err)
+			}
+		case strings.HasPrefix(trimmed, "Community: "):
+			if cur == nil {
+				return nil, fmt.Errorf("%w: line %d: community before path", ErrBadFormat, lineNo)
+			}
+			cs, err := bgp.ParseCommunities(strings.TrimPrefix(trimmed, "Community: "))
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, lineNo, err)
+			}
+			cur.Route.Communities = cs
+		case strings.Contains(trimmed, " from "):
+			if cur == nil {
+				return nil, fmt.Errorf("%w: line %d: session line before path", ErrBadFormat, lineNo)
+			}
+			fields := strings.Fields(trimmed)
+			ip, err := netx.ParseAddr(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, lineNo, err)
+			}
+			cur.Route.NextHop = ip
+			if len(fields) >= 3 {
+				if from, err := netx.ParseAddr(fields[2]); err == nil {
+					cur.FromIP = from
+				}
+			}
+		case trimmed == "":
+			// blank
+		default:
+			// A path line: "Local" or a space-separated ASN list.
+			flush()
+			var path bgp.Path
+			if trimmed != "Local" {
+				p, err := bgp.ParsePath(trimmed)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: %v", ErrBadFormat, lineNo, err)
+				}
+				path = p
+			}
+			cur = &EntryPath{Route: &bgp.Route{Prefix: prefix, Path: path}}
+		}
+	}
+	flush()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseAttrLine(line string, cur *EntryPath) error {
+	for _, part := range strings.Split(line, ",") {
+		part = strings.TrimSpace(part)
+		switch {
+		case strings.HasPrefix(part, "Origin "):
+			switch strings.TrimPrefix(part, "Origin ") {
+			case "IGP":
+				cur.Route.Origin = bgp.OriginIGP
+			case "EGP":
+				cur.Route.Origin = bgp.OriginEGP
+			case "incomplete":
+				cur.Route.Origin = bgp.OriginIncomplete
+			default:
+				return fmt.Errorf("unknown origin %q", part)
+			}
+		case strings.HasPrefix(part, "metric "):
+			v, err := strconv.ParseUint(strings.TrimPrefix(part, "metric "), 10, 32)
+			if err != nil {
+				return err
+			}
+			cur.Route.MED = uint32(v)
+		case strings.HasPrefix(part, "localpref "):
+			v, err := strconv.ParseUint(strings.TrimPrefix(part, "localpref "), 10, 32)
+			if err != nil {
+				return err
+			}
+			cur.Route.LocalPref = uint32(v)
+		case part == "internal":
+			cur.Route.FromIBGP = true
+		case part == "best":
+			cur.Best = true
+		}
+	}
+	return nil
+}
+
+// Server answers looking-glass queries against a set of RIBs, playing the
+// role of the per-AS Looking Glass servers in the paper's Table 1.
+type Server struct {
+	ribs map[bgp.ASN]*bgp.RIB
+}
+
+// NewServer builds a server over the given tables.
+func NewServer(ribs map[bgp.ASN]*bgp.RIB) *Server {
+	return &Server{ribs: ribs}
+}
+
+// ASes lists the ASes the server can answer for, ascending.
+func (s *Server) ASes() []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(s.ribs))
+	for asn := range s.ribs {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Query executes a limited command set: "show ip bgp" and
+// "show ip bgp <prefix>".
+func (s *Server) Query(asn bgp.ASN, command string, w io.Writer) error {
+	rib, ok := s.ribs[asn]
+	if !ok {
+		return fmt.Errorf("lookingglass: no table for %v", asn)
+	}
+	cmd := strings.TrimSpace(command)
+	switch {
+	case cmd == "show ip bgp":
+		return RenderTable(w, rib, uint32(asn))
+	case strings.HasPrefix(cmd, "show ip bgp "):
+		arg := strings.TrimSpace(strings.TrimPrefix(cmd, "show ip bgp "))
+		prefix, err := netx.ParsePrefix(arg)
+		if err != nil {
+			// Accept a bare address: longest-match lookup like IOS.
+			addr, aerr := netx.ParseAddr(arg)
+			if aerr != nil {
+				return fmt.Errorf("lookingglass: bad argument %q", arg)
+			}
+			prefix, err = longestMatch(rib, addr)
+			if err != nil {
+				fmt.Fprintf(w, "%% Network not in table\n")
+				return nil
+			}
+		}
+		return RenderEntry(w, rib, prefix)
+	default:
+		return fmt.Errorf("lookingglass: unsupported command %q", command)
+	}
+}
+
+func longestMatch(rib *bgp.RIB, addr uint32) (netx.Prefix, error) {
+	var (
+		best  netx.Prefix
+		found bool
+	)
+	for _, p := range rib.Prefixes() {
+		if p.ContainsAddr(addr) && (!found || p.Len > best.Len) {
+			best, found = p, true
+		}
+	}
+	if !found {
+		return netx.Prefix{}, errors.New("no match")
+	}
+	return best, nil
+}

@@ -1,0 +1,277 @@
+package lookingglass
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+func buildRIB(t *testing.T) *bgp.RIB {
+	t.Helper()
+	rib := bgp.NewRIB(12859)
+	mk := func(prefix, path string, lp, med uint32, comms ...bgp.Community) *bgp.Route {
+		p, err := bgp.ParsePath(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &bgp.Route{
+			Prefix:      netx.MustParsePrefix(prefix),
+			Path:        p,
+			NextHop:     0xC1943065, // 193.148.48.101
+			LocalPref:   lp,
+			MED:         med,
+			Origin:      bgp.OriginIGP,
+			Communities: bgp.NewCommunities(comms...),
+		}
+	}
+	rib.Upsert(8220, mk("80.96.180.0/24", "8220 12878 5606 15471", 210, 5, bgp.MakeCommunity(12859, 1000)))
+	rib.Upsert(701, mk("80.96.180.0/24", "701 5606 15471", 90, 0))
+	rib.Upsert(701, mk("20.0.0.0/16", "701 7018", 80, 0))
+	// A locally originated prefix.
+	rib.Upsert(12859, &bgp.Route{
+		Prefix:    netx.MustParsePrefix("62.1.0.0/19"),
+		LocalPref: 1 << 20,
+		NextHop:   0,
+		Origin:    bgp.OriginIGP,
+	})
+	return rib
+}
+
+func TestRenderAndParseTable(t *testing.T) {
+	rib := buildRIB(t)
+	var buf bytes.Buffer
+	if err := RenderTable(&buf, rib, 0x0A010101); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "local router ID is 10.1.1.1") {
+		t.Fatalf("banner missing:\n%s", text)
+	}
+	if !strings.Contains(text, "*> 80.96.180.0/24") {
+		t.Fatalf("best marker missing:\n%s", text)
+	}
+
+	lines, err := ParseTable(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("parsed %d lines, want 4:\n%s", len(lines), text)
+	}
+	// Group by prefix and compare against the RIB.
+	byPrefix := map[netx.Prefix][]TableLine{}
+	for _, l := range lines {
+		byPrefix[l.Route.Prefix] = append(byPrefix[l.Route.Prefix], l)
+	}
+	target := netx.MustParsePrefix("80.96.180.0/24")
+	got := byPrefix[target]
+	if len(got) != 2 {
+		t.Fatalf("candidates for %v: %d", target, len(got))
+	}
+	if !got[0].Best || got[1].Best {
+		t.Fatal("best must be listed first and flagged")
+	}
+	if got[0].Route.LocalPref != 210 || got[0].Route.MED != 5 {
+		t.Fatalf("best attrs: %+v", got[0].Route)
+	}
+	if got[0].Route.Path.String() != "8220 12878 5606 15471" {
+		t.Fatalf("best path: %v", got[0].Route.Path)
+	}
+	// Local route round trip: weight column.
+	local := byPrefix[netx.MustParsePrefix("62.1.0.0/19")]
+	if len(local) != 1 || local[0].Weight != LocalWeight || len(local[0].Route.Path) != 0 {
+		t.Fatalf("local route: %+v", local)
+	}
+}
+
+func TestParseTableErrors(t *testing.T) {
+	bad := []string{
+		"*>                  10.0.0.1                0     90      0 701 i\n", // continuation first
+		"*> 10.0.0.0/8      10.0.0.1                x     90      0 701 i\n",  // bad metric
+		"*> 10.0.0.0/8      10.0.0.1                0     90      0 701 x\n",  // bad origin
+		"*> 10.0.0.0/8      10.0.0.1                0     90\n",               // short
+		"*> 10.0.0.x/8      10.0.0.1                0     90      0 701 i\n",  // bad prefix
+		"*> 10.0.0.0/8      10.0.0.x                0     90      0 701 i\n",  // bad next hop
+		"*> 10.0.0.0/8      10.0.0.1                0     90      0\n",        // no origin
+		"*> 10.0.0.0/8      10.0.0.1                0     90      0 70x1 i\n", // bad path
+	}
+	for _, b := range bad {
+		if _, err := ParseTable(strings.NewReader(b)); err == nil {
+			t.Errorf("ParseTable(%q) succeeded", b)
+		}
+	}
+	// Headers and empty input parse cleanly.
+	got, err := ParseTable(strings.NewReader("BGP table version is 1\n\n   Network   Next Hop\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("headers-only: %v, %v", got, err)
+	}
+}
+
+func TestRenderAndParseEntry(t *testing.T) {
+	rib := buildRIB(t)
+	prefix := netx.MustParsePrefix("80.96.180.0/24")
+	var buf bytes.Buffer
+	if err := RenderEntry(&buf, rib, prefix); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "BGP routing table entry for 80.96.180.0/24") {
+		t.Fatalf("entry banner missing:\n%s", text)
+	}
+	if !strings.Contains(text, "Community: 12859:1000") {
+		t.Fatalf("community line missing:\n%s", text)
+	}
+
+	paths, err := ParseEntry(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("parsed %d paths, want 2", len(paths))
+	}
+	var best *EntryPath
+	for i := range paths {
+		if paths[i].Best {
+			best = &paths[i]
+		}
+	}
+	if best == nil {
+		t.Fatal("no best path parsed")
+	}
+	if best.Route.LocalPref != 210 {
+		t.Fatalf("best localpref = %d", best.Route.LocalPref)
+	}
+	if !best.Route.Communities.Has(bgp.MakeCommunity(12859, 1000)) {
+		t.Fatalf("communities lost: %v", best.Route.Communities)
+	}
+	if best.Route.Path.String() != "8220 12878 5606 15471" {
+		t.Fatalf("path: %v", best.Route.Path)
+	}
+}
+
+func TestRenderEntryLocalRoute(t *testing.T) {
+	rib := buildRIB(t)
+	var buf bytes.Buffer
+	if err := RenderEntry(&buf, rib, netx.MustParsePrefix("62.1.0.0/19")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Local") {
+		t.Fatalf("local path marker missing:\n%s", buf.String())
+	}
+	paths, err := ParseEntry(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || len(paths[0].Route.Path) != 0 {
+		t.Fatalf("local entry: %+v", paths)
+	}
+}
+
+func TestRenderEntryMissingPrefix(t *testing.T) {
+	rib := buildRIB(t)
+	var buf bytes.Buffer
+	if err := RenderEntry(&buf, rib, netx.MustParsePrefix("99.0.0.0/8")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "% Network not in table") {
+		t.Fatalf("missing-prefix output:\n%s", buf.String())
+	}
+	paths, err := ParseEntry(strings.NewReader(buf.String()))
+	if err != nil || paths != nil {
+		t.Fatalf("not-in-table parse: %v, %v", paths, err)
+	}
+}
+
+func TestServerQueries(t *testing.T) {
+	rib := buildRIB(t)
+	srv := NewServer(map[bgp.ASN]*bgp.RIB{12859: rib})
+	if got := srv.ASes(); len(got) != 1 || got[0] != 12859 {
+		t.Fatalf("ASes = %v", got)
+	}
+
+	var buf bytes.Buffer
+	if err := srv.Query(12859, "show ip bgp", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Network") {
+		t.Fatal("table output missing header")
+	}
+
+	buf.Reset()
+	if err := srv.Query(12859, "show ip bgp 80.96.180.0/24", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Community: 12859:1000") {
+		t.Fatal("entry output missing community")
+	}
+
+	// Bare-address query resolves by longest match, like IOS.
+	buf.Reset()
+	if err := srv.Query(12859, "show ip bgp 80.96.180.77", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "80.96.180.0/24") {
+		t.Fatalf("longest match failed:\n%s", buf.String())
+	}
+
+	// Unknown address falls back to not-in-table.
+	buf.Reset()
+	if err := srv.Query(12859, "show ip bgp 99.99.99.99", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "% Network not in table") {
+		t.Fatal("unknown address must report not in table")
+	}
+
+	if err := srv.Query(999, "show ip bgp", &buf); err == nil {
+		t.Fatal("unknown AS must fail")
+	}
+	if err := srv.Query(12859, "show version", &buf); err == nil {
+		t.Fatal("unsupported command must fail")
+	}
+	if err := srv.Query(12859, "show ip bgp not-an-addr", &buf); err == nil {
+		t.Fatal("bad argument must fail")
+	}
+}
+
+func TestParseEntryErrors(t *testing.T) {
+	bad := []string{
+		"BGP routing table entry for nonsense\n",
+		"BGP routing table entry for 10.0.0.0/8\n      Origin IGP, metric 0, localpref 90, best\n", // attrs before path
+		"BGP routing table entry for 10.0.0.0/8\n      Community: 1:1\n",
+		"BGP routing table entry for 10.0.0.0/8\n  70x 80\n",
+	}
+	for _, b := range bad {
+		if _, err := ParseEntry(strings.NewReader(b)); err == nil {
+			t.Errorf("ParseEntry(%q) succeeded", b)
+		}
+	}
+}
+
+func TestTableRoundTripThroughServer(t *testing.T) {
+	// Full fidelity check: render → parse → every parsed line matches a
+	// candidate in the source RIB.
+	rib := buildRIB(t)
+	var buf bytes.Buffer
+	if err := RenderTable(&buf, rib, 1); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := ParseTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range lines {
+		found := false
+		for _, c := range rib.Candidates(l.Route.Prefix) {
+			if c.Path.Equal(l.Route.Path) && c.LocalPref == l.Route.LocalPref && c.MED == l.Route.MED {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("parsed line has no RIB counterpart: %+v", l.Route)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+)
+
+// BGP path attribute encoding. TABLE_DUMP carries 2-byte AS numbers in
+// AS_PATH; TABLE_DUMP_V2 RIB entries always use 4-byte AS numbers
+// (RFC 6396 §4.3.4).
+
+const (
+	segmentASSet      = 1
+	segmentASSequence = 2
+)
+
+// encodeAttrs serializes the route's path attributes in canonical order.
+func encodeAttrs(r *bgp.Route, as4 bool) []byte {
+	var out []byte
+
+	// ORIGIN — well-known mandatory.
+	out = append(out, flagTransitive, attrOrigin, 1, byte(r.Origin))
+
+	// AS_PATH — well-known mandatory; a single AS_SEQUENCE segment (or
+	// empty for locally originated routes).
+	path := encodeASPath(r.Path, as4)
+	out = appendAttr(out, flagTransitive, attrASPath, path)
+
+	// NEXT_HOP.
+	var nh [4]byte
+	binary.BigEndian.PutUint32(nh[:], r.NextHop)
+	out = appendAttr(out, flagTransitive, attrNextHop, nh[:])
+
+	// MULTI_EXIT_DISC — optional non-transitive, written when non-zero.
+	if r.MED != 0 {
+		var med [4]byte
+		binary.BigEndian.PutUint32(med[:], r.MED)
+		out = appendAttr(out, flagOptional, attrMED, med[:])
+	}
+
+	// LOCAL_PREF — well-known on iBGP sessions; table dumps carry it
+	// whenever the collector's peer exported it. Always written so the
+	// paper's Looking-Glass-grade analyses can read it back.
+	var lp [4]byte
+	binary.BigEndian.PutUint32(lp[:], r.LocalPref)
+	out = appendAttr(out, flagTransitive, attrLocalPref, lp[:])
+
+	// COMMUNITY — optional transitive.
+	if len(r.Communities) > 0 {
+		cs := make([]byte, 4*len(r.Communities))
+		for i, c := range r.Communities {
+			binary.BigEndian.PutUint32(cs[i*4:], uint32(c))
+		}
+		out = appendAttr(out, flagOptional|flagTransitive, attrCommunity, cs)
+	}
+	return out
+}
+
+func encodeASPath(p bgp.Path, as4 bool) []byte {
+	if len(p) == 0 {
+		return nil
+	}
+	size := 2
+	if as4 {
+		size = 4
+	}
+	out := make([]byte, 2+size*len(p))
+	out[0] = segmentASSequence
+	out[1] = byte(len(p))
+	for i, asn := range p {
+		if as4 {
+			binary.BigEndian.PutUint32(out[2+i*4:], uint32(asn))
+		} else {
+			binary.BigEndian.PutUint16(out[2+i*2:], uint16(asn))
+		}
+	}
+	return out
+}
+
+func appendAttr(dst []byte, flags, code byte, body []byte) []byte {
+	if len(body) > 0xff {
+		flags |= flagExtLen
+		dst = append(dst, flags, code, byte(len(body)>>8), byte(len(body)))
+	} else {
+		dst = append(dst, flags, code, byte(len(body)))
+	}
+	return append(dst, body...)
+}
+
+// decodeAttrs fills route fields from an attribute blob.
+func decodeAttrs(blob []byte, as4 bool, r *bgp.Route) error {
+	c := byteCursor{b: blob}
+	for c.remain() > 0 {
+		flags, err := c.u8()
+		if err != nil {
+			return err
+		}
+		code, err := c.u8()
+		if err != nil {
+			return err
+		}
+		var length int
+		if flags&flagExtLen != 0 {
+			l, err := c.u16()
+			if err != nil {
+				return err
+			}
+			length = int(l)
+		} else {
+			l, err := c.u8()
+			if err != nil {
+				return err
+			}
+			length = int(l)
+		}
+		body, err := c.take(length)
+		if err != nil {
+			return err
+		}
+		switch code {
+		case attrOrigin:
+			if length != 1 {
+				return fmt.Errorf("%w: ORIGIN length %d", ErrBadRecord, length)
+			}
+			if body[0] > 2 {
+				return fmt.Errorf("%w: ORIGIN value %d", ErrBadRecord, body[0])
+			}
+			r.Origin = bgp.Origin(body[0])
+		case attrASPath:
+			path, err := decodeASPath(body, as4)
+			if err != nil {
+				return err
+			}
+			r.Path = path
+		case attrNextHop:
+			if length != 4 {
+				return fmt.Errorf("%w: NEXT_HOP length %d", ErrBadRecord, length)
+			}
+			r.NextHop = binary.BigEndian.Uint32(body)
+		case attrMED:
+			if length != 4 {
+				return fmt.Errorf("%w: MED length %d", ErrBadRecord, length)
+			}
+			r.MED = binary.BigEndian.Uint32(body)
+		case attrLocalPref:
+			if length != 4 {
+				return fmt.Errorf("%w: LOCAL_PREF length %d", ErrBadRecord, length)
+			}
+			r.LocalPref = binary.BigEndian.Uint32(body)
+		case attrCommunity:
+			if length%4 != 0 {
+				return fmt.Errorf("%w: COMMUNITY length %d", ErrBadRecord, length)
+			}
+			cs := make([]bgp.Community, length/4)
+			for i := range cs {
+				cs[i] = bgp.Community(binary.BigEndian.Uint32(body[i*4:]))
+			}
+			r.Communities = bgp.NewCommunities(cs...)
+		default:
+			// Unknown attributes are skipped, as real parsers do.
+		}
+	}
+	return nil
+}
+
+func decodeASPath(body []byte, as4 bool) (bgp.Path, error) {
+	size := 2
+	if as4 {
+		size = 4
+	}
+	var path bgp.Path
+	c := byteCursor{b: body}
+	for c.remain() > 0 {
+		segType, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		count, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		if segType != segmentASSequence && segType != segmentASSet {
+			return nil, fmt.Errorf("%w: AS_PATH segment type %d", ErrBadRecord, segType)
+		}
+		seg, err := c.take(int(count) * size)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < int(count); i++ {
+			var asn uint32
+			if as4 {
+				asn = binary.BigEndian.Uint32(seg[i*4:])
+			} else {
+				asn = uint32(binary.BigEndian.Uint16(seg[i*2:]))
+			}
+			path = append(path, bgp.ASN(asn))
+		}
+	}
+	return path, nil
+}

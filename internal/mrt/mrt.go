@@ -1,0 +1,138 @@
+// Package mrt implements the subset of the MRT export format (RFC 6396)
+// that BGP table snapshots use: TABLE_DUMP (type 12, the format Oregon
+// RouteViews used in the paper's 2002 era) and TABLE_DUMP_V2 (type 13,
+// PEER_INDEX_TABLE + RIB_IPV4_UNICAST). Only IPv4 unicast is supported,
+// matching the paper's data.
+//
+// The package converts between on-disk records and the bgp.Route model
+// used by the rest of policyscope.
+package mrt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MRT record types and subtypes (RFC 6396 §4).
+const (
+	TypeTableDump   uint16 = 12
+	TypeTableDumpV2 uint16 = 13
+
+	SubtypeAFIIPv4 uint16 = 1 // TABLE_DUMP
+
+	SubtypePeerIndexTable uint16 = 1 // TABLE_DUMP_V2
+	SubtypeRIBIPv4Unicast uint16 = 2
+)
+
+// BGP path attribute type codes (RFC 4271 §5).
+const (
+	attrOrigin    = 1
+	attrASPath    = 2
+	attrNextHop   = 3
+	attrMED       = 4
+	attrLocalPref = 5
+	attrCommunity = 8
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLen     = 0x10
+)
+
+// Errors returned by the reader.
+var (
+	// ErrTruncated indicates a record shorter than its header claims.
+	ErrTruncated = errors.New("mrt: truncated record")
+	// ErrBadRecord wraps structural decoding failures.
+	ErrBadRecord = errors.New("mrt: malformed record")
+	// ErrUnsupported marks record types this subset does not handle.
+	ErrUnsupported = errors.New("mrt: unsupported record type")
+)
+
+// Header is the common MRT record header.
+type Header struct {
+	Timestamp uint32
+	Type      uint16
+	Subtype   uint16
+	Length    uint32
+}
+
+const headerLen = 12
+
+// maxRecordLen guards against absurd length fields in corrupt input.
+const maxRecordLen = 16 << 20
+
+func writeHeader(w io.Writer, h Header) error {
+	var buf [headerLen]byte
+	binary.BigEndian.PutUint32(buf[0:], h.Timestamp)
+	binary.BigEndian.PutUint16(buf[4:], h.Type)
+	binary.BigEndian.PutUint16(buf[6:], h.Subtype)
+	binary.BigEndian.PutUint32(buf[8:], h.Length)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func readHeader(r io.Reader) (Header, error) {
+	var buf [headerLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Header{}, fmt.Errorf("%w: partial header", ErrTruncated)
+		}
+		return Header{}, err // io.EOF at a record boundary is clean EOF
+	}
+	h := Header{
+		Timestamp: binary.BigEndian.Uint32(buf[0:]),
+		Type:      binary.BigEndian.Uint16(buf[4:]),
+		Subtype:   binary.BigEndian.Uint16(buf[6:]),
+		Length:    binary.BigEndian.Uint32(buf[8:]),
+	}
+	if h.Length > maxRecordLen {
+		return Header{}, fmt.Errorf("%w: record length %d exceeds limit", ErrBadRecord, h.Length)
+	}
+	return h, nil
+}
+
+// byteCursor walks a record body with bounds checking.
+type byteCursor struct {
+	b   []byte
+	off int
+}
+
+func (c *byteCursor) remain() int { return len(c.b) - c.off }
+
+func (c *byteCursor) take(n int) ([]byte, error) {
+	if c.remain() < n {
+		return nil, fmt.Errorf("%w: want %d bytes, have %d", ErrTruncated, n, c.remain())
+	}
+	out := c.b[c.off : c.off+n]
+	c.off += n
+	return out, nil
+}
+
+func (c *byteCursor) u8() (uint8, error) {
+	b, err := c.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (c *byteCursor) u16() (uint16, error) {
+	b, err := c.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (c *byteCursor) u32() (uint32, error) {
+	b, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}

@@ -1,0 +1,382 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+func sampleRoute() *bgp.Route {
+	path, _ := bgp.ParsePath("701 1239 7018")
+	return &bgp.Route{
+		Prefix:      netx.MustParsePrefix("12.10.0.0/19"),
+		Path:        path,
+		NextHop:     0x0a010101,
+		LocalPref:   120,
+		MED:         30,
+		Origin:      bgp.OriginIGP,
+		Communities: bgp.NewCommunities(bgp.MakeCommunity(12859, 1000), bgp.NoExport),
+	}
+}
+
+func TestTableDumpRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1037000000)
+	entry := TableEntry{PeerAS: 701, PeerIP: 0xC0A80001, Route: sampleRoute(), OriginatedAt: 42}
+	if err := w.WriteTableDump(entry); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	td, ok := recs[0].(*TableDumpRecord)
+	if !ok {
+		t.Fatalf("record type %T", recs[0])
+	}
+	got := td.Entry
+	if got.PeerAS != 701 || got.PeerIP != 0xC0A80001 || got.OriginatedAt != 42 {
+		t.Fatalf("entry metadata: %+v", got)
+	}
+	want := sampleRoute()
+	if got.Route.Prefix != want.Prefix || !got.Route.Path.Equal(want.Path) {
+		t.Fatalf("route: %v", got.Route)
+	}
+	if got.Route.LocalPref != 120 || got.Route.MED != 30 || got.Route.Origin != bgp.OriginIGP {
+		t.Fatalf("attrs: %v", got.Route)
+	}
+	if len(got.Route.Communities) != 2 || !got.Route.Communities.Has(bgp.NoExport) {
+		t.Fatalf("communities: %v", got.Route.Communities)
+	}
+	if td.Header.Timestamp != 1037000000 {
+		t.Fatalf("timestamp: %d", td.Header.Timestamp)
+	}
+}
+
+func TestTableDumpV2RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 99)
+	peers := []PeerEntry{
+		{BGPID: 1, IP: 0x01010101, AS: 701, AS4: false},
+		{BGPID: 2, IP: 0x02020202, AS: 75000, AS4: true}, // 4-byte ASN peer
+	}
+	if err := w.WritePeerIndex(0x0A0A0A0A, "policyscope-view", peers); err != nil {
+		t.Fatal(err)
+	}
+	r1 := sampleRoute()
+	r2 := sampleRoute()
+	r2.Path, _ = bgp.ParsePath("75000 3356 7018")
+	r2.LocalPref = 80
+	r2.MED = 0 // omitted attribute path
+	r2.Communities = nil
+	entries := []TableEntry{
+		{PeerAS: 701, PeerIP: 0x01010101, Route: r1, OriginatedAt: 7},
+		{PeerAS: 75000, PeerIP: 0x02020202, Route: r2, OriginatedAt: 8},
+	}
+	if err := w.WriteRIB(r1.Prefix, entries); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	pi, ok := recs[0].(*PeerIndexRecord)
+	if !ok || pi.ViewName != "policyscope-view" || pi.CollectorID != 0x0A0A0A0A {
+		t.Fatalf("peer index: %+v", recs[0])
+	}
+	if len(pi.Peers) != 2 || pi.Peers[1].AS != 75000 || !pi.Peers[1].AS4 {
+		t.Fatalf("peers: %+v", pi.Peers)
+	}
+	rib, ok := recs[1].(*RIBRecord)
+	if !ok {
+		t.Fatalf("record type %T", recs[1])
+	}
+	if rib.Prefix != r1.Prefix || len(rib.Entries) != 2 {
+		t.Fatalf("rib: %+v", rib)
+	}
+	if !rib.Entries[0].Route.Path.Equal(r1.Path) {
+		t.Fatalf("entry 0 path %v", rib.Entries[0].Route.Path)
+	}
+	if !rib.Entries[1].Route.Path.Equal(r2.Path) {
+		t.Fatalf("entry 1 path %v (4-byte ASN must survive)", rib.Entries[1].Route.Path)
+	}
+	if rib.Entries[1].Route.MED != 0 || rib.Entries[1].Route.Communities != nil {
+		t.Fatalf("omitted attrs decoded wrong: %+v", rib.Entries[1].Route)
+	}
+}
+
+func TestTableDumpTruncatesASNTo16Bits(t *testing.T) {
+	// v1 faithfully truncates 4-byte ASNs; this is a format property.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	r := sampleRoute()
+	r.Path = bgp.Path{75000}
+	if err := w.WriteTableDump(TableEntry{PeerAS: 1, Route: r}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := recs[0].(*TableDumpRecord).Entry.Route.Path[0]
+	if got != bgp.ASN(75000&0xffff) {
+		t.Fatalf("v1 ASN = %v, want 16-bit truncation", got)
+	}
+}
+
+func TestRIBBeforePeerIndexFails(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.WriteRIB(netx.MustParsePrefix("10.0.0.0/8"), nil); err == nil {
+		t.Fatal("WriteRIB without index must fail")
+	}
+	// Reader side: hand-craft a RIB record with no preceding index.
+	var buf2 bytes.Buffer
+	w2 := NewWriter(&buf2, 0)
+	if err := w2.WritePeerIndex(1, "v", []PeerEntry{{AS: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.WriteRIB(netx.MustParsePrefix("10.0.0.0/8"),
+		[]TableEntry{{PeerAS: 1, Route: &bgp.Route{Prefix: netx.MustParsePrefix("10.0.0.0/8")}}}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf2.Bytes()
+	// Skip the first record (peer index) and feed only the RIB record.
+	h, err := readHeader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ribOnly := full[headerLen+int(h.Length):]
+	if _, err := ReadAll(bytes.NewReader(ribOnly)); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("RIB without index = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestUnknownPeerInRIB(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.WritePeerIndex(1, "v", []PeerEntry{{AS: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	err := w.WriteRIB(netx.MustParsePrefix("10.0.0.0/8"),
+		[]TableEntry{{PeerAS: 99, Route: &bgp.Route{Prefix: netx.MustParsePrefix("10.0.0.0/8")}}})
+	if err == nil {
+		t.Fatal("unknown peer must fail")
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.WriteTableDump(TableEntry{PeerAS: 1, Route: sampleRoute()}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cut mid-header and mid-body.
+	for _, cut := range []int{3, headerLen + 4} {
+		_, err := ReadAll(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut at %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+	// Empty stream: clean EOF.
+	recs, err := ReadAll(bytes.NewReader(nil))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty stream: %v, %v", recs, err)
+	}
+}
+
+func TestUnsupportedType(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, Header{Type: 16, Subtype: 1, Length: 0}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadAll(&buf)
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestAbsurdLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHeader(&buf, Header{Type: TypeTableDump, Subtype: 1, Length: maxRecordLen + 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadAll(&buf)
+	if !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("err = %v, want ErrBadRecord", err)
+	}
+}
+
+func TestBadAttributeValues(t *testing.T) {
+	mk := func(mutate func([]byte) []byte) error {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 0)
+		if err := w.WriteTableDump(TableEntry{PeerAS: 1, Route: sampleRoute()}); err != nil {
+			return err
+		}
+		raw := mutate(buf.Bytes())
+		_, err := ReadAll(bytes.NewReader(raw))
+		return err
+	}
+	// Corrupt the ORIGIN value (first attribute body byte after the
+	// fixed 22-byte prefix header region + attr header).
+	err := mk(func(b []byte) []byte {
+		b[headerLen+22+3] = 9 // ORIGIN value byte
+		return b
+	})
+	if !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("bad origin: %v", err)
+	}
+	// Corrupt the prefix length field.
+	err = mk(func(b []byte) []byte {
+		b[headerLen+8] = 60
+		return b
+	})
+	if !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("bad prefix len: %v", err)
+	}
+}
+
+// TestPropertyV2RoundTrip fuzzes random routes through the v2 format.
+func TestPropertyV2RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func() bool {
+		prefLen := uint8(8 + rng.Intn(17))
+		prefix := netx.Prefix{Addr: rng.Uint32() & netx.Mask(prefLen), Len: prefLen}
+		n := 1 + rng.Intn(4)
+		peers := make([]PeerEntry, n)
+		entries := make([]TableEntry, n)
+		for i := range peers {
+			asn := bgp.ASN(1 + rng.Intn(64000))
+			peers[i] = PeerEntry{BGPID: uint32(i + 1), IP: rng.Uint32(), AS: asn, AS4: rng.Intn(2) == 0}
+			pl := 1 + rng.Intn(5)
+			path := make(bgp.Path, pl)
+			path[0] = asn
+			for j := 1; j < pl; j++ {
+				path[j] = bgp.ASN(1 + rng.Intn(64000))
+			}
+			var comms []bgp.Community
+			for j := 0; j < rng.Intn(3); j++ {
+				comms = append(comms, bgp.MakeCommunity(bgp.ASN(rng.Intn(65000)), uint16(rng.Intn(65000))))
+			}
+			entries[i] = TableEntry{
+				PeerAS: asn,
+				PeerIP: peers[i].IP,
+				Route: &bgp.Route{
+					Prefix:      prefix,
+					Path:        path,
+					NextHop:     rng.Uint32(),
+					LocalPref:   uint32(rng.Intn(200)),
+					MED:         uint32(rng.Intn(2) * (1 + rng.Intn(100))),
+					Origin:      bgp.Origin(rng.Intn(3)),
+					Communities: bgp.NewCommunities(comms...),
+				},
+				OriginatedAt: rng.Uint32(),
+			}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 1)
+		if err := w.WritePeerIndex(7, "fuzz", peers); err != nil {
+			return false
+		}
+		if err := w.WriteRIB(prefix, entries); err != nil {
+			return false
+		}
+		recs, err := ReadAll(&buf)
+		if err != nil || len(recs) != 2 {
+			return false
+		}
+		rib := recs[1].(*RIBRecord)
+		if rib.Prefix != prefix || len(rib.Entries) != n {
+			return false
+		}
+		for i, e := range rib.Entries {
+			want := entries[i]
+			if e.PeerAS != want.PeerAS || !e.Route.Path.Equal(want.Route.Path) {
+				return false
+			}
+			if e.Route.LocalPref != want.Route.LocalPref || e.Route.MED != want.Route.MED {
+				return false
+			}
+			if e.Route.Origin != want.Route.Origin || e.Route.NextHop != want.Route.NextHop {
+				return false
+			}
+			if len(e.Route.Communities) != len(want.Route.Communities) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleRIBRecordsSequence(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 5)
+	if err := w.WritePeerIndex(1, "v", []PeerEntry{{AS: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p := netx.Prefix{Addr: uint32(i) << 24, Len: 8}
+		e := TableEntry{PeerAS: 10, Route: &bgp.Route{Prefix: p, Path: bgp.Path{10}}}
+		if err := w.WriteRIB(p, []TableEntry{e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("records = %d, err = %v", len(recs), err)
+	}
+	for i := 1; i < 4; i++ {
+		rib := recs[i].(*RIBRecord)
+		if rib.Sequence != uint32(i-1) {
+			t.Fatalf("sequence[%d] = %d", i, rib.Sequence)
+		}
+	}
+}
+
+func TestReaderIsStreaming(t *testing.T) {
+	// Records decode one at a time from a non-seekable reader.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.WriteTableDump(TableEntry{PeerAS: 1, Route: sampleRoute()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteTableDump(TableEntry{PeerAS: 2, Route: sampleRoute()}); err != nil {
+		t.Fatal(err)
+	}
+	rd := NewReader(io.MultiReader(bytes.NewReader(buf.Bytes())))
+	first, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.(*TableDumpRecord).Entry.PeerAS != 1 {
+		t.Fatal("first record wrong")
+	}
+	second, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.(*TableDumpRecord).Entry.PeerAS != 2 {
+		t.Fatal("second record wrong")
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}

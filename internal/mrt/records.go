@@ -1,0 +1,440 @@
+package mrt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// TableEntry is one (peer, route) observation in a table snapshot: the
+// best route some collector peer announced for a prefix.
+type TableEntry struct {
+	// PeerAS is the collector peer that contributed the route.
+	PeerAS bgp.ASN
+	// PeerIP is the peer's session address.
+	PeerIP uint32
+	// Route is the decoded route (prefix + attributes).
+	Route *bgp.Route
+	// OriginatedAt is the route's age timestamp.
+	OriginatedAt uint32
+}
+
+// Record is any decoded MRT record.
+type Record interface{ mrtRecord() }
+
+// TableDumpRecord is one TABLE_DUMP (v1) entry: a single route.
+type TableDumpRecord struct {
+	Header   Header
+	ViewNum  uint16
+	Sequence uint16
+	Status   uint8
+	Entry    TableEntry
+}
+
+func (*TableDumpRecord) mrtRecord() {}
+
+// PeerIndexRecord is a TABLE_DUMP_V2 PEER_INDEX_TABLE.
+type PeerIndexRecord struct {
+	Header      Header
+	CollectorID uint32
+	ViewName    string
+	Peers       []PeerEntry
+}
+
+func (*PeerIndexRecord) mrtRecord() {}
+
+// PeerEntry describes one collector peer in the index.
+type PeerEntry struct {
+	BGPID uint32
+	IP    uint32
+	AS    bgp.ASN
+	AS4   bool // 4-byte ASN encoding for this peer
+}
+
+// RIBRecord is a TABLE_DUMP_V2 RIB_IPV4_UNICAST: all peers' routes for
+// one prefix.
+type RIBRecord struct {
+	Header   Header
+	Sequence uint32
+	Prefix   netx.Prefix
+	// PeerIndex[i] indexes into the preceding PeerIndexRecord's Peers.
+	PeerIndex []uint16
+	Entries   []TableEntry
+}
+
+func (*RIBRecord) mrtRecord() {}
+
+// Writer emits MRT records. Create with NewWriter.
+type Writer struct {
+	w         io.Writer
+	timestamp uint32
+	peerIdx   map[bgp.ASN]uint16
+	peers     []PeerEntry
+	seqV1     uint16
+	seqV2     uint32
+}
+
+// NewWriter wraps w. All records carry the given snapshot timestamp, as
+// table dumps do.
+func NewWriter(w io.Writer, timestamp uint32) *Writer {
+	return &Writer{w: w, timestamp: timestamp}
+}
+
+// WriteTableDump emits one TABLE_DUMP (v1) record for the entry. AS
+// numbers are truncated to 16 bits, faithfully to the v1 format.
+func (wr *Writer) WriteTableDump(e TableEntry) error {
+	attrs := encodeAttrs(e.Route, false)
+	body := make([]byte, 0, 22+len(attrs))
+	var scratch [4]byte
+
+	binary.BigEndian.PutUint16(scratch[:2], 0) // view number
+	body = append(body, scratch[:2]...)
+	binary.BigEndian.PutUint16(scratch[:2], wr.seqV1)
+	body = append(body, scratch[:2]...)
+	wr.seqV1++
+
+	binary.BigEndian.PutUint32(scratch[:], e.Route.Prefix.Addr)
+	body = append(body, scratch[:4]...)
+	body = append(body, e.Route.Prefix.Len, 1) // status = 1 (valid)
+
+	binary.BigEndian.PutUint32(scratch[:], e.OriginatedAt)
+	body = append(body, scratch[:4]...)
+	binary.BigEndian.PutUint32(scratch[:], e.PeerIP)
+	body = append(body, scratch[:4]...)
+	binary.BigEndian.PutUint16(scratch[:2], uint16(e.PeerAS))
+	body = append(body, scratch[:2]...)
+	binary.BigEndian.PutUint16(scratch[:2], uint16(len(attrs)))
+	body = append(body, scratch[:2]...)
+	body = append(body, attrs...)
+
+	if err := writeHeader(wr.w, Header{
+		Timestamp: wr.timestamp, Type: TypeTableDump, Subtype: SubtypeAFIIPv4,
+		Length: uint32(len(body)),
+	}); err != nil {
+		return err
+	}
+	_, err := wr.w.Write(body)
+	return err
+}
+
+// WritePeerIndex emits the PEER_INDEX_TABLE and fixes the peer numbering
+// used by subsequent WriteRIB calls.
+func (wr *Writer) WritePeerIndex(collectorID uint32, viewName string, peers []PeerEntry) error {
+	wr.peerIdx = make(map[bgp.ASN]uint16, len(peers))
+	wr.peers = append([]PeerEntry(nil), peers...)
+	for i, p := range peers {
+		wr.peerIdx[p.AS] = uint16(i)
+	}
+	body := make([]byte, 0, 8+len(viewName)+len(peers)*13)
+	var scratch [4]byte
+	binary.BigEndian.PutUint32(scratch[:], collectorID)
+	body = append(body, scratch[:4]...)
+	binary.BigEndian.PutUint16(scratch[:2], uint16(len(viewName)))
+	body = append(body, scratch[:2]...)
+	body = append(body, viewName...)
+	binary.BigEndian.PutUint16(scratch[:2], uint16(len(peers)))
+	body = append(body, scratch[:2]...)
+	for _, p := range peers {
+		// Peer type: bit 0 = IPv6 (never set here), bit 1 = 4-byte AS.
+		var ptype byte
+		if p.AS4 {
+			ptype |= 0x02
+		}
+		body = append(body, ptype)
+		binary.BigEndian.PutUint32(scratch[:], p.BGPID)
+		body = append(body, scratch[:4]...)
+		binary.BigEndian.PutUint32(scratch[:], p.IP)
+		body = append(body, scratch[:4]...)
+		if p.AS4 {
+			binary.BigEndian.PutUint32(scratch[:], uint32(p.AS))
+			body = append(body, scratch[:4]...)
+		} else {
+			binary.BigEndian.PutUint16(scratch[:2], uint16(p.AS))
+			body = append(body, scratch[:2]...)
+		}
+	}
+	if err := writeHeader(wr.w, Header{
+		Timestamp: wr.timestamp, Type: TypeTableDumpV2, Subtype: SubtypePeerIndexTable,
+		Length: uint32(len(body)),
+	}); err != nil {
+		return err
+	}
+	_, err := wr.w.Write(body)
+	return err
+}
+
+// WriteRIB emits one RIB_IPV4_UNICAST record with every peer's route for
+// the prefix. WritePeerIndex must have been called with entries covering
+// every PeerAS used here.
+func (wr *Writer) WriteRIB(prefix netx.Prefix, entries []TableEntry) error {
+	if wr.peerIdx == nil {
+		return fmt.Errorf("%w: WriteRIB before WritePeerIndex", ErrBadRecord)
+	}
+	body := make([]byte, 0, 16)
+	var scratch [4]byte
+	binary.BigEndian.PutUint32(scratch[:], wr.seqV2)
+	body = append(body, scratch[:4]...)
+	wr.seqV2++
+	body = append(body, prefix.Len)
+	// Prefix bytes: only the significant octets (RFC 6396 §4.3.2).
+	nBytes := (int(prefix.Len) + 7) / 8
+	binary.BigEndian.PutUint32(scratch[:], prefix.Addr)
+	body = append(body, scratch[:nBytes]...)
+	binary.BigEndian.PutUint16(scratch[:2], uint16(len(entries)))
+	body = append(body, scratch[:2]...)
+	for _, e := range entries {
+		idx, ok := wr.peerIdx[e.PeerAS]
+		if !ok {
+			return fmt.Errorf("%w: peer %v not in index", ErrBadRecord, e.PeerAS)
+		}
+		binary.BigEndian.PutUint16(scratch[:2], idx)
+		body = append(body, scratch[:2]...)
+		binary.BigEndian.PutUint32(scratch[:], e.OriginatedAt)
+		body = append(body, scratch[:4]...)
+		attrs := encodeAttrs(e.Route, true)
+		binary.BigEndian.PutUint16(scratch[:2], uint16(len(attrs)))
+		body = append(body, scratch[:2]...)
+		body = append(body, attrs...)
+	}
+	if err := writeHeader(wr.w, Header{
+		Timestamp: wr.timestamp, Type: TypeTableDumpV2, Subtype: SubtypeRIBIPv4Unicast,
+		Length: uint32(len(body)),
+	}); err != nil {
+		return err
+	}
+	_, err := wr.w.Write(body)
+	return err
+}
+
+// Reader decodes MRT records sequentially.
+type Reader struct {
+	r     io.Reader
+	peers []PeerEntry // from the last PEER_INDEX_TABLE
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+func (rd *Reader) Next() (Record, error) {
+	h, err := readHeader(rd.r)
+	if err != nil {
+		return nil, err
+	}
+	body := make([]byte, h.Length)
+	if _, err := io.ReadFull(rd.r, body); err != nil {
+		return nil, fmt.Errorf("%w: body shorter than header length", ErrTruncated)
+	}
+	switch {
+	case h.Type == TypeTableDump && h.Subtype == SubtypeAFIIPv4:
+		return decodeTableDump(h, body)
+	case h.Type == TypeTableDumpV2 && h.Subtype == SubtypePeerIndexTable:
+		rec, err := decodePeerIndex(h, body)
+		if err != nil {
+			return nil, err
+		}
+		rd.peers = rec.Peers
+		return rec, nil
+	case h.Type == TypeTableDumpV2 && h.Subtype == SubtypeRIBIPv4Unicast:
+		return decodeRIB(h, body, rd.peers)
+	default:
+		return nil, fmt.Errorf("%w: type %d subtype %d", ErrUnsupported, h.Type, h.Subtype)
+	}
+}
+
+func decodeTableDump(h Header, body []byte) (*TableDumpRecord, error) {
+	c := byteCursor{b: body}
+	rec := &TableDumpRecord{Header: h}
+	var err error
+	if rec.ViewNum, err = c.u16(); err != nil {
+		return nil, err
+	}
+	if rec.Sequence, err = c.u16(); err != nil {
+		return nil, err
+	}
+	addr, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	plen, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	if plen > 32 {
+		return nil, fmt.Errorf("%w: prefix length %d", ErrBadRecord, plen)
+	}
+	if rec.Status, err = c.u8(); err != nil {
+		return nil, err
+	}
+	if rec.Entry.OriginatedAt, err = c.u32(); err != nil {
+		return nil, err
+	}
+	if rec.Entry.PeerIP, err = c.u32(); err != nil {
+		return nil, err
+	}
+	peerAS, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	rec.Entry.PeerAS = bgp.ASN(peerAS)
+	attrLen, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := c.take(int(attrLen))
+	if err != nil {
+		return nil, err
+	}
+	route := &bgp.Route{Prefix: netx.Prefix{Addr: addr, Len: plen}}
+	if !route.Prefix.IsValid() {
+		return nil, fmt.Errorf("%w: non-canonical prefix", ErrBadRecord)
+	}
+	if err := decodeAttrs(attrs, false, route); err != nil {
+		return nil, err
+	}
+	rec.Entry.Route = route
+	return rec, nil
+}
+
+func decodePeerIndex(h Header, body []byte) (*PeerIndexRecord, error) {
+	c := byteCursor{b: body}
+	rec := &PeerIndexRecord{Header: h}
+	var err error
+	if rec.CollectorID, err = c.u32(); err != nil {
+		return nil, err
+	}
+	nameLen, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	name, err := c.take(int(nameLen))
+	if err != nil {
+		return nil, err
+	}
+	rec.ViewName = string(name)
+	count, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	rec.Peers = make([]PeerEntry, 0, count)
+	for i := 0; i < int(count); i++ {
+		ptype, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		if ptype&0x01 != 0 {
+			return nil, fmt.Errorf("%w: IPv6 peer entries", ErrUnsupported)
+		}
+		var p PeerEntry
+		p.AS4 = ptype&0x02 != 0
+		if p.BGPID, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if p.IP, err = c.u32(); err != nil {
+			return nil, err
+		}
+		if p.AS4 {
+			asn, err := c.u32()
+			if err != nil {
+				return nil, err
+			}
+			p.AS = bgp.ASN(asn)
+		} else {
+			asn, err := c.u16()
+			if err != nil {
+				return nil, err
+			}
+			p.AS = bgp.ASN(asn)
+		}
+		rec.Peers = append(rec.Peers, p)
+	}
+	return rec, nil
+}
+
+func decodeRIB(h Header, body []byte, peers []PeerEntry) (*RIBRecord, error) {
+	if peers == nil {
+		return nil, fmt.Errorf("%w: RIB record before PEER_INDEX_TABLE", ErrBadRecord)
+	}
+	c := byteCursor{b: body}
+	rec := &RIBRecord{Header: h}
+	var err error
+	if rec.Sequence, err = c.u32(); err != nil {
+		return nil, err
+	}
+	plen, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	if plen > 32 {
+		return nil, fmt.Errorf("%w: prefix length %d", ErrBadRecord, plen)
+	}
+	nBytes := (int(plen) + 7) / 8
+	pb, err := c.take(nBytes)
+	if err != nil {
+		return nil, err
+	}
+	var addr uint32
+	for i, b := range pb {
+		addr |= uint32(b) << (24 - 8*i)
+	}
+	rec.Prefix = netx.Prefix{Addr: addr, Len: plen}
+	if !rec.Prefix.IsValid() {
+		return nil, fmt.Errorf("%w: non-canonical prefix", ErrBadRecord)
+	}
+	count, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(count); i++ {
+		idx, err := c.u16()
+		if err != nil {
+			return nil, err
+		}
+		if int(idx) >= len(peers) {
+			return nil, fmt.Errorf("%w: peer index %d out of range", ErrBadRecord, idx)
+		}
+		origAt, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		attrLen, err := c.u16()
+		if err != nil {
+			return nil, err
+		}
+		attrs, err := c.take(int(attrLen))
+		if err != nil {
+			return nil, err
+		}
+		route := &bgp.Route{Prefix: rec.Prefix}
+		if err := decodeAttrs(attrs, true, route); err != nil {
+			return nil, err
+		}
+		rec.PeerIndex = append(rec.PeerIndex, idx)
+		rec.Entries = append(rec.Entries, TableEntry{
+			PeerAS:       peers[idx].AS,
+			PeerIP:       peers[idx].IP,
+			Route:        route,
+			OriginatedAt: origAt,
+		})
+	}
+	return rec, nil
+}
+
+// ReadAll drains the reader, returning every record until EOF.
+func ReadAll(r io.Reader) ([]Record, error) {
+	rd := NewReader(r)
+	var out []Record
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

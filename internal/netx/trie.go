@@ -1,0 +1,215 @@
+package netx
+
+// Trie is a binary radix trie keyed by Prefix. It supports exact lookup,
+// longest-prefix match, covering (less-specific) and covered (more-specific)
+// queries — the primitives behind the paper's prefix-splitting and
+// prefix-aggregation analyses (Table 9).
+//
+// The zero value is an empty trie ready for use. Trie is not safe for
+// concurrent mutation; concurrent readers are fine once built.
+type Trie[V any] struct {
+	root *trieNode[V]
+	size int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	val   V
+	set   bool
+}
+
+// Len returns the number of prefixes stored.
+func (t *Trie[V]) Len() int { return t.size }
+
+// Insert stores val under p, replacing any previous value. It reports
+// whether the prefix was newly inserted.
+func (t *Trie[V]) Insert(p Prefix, val V) bool {
+	p = p.Canonical()
+	if t.root == nil {
+		t.root = &trieNode[V]{}
+	}
+	n := t.root
+	for i := uint8(0); i < p.Len; i++ {
+		b := bitAt(p.Addr, i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode[V]{}
+		}
+		n = n.child[b]
+	}
+	added := !n.set
+	n.val, n.set = val, true
+	if added {
+		t.size++
+	}
+	return added
+}
+
+// Get returns the value stored exactly at p.
+func (t *Trie[V]) Get(p Prefix) (V, bool) {
+	var zero V
+	n := t.node(p)
+	if n == nil || !n.set {
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Delete removes the exact prefix p, reporting whether it was present.
+// Interior nodes are left in place; the trie is optimized for the
+// build-once, query-many pattern of routing-table analysis.
+func (t *Trie[V]) Delete(p Prefix) bool {
+	n := t.node(p)
+	if n == nil || !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+func (t *Trie[V]) node(p Prefix) *trieNode[V] {
+	p = p.Canonical()
+	n := t.root
+	for i := uint8(0); n != nil && i < p.Len; i++ {
+		n = n.child[bitAt(p.Addr, i)]
+	}
+	return n
+}
+
+// LongestMatch returns the most specific stored prefix containing the
+// address a.
+func (t *Trie[V]) LongestMatch(a uint32) (Prefix, V, bool) {
+	var (
+		bestP  Prefix
+		bestV  V
+		found  bool
+		cursor = t.root
+	)
+	for i := uint8(0); cursor != nil; i++ {
+		if cursor.set {
+			bestP = Prefix{Addr: a & Mask(i), Len: i}
+			bestV = cursor.val
+			found = true
+		}
+		if i == 32 {
+			break
+		}
+		cursor = cursor.child[bitAt(a, i)]
+	}
+	return bestP, bestV, found
+}
+
+// Covering returns every stored prefix that contains p (including p itself
+// if present), ordered from least to most specific.
+func (t *Trie[V]) Covering(p Prefix) []Prefix {
+	p = p.Canonical()
+	var out []Prefix
+	n := t.root
+	for i := uint8(0); n != nil; i++ {
+		if n.set {
+			out = append(out, Prefix{Addr: p.Addr & Mask(i), Len: i})
+		}
+		if i >= p.Len {
+			break
+		}
+		n = n.child[bitAt(p.Addr, i)]
+	}
+	return out
+}
+
+// HasCoveringStrict reports whether some stored prefix strictly contains p.
+func (t *Trie[V]) HasCoveringStrict(p Prefix) bool {
+	p = p.Canonical()
+	n := t.root
+	for i := uint8(0); n != nil && i < p.Len; i++ {
+		if n.set {
+			return true
+		}
+		n = n.child[bitAt(p.Addr, i)]
+	}
+	return false
+}
+
+// CoveredBy returns every stored prefix contained in p (including p itself
+// if present), in Compare order.
+func (t *Trie[V]) CoveredBy(p Prefix) []Prefix {
+	p = p.Canonical()
+	n := t.node(p)
+	if n == nil {
+		return nil
+	}
+	var out []Prefix
+	collect(n, p, &out)
+	return out
+}
+
+// HasCoveredStrict reports whether some stored prefix is strictly more
+// specific than p.
+func (t *Trie[V]) HasCoveredStrict(p Prefix) bool {
+	n := t.node(p)
+	if n == nil {
+		return false
+	}
+	var stack []*trieNode[V]
+	stack = append(stack, n.child[0], n.child[1])
+	for len(stack) > 0 {
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if top == nil {
+			continue
+		}
+		if top.set {
+			return true
+		}
+		stack = append(stack, top.child[0], top.child[1])
+	}
+	return false
+}
+
+func collect[V any](n *trieNode[V], at Prefix, out *[]Prefix) {
+	if n.set {
+		*out = append(*out, at)
+	}
+	if at.Len == 32 {
+		return
+	}
+	lo, hi, _ := at.Split()
+	if n.child[0] != nil {
+		collect(n.child[0], lo, out)
+	}
+	if n.child[1] != nil {
+		collect(n.child[1], hi, out)
+	}
+}
+
+// Walk visits every stored prefix in Compare order. The walk stops early if
+// fn returns false.
+func (t *Trie[V]) Walk(fn func(Prefix, V) bool) {
+	if t.root == nil {
+		return
+	}
+	walk(t.root, Prefix{}, fn)
+}
+
+func walk[V any](n *trieNode[V], at Prefix, fn func(Prefix, V) bool) bool {
+	if n.set && !fn(at, n.val) {
+		return false
+	}
+	if at.Len == 32 {
+		return true
+	}
+	lo, hi, _ := at.Split()
+	if n.child[0] != nil && !walk(n.child[0], lo, fn) {
+		return false
+	}
+	if n.child[1] != nil && !walk(n.child[1], hi, fn) {
+		return false
+	}
+	return true
+}
+
+// bitAt returns bit i (0 = most significant) of a.
+func bitAt(a uint32, i uint8) int {
+	return int(a>>(31-i)) & 1
+}

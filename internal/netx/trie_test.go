@@ -1,0 +1,241 @@
+package netx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrieInsertGetDelete(t *testing.T) {
+	var tr Trie[int]
+	p1 := MustParsePrefix("10.0.0.0/8")
+	p2 := MustParsePrefix("10.1.0.0/16")
+	p3 := MustParsePrefix("10.1.2.0/24")
+
+	if !tr.Insert(p1, 1) || !tr.Insert(p2, 2) || !tr.Insert(p3, 3) {
+		t.Fatal("fresh inserts must report true")
+	}
+	if tr.Insert(p2, 22) {
+		t.Fatal("overwrite must report false")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if v, ok := tr.Get(p2); !ok || v != 22 {
+		t.Fatalf("Get(p2) = %d, %v", v, ok)
+	}
+	if _, ok := tr.Get(MustParsePrefix("10.1.0.0/17")); ok {
+		t.Fatal("Get of absent prefix must fail")
+	}
+	if !tr.Delete(p2) {
+		t.Fatal("Delete of present prefix must succeed")
+	}
+	if tr.Delete(p2) {
+		t.Fatal("double delete must fail")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len after delete = %d", tr.Len())
+	}
+	if _, ok := tr.Get(p1); !ok {
+		t.Fatal("unrelated prefix lost after delete")
+	}
+}
+
+func TestTrieLongestMatch(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(MustParsePrefix("0.0.0.0/0"), "default")
+	tr.Insert(MustParsePrefix("12.0.0.0/8"), "eight")
+	tr.Insert(MustParsePrefix("12.10.0.0/19"), "nineteen")
+	tr.Insert(MustParsePrefix("12.10.1.0/24"), "twentyfour")
+
+	cases := []struct {
+		addr string
+		want string
+	}{
+		{"12.10.1.55", "twentyfour"},
+		{"12.10.2.1", "nineteen"},
+		{"12.200.0.1", "eight"},
+		{"99.0.0.1", "default"},
+	}
+	for _, c := range cases {
+		a, err := ParseAddr(c.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, v, ok := tr.LongestMatch(a)
+		if !ok || v != c.want {
+			t.Errorf("LongestMatch(%s) = %q, %v; want %q", c.addr, v, ok, c.want)
+		}
+	}
+
+	var empty Trie[string]
+	if _, _, ok := empty.LongestMatch(0); ok {
+		t.Fatal("match in empty trie")
+	}
+}
+
+func TestTrieCoveringCovered(t *testing.T) {
+	var tr Trie[int]
+	for i, s := range []string{"12.0.0.0/8", "12.10.0.0/19", "12.10.1.0/24", "13.0.0.0/8"} {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	cov := tr.Covering(MustParsePrefix("12.10.1.0/24"))
+	if len(cov) != 3 {
+		t.Fatalf("Covering = %v, want 3 entries", cov)
+	}
+	if cov[0].String() != "12.0.0.0/8" || cov[2].String() != "12.10.1.0/24" {
+		t.Fatalf("Covering order wrong: %v", cov)
+	}
+	if !tr.HasCoveringStrict(MustParsePrefix("12.10.1.0/24")) {
+		t.Fatal("strict covering missed")
+	}
+	if tr.HasCoveringStrict(MustParsePrefix("13.0.0.0/8")) {
+		t.Fatal("strict covering false positive")
+	}
+
+	sub := tr.CoveredBy(MustParsePrefix("12.0.0.0/8"))
+	if len(sub) != 3 {
+		t.Fatalf("CoveredBy = %v, want 3 entries", sub)
+	}
+	if !tr.HasCoveredStrict(MustParsePrefix("12.0.0.0/8")) {
+		t.Fatal("strict covered missed")
+	}
+	if tr.HasCoveredStrict(MustParsePrefix("12.10.1.0/24")) {
+		t.Fatal("strict covered false positive at leaf")
+	}
+	if got := tr.CoveredBy(MustParsePrefix("50.0.0.0/8")); got != nil {
+		t.Fatalf("CoveredBy(absent subtree) = %v", got)
+	}
+}
+
+func TestTrieWalkOrderAndEarlyStop(t *testing.T) {
+	var tr Trie[int]
+	in := []string{"13.0.0.0/8", "12.0.0.0/8", "12.10.1.0/24", "12.10.0.0/19"}
+	for i, s := range in {
+		tr.Insert(MustParsePrefix(s), i)
+	}
+	var seen []string
+	tr.Walk(func(p Prefix, _ int) bool {
+		seen = append(seen, p.String())
+		return true
+	})
+	want := []string{"12.0.0.0/8", "12.10.0.0/19", "12.10.1.0/24", "13.0.0.0/8"}
+	if len(seen) != len(want) {
+		t.Fatalf("walk visited %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", seen, want)
+		}
+	}
+	n := 0
+	tr.Walk(func(Prefix, int) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	var empty Trie[int]
+	empty.Walk(func(Prefix, int) bool { t.Fatal("walk on empty trie"); return false })
+}
+
+func TestTrieDefaultRouteEntry(t *testing.T) {
+	var tr Trie[string]
+	tr.Insert(Prefix{}, "default")
+	if v, ok := tr.Get(Prefix{}); !ok || v != "default" {
+		t.Fatal("default route lost")
+	}
+	p, v, ok := tr.LongestMatch(0xffffffff)
+	if !ok || v != "default" || p.Len != 0 {
+		t.Fatal("default route must match everything")
+	}
+}
+
+// TestPropertyTrieMatchesBruteForce cross-checks trie queries against a
+// linear scan over the same prefix set.
+func TestPropertyTrieMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		var tr Trie[int]
+		var all []Prefix
+		seen := map[Prefix]bool{}
+		for i := 0; i < 60; i++ {
+			p := randomPrefix(r)
+			if !seen[p] {
+				seen[p] = true
+				all = append(all, p)
+			}
+			tr.Insert(p, i)
+		}
+		if tr.Len() != len(all) {
+			return false
+		}
+		// Longest match at random addresses.
+		for i := 0; i < 20; i++ {
+			a := r.Uint32()
+			var best Prefix
+			bestLen := -1
+			for _, p := range all {
+				if p.ContainsAddr(a) && int(p.Len) > bestLen {
+					best, bestLen = p, int(p.Len)
+				}
+			}
+			gp, _, ok := tr.LongestMatch(a)
+			if ok != (bestLen >= 0) {
+				return false
+			}
+			if ok && gp != best {
+				return false
+			}
+		}
+		// Covering/covered against brute force for a random probe.
+		probe := randomPrefix(r)
+		var wantCover, wantSub int
+		for _, p := range all {
+			if p.Contains(probe) {
+				wantCover++
+			}
+			if probe.Contains(p) {
+				wantSub++
+			}
+		}
+		return len(tr.Covering(probe)) == wantCover && len(tr.CoveredBy(probe)) == wantSub
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTrieInsertDeleteLen(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		var tr Trie[int]
+		live := map[Prefix]bool{}
+		for i := 0; i < 200; i++ {
+			p := randomPrefix(r)
+			if r.Intn(3) == 0 {
+				want := live[p]
+				if tr.Delete(p) != want {
+					return false
+				}
+				delete(live, p)
+			} else {
+				want := !live[p]
+				if tr.Insert(p, i) != want {
+					return false
+				}
+				live[p] = true
+			}
+			if tr.Len() != len(live) {
+				return false
+			}
+		}
+		for p := range live {
+			if _, ok := tr.Get(p); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

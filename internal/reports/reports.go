@@ -1,0 +1,267 @@
+// Package reports renders experiment results as aligned text tables and
+// simple ASCII charts — one renderer per shape of table/figure in the
+// paper, so every experiment binary and the repro harness print
+// uniformly.
+package reports
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a generic aligned text table.
+type Table struct {
+	// Title is printed above the table (e.g. "Table 5: ...").
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the body cells; short rows are padded.
+	Rows [][]string
+	// Note, when non-empty, is printed beneath the table.
+	Note string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n := len(t.Columns)
+	widths := make([]int, n)
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i := 0; i < n && i < len(row); i++ {
+			if len(row[i]) > widths[i] {
+				widths[i] = len(row[i])
+			}
+		}
+	}
+	write := func(format string, args ...interface{}) error {
+		k, err := fmt.Fprintf(bw, format, args...)
+		total += int64(k)
+		return err
+	}
+	if t.Title != "" {
+		if err := write("%s\n", t.Title); err != nil {
+			return total, err
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		return write("%s\n", strings.TrimRight(b.String(), " "))
+	}
+	if err := line(t.Columns); err != nil {
+		return total, err
+	}
+	rule := make([]string, n)
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(rule); err != nil {
+		return total, err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return total, err
+		}
+	}
+	if t.Note != "" {
+		if err := write("  %s\n", t.Note); err != nil {
+			return total, err
+		}
+	}
+	if err := write("\n"); err != nil {
+		return total, err
+	}
+	return total, bw.Flush()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct formats a percentage with adaptive precision, the way the paper's
+// tables mix "94.3" and "99.9982".
+func Pct(v float64) string {
+	switch {
+	case v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	case v >= 99.9:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.1f", v)
+	}
+}
+
+// Chart is a simple ASCII chart for the paper's figures: one or two
+// series over a shared x axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// X holds the x values (rendered as-is).
+	X []string
+	// Series maps a legend name to y values parallel to X.
+	Series map[string][]float64
+	// SeriesOrder fixes legend order; missing names are appended sorted.
+	SeriesOrder []string
+	// LogY renders bar lengths on a log10 scale (Figure 6 style).
+	LogY bool
+	// Width bounds bar length in characters (default 50).
+	Width int
+}
+
+// WriteTo renders the chart as labelled horizontal bars, one block per
+// x value.
+func (c *Chart) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	write := func(format string, args ...interface{}) error {
+		k, err := fmt.Fprintf(bw, format, args...)
+		total += int64(k)
+		return err
+	}
+	if c.Title != "" {
+		if err := write("%s\n", c.Title); err != nil {
+			return total, err
+		}
+	}
+	if c.YLabel != "" {
+		if err := write("  y: %s%s\n", c.YLabel, map[bool]string{true: " (log scale)", false: ""}[c.LogY]); err != nil {
+			return total, err
+		}
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	names := c.seriesNames()
+	maxV := 0.0
+	for _, name := range names {
+		for _, v := range c.Series[name] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	scale := func(v float64) int {
+		if v <= 0 {
+			return 0
+		}
+		if c.LogY {
+			return int(math.Round(math.Log10(1+v) / math.Log10(1+maxV) * float64(width)))
+		}
+		return int(math.Round(v / maxV * float64(width)))
+	}
+	xw := len(c.XLabel)
+	for _, x := range c.X {
+		if len(x) > xw {
+			xw = len(x)
+		}
+	}
+	nameW := 0
+	for _, name := range names {
+		if len(name) > nameW {
+			nameW = len(name)
+		}
+	}
+	for i, x := range c.X {
+		for j, name := range names {
+			vals := c.Series[name]
+			if i >= len(vals) {
+				continue
+			}
+			label := ""
+			if j == 0 {
+				label = x
+			}
+			bar := strings.Repeat("#", scale(vals[i]))
+			if err := write("  %s  %s |%s %g\n", pad(label, xw), pad(name, nameW), bar, vals[i]); err != nil {
+				return total, err
+			}
+		}
+	}
+	if c.XLabel != "" {
+		if err := write("  x: %s\n", c.XLabel); err != nil {
+			return total, err
+		}
+	}
+	if err := write("\n"); err != nil {
+		return total, err
+	}
+	return total, bw.Flush()
+}
+
+func (c *Chart) seriesNames() []string {
+	seen := make(map[string]bool, len(c.SeriesOrder))
+	var names []string
+	for _, n := range c.SeriesOrder {
+		if _, ok := c.Series[n]; ok && !seen[n] {
+			names = append(names, n)
+			seen[n] = true
+		}
+	}
+	var remaining []string
+	for n := range c.Series {
+		if !seen[n] {
+			remaining = append(remaining, n)
+		}
+	}
+	// Deterministic order for unlisted series.
+	for i := 0; i < len(remaining); i++ {
+		for j := i + 1; j < len(remaining); j++ {
+			if remaining[j] < remaining[i] {
+				remaining[i], remaining[j] = remaining[j], remaining[i]
+			}
+		}
+	}
+	return append(names, remaining...)
+}
+
+// CSV renders the chart's data as comma-separated values for offline
+// plotting.
+func (c *Chart) CSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	names := c.seriesNames()
+	if _, err := fmt.Fprintf(bw, "x,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for i, x := range c.X {
+		cells := []string{x}
+		for _, name := range names {
+			vals := c.Series[name]
+			if i < len(vals) {
+				cells = append(cells, fmt.Sprintf("%g", vals[i]))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%s\n", strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,133 @@
+package reports
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "Table 5: SA prefixes",
+		Columns: []string{"AS", "% SA"},
+		Note:    "synthetic substrate",
+	}
+	tb.AddRow("AS1", "32")
+	tb.AddRow("AS6453", "48.6")
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 5", "AS", "% SA", "AS6453", "48.6", "----", "synthetic substrate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + rule + 2 rows + note.
+	if len(lines) != 6 {
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+	// Columns align: "% SA" column starts at the same offset in header
+	// and rows.
+	headerIdx := strings.Index(lines[1], "% SA")
+	rowIdx := strings.Index(lines[3], "32")
+	if headerIdx != rowIdx {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b", "c"}}
+	tb.AddRow("only")
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only") {
+		t.Fatal("short row lost")
+	}
+}
+
+func TestPct(t *testing.T) {
+	cases := map[float64]string{
+		100:     "100",
+		94.3:    "94.3",
+		99.9982: "99.9982",
+		0:       "0",
+		48.6:    "48.6",
+	}
+	for in, want := range cases {
+		if got := Pct(in); got != want {
+			t.Errorf("Pct(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := &Chart{
+		Title:  "Figure 6(a): SA prefixes for AS1",
+		XLabel: "day",
+		YLabel: "prefixes",
+		X:      []string{"1", "2", "3"},
+		Series: map[string][]float64{
+			"All prefixes": {1000, 1100, 1050},
+			"SA prefixes":  {300, 310, 0},
+		},
+		SeriesOrder: []string{"All prefixes", "SA prefixes"},
+		LogY:        true,
+		Width:       20,
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 6(a)", "All prefixes", "SA prefixes", "log scale", "x: day", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The zero value draws no bar.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, " 0") && strings.Contains(line, "SA prefixes") && strings.Contains(line, "#") &&
+			strings.HasSuffix(strings.TrimSpace(line), " 0") {
+			t.Fatalf("zero value produced a bar: %q", line)
+		}
+	}
+}
+
+func TestChartSeriesOrderAndCSV(t *testing.T) {
+	c := &Chart{
+		X: []string{"a", "b"},
+		Series: map[string][]float64{
+			"zeta":  {1, 2},
+			"alpha": {3, 4},
+		},
+	}
+	names := c.seriesNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Fatalf("unlisted series must sort: %v", names)
+	}
+	var buf bytes.Buffer
+	if err := c.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "x,alpha,zeta\na,3,1\nb,4,2\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestChartEmptyAndAllZero(t *testing.T) {
+	c := &Chart{X: []string{"1"}, Series: map[string][]float64{"s": {0}}}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "s |") {
+		t.Fatalf("zero series row missing:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,551 @@
+// Package simulate computes the converged BGP state of a generated
+// topology: every AS originates its prefixes, export policies (the
+// valley-free rules of Section 2.2.2 plus the topology's ground-truth
+// selective-announcement, community and aggregation policies) gate
+// propagation, import policies assign local preference, and the decision
+// process selects best routes.
+//
+// The computation is per-prefix event-driven to a fixpoint, which handles
+// atypical preferences and scoped communities uniformly, and is
+// embarrassingly parallel across prefixes. Only designated vantage ASes
+// retain their full tables (candidate routes included), mirroring how the
+// paper observes the Internet through RouteViews peers and Looking Glass
+// servers.
+package simulate
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// LocalRoutePref is the local preference assigned to locally originated
+// routes, modelling the "weight"-style dominance of local routes over any
+// learned route.
+const LocalRoutePref = 1 << 20
+
+// Options configures a simulation run.
+type Options struct {
+	// VantagePoints lists the ASes whose complete tables (all candidate
+	// routes) are retained in the result. Other ASes' state is transient.
+	VantagePoints []bgp.ASN
+	// Parallelism bounds worker goroutines; 0 uses GOMAXPROCS.
+	Parallelism int
+	// DecisionDepth truncates the decision process (ablation); 0 = full.
+	DecisionDepth bgp.DecisionStep
+	// IgnoreImportPolicy, when true, leaves every learned route at the
+	// protocol-default local preference, reducing selection to shortest
+	// AS path — the ablation baseline the paper's Section 4.1 argues
+	// against.
+	IgnoreImportPolicy bool
+	// ActivationBudget bounds per-prefix work as a multiple of the edge
+	// count; 0 uses a generous default. Prefixes exceeding it are
+	// reported in Result.Unconverged.
+	ActivationBudget int
+}
+
+// Result is the observable outcome of a run.
+type Result struct {
+	// Tables holds the full RIB of each vantage AS.
+	Tables map[bgp.ASN]*bgp.RIB
+	// ReachCount counts, per prefix, how many ASes hold at least one
+	// route to it — the "available paths" view behind the paper's
+	// connectivity-vs-reachability discussion.
+	ReachCount map[netx.Prefix]int
+	// Unconverged lists prefixes that hit the activation budget (none at
+	// sane configurations; a non-empty list indicates a preference cycle).
+	Unconverged []netx.Prefix
+}
+
+// engine holds immutable per-run state shared by workers.
+type engine struct {
+	topo  *topogen.Topology
+	opts  Options
+	idx   map[bgp.ASN]int
+	asns  []bgp.ASN
+	nbrs  [][]int32 // sorted neighbor indices per AS
+	rels  [][]asgraph.Relationship
+	pols  []*topogen.Policy
+	depth bgp.DecisionStep
+
+	vantage     map[int]bool
+	tableLocks  map[int]*sync.Mutex
+	tables      map[int]*bgp.RIB
+	budget      int
+	reachCounts []int64 // indexed like prefix list
+	prefixes    []netx.Prefix
+	prefixIdx   map[netx.Prefix]int
+}
+
+func newEngine(topo *topogen.Topology, opts Options) *engine {
+	e := &engine{
+		topo: topo,
+		opts: opts,
+		idx:  make(map[bgp.ASN]int, len(topo.Order)),
+		asns: topo.Order,
+	}
+	for i, asn := range topo.Order {
+		e.idx[asn] = i
+	}
+	n := len(e.asns)
+	e.nbrs = make([][]int32, n)
+	e.rels = make([][]asgraph.Relationship, n)
+	e.pols = make([]*topogen.Policy, n)
+	for i, asn := range e.asns {
+		nbs := topo.Graph.Neighbors(asn)
+		e.nbrs[i] = make([]int32, len(nbs))
+		e.rels[i] = make([]asgraph.Relationship, len(nbs))
+		for j, nb := range nbs {
+			e.nbrs[i][j] = int32(e.idx[nb])
+			e.rels[i][j] = topo.Graph.Rel(asn, nb)
+		}
+		e.pols[i] = topo.Policies[asn]
+	}
+	e.depth = opts.DecisionDepth
+	if e.depth == 0 {
+		e.depth = bgp.StepRouterID
+	}
+	e.vantage = make(map[int]bool, len(opts.VantagePoints))
+	e.tables = make(map[int]*bgp.RIB, len(opts.VantagePoints))
+	e.tableLocks = make(map[int]*sync.Mutex, len(opts.VantagePoints))
+	for _, asn := range opts.VantagePoints {
+		i, ok := e.idx[asn]
+		if !ok {
+			continue
+		}
+		e.vantage[i] = true
+		e.tables[i] = bgp.NewRIB(asn)
+		e.tables[i].SetDecisionDepth(opts.DecisionDepth)
+		e.tableLocks[i] = &sync.Mutex{}
+	}
+	e.budget = opts.ActivationBudget
+	if e.budget == 0 {
+		e.budget = 200
+	}
+	e.prefixes = make([]netx.Prefix, 0, len(topo.PrefixOrigin))
+	for p := range topo.PrefixOrigin {
+		e.prefixes = append(e.prefixes, p)
+	}
+	netx.SortPrefixes(e.prefixes)
+	e.prefixIdx = make(map[netx.Prefix]int, len(e.prefixes))
+	for i, p := range e.prefixes {
+		e.prefixIdx[p] = i
+	}
+	e.reachCounts = make([]int64, len(e.prefixes))
+	return e
+}
+
+// Run simulates the whole topology.
+func Run(topo *topogen.Topology, opts Options) (*Result, error) {
+	e := newEngine(topo, opts)
+	unconverged := e.runPrefixes(e.prefixes)
+	return e.buildResult(unconverged), nil
+}
+
+// RunSubset recomputes only the given prefixes against existing vantage
+// tables (dropping their previous routes first). Used by the epoch loop
+// of the persistence experiments. The result shares table objects with
+// prior epochs' result.
+func RunSubset(topo *topogen.Topology, opts Options, prior *Result, prefixes []netx.Prefix) (*Result, error) {
+	e := newEngine(topo, opts)
+	// Adopt prior tables so untouched prefixes carry over.
+	for i := range e.tables {
+		asn := e.asns[i]
+		if prev, ok := prior.Tables[asn]; ok {
+			e.tables[i] = prev
+			for _, p := range prefixes {
+				prev.DropPrefix(p)
+			}
+		}
+	}
+	// Carry over reach counts for untouched prefixes.
+	for p, c := range prior.ReachCount {
+		if i, ok := e.prefixIdx[p]; ok {
+			e.reachCounts[i] = int64(c)
+		}
+	}
+	for _, p := range prefixes {
+		if i, ok := e.prefixIdx[p]; ok {
+			e.reachCounts[i] = 0
+		}
+	}
+	unconverged := e.runPrefixes(prefixes)
+	res := e.buildResult(unconverged)
+	// Prefixes that no longer exist (churn removed none here, but be
+	// safe) keep prior counts via the carry-over above.
+	return res, nil
+}
+
+func (e *engine) buildResult(unconverged []netx.Prefix) *Result {
+	res := &Result{
+		Tables:      make(map[bgp.ASN]*bgp.RIB, len(e.tables)),
+		ReachCount:  make(map[netx.Prefix]int, len(e.prefixes)),
+		Unconverged: unconverged,
+	}
+	for i, rib := range e.tables {
+		res.Tables[e.asns[i]] = rib
+	}
+	for i, p := range e.prefixes {
+		res.ReachCount[p] = int(e.reachCounts[i])
+	}
+	return res
+}
+
+func (e *engine) runPrefixes(prefixes []netx.Prefix) []netx.Prefix {
+	workers := e.opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(prefixes) {
+		workers = len(prefixes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		mu          sync.Mutex
+		unconverged []netx.Prefix
+		next        int
+		wg          sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := newWorkerState(len(e.asns))
+			for {
+				mu.Lock()
+				if next >= len(prefixes) {
+					mu.Unlock()
+					return
+				}
+				p := prefixes[next]
+				next++
+				mu.Unlock()
+				if !e.propagate(st, p) {
+					mu.Lock()
+					unconverged = append(unconverged, p)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	netx.SortPrefixes(unconverged)
+	return unconverged
+}
+
+// workerState is the reusable per-prefix scratch space.
+type workerState struct {
+	version uint32
+	seen    []uint32
+	cands   []map[int32]*bgp.Route
+	best    []*bgp.Route
+	inQueue []bool
+	queue   []int32
+	touched []int32
+}
+
+func newWorkerState(n int) *workerState {
+	return &workerState{
+		seen:    make([]uint32, n),
+		cands:   make([]map[int32]*bgp.Route, n),
+		best:    make([]*bgp.Route, n),
+		inQueue: make([]bool, n),
+	}
+}
+
+func (st *workerState) reset() {
+	st.version++
+	st.queue = st.queue[:0]
+	st.touched = st.touched[:0]
+}
+
+func (st *workerState) touch(i int32) {
+	if st.seen[i] != st.version {
+		st.seen[i] = st.version
+		st.cands[i] = nil
+		st.best[i] = nil
+		st.inQueue[i] = false
+		st.touched = append(st.touched, i)
+	}
+}
+
+// propagate runs one prefix to convergence. It returns false when the
+// activation budget is exhausted.
+func (e *engine) propagate(st *workerState, prefix netx.Prefix) bool {
+	origin, ok := e.topo.PrefixOrigin[prefix]
+	if !ok {
+		return true
+	}
+	oi := int32(e.idx[origin])
+	st.reset()
+	st.touch(oi)
+
+	local := &bgp.Route{
+		Prefix:    prefix,
+		LocalPref: LocalRoutePref,
+		Origin:    bgp.OriginIGP,
+		NextHop:   routerIP(origin),
+	}
+	st.best[oi] = local
+	st.push(oi)
+
+	budget := e.budget * (len(e.asns) + e.topo.Graph.NumEdges())
+	activations := 0
+	for len(st.queue) > 0 {
+		activations++
+		if activations > budget {
+			e.capture(st, prefix)
+			return false
+		}
+		u := st.queue[0]
+		st.queue = st.queue[1:]
+		st.inQueue[u] = false
+		e.exportFrom(st, u)
+	}
+	e.capture(st, prefix)
+	return true
+}
+
+func (st *workerState) push(i int32) {
+	if !st.inQueue[i] {
+		st.inQueue[i] = true
+		st.queue = append(st.queue, i)
+	}
+}
+
+// exportFrom announces u's current best route to each neighbor (or
+// withdraws a previous announcement no longer permitted).
+func (e *engine) exportFrom(st *workerState, u int32) {
+	best := st.best[u]
+	for j, v := range e.nbrs[u] {
+		relVtoU := e.rels[u][j] // what v is to u
+		allowed := best != nil && e.shouldExport(u, v, relVtoU, best)
+		if allowed {
+			e.announce(st, u, v, relVtoU, best)
+		} else {
+			e.withdraw(st, u, v)
+		}
+	}
+}
+
+// shouldExport applies the export rules of Section 2.2.2 plus the
+// topology's ground-truth export policies.
+func (e *engine) shouldExport(u, v int32, relVtoU asgraph.Relationship, route *bgp.Route) bool {
+	uASN, vASN := e.asns[u], e.asns[v]
+	pol := e.pols[u]
+
+	// Ingress class of the route at u.
+	var ingress asgraph.Relationship // relationship of the announcing neighbor to u
+	if route.IsLocal() {
+		ingress = asgraph.RelNone // own route
+	} else {
+		nh, _ := route.NextHopAS()
+		ingress = e.topo.Graph.Rel(uASN, nh)
+	}
+
+	// Well-known NO_EXPORT / NO_ADVERTISE.
+	if route.Communities.Has(bgp.NoExport) || route.Communities.Has(bgp.NoAdvertise) {
+		return false
+	}
+	// Scoped no-upstream community addressed to u: do not re-export to
+	// providers or peers.
+	if route.Communities.Has(bgp.MakeCommunity(uASN, topogen.NoUpstreamValue)) &&
+		(relVtoU == asgraph.RelProvider || relVtoU == asgraph.RelPeer) {
+		return false
+	}
+
+	// The standard valley-free export rules: to a provider or peer, only
+	// own routes and customer routes.
+	if relVtoU == asgraph.RelProvider || relVtoU == asgraph.RelPeer {
+		if !route.IsLocal() && ingress != asgraph.RelCustomer && ingress != asgraph.RelSibling {
+			return false
+		}
+	}
+
+	if pol == nil {
+		return true
+	}
+
+	// Origin-side selective announcement (Case 3 subsets).
+	if route.IsLocal() && relVtoU == asgraph.RelProvider {
+		if !pol.Export.AnnouncesToProvider(route.Prefix, vASN) {
+			return false
+		}
+	}
+	// Origin-side withholding from a peer (Table 10).
+	if route.IsLocal() && relVtoU == asgraph.RelPeer {
+		if pol.Export.ExcludedFromPeer(route.Prefix, vASN) {
+			return false
+		}
+	}
+	// Intermediate-AS selective announcement.
+	if ingress == asgraph.RelCustomer && relVtoU == asgraph.RelProvider {
+		if pol.Export.TransitExcluded(uASN, route.Prefix, vASN) {
+			return false
+		}
+	}
+	// Provider-side aggregation of delegated specifics (Case 2): the
+	// covering block is announced instead; the specific stays inside.
+	if ingress == asgraph.RelCustomer && pol.Export.AggregateSpecifics[route.Prefix] {
+		return false
+	}
+	return true
+}
+
+// announce builds the route as seen at v and installs it.
+func (e *engine) announce(st *workerState, u, v int32, relVtoU asgraph.Relationship, best *bgp.Route) {
+	uASN, vASN := e.asns[u], e.asns[v]
+	// Loop prevention: v discards routes already carrying its ASN.
+	if best.Path.Contains(vASN) || vASN == e.topo.PrefixOrigin[best.Prefix] {
+		e.withdraw(st, u, v)
+		return
+	}
+	comm := best.Communities
+	if best.IsLocal() {
+		if pol := e.pols[u]; pol != nil {
+			if tagged, ok := pol.Export.NoUpstream[best.Prefix]; ok && tagged == vASN {
+				comm = comm.Add(bgp.MakeCommunity(vASN, topogen.NoUpstreamValue))
+			}
+		}
+	}
+	path := best.Path.Prepend(uASN, 1)
+
+	// Import side at v: local preference and relationship tagging.
+	var lp uint32 = bgp.DefaultLocalPref
+	if !e.opts.IgnoreImportPolicy {
+		lp = e.topo.EffectiveLocalPref(vASN, uASN, best.Prefix)
+	}
+	if pol := e.pols[v]; pol != nil && pol.Tagging != nil {
+		if tag, ok := pol.Tagging.TagFor(relVtoU.Invert(), uASN); ok {
+			// relVtoU is what v is to u; the tag classifies u from v's
+			// point of view, hence the inversion.
+			comm = comm.Add(tag)
+		}
+	}
+
+	r := &bgp.Route{
+		Prefix:      best.Prefix,
+		Path:        path,
+		NextHop:     routerIP(uASN),
+		LocalPref:   lp,
+		Origin:      best.Origin,
+		Communities: comm,
+	}
+	st.touch(v)
+	if st.cands[v] == nil {
+		st.cands[v] = make(map[int32]*bgp.Route, 4)
+	}
+	prev := st.cands[v][u]
+	if prev != nil && sameRoute(prev, r) {
+		return
+	}
+	st.cands[v][u] = r
+	e.reselect(st, v)
+}
+
+func (e *engine) withdraw(st *workerState, u, v int32) {
+	if st.seen[v] != st.version || st.cands[v] == nil {
+		return
+	}
+	if _, ok := st.cands[v][u]; !ok {
+		return
+	}
+	delete(st.cands[v], u)
+	e.reselect(st, v)
+}
+
+// reselect recomputes v's best route and schedules v when it changed.
+func (e *engine) reselect(st *workerState, v int32) {
+	// Deterministic candidate order: ascending neighbor index.
+	keys := make([]int32, 0, len(st.cands[v]))
+	for k := range st.cands[v] {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	cands := make([]*bgp.Route, 0, len(keys))
+	for _, k := range keys {
+		cands = append(cands, st.cands[v][k])
+	}
+	newBest := bgp.Best(cands, e.depth)
+	if routesEquivalent(newBest, st.best[v]) {
+		return
+	}
+	st.best[v] = newBest
+	st.push(v)
+}
+
+func sameRoute(a, b *bgp.Route) bool {
+	return a.Prefix == b.Prefix && a.LocalPref == b.LocalPref &&
+		a.MED == b.MED && a.Origin == b.Origin &&
+		a.Path.Equal(b.Path) && len(a.Communities) == len(b.Communities) &&
+		communitiesEqual(a.Communities, b.Communities)
+}
+
+func communitiesEqual(a, b bgp.Communities) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func routesEquivalent(a, b *bgp.Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return sameRoute(a, b)
+}
+
+// capture copies converged state into vantage tables and reach counters.
+func (e *engine) capture(st *workerState, prefix netx.Prefix) {
+	pi := e.prefixIdx[prefix]
+	reach := 0
+	for _, i := range st.touched {
+		if st.best[i] != nil || len(st.cands[i]) > 0 {
+			reach++
+		}
+		if !e.vantage[int(i)] {
+			continue
+		}
+		lock := e.tableLocks[int(i)]
+		lock.Lock()
+		rib := e.tables[int(i)]
+		if st.best[i] != nil && st.best[i].IsLocal() {
+			rib.Upsert(e.asns[i], st.best[i])
+		}
+		// Candidates in deterministic order.
+		keys := make([]int32, 0, len(st.cands[i]))
+		for k := range st.cands[i] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			rib.Upsert(e.asns[k], st.cands[i][k])
+		}
+		lock.Unlock()
+	}
+	e.reachCounts[pi] = int64(reach)
+}
+
+// routerIP synthesizes a stable next-hop IP for an AS's border router.
+func routerIP(asn bgp.ASN) uint32 {
+	return 0x0a000000 | (uint32(asn)&0xffff)<<8 | 1 // 10.x.y.1
+}
+
+// String renders run options for diagnostics.
+func (o Options) String() string {
+	return fmt.Sprintf("simulate{vantage=%d, depth=%v, noimport=%v}",
+		len(o.VantagePoints), o.DecisionDepth, o.IgnoreImportPolicy)
+}

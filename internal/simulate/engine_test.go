@@ -1,0 +1,456 @@
+package simulate
+
+import (
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// manualTopology builds a Topology by hand (bypassing the generator) so
+// tests can pin exact scenarios from the paper's figures.
+type manualBuilder struct {
+	t    *testing.T
+	topo *topogen.Topology
+}
+
+func newManual(t *testing.T) *manualBuilder {
+	t.Helper()
+	return &manualBuilder{
+		t: t,
+		topo: &topogen.Topology{
+			Config:       topogen.DefaultConfig(10, 1),
+			Graph:        asgraph.New(),
+			ASes:         make(map[bgp.ASN]*topogen.ASInfo),
+			PrefixOrigin: make(map[netx.Prefix]bgp.ASN),
+			Policies:     make(map[bgp.ASN]*topogen.Policy),
+		},
+	}
+}
+
+func (b *manualBuilder) as(asn bgp.ASN, prefixes ...string) *manualBuilder {
+	info := &topogen.ASInfo{ASN: asn, Name: "test", Tier: 3,
+		AllocatedFrom: make(map[netx.Prefix]bgp.ASN)}
+	for _, s := range prefixes {
+		p := netx.MustParsePrefix(s)
+		info.Prefixes = append(info.Prefixes, p)
+		b.topo.PrefixOrigin[p] = asn
+	}
+	b.topo.ASes[asn] = info
+	b.topo.Graph.AddNode(asn)
+	b.topo.Policies[asn] = &topogen.Policy{
+		AS: asn,
+		Import: topogen.ImportPolicy{
+			NeighborPref: make(map[bgp.ASN]uint32),
+			PrefixPref:   make(map[bgp.ASN]map[netx.Prefix]uint32),
+			Atypical:     make(map[bgp.ASN]bool),
+		},
+		Export: topogen.ExportPolicy{
+			OriginProviders:    make(map[netx.Prefix]map[bgp.ASN]bool),
+			NoUpstream:         make(map[netx.Prefix]bgp.ASN),
+			AggregateSpecifics: make(map[netx.Prefix]bool),
+		},
+	}
+	return b
+}
+
+func (b *manualBuilder) p2c(provider, customer bgp.ASN) *manualBuilder {
+	if err := b.topo.Graph.AddProviderCustomer(provider, customer); err != nil {
+		b.t.Fatal(err)
+	}
+	return b
+}
+
+func (b *manualBuilder) peer(x, y bgp.ASN) *manualBuilder {
+	if err := b.topo.Graph.AddPeer(x, y); err != nil {
+		b.t.Fatal(err)
+	}
+	return b
+}
+
+// defaultPrefs assigns the typical class-based localpref to every AS.
+func (b *manualBuilder) defaultPrefs() *manualBuilder {
+	for asn, pol := range b.topo.Policies {
+		for _, nb := range b.topo.Graph.Neighbors(asn) {
+			switch b.topo.Graph.Rel(asn, nb) {
+			case asgraph.RelCustomer:
+				pol.Import.NeighborPref[nb] = 100
+			case asgraph.RelPeer:
+				pol.Import.NeighborPref[nb] = 90
+			case asgraph.RelProvider:
+				pol.Import.NeighborPref[nb] = 80
+			}
+		}
+	}
+	return b
+}
+
+func (b *manualBuilder) build() *topogen.Topology {
+	b.topo.Order = nil
+	for _, asn := range b.topo.Graph.Nodes() {
+		b.topo.Order = append(b.topo.Order, asn)
+	}
+	return b.topo
+}
+
+func run(t *testing.T, topo *topogen.Topology, vantage ...bgp.ASN) *Result {
+	t.Helper()
+	res, err := Run(topo, Options{VantagePoints: vantage, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unconverged) != 0 {
+		t.Fatalf("unconverged prefixes: %v", res.Unconverged)
+	}
+	return res
+}
+
+// TestFigure3Scenario reproduces the paper's Figure 3: customer A
+// announces prefix p to provider C but not to provider B. Provider D
+// (B's provider, E's peer) must see p via its peer E rather than via the
+// customer path D→B→A.
+func TestFigure3Scenario(t *testing.T) {
+	const (
+		dAS = 10
+		eAS = 20
+		bAS = 30
+		cAS = 40
+		aAS = 50
+	)
+	b := newManual(t).
+		as(dAS).as(eAS).as(bAS).as(cAS).as(aAS, "20.1.0.0/24")
+	b.p2c(dAS, bAS).p2c(eAS, cAS).p2c(bAS, aAS).p2c(cAS, aAS).peer(dAS, eAS)
+	b.defaultPrefs()
+	topo := b.build()
+	p := netx.MustParsePrefix("20.1.0.0/24")
+	// A announces p only to C.
+	topo.Policies[aAS].Export.OriginProviders[p] = map[bgp.ASN]bool{cAS: true}
+
+	res := run(t, topo, dAS, bAS, eAS)
+
+	dBest := res.Tables[dAS].Best(p)
+	if dBest == nil {
+		t.Fatal("D has no route to p")
+	}
+	nh, _ := dBest.NextHopAS()
+	if nh != eAS {
+		t.Fatalf("D's best route via %v, want peer E (%v); path %v", nh, bgp.ASN(eAS), dBest.Path)
+	}
+	// B receives no customer route from A ("No customer route to p is
+	// received from customer B" in the paper's caption); it reaches p
+	// through its provider D instead.
+	if got := res.Tables[bAS].CandidateFrom(p, aAS); got != nil {
+		t.Fatalf("B has a customer route from A: %v", got)
+	}
+	bBest := res.Tables[bAS].Best(p)
+	if bBest == nil {
+		t.Fatal("B should still reach p via its provider")
+	}
+	if nh, _ := bBest.NextHopAS(); nh != dAS {
+		t.Fatalf("B's best via %v, want provider D", nh)
+	}
+	// E sees it via customer C.
+	eBest := res.Tables[eAS].Best(p)
+	if eBest == nil {
+		t.Fatal("E has no route")
+	}
+	if nh, _ := eBest.NextHopAS(); nh != cAS {
+		t.Fatalf("E's best via %v, want C", nh)
+	}
+}
+
+// TestNoUpstreamCommunityScenario: A announces p to both providers but
+// tags B with the scoped no-upstream community; D must again reach p via
+// its peer E, while B itself holds a customer route.
+func TestNoUpstreamCommunityScenario(t *testing.T) {
+	const (
+		dAS = 10
+		eAS = 20
+		bAS = 30
+		cAS = 40
+		aAS = 50
+	)
+	b := newManual(t).
+		as(dAS).as(eAS).as(bAS).as(cAS).as(aAS, "20.1.0.0/24")
+	b.p2c(dAS, bAS).p2c(eAS, cAS).p2c(bAS, aAS).p2c(cAS, aAS).peer(dAS, eAS)
+	b.defaultPrefs()
+	topo := b.build()
+	p := netx.MustParsePrefix("20.1.0.0/24")
+	topo.Policies[aAS].Export.NoUpstream = map[netx.Prefix]bgp.ASN{p: bAS}
+
+	res := run(t, topo, dAS, bAS)
+
+	bBest := res.Tables[bAS].Best(p)
+	if bBest == nil {
+		t.Fatal("B must hold the tagged customer route")
+	}
+	if !bBest.Communities.Has(bgp.MakeCommunity(bAS, topogen.NoUpstreamValue)) {
+		t.Fatalf("tag missing on B's route: %v", bBest.Communities)
+	}
+	dBest := res.Tables[dAS].Best(p)
+	if dBest == nil {
+		t.Fatal("D has no route")
+	}
+	if nh, _ := dBest.NextHopAS(); nh != eAS {
+		t.Fatalf("D's best via %v, want peer E", nh)
+	}
+}
+
+// TestValleyFreePropagation: with every prefix announced everywhere, no
+// vantage table may contain a valley path.
+func TestValleyFreePropagation(t *testing.T) {
+	topo, err := topogen.Generate(topogen.DefaultConfig(150, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vantage := topo.Order[:20]
+	res, err := Run(topo, Options{VantagePoints: vantage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unconverged) != 0 {
+		t.Fatalf("unconverged: %d", len(res.Unconverged))
+	}
+	checked := 0
+	for _, asn := range vantage {
+		rib := res.Tables[asn]
+		for _, prefix := range rib.Prefixes() {
+			for _, r := range rib.Candidates(prefix) {
+				if r.IsLocal() {
+					continue
+				}
+				if kind := topo.Graph.ClassifyPath(r.Path); kind == asgraph.PathValley {
+					t.Fatalf("valley path %v in %v's table", r.Path, asn)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no routes checked")
+	}
+}
+
+// TestCustomerRoutePreferredEndToEnd: on the generated topology, an AS
+// holding both a customer and a non-customer candidate for the same
+// prefix must (with typical preferences) select the customer route.
+func TestCustomerRoutePreferredEndToEnd(t *testing.T) {
+	topo, err := topogen.Generate(topogen.DefaultConfig(150, 34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vantage on the largest Tier-1 for a rich table.
+	t1 := topo.ASesByTier(1)
+	res, err := Run(topo, Options{VantagePoints: t1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations, opportunities := 0, 0
+	for _, asn := range t1 {
+		rib := res.Tables[asn]
+		pol := topo.Policies[asn]
+		for _, prefix := range rib.Prefixes() {
+			cands := rib.Candidates(prefix)
+			var hasCustomer bool
+			for _, c := range cands {
+				if nh, ok := c.NextHopAS(); ok && topo.Graph.Rel(asn, nh) == asgraph.RelCustomer && !pol.Import.Atypical[nh] {
+					hasCustomer = true
+				}
+			}
+			if !hasCustomer || len(cands) < 2 {
+				continue
+			}
+			opportunities++
+			best := rib.Best(prefix)
+			nh, ok := best.NextHopAS()
+			if !ok {
+				continue
+			}
+			if topo.Graph.Rel(asn, nh) != asgraph.RelCustomer && !pol.Import.Atypical[nh] {
+				// A non-customer best while an un-jittered typical
+				// customer candidate exists: only possible through an
+				// atypical assignment somewhere; count it.
+				violations++
+			}
+		}
+	}
+	if opportunities == 0 {
+		t.Fatal("no multi-candidate prefixes with customer routes observed")
+	}
+	if frac := float64(violations) / float64(opportunities); frac > 0.05 {
+		t.Fatalf("customer-preference violations %.3f of %d", frac, opportunities)
+	}
+}
+
+// TestAggregationSuppressesSpecific: a provider that aggregates a
+// delegated specific must not re-export it; the rest of the world reaches
+// only the covering block.
+func TestAggregationSuppressesSpecific(t *testing.T) {
+	const (
+		top      = 10
+		provider = 20
+		cust     = 30
+		other    = 40
+	)
+	b := newManual(t).
+		as(top).as(provider, "20.2.0.0/17").as(cust, "20.2.128.0/24").as(other)
+	b.p2c(top, provider).p2c(provider, cust).p2c(top, other)
+	b.defaultPrefs()
+	topo := b.build()
+	specific := netx.MustParsePrefix("20.2.128.0/24")
+	topo.ASes[cust].AllocatedFrom[specific] = provider
+	topo.Policies[provider].Export.AggregateSpecifics[specific] = true
+
+	res := run(t, topo, top, provider, other)
+
+	if res.Tables[provider].Best(specific) == nil {
+		t.Fatal("provider itself must hold the specific")
+	}
+	if res.Tables[top].Best(specific) != nil {
+		t.Fatal("aggregated specific leaked above the provider")
+	}
+	if res.Tables[other].Best(specific) != nil {
+		t.Fatal("aggregated specific leaked to sibling customer")
+	}
+	cover := netx.MustParsePrefix("20.2.0.0/17")
+	if res.Tables[other].Best(cover) == nil {
+		t.Fatal("covering block must be visible everywhere")
+	}
+}
+
+// TestReachCountAndDeterminism: reach counts are positive, bounded by the
+// AS count, and identical across runs and parallelism settings.
+func TestReachCountAndDeterminism(t *testing.T) {
+	topo, err := topogen.Generate(topogen.DefaultConfig(120, 35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Run(topo, Options{VantagePoints: topo.Order[:5], Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(topo, Options{VantagePoints: topo.Order[:5], Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, c := range seq.ReachCount {
+		if c <= 0 || c > len(topo.Order) {
+			t.Fatalf("reach count %d for %v out of range", c, p)
+		}
+		if par.ReachCount[p] != c {
+			t.Fatalf("parallel run disagrees on %v: %d vs %d", p, par.ReachCount[p], c)
+		}
+	}
+	for _, asn := range topo.Order[:5] {
+		a, b := seq.Tables[asn], par.Tables[asn]
+		if a.Len() != b.Len() || a.NumRoutes() != b.NumRoutes() {
+			t.Fatalf("tables differ at %v: %d/%d vs %d/%d", asn, a.Len(), a.NumRoutes(), b.Len(), b.NumRoutes())
+		}
+		for _, prefix := range a.Prefixes() {
+			ab, bb := a.Best(prefix), b.Best(prefix)
+			if (ab == nil) != (bb == nil) || (ab != nil && !ab.Path.Equal(bb.Path)) {
+				t.Fatalf("best for %v differs at %v", prefix, asn)
+			}
+		}
+	}
+}
+
+// TestRunSubsetMatchesFullRun: recomputing a subset after a policy change
+// must produce the same tables as a from-scratch run.
+func TestRunSubsetMatchesFullRun(t *testing.T) {
+	topo, err := topogen.Generate(topogen.DefaultConfig(120, 36))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vantage := topo.Order[:6]
+	opts := Options{VantagePoints: vantage}
+	base, err := Run(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one multihomed origin's policy by hand.
+	var victim bgp.ASN
+	var victimPrefix netx.Prefix
+	for _, asn := range topo.Order {
+		prov := topo.Graph.Providers(asn)
+		if len(prov) >= 2 && len(topo.ASes[asn].Prefixes) > 0 {
+			victim = asn
+			victimPrefix = topo.ASes[asn].Prefixes[0]
+			topo.Policies[asn].Export.OriginProviders[victimPrefix] = map[bgp.ASN]bool{prov[0]: true}
+			break
+		}
+	}
+	if victim == 0 {
+		t.Fatal("no multihomed origin found")
+	}
+
+	sub, err := RunSubset(topo, opts, base, []netx.Prefix{victimPrefix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range vantage {
+		want, got := full.Tables[asn], sub.Tables[asn]
+		if want.Len() != got.Len() {
+			t.Fatalf("table size at %v: %d vs %d", asn, got.Len(), want.Len())
+		}
+		for _, prefix := range want.Prefixes() {
+			wb, gb := want.Best(prefix), got.Best(prefix)
+			if (wb == nil) != (gb == nil) || (wb != nil && !wb.Path.Equal(gb.Path)) {
+				t.Fatalf("subset run diverges at %v / %v", asn, prefix)
+			}
+		}
+	}
+	if sub.ReachCount[victimPrefix] != full.ReachCount[victimPrefix] {
+		t.Fatalf("reach count diverges: %d vs %d",
+			sub.ReachCount[victimPrefix], full.ReachCount[victimPrefix])
+	}
+}
+
+// TestIgnoreImportPolicyAblation: with import policy off, best routes
+// follow shortest AS path, so a longer customer route loses.
+func TestIgnoreImportPolicyAblation(t *testing.T) {
+	const (
+		vantageAS = 10
+		peerAS    = 20
+		custA     = 30
+		custB     = 40
+		origin    = 50
+	)
+	// vantage has a 3-hop customer chain to origin and a 2-hop peer path.
+	b := newManual(t).
+		as(vantageAS).as(peerAS).as(custA).as(custB).as(origin, "20.3.0.0/24")
+	b.p2c(vantageAS, custA).p2c(custA, custB).p2c(custB, origin).
+		peer(vantageAS, peerAS).p2c(peerAS, origin)
+	b.defaultPrefs()
+	topo := b.build()
+	p := netx.MustParsePrefix("20.3.0.0/24")
+
+	withPolicy := run(t, topo, vantageAS)
+	nh, _ := withPolicy.Tables[vantageAS].Best(p).NextHopAS()
+	if nh != custA {
+		t.Fatalf("with policy: best via %v, want customer chain", nh)
+	}
+
+	res, err := Run(topo, Options{VantagePoints: []bgp.ASN{vantageAS}, IgnoreImportPolicy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nh, _ = res.Tables[vantageAS].Best(p).NextHopAS()
+	if nh != peerAS {
+		t.Fatalf("without policy: best via %v, want shorter peer path", nh)
+	}
+}
+
+func TestOptionsString(t *testing.T) {
+	s := Options{VantagePoints: []bgp.ASN{1, 2}}.String()
+	if s == "" {
+		t.Fatal("empty options string")
+	}
+}

@@ -1,0 +1,198 @@
+// Package topogen generates the synthetic Internet that replaces the
+// paper's Nov-2002 measurement substrate: an annotated AS topology
+// (Tier-1 clique, transit tiers, multihomed stubs, peering edges), a
+// prefix allocation, and — crucially — a *ground-truth policy
+// configuration* for every AS: import local-preference assignments and
+// export policies including the selective announcement, community
+// tagging, prefix splitting and provider aggregation behaviours whose
+// inference the paper is about.
+//
+// Everything is driven by an explicit seed; two runs with equal Config
+// produce identical topologies bit for bit.
+package topogen
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config controls topology generation. The zero value is not valid; start
+// from DefaultConfig.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// NumASes is the total AS count (≥ 10).
+	NumASes int
+
+	// TierOneCount is the size of the top clique. 0 derives a count from
+	// NumASes.
+	TierOneCount int
+	// TierTwoFraction is the share of ASes acting as regional transit.
+	TierTwoFraction float64
+
+	// PeeringDegreeT2 is the mean number of peer links per Tier-2 AS.
+	PeeringDegreeT2 float64
+	// StubPeeringProb is the probability a stub has one peer link.
+	StubPeeringProb float64
+
+	// MultihomeDist[k] is the probability a customer AS has k+1 providers.
+	MultihomeDist []float64
+
+	// MeanPrefixesT1/T2/Stub set prefix-count means per tier.
+	MeanPrefixesT1, MeanPrefixesT2, MeanPrefixesStub float64
+
+	// ProviderAllocatedProb is the probability a stub prefix is carved
+	// from a provider's block (the precondition for Case-2 aggregation).
+	ProviderAllocatedProb float64
+	// AggregationProb is the probability the allocating provider actually
+	// aggregates (suppresses) such a specific.
+	AggregationProb float64
+
+	// AtypicalPrefProb is the probability a neighbor carries local
+	// preferences violating the customer>peer>provider order (the paper
+	// measures ~0.01–5% atypical, Table 2).
+	AtypicalPrefProb float64
+	// AtypicalPrefixShare is the fraction of an atypical neighbor's
+	// prefixes that actually receive the violating value (operators
+	// deviate for specific destinations, not whole sessions; a full-
+	// session violation would mark most of a table atypical, which
+	// Table 2 rules out).
+	AtypicalPrefixShare float64
+	// PrefixPrefProb is the probability an AS carries per-prefix localpref
+	// overrides for a neighbor (the paper's Fig 2 shows ~98% of prefixes
+	// keyed on next-hop AS instead).
+	PrefixPrefProb float64
+	// PrefixPrefShare is the share of a neighbor's prefixes overridden
+	// when per-prefix preferences are in use.
+	PrefixPrefShare float64
+
+	// SelectiveAnnounceProb is the probability a multihomed origin
+	// announces a given prefix to only a subset of its providers
+	// (Case 3, the dominant SA cause).
+	SelectiveAnnounceProb float64
+	// NoUpstreamTagProb is the probability a selective origin instead
+	// announces to all providers but tags a scoped community asking one
+	// provider not to re-export upward.
+	NoUpstreamTagProb float64
+	// TransitSelectiveProb is the probability a transit AS withholds a
+	// given customer prefix from one of its providers (intermediate-AS
+	// selective announcement).
+	TransitSelectiveProb float64
+	// SplitPrefixProb is the probability a multihomed origin splits a
+	// prefix and announces the specific/covering pair on disjoint
+	// provider subsets (Case 1).
+	SplitPrefixProb float64
+
+	// TaggingProb is the probability an AS deploys relationship-tagging
+	// communities (the Appendix's verification substrate).
+	TaggingProb float64
+	// PublishTaggingProb is the probability a tagging AS publishes its
+	// scheme (in IRR or on the web, like the paper's AS12859 and
+	// AS6667); unpublished schemes must be inferred from prefix counts.
+	PublishTaggingProb float64
+
+	// PeerSelectiveProb is the probability a peer withholds some of its
+	// own prefixes from a given peer (Table 10 shows this is rare).
+	PeerSelectiveProb float64
+
+	// MultiSiteProb is the probability a multihomed stub is actually a
+	// backbone-less multi-site organization (the paper's AOL/AS1668
+	// case): each site announces its prefixes through its own provider
+	// only, producing SA-prefix *artifacts* that are not traffic
+	// engineering. The paper flags these as a confounder for future
+	// work; modelling them lets the repo measure their impact.
+	MultiSiteProb float64
+}
+
+// DefaultConfig returns the tuning used throughout the repo: marginals
+// chosen so the measured tables land in the paper's reported ranges.
+func DefaultConfig(numASes int, seed int64) Config {
+	return Config{
+		Seed:                  seed,
+		NumASes:               numASes,
+		TierOneCount:          0, // derived
+		TierTwoFraction:       0.16,
+		PeeringDegreeT2:       3.0,
+		StubPeeringProb:       0.06,
+		MultihomeDist:         []float64{0.35, 0.45, 0.15, 0.05},
+		MeanPrefixesT1:        14,
+		MeanPrefixesT2:        5,
+		MeanPrefixesStub:      2.2,
+		ProviderAllocatedProb: 0.15,
+		AggregationProb:       0.5,
+		AtypicalPrefProb:      0.015,
+		AtypicalPrefixShare:   0.10,
+		PrefixPrefProb:        0.10,
+		PrefixPrefShare:       0.15,
+		SelectiveAnnounceProb: 0.30,
+		NoUpstreamTagProb:     0.25,
+		TransitSelectiveProb:  0.04,
+		SplitPrefixProb:       0.03,
+		TaggingProb:           0.35,
+		PublishTaggingProb:    0.5,
+		PeerSelectiveProb:     0.08,
+		MultiSiteProb:         0.03,
+	}
+}
+
+// Validate reports the first problem with c.
+func (c Config) Validate() error {
+	if c.NumASes < 10 {
+		return errors.New("topogen: NumASes must be at least 10")
+	}
+	if c.TierOneCount < 0 || c.TierOneCount > c.NumASes/2 {
+		return fmt.Errorf("topogen: TierOneCount %d out of range", c.TierOneCount)
+	}
+	if c.TierTwoFraction < 0 || c.TierTwoFraction > 0.9 {
+		return fmt.Errorf("topogen: TierTwoFraction %v out of range", c.TierTwoFraction)
+	}
+	if len(c.MultihomeDist) == 0 {
+		return errors.New("topogen: MultihomeDist empty")
+	}
+	var sum float64
+	for _, p := range c.MultihomeDist {
+		if p < 0 {
+			return errors.New("topogen: negative MultihomeDist entry")
+		}
+		sum += p
+	}
+	if sum <= 0 {
+		return errors.New("topogen: MultihomeDist sums to zero")
+	}
+	for name, p := range map[string]float64{
+		"AtypicalPrefProb":      c.AtypicalPrefProb,
+		"AtypicalPrefixShare":   c.AtypicalPrefixShare,
+		"PrefixPrefProb":        c.PrefixPrefProb,
+		"PrefixPrefShare":       c.PrefixPrefShare,
+		"SelectiveAnnounceProb": c.SelectiveAnnounceProb,
+		"NoUpstreamTagProb":     c.NoUpstreamTagProb,
+		"TransitSelectiveProb":  c.TransitSelectiveProb,
+		"SplitPrefixProb":       c.SplitPrefixProb,
+		"TaggingProb":           c.TaggingProb,
+		"PublishTaggingProb":    c.PublishTaggingProb,
+		"PeerSelectiveProb":     c.PeerSelectiveProb,
+		"MultiSiteProb":         c.MultiSiteProb,
+		"ProviderAllocatedProb": c.ProviderAllocatedProb,
+		"AggregationProb":       c.AggregationProb,
+		"StubPeeringProb":       c.StubPeeringProb,
+	} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("topogen: %s = %v outside [0,1]", name, p)
+		}
+	}
+	return nil
+}
+
+func (c Config) tierOneCount() int {
+	if c.TierOneCount > 0 {
+		return c.TierOneCount
+	}
+	n := c.NumASes / 150
+	if n < 5 {
+		n = 5
+	}
+	if n > 12 {
+		n = 12
+	}
+	return n
+}

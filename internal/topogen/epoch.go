@@ -1,0 +1,98 @@
+package topogen
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// Epoch support for the persistence experiments (Figures 6–7): network
+// operators "change prefix exporting pattern at different time", so
+// between collection epochs a fraction of multihomed origins re-roll the
+// selective-announcement decision for one of their prefixes.
+
+// MutateExportPolicies re-rolls the origin export policy of roughly
+// `fraction` of the multihomed origin ASes, one prefix each, cycling a
+// prefix between announce-to-all, announce-to-subset and no-upstream
+// tagging. It returns the affected prefixes sorted, so callers can
+// recompute only those routes. The rng drives which ASes churn; pass a
+// per-epoch-seeded rng for reproducible series.
+func (t *Topology) MutateExportPolicies(rng *rand.Rand, fraction float64) []netx.Prefix {
+	var touched []netx.Prefix
+	for _, asn := range t.Order {
+		info := t.ASes[asn]
+		providers := t.Graph.Providers(asn)
+		if len(providers) < 2 || len(info.Prefixes) == 0 {
+			continue
+		}
+		if rng.Float64() >= fraction {
+			continue
+		}
+		prefix := info.Prefixes[rng.Intn(len(info.Prefixes))]
+		pol := t.Policies[asn]
+		delete(pol.Export.OriginProviders, prefix)
+		delete(pol.Export.NoUpstream, prefix)
+		switch rng.Intn(3) {
+		case 0:
+			// Announce to all providers (deletions above already did it).
+		case 1:
+			subsetSize := 1 + rng.Intn(len(providers)-1)
+			perm := rng.Perm(len(providers))
+			set := make(map[bgp.ASN]bool, subsetSize)
+			for _, idx := range perm[:subsetSize] {
+				set[providers[idx]] = true
+			}
+			pol.Export.OriginProviders[prefix] = set
+		case 2:
+			pol.Export.NoUpstream[prefix] = providers[rng.Intn(len(providers))]
+		}
+		touched = append(touched, prefix)
+	}
+	netx.SortPrefixes(touched)
+	return touched
+}
+
+// ClonePolicies deep-copies the export-policy state that
+// MutateExportPolicies may touch, letting callers snapshot an epoch.
+func (t *Topology) ClonePolicies() map[bgp.ASN]*Policy {
+	out := make(map[bgp.ASN]*Policy, len(t.Policies))
+	for asn, p := range t.Policies {
+		cp := &Policy{AS: p.AS, Import: p.Import, Tagging: p.Tagging}
+		cp.Export = ExportPolicy{
+			OriginProviders:    make(map[netx.Prefix]map[bgp.ASN]bool, len(p.Export.OriginProviders)),
+			NoUpstream:         make(map[netx.Prefix]bgp.ASN, len(p.Export.NoUpstream)),
+			TransitSelective:   p.Export.TransitSelective,
+			AggregateSpecifics: p.Export.AggregateSpecifics,
+			PeerExclude:        p.Export.PeerExclude,
+		}
+		for prefix, set := range p.Export.OriginProviders {
+			ns := make(map[bgp.ASN]bool, len(set))
+			for a, v := range set {
+				ns[a] = v
+			}
+			cp.Export.OriginProviders[prefix] = ns
+		}
+		for prefix, provider := range p.Export.NoUpstream {
+			cp.Export.NoUpstream[prefix] = provider
+		}
+		out[asn] = cp
+	}
+	return out
+}
+
+// RestorePolicies swaps in a snapshot taken with ClonePolicies.
+func (t *Topology) RestorePolicies(snapshot map[bgp.ASN]*Policy) {
+	t.Policies = snapshot
+}
+
+// sortedPrefixes is a small helper used by tests.
+func sortedPrefixes(m map[netx.Prefix]bool) []netx.Prefix {
+	out := make([]netx.Prefix, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

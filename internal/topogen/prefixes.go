@@ -1,0 +1,199 @@
+package topogen
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// Prefix allocation. Every AS receives a private address block sized by
+// tier and originates prefixes carved from the block's first half; the
+// second half is a delegation pool from which provider-allocated customer
+// prefixes are carved (the precondition for the paper's Case-2
+// "prefix aggregating" analysis, Table 9).
+
+type blockAlloc struct {
+	// cursor is the next free address, kept aligned by allocate.
+	cursor uint32
+}
+
+// allocate returns the next length-aligned block of the given length.
+func (b *blockAlloc) allocate(length uint8) (netx.Prefix, bool) {
+	size := uint32(1) << (32 - length)
+	// Align the cursor up to the block size.
+	aligned := (b.cursor + size - 1) &^ (size - 1)
+	if aligned < b.cursor || aligned+size < aligned {
+		return netx.Prefix{}, false // exhausted the 32-bit space
+	}
+	b.cursor = aligned + size
+	return netx.Prefix{Addr: aligned, Len: length}, true
+}
+
+type asBlock struct {
+	block netx.Prefix
+	// ownCursor carves the AS's own prefixes from the lower half;
+	// delegCursor carves customer delegations from the upper half.
+	ownCursor, delegCursor blockAlloc
+	delegLimit             uint32
+}
+
+func newASBlock(block netx.Prefix) *asBlock {
+	half := block.Addr + uint32(block.NumAddresses()/2)
+	return &asBlock{
+		block:       block,
+		ownCursor:   blockAlloc{cursor: block.Addr},
+		delegCursor: blockAlloc{cursor: half},
+		delegLimit:  block.Addr + uint32(block.NumAddresses()-1),
+	}
+}
+
+func (ab *asBlock) carveOwn(length uint8) (netx.Prefix, bool) {
+	p, ok := ab.ownCursor.allocate(length)
+	if !ok || p.Addr+uint32(p.NumAddresses()-1) > ab.block.Addr+uint32(ab.block.NumAddresses()/2-1) {
+		return netx.Prefix{}, false
+	}
+	return p, true
+}
+
+func (ab *asBlock) carveDelegation(length uint8) (netx.Prefix, bool) {
+	p, ok := ab.delegCursor.allocate(length)
+	if !ok || p.Addr+uint32(p.NumAddresses()-1) > ab.delegLimit {
+		return netx.Prefix{}, false
+	}
+	return p, true
+}
+
+func blockLenForTier(tier int) uint8 {
+	switch tier {
+	case 1:
+		return 12
+	case 2:
+		return 16
+	default:
+		return 20
+	}
+}
+
+func ownPrefixLen(rng *rand.Rand, tier int) uint8 {
+	switch tier {
+	case 1:
+		return uint8(14 + rng.Intn(5)) // /14../18
+	case 2:
+		return uint8(18 + rng.Intn(5)) // /18../22
+	default:
+		return uint8(22 + rng.Intn(3)) // /22../24
+	}
+}
+
+func (t *Topology) allocatePrefixes(rng *rand.Rand) {
+	cfg := t.Config
+	global := blockAlloc{cursor: netx.MustParsePrefix("20.0.0.0/8").Addr}
+
+	// Deterministic order: ascending ASN.
+	asns := make([]bgp.ASN, 0, len(t.ASes))
+	for asn := range t.ASes {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	blocks := make(map[bgp.ASN]*asBlock, len(asns))
+	for _, asn := range asns {
+		info := t.ASes[asn]
+		block, ok := global.allocate(blockLenForTier(info.Tier))
+		if !ok {
+			// 32-bit space exhausted: stop allocating blocks; affected
+			// ASes originate nothing. Only reachable with absurd configs.
+			break
+		}
+		blocks[asn] = newASBlock(block)
+	}
+
+	meanFor := func(tier int) float64 {
+		switch tier {
+		case 1:
+			return cfg.MeanPrefixesT1
+		case 2:
+			return cfg.MeanPrefixesT2
+		default:
+			return cfg.MeanPrefixesStub
+		}
+	}
+
+	for _, asn := range asns {
+		info := t.ASes[asn]
+		ab := blocks[asn]
+		if ab == nil {
+			continue
+		}
+		count := 1 + poisson(rng, meanFor(info.Tier)-1)
+		for i := 0; i < count; i++ {
+			var (
+				p        netx.Prefix
+				ok       bool
+				provider bgp.ASN
+			)
+			providers := t.Graph.Providers(asn)
+			if info.Tier == 3 && len(providers) > 0 && rng.Float64() < cfg.ProviderAllocatedProb {
+				provider = providers[rng.Intn(len(providers))]
+				if pb := blocks[provider]; pb != nil {
+					p, ok = pb.carveDelegation(uint8(22 + rng.Intn(3)))
+				}
+			}
+			if !ok {
+				provider = 0
+				p, ok = ab.carveOwn(ownPrefixLen(rng, info.Tier))
+			}
+			if !ok {
+				continue // block full; fewer prefixes for this AS
+			}
+			info.Prefixes = append(info.Prefixes, p)
+			t.PrefixOrigin[p] = asn
+			if provider != 0 {
+				info.AllocatedFrom[p] = provider
+			}
+		}
+		netx.SortPrefixes(info.Prefixes)
+	}
+
+	// Providers that delegated space announce the covering delegation
+	// half-block so Case-2 aggregation leaves the space reachable.
+	coverAdded := make(map[bgp.ASN]bool)
+	for _, asn := range asns {
+		info := t.ASes[asn]
+		for _, provider := range sortedProviders(info.AllocatedFrom) {
+			if coverAdded[provider] {
+				continue
+			}
+			pb := blocks[provider]
+			if pb == nil {
+				continue
+			}
+			half := netx.Prefix{
+				Addr: pb.block.Addr + uint32(pb.block.NumAddresses()/2),
+				Len:  pb.block.Len + 1,
+			}
+			if _, taken := t.PrefixOrigin[half]; !taken {
+				pi := t.ASes[provider]
+				pi.Prefixes = append(pi.Prefixes, half)
+				netx.SortPrefixes(pi.Prefixes)
+				t.PrefixOrigin[half] = provider
+			}
+			coverAdded[provider] = true
+		}
+	}
+}
+
+func sortedProviders(m map[netx.Prefix]bgp.ASN) []bgp.ASN {
+	seen := map[bgp.ASN]bool{}
+	var out []bgp.ASN
+	for _, p := range m {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,323 @@
+package topogen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// Region is a coarse geography tag, used only to render Table 1.
+type Region string
+
+// Regions, weighted roughly like the paper's data set (42 NA, 33 Eu,
+// 3 Au, 2 As of 68 vantage ASes).
+const (
+	RegionNA Region = "NA"
+	RegionEU Region = "Eu"
+	RegionAS Region = "As"
+	RegionAU Region = "Au"
+)
+
+// ASInfo describes one generated AS.
+type ASInfo struct {
+	ASN    bgp.ASN
+	Name   string
+	Region Region
+	// Tier is the generated hierarchy level: 1 = top clique, 2 =
+	// regional transit, 3 = edge/stub.
+	Tier int
+	// Prefixes are the prefixes this AS originates, in Compare order.
+	Prefixes []netx.Prefix
+	// AllocatedFrom records, for provider-allocated prefixes, which
+	// provider's address block they were carved from.
+	AllocatedFrom map[netx.Prefix]bgp.ASN
+	// MultiSite marks backbone-less multi-site organizations whose
+	// per-site announcements mimic selective announcement (the paper's
+	// AOL case).
+	MultiSite bool
+}
+
+// Topology is a complete generated Internet: annotated graph, prefix
+// ownership and ground-truth policies.
+type Topology struct {
+	Config Config
+	Graph  *asgraph.Graph
+	// ASes maps every ASN to its description.
+	ASes map[bgp.ASN]*ASInfo
+	// Order lists all ASNs ascending (the canonical iteration order).
+	Order []bgp.ASN
+	// PrefixOrigin maps every originated prefix to its origin AS.
+	PrefixOrigin map[netx.Prefix]bgp.ASN
+	// Policies maps every ASN to its ground-truth policy.
+	Policies map[bgp.ASN]*Policy
+}
+
+// Generate builds a topology from cfg. It is deterministic in cfg.
+func Generate(cfg Config) (*Topology, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Topology{
+		Config:       cfg,
+		Graph:        asgraph.New(),
+		ASes:         make(map[bgp.ASN]*ASInfo, cfg.NumASes),
+		PrefixOrigin: make(map[netx.Prefix]bgp.ASN),
+		Policies:     make(map[bgp.ASN]*Policy, cfg.NumASes),
+	}
+	asns := drawASNs(rng, cfg.NumASes)
+	t.buildHierarchy(rng, asns)
+	t.allocatePrefixes(rng)
+	t.assignPolicies(rng)
+
+	t.Order = make([]bgp.ASN, 0, len(t.ASes))
+	for asn := range t.ASes {
+		t.Order = append(t.Order, asn)
+	}
+	sort.Slice(t.Order, func(i, j int) bool { return t.Order[i] < t.Order[j] })
+	return t, nil
+}
+
+// drawASNs picks n distinct 16-bit-style ASNs, shuffled deterministically.
+func drawASNs(rng *rand.Rand, n int) []bgp.ASN {
+	seen := make(map[bgp.ASN]bool, n)
+	out := make([]bgp.ASN, 0, n)
+	for len(out) < n {
+		a := bgp.ASN(1 + rng.Intn(64000))
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// buildHierarchy wires the annotated graph: a Tier-1 peering clique,
+// Tier-2 transit ASes multihomed into it, and stubs below, with peering
+// sprinkled per the config.
+func (t *Topology) buildHierarchy(rng *rand.Rand, asns []bgp.ASN) {
+	cfg := t.Config
+	n := len(asns)
+	t1Count := cfg.tierOneCount()
+	t2Count := int(float64(n) * cfg.TierTwoFraction)
+	if t1Count+t2Count >= n {
+		t2Count = n - t1Count - 1
+	}
+	tier1 := asns[:t1Count]
+	tier2 := asns[t1Count : t1Count+t2Count]
+	stubs := asns[t1Count+t2Count:]
+
+	for i, asn := range asns {
+		tier := 3
+		if i < t1Count {
+			tier = 1
+		} else if i < t1Count+t2Count {
+			tier = 2
+		}
+		region := drawRegion(rng)
+		t.ASes[asn] = &ASInfo{
+			ASN:           asn,
+			Name:          nameFor(asn, tier, region),
+			Region:        region,
+			Tier:          tier,
+			AllocatedFrom: make(map[netx.Prefix]bgp.ASN),
+		}
+		t.Graph.AddNode(asn)
+	}
+
+	// Tier-1 full peering clique.
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			mustEdge(t.Graph.AddPeer(tier1[i], tier1[j]))
+		}
+	}
+
+	// Tier-2: 1-3 Tier-1 providers each (preferential), plus peering.
+	customerCount := make(map[bgp.ASN]int)
+	for _, asn := range tier2 {
+		k := 1 + rng.Intn(3)
+		for _, p := range pickWeighted(rng, tier1, customerCount, k) {
+			mustEdge(t.Graph.AddProviderCustomer(p, asn))
+			customerCount[p]++
+		}
+	}
+	for i, a := range tier2 {
+		want := poisson(rng, cfg.PeeringDegreeT2/2)
+		for j := 0; j < want; j++ {
+			b := tier2[rng.Intn(len(tier2))]
+			if b == a || i >= len(tier2) {
+				continue
+			}
+			if t.Graph.Rel(a, b) == asgraph.RelNone {
+				mustEdge(t.Graph.AddPeer(a, b))
+			}
+		}
+	}
+
+	// Stubs: providers drawn 80% from Tier-2, 20% from Tier-1, count from
+	// the multihoming distribution; occasional stub-stub peering.
+	for _, asn := range stubs {
+		k := sampleDist(rng, cfg.MultihomeDist) + 1
+		providers := make(map[bgp.ASN]bool, k)
+		for len(providers) < k {
+			var pool []bgp.ASN
+			if rng.Float64() < 0.8 && len(tier2) > 0 {
+				pool = tier2
+			} else {
+				pool = tier1
+			}
+			cands := pickWeighted(rng, pool, customerCount, 1)
+			if len(cands) == 0 {
+				break
+			}
+			p := cands[0]
+			if providers[p] {
+				continue
+			}
+			providers[p] = true
+			mustEdge(t.Graph.AddProviderCustomer(p, asn))
+			customerCount[p]++
+		}
+	}
+	for i, a := range stubs {
+		if rng.Float64() >= cfg.StubPeeringProb || len(stubs) < 2 {
+			continue
+		}
+		b := stubs[rng.Intn(len(stubs))]
+		if b == a || i >= len(stubs) {
+			continue
+		}
+		if t.Graph.Rel(a, b) == asgraph.RelNone {
+			mustEdge(t.Graph.AddPeer(a, b))
+		}
+	}
+}
+
+// pickWeighted draws k distinct ASes from pool with probability
+// proportional to 1 + customers (preferential attachment, which yields
+// the heavy-tailed degrees of Table 1).
+func pickWeighted(rng *rand.Rand, pool []bgp.ASN, customers map[bgp.ASN]int, k int) []bgp.ASN {
+	if k >= len(pool) {
+		return append([]bgp.ASN(nil), pool...)
+	}
+	chosen := make(map[bgp.ASN]bool, k)
+	out := make([]bgp.ASN, 0, k)
+	for len(out) < k {
+		total := 0
+		for _, a := range pool {
+			if !chosen[a] {
+				total += 1 + customers[a]
+			}
+		}
+		if total == 0 {
+			break
+		}
+		x := rng.Intn(total)
+		for _, a := range pool {
+			if chosen[a] {
+				continue
+			}
+			x -= 1 + customers[a]
+			if x < 0 {
+				chosen[a] = true
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sampleDist(rng *rand.Rand, dist []float64) int {
+	var sum float64
+	for _, p := range dist {
+		sum += p
+	}
+	x := rng.Float64() * sum
+	for i, p := range dist {
+		x -= p
+		if x < 0 {
+			return i
+		}
+	}
+	return len(dist) - 1
+}
+
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Knuth's method; means here are tiny.
+	threshold := math.Exp(-mean)
+	l := 1.0
+	for k := 0; ; k++ {
+		l *= rng.Float64()
+		if l < threshold {
+			return k
+		}
+		if k > 50 {
+			return k
+		}
+	}
+}
+
+func drawRegion(rng *rand.Rand) Region {
+	x := rng.Float64()
+	switch {
+	case x < 0.55:
+		return RegionNA
+	case x < 0.90:
+		return RegionEU
+	case x < 0.95:
+		return RegionAS
+	default:
+		return RegionAU
+	}
+}
+
+var tierLabel = map[int]string{1: "Backbone", 2: "Transit", 3: "Net"}
+
+func nameFor(asn bgp.ASN, tier int, region Region) string {
+	return fmt.Sprintf("%s-%s-%d", tierLabel[tier], region, asn)
+}
+
+func mustEdge(err error) {
+	if err != nil {
+		// Generation only adds edges after checking RelNone, so a
+		// conflict is a programming error, not an input error.
+		panic(err)
+	}
+}
+
+// TierOf returns the generated tier of asn (0 when unknown).
+func (t *Topology) TierOf(asn bgp.ASN) int {
+	if info := t.ASes[asn]; info != nil {
+		return info.Tier
+	}
+	return 0
+}
+
+// ASesByTier returns the ASNs of the given tier, ascending.
+func (t *Topology) ASesByTier(tier int) []bgp.ASN {
+	var out []bgp.ASN
+	for _, asn := range t.Order {
+		if t.ASes[asn].Tier == tier {
+			out = append(out, asn)
+		}
+	}
+	return out
+}
+
+// TotalPrefixes returns the number of originated prefixes.
+func (t *Topology) TotalPrefixes() int { return len(t.PrefixOrigin) }
+
+// OriginOf returns the origin AS of prefix.
+func (t *Topology) OriginOf(prefix netx.Prefix) (bgp.ASN, bool) {
+	asn, ok := t.PrefixOrigin[prefix]
+	return asn, ok
+}

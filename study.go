@@ -1,0 +1,256 @@
+// Package policyscope reproduces "On Inferring and Characterizing
+// Internet Routing Policies" (Wang & Gao, IMC 2003) end to end on a
+// synthetic Internet: it generates an annotated AS topology with ground-
+// truth routing policies, simulates BGP to convergence, collects
+// RouteViews-style and Looking-Glass-style vantage data, and runs the
+// paper's inference algorithms — import-policy typicality, next-hop
+// consistency, the Figure-4 selective-announcement (SA) detector,
+// community-based verification, persistence, cause analysis and
+// export-to-peer behaviour.
+//
+// The entry point is a Study:
+//
+//	study, err := policyscope.NewStudy(policyscope.DefaultConfig())
+//	...
+//	res := study.Table5SAPrefixes()
+//	table := study.RenderTable5(res)
+//	table.WriteTo(os.Stdout)
+//
+// Every experiment is deterministic in Config.Seed.
+package policyscope
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/core"
+	"github.com/policyscope/policyscope/internal/gaorelation"
+	"github.com/policyscope/policyscope/internal/routeviews"
+	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// Config sizes a study.
+type Config struct {
+	// NumASes is the synthetic Internet's size.
+	NumASes int
+	// Seed drives every random choice.
+	Seed int64
+	// CollectorPeers is the RouteViews-style peer count (the paper's
+	// collector had 56 peers).
+	CollectorPeers int
+	// LookingGlassASes is how many vantage ASes expose full tables with
+	// local preference (the paper used 15).
+	LookingGlassASes int
+	// UseInferredRelationships switches the analyses from ground-truth
+	// relationships to Gao-inferred ones (the paper's actual setting;
+	// Section 4.3 bounds the error).
+	UseInferredRelationships bool
+	// Parallelism bounds simulation workers (0 = GOMAXPROCS).
+	Parallelism int
+	// Tuning optionally adjusts the synthetic Internet's policy mix.
+	Tuning *TopologyTuning
+}
+
+// TopologyTuning exposes the generator knobs that change experiment
+// shapes. Zero-valued fields keep their defaults.
+type TopologyTuning struct {
+	// TierOneCount overrides the Tier-1 clique size.
+	TierOneCount int
+	// SelectiveAnnounceProb is the probability a multihomed origin
+	// selectively announces a prefix (drives Tables 5-9).
+	SelectiveAnnounceProb float64
+	// AtypicalPrefProb is the share of sessions with class-order
+	// violations (drives Tables 2-3).
+	AtypicalPrefProb float64
+	// TaggingProb is the share of ASes deploying relationship-tagging
+	// communities (drives Table 4 coverage).
+	TaggingProb float64
+	// PeerSelectiveProb is the probability a peer withholds prefixes
+	// from another peer (drives Table 10).
+	PeerSelectiveProb float64
+	// MeanPrefixesStub scales table sizes.
+	MeanPrefixesStub float64
+}
+
+// DefaultConfig returns a laptop-scale study that exercises every
+// experiment in seconds.
+func DefaultConfig() Config {
+	return Config{
+		NumASes:          600,
+		Seed:             42,
+		CollectorPeers:   24,
+		LookingGlassASes: 15,
+	}
+}
+
+// Study is a generated Internet plus its converged routing state and the
+// vantage data every experiment consumes.
+type Study struct {
+	Config Config
+	// Topo is the generated ground truth.
+	Topo *topogen.Topology
+	// Peers are the collector's peer ASes (all of them vantage points).
+	Peers []bgp.ASN
+	// LookingGlass is the subset of peers whose full tables play the
+	// role of the paper's 15 Looking Glass servers.
+	LookingGlass []bgp.ASN
+	// Result holds the converged state (full tables at every peer).
+	Result *simulate.Result
+	// Snapshot is the collector's best-route view.
+	Snapshot *routeviews.Snapshot
+	// Graph is the relationship source used by the analyses: the ground
+	// truth by default, the Gao-inferred graph when configured.
+	Graph *asgraph.Graph
+	// Inferred is the Gao inference output (always computed, so the
+	// Section 4.3 comparison is available even when unused).
+	Inferred *gaorelation.Inference
+
+	tiers map[bgp.ASN]int
+}
+
+// NewStudy generates, simulates and collects everything.
+func NewStudy(cfg Config) (*Study, error) {
+	if cfg.NumASes <= 0 {
+		return nil, fmt.Errorf("policyscope: NumASes must be positive")
+	}
+	if cfg.CollectorPeers <= 0 {
+		cfg.CollectorPeers = 24
+	}
+	if cfg.LookingGlassASes <= 0 {
+		cfg.LookingGlassASes = 15
+	}
+	tcfg := topogen.DefaultConfig(cfg.NumASes, cfg.Seed)
+	if tn := cfg.Tuning; tn != nil {
+		if tn.TierOneCount > 0 {
+			tcfg.TierOneCount = tn.TierOneCount
+		}
+		if tn.SelectiveAnnounceProb > 0 {
+			tcfg.SelectiveAnnounceProb = tn.SelectiveAnnounceProb
+		}
+		if tn.AtypicalPrefProb > 0 {
+			tcfg.AtypicalPrefProb = tn.AtypicalPrefProb
+		}
+		if tn.TaggingProb > 0 {
+			tcfg.TaggingProb = tn.TaggingProb
+		}
+		if tn.PeerSelectiveProb > 0 {
+			tcfg.PeerSelectiveProb = tn.PeerSelectiveProb
+		}
+		if tn.MeanPrefixesStub > 0 {
+			tcfg.MeanPrefixesStub = tn.MeanPrefixesStub
+		}
+	}
+	topo, err := topogen.Generate(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	peers := routeviews.SelectPeers(topo, cfg.CollectorPeers)
+	res, err := simulate.Run(topo, simulate.Options{
+		VantagePoints: peers,
+		Parallelism:   cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Unconverged) > 0 {
+		return nil, fmt.Errorf("policyscope: %d prefixes did not converge", len(res.Unconverged))
+	}
+	snap, err := routeviews.Collect(res, peers, 0)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{
+		Config:   cfg,
+		Topo:     topo,
+		Peers:    peers,
+		Result:   res,
+		Snapshot: snap,
+	}
+	// Looking Glass ASes: a mix like Table 1's — the largest peers plus
+	// some mid-size ones.
+	lg := append([]bgp.ASN(nil), peers...)
+	sort.Slice(lg, func(i, j int) bool {
+		di, dj := topo.Graph.Degree(lg[i]), topo.Graph.Degree(lg[j])
+		if di != dj {
+			return di > dj
+		}
+		return lg[i] < lg[j]
+	})
+	if len(lg) > cfg.LookingGlassASes {
+		lg = lg[:cfg.LookingGlassASes]
+	}
+	sort.Slice(lg, func(i, j int) bool { return lg[i] < lg[j] })
+	s.LookingGlass = lg
+
+	opts := gaorelation.DefaultOptions()
+	opts.VantagePoints = peers
+	s.Inferred = gaorelation.Infer(snap.AllPaths(), opts)
+	if cfg.UseInferredRelationships {
+		s.Graph = s.Inferred.Graph
+	} else {
+		s.Graph = topo.Graph
+	}
+	s.tiers = s.Graph.Tiers()
+	return s, nil
+}
+
+// TierOneVantages returns the study's Tier-1 vantage ASes (largest
+// first), the analogues of AS1/AS3549/AS7018.
+func (s *Study) TierOneVantages(n int) []bgp.ASN {
+	var t1 []bgp.ASN
+	for _, asn := range s.Peers {
+		if s.Topo.TierOf(asn) == 1 {
+			t1 = append(t1, asn)
+		}
+	}
+	sort.Slice(t1, func(i, j int) bool {
+		di, dj := s.Topo.Graph.Degree(t1[i]), s.Topo.Graph.Degree(t1[j])
+		if di != dj {
+			return di > dj
+		}
+		return t1[i] < t1[j]
+	})
+	if n > 0 && len(t1) > n {
+		t1 = t1[:n]
+	}
+	return t1
+}
+
+// PeerView returns the collector's best-route view for one peer.
+func (s *Study) PeerView(peer bgp.ASN) core.BestView {
+	return core.ViewFromPeerTable(s.Snapshot.Table, peer)
+}
+
+// AllPeerViews returns every peer's view, in peer order.
+func (s *Study) AllPeerViews() []core.BestView {
+	out := make([]core.BestView, 0, len(s.Peers))
+	for _, p := range s.Peers {
+		out = append(out, s.PeerView(p))
+	}
+	return out
+}
+
+// VantageTables returns the full tables of every peer (the path-index
+// input).
+func (s *Study) VantageTables() []*bgp.RIB {
+	out := make([]*bgp.RIB, 0, len(s.Peers))
+	for _, p := range s.Peers {
+		out = append(out, s.Result.Tables[p])
+	}
+	return out
+}
+
+// RelationshipAccuracy scores the Gao inference against ground truth —
+// the Section 4.3 bound.
+func (s *Study) RelationshipAccuracy() gaorelation.Accuracy {
+	return gaorelation.Score(s.Inferred.Graph, s.Topo.Graph)
+}
+
+// HasProviders reports whether the relationship source says asn has
+// providers (the community-semantics prior).
+func (s *Study) HasProviders(asn bgp.ASN) bool {
+	return len(s.Graph.Providers(asn)) > 0
+}
