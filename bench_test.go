@@ -1,8 +1,10 @@
 package policyscope
 
 // The benchmark harness: one benchmark per table and figure of the
-// paper (regenerating the experiment from a shared converged study), and
-// the ablation benchmarks DESIGN.md calls out. Run with:
+// paper (regenerating the experiment from a shared converged study), the
+// decision-process/propagation ablations, and the scenario-engine
+// benchmarks comparing incremental re-convergence against full
+// resimulation (snapshot them with scripts/bench_scenario.sh). Run with:
 //
 //	go test -bench=. -benchmem .
 
@@ -203,6 +205,64 @@ func BenchmarkFig9NeighborRank(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if ranks := s.Figure9NeighborRanks(3); len(ranks) == 0 {
 			b.Fatal("empty ranks")
+		}
+	}
+}
+
+// ---- scenario engine ------------------------------------------------------
+
+// BenchmarkScenarioIncremental measures the scenario engine's
+// incremental re-convergence for a single link failure (alternating
+// failure and restoration so every iteration starts from a converged
+// state). The subject is Study.FailoverScenario's — the same what-if
+// RunAll reports. Compare against BenchmarkScenarioFullResim: the
+// acceptance bar for the incremental path is a ≥5× speedup.
+func BenchmarkScenarioIncremental(b *testing.B) {
+	s := sharedStudy(b)
+	fail, stub, provider, ok := s.FailoverScenario()
+	if !ok {
+		b.Fatal("no failover subject")
+	}
+	rel := s.Topo.Graph.Rel(stub, provider)
+	eng, err := simulate.NewEngine(s.Topo, simulate.Options{
+		VantagePoints: s.Peers,
+		Parallelism:   s.Config.Parallelism,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	restore := simulate.Scenario{Events: []simulate.Event{simulate.RestoreLink(stub, provider, rel)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := fail
+		if i%2 == 1 {
+			sc = restore
+		}
+		if _, err := eng.Apply(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioFullResim is the baseline the incremental path is
+// judged against: the same single-link-failure what-if answered by
+// resimulating the mutated topology from scratch.
+func BenchmarkScenarioFullResim(b *testing.B) {
+	s := sharedStudy(b)
+	fail, _, _, ok := s.FailoverScenario()
+	if !ok {
+		b.Fatal("no failover subject")
+	}
+	mutated := s.Topo.Clone()
+	if err := fail.ApplyToTopology(mutated); err != nil {
+		b.Fatal(err)
+	}
+	opts := simulate.Options{VantagePoints: s.Peers, Parallelism: s.Config.Parallelism}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := simulate.Run(mutated, opts)
+		if err != nil || len(res.Tables) == 0 {
+			b.Fatalf("err %v", err)
 		}
 	}
 }

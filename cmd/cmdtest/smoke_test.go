@@ -1,0 +1,190 @@
+// Package cmdtest smoke-tests every binary under cmd/: each CLI is
+// built with the local toolchain and driven through a tiny end-to-end
+// invocation (topogen → simulate → inferrel/inferexport, a scenario
+// what-if, the looking glass, the IRR generator and the repro harness),
+// so flag-parsing or wiring regressions in the mains are caught by
+// `go test ./...` even though main packages have no importable API.
+package cmdtest
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot resolves the module root (two levels above this package).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(abs, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", abs, err)
+	}
+	return abs
+}
+
+// buildCmds compiles every cmd/ binary into dir and returns their paths.
+func buildCmds(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	root := repoRoot(t)
+	entries, err := os.ReadDir(filepath.Join(root, "cmd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bins := make(map[string]string)
+	for _, e := range entries {
+		if !e.IsDir() || e.Name() == "cmdtest" {
+			continue
+		}
+		bin := filepath.Join(dir, e.Name())
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+e.Name())
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", e.Name(), err, out)
+		}
+		bins[e.Name()] = bin
+	}
+	return bins
+}
+
+// run executes a binary and returns combined stdout/stderr.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, buf.String())
+	}
+	return buf.String()
+}
+
+// firstProviderEdge extracts one provider|customer edge from a CAIDA
+// relationship file.
+func firstProviderEdge(t *testing.T, relPath string) (string, string) {
+	t.Helper()
+	f, err := os.Open(relPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		if len(parts) == 3 && parts[2] == "-1" {
+			return parts[0], parts[1]
+		}
+	}
+	t.Fatal("no provider-customer edge in relationship file")
+	return "", ""
+}
+
+func TestCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bins := buildCmds(t, dir)
+
+	relPath := filepath.Join(dir, "rel.txt")
+	pfxPath := filepath.Join(dir, "prefixes.txt")
+	mrtPath := filepath.Join(dir, "base.mrt")
+	afterPath := filepath.Join(dir, "after.mrt")
+	irrPath := filepath.Join(dir, "irr.rpsl")
+	inferredRel := filepath.Join(dir, "rel-inferred.txt")
+
+	// topogen writes the ground truth the other CLIs consume.
+	out := run(t, bins["topogen"], "-ases", "40", "-seed", "3", "-rel", relPath, "-prefixes", pfxPath)
+	if !strings.Contains(out, "ASes: 40") {
+		t.Fatalf("topogen stats missing:\n%s", out)
+	}
+	for _, p := range []string{relPath, pfxPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Fatalf("topogen output %s empty or missing (%v)", p, err)
+		}
+	}
+
+	// simulate produces the collector snapshot.
+	out = run(t, bins["simulate"], "-ases", "40", "-seed", "3", "-peers", "5", "-out", mrtPath)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("simulate output:\n%s", out)
+	}
+
+	// simulate -scenario: fail a real link from the same deterministic
+	// topology and verify the incremental what-if report.
+	provider, customer := firstProviderEdge(t, relPath)
+	scenarioPath := filepath.Join(dir, "events.json")
+	events := fmt.Sprintf(`{"name":"smoke","events":[{"kind":"link_fail","a":%s,"b":%s}]}`, provider, customer)
+	if err := os.WriteFile(scenarioPath, []byte(events), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run(t, bins["simulate"], "-ases", "40", "-seed", "3", "-peers", "5",
+		"-scenario", scenarioPath, "-out", afterPath)
+	if !strings.Contains(out, "scenario smoke") || !strings.Contains(out, "re-converged") {
+		t.Fatalf("simulate -scenario report missing:\n%s", out)
+	}
+
+	// inferrel recovers relationships from the snapshot and scores them.
+	out = run(t, bins["inferrel"], "-in", mrtPath, "-out", inferredRel, "-truth", relPath)
+	if !strings.Contains(out, "inferred") {
+		t.Fatalf("inferrel output:\n%s", out)
+	}
+
+	// inferexport runs the Figure-4 SA detector.
+	out = run(t, bins["inferexport"], "-in", mrtPath, "-rel", relPath)
+	if !strings.Contains(out, "SA prefixes per collector peer") {
+		t.Fatalf("inferexport output:\n%s", out)
+	}
+
+	// irrgen emits an RPSL database and re-analyzes it.
+	run(t, bins["irrgen"], "-ases", "40", "-seed", "3", "-out", irrPath)
+	if fi, err := os.Stat(irrPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("irrgen wrote nothing (%v)", err)
+	}
+	out = run(t, bins["irrgen"], "-analyze", irrPath, "-rel", relPath, "-minneighbors", "1")
+	if len(strings.TrimSpace(out)) == 0 {
+		t.Fatal("irrgen -analyze printed nothing")
+	}
+
+	// lookingglass lists its vantage ASes.
+	out = run(t, bins["lookingglass"], "-ases", "40", "-seed", "3")
+	if !strings.Contains(out, "available vantage ASes") {
+		t.Fatalf("lookingglass output:\n%s", out)
+	}
+}
+
+// TestReproSmoke runs the complete experiment harness (including the
+// appended what-if) at a small scale. Kept separate: it is the slowest
+// CLI invocation.
+func TestReproSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	root := repoRoot(t)
+	bin := filepath.Join(dir, "repro")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/repro")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build repro: %v\n%s", err, out)
+	}
+	out := run(t, bin, "-ases", "300", "-seed", "1", "-peers", "12", "-lg", "6",
+		"-daily", "0", "-hourly", "0", "-routers", "6")
+	for _, want := range []string{"Table 5", "Summary: paper vs measured", "What-if"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("repro output missing %q", want)
+		}
+	}
+}

@@ -2,9 +2,23 @@
 // state, and writes the RouteViews-style collector snapshot as an MRT
 // TABLE_DUMP_V2 file — the same format family real collectors archive.
 //
+// With -scenario it additionally runs a what-if: the events in the JSON
+// file (link failures/restorations, prefix withdrawals/announcements,
+// policy edits) are applied to the converged state, the affected
+// prefixes are re-converged incrementally, a catchment-shift report is
+// printed, and the post-event snapshot is the one written out.
+//
 // Usage:
 //
 //	simulate [-ases 2000] [-seed 42] [-peers 56] -out table.mrt
+//	simulate -ases 800 -scenario events.json -out after.mrt
+//
+// An events.json looks like:
+//
+//	{"name": "maintenance", "events": [
+//	  {"kind": "link_fail", "a": 64512, "b": 64513},
+//	  {"kind": "local_pref", "as": 64514, "neighbor": 64515, "value": 80}
+//	]}
 package main
 
 import (
@@ -21,10 +35,11 @@ import (
 
 func main() {
 	var (
-		ases  = flag.Int("ases", 2000, "number of ASes")
-		seed  = flag.Int64("seed", 42, "random seed")
-		peers = flag.Int("peers", 56, "collector peers")
-		out   = flag.String("out", "table.mrt", "output MRT file ('-' = stdout)")
+		ases     = flag.Int("ases", 2000, "number of ASes")
+		seed     = flag.Int64("seed", 42, "random seed")
+		peers    = flag.Int("peers", 56, "collector peers")
+		out      = flag.String("out", "table.mrt", "output MRT file ('-' = stdout)")
+		scenario = flag.String("scenario", "", "what-if events JSON; the post-event snapshot is written")
 	)
 	flag.Parse()
 
@@ -33,9 +48,45 @@ func main() {
 		fail(err)
 	}
 	peerSet := routeviews.SelectPeers(topo, *peers)
-	res, err := simulate.Run(topo, simulate.Options{VantagePoints: peerSet})
-	if err != nil {
-		fail(err)
+	opts := simulate.Options{VantagePoints: peerSet}
+
+	var res *simulate.Result
+	if *scenario == "" {
+		res, err = simulate.Run(topo, opts)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		sc, err := simulate.LoadScenarioFile(*scenario)
+		if err != nil {
+			fail(err)
+		}
+		eng, err := simulate.NewEngine(topo, opts)
+		if err != nil {
+			fail(err)
+		}
+		start := time.Now()
+		delta, err := eng.Apply(sc)
+		if err != nil {
+			fail(err)
+		}
+		name := sc.Name
+		if name == "" {
+			name = *scenario
+		}
+		fmt.Fprintf(os.Stderr,
+			"scenario %s: %d event(s), re-converged %d/%d prefixes in %v, %d AS-level best shifts\n",
+			name, len(sc.Events), delta.Recomputed, delta.TotalPrefixes,
+			time.Since(start).Round(time.Millisecond), delta.ShiftedASes())
+		for i, sh := range delta.Shifts {
+			if i >= 10 {
+				fmt.Fprintf(os.Stderr, "  ... %d more shifted prefixes\n", len(delta.Shifts)-10)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  %v (AS%d): %d shifted, %d lost, %d gained\n",
+				sh.Prefix, sh.Origin, sh.Shifted, sh.Lost, sh.Gained)
+		}
+		res = eng.Result()
 	}
 	if len(res.Unconverged) > 0 {
 		fail(fmt.Errorf("%d prefixes did not converge", len(res.Unconverged)))

@@ -1,0 +1,3 @@
+module github.com/policyscope/policyscope
+
+go 1.21

@@ -26,6 +26,24 @@ const (
 	RelSibling
 )
 
+// ParseRelationship inverts String. It accepts the canonical names plus
+// the common "p2c"/"c2p"/"p2p" abbreviations used in relationship files.
+func ParseRelationship(s string) (Relationship, error) {
+	switch s {
+	case "provider", "c2p":
+		return RelProvider, nil
+	case "customer", "p2c":
+		return RelCustomer, nil
+	case "peer", "p2p":
+		return RelPeer, nil
+	case "sibling", "s2s":
+		return RelSibling, nil
+	case "none", "":
+		return RelNone, nil
+	}
+	return RelNone, fmt.Errorf("asgraph: unknown relationship %q", s)
+}
+
 func (r Relationship) String() string {
 	switch r {
 	case RelProvider:
@@ -138,6 +156,77 @@ func (g *Graph) addEdge(self, other bgp.ASN, rel Relationship) error {
 		return fmt.Errorf("asgraph: cannot add edge with relationship %v", rel)
 	}
 	return nil
+}
+
+// RemoveEdge deletes the edge between a and b, whatever its type,
+// returning the relationship the removed edge had (what b was to a).
+// It returns RelNone and false when no edge existed. Used by the
+// scenario engine's link-failure events.
+func (g *Graph) RemoveEdge(a, b bgp.ASN) (Relationship, bool) {
+	key, swapped := edgeKey(a, b)
+	stored, ok := g.edges[key]
+	if !ok {
+		return RelNone, false
+	}
+	delete(g.edges, key)
+	rel := stored
+	if swapped {
+		rel = rel.Invert()
+	}
+	switch rel {
+	case RelProvider: // b is a's provider
+		g.providers[a] = removeASN(g.providers[a], b)
+		g.customers[b] = removeASN(g.customers[b], a)
+	case RelCustomer:
+		g.customers[a] = removeASN(g.customers[a], b)
+		g.providers[b] = removeASN(g.providers[b], a)
+	case RelPeer:
+		g.peers[a] = removeASN(g.peers[a], b)
+		g.peers[b] = removeASN(g.peers[b], a)
+	case RelSibling:
+		g.siblings[a] = removeASN(g.siblings[a], b)
+		g.siblings[b] = removeASN(g.siblings[b], a)
+	}
+	return rel, true
+}
+
+func removeASN(s []bgp.ASN, x bgp.ASN) []bgp.ASN {
+	for i, v := range s {
+		if v == x {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// AddEdge adds an edge where rel states what b is to a — the same
+// orientation RemoveEdge returns, so a fail/restore round-trip passes
+// the removed relationship straight through.
+func (g *Graph) AddEdge(a, b bgp.ASN, rel Relationship) error {
+	return g.addEdge(a, b, rel)
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for asn := range g.nodes {
+		c.nodes[asn] = true
+	}
+	for key, rel := range g.edges {
+		c.edges[key] = rel
+	}
+	copyAdj := func(dst, src map[bgp.ASN][]bgp.ASN) {
+		for asn, nbrs := range src {
+			if len(nbrs) > 0 {
+				dst[asn] = append([]bgp.ASN(nil), nbrs...)
+			}
+		}
+	}
+	copyAdj(c.providers, g.providers)
+	copyAdj(c.customers, g.customers)
+	copyAdj(c.peers, g.peers)
+	copyAdj(c.siblings, g.siblings)
+	return c
 }
 
 // Rel returns what neighbor is to asn: RelProvider if neighbor is asn's

@@ -128,6 +128,22 @@ func (p Prefix) String() string {
 	return string(out)
 }
 
+// MarshalText implements encoding.TextMarshaler, so prefixes serialize
+// as "a.b.c.d/len" in JSON values and map keys alike.
+func (p Prefix) MarshalText() ([]byte, error) {
+	return []byte(p.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (p *Prefix) UnmarshalText(text []byte) error {
+	parsed, err := ParsePrefix(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
 // Canonical returns p with host bits cleared.
 func (p Prefix) Canonical() Prefix {
 	p.Addr &= Mask(p.Len)

@@ -11,6 +11,16 @@
 // retain their full tables (candidate routes included), mirroring how the
 // paper observes the Internet through RouteViews peers and Looking Glass
 // servers.
+//
+// On top of the one-shot Run/RunSubset entry points, the package offers a
+// what-if scenario engine (see scenario.go): Engine holds a converged
+// state plus a per-prefix record of every AS's best next hop, and
+// Engine.Apply re-converges only the prefixes an event — link failure or
+// restoration, prefix withdrawal or re-origination, policy edit — can
+// actually disturb, seeding the per-prefix activation loop from the
+// reconstructed pre-event state instead of recomputing the fixpoint from
+// scratch. Ablation knobs (DecisionDepth, IgnoreImportPolicy) are
+// exercised by the benchmark suite in the repository root.
 package simulate
 
 import (
@@ -81,7 +91,17 @@ type engine struct {
 	reachCounts []int64 // indexed like prefix list
 	prefixes    []netx.Prefix
 	prefixIdx   map[netx.Prefix]int
+
+	// track, when non-nil, records for every prefix the converged best
+	// next hop of every AS: track[prefixIdx][asIdx] is the as-index the
+	// best route was learned from, the AS's own index for local routes,
+	// and trackNone for no route. The scenario engine reconstructs full
+	// pre-event routing state from this forest.
+	track [][]int32
 }
+
+// trackNone marks "no route" in the per-prefix best-next-hop record.
+const trackNone int32 = -1
 
 func newEngine(topo *topogen.Topology, opts Options) *engine {
 	e := &engine{
@@ -198,6 +218,25 @@ func (e *engine) buildResult(unconverged []netx.Prefix) *Result {
 }
 
 func (e *engine) runPrefixes(prefixes []netx.Prefix) []netx.Prefix {
+	var (
+		mu          sync.Mutex
+		unconverged []netx.Prefix
+	)
+	e.forEachPrefix(prefixes, func(st *workerState, p netx.Prefix) {
+		if !e.propagate(st, p) {
+			mu.Lock()
+			unconverged = append(unconverged, p)
+			mu.Unlock()
+		}
+	})
+	netx.SortPrefixes(unconverged)
+	return unconverged
+}
+
+// forEachPrefix runs fn over every prefix on a bounded worker pool, one
+// reusable workerState per worker. Both the full-convergence and the
+// incremental scenario passes schedule through it.
+func (e *engine) forEachPrefix(prefixes []netx.Prefix, fn func(*workerState, netx.Prefix)) {
 	workers := e.opts.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -209,10 +248,9 @@ func (e *engine) runPrefixes(prefixes []netx.Prefix) []netx.Prefix {
 		workers = 1
 	}
 	var (
-		mu          sync.Mutex
-		unconverged []netx.Prefix
-		next        int
-		wg          sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -228,36 +266,32 @@ func (e *engine) runPrefixes(prefixes []netx.Prefix) []netx.Prefix {
 				p := prefixes[next]
 				next++
 				mu.Unlock()
-				if !e.propagate(st, p) {
-					mu.Lock()
-					unconverged = append(unconverged, p)
-					mu.Unlock()
-				}
+				fn(st, p)
 			}
 		}()
 	}
 	wg.Wait()
-	netx.SortPrefixes(unconverged)
-	return unconverged
 }
 
 // workerState is the reusable per-prefix scratch space.
 type workerState struct {
-	version uint32
-	seen    []uint32
-	cands   []map[int32]*bgp.Route
-	best    []*bgp.Route
-	inQueue []bool
-	queue   []int32
-	touched []int32
+	version  uint32
+	seen     []uint32
+	cands    []map[int32]*bgp.Route
+	best     []*bgp.Route
+	bestFrom []int32 // as-index best was learned from; own index = local; trackNone = none
+	inQueue  []bool
+	queue    []int32
+	touched  []int32
 }
 
 func newWorkerState(n int) *workerState {
 	return &workerState{
-		seen:    make([]uint32, n),
-		cands:   make([]map[int32]*bgp.Route, n),
-		best:    make([]*bgp.Route, n),
-		inQueue: make([]bool, n),
+		seen:     make([]uint32, n),
+		cands:    make([]map[int32]*bgp.Route, n),
+		best:     make([]*bgp.Route, n),
+		bestFrom: make([]int32, n),
+		inQueue:  make([]bool, n),
 	}
 }
 
@@ -272,6 +306,7 @@ func (st *workerState) touch(i int32) {
 		st.seen[i] = st.version
 		st.cands[i] = nil
 		st.best[i] = nil
+		st.bestFrom[i] = trackNone
 		st.inQueue[i] = false
 		st.touched = append(st.touched, i)
 	}
@@ -288,13 +323,8 @@ func (e *engine) propagate(st *workerState, prefix netx.Prefix) bool {
 	st.reset()
 	st.touch(oi)
 
-	local := &bgp.Route{
-		Prefix:    prefix,
-		LocalPref: LocalRoutePref,
-		Origin:    bgp.OriginIGP,
-		NextHop:   routerIP(origin),
-	}
-	st.best[oi] = local
+	st.best[oi] = localRoute(prefix, origin)
+	st.bestFrom[oi] = oi
 	st.push(oi)
 
 	budget := e.budget * (len(e.asns) + e.topo.Graph.NumEdges())
@@ -340,17 +370,20 @@ func (e *engine) exportFrom(st *workerState, u int32) {
 // topology's ground-truth export policies.
 func (e *engine) shouldExport(u, v int32, relVtoU asgraph.Relationship, route *bgp.Route) bool {
 	uASN, vASN := e.asns[u], e.asns[v]
-	pol := e.pols[u]
 
 	// Ingress class of the route at u.
 	var ingress asgraph.Relationship // relationship of the announcing neighbor to u
-	if route.IsLocal() {
-		ingress = asgraph.RelNone // own route
-	} else {
+	if !route.IsLocal() {
 		nh, _ := route.NextHopAS()
 		ingress = e.topo.Graph.Rel(uASN, nh)
 	}
+	return exportAllowed(uASN, vASN, relVtoU, ingress, route, e.pols[u])
+}
 
+// exportAllowed is the policy core of shouldExport with the ingress
+// classification already resolved, so the scenario engine can evaluate
+// it against a pre-event relationship view or policy snapshot.
+func exportAllowed(uASN, vASN bgp.ASN, relVtoU, ingress asgraph.Relationship, route *bgp.Route, pol *topogen.Policy) bool {
 	// Well-known NO_EXPORT / NO_ADVERTISE.
 	if route.Communities.Has(bgp.NoExport) || route.Communities.Has(bgp.NoAdvertise) {
 		return false
@@ -408,37 +441,7 @@ func (e *engine) announce(st *workerState, u, v int32, relVtoU asgraph.Relations
 		e.withdraw(st, u, v)
 		return
 	}
-	comm := best.Communities
-	if best.IsLocal() {
-		if pol := e.pols[u]; pol != nil {
-			if tagged, ok := pol.Export.NoUpstream[best.Prefix]; ok && tagged == vASN {
-				comm = comm.Add(bgp.MakeCommunity(vASN, topogen.NoUpstreamValue))
-			}
-		}
-	}
-	path := best.Path.Prepend(uASN, 1)
-
-	// Import side at v: local preference and relationship tagging.
-	var lp uint32 = bgp.DefaultLocalPref
-	if !e.opts.IgnoreImportPolicy {
-		lp = e.topo.EffectiveLocalPref(vASN, uASN, best.Prefix)
-	}
-	if pol := e.pols[v]; pol != nil && pol.Tagging != nil {
-		if tag, ok := pol.Tagging.TagFor(relVtoU.Invert(), uASN); ok {
-			// relVtoU is what v is to u; the tag classifies u from v's
-			// point of view, hence the inversion.
-			comm = comm.Add(tag)
-		}
-	}
-
-	r := &bgp.Route{
-		Prefix:      best.Prefix,
-		Path:        path,
-		NextHop:     routerIP(uASN),
-		LocalPref:   lp,
-		Origin:      best.Origin,
-		Communities: comm,
-	}
+	r := e.buildAnnouncement(uASN, vASN, relVtoU, best, e.pols[u], e.pols[v])
 	st.touch(v)
 	if st.cands[v] == nil {
 		st.cands[v] = make(map[int32]*bgp.Route, 4)
@@ -449,6 +452,42 @@ func (e *engine) announce(st *workerState, u, v int32, relVtoU asgraph.Relations
 	}
 	st.cands[v][u] = r
 	e.reselect(st, v)
+}
+
+// buildAnnouncement constructs the route v installs when u announces
+// best over a session where v is relVtoU to u. The announcing and
+// receiving policies are explicit so the scenario engine can rebuild
+// pre-event routes against policy snapshots.
+func (e *engine) buildAnnouncement(uASN, vASN bgp.ASN, relVtoU asgraph.Relationship, best *bgp.Route, polU, polV *topogen.Policy) *bgp.Route {
+	comm := best.Communities
+	if best.IsLocal() && polU != nil {
+		if tagged, ok := polU.Export.NoUpstream[best.Prefix]; ok && tagged == vASN {
+			comm = comm.Add(bgp.MakeCommunity(vASN, topogen.NoUpstreamValue))
+		}
+	}
+	path := best.Path.Prepend(uASN, 1)
+
+	// Import side at v: local preference and relationship tagging.
+	var lp uint32 = bgp.DefaultLocalPref
+	if !e.opts.IgnoreImportPolicy {
+		lp = e.topo.EffectiveLocalPrefWith(polV, vASN, uASN, best.Prefix)
+	}
+	if polV != nil && polV.Tagging != nil {
+		if tag, ok := polV.Tagging.TagFor(relVtoU.Invert(), uASN); ok {
+			// relVtoU is what v is to u; the tag classifies u from v's
+			// point of view, hence the inversion.
+			comm = comm.Add(tag)
+		}
+	}
+
+	return &bgp.Route{
+		Prefix:      best.Prefix,
+		Path:        path,
+		NextHop:     routerIP(uASN),
+		LocalPref:   lp,
+		Origin:      best.Origin,
+		Communities: comm,
+	}
 }
 
 func (e *engine) withdraw(st *workerState, u, v int32) {
@@ -475,10 +514,19 @@ func (e *engine) reselect(st *workerState, v int32) {
 		cands = append(cands, st.cands[v][k])
 	}
 	newBest := bgp.Best(cands, e.depth)
+	from := trackNone
+	for i, r := range cands {
+		if r == newBest {
+			from = keys[i]
+			break
+		}
+	}
 	if routesEquivalent(newBest, st.best[v]) {
+		st.bestFrom[v] = from
 		return
 	}
 	st.best[v] = newBest
+	st.bestFrom[v] = from
 	st.push(v)
 }
 
@@ -511,6 +559,19 @@ func routesEquivalent(a, b *bgp.Route) bool {
 // capture copies converged state into vantage tables and reach counters.
 func (e *engine) capture(st *workerState, prefix netx.Prefix) {
 	pi := e.prefixIdx[prefix]
+	if e.track != nil {
+		row := e.track[pi]
+		if row == nil {
+			row = make([]int32, len(e.asns))
+			e.track[pi] = row
+		}
+		for i := range row {
+			row[i] = trackNone
+		}
+		for _, i := range st.touched {
+			row[i] = st.bestFrom[i]
+		}
+	}
 	reach := 0
 	for _, i := range st.touched {
 		if st.best[i] != nil || len(st.cands[i]) > 0 {
@@ -542,6 +603,16 @@ func (e *engine) capture(st *workerState, prefix netx.Prefix) {
 // routerIP synthesizes a stable next-hop IP for an AS's border router.
 func routerIP(asn bgp.ASN) uint32 {
 	return 0x0a000000 | (uint32(asn)&0xffff)<<8 | 1 // 10.x.y.1
+}
+
+// localRoute is the locally originated route installed at an origin AS.
+func localRoute(prefix netx.Prefix, origin bgp.ASN) *bgp.Route {
+	return &bgp.Route{
+		Prefix:    prefix,
+		LocalPref: LocalRoutePref,
+		Origin:    bgp.OriginIGP,
+		NextHop:   routerIP(origin),
+	}
 }
 
 // String renders run options for diagnostics.

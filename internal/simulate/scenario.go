@@ -1,0 +1,1167 @@
+package simulate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// What-if scenario engine. An Engine wraps a converged simulation plus a
+// per-prefix record of every AS's best next hop (the "best forest").
+// Apply takes a batch of events — link failures and restorations, prefix
+// withdrawals and re-originations, policy edits — mutates the engine's
+// private topology clone, and re-converges *incrementally*: only
+// sessions whose announcements actually change are re-evaluated, each
+// affected prefix restarts the event-driven activation loop from its
+// reconstructed pre-event state, and prefixes the events cannot disturb
+// are never touched. The final state is bit-identical to simulating the
+// mutated topology from scratch (scenario_test.go proves it property-
+// style); the benchmark suite shows the incremental path is an order of
+// magnitude faster than full resimulation for localized events.
+
+// EventKind names a scenario event type.
+type EventKind string
+
+// Scenario event kinds.
+const (
+	// EventLinkFail tears down the session between A and B.
+	EventLinkFail EventKind = "link_fail"
+	// EventLinkRestore (re-)establishes a session between A and B with
+	// relationship Rel (what B is to A).
+	EventLinkRestore EventKind = "link_restore"
+	// EventWithdraw removes Prefix from its origin: the origin stops
+	// announcing and the prefix disappears from the routing system.
+	EventWithdraw EventKind = "withdraw"
+	// EventAnnounce (re-)originates Prefix at Origin.
+	EventAnnounce EventKind = "announce"
+	// EventLocalPref overrides the local preference AS assigns to routes
+	// learned from Neighbor — for every prefix, or for just Prefix when
+	// PerPrefix is set.
+	EventLocalPref EventKind = "local_pref"
+	// EventSAToggle edits origin-side selective announcement: Prefix is
+	// announced to (Announce=true) or withheld from (false) Provider.
+	EventSAToggle EventKind = "sa_toggle"
+	// EventNoUpstream attaches (Provider != 0) or clears (Provider == 0)
+	// the scoped no-upstream community on Prefix at its origin.
+	EventNoUpstream EventKind = "no_upstream"
+)
+
+// Event is one scenario step. Which fields matter depends on Kind; the
+// constructors below populate them correctly.
+type Event struct {
+	Kind EventKind `json:"kind"`
+	// A, B are the link endpoints of link events.
+	A bgp.ASN `json:"a,omitempty"`
+	B bgp.ASN `json:"b,omitempty"`
+	// Rel is the restored link's relationship: what B is to A
+	// ("provider", "customer", "peer", "sibling").
+	Rel string `json:"rel,omitempty"`
+	// Prefix is the subject of prefix and per-prefix policy events.
+	Prefix netx.Prefix `json:"prefix,omitempty"`
+	// Origin is the AS (re-)originating Prefix for EventAnnounce.
+	Origin bgp.ASN `json:"origin,omitempty"`
+	// AS owns the import policy edited by EventLocalPref.
+	AS bgp.ASN `json:"as,omitempty"`
+	// Neighbor is the session whose routes EventLocalPref re-prices.
+	Neighbor bgp.ASN `json:"neighbor,omitempty"`
+	// Value is the overriding local preference.
+	Value uint32 `json:"value,omitempty"`
+	// PerPrefix restricts EventLocalPref to Prefix.
+	PerPrefix bool `json:"per_prefix,omitempty"`
+	// Provider scopes EventSAToggle / EventNoUpstream.
+	Provider bgp.ASN `json:"provider,omitempty"`
+	// Announce is the EventSAToggle direction.
+	Announce bool `json:"announce,omitempty"`
+}
+
+// MarshalJSON omits the prefix field on events that don't use it
+// (`omitempty` cannot drop a zero struct, and a spurious "0.0.0.0/0"
+// on link events misleads anyone reading a scenario file).
+func (ev Event) MarshalJSON() ([]byte, error) {
+	type bare Event // no methods: avoids recursing into this marshaller
+	shadow := struct {
+		bare
+		Prefix *netx.Prefix `json:"prefix,omitempty"`
+	}{bare: bare(ev)}
+	if ev.Prefix != (netx.Prefix{}) {
+		shadow.Prefix = &ev.Prefix
+	}
+	return json.Marshal(shadow)
+}
+
+// FailLink tears down the A–B session.
+func FailLink(a, b bgp.ASN) Event { return Event{Kind: EventLinkFail, A: a, B: b} }
+
+// RestoreLink re-establishes the A–B session; rel is what b is to a.
+func RestoreLink(a, b bgp.ASN, rel asgraph.Relationship) Event {
+	return Event{Kind: EventLinkRestore, A: a, B: b, Rel: rel.String()}
+}
+
+// WithdrawPrefix stops the origination of prefix.
+func WithdrawPrefix(prefix netx.Prefix) Event {
+	return Event{Kind: EventWithdraw, Prefix: prefix}
+}
+
+// AnnouncePrefix (re-)originates prefix at origin.
+func AnnouncePrefix(prefix netx.Prefix, origin bgp.ASN) Event {
+	return Event{Kind: EventAnnounce, Prefix: prefix, Origin: origin}
+}
+
+// SetLocalPref overrides the preference as assigns to every route from
+// neighbor.
+func SetLocalPref(as, neighbor bgp.ASN, value uint32) Event {
+	return Event{Kind: EventLocalPref, AS: as, Neighbor: neighbor, Value: value}
+}
+
+// SetPrefixLocalPref overrides the preference as assigns to routes for
+// prefix learned from neighbor.
+func SetPrefixLocalPref(as, neighbor bgp.ASN, prefix netx.Prefix, value uint32) Event {
+	return Event{Kind: EventLocalPref, AS: as, Neighbor: neighbor, Prefix: prefix, Value: value, PerPrefix: true}
+}
+
+// ToggleProviderAnnouncement announces (announce=true) or withholds
+// prefix to/from one of its origin's providers.
+func ToggleProviderAnnouncement(prefix netx.Prefix, provider bgp.ASN, announce bool) Event {
+	return Event{Kind: EventSAToggle, Prefix: prefix, Provider: provider, Announce: announce}
+}
+
+// TagNoUpstream attaches the scoped no-upstream community on prefix
+// toward provider (provider=0 clears it).
+func TagNoUpstream(prefix netx.Prefix, provider bgp.ASN) Event {
+	return Event{Kind: EventNoUpstream, Prefix: prefix, Provider: provider}
+}
+
+// Scenario is a named batch of events applied atomically: all events
+// take effect, then the network re-converges once.
+type Scenario struct {
+	Name   string  `json:"name,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// WriteJSON renders the scenario as indented JSON, the format
+// LoadScenario reads.
+func (sc Scenario) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sc)
+}
+
+// LoadScenario reads a Scenario from JSON.
+func LoadScenario(r io.Reader) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("simulate: bad scenario: %w", err)
+	}
+	return sc, nil
+}
+
+// LoadScenarioFile reads a Scenario from a JSON file.
+func LoadScenarioFile(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	defer f.Close()
+	return LoadScenario(f)
+}
+
+// ApplyToTopology mutates topo as the scenario's events dictate, without
+// any simulation. Engine.Apply uses the same mutations internally; tests
+// use this to cross-check incremental re-convergence against a from-
+// scratch simulation of the mutated topology.
+func (sc Scenario) ApplyToTopology(topo *topogen.Topology) error {
+	for _, ev := range sc.Events {
+		if _, err := applyEventToTopology(topo, ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyEventToTopology performs one event's mutation, returning the
+// relationship a removed or added edge carries (what B is to A).
+func applyEventToTopology(topo *topogen.Topology, ev Event) (asgraph.Relationship, error) {
+	switch ev.Kind {
+	case EventLinkFail:
+		rel, ok := topo.Graph.RemoveEdge(ev.A, ev.B)
+		if !ok {
+			return asgraph.RelNone, fmt.Errorf("simulate: %v: no link %v-%v", ev.Kind, ev.A, ev.B)
+		}
+		return rel, nil
+	case EventLinkRestore:
+		rel, err := asgraph.ParseRelationship(ev.Rel)
+		if err != nil || rel == asgraph.RelNone {
+			return asgraph.RelNone, fmt.Errorf("simulate: %v %v-%v: bad relationship %q", ev.Kind, ev.A, ev.B, ev.Rel)
+		}
+		if err := topo.Graph.AddEdge(ev.A, ev.B, rel); err != nil {
+			return asgraph.RelNone, fmt.Errorf("simulate: %v: %w", ev.Kind, err)
+		}
+		return rel, nil
+	case EventWithdraw:
+		if !topo.RemovePrefix(ev.Prefix) {
+			return asgraph.RelNone, fmt.Errorf("simulate: %v: %v is not originated", ev.Kind, ev.Prefix)
+		}
+	case EventAnnounce:
+		if !topo.AddPrefix(ev.Prefix, ev.Origin) {
+			return asgraph.RelNone, fmt.Errorf("simulate: %v: cannot originate %v at %v", ev.Kind, ev.Prefix, ev.Origin)
+		}
+	case EventLocalPref:
+		pol := topo.Policies[ev.AS]
+		if pol == nil {
+			// Mirror SetAnnounceToProvider: a policy-less AS grows one on
+			// first edit, so a mid-batch event can never fail after
+			// earlier events already mutated the topology.
+			pol = &topogen.Policy{AS: ev.AS}
+			topo.Policies[ev.AS] = pol
+		}
+		if ev.PerPrefix {
+			pol.EnsureOverride().SetPrefix(ev.Neighbor, ev.Prefix, ev.Value)
+		} else {
+			pol.EnsureOverride().SetNeighbor(ev.Neighbor, ev.Value)
+		}
+	case EventSAToggle:
+		origin, ok := topo.PrefixOrigin[ev.Prefix]
+		if !ok {
+			return asgraph.RelNone, fmt.Errorf("simulate: %v: %v is not originated", ev.Kind, ev.Prefix)
+		}
+		topo.SetAnnounceToProvider(origin, ev.Prefix, ev.Provider, ev.Announce)
+	case EventNoUpstream:
+		origin, ok := topo.PrefixOrigin[ev.Prefix]
+		if !ok {
+			return asgraph.RelNone, fmt.Errorf("simulate: %v: %v is not originated", ev.Kind, ev.Prefix)
+		}
+		topo.SetNoUpstream(origin, ev.Prefix, ev.Provider)
+	default:
+		return asgraph.RelNone, fmt.Errorf("simulate: unknown event kind %q", ev.Kind)
+	}
+	return asgraph.RelNone, nil
+}
+
+// PrefixShift summarizes how one re-converged prefix's catchment moved:
+// how many ASes changed the neighbor their best route uses, and how many
+// lost or gained reachability outright.
+type PrefixShift struct {
+	Prefix netx.Prefix
+	Origin bgp.ASN
+	// Shifted counts ASes whose best next hop changed (including to or
+	// from "no route").
+	Shifted int
+	// Lost / Gained count ASes that lost or gained any route.
+	Lost, Gained int
+}
+
+// ReachDelta records a prefix whose AS-level reachability changed.
+type ReachDelta struct {
+	Prefix        netx.Prefix
+	Before, After int
+}
+
+// Delta is the observable effect of one Apply.
+type Delta struct {
+	// Recomputed counts prefixes whose routing actually changed and were
+	// re-converged. TotalPrefixes is the post-event prefix count.
+	Recomputed    int
+	TotalPrefixes int
+	// Shifts lists every prefix with at least one changed best next hop,
+	// most-shifted first.
+	Shifts []PrefixShift
+	// ReachDeltas lists prefixes whose reach count changed, biggest
+	// absolute change first.
+	ReachDeltas []ReachDelta
+}
+
+// ShiftedASes sums Shifted over all shifts.
+func (d *Delta) ShiftedASes() int {
+	n := 0
+	for _, s := range d.Shifts {
+		n += s.Shifted
+	}
+	return n
+}
+
+// Engine is a converged simulation that accepts scenario events and
+// re-converges incrementally. It owns a private clone of the topology it
+// was built from; callers may keep using the original freely. Engine is
+// not safe for concurrent use.
+type Engine struct {
+	e      *engine
+	topo   *topogen.Topology
+	opts   Options
+	unconv map[netx.Prefix]bool
+}
+
+// NewEngine runs a full simulation of topo and retains the per-prefix
+// best forest that incremental re-convergence needs. Memory cost beyond
+// a plain Run is 4 bytes per (prefix, AS) pair.
+func NewEngine(topo *topogen.Topology, opts Options) (*Engine, error) {
+	clone := topo.Clone()
+	e := newEngine(clone, opts)
+	e.track = make([][]int32, len(e.prefixes))
+	unconverged := e.runPrefixes(e.prefixes)
+	eng := &Engine{e: e, topo: clone, opts: opts, unconv: make(map[netx.Prefix]bool)}
+	for _, p := range unconverged {
+		eng.unconv[p] = true
+	}
+	return eng, nil
+}
+
+// Topology exposes the engine's current (possibly mutated) topology.
+// Treat it as read-only; mutate it only through Apply.
+func (en *Engine) Topology() *topogen.Topology { return en.topo }
+
+// Result builds the current converged state in the same shape Run
+// returns. Tables are shared with the engine: they are updated in place
+// by subsequent Apply calls.
+func (en *Engine) Result() *Result {
+	return en.e.buildResult(en.unconvergedList())
+}
+
+func (en *Engine) unconvergedList() []netx.Prefix {
+	out := make([]netx.Prefix, 0, len(en.unconv))
+	for p := range en.unconv {
+		out = append(out, p)
+	}
+	netx.SortPrefixes(out)
+	return out
+}
+
+// Apply mutates the engine's topology as the scenario dictates and
+// re-converges incrementally. It returns a Delta describing every
+// routing change. On an event validation error the engine state is
+// unchanged; events are validated before any mutation.
+func (en *Engine) Apply(sc Scenario) (*Delta, error) {
+	e := en.e
+	if err := en.validate(sc); err != nil {
+		return nil, err
+	}
+
+	rc := &recon{
+		e:       e,
+		removed: make(map[[2]int32]asgraph.Relationship),
+		added:   make(map[[2]int32]bool),
+		oldPols: make(map[int32]*topogen.Policy),
+	}
+	delta := &Delta{}
+
+	// Snapshot the pre-event policies reconstruction will need.
+	for _, ev := range sc.Events {
+		var owner bgp.ASN
+		switch ev.Kind {
+		case EventLocalPref:
+			owner = ev.AS
+		case EventSAToggle, EventNoUpstream:
+			owner = en.topo.PrefixOrigin[ev.Prefix]
+		default:
+			continue
+		}
+		oi := int32(e.idx[owner])
+		if _, done := rc.oldPols[oi]; !done {
+			// Record presence even for a nil policy: reconstruction must
+			// see the pre-event nil, not the policy the edit creates.
+			if pol := e.pols[oi]; pol != nil {
+				rc.oldPols[oi] = pol.CloneDeep()
+			} else {
+				rc.oldPols[oi] = nil
+			}
+		}
+	}
+
+	// Mutate the topology, recording link deltas for reconstruction, and
+	// handle prefix removal/addition bookkeeping.
+	var added []netx.Prefix
+	addedSet := make(map[netx.Prefix]bool)
+	for _, ev := range sc.Events {
+		switch ev.Kind {
+		case EventWithdraw:
+			if addedSet[ev.Prefix] {
+				// Announced earlier in this batch and never converged:
+				// net effect is nothing, so just unwind the bookkeeping.
+				if _, err := applyEventToTopology(en.topo, ev); err != nil {
+					return nil, err
+				}
+				en.removePrefixState(ev.Prefix)
+				delete(addedSet, ev.Prefix)
+				for i, p := range added {
+					if p == ev.Prefix {
+						added = append(added[:i], added[i+1:]...)
+						break
+					}
+				}
+				continue
+			}
+			// Record the catchment loss before the state disappears.
+			pi := e.prefixIdx[ev.Prefix]
+			lost := 0
+			for _, f := range e.track[pi] {
+				if f != trackNone {
+					lost++
+				}
+			}
+			before := int(e.reachCounts[pi])
+			if lost > 0 {
+				delta.Shifts = append(delta.Shifts, PrefixShift{
+					Prefix: ev.Prefix, Origin: en.topo.PrefixOrigin[ev.Prefix],
+					Shifted: lost, Lost: lost,
+				})
+			}
+			if before != 0 {
+				delta.ReachDeltas = append(delta.ReachDeltas, ReachDelta{Prefix: ev.Prefix, Before: before})
+			}
+			if _, err := applyEventToTopology(en.topo, ev); err != nil {
+				return nil, err
+			}
+			en.removePrefixState(ev.Prefix)
+			delta.Recomputed++
+		case EventAnnounce:
+			if _, err := applyEventToTopology(en.topo, ev); err != nil {
+				return nil, err
+			}
+			en.addPrefixState(ev.Prefix)
+			added = append(added, ev.Prefix)
+			addedSet[ev.Prefix] = true
+		default:
+			rel, err := applyEventToTopology(en.topo, ev)
+			if err != nil {
+				return nil, err
+			}
+			ai, bi := int32(e.idx[ev.A]), int32(e.idx[ev.B])
+			switch ev.Kind {
+			case EventLinkFail:
+				rc.removed[edgePair(ai, bi)] = orient(rel, ai, bi)
+				e.rebuildAdjacency(ai)
+				e.rebuildAdjacency(bi)
+			case EventLinkRestore:
+				rc.added[edgePair(ai, bi)] = true
+				e.rebuildAdjacency(ai)
+				e.rebuildAdjacency(bi)
+			}
+		}
+	}
+	// Policy edits mutate Policy values in place, but refresh the
+	// engine's pointers anyway in case a policy object was created.
+	for i, asn := range e.asns {
+		e.pols[i] = en.topo.Policies[asn]
+	}
+
+	// Newly originated prefixes converge from scratch.
+	if len(added) > 0 {
+		for _, p := range added {
+			unconverged := e.runPrefixes([]netx.Prefix{p})
+			for _, u := range unconverged {
+				en.unconv[u] = true
+			}
+			pi := e.prefixIdx[p]
+			gained := 0
+			for _, f := range e.track[pi] {
+				if f != trackNone {
+					gained++
+				}
+			}
+			delta.Shifts = append(delta.Shifts, PrefixShift{
+				Prefix: p, Origin: en.topo.PrefixOrigin[p],
+				Shifted: gained, Gained: gained,
+			})
+			if after := int(e.reachCounts[pi]); after != 0 {
+				delta.ReachDeltas = append(delta.ReachDeltas, ReachDelta{Prefix: p, After: after})
+			}
+			delta.Recomputed++
+		}
+	}
+
+	// Incremental pass over every pre-existing prefix: re-evaluate only
+	// the sessions the events changed, re-converging from reconstructed
+	// pre-event state when anything actually differs.
+	skip := make(map[netx.Prefix]bool, len(added))
+	for _, p := range added {
+		skip[p] = true
+	}
+	en.runIncremental(sc.Events, rc, skip, delta)
+
+	delta.TotalPrefixes = len(e.prefixes)
+	sort.Slice(delta.Shifts, func(i, j int) bool {
+		if delta.Shifts[i].Shifted != delta.Shifts[j].Shifted {
+			return delta.Shifts[i].Shifted > delta.Shifts[j].Shifted
+		}
+		return delta.Shifts[i].Prefix.Compare(delta.Shifts[j].Prefix) < 0
+	})
+	sort.Slice(delta.ReachDeltas, func(i, j int) bool {
+		di := abs(delta.ReachDeltas[i].After - delta.ReachDeltas[i].Before)
+		dj := abs(delta.ReachDeltas[j].After - delta.ReachDeltas[j].Before)
+		if di != dj {
+			return di > dj
+		}
+		return delta.ReachDeltas[i].Prefix.Compare(delta.ReachDeltas[j].Prefix) < 0
+	})
+	return delta, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// validate checks every event against the engine's current state before
+// anything mutates, so a bad batch leaves the engine untouched.
+func (en *Engine) validate(sc Scenario) error {
+	topo := en.topo
+	// Track prefix existence through the batch so withdraw-then-announce
+	// sequences validate correctly.
+	exists := make(map[netx.Prefix]bool)
+	has := func(p netx.Prefix) bool {
+		if v, ok := exists[p]; ok {
+			return v
+		}
+		_, ok := topo.PrefixOrigin[p]
+		return ok
+	}
+	// Link state is tracked through the batch so fail-then-restore
+	// sequences validate correctly.
+	linkUp := make(map[[2]bgp.ASN]bool)
+	linkKey := func(a, b bgp.ASN) [2]bgp.ASN {
+		if a < b {
+			return [2]bgp.ASN{a, b}
+		}
+		return [2]bgp.ASN{b, a}
+	}
+	up := func(a, b bgp.ASN) bool {
+		if v, ok := linkUp[linkKey(a, b)]; ok {
+			return v
+		}
+		return topo.Graph.Rel(a, b) != asgraph.RelNone
+	}
+	for _, ev := range sc.Events {
+		switch ev.Kind {
+		case EventLinkFail, EventLinkRestore:
+			for _, asn := range []bgp.ASN{ev.A, ev.B} {
+				if _, ok := en.e.idx[asn]; !ok {
+					return fmt.Errorf("simulate: %v: unknown AS %v", ev.Kind, asn)
+				}
+			}
+			if ev.A == ev.B {
+				return fmt.Errorf("simulate: %v: self link on %v", ev.Kind, ev.A)
+			}
+			if ev.Kind == EventLinkFail {
+				if !up(ev.A, ev.B) {
+					return fmt.Errorf("simulate: %v: no link %v-%v", ev.Kind, ev.A, ev.B)
+				}
+				linkUp[linkKey(ev.A, ev.B)] = false
+			} else {
+				if rel, err := asgraph.ParseRelationship(ev.Rel); err != nil || rel == asgraph.RelNone {
+					return fmt.Errorf("simulate: %v %v-%v: bad relationship %q", ev.Kind, ev.A, ev.B, ev.Rel)
+				}
+				if up(ev.A, ev.B) {
+					return fmt.Errorf("simulate: %v: link %v-%v already up", ev.Kind, ev.A, ev.B)
+				}
+				linkUp[linkKey(ev.A, ev.B)] = true
+			}
+		case EventWithdraw:
+			if !has(ev.Prefix) {
+				return fmt.Errorf("simulate: %v: %v is not originated", ev.Kind, ev.Prefix)
+			}
+			exists[ev.Prefix] = false
+		case EventAnnounce:
+			if has(ev.Prefix) {
+				return fmt.Errorf("simulate: %v: %v is already originated", ev.Kind, ev.Prefix)
+			}
+			if _, ok := en.e.idx[ev.Origin]; !ok {
+				return fmt.Errorf("simulate: %v: unknown AS %v", ev.Kind, ev.Origin)
+			}
+			exists[ev.Prefix] = true
+		case EventLocalPref:
+			if _, ok := en.e.idx[ev.AS]; !ok {
+				return fmt.Errorf("simulate: %v: unknown AS %v", ev.Kind, ev.AS)
+			}
+			if _, ok := en.e.idx[ev.Neighbor]; !ok {
+				return fmt.Errorf("simulate: %v: unknown neighbor %v", ev.Kind, ev.Neighbor)
+			}
+		case EventSAToggle, EventNoUpstream:
+			if !has(ev.Prefix) {
+				return fmt.Errorf("simulate: %v: %v is not originated", ev.Kind, ev.Prefix)
+			}
+		default:
+			return fmt.Errorf("simulate: unknown event kind %q", ev.Kind)
+		}
+	}
+	return nil
+}
+
+// removePrefixState erases a withdrawn prefix from tables, reach counts
+// and the best forest, compacting the engine's prefix indexing.
+func (en *Engine) removePrefixState(prefix netx.Prefix) {
+	e := en.e
+	for _, rib := range e.tables {
+		rib.DropPrefix(prefix)
+	}
+	pi, ok := e.prefixIdx[prefix]
+	if !ok {
+		return
+	}
+	last := len(e.prefixes) - 1
+	e.prefixes[pi] = e.prefixes[last]
+	e.prefixes = e.prefixes[:last]
+	e.reachCounts[pi] = e.reachCounts[last]
+	e.reachCounts = e.reachCounts[:last]
+	e.track[pi] = e.track[last]
+	e.track = e.track[:last]
+	delete(e.prefixIdx, prefix)
+	if pi < last {
+		e.prefixIdx[e.prefixes[pi]] = pi
+	}
+	delete(en.unconv, prefix)
+}
+
+// addPrefixState registers a newly originated prefix in the engine's
+// indexing; its state is produced by the full-convergence pass.
+func (en *Engine) addPrefixState(prefix netx.Prefix) {
+	e := en.e
+	e.prefixIdx[prefix] = len(e.prefixes)
+	e.prefixes = append(e.prefixes, prefix)
+	e.reachCounts = append(e.reachCounts, 0)
+	e.track = append(e.track, nil)
+}
+
+// rebuildAdjacency refreshes one AS's neighbor arrays from the (mutated)
+// graph.
+func (e *engine) rebuildAdjacency(i int32) {
+	asn := e.asns[i]
+	nbs := e.topo.Graph.Neighbors(asn)
+	e.nbrs[i] = make([]int32, len(nbs))
+	e.rels[i] = make([]asgraph.Relationship, len(nbs))
+	for j, nb := range nbs {
+		e.nbrs[i][j] = int32(e.idx[nb])
+		e.rels[i][j] = e.topo.Graph.Rel(asn, nb)
+	}
+}
+
+// edgePair canonicalizes an undirected AS-index pair.
+func edgePair(a, b int32) [2]int32 {
+	if a < b {
+		return [2]int32{a, b}
+	}
+	return [2]int32{b, a}
+}
+
+// orient stores rel (what B is to A) normalized to the canonical pair
+// order used by edgePair.
+func orient(rel asgraph.Relationship, a, b int32) asgraph.Relationship {
+	if a < b {
+		return rel
+	}
+	return rel.Invert()
+}
+
+// recon is the Apply-scoped context for reconstructing pre-event state:
+// which edges this batch removed or added (with the removed edges'
+// relationships) and the pre-event policies of edited ASes.
+type recon struct {
+	e       *engine
+	removed map[[2]int32]asgraph.Relationship // value: what pair[1] is to pair[0]
+	added   map[[2]int32]bool
+	oldPols map[int32]*topogen.Policy
+}
+
+// relOld returns what v was to u before this batch's link events.
+func (rc *recon) relOld(u, v int32) asgraph.Relationship {
+	key := edgePair(u, v)
+	if rel, ok := rc.removed[key]; ok {
+		if key[0] == u {
+			return rel
+		}
+		return rel.Invert()
+	}
+	if rc.added[key] {
+		return asgraph.RelNone
+	}
+	return rc.e.topo.Graph.Rel(rc.e.asns[u], rc.e.asns[v])
+}
+
+// relAny returns the current relationship, falling back to the removed-
+// edge record (used to classify the ingress of not-yet-reprocessed old
+// routes whose next hop crossed a failed link).
+func (rc *recon) relAny(u, v int32) asgraph.Relationship {
+	if rel := rc.e.topo.Graph.Rel(rc.e.asns[u], rc.e.asns[v]); rel != asgraph.RelNone {
+		return rel
+	}
+	key := edgePair(u, v)
+	if rel, ok := rc.removed[key]; ok {
+		if key[0] == u {
+			return rel
+		}
+		return rel.Invert()
+	}
+	return asgraph.RelNone
+}
+
+// polOld returns AS i's pre-event policy.
+func (rc *recon) polOld(i int32) *topogen.Policy {
+	if p, ok := rc.oldPols[i]; ok {
+		return p
+	}
+	return rc.e.pols[i]
+}
+
+// prefixRecon reconstructs one prefix's pre-event routing state from the
+// best forest: every AS's best route is its parent's best route pushed
+// through the (pre-event) session policies, recursively down to the
+// origin's local route.
+type prefixRecon struct {
+	rc        *recon
+	prefix    netx.Prefix
+	originIdx int32
+	row       []int32
+	memo      map[int32]*bgp.Route
+}
+
+func newPrefixRecon(rc *recon, prefix netx.Prefix) *prefixRecon {
+	e := rc.e
+	return &prefixRecon{
+		rc:        rc,
+		prefix:    prefix,
+		originIdx: int32(e.idx[e.topo.PrefixOrigin[prefix]]),
+		row:       e.track[e.prefixIdx[prefix]],
+		memo:      make(map[int32]*bgp.Route, 16),
+	}
+}
+
+// bestOld rebuilds AS u's pre-event best route for the prefix.
+func (pr *prefixRecon) bestOld(u int32) *bgp.Route {
+	return pr.bestOldDepth(u, 0)
+}
+
+func (pr *prefixRecon) bestOldDepth(u int32, depth int) *bgp.Route {
+	f := pr.row[u]
+	if f == trackNone {
+		return nil
+	}
+	if r, ok := pr.memo[u]; ok {
+		return r
+	}
+	// A converged forest is acyclic with chains no longer than the AS
+	// count; anything deeper means the row was captured mid-oscillation
+	// (a budget-exhausted prefix). Treat it as no route instead of
+	// recursing forever.
+	if depth > len(pr.rc.e.asns) {
+		return nil
+	}
+	var r *bgp.Route
+	if f == u {
+		r = localRoute(pr.prefix, pr.rc.e.asns[u])
+	} else {
+		parentBest := pr.bestOldDepth(f, depth+1)
+		if parentBest == nil {
+			// A forest invariant violation lands here; treat as no
+			// route rather than corrupting downstream state.
+			return nil
+		}
+		e := pr.rc.e
+		r = e.buildAnnouncement(e.asns[f], e.asns[u], pr.rc.relOld(f, u), parentBest,
+			pr.rc.polOld(f), pr.rc.polOld(u))
+	}
+	pr.memo[u] = r
+	return r
+}
+
+// candOld rebuilds the candidate AS v held from neighbor u pre-event
+// (nil when the session carried nothing).
+func (pr *prefixRecon) candOld(v, u int32) *bgp.Route {
+	relVtoU := pr.rc.relOld(u, v) // what v is to u
+	if relVtoU == asgraph.RelNone {
+		return nil
+	}
+	// The receiver's own best along the session is stored parent-side;
+	// reuse it rather than rebuilding.
+	if pr.row[v] == u {
+		return pr.bestOld(v)
+	}
+	best := pr.bestOld(u)
+	if best == nil {
+		return nil
+	}
+	e := pr.rc.e
+	vASN := e.asns[v]
+	if best.Path.Contains(vASN) || v == pr.originIdx {
+		return nil
+	}
+	var ingress asgraph.Relationship
+	if !best.IsLocal() {
+		nh, _ := best.NextHopAS()
+		ingress = pr.rc.relOld(u, int32(e.idx[nh]))
+	}
+	if !exportAllowed(e.asns[u], vASN, relVtoU, ingress, best, pr.rc.polOld(u)) {
+		return nil
+	}
+	return e.buildAnnouncement(e.asns[u], vASN, relVtoU, best, pr.rc.polOld(u), pr.rc.polOld(v))
+}
+
+// candNew computes the candidate v would hold from u right now: u's
+// current best (pre-event unless u was already re-seeded) pushed through
+// the post-event session policies.
+func (pr *prefixRecon) candNew(st *workerState, v, u int32) *bgp.Route {
+	e := pr.rc.e
+	relVtoU := e.topo.Graph.Rel(e.asns[u], e.asns[v])
+	if relVtoU == asgraph.RelNone {
+		return nil
+	}
+	var best *bgp.Route
+	if st.seen[u] == st.version {
+		best = st.best[u]
+	} else {
+		best = pr.bestOld(u)
+	}
+	if best == nil {
+		return nil
+	}
+	vASN := e.asns[v]
+	if best.Path.Contains(vASN) || v == pr.originIdx {
+		return nil
+	}
+	var ingress asgraph.Relationship
+	if !best.IsLocal() {
+		nh, _ := best.NextHopAS()
+		ingress = pr.rc.relAny(u, int32(e.idx[nh]))
+	}
+	if !exportAllowed(e.asns[u], vASN, relVtoU, ingress, best, e.pols[u]) {
+		return nil
+	}
+	return e.buildAnnouncement(e.asns[u], vASN, relVtoU, best, e.pols[u], e.pols[v])
+}
+
+// materialize seeds v's per-prefix scratch state with its reconstructed
+// pre-event candidates and best route.
+func (pr *prefixRecon) materialize(st *workerState, v int32) {
+	if st.seen[v] == st.version {
+		return
+	}
+	st.touch(v)
+	e := pr.rc.e
+	m := make(map[int32]*bgp.Route, 4)
+	for _, u := range e.nbrs[v] {
+		if c := pr.candOld(v, u); c != nil {
+			m[u] = c
+		}
+	}
+	// Sessions over just-failed links are gone from the adjacency but
+	// their candidates were still installed pre-event.
+	for key := range pr.rc.removed {
+		var u int32
+		switch v {
+		case key[0]:
+			u = key[1]
+		case key[1]:
+			u = key[0]
+		default:
+			continue
+		}
+		if c := pr.candOld(v, u); c != nil {
+			m[u] = c
+		}
+	}
+	st.cands[v] = m
+	f := pr.row[v]
+	st.bestFrom[v] = f
+	switch {
+	case f == trackNone:
+		st.best[v] = nil
+	case f == v:
+		st.best[v] = localRoute(pr.prefix, e.asns[v])
+	default:
+		st.best[v] = m[f]
+	}
+}
+
+// sessionReseed re-evaluates the u→v session after the events: if the
+// candidate v holds from u changed, v is materialized, updated and
+// re-selected. Unchanged sessions cost two route reconstructions and no
+// state.
+func (pr *prefixRecon) sessionReseed(st *workerState, u, v int32) {
+	var rOld *bgp.Route
+	if st.seen[v] == st.version {
+		rOld = st.cands[v][u]
+	} else {
+		rOld = pr.candOld(v, u)
+	}
+	rNew := pr.candNew(st, v, u)
+	if routesEquivalent(rOld, rNew) {
+		return
+	}
+	pr.materialize(st, v)
+	if rNew == nil {
+		delete(st.cands[v], u)
+	} else {
+		st.cands[v][u] = rNew
+	}
+	pr.rc.e.reselect(st, v)
+}
+
+// runIncremental runs the incremental re-convergence pass over every
+// pre-existing prefix in parallel.
+func (en *Engine) runIncremental(events []Event, rc *recon, skip map[netx.Prefix]bool, delta *Delta) {
+	e := en.e
+	prefixes := make([]netx.Prefix, 0, len(e.prefixes))
+	for _, p := range e.prefixes {
+		if !skip[p] {
+			prefixes = append(prefixes, p)
+		}
+	}
+	var mu sync.Mutex
+	e.forEachPrefix(prefixes, func(st *workerState, p netx.Prefix) {
+		shift, reach, touched, converged := en.reconverge(st, p, events, rc)
+		if touched == 0 && converged {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if touched > 0 {
+			delta.Recomputed++
+		}
+		if shift.Shifted > 0 {
+			delta.Shifts = append(delta.Shifts, shift)
+		}
+		if reach.Before != reach.After {
+			delta.ReachDeltas = append(delta.ReachDeltas, reach)
+		}
+		if !converged {
+			en.unconv[p] = true
+		} else if touched > 0 {
+			// A previously budget-exhausted prefix that now re-converged
+			// is no longer unconverged.
+			delete(en.unconv, p)
+		}
+	})
+}
+
+// reconverge applies the events' session changes to one prefix and runs
+// the activation loop from the reconstructed pre-event state. It returns
+// the catchment shift, the reach change, the number of ASes whose state
+// was rewritten, and whether the prefix converged within budget.
+func (en *Engine) reconverge(st *workerState, prefix netx.Prefix, events []Event, rc *recon) (PrefixShift, ReachDelta, int, bool) {
+	e := en.e
+	pr := newPrefixRecon(rc, prefix)
+	st.reset()
+
+	// Seed: re-evaluate exactly the sessions each event touches.
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventLinkFail, EventLinkRestore:
+			ai, bi := int32(e.idx[ev.A]), int32(e.idx[ev.B])
+			pr.sessionReseed(st, ai, bi)
+			pr.sessionReseed(st, bi, ai)
+		case EventLocalPref:
+			if ev.PerPrefix && ev.Prefix != prefix {
+				continue
+			}
+			xi, ni := int32(e.idx[ev.AS]), int32(e.idx[ev.Neighbor])
+			pr.sessionReseed(st, ni, xi)
+		case EventSAToggle, EventNoUpstream:
+			if ev.Prefix != prefix {
+				continue
+			}
+			oi := pr.originIdx
+			for _, w := range e.nbrs[oi] {
+				pr.sessionReseed(st, oi, w)
+			}
+		}
+	}
+
+	// Drain: standard event-driven propagation, materializing state only
+	// where updates actually change something.
+	budget := e.budget * (len(e.asns) + e.topo.Graph.NumEdges())
+	activations := 0
+	converged := true
+	for len(st.queue) > 0 {
+		activations++
+		if activations > budget {
+			converged = false
+			break
+		}
+		u := st.queue[0]
+		st.queue = st.queue[1:]
+		st.inQueue[u] = false
+		best := st.best[u]
+		for j, v := range e.nbrs[u] {
+			relVtoU := e.rels[u][j]
+			var rNew *bgp.Route
+			if best != nil && e.shouldExport(u, v, relVtoU, best) {
+				vASN := e.asns[v]
+				if !best.Path.Contains(vASN) && v != pr.originIdx {
+					rNew = e.buildAnnouncement(e.asns[u], vASN, relVtoU, best, e.pols[u], e.pols[v])
+				}
+			}
+			if st.seen[v] == st.version {
+				prev := st.cands[v][u]
+				switch {
+				case rNew == nil && prev == nil:
+				case rNew == nil:
+					delete(st.cands[v], u)
+					e.reselect(st, v)
+				case prev != nil && sameRoute(prev, rNew):
+				default:
+					st.cands[v][u] = rNew
+					e.reselect(st, v)
+				}
+				continue
+			}
+			if routesEquivalent(pr.candOld(v, u), rNew) {
+				continue
+			}
+			pr.materialize(st, v)
+			if rNew == nil {
+				delete(st.cands[v], u)
+			} else {
+				st.cands[v][u] = rNew
+			}
+			e.reselect(st, v)
+		}
+	}
+
+	shift, reach := en.captureIncremental(st, prefix)
+	return shift, reach, len(st.touched), converged
+}
+
+// captureIncremental writes the touched slice of the re-converged state
+// back into vantage tables, reach counts and the best forest, returning
+// the prefix's catchment shift and reach change.
+func (en *Engine) captureIncremental(st *workerState, prefix netx.Prefix) (PrefixShift, ReachDelta) {
+	e := en.e
+	pi := e.prefixIdx[prefix]
+	row := e.track[pi]
+	shift := PrefixShift{Prefix: prefix, Origin: e.topo.PrefixOrigin[prefix]}
+	reachDelta := 0
+	for _, i := range st.touched {
+		oldFrom := row[i]
+		newFrom := st.bestFrom[i]
+		if st.best[i] == nil {
+			newFrom = trackNone
+		}
+		if oldFrom != newFrom {
+			shift.Shifted++
+			if oldFrom != trackNone && newFrom == trackNone {
+				shift.Lost++
+			}
+			if oldFrom == trackNone && newFrom != trackNone {
+				shift.Gained++
+			}
+		}
+		if oldFrom != trackNone {
+			reachDelta--
+		}
+		if newFrom != trackNone {
+			reachDelta++
+		}
+		row[i] = newFrom
+		if !e.vantage[int(i)] {
+			continue
+		}
+		lock := e.tableLocks[int(i)]
+		lock.Lock()
+		rib := e.tables[int(i)]
+		rib.DropPrefix(prefix)
+		if st.best[i] != nil && st.best[i].IsLocal() {
+			rib.Upsert(e.asns[i], st.best[i])
+		}
+		keys := make([]int32, 0, len(st.cands[i]))
+		for k := range st.cands[i] {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		for _, k := range keys {
+			rib.Upsert(e.asns[k], st.cands[i][k])
+		}
+		lock.Unlock()
+	}
+	before := int(e.reachCounts[pi])
+	e.reachCounts[pi] += int64(reachDelta)
+	return shift, ReachDelta{Prefix: prefix, Before: before, After: before + reachDelta}
+}
+
+// DiffResults compares two results route by route and returns a human-
+// readable list of differences (empty means bit-identical tables, reach
+// counts and convergence status). The scenario property tests use it to
+// prove incremental re-convergence matches full resimulation.
+func DiffResults(a, b *Result) []string {
+	var diffs []string
+	add := func(format string, args ...interface{}) {
+		if len(diffs) < 50 {
+			diffs = append(diffs, fmt.Sprintf(format, args...))
+		}
+	}
+	for asn, ta := range a.Tables {
+		tb, ok := b.Tables[asn]
+		if !ok {
+			add("table %v missing in b", asn)
+			continue
+		}
+		pa, pb := ta.Prefixes(), tb.Prefixes()
+		if len(pa) != len(pb) {
+			add("table %v: %d prefixes vs %d", asn, len(pa), len(pb))
+		}
+		for _, p := range pa {
+			ca, cb := ta.Candidates(p), tb.Candidates(p)
+			if len(ca) != len(cb) {
+				add("table %v %v: %d candidates vs %d", asn, p, len(ca), len(cb))
+				continue
+			}
+			for i := range ca {
+				if !routeIdentical(ca[i], cb[i]) {
+					add("table %v %v cand %d: %v vs %v", asn, p, i, ca[i], cb[i])
+				}
+			}
+			if !routeIdentical(ta.Best(p), tb.Best(p)) {
+				add("table %v %v best: %v vs %v", asn, p, ta.Best(p), tb.Best(p))
+			}
+		}
+		for _, p := range pb {
+			if len(ta.Candidates(p)) == 0 {
+				add("table %v %v missing in a", asn, p)
+			}
+		}
+	}
+	for asn := range b.Tables {
+		if _, ok := a.Tables[asn]; !ok {
+			add("table %v missing in a", asn)
+		}
+	}
+	if len(a.ReachCount) != len(b.ReachCount) {
+		add("reach: %d prefixes vs %d", len(a.ReachCount), len(b.ReachCount))
+	}
+	for p, ra := range a.ReachCount {
+		if rb, ok := b.ReachCount[p]; !ok {
+			add("reach %v missing in b", p)
+		} else if ra != rb {
+			add("reach %v: %d vs %d", p, ra, rb)
+		}
+	}
+	for p := range b.ReachCount {
+		if _, ok := a.ReachCount[p]; !ok {
+			add("reach %v missing in a", p)
+		}
+	}
+	if len(a.Unconverged) != len(b.Unconverged) {
+		add("unconverged: %d vs %d", len(a.Unconverged), len(b.Unconverged))
+	}
+	return diffs
+}
+
+// routeIdentical is strict route equality: every attribute, communities
+// in order.
+func routeIdentical(a, b *bgp.Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Prefix == b.Prefix && a.Path.Equal(b.Path) && a.NextHop == b.NextHop &&
+		a.LocalPref == b.LocalPref && a.MED == b.MED && a.Origin == b.Origin &&
+		a.FromIBGP == b.FromIBGP && a.IGPMetric == b.IGPMetric && a.RouterID == b.RouterID &&
+		communitiesEqual(a.Communities, b.Communities)
+}

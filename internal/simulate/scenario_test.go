@@ -1,0 +1,333 @@
+package simulate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// buildTestTopo generates a small Internet and the simulation options
+// the scenario tests share.
+func buildTestTopo(t testing.TB, ases int, seed int64) (*topogen.Topology, Options) {
+	t.Helper()
+	topo, err := topogen.Generate(topogen.DefaultConfig(ases, seed))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	vantage := make([]bgp.ASN, 0, 10)
+	for i, asn := range topo.Order {
+		if i%17 == 0 && len(vantage) < 10 {
+			vantage = append(vantage, asn)
+		}
+	}
+	return topo, Options{VantagePoints: vantage}
+}
+
+// multihomedStub finds an AS with at least two providers and one
+// originated prefix — the classic failover subject.
+func multihomedStub(t testing.TB, topo *topogen.Topology) (bgp.ASN, []bgp.ASN, netx.Prefix) {
+	t.Helper()
+	for _, asn := range topo.Order {
+		providers := topo.Graph.Providers(asn)
+		info := topo.ASes[asn]
+		if len(providers) >= 2 && len(info.Prefixes) > 0 {
+			return asn, providers, info.Prefixes[0]
+		}
+	}
+	t.Fatal("no multihomed stub with prefixes")
+	return 0, nil, netx.Prefix{}
+}
+
+// somePeerEdge returns one peer-to-peer edge.
+func somePeerEdge(t testing.TB, topo *topogen.Topology) (bgp.ASN, bgp.ASN) {
+	t.Helper()
+	for _, asn := range topo.Order {
+		if peers := topo.Graph.Peers(asn); len(peers) > 0 {
+			return asn, peers[0]
+		}
+	}
+	t.Fatal("no peer edge")
+	return 0, 0
+}
+
+// checkScenario applies sc incrementally on a fresh engine and compares
+// the result bit-for-bit against a from-scratch simulation of the
+// mutated topology.
+func checkScenario(t *testing.T, topo *topogen.Topology, opts Options, sc Scenario) *Delta {
+	t.Helper()
+	eng, err := NewEngine(topo, opts)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	delta, err := eng.Apply(sc)
+	if err != nil {
+		t.Fatalf("apply %s: %v", sc.Name, err)
+	}
+	mutated := topo.Clone()
+	if err := sc.ApplyToTopology(mutated); err != nil {
+		t.Fatalf("mutate %s: %v", sc.Name, err)
+	}
+	want, err := Run(mutated, opts)
+	if err != nil {
+		t.Fatalf("full run %s: %v", sc.Name, err)
+	}
+	if diffs := DiffResults(eng.Result(), want); len(diffs) > 0 {
+		for _, d := range diffs {
+			t.Errorf("%s: %s", sc.Name, d)
+		}
+		t.Fatalf("%s: incremental result differs from full resimulation (%d diffs)", sc.Name, len(diffs))
+	}
+	return delta
+}
+
+// TestScenarioMatchesFullResim is the property test the tentpole rests
+// on: for several seeds and every event type, incremental re-convergence
+// must be bit-identical to simulating the mutated topology from scratch.
+func TestScenarioMatchesFullResim(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		topo, opts := buildTestTopo(t, 150, seed)
+		stub, providers, stubPrefix := multihomedStub(t, topo)
+		peerA, peerB := somePeerEdge(t, topo)
+
+		scenarios := []Scenario{
+			{Name: "fail-stub-uplink", Events: []Event{FailLink(stub, providers[0])}},
+			{Name: "fail-peer-link", Events: []Event{FailLink(peerA, peerB)}},
+			{Name: "withdraw", Events: []Event{WithdrawPrefix(stubPrefix)}},
+			{Name: "announce-new", Events: []Event{
+				AnnouncePrefix(netx.MustParsePrefix("203.0.113.0/24"), stub),
+			}},
+			{Name: "local-pref-neighbor", Events: []Event{
+				SetLocalPref(stub, providers[0], 40),
+			}},
+			{Name: "local-pref-prefix", Events: []Event{
+				SetPrefixLocalPref(providers[0], stub, stubPrefix, 240),
+			}},
+			{Name: "sa-withhold", Events: []Event{
+				ToggleProviderAnnouncement(stubPrefix, providers[1], false),
+			}},
+			{Name: "no-upstream-tag", Events: []Event{
+				TagNoUpstream(stubPrefix, providers[0]),
+			}},
+			{Name: "batch-mixed", Events: []Event{
+				FailLink(stub, providers[0]),
+				SetLocalPref(peerA, peerB, 60),
+				ToggleProviderAnnouncement(stubPrefix, providers[1], false),
+			}},
+		}
+		for _, sc := range scenarios {
+			checkScenario(t, topo, opts, sc)
+		}
+	}
+}
+
+// TestScenarioFailRestoreRoundTrip checks that failing a link and then
+// restoring it (in a second Apply) returns the engine exactly to the
+// base converged state, and that sequential Applies compose.
+func TestScenarioFailRestoreRoundTrip(t *testing.T) {
+	topo, opts := buildTestTopo(t, 150, 5)
+	stub, providers, _ := multihomedStub(t, topo)
+
+	base, err := Run(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Graph.Rel(a, b) returns what b is to a — RestoreLink's convention.
+	rel := topo.Graph.Rel(stub, providers[0])
+	if _, err := eng.Apply(Scenario{Events: []Event{FailLink(stub, providers[0])}}); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := eng.Apply(Scenario{Events: []Event{RestoreLink(stub, providers[0], rel)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffResults(eng.Result(), base); len(diffs) > 0 {
+		for _, d := range diffs {
+			t.Error(d)
+		}
+		t.Fatalf("fail+restore did not return to base state (%d diffs)", len(diffs))
+	}
+	if delta.Recomputed == 0 {
+		t.Fatal("restore recomputed nothing")
+	}
+}
+
+// TestScenarioSequentialApplies drives three Applies on one engine and
+// compares against a single from-scratch simulation with all mutations.
+func TestScenarioSequentialApplies(t *testing.T) {
+	topo, opts := buildTestTopo(t, 150, 7)
+	stub, providers, stubPrefix := multihomedStub(t, topo)
+	peerA, peerB := somePeerEdge(t, topo)
+
+	eng, err := NewEngine(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []Scenario{
+		{Events: []Event{FailLink(peerA, peerB)}},
+		{Events: []Event{SetLocalPref(stub, providers[0], 45)}},
+		{Events: []Event{TagNoUpstream(stubPrefix, providers[1])}},
+	}
+	mutated := topo.Clone()
+	for _, sc := range steps {
+		if _, err := eng.Apply(sc); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.ApplyToTopology(mutated); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := Run(mutated, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffResults(eng.Result(), want); len(diffs) > 0 {
+		for _, d := range diffs {
+			t.Error(d)
+		}
+		t.Fatalf("sequential applies diverged (%d diffs)", len(diffs))
+	}
+}
+
+// TestScenarioUntouchedPrefixesSkipped checks the incremental claim
+// itself: a leaf link failure must not re-converge prefixes that never
+// routed over it.
+func TestScenarioUntouchedPrefixesSkipped(t *testing.T) {
+	topo, opts := buildTestTopo(t, 150, 9)
+	stub, providers, _ := multihomedStub(t, topo)
+	eng, err := NewEngine(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(topo.PrefixOrigin)
+	delta, err := eng.Apply(Scenario{Events: []Event{FailLink(stub, providers[0])}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Recomputed >= total {
+		t.Fatalf("failover recomputed all %d prefixes; expected a strict subset", total)
+	}
+	if delta.TotalPrefixes != total {
+		t.Fatalf("TotalPrefixes = %d, want %d", delta.TotalPrefixes, total)
+	}
+}
+
+// TestScenarioNilPolicyOrigin regresses the pre-event policy snapshot:
+// when the edited AS had no policy at all, reconstruction must see the
+// old nil, not the policy the edit creates.
+func TestScenarioNilPolicyOrigin(t *testing.T) {
+	for _, seed := range []int64{3, 4, 5} {
+		topo, opts := buildTestTopo(t, 120, seed)
+		stub, providers, stubPrefix := multihomedStub(t, topo)
+		base := topo.Clone()
+		delete(base.Policies, stub)
+		scenarios := []Scenario{
+			{Name: "no-upstream-nil-pol", Events: []Event{TagNoUpstream(stubPrefix, providers[0])}},
+			{Name: "sa-withhold-nil-pol", Events: []Event{ToggleProviderAnnouncement(stubPrefix, providers[1], false)}},
+		}
+		for _, sc := range scenarios {
+			checkScenario(t, base, opts, sc)
+		}
+	}
+}
+
+// TestScenarioAnnounceWithdrawBatch regresses the announce-then-
+// withdraw batch: the net effect is nothing, so the delta must not
+// fabricate shifts and the state must equal the base run.
+func TestScenarioAnnounceWithdrawBatch(t *testing.T) {
+	topo, opts := buildTestTopo(t, 80, 13)
+	stub, _, _ := multihomedStub(t, topo)
+	p := netx.MustParsePrefix("198.51.100.0/24")
+	eng, err := NewEngine(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := eng.Apply(Scenario{Events: []Event{
+		AnnouncePrefix(p, stub),
+		WithdrawPrefix(p),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Recomputed != 0 || len(delta.Shifts) != 0 || len(delta.ReachDeltas) != 0 {
+		t.Fatalf("announce+withdraw batch fabricated a delta: %+v", delta)
+	}
+	if diffs := DiffResults(eng.Result(), base); len(diffs) > 0 {
+		t.Fatalf("announce+withdraw batch changed state: %v", diffs)
+	}
+}
+
+// TestScenarioValidation exercises the all-or-nothing validation.
+func TestScenarioValidation(t *testing.T) {
+	topo, opts := buildTestTopo(t, 80, 11)
+	eng, err := NewEngine(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Result()
+	cases := []Scenario{
+		{Name: "unknown-as", Events: []Event{FailLink(64999, 65000)}},
+		{Name: "no-such-link", Events: []Event{FailLink(topo.Order[0], topo.Order[0])}},
+		{Name: "bad-rel", Events: []Event{{Kind: EventLinkRestore, A: topo.Order[0], B: topo.Order[1], Rel: "frenemy"}}},
+		{Name: "withdraw-missing", Events: []Event{WithdrawPrefix(netx.MustParsePrefix("198.51.100.0/24"))}},
+		{Name: "unknown-kind", Events: []Event{{Kind: "meteor_strike"}}},
+		{Name: "unknown-neighbor", Events: []Event{SetLocalPref(topo.Order[0], 64999, 50)}},
+	}
+	for _, sc := range cases {
+		if _, err := eng.Apply(sc); err == nil {
+			t.Errorf("%s: expected error", sc.Name)
+		}
+	}
+	if diffs := DiffResults(eng.Result(), before); len(diffs) > 0 {
+		t.Fatalf("failed validation mutated state: %v", diffs)
+	}
+}
+
+// TestScenarioJSONRoundTrip checks the events.json wire format.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := Scenario{
+		Name: "maintenance",
+		Events: []Event{
+			FailLink(64512, 64513),
+			RestoreLink(64512, 64513, asgraph.RelProvider),
+			WithdrawPrefix(netx.MustParsePrefix("192.0.2.0/24")),
+			AnnouncePrefix(netx.MustParsePrefix("192.0.2.0/24"), 64514),
+			SetLocalPref(64512, 64515, 80),
+			SetPrefixLocalPref(64512, 64515, netx.MustParsePrefix("198.51.100.0/24"), 130),
+			ToggleProviderAnnouncement(netx.MustParsePrefix("192.0.2.0/24"), 64516, false),
+			TagNoUpstream(netx.MustParsePrefix("192.0.2.0/24"), 64516),
+		},
+	}
+	var buf bytes.Buffer
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Events without a prefix must not serialize a spurious "0.0.0.0/0".
+	if s := buf.String(); strings.Contains(s, "0.0.0.0/0") {
+		t.Fatalf("zero prefix leaked into JSON:\n%s", s)
+	}
+	got, err := LoadScenario(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != sc.Name || len(got.Events) != len(sc.Events) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range sc.Events {
+		if got.Events[i] != sc.Events[i] {
+			t.Errorf("event %d: %+v != %+v", i, got.Events[i], sc.Events[i])
+		}
+	}
+}

@@ -144,17 +144,26 @@ func (t *Topology) atypicalPref(rng *rand.Rand, asn bgp.ASN, rel asgraph.Relatio
 }
 
 // EffectiveLocalPref resolves the local preference asn assigns to a
-// route for prefix learned from neighbor, applying (in order) per-prefix
-// overrides, the atypical-prefix rule, and the neighbor base value. This
-// is the single entry point the simulator uses, so ground-truth scoring
-// and simulation can never disagree.
+// route for prefix learned from neighbor, applying (in order) scenario
+// overrides, per-prefix overrides, the atypical-prefix rule, and the
+// neighbor base value. This is the single entry point the simulator
+// uses, so ground-truth scoring and simulation can never disagree.
 func (t *Topology) EffectiveLocalPref(asn, neighbor bgp.ASN, prefix netx.Prefix) uint32 {
-	if v, ok := t.PrefixOverrideFor(asn, neighbor, prefix); ok {
-		return v
-	}
-	p := t.Policies[asn]
+	return t.EffectiveLocalPrefWith(t.Policies[asn], asn, neighbor, prefix)
+}
+
+// EffectiveLocalPrefWith is EffectiveLocalPref evaluated against an
+// explicit policy instead of the topology's current one. The scenario
+// engine uses it to reconstruct pre-event routes after a policy edit.
+func (t *Topology) EffectiveLocalPrefWith(p *Policy, asn, neighbor bgp.ASN, prefix netx.Prefix) uint32 {
 	if p == nil {
 		return bgp.DefaultLocalPref
+	}
+	if v, ok := p.Override.LocalPref(neighbor, prefix); ok {
+		return v
+	}
+	if v, ok := t.prefixOverrideWith(p, asn, neighbor, prefix); ok {
+		return v
 	}
 	if av, ok := p.Import.AtypicalPref[neighbor]; ok {
 		if hash01(uint32(asn), uint32(neighbor), prefix.Addr^0x5a5a5a5a, uint32(prefix.Len)) < t.Config.AtypicalPrefixShare {
@@ -174,7 +183,10 @@ func (t *Topology) EffectiveLocalPref(asn, neighbor bgp.ASN, prefix netx.Prefix)
 // scorers always agree. ok is false when the neighbor uses pure
 // next-hop assignment or the prefix is not one of the overridden ones.
 func (t *Topology) PrefixOverrideFor(asn, neighbor bgp.ASN, prefix netx.Prefix) (uint32, bool) {
-	p := t.Policies[asn]
+	return t.prefixOverrideWith(t.Policies[asn], asn, neighbor, prefix)
+}
+
+func (t *Topology) prefixOverrideWith(p *Policy, asn, neighbor bgp.ASN, prefix netx.Prefix) (uint32, bool) {
 	if p == nil {
 		return 0, false
 	}

@@ -36,6 +36,58 @@ type Policy struct {
 	// Tagging is non-nil when the AS tags inbound routes with
 	// relationship communities.
 	Tagging *CommunityTagging
+	// Override holds scenario-injected local-preference assignments that
+	// take precedence over every generated import rule. It is nil on
+	// generated topologies; what-if policy edits populate it.
+	Override *ImportOverride
+}
+
+// ImportOverride is a mutable local-preference overlay. Unlike the
+// generated ImportPolicy (whose per-prefix behaviour is hash-driven so
+// simulation and scoring agree), overrides are explicit: exactly the
+// listed assignments change, nothing else.
+type ImportOverride struct {
+	// Neighbor assigns a preference to every route learned from the key
+	// neighbor (unless a Prefix entry is more specific).
+	Neighbor map[bgp.ASN]uint32
+	// Prefix assigns a preference to a single (neighbor, prefix) pair.
+	Prefix map[bgp.ASN]map[netx.Prefix]uint32
+}
+
+// LocalPref resolves the override for a route from neighbor, most
+// specific first. ok is false when no override applies.
+func (o *ImportOverride) LocalPref(neighbor bgp.ASN, prefix netx.Prefix) (uint32, bool) {
+	if o == nil {
+		return 0, false
+	}
+	if m, ok := o.Prefix[neighbor]; ok {
+		if v, ok := m[prefix]; ok {
+			return v, true
+		}
+	}
+	v, ok := o.Neighbor[neighbor]
+	return v, ok
+}
+
+// SetNeighbor records a neighbor-wide preference override.
+func (o *ImportOverride) SetNeighbor(neighbor bgp.ASN, v uint32) {
+	if o.Neighbor == nil {
+		o.Neighbor = make(map[bgp.ASN]uint32)
+	}
+	o.Neighbor[neighbor] = v
+}
+
+// SetPrefix records a (neighbor, prefix) preference override.
+func (o *ImportOverride) SetPrefix(neighbor bgp.ASN, prefix netx.Prefix, v uint32) {
+	if o.Prefix == nil {
+		o.Prefix = make(map[bgp.ASN]map[netx.Prefix]uint32)
+	}
+	m := o.Prefix[neighbor]
+	if m == nil {
+		m = make(map[netx.Prefix]uint32)
+		o.Prefix[neighbor] = m
+	}
+	m[prefix] = v
 }
 
 // ImportPolicy assigns local preference.

@@ -21,6 +21,9 @@ type RunAllOptions struct {
 	Routers, DriftRouters int
 	// Figure9ASes is how many rank series to print.
 	Figure9ASes int
+	// SkipWhatIf drops the failover what-if experiment (the scenario
+	// engine demo appended after the paper's tables).
+	SkipWhatIf bool
 }
 
 // DefaultRunAllOptions mirrors the paper's dimensions.
@@ -147,6 +150,17 @@ func (s *Study) RunAll(w io.Writer, opts RunAllOptions) error {
 		}
 		if _, err := RenderFigure7(res, "uptime (hours)").WriteTo(w); err != nil {
 			return err
+		}
+	}
+	if !opts.SkipWhatIf {
+		if sc, _, _, ok := s.FailoverScenario(); ok {
+			rep, err := s.WhatIf(sc)
+			if err != nil {
+				return err
+			}
+			if err := WriteWhatIf(w, rep, 10); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench_scenario.sh — snapshot the scenario-engine benchmarks.
+#
+# Runs BenchmarkScenarioIncremental (what-if answered by incremental
+# re-convergence) against BenchmarkScenarioFullResim (the same question
+# answered by full resimulation) on the 800-AS shared study, and writes
+# BENCH_scenario.json with the ns/op of both plus their ratio, so future
+# PRs have a perf trajectory to compare against.
+#
+# Usage: scripts/bench_scenario.sh [benchtime]   (default 10x)
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-10x}"
+OUT="BENCH_scenario.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run NONE -bench 'BenchmarkScenario(Incremental|FullResim)$' \
+    -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+    /^BenchmarkScenarioIncremental/ { inc = $3 }
+    /^BenchmarkScenarioFullResim/   { full = $3 }
+    END {
+        if (inc == "" || full == "") {
+            print "bench_scenario.sh: missing benchmark output" > "/dev/stderr"
+            exit 1
+        }
+        printf "{\n"
+        printf "  \"benchmark\": \"single-link-failure what-if, 800-AS shared study\",\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"incremental_ns_per_op\": %s,\n", inc
+        printf "  \"full_resim_ns_per_op\": %s,\n", full
+        printf "  \"speedup\": %.1f\n", full / inc
+        printf "}\n"
+    }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"
