@@ -267,6 +267,54 @@ func BenchmarkScenarioFullResim(b *testing.B) {
 	}
 }
 
+// ---- session serving ------------------------------------------------------
+
+// BenchmarkSessionConcurrentQueries measures mixed-query throughput on
+// one shared Session — the policyscoped serving pattern. Each op is one
+// registry query, rotating through cheap table scans, path-index-heavy
+// verification analyses and what-if scenarios answered on copy-on-write
+// engine clones; ops run from parallel goroutines. Snapshot with
+// scripts/bench_query.sh → BENCH_query.json.
+func BenchmarkSessionConcurrentQueries(b *testing.B) {
+	s := sharedStudy(b)
+	se := NewSessionFromStudy(s)
+	queries := []struct {
+		name   string
+		params any
+	}{
+		{"table2", nil},
+		{"table5", nil},
+		{"table7", &ProvidersParams{Providers: 3}},
+		{"case3", &ProvidersParams{Providers: 3}},
+		{"table10", &ProvidersParams{Providers: 3}},
+		{"atoms", nil},
+		{"decision", nil},
+		{"whatif", &WhatIfParams{MaxRows: 5}},
+	}
+	// Warm the lazy gates (path index, base what-if engine) so the
+	// benchmark measures steady-state throughput, not first-touch
+	// construction.
+	for _, q := range queries {
+		if _, err := se.Run(q.name, q.params); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := queries[i%len(queries)]
+			i++
+			if _, err := se.Run(q.name, q.params); err != nil {
+				// b.Fatal must not run off the benchmark goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
 // ---- ablations ------------------------------------------------------------
 
 // BenchmarkAblationDecisionProcess compares full 7-step selection against
@@ -347,7 +395,7 @@ func BenchmarkAblationRelationshipSource(b *testing.B) {
 		}
 	})
 	b.Run("gaoInferred", func(b *testing.B) {
-		a := &core.ExportAnalyzer{Graph: s.Inferred.Graph}
+		a := &core.ExportAnalyzer{Graph: s.Inference().Graph}
 		for i := 0; i < b.N; i++ {
 			a.SAPrefixes(view)
 		}

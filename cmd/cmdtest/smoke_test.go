@@ -9,6 +9,7 @@ package cmdtest
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -186,5 +187,56 @@ func TestReproSmoke(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("repro output missing %q", want)
 		}
+	}
+
+	// Single-experiment mode with parameter overrides.
+	out = run(t, bin, "-ases", "300", "-seed", "1", "-peers", "12", "-lg", "6",
+		"-run", "table6", "-p", "providers=2", "-p", "max_rows=3")
+	if !strings.Contains(out, "Table 6") {
+		t.Fatalf("repro -run table6 output:\n%s", out)
+	}
+}
+
+// TestReproJSONByteStable is the acceptance bar for the JSON surface:
+// two runs at a fixed seed must emit byte-identical documents.
+func TestReproJSONByteStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	root := repoRoot(t)
+	bin := filepath.Join(dir, "repro")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/repro")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build repro: %v\n%s", err, out)
+	}
+	args := []string{"-ases", "250", "-seed", "3", "-peers", "10", "-lg", "5",
+		"-daily", "2", "-hourly", "0", "-routers", "4", "-format", "json"}
+	jsonOut := func() []byte {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("repro -format json: %v\n%s", err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+	a, b := jsonOut(), jsonOut()
+	if !bytes.Equal(a, b) {
+		t.Fatal("repro -format json is not byte-stable across runs at a fixed seed")
+	}
+	var doc struct {
+		Experiments []struct {
+			Name string `json:"name"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(doc.Experiments) < 20 {
+		t.Fatalf("only %d experiments in the sweep", len(doc.Experiments))
 	}
 }

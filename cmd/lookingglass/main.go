@@ -16,41 +16,42 @@ import (
 	"os"
 	"strings"
 
+	policyscope "github.com/policyscope/policyscope"
 	"github.com/policyscope/policyscope/internal/bgp"
-	"github.com/policyscope/policyscope/internal/lookingglass"
-	"github.com/policyscope/policyscope/internal/routeviews"
-	"github.com/policyscope/policyscope/internal/simulate"
-	"github.com/policyscope/policyscope/internal/topogen"
 )
 
 func main() {
 	var (
-		ases = flag.Int("ases", 400, "number of ASes")
-		seed = flag.Int64("seed", 42, "random seed")
-		asn  = flag.Uint("as", 0, "vantage AS to query (0 lists vantages)")
+		ases  = flag.Int("ases", 400, "number of ASes")
+		seed  = flag.Int64("seed", 42, "random seed")
+		peers = flag.Int("peers", 15, "vantage AS count")
+		asn   = flag.Uint("as", 0, "vantage AS to query (0 lists vantages)")
 	)
 	flag.Parse()
 
-	topo, err := topogen.Generate(topogen.DefaultConfig(*ases, *seed))
+	// The Session owns the whole setup path — generation, simulation,
+	// vantage selection — shared with the other CLIs and the server.
+	cfg := policyscope.DefaultConfig()
+	cfg.NumASes = *ases
+	cfg.Seed = *seed
+	cfg.CollectorPeers = *peers
+	cfg.LookingGlassASes = *peers
+	sess := policyscope.NewSession(cfg)
+
+	srv, err := sess.LookingGlass()
 	if err != nil {
 		fail(err)
 	}
-	peers := routeviews.SelectPeers(topo, 15)
-	res, err := simulate.Run(topo, simulate.Options{VantagePoints: peers})
-	if err != nil {
-		fail(err)
-	}
-	tables := make(map[bgp.ASN]*bgp.RIB, len(peers))
-	for _, p := range peers {
-		tables[p] = res.Tables[p]
-	}
-	srv := lookingglass.NewServer(tables)
 
 	if *asn == 0 {
+		study, err := sess.Study()
+		if err != nil {
+			fail(err)
+		}
 		fmt.Println("available vantage ASes:")
 		for _, a := range srv.ASes() {
-			info := topo.ASes[a]
-			fmt.Printf("  %-8v %-24s degree %3d tier %d\n", a, info.Name, topo.Graph.Degree(a), info.Tier)
+			info := study.Topo.ASes[a]
+			fmt.Printf("  %-8v %-24s degree %3d tier %d\n", a, info.Name, study.Topo.Graph.Degree(a), info.Tier)
 		}
 		return
 	}

@@ -1,15 +1,25 @@
-// Command repro runs the complete experiment suite of "On Inferring and
+// Command repro runs the experiment suite of "On Inferring and
 // Characterizing Internet Routing Policies" (IMC 2003) on a synthetic
 // Internet and prints every table and figure next to the paper's
-// reported shape.
+// reported shape — or, with -format json, emits the full sweep as one
+// deterministic JSON document (byte-stable across runs at a fixed
+// seed).
 //
 // Usage:
 //
 //	repro [-ases 2000] [-seed 42] [-peers 56] [-lg 15] [-inferred]
-//	      [-daily 31] [-hourly 12] [-routers 30]
+//	      [-daily 31] [-hourly 12] [-routers 30] [-format text|json]
+//
+// Single experiments run by registry name, with key=value parameter
+// overrides:
+//
+//	repro -run table5
+//	repro -run table6 -p providers=2 -p max_rows=4
+//	repro -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,36 +38,91 @@ func main() {
 		daily    = flag.Int("daily", 31, "daily persistence epochs (0 skips Figures 6a/7a)")
 		hourly   = flag.Int("hourly", 12, "hourly persistence epochs (0 skips Figures 6b/7b)")
 		routers  = flag.Int("routers", 30, "border routers in the Figure 2(b) refinement")
+		format   = flag.String("format", "text", "output format: text or json")
+		runName  = flag.String("run", "", "run a single experiment by registry name")
+		list     = flag.Bool("list", false, "list the experiment catalog and exit")
 	)
+	var params paramList
+	flag.Var(&params, "p", "experiment parameter override key=value (repeatable, with -run)")
 	flag.Parse()
 
-	start := time.Now()
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "repro: -format must be text or json\n")
+		os.Exit(2)
+	}
+	if len(params) > 0 && *runName == "" {
+		fmt.Fprintf(os.Stderr, "repro: -p requires -run <experiment>\n")
+		os.Exit(2)
+	}
+
 	cfg := policyscope.DefaultConfig()
 	cfg.NumASes = *ases
 	cfg.Seed = *seed
 	cfg.CollectorPeers = *peers
 	cfg.LookingGlassASes = *lg
 	cfg.UseInferredRelationships = *inferred
+	sess := policyscope.NewSession(cfg)
 
-	fmt.Fprintf(os.Stderr, "generating and simulating %d ASes (seed %d)...\n", *ases, *seed)
-	study, err := policyscope.NewStudy(cfg)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-		os.Exit(1)
+	if *list {
+		for _, info := range sess.Experiments() {
+			fmt.Printf("%-10s %-10s %s\n", info.Name, info.Group, info.Title)
+		}
+		return
 	}
-	fmt.Fprintf(os.Stderr, "converged in %v; running experiments\n", time.Since(start).Round(time.Millisecond))
+
+	start := time.Now()
+	if *runName != "" {
+		res, err := sess.RunKV(*runName, params)
+		if err != nil {
+			fail(err)
+		}
+		if *format == "json" {
+			emitJSON(res)
+		} else if err := res.Render(os.Stdout); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	opts := policyscope.DefaultRunAllOptions()
 	opts.DailyEpochs = *daily
 	opts.HourlyEpochs = *hourly
 	opts.Routers = *routers
-	if err := study.RunAll(os.Stdout, opts); err != nil {
-		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-		os.Exit(1)
-	}
-	if err := study.RenderSummary(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-		os.Exit(1)
+
+	fmt.Fprintf(os.Stderr, "generating and simulating %d ASes (seed %d)...\n", *ases, *seed)
+	if *format == "json" {
+		doc, err := sess.RunAllJSON(opts)
+		if err != nil {
+			fail(err)
+		}
+		emitJSON(doc)
+	} else if err := sess.RunAll(os.Stdout, opts); err != nil {
+		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// emitJSON writes indented, deterministic JSON.
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
+	}
+}
+
+// paramList collects repeated -p key=value flags.
+type paramList []string
+
+func (p *paramList) String() string { return fmt.Sprint([]string(*p)) }
+
+func (p *paramList) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+	os.Exit(1)
 }

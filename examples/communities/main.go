@@ -16,7 +16,7 @@ func main() {
 	cfg := policyscope.DefaultConfig()
 	cfg.NumASes = 500
 	cfg.Seed = 21
-	cfg.Tuning = &policyscope.TopologyTuning{TaggingProb: 0.6}
+	cfg.Tuning = &policyscope.TopologyTuning{TaggingProb: policyscope.Prob(0.6)}
 	study, err := policyscope.NewStudy(cfg)
 	if err != nil {
 		fail(err)

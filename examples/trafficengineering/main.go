@@ -20,7 +20,7 @@ func main() {
 	cfg.Tuning = &policyscope.TopologyTuning{
 		// Half of all multihomed-origin prefixes are selectively
 		// announced: aggressive inbound traffic engineering.
-		SelectiveAnnounceProb: 0.5,
+		SelectiveAnnounceProb: policyscope.Prob(0.5),
 	}
 	study, err := policyscope.NewStudy(cfg)
 	if err != nil {

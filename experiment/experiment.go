@@ -1,0 +1,310 @@
+// Package experiment is a typed catalog of named, parameterized
+// analyses. Each experiment registers under a stable name with a typed
+// parameter struct (decodable from JSON or key=value flags) and a typed
+// result that both marshals to deterministic JSON and renders itself as
+// text. The registry is generic over the context the experiments run
+// against (policyscope instantiates it with *Session), so the catalog
+// machinery carries no dependency on any particular study shape.
+//
+// The design follows the query-catalog pattern of related inference
+// services (CAIDA's AS-relationship pipeline, catchment-query servers):
+// one shared precomputed snapshot, many named queries over it.
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Result is a computed experiment outcome. Implementations are plain
+// data structs: they marshal to deterministic JSON via encoding/json
+// (map keys are sorted, slices keep their order) and render themselves
+// as text through Render.
+type Result interface {
+	// Render writes the human-readable report (tables/charts) to w.
+	Render(w io.Writer) error
+}
+
+// Experiment describes one catalog entry. S is the query context
+// (a session holding the shared precomputed artifacts).
+type Experiment[S any] struct {
+	// Name is the stable registry key ("table5", "whatif", ...).
+	Name string
+	// Title is the human-readable headline.
+	Title string
+	// Group classifies the entry ("table", "figure", "extension", ...).
+	Group string
+	// Order fixes the catalog iteration order (ascending, then Name).
+	Order int
+	// NewParams returns a pointer to a freshly allocated parameter
+	// struct carrying the experiment's defaults, or nil when the
+	// experiment takes no parameters.
+	NewParams func() any
+	// Run executes the experiment. params is either nil (use defaults)
+	// or a pointer of the type NewParams returns.
+	Run func(ctx S, params any) (Result, error)
+}
+
+// Info is the serializable catalog row (what a server lists).
+type Info struct {
+	Name   string `json:"name"`
+	Title  string `json:"title"`
+	Group  string `json:"group"`
+	Params any    `json:"params,omitempty"` // default parameter values
+}
+
+// Registry holds the catalog. The zero value is not usable; call
+// NewRegistry.
+type Registry[S any] struct {
+	mu     sync.RWMutex
+	byName map[string]*Experiment[S]
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry[S any]() *Registry[S] {
+	return &Registry[S]{byName: make(map[string]*Experiment[S])}
+}
+
+// MustRegister adds an experiment, panicking on an empty name, a
+// duplicate, or a missing Run function — registration happens at init
+// time, where a panic is a build error.
+func (r *Registry[S]) MustRegister(e Experiment[S]) {
+	if e.Name == "" {
+		panic("experiment: registering with empty name")
+	}
+	if e.Run == nil {
+		panic("experiment: " + e.Name + " has no Run function")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[e.Name]; dup {
+		panic("experiment: duplicate registration of " + e.Name)
+	}
+	r.byName[e.Name] = &e
+}
+
+// Get returns the experiment registered under name.
+func (r *Registry[S]) Get(name string) (*Experiment[S], bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.byName[name]
+	return e, ok
+}
+
+// All returns every experiment ordered by (Order, Name).
+func (r *Registry[S]) All() []*Experiment[S] {
+	r.mu.RLock()
+	out := make([]*Experiment[S], 0, len(r.byName))
+	for _, e := range r.byName {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Names returns every registered name in catalog order.
+func (r *Registry[S]) Names() []string {
+	all := r.All()
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Infos returns the serializable catalog with default parameters.
+func (r *Registry[S]) Infos() []Info {
+	all := r.All()
+	out := make([]Info, len(all))
+	for i, e := range all {
+		out[i] = Info{Name: e.Name, Title: e.Title, Group: e.Group}
+		if e.NewParams != nil {
+			out[i].Params = e.NewParams()
+		}
+	}
+	return out
+}
+
+// NotFoundError reports a name with no registration.
+type NotFoundError struct{ Name string }
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("experiment: unknown experiment %q", e.Name)
+}
+
+// ParamError reports unusable parameters (bad JSON, unknown field...).
+type ParamError struct {
+	Name string
+	Err  error
+}
+
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("experiment %s: bad params: %v", e.Name, e.Err)
+}
+
+func (e *ParamError) Unwrap() error { return e.Err }
+
+// RunJSON runs the named experiment with parameters decoded strictly
+// from raw (empty raw, "null" or "{}" keep the defaults).
+func (r *Registry[S]) RunJSON(ctx S, name string, raw []byte) (Result, error) {
+	e, ok := r.Get(name)
+	if !ok {
+		return nil, &NotFoundError{Name: name}
+	}
+	var params any
+	if e.NewParams != nil {
+		params = e.NewParams()
+		if len(bytes.TrimSpace(raw)) > 0 {
+			if err := DecodeJSON(params, raw); err != nil {
+				return nil, &ParamError{Name: name, Err: err}
+			}
+		}
+	} else if len(bytes.TrimSpace(raw)) > 0 && !bytes.Equal(bytes.TrimSpace(raw), []byte("null")) &&
+		!bytes.Equal(bytes.TrimSpace(raw), []byte("{}")) {
+		return nil, &ParamError{Name: name, Err: fmt.Errorf("experiment takes no parameters")}
+	}
+	return e.Run(ctx, params)
+}
+
+// RunKV runs the named experiment with key=value parameter overrides
+// (the CLI flag form).
+func (r *Registry[S]) RunKV(ctx S, name string, kv []string) (Result, error) {
+	e, ok := r.Get(name)
+	if !ok {
+		return nil, &NotFoundError{Name: name}
+	}
+	var params any
+	if e.NewParams != nil {
+		params = e.NewParams()
+	}
+	if len(kv) > 0 {
+		if params == nil {
+			return nil, &ParamError{Name: name, Err: fmt.Errorf("experiment takes no parameters")}
+		}
+		for _, pair := range kv {
+			key, value, found := strings.Cut(pair, "=")
+			if !found {
+				return nil, &ParamError{Name: name, Err: fmt.Errorf("want key=value, got %q", pair)}
+			}
+			if err := Set(params, key, value); err != nil {
+				return nil, &ParamError{Name: name, Err: err}
+			}
+		}
+	}
+	return e.Run(ctx, params)
+}
+
+// DecodeJSON decodes raw strictly (unknown fields rejected) into the
+// parameter struct params points to.
+func DecodeJSON(params any, raw []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(params); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Set assigns one field of the parameter struct params points to,
+// addressed by its JSON tag (falling back to the Go field name,
+// case-insensitively). Scalar fields parse the value directly; any
+// other field type takes a JSON literal.
+func Set(params any, key, value string) error {
+	rv := reflect.ValueOf(params)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("params must be a non-nil pointer")
+	}
+	rv = rv.Elem()
+	if rv.Kind() != reflect.Struct {
+		return fmt.Errorf("params must point to a struct")
+	}
+	field, name := fieldByKey(rv, key)
+	if !field.IsValid() {
+		return fmt.Errorf("unknown parameter %q (have %s)", key, strings.Join(paramKeys(rv), ", "))
+	}
+	switch field.Kind() {
+	case reflect.String:
+		field.SetString(value)
+	case reflect.Bool:
+		b, err := strconv.ParseBool(value)
+		if err != nil {
+			return fmt.Errorf("parameter %s: %v", name, err)
+		}
+		field.SetBool(b)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		n, err := strconv.ParseInt(value, 10, field.Type().Bits())
+		if err != nil {
+			return fmt.Errorf("parameter %s: %v", name, err)
+		}
+		field.SetInt(n)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		n, err := strconv.ParseUint(value, 10, field.Type().Bits())
+		if err != nil {
+			return fmt.Errorf("parameter %s: %v", name, err)
+		}
+		field.SetUint(n)
+	case reflect.Float32, reflect.Float64:
+		f, err := strconv.ParseFloat(value, field.Type().Bits())
+		if err != nil {
+			return fmt.Errorf("parameter %s: %v", name, err)
+		}
+		field.SetFloat(f)
+	default:
+		if err := json.Unmarshal([]byte(value), field.Addr().Interface()); err != nil {
+			return fmt.Errorf("parameter %s: %v", name, err)
+		}
+	}
+	return nil
+}
+
+// fieldByKey resolves a settable struct field by JSON tag or field name.
+func fieldByKey(rv reflect.Value, key string) (reflect.Value, string) {
+	t := rv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		if strings.EqualFold(jsonName(f), key) || strings.EqualFold(f.Name, key) {
+			return rv.Field(i), jsonName(f)
+		}
+	}
+	return reflect.Value{}, ""
+}
+
+// paramKeys lists the settable parameter names for error messages.
+func paramKeys(rv reflect.Value) []string {
+	t := rv.Type()
+	out := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		if f := t.Field(i); f.IsExported() {
+			out = append(out, jsonName(f))
+		}
+	}
+	return out
+}
+
+func jsonName(f reflect.StructField) string {
+	tag := f.Tag.Get("json")
+	if tag == "" || tag == "-" {
+		return f.Name
+	}
+	name, _, _ := strings.Cut(tag, ",")
+	if name == "" {
+		return f.Name
+	}
+	return name
+}

@@ -365,8 +365,7 @@ func RenderTable6(rows []core.CustomerSARow) *reports.Table {
 // Table7Verification verifies SA prefixes at the top Tier-1s.
 func (s *Study) Table7Verification(providers int) []core.SAVerification {
 	a := &core.ExportAnalyzer{Graph: s.Graph}
-	pathIdx := core.PathsByPrefix(s.VantageTables())
-	allPaths := core.AllPathsOf(pathIdx)
+	allPaths := s.AllObservedPaths()
 	var out []core.SAVerification
 	for _, asn := range s.TierOneVantages(providers) {
 		sa := a.SAPrefixes(s.PeerView(asn))
@@ -444,7 +443,7 @@ func RenderTable9(rows []core.SplitAggregateResult) *reports.Table {
 // Tier-1s.
 func (s *Study) Case3Selective(providers int) []core.SelectiveAnnouncingResult {
 	a := &core.ExportAnalyzer{Graph: s.Graph}
-	pathIdx := core.PathsByPrefix(s.VantageTables())
+	pathIdx := s.PathIndex()
 	var out []core.SelectiveAnnouncingResult
 	for _, asn := range s.TierOneVantages(providers) {
 		sa := a.SAPrefixes(s.PeerView(asn))
@@ -502,15 +501,17 @@ type PersistenceOptions struct {
 	// hourly in Fig 6b).
 	Epochs int
 	// ChurnFraction is the per-epoch share of multihomed origins
-	// re-rolling one prefix's export policy.
+	// re-rolling one prefix's export policy. Zero keeps the default;
+	// a negative value disables churn (a control series).
 	ChurnFraction float64
 	// EpochSeconds spaces snapshot timestamps (86400 daily, 3600 hourly).
 	EpochSeconds uint32
 }
 
 // Figure6and7Persistence collects an epoch series and analyzes SA
-// persistence at the largest Tier-1. Policies are restored afterwards so
-// the study's other experiments stay on the base configuration.
+// persistence at the largest Tier-1. The churn runs on a private
+// topology clone, so the study stays on the base configuration and
+// concurrent queries never observe mid-experiment policies.
 func (s *Study) Figure6and7Persistence(opts PersistenceOptions) (core.PersistenceResult, error) {
 	if opts.Epochs <= 0 {
 		opts.Epochs = 31
@@ -527,10 +528,7 @@ func (s *Study) Figure6and7Persistence(opts PersistenceOptions) (core.Persistenc
 	if len(t1) == 0 {
 		return core.PersistenceResult{}, fmt.Errorf("policyscope: no tier-1 vantage")
 	}
-	snapshot := s.Topo.ClonePolicies()
-	defer s.Topo.RestorePolicies(snapshot)
-
-	series, err := routeviews.CollectSeries(s.Topo, routeviews.SeriesOptions{
+	series, err := routeviews.CollectSeries(s.Topo.Clone(), routeviews.SeriesOptions{
 		Epochs:        opts.Epochs,
 		ChurnFraction: opts.ChurnFraction,
 		Seed:          s.Config.Seed + 7,

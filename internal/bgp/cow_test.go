@@ -1,0 +1,76 @@
+package bgp
+
+import (
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+func cowPrefix(t *testing.T, s string) netx.Prefix {
+	t.Helper()
+	p, err := netx.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func cowRoute(prefix netx.Prefix, lp uint32) *Route {
+	return &Route{Prefix: prefix, LocalPref: lp, Path: Path{100, 200}}
+}
+
+// TestCloneCOWIsolation: mutations through a COW clone never reach the
+// source table or sibling clones, across Upsert, Withdraw and
+// DropPrefix.
+func TestCloneCOWIsolation(t *testing.T) {
+	p1 := cowPrefix(t, "10.0.0.0/24")
+	p2 := cowPrefix(t, "10.0.1.0/24")
+	src := NewRIB(64512)
+	src.Upsert(1, cowRoute(p1, 100))
+	src.Upsert(2, cowRoute(p1, 200))
+	src.Upsert(1, cowRoute(p2, 100))
+
+	a := src.CloneCOW()
+	b := src.CloneCOW()
+
+	// Mutate p1 through a: replace one candidate, withdraw the other.
+	a.Upsert(1, cowRoute(p1, 999))
+	a.Withdraw(2, p1)
+	// Drop p2 through b.
+	b.DropPrefix(p2)
+	// New prefix through b.
+	p3 := cowPrefix(t, "10.0.2.0/24")
+	b.Upsert(3, cowRoute(p3, 50))
+
+	// Source unchanged.
+	if got := len(src.Candidates(p1)); got != 2 {
+		t.Fatalf("source p1 candidates = %d", got)
+	}
+	if src.Best(p1).LocalPref != 200 {
+		t.Fatalf("source p1 best = %+v", src.Best(p1))
+	}
+	if !src.Has(p2) || src.Has(p3) {
+		t.Fatal("source prefix set changed")
+	}
+	// a sees its own edits only.
+	if got := len(a.Candidates(p1)); got != 1 || a.Best(p1).LocalPref != 999 {
+		t.Fatalf("clone a p1: %d candidates, best %+v", got, a.Best(p1))
+	}
+	if !a.Has(p2) {
+		t.Fatal("clone a lost p2")
+	}
+	// b sees its own edits only.
+	if b.Has(p2) || !b.Has(p3) {
+		t.Fatal("clone b prefix set wrong")
+	}
+	if got := len(b.Candidates(p1)); got != 2 {
+		t.Fatalf("clone b p1 candidates = %d", got)
+	}
+	// Chained COW: a clone of a (post-edit) keeps a's view.
+	c := a.CloneCOW()
+	a2 := a.CloneCOW() // a is retired now; c and a2 share its entries
+	c.Upsert(7, cowRoute(p1, 1))
+	if got := len(a2.Candidates(p1)); got != 1 || a2.Best(p1).LocalPref != 999 {
+		t.Fatalf("sibling clone polluted: %d candidates, best %+v", got, a2.Best(p1))
+	}
+}

@@ -21,6 +21,11 @@ type RIB struct {
 	// maxStep lets ablations truncate the decision process; zero means
 	// the full seven steps.
 	maxStep DecisionStep
+	// cow marks a CloneCOW table: entries are shared with the source
+	// and copied on first mutation; owned tracks the prefixes whose
+	// entries this table already owns.
+	cow   bool
+	owned map[netx.Prefix]bool
 }
 
 type ribEntry struct {
@@ -46,16 +51,37 @@ func (t *RIB) depth() DecisionStep {
 	return t.maxStep
 }
 
+// writableEntry returns the entry for prefix, creating it on first use
+// and — on a CloneCOW table — copying a still-shared entry before its
+// first mutation.
+func (t *RIB) writableEntry(prefix netx.Prefix) *ribEntry {
+	e := t.entries[prefix]
+	if e == nil {
+		e = &ribEntry{candidates: make(map[ASN]*Route, 4)}
+		t.entries[prefix] = e
+		if t.cow {
+			t.owned[prefix] = true
+		}
+		return e
+	}
+	if t.cow && !t.owned[prefix] {
+		ce := &ribEntry{candidates: make(map[ASN]*Route, len(e.candidates)+1), best: e.best}
+		for n, r := range e.candidates {
+			ce.candidates[n] = r
+		}
+		t.entries[prefix] = ce
+		t.owned[prefix] = true
+		e = ce
+	}
+	return e
+}
+
 // Upsert installs route (learned from the given neighbor; use the owner
 // ASN for locally originated prefixes), replacing any previous route from
 // the same neighbor for the same prefix. It returns true when the best
 // route for the prefix changed.
 func (t *RIB) Upsert(neighbor ASN, route *Route) bool {
-	e := t.entries[route.Prefix]
-	if e == nil {
-		e = &ribEntry{candidates: make(map[ASN]*Route, 4)}
-		t.entries[route.Prefix] = e
-	}
+	e := t.writableEntry(route.Prefix)
 	e.candidates[neighbor] = route
 	return t.reselect(route.Prefix, e)
 }
@@ -70,6 +96,7 @@ func (t *RIB) Withdraw(neighbor ASN, prefix netx.Prefix) bool {
 	if _, ok := e.candidates[neighbor]; !ok {
 		return false
 	}
+	e = t.writableEntry(prefix)
 	delete(e.candidates, neighbor)
 	if len(e.candidates) == 0 {
 		delete(t.entries, prefix)
@@ -113,6 +140,41 @@ func routesEqual(a, b *Route) bool {
 		len(a.Communities) == len(b.Communities)
 }
 
+// Clone returns an independent deep copy of the table. Route values are
+// shared (the simulator never mutates an installed *Route); the entry
+// and candidate maps are copied, so Upsert/Withdraw/DropPrefix on the
+// clone leave the original untouched.
+func (t *RIB) Clone() *RIB {
+	c := &RIB{Owner: t.Owner, maxStep: t.maxStep,
+		entries: make(map[netx.Prefix]*ribEntry, len(t.entries))}
+	for p, e := range t.entries {
+		ce := &ribEntry{candidates: make(map[ASN]*Route, len(e.candidates)), best: e.best}
+		for n, r := range e.candidates {
+			ce.candidates[n] = r
+		}
+		c.entries[p] = ce
+	}
+	return c
+}
+
+// CloneCOW returns a copy-on-write copy: only the prefix → entry map is
+// copied up front; the per-prefix entries stay shared and are copied
+// lazily on their first mutation through the clone, so cloning a large
+// table to rewrite a handful of prefixes costs O(prefixes) pointers
+// instead of a full candidate-map deep copy. The receiver MUST NOT be
+// mutated after CloneCOW (it still references the shared entries); the
+// scenario engine enforces this by retiring the source table once any
+// clone exists.
+func (t *RIB) CloneCOW() *RIB {
+	c := &RIB{Owner: t.Owner, maxStep: t.maxStep,
+		entries: make(map[netx.Prefix]*ribEntry, len(t.entries)),
+		cow:     true, owned: make(map[netx.Prefix]bool)}
+	for p, e := range t.entries {
+		c.entries[p] = e
+	}
+	return c
+}
+
 // DropPrefix removes every candidate for prefix, reporting whether the
 // prefix was present. Used when a simulation epoch recomputes a prefix
 // from scratch.
@@ -122,6 +184,12 @@ func (t *RIB) DropPrefix(prefix netx.Prefix) bool {
 	}
 	delete(t.entries, prefix)
 	return true
+}
+
+// Has reports whether the table holds any candidate for prefix.
+func (t *RIB) Has(prefix netx.Prefix) bool {
+	_, ok := t.entries[prefix]
+	return ok
 }
 
 // Best returns the selected route for prefix, or nil.

@@ -209,7 +209,7 @@ type SeriesOptions struct {
 // CollectSeries simulates the topology, then alternates policy churn and
 // incremental re-simulation, snapshotting the collector at every epoch.
 // The topology's policies are mutated in place; callers wanting to keep
-// the original should snapshot them with topo.ClonePolicies first.
+// the original should pass topo.Clone().
 func CollectSeries(topo *topogen.Topology, opts SeriesOptions) (*Series, error) {
 	if opts.Epochs <= 0 {
 		return nil, fmt.Errorf("routeviews: Epochs must be positive")

@@ -1,0 +1,82 @@
+package simulate
+
+import (
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/netx"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// Clone returns an independent engine over the same converged state,
+// sharing the expensive artifacts copy-on-write. The heavy per-prefix
+// best forest (4 bytes per (prefix, AS) pair) and the vantage RIBs stay
+// shared until one side's Apply actually rewrites a row or table; only
+// the topology, the index structures and the reach counters are copied
+// eagerly. This makes a clone orders of magnitude cheaper than
+// NewEngine, which re-simulates the world.
+//
+// Clone must not overlap with Apply on the receiver (the usual Engine
+// contract), but any number of Clone calls may run concurrently on a
+// quiescent engine — the pattern a query session uses to answer
+// parallel what-if requests: keep one pristine base engine, Clone per
+// request, Apply on the clone, discard.
+func (en *Engine) Clone() *Engine {
+	en.cloneMu.Lock()
+	defer en.cloneMu.Unlock()
+	e := en.e
+
+	// Mark the parent's rows and tables shared so a later Apply on the
+	// parent copies before writing instead of corrupting live clones.
+	if e.trackShared == nil {
+		e.trackShared = make([]bool, len(e.track))
+	}
+	for i := range e.trackShared {
+		e.trackShared[i] = true
+	}
+	for _, slot := range e.tables {
+		slot.mu.Lock()
+		slot.shared = true
+		slot.mu.Unlock()
+	}
+
+	topo := en.topo.Clone()
+	ce := &engine{
+		topo: topo,
+		opts: e.opts,
+		// Immutable after construction: share.
+		idx:     e.idx,
+		asns:    e.asns,
+		vantage: e.vantage,
+		depth:   e.depth,
+		budget:  e.budget,
+		// Outer slices copied; inner neighbor/relationship slices are
+		// shared because rebuildAdjacency replaces them wholesale.
+		nbrs:        append([][]int32(nil), e.nbrs...),
+		rels:        append([][]asgraph.Relationship(nil), e.rels...),
+		pols:        make([]*topogen.Policy, len(e.asns)),
+		prefixes:    append([]netx.Prefix(nil), e.prefixes...),
+		reachCounts: append([]int64(nil), e.reachCounts...),
+		prefixIdx:   make(map[netx.Prefix]int, len(e.prefixIdx)),
+		track:       append([][]int32(nil), e.track...),
+		trackShared: make([]bool, len(e.track)),
+		tables:      make(map[int]*tableSlot, len(e.tables)),
+	}
+	for i, asn := range e.asns {
+		ce.pols[i] = topo.Policies[asn]
+	}
+	for p, i := range e.prefixIdx {
+		ce.prefixIdx[p] = i
+	}
+	for i := range ce.trackShared {
+		ce.trackShared[i] = true
+	}
+	for i, slot := range e.tables {
+		ce.tables[i] = &tableSlot{rib: slot.rib, shared: true}
+	}
+
+	c := &Engine{e: ce, topo: topo, opts: en.opts,
+		unconv: make(map[netx.Prefix]bool, len(en.unconv))}
+	for p := range en.unconv {
+		c.unconv[p] = true
+	}
+	return c
+}

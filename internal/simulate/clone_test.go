@@ -1,0 +1,107 @@
+package simulate
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCloneIsolation proves the copy-on-write contract: applying a
+// scenario on a clone matches a from-scratch simulation of the mutated
+// topology, while the base engine (and sibling clones) keep the
+// pristine state bit for bit.
+func TestCloneIsolation(t *testing.T) {
+	topo, opts := buildTestTopo(t, 160, 5)
+	base, err := NewEngine(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := Run(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stub, providers, prefix := multihomedStub(t, topo)
+	fail := Scenario{Name: "fail", Events: []Event{FailLink(stub, providers[0])}}
+	withdraw := Scenario{Name: "withdraw", Events: []Event{WithdrawPrefix(prefix)}}
+
+	c1 := base.Clone()
+	c2 := base.Clone()
+	if _, err := c1.Apply(fail); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Apply(withdraw); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each clone matches full resimulation of its own mutation.
+	for _, tc := range []struct {
+		eng *Engine
+		sc  Scenario
+	}{{c1, fail}, {c2, withdraw}} {
+		mutated := topo.Clone()
+		if err := tc.sc.ApplyToTopology(mutated); err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(mutated, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diffs := DiffResults(tc.eng.Result(), want); len(diffs) > 0 {
+			t.Fatalf("clone %s diverged from full resim: %v", tc.sc.Name, diffs[:min(3, len(diffs))])
+		}
+	}
+
+	// The base engine never saw any of it.
+	if diffs := DiffResults(base.Result(), baseline); len(diffs) > 0 {
+		t.Fatalf("base engine corrupted by clone applies: %v", diffs[:min(3, len(diffs))])
+	}
+}
+
+// TestCloneConcurrentApplies drives many clones of one base engine in
+// parallel — the Session's what-if serving pattern. Run with -race.
+func TestCloneConcurrentApplies(t *testing.T) {
+	topo, opts := buildTestTopo(t, 120, 9)
+	base, err := NewEngine(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub, providers, prefix := multihomedStub(t, topo)
+	scenarios := []Scenario{
+		{Name: "fail0", Events: []Event{FailLink(stub, providers[0])}},
+		{Name: "fail1", Events: []Event{FailLink(stub, providers[1])}},
+		{Name: "withdraw", Events: []Event{WithdrawPrefix(prefix)}},
+		{Name: "pref", Events: []Event{SetLocalPref(providers[0], stub, 40)}},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(scenarios))
+	for round := 0; round < 2; round++ {
+		for _, sc := range scenarios {
+			wg.Add(1)
+			go func(sc Scenario) {
+				defer wg.Done()
+				eng := base.Clone()
+				if _, err := eng.Apply(sc); err != nil {
+					errs <- err
+					return
+				}
+				if res := eng.Result(); len(res.Tables) == 0 {
+					errs <- errEmptyResult
+				}
+			}(sc)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if diffs := DiffResults(base.Result(), base.Result()); len(diffs) > 0 {
+		t.Fatalf("self-diff: %v", diffs)
+	}
+}
+
+var errEmptyResult = &cloneTestError{"empty clone result"}
+
+type cloneTestError struct{ msg string }
+
+func (e *cloneTestError) Error() string { return e.msg }

@@ -85,8 +85,7 @@ type engine struct {
 	depth bgp.DecisionStep
 
 	vantage     map[int]bool
-	tableLocks  map[int]*sync.Mutex
-	tables      map[int]*bgp.RIB
+	tables      map[int]*tableSlot
 	budget      int
 	reachCounts []int64 // indexed like prefix list
 	prefixes    []netx.Prefix
@@ -98,6 +97,34 @@ type engine struct {
 	// and trackNone for no route. The scenario engine reconstructs full
 	// pre-event routing state from this forest.
 	track [][]int32
+	// trackShared marks track rows shared with a copy-on-write engine
+	// clone: the row is copied before its first in-place write. Nil
+	// until the first Clone.
+	trackShared []bool
+}
+
+// tableSlot holds one vantage table behind its lock. The slot pointer
+// is stable for the engine's lifetime (the tables map is never written
+// after construction), so workers can mutate the RIB — replacing it
+// first when it is shared with an engine clone — without racing on the
+// map itself.
+type tableSlot struct {
+	mu  sync.Mutex
+	rib *bgp.RIB
+	// shared marks the RIB as visible from a copy-on-write clone.
+	shared bool
+}
+
+// writable returns the slot's RIB, un-sharing it first. The retired RIB
+// is never written again (every sharer copies-on-write through its own
+// slot), so the cheap entry-level CloneCOW is safe here. Callers must
+// hold slot.mu.
+func (s *tableSlot) writable() *bgp.RIB {
+	if s.shared {
+		s.rib = s.rib.CloneCOW()
+		s.shared = false
+	}
+	return s.rib
 }
 
 // trackNone marks "no route" in the per-prefix best-next-hop record.
@@ -132,17 +159,16 @@ func newEngine(topo *topogen.Topology, opts Options) *engine {
 		e.depth = bgp.StepRouterID
 	}
 	e.vantage = make(map[int]bool, len(opts.VantagePoints))
-	e.tables = make(map[int]*bgp.RIB, len(opts.VantagePoints))
-	e.tableLocks = make(map[int]*sync.Mutex, len(opts.VantagePoints))
+	e.tables = make(map[int]*tableSlot, len(opts.VantagePoints))
 	for _, asn := range opts.VantagePoints {
 		i, ok := e.idx[asn]
 		if !ok {
 			continue
 		}
 		e.vantage[i] = true
-		e.tables[i] = bgp.NewRIB(asn)
-		e.tables[i].SetDecisionDepth(opts.DecisionDepth)
-		e.tableLocks[i] = &sync.Mutex{}
+		rib := bgp.NewRIB(asn)
+		rib.SetDecisionDepth(opts.DecisionDepth)
+		e.tables[i] = &tableSlot{rib: rib}
 	}
 	e.budget = opts.ActivationBudget
 	if e.budget == 0 {
@@ -175,10 +201,10 @@ func Run(topo *topogen.Topology, opts Options) (*Result, error) {
 func RunSubset(topo *topogen.Topology, opts Options, prior *Result, prefixes []netx.Prefix) (*Result, error) {
 	e := newEngine(topo, opts)
 	// Adopt prior tables so untouched prefixes carry over.
-	for i := range e.tables {
+	for i, slot := range e.tables {
 		asn := e.asns[i]
 		if prev, ok := prior.Tables[asn]; ok {
-			e.tables[i] = prev
+			slot.rib = prev
 			for _, p := range prefixes {
 				prev.DropPrefix(p)
 			}
@@ -208,8 +234,8 @@ func (e *engine) buildResult(unconverged []netx.Prefix) *Result {
 		ReachCount:  make(map[netx.Prefix]int, len(e.prefixes)),
 		Unconverged: unconverged,
 	}
-	for i, rib := range e.tables {
-		res.Tables[e.asns[i]] = rib
+	for i, slot := range e.tables {
+		res.Tables[e.asns[i]] = slot.rib
 	}
 	for i, p := range e.prefixes {
 		res.ReachCount[p] = int(e.reachCounts[i])
@@ -561,9 +587,14 @@ func (e *engine) capture(st *workerState, prefix netx.Prefix) {
 	pi := e.prefixIdx[prefix]
 	if e.track != nil {
 		row := e.track[pi]
-		if row == nil {
+		// A row shared with an engine clone is replaced, not rewritten
+		// in place: capture overwrites every cell anyway.
+		if row == nil || (e.trackShared != nil && e.trackShared[pi]) {
 			row = make([]int32, len(e.asns))
 			e.track[pi] = row
+			if e.trackShared != nil {
+				e.trackShared[pi] = false
+			}
 		}
 		for i := range row {
 			row[i] = trackNone
@@ -580,9 +611,9 @@ func (e *engine) capture(st *workerState, prefix netx.Prefix) {
 		if !e.vantage[int(i)] {
 			continue
 		}
-		lock := e.tableLocks[int(i)]
-		lock.Lock()
-		rib := e.tables[int(i)]
+		slot := e.tables[int(i)]
+		slot.mu.Lock()
+		rib := slot.writable()
 		if st.best[i] != nil && st.best[i].IsLocal() {
 			rib.Upsert(e.asns[i], st.best[i])
 		}
@@ -595,7 +626,7 @@ func (e *engine) capture(st *workerState, prefix netx.Prefix) {
 		for _, k := range keys {
 			rib.Upsert(e.asns[k], st.cands[i][k])
 		}
-		lock.Unlock()
+		slot.mu.Unlock()
 	}
 	e.reachCounts[pi] = int64(reach)
 }

@@ -292,12 +292,15 @@ func (d *Delta) ShiftedASes() int {
 // Engine is a converged simulation that accepts scenario events and
 // re-converges incrementally. It owns a private clone of the topology it
 // was built from; callers may keep using the original freely. Engine is
-// not safe for concurrent use.
+// not safe for concurrent use: Apply and Clone must not overlap on the
+// same engine (concurrent Clone calls of a quiescent engine are fine,
+// and the clones themselves are fully independent afterwards).
 type Engine struct {
-	e      *engine
-	topo   *topogen.Topology
-	opts   Options
-	unconv map[netx.Prefix]bool
+	e       *engine
+	topo    *topogen.Topology
+	opts    Options
+	unconv  map[netx.Prefix]bool
+	cloneMu sync.Mutex
 }
 
 // NewEngine runs a full simulation of topo and retains the per-prefix
@@ -601,8 +604,12 @@ func (en *Engine) validate(sc Scenario) error {
 // and the best forest, compacting the engine's prefix indexing.
 func (en *Engine) removePrefixState(prefix netx.Prefix) {
 	e := en.e
-	for _, rib := range e.tables {
-		rib.DropPrefix(prefix)
+	for _, slot := range e.tables {
+		slot.mu.Lock()
+		if slot.rib.Has(prefix) {
+			slot.writable().DropPrefix(prefix)
+		}
+		slot.mu.Unlock()
 	}
 	pi, ok := e.prefixIdx[prefix]
 	if !ok {
@@ -615,6 +622,10 @@ func (en *Engine) removePrefixState(prefix netx.Prefix) {
 	e.reachCounts = e.reachCounts[:last]
 	e.track[pi] = e.track[last]
 	e.track = e.track[:last]
+	if e.trackShared != nil {
+		e.trackShared[pi] = e.trackShared[last]
+		e.trackShared = e.trackShared[:last]
+	}
 	delete(e.prefixIdx, prefix)
 	if pi < last {
 		e.prefixIdx[e.prefixes[pi]] = pi
@@ -630,6 +641,9 @@ func (en *Engine) addPrefixState(prefix netx.Prefix) {
 	e.prefixes = append(e.prefixes, prefix)
 	e.reachCounts = append(e.reachCounts, 0)
 	e.track = append(e.track, nil)
+	if e.trackShared != nil {
+		e.trackShared = append(e.trackShared, false)
+	}
 }
 
 // rebuildAdjacency refreshes one AS's neighbor arrays from the (mutated)
@@ -1037,6 +1051,13 @@ func (en *Engine) captureIncremental(st *workerState, prefix netx.Prefix) (Prefi
 	e := en.e
 	pi := e.prefixIdx[prefix]
 	row := e.track[pi]
+	if e.trackShared != nil && e.trackShared[pi] {
+		// The row is visible from an engine clone: copy before the
+		// in-place rewrite below (only this worker owns prefix pi).
+		row = append([]int32(nil), row...)
+		e.track[pi] = row
+		e.trackShared[pi] = false
+	}
 	shift := PrefixShift{Prefix: prefix, Origin: e.topo.PrefixOrigin[prefix]}
 	reachDelta := 0
 	for _, i := range st.touched {
@@ -1064,9 +1085,9 @@ func (en *Engine) captureIncremental(st *workerState, prefix netx.Prefix) (Prefi
 		if !e.vantage[int(i)] {
 			continue
 		}
-		lock := e.tableLocks[int(i)]
-		lock.Lock()
-		rib := e.tables[int(i)]
+		slot := e.tables[int(i)]
+		slot.mu.Lock()
+		rib := slot.writable()
 		rib.DropPrefix(prefix)
 		if st.best[i] != nil && st.best[i].IsLocal() {
 			rib.Upsert(e.asns[i], st.best[i])
@@ -1079,7 +1100,7 @@ func (en *Engine) captureIncremental(st *workerState, prefix netx.Prefix) (Prefi
 		for _, k := range keys {
 			rib.Upsert(e.asns[k], st.cands[i][k])
 		}
-		lock.Unlock()
+		slot.mu.Unlock()
 	}
 	before := int(e.reachCounts[pi])
 	e.reachCounts[pi] += int64(reachDelta)

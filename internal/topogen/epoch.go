@@ -54,39 +54,6 @@ func (t *Topology) MutateExportPolicies(rng *rand.Rand, fraction float64) []netx
 	return touched
 }
 
-// ClonePolicies deep-copies the export-policy state that
-// MutateExportPolicies may touch, letting callers snapshot an epoch.
-func (t *Topology) ClonePolicies() map[bgp.ASN]*Policy {
-	out := make(map[bgp.ASN]*Policy, len(t.Policies))
-	for asn, p := range t.Policies {
-		cp := &Policy{AS: p.AS, Import: p.Import, Tagging: p.Tagging}
-		cp.Export = ExportPolicy{
-			OriginProviders:    make(map[netx.Prefix]map[bgp.ASN]bool, len(p.Export.OriginProviders)),
-			NoUpstream:         make(map[netx.Prefix]bgp.ASN, len(p.Export.NoUpstream)),
-			TransitSelective:   p.Export.TransitSelective,
-			AggregateSpecifics: p.Export.AggregateSpecifics,
-			PeerExclude:        p.Export.PeerExclude,
-		}
-		for prefix, set := range p.Export.OriginProviders {
-			ns := make(map[bgp.ASN]bool, len(set))
-			for a, v := range set {
-				ns[a] = v
-			}
-			cp.Export.OriginProviders[prefix] = ns
-		}
-		for prefix, provider := range p.Export.NoUpstream {
-			cp.Export.NoUpstream[prefix] = provider
-		}
-		out[asn] = cp
-	}
-	return out
-}
-
-// RestorePolicies swaps in a snapshot taken with ClonePolicies.
-func (t *Topology) RestorePolicies(snapshot map[bgp.ASN]*Policy) {
-	t.Policies = snapshot
-}
-
 // sortedPrefixes is a small helper used by tests.
 func sortedPrefixes(m map[netx.Prefix]bool) []netx.Prefix {
 	out := make([]netx.Prefix, 0, len(m))

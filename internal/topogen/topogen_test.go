@@ -450,7 +450,6 @@ func TestCommunityTaggingRoundTrip(t *testing.T) {
 
 func TestMutateExportPolicies(t *testing.T) {
 	topo := genSmall(t, 300, 17)
-	snapshot := topo.ClonePolicies()
 	rng := rand.New(rand.NewSource(99))
 	touched := topo.MutateExportPolicies(rng, 0.5)
 	if len(touched) == 0 {
@@ -475,17 +474,15 @@ func TestMutateExportPolicies(t *testing.T) {
 			}
 		}
 	}
-	// Restore brings back the exact pre-churn config.
-	topo.RestorePolicies(snapshot)
-	changed := false
+	// Mutation is reproducible under identical seeds.
 	rng2 := rand.New(rand.NewSource(99))
 	topo2 := genSmall(t, 300, 17)
-	rng2Touched := topo2.MutateExportPolicies(rng2, 0.5)
-	if len(rng2Touched) != len(touched) {
-		changed = true
-	}
-	if changed {
+	if rng2Touched := topo2.MutateExportPolicies(rng2, 0.5); len(rng2Touched) != len(touched) {
 		t.Fatal("mutation not reproducible under identical seeds")
+	}
+	// A negative fraction is the no-churn control.
+	if none := topo.MutateExportPolicies(rng, -1); len(none) != 0 {
+		t.Fatalf("negative fraction churned %d prefixes", len(none))
 	}
 }
 

@@ -56,7 +56,7 @@ func TestStudyWithInferredRelationships(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Graph != s.Inferred.Graph {
+	if s.Graph != s.Inference().Graph {
 		t.Fatal("inferred graph not selected")
 	}
 	// The analyses still run and produce plausible output.

@@ -1,0 +1,263 @@
+package policyscope
+
+// results.go gives every experiment a typed result that satisfies
+// experiment.Result: plain data (deterministic JSON via encoding/json)
+// plus a Render method reusing the internal/reports renderers. The
+// registration table lives in registry.go.
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/core"
+	"github.com/policyscope/policyscope/internal/reports"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// writeAll renders a sequence of report tables/charts.
+func writeAll(w io.Writer, items ...interface {
+	WriteTo(io.Writer) (int64, error)
+}) error {
+	for _, item := range items {
+		if _, err := item.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OverviewResult is the study's headline numbers (the former RunAll
+// preamble): dimensions, the Section 4.3 inference accuracy, and the SA
+// detector's score against ground truth.
+type OverviewResult struct {
+	ASes                    int     `json:"ases"`
+	Prefixes                int     `json:"prefixes"`
+	CollectorPeers          int     `json:"collector_peers"`
+	LookingGlassCount       int     `json:"looking_glass"`
+	Seed                    int64   `json:"seed"`
+	RelationshipAccuracyPct float64 `json:"relationship_accuracy_pct"`
+	ObservedEdges           int     `json:"observed_edges"`
+	SATruePositives         int     `json:"sa_true_positives"`
+	SAFalsePositives        int     `json:"sa_false_positives"`
+}
+
+// Render implements experiment.Result.
+func (r OverviewResult) Render(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"policyscope study: %d ASes, %d prefixes, %d collector peers, seed %d\n"+
+			"relationship inference (Gao): %.2f%% of %d observed edges correct\n"+
+			"SA detector vs ground truth: %d true positives, %d false positives\n\n",
+		r.ASes, r.Prefixes, r.CollectorPeers, r.Seed,
+		r.RelationshipAccuracyPct, r.ObservedEdges,
+		r.SATruePositives, r.SAFalsePositives)
+	return err
+}
+
+// Table1Result is the vantage dataset.
+type Table1Result struct {
+	Rows []Table1Row `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r Table1Result) Render(w io.Writer) error { return writeAll(w, RenderTable1(r.Rows)) }
+
+// Table2Result is per-LG local-preference typicality.
+type Table2Result struct {
+	Rows []core.TypicalityResult `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r Table2Result) Render(w io.Writer) error { return writeAll(w, RenderTable2(r.Rows)) }
+
+// Table3Result is IRR-mined typicality.
+type Table3Result struct {
+	Rows []core.IRRTypicalityResult `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r Table3Result) Render(w io.Writer) error { return writeAll(w, RenderTable3(r.Rows)) }
+
+// Figure2Result is a next-hop-consistency series (2a per AS, 2b per
+// router).
+type Figure2Result struct {
+	Title string                   `json:"title"`
+	Rows  []core.ConsistencyResult `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r Figure2Result) Render(w io.Writer) error { return writeAll(w, RenderFigure2(r.Title, r.Rows)) }
+
+// Table4Result is community-based relationship verification.
+type Table4Result struct {
+	Rows []Table4Row `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r Table4Result) Render(w io.Writer) error { return writeAll(w, RenderTable4(r.Rows)) }
+
+// Table5Result is per-vantage SA detection.
+type Table5Result struct {
+	Rows []core.SAResult `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r Table5Result) Render(w io.Writer) error { return writeAll(w, RenderTable5(r.Rows)) }
+
+// Table6Result is the per-customer SA view.
+type Table6Result struct {
+	Rows []core.CustomerSARow `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r Table6Result) Render(w io.Writer) error { return writeAll(w, RenderTable6(r.Rows)) }
+
+// Table7Result is SA verification via active customer paths.
+type Table7Result struct {
+	Rows []core.SAVerification `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r Table7Result) Render(w io.Writer) error { return writeAll(w, RenderTable7(r.Rows)) }
+
+// Table8Result is the multihoming split of SA origins.
+type Table8Result struct {
+	Rows []core.MultihomingResult `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r Table8Result) Render(w io.Writer) error { return writeAll(w, RenderTable8(r.Rows)) }
+
+// Table9Result is splitting/aggregation cause counts.
+type Table9Result struct {
+	Rows []core.SplitAggregateResult `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r Table9Result) Render(w io.Writer) error { return writeAll(w, RenderTable9(r.Rows)) }
+
+// Case3Result is the Section 5.1.5 selective-announcing breakdown.
+type Case3Result struct {
+	Rows []core.SelectiveAnnouncingResult `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r Case3Result) Render(w io.Writer) error { return writeAll(w, RenderCase3(r.Rows)) }
+
+// Table10Result is export-to-peer behaviour.
+type Table10Result struct {
+	Rows []core.PeerExportResult `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r Table10Result) Render(w io.Writer) error { return writeAll(w, RenderTable10(r.Rows)) }
+
+// Render implements experiment.Result for the policy-atom extension.
+func (r PolicyAtomsResult) Render(w io.Writer) error { return writeAll(w, RenderPolicyAtoms(r)) }
+
+// DecisionResult is the decision-step characterization extension.
+type DecisionResult struct {
+	Rows []core.DecisionStats `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r DecisionResult) Render(w io.Writer) error {
+	return writeAll(w, RenderDecisionCharacterization(r.Rows))
+}
+
+// Render implements experiment.Result for the multi-site confounder
+// extension.
+func (m MultiSiteImpact) Render(w io.Writer) error { return writeAll(w, RenderMultiSite(m)) }
+
+// Table11Result is a published tagging scheme (Found is false when no
+// vantage publishes one; Render then prints nothing, like the paper's
+// table simply not existing for such a dataset).
+type Table11Result struct {
+	AS     bgp.ASN                  `json:"as"`
+	Scheme []topogen.TagSchemeEntry `json:"scheme,omitempty"`
+	Found  bool                     `json:"found"`
+}
+
+// Render implements experiment.Result.
+func (r Table11Result) Render(w io.Writer) error {
+	if !r.Found {
+		return nil
+	}
+	return writeAll(w, RenderTable11(r.AS, r.Scheme))
+}
+
+// Figure9Series is one vantage's neighbor-rank curve.
+type Figure9Series struct {
+	AS    bgp.ASN             `json:"as"`
+	Ranks []core.NeighborRank `json:"ranks"`
+}
+
+// Figure9Result is a set of neighbor-rank curves in vantage order.
+type Figure9Result struct {
+	Series []Figure9Series `json:"series"`
+}
+
+// Render implements experiment.Result.
+func (r Figure9Result) Render(w io.Writer) error {
+	for _, s := range r.Series {
+		if err := writeAll(w, RenderFigure9(s.AS, s.Ranks)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PersistenceChartResult carries a persistence series rendered as
+// Figure 6 (per-epoch counts) or Figure 7 (uptime histogram).
+type PersistenceChartResult struct {
+	Figure int                    `json:"figure"` // 6 or 7
+	XLabel string                 `json:"x_label"`
+	Series core.PersistenceResult `json:"series"`
+}
+
+// Render implements experiment.Result.
+func (r PersistenceChartResult) Render(w io.Writer) error {
+	if r.Figure == 7 {
+		return writeAll(w, RenderFigure7(r.Series, "uptime ("+r.XLabel+"s)"))
+	}
+	return writeAll(w, RenderFigure6(r.Series, r.XLabel))
+}
+
+// WhatIfResult wraps a what-if report (nil when the study has no
+// default failover subject and none was requested).
+type WhatIfResult struct {
+	Report  *WhatIfReport `json:"report"`
+	MaxRows int           `json:"-"`
+}
+
+// Render implements experiment.Result.
+func (r WhatIfResult) Render(w io.Writer) error {
+	if r.Report == nil {
+		return nil
+	}
+	return WriteWhatIf(w, r.Report, r.MaxRows)
+}
+
+// SummaryRow is one paper-vs-measured comparison line.
+type SummaryRow struct {
+	Quantity string `json:"quantity"`
+	Paper    string `json:"paper"`
+	Measured string `json:"measured"`
+}
+
+// SummaryResult is the headline paper-vs-measured comparison.
+type SummaryResult struct {
+	Rows []SummaryRow `json:"rows"`
+}
+
+// Render implements experiment.Result.
+func (r SummaryResult) Render(w io.Writer) error {
+	t := &reports.Table{
+		Title:   "Summary: paper vs measured",
+		Columns: []string{"quantity", "paper", "measured"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Quantity, row.Paper, row.Measured)
+	}
+	return writeAll(w, t)
+}

@@ -7,7 +7,9 @@ import (
 	"github.com/policyscope/policyscope/internal/reports"
 )
 
-// RunAllOptions sizes the full experiment sweep.
+// RunAllOptions sizes the full experiment sweep. RunAll itself is a
+// plain iteration over the experiment registry (registry.go): these
+// options only parameterize the per-experiment plans.
 type RunAllOptions struct {
 	// TierOneProviders is how many Tier-1 vantages the provider-side
 	// tables use (the paper uses 3: AS1, AS3549, AS7018).
@@ -40,138 +42,20 @@ func DefaultRunAllOptions() RunAllOptions {
 	}
 }
 
-// RunAll executes every experiment of the paper in order and renders the
-// results to w. It returns the first error encountered.
+// RunAll executes every experiment of the paper in registry order and
+// renders the results to w. It returns the first error encountered.
+// (Study-first compatibility wrapper; see Session.RunAll.)
 func (s *Study) RunAll(w io.Writer, opts RunAllOptions) error {
-	if opts.TierOneProviders <= 0 {
-		opts.TierOneProviders = 3
-	}
-	fmt.Fprintf(w, "policyscope study: %d ASes, %d prefixes, %d collector peers, seed %d\n",
-		len(s.Topo.Order), s.Topo.TotalPrefixes(), len(s.Peers), s.Config.Seed)
-	acc := s.RelationshipAccuracy()
-	fmt.Fprintf(w, "relationship inference (Gao): %.2f%% of %d observed edges correct\n",
-		100*acc.Fraction(), acc.Total)
-	tp, fp := s.SAGroundTruthScore()
-	fmt.Fprintf(w, "SA detector vs ground truth: %d true positives, %d false positives\n\n", tp, fp)
-
-	if _, err := RenderTable1(s.Table1Dataset()).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderTable2(s.Table2TypicalLocalPref()).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderTable3(s.Table3IRR(Table3Options{})).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderFigure2("Figure 2(a): localpref consistency with next-hop AS",
-		s.Figure2aConsistency()).WriteTo(w); err != nil {
-		return err
-	}
-	if opts.Routers > 0 {
-		rows, err := s.Figure2bRouterConsistency(opts.Routers, opts.DriftRouters)
-		if err != nil {
-			return err
-		}
-		if _, err := RenderFigure2("Figure 2(b): per-router localpref consistency",
-			rows).WriteTo(w); err != nil {
-			return err
-		}
-	}
-	if _, err := RenderTable4(s.Table4Verification(9)).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderTable5(s.Table5SAPrefixes()).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderTable6(s.Table6CustomerView(opts.TierOneProviders, opts.Table6Rows, opts.Table6MinPrefixes)).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderTable7(s.Table7Verification(opts.TierOneProviders)).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderTable8(s.Table8Multihoming(opts.TierOneProviders)).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderTable9(s.Table9SplitAggregate(opts.TierOneProviders)).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderCase3(s.Case3Selective(opts.TierOneProviders)).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderTable10(s.Table10PeerExport(opts.TierOneProviders)).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderPolicyAtoms(s.PolicyAtoms()).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderDecisionCharacterization(s.DecisionCharacterization()).WriteTo(w); err != nil {
-		return err
-	}
-	if _, err := RenderMultiSite(s.MultiSiteConfounder(opts.TierOneProviders)).WriteTo(w); err != nil {
-		return err
-	}
-	if asn, scheme, ok := s.Table11Scheme(); ok {
-		if _, err := RenderTable11(asn, scheme).WriteTo(w); err != nil {
-			return err
-		}
-	}
-	for asn, ranks := range s.Figure9NeighborRanks(opts.Figure9ASes) {
-		capped := ranks
-		if len(capped) > 20 {
-			capped = capped[:20]
-		}
-		if _, err := RenderFigure9(asn, capped).WriteTo(w); err != nil {
-			return err
-		}
-	}
-	if opts.DailyEpochs > 0 {
-		res, err := s.Figure6and7Persistence(PersistenceOptions{
-			Epochs: opts.DailyEpochs, EpochSeconds: 86400, ChurnFraction: 0.008,
-		})
-		if err != nil {
-			return err
-		}
-		if _, err := RenderFigure6(res, "day").WriteTo(w); err != nil {
-			return err
-		}
-		if _, err := RenderFigure7(res, "uptime (days)").WriteTo(w); err != nil {
-			return err
-		}
-	}
-	if opts.HourlyEpochs > 0 {
-		res, err := s.Figure6and7Persistence(PersistenceOptions{
-			Epochs: opts.HourlyEpochs, EpochSeconds: 3600, ChurnFraction: 0.003,
-		})
-		if err != nil {
-			return err
-		}
-		if _, err := RenderFigure6(res, "hour").WriteTo(w); err != nil {
-			return err
-		}
-		if _, err := RenderFigure7(res, "uptime (hours)").WriteTo(w); err != nil {
-			return err
-		}
-	}
-	if !opts.SkipWhatIf {
-		if sc, _, _, ok := s.FailoverScenario(); ok {
-			rep, err := s.WhatIf(sc)
-			if err != nil {
-				return err
-			}
-			if err := WriteWhatIf(w, rep, 10); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return NewSessionFromStudy(s).RunAll(w, opts)
 }
 
-// RenderSummary prints the study's headline comparisons in one table.
-func (s *Study) RenderSummary(w io.Writer) error {
-	t := &reports.Table{
-		Title:   "Summary: paper vs measured",
-		Columns: []string{"quantity", "paper", "measured"},
+// Summary computes the study's headline paper-vs-measured comparisons.
+func (s *Study) Summary() SummaryResult {
+	var res SummaryResult
+	add := func(quantity, paper, measured string) {
+		res.Rows = append(res.Rows, SummaryRow{Quantity: quantity, Paper: paper, Measured: measured})
 	}
+
 	typ := s.Table2TypicalLocalPref()
 	lo, hi := 100.0, 0.0
 	for _, r := range typ {
@@ -186,7 +70,7 @@ func (s *Study) RenderSummary(w io.Writer) error {
 			hi = p
 		}
 	}
-	t.AddRow("typical localpref range", "94.3-100%", fmt.Sprintf("%s-%s%%", reports.Pct(lo), reports.Pct(hi)))
+	add("typical localpref range", "94.3-100%", fmt.Sprintf("%s-%s%%", reports.Pct(lo), reports.Pct(hi)))
 
 	cons := s.Figure2aConsistency()
 	sum, n := 0.0, 0
@@ -197,7 +81,7 @@ func (s *Study) RenderSummary(w io.Writer) error {
 		}
 	}
 	if n > 0 {
-		t.AddRow("next-hop-keyed localpref (mean)", "~98%", reports.Pct(sum/float64(n))+"%")
+		add("next-hop-keyed localpref (mean)", "~98%", reports.Pct(sum/float64(n))+"%")
 	}
 
 	sa := s.Table5SAPrefixes()
@@ -214,7 +98,7 @@ func (s *Study) RenderSummary(w io.Writer) error {
 			saHi = p
 		}
 	}
-	t.AddRow("SA prefix share range", "0-48.6%", fmt.Sprintf("%s-%s%%", reports.Pct(saLo), reports.Pct(saHi)))
+	add("SA prefix share range", "0-48.6%", fmt.Sprintf("%s-%s%%", reports.Pct(saLo), reports.Pct(saHi)))
 
 	mh := s.Table8Multihoming(3)
 	mhm, mhs := 0, 0
@@ -223,7 +107,7 @@ func (s *Study) RenderSummary(w io.Writer) error {
 		mhs += r.SingleHomed
 	}
 	if mhm+mhs > 0 {
-		t.AddRow("multihomed SA origins", "~75%", reports.Pct(100*float64(mhm)/float64(mhm+mhs))+"%")
+		add("multihomed SA origins", "~75%", reports.Pct(100*float64(mhm)/float64(mhm+mhs))+"%")
 	}
 
 	pe := s.Table10PeerExport(3)
@@ -240,10 +124,14 @@ func (s *Study) RenderSummary(w io.Writer) error {
 			peHi = p
 		}
 	}
-	t.AddRow("peers exporting all prefixes", "86-100%", fmt.Sprintf("%s-%s%%", reports.Pct(peLo), reports.Pct(peHi)))
+	add("peers exporting all prefixes", "86-100%", fmt.Sprintf("%s-%s%%", reports.Pct(peLo), reports.Pct(peHi)))
 
 	acc := s.RelationshipAccuracy()
-	t.AddRow("relationship inference accuracy", "94.1-99.55% (Table 4)", reports.Pct(100*acc.Fraction())+"%")
-	_, err := t.WriteTo(w)
-	return err
+	add("relationship inference accuracy", "94.1-99.55% (Table 4)", reports.Pct(100*acc.Fraction())+"%")
+	return res
+}
+
+// RenderSummary prints the study's headline comparisons in one table.
+func (s *Study) RenderSummary(w io.Writer) error {
+	return s.Summary().Render(w)
 }

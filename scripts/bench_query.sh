@@ -1,0 +1,43 @@
+#!/bin/sh
+# bench_query.sh — snapshot the concurrent-query throughput benchmark.
+#
+# Runs BenchmarkSessionConcurrentQueries (mixed experiments + what-ifs
+# served by one shared Session on the 800-AS shared study) and writes
+# BENCH_query.json with ns/op and queries/s, so future PRs have a
+# serving-throughput trajectory to compare against.
+#
+# Usage: scripts/bench_query.sh [benchtime]   (default 2s)
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-2s}"
+OUT="BENCH_query.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run NONE -bench 'BenchmarkSessionConcurrentQueries$' \
+    -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+    /^BenchmarkSessionConcurrentQueries/ {
+        for (i = 1; i <= NF; i++) {
+            if ($i == "ns/op")     ns = $(i - 1)
+            if ($i == "queries/s") qps = $(i - 1)
+        }
+    }
+    END {
+        if (ns == "" || qps == "") {
+            print "bench_query.sh: missing benchmark output" > "/dev/stderr"
+            exit 1
+        }
+        printf "{\n"
+        printf "  \"benchmark\": \"mixed concurrent Session queries (tables, verification, what-ifs), 800-AS shared study\",\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"ns_per_query\": %s,\n", ns
+        printf "  \"queries_per_sec\": %s\n", qps
+        printf "}\n"
+    }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

@@ -1,0 +1,161 @@
+// Package server exposes a policyscope Session over HTTP/JSON — the
+// query-service shape of the related inference systems (named,
+// parameterized experiments over one shared precomputed snapshot).
+//
+//	GET  /experiments        the catalog: names, titles, default params
+//	POST /run/{name}         run one experiment; body = params JSON
+//	POST /whatif             apply a scenario; body = scenario JSON
+//	GET  /healthz            liveness plus session readiness
+//
+// /run accepts ?format=json (default) or ?format=text (the rendered
+// tables/charts, as cmd/repro prints them). All computation happens on
+// the shared Session: the first query pays for generation and
+// simulation, later queries reuse the memoized artifacts, and what-if
+// scenarios run on copy-on-write engine clones so concurrent requests
+// never contend.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/experiment"
+	"github.com/policyscope/policyscope/internal/simulate"
+)
+
+// Server handles the HTTP surface over one Session.
+type Server struct {
+	sess *policyscope.Session
+	mux  *http.ServeMux
+	// ready flips once the study is built (healthz reports it).
+	ready atomic.Bool
+}
+
+// New returns an http.Handler serving the session.
+func New(sess *policyscope.Session) *Server {
+	s := &Server{sess: sess, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
+	s.mux.HandleFunc("POST /run/{name}", s.handleRun)
+	s.mux.HandleFunc("POST /whatif", s.handleWhatIf)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Warm builds the study and the base what-if engine eagerly (optional;
+// queries warm lazily too).
+func (s *Server) Warm() error {
+	err := s.sess.Warm()
+	if err == nil {
+		s.ready.Store(true)
+	}
+	return err
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sess.Experiments())
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	res, err := s.sess.RunJSON(name, body)
+	if err != nil {
+		var nf *experiment.NotFoundError
+		var pe *experiment.ParamError
+		switch {
+		case errors.As(err, &nf):
+			writeError(w, http.StatusNotFound, err)
+		case errors.As(err, &pe):
+			writeError(w, http.StatusUnprocessableEntity, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	s.ready.Store(true)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := res.Render(w); err != nil {
+			// Headers are gone; nothing sane left to do but log-level
+			// truncation, which the client sees as a short body.
+			return
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Name   string            `json:"name"`
+		Result experiment.Result `json:"result"`
+	}{Name: name, Result: res})
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	var sc simulate.Scenario
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("bad scenario: %w", err))
+		return
+	}
+	if len(sc.Events) == 0 {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("scenario has no events"))
+		return
+	}
+	// A study/engine construction failure is the server's fault (500);
+	// only errors past a healthy base state are scenario-validation
+	// 422s.
+	if err := s.sess.Warm(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	rep, err := s.sess.WhatIf(sc)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.ready.Store(true)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = policyscope.WriteWhatIf(w, rep, 10)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK    bool `json:"ok"`
+		Ready bool `json:"ready"`
+	}{OK: true, Ready: s.ready.Load()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}

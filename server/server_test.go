@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	policyscope "github.com/policyscope/policyscope"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	cfg := policyscope.DefaultConfig()
+	cfg.NumASes = 200
+	cfg.Seed = 5
+	cfg.CollectorPeers = 10
+	cfg.LookingGlassASes = 6
+	ts := httptest.NewServer(New(policyscope.NewSession(cfg)))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestExperimentsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	status, body := get(t, ts.URL+"/experiments")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var infos []struct {
+		Name   string          `json:"name"`
+		Title  string          `json:"title"`
+		Group  string          `json:"group"`
+		Params json.RawMessage `json:"params"`
+	}
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	names := map[string]bool{}
+	for _, info := range infos {
+		names[info.Name] = true
+	}
+	for _, want := range []string{"table1", "table5", "figure9", "whatif", "summary"} {
+		if !names[want] {
+			t.Errorf("catalog missing %s", want)
+		}
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	ts := testServer(t)
+
+	// Defaults (empty body), JSON response.
+	status, body := post(t, ts.URL+"/run/table5", "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var out struct {
+		Name   string `json:"name"`
+		Result struct {
+			Rows []json.RawMessage `json:"rows"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "table5" || len(out.Result.Rows) == 0 {
+		t.Fatalf("unexpected payload: %s", body)
+	}
+
+	// Params accepted.
+	status, body = post(t, ts.URL+"/run/table6", `{"providers": 2, "max_rows": 3, "min_prefixes": 1}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+
+	// Text rendering.
+	status, body = post(t, ts.URL+"/run/table2?format=text", "")
+	if status != http.StatusOK || !strings.Contains(string(body), "Table 2") {
+		t.Fatalf("text format: %d %s", status, body)
+	}
+
+	// Unknown name → 404; bad params → 422.
+	if status, _ = post(t, ts.URL+"/run/nope", ""); status != http.StatusNotFound {
+		t.Fatalf("unknown experiment status %d", status)
+	}
+	if status, _ = post(t, ts.URL+"/run/table6", `{"bogus": 1}`); status != http.StatusUnprocessableEntity {
+		t.Fatalf("bad params status %d", status)
+	}
+}
+
+func TestWhatIfEndpoint(t *testing.T) {
+	ts := testServer(t)
+
+	// Discover a failover subject through the default whatif run.
+	status, body := post(t, ts.URL+"/run/whatif", "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var run struct {
+		Result struct {
+			Report struct {
+				Scenario struct {
+					Events []json.RawMessage `json:"events"`
+				} `json:"scenario"`
+			} `json:"report"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &run); err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Result.Report.Scenario.Events) == 0 {
+		t.Skip("no failover subject at this scale")
+	}
+	event, err := json.Marshal(run.Result.Report.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-apply the same scenario via the dedicated endpoint.
+	status, body = post(t, ts.URL+"/whatif", string(event))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var rep struct {
+		Delta struct {
+			Recomputed int `json:"Recomputed"`
+		} `json:"Delta"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Delta.Recomputed == 0 {
+		t.Fatalf("what-if recomputed nothing: %s", body)
+	}
+
+	// Bad bodies rejected.
+	if status, _ = post(t, ts.URL+"/whatif", `{"events": []}`); status != http.StatusUnprocessableEntity {
+		t.Fatalf("empty scenario status %d", status)
+	}
+	if status, _ = post(t, ts.URL+"/whatif", `{"bogus": 1}`); status != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown field status %d", status)
+	}
+}
+
+// TestConcurrentRequests hammers one server with a mixed workload — the
+// production pattern the Session exists for. Run with -race.
+func TestConcurrentRequests(t *testing.T) {
+	ts := testServer(t)
+	paths := []string{
+		"/run/table2", "/run/table5", "/run/table7", "/run/case3",
+		"/run/atoms", "/run/whatif", "/run/whatif", "/run/summary",
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 2*len(paths))
+	for round := 0; round < 2; round++ {
+		for _, p := range paths {
+			wg.Add(1)
+			go func(p string) {
+				defer wg.Done()
+				status, body := post(t, ts.URL+p, "")
+				if status != http.StatusOK {
+					errs <- fmt.Sprintf("%s: %d %s", p, status, body)
+				}
+			}(p)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	status, body := get(t, ts.URL+"/healthz")
+	if status != http.StatusOK || !strings.Contains(string(body), `"ok": true`) {
+		t.Fatalf("healthz: %d %s", status, body)
+	}
+}

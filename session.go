@@ -1,0 +1,291 @@
+package policyscope
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sync"
+
+	"github.com/policyscope/policyscope/experiment"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/core"
+	"github.com/policyscope/policyscope/internal/lookingglass"
+	"github.com/policyscope/policyscope/internal/simulate"
+)
+
+// Session is the serving-side façade over a Study: it builds the Study
+// once, lazily memoizes the expensive shared artifacts behind
+// sync.Once-style gates — the converged simulation Result, the
+// Gao-inferred relationships and observed-path index (both on the Study
+// itself), the Looking-Glass server over the vantage tables, the
+// per-parameter persistence series, and the what-if Engine — and is
+// safe for many concurrent queries. What-if scenarios run on
+// copy-on-write clones of one pristine base engine, so parallel callers
+// never contend and never observe each other's mutations.
+//
+// Construction is free: the first query pays for generation and
+// simulation, every later query reuses them.
+//
+//	sess := policyscope.NewSession(policyscope.DefaultConfig())
+//	res, err := sess.Run("table5", nil)
+//	res.Render(os.Stdout)           // or json.Marshal(res)
+type Session struct {
+	cfg Config
+
+	studyOnce sync.Once
+	study     *Study
+	studyErr  error
+
+	engineOnce sync.Once
+	engine     *simulate.Engine
+	engineErr  error
+
+	lgOnce sync.Once
+	lg     *lookingglass.Server
+	lgErr  error
+
+	// persist memoizes persistence series per normalized parameter set:
+	// the series is by far the most expensive query (epochs ×
+	// incremental re-simulation), and figure6/figure7 share one series.
+	persistMu sync.Mutex
+	persist   map[persistKey]*persistEntry
+}
+
+type persistEntry struct {
+	once sync.Once
+	res  core.PersistenceResult
+	err  error
+}
+
+// NewSession returns a session for cfg without doing any work yet.
+func NewSession(cfg Config) *Session {
+	return &Session{cfg: cfg, persist: make(map[persistKey]*persistEntry)}
+}
+
+// NewSessionFromStudy wraps an already-built Study (the Study-first
+// migration path: existing code that constructed a Study keeps it and
+// gains the query API on top).
+func NewSessionFromStudy(s *Study) *Session {
+	se := NewSession(s.Config)
+	se.study = s
+	se.studyOnce.Do(func() {}) // mark the gate resolved
+	return se
+}
+
+// Config returns the session's configuration.
+func (se *Session) Config() Config { return se.cfg }
+
+// Study returns the shared Study, building it on first use. Safe for
+// concurrent callers; every experiment goes through this gate.
+func (se *Session) Study() (*Study, error) {
+	se.studyOnce.Do(func() {
+		se.study, se.studyErr = NewStudy(se.cfg)
+	})
+	return se.study, se.studyErr
+}
+
+// baseEngine returns the pristine what-if engine, building it on first
+// use. It is only ever cloned, never applied to.
+func (se *Session) baseEngine() (*simulate.Engine, error) {
+	se.engineOnce.Do(func() {
+		s, err := se.Study()
+		if err != nil {
+			se.engineErr = err
+			return
+		}
+		se.engine, se.engineErr = s.WhatIfEngine()
+	})
+	return se.engine, se.engineErr
+}
+
+// Warm eagerly builds the study and the base what-if engine. Servers
+// call it before accepting traffic, and to tell construction failures
+// (the session's fault) from per-query errors (the query's fault).
+func (se *Session) Warm() error {
+	if _, err := se.Study(); err != nil {
+		return err
+	}
+	_, err := se.baseEngine()
+	return err
+}
+
+// WhatIf answers one scenario against the session's base state. Each
+// call runs on a fresh copy-on-write clone of the memoized base engine,
+// so concurrent what-ifs are independent and the base state is never
+// mutated. Compare Study.WhatIf, which re-simulates a brand-new engine
+// per call.
+func (se *Session) WhatIf(sc simulate.Scenario) (*WhatIfReport, error) {
+	s, err := se.Study()
+	if err != nil {
+		return nil, err
+	}
+	base, err := se.baseEngine()
+	if err != nil {
+		return nil, err
+	}
+	return s.whatIfOn(base.Clone(), sc)
+}
+
+// LookingGlass returns a query server over the study's vantage tables
+// (the cmd/lookingglass backend), built once.
+func (se *Session) LookingGlass() (*lookingglass.Server, error) {
+	se.lgOnce.Do(func() {
+		s, err := se.Study()
+		if err != nil {
+			se.lgErr = err
+			return
+		}
+		tables := make(map[bgp.ASN]*bgp.RIB, len(s.Peers))
+		for _, p := range s.Peers {
+			tables[p] = s.Result.Tables[p]
+		}
+		se.lg = lookingglass.NewServer(tables)
+	})
+	return se.lg, se.lgErr
+}
+
+// persistence returns the memoized persistence series for one
+// normalized parameter set, computing it at most once per session.
+func (se *Session) persistence(k persistKey) (core.PersistenceResult, error) {
+	se.persistMu.Lock()
+	entry, ok := se.persist[k]
+	if !ok {
+		entry = &persistEntry{}
+		se.persist[k] = entry
+	}
+	se.persistMu.Unlock()
+	entry.once.Do(func() {
+		s, err := se.Study()
+		if err != nil {
+			entry.err = err
+			return
+		}
+		churn := k.churn
+		if churn == 0 {
+			// An explicit zero means a no-churn control series; the
+			// Study-level option treats 0 as "default", so pass the
+			// negative disable value instead.
+			churn = -1
+		}
+		entry.res, entry.err = s.Figure6and7Persistence(PersistenceOptions{
+			Epochs:        k.epochs,
+			ChurnFraction: churn,
+			EpochSeconds:  k.epochSeconds,
+		})
+	})
+	return entry.res, entry.err
+}
+
+// Experiments returns the serializable experiment catalog in run order.
+func (se *Session) Experiments() []experiment.Info { return catalog.Infos() }
+
+// Run executes the named experiment. params is nil for defaults or a
+// pointer of the experiment's parameter type (see Experiments for the
+// catalog). For wire-shaped inputs use RunJSON / RunKV.
+func (se *Session) Run(name string, params any) (experiment.Result, error) {
+	e, ok := catalog.Get(name)
+	if !ok {
+		return nil, &experiment.NotFoundError{Name: name}
+	}
+	return e.Run(se, params)
+}
+
+// RunJSON executes the named experiment with JSON-encoded parameters
+// (strict decoding; empty keeps defaults).
+func (se *Session) RunJSON(name string, raw json.RawMessage) (experiment.Result, error) {
+	return catalog.RunJSON(se, name, raw)
+}
+
+// RunKV executes the named experiment with key=value parameter
+// overrides (the CLI form, e.g. "providers=3").
+func (se *Session) RunKV(name string, kv []string) (experiment.Result, error) {
+	return catalog.RunKV(se, name, kv)
+}
+
+// RunAll executes every catalog experiment in order with the
+// RunAllOptions-derived parameter plans and renders each result to w —
+// the paper's tables and figures end to end. Because it is a plain
+// iteration over the registry, a newly registered experiment appears
+// here automatically and the ordering can never drift from the catalog.
+func (se *Session) RunAll(w io.Writer, opts RunAllOptions) error {
+	if opts.TierOneProviders <= 0 {
+		opts.TierOneProviders = 3
+	}
+	for _, out := range se.runAllSequence(opts) {
+		res, err := se.Run(out.name, out.params)
+		if err != nil {
+			return fmt.Errorf("policyscope: %s: %w", out.name, err)
+		}
+		if res == nil {
+			continue
+		}
+		if err := res.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAllDocument is the JSON form of a full sweep: one entry per
+// experiment invocation, in catalog order. Marshaling it at a fixed
+// seed is byte-stable across runs.
+type RunAllDocument struct {
+	Config      Config             `json:"config"`
+	Experiments []ExperimentOutput `json:"experiments"`
+}
+
+// ExperimentOutput is one experiment invocation's name, parameters and
+// typed result.
+type ExperimentOutput struct {
+	Name   string            `json:"name"`
+	Title  string            `json:"title"`
+	Params any               `json:"params,omitempty"`
+	Result experiment.Result `json:"result"`
+}
+
+// RunAllJSON executes the same sweep as RunAll and returns the
+// structured document instead of rendering text.
+func (se *Session) RunAllJSON(opts RunAllOptions) (*RunAllDocument, error) {
+	if opts.TierOneProviders <= 0 {
+		opts.TierOneProviders = 3
+	}
+	doc := &RunAllDocument{Config: se.cfg}
+	for _, out := range se.runAllSequence(opts) {
+		res, err := se.Run(out.name, out.params)
+		if err != nil {
+			return nil, fmt.Errorf("policyscope: %s: %w", out.name, err)
+		}
+		if res == nil {
+			continue
+		}
+		e, _ := catalog.Get(out.name)
+		doc.Experiments = append(doc.Experiments, ExperimentOutput{
+			Name: out.name, Title: e.Title, Params: out.params, Result: res,
+		})
+	}
+	return doc, nil
+}
+
+// plannedRun is one experiment invocation of a RunAll sweep.
+type plannedRun struct {
+	name   string
+	params any
+}
+
+// runAllSequence expands the catalog into the invocation list for one
+// sweep: every experiment in order, with parameter sets derived from
+// opts (one default run unless the experiment registered a plan).
+func (se *Session) runAllSequence(opts RunAllOptions) []plannedRun {
+	var out []plannedRun
+	for _, e := range catalog.All() {
+		paramSets := []any{nil}
+		if plan, ok := runAllPlans[e.Name]; ok {
+			paramSets = plan(opts)
+		}
+		for _, p := range paramSets {
+			out = append(out, plannedRun{name: e.Name, params: p})
+		}
+	}
+	return out
+}

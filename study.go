@@ -22,11 +22,13 @@ package policyscope
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/policyscope/policyscope/internal/asgraph"
 	"github.com/policyscope/policyscope/internal/bgp"
 	"github.com/policyscope/policyscope/internal/core"
 	"github.com/policyscope/policyscope/internal/gaorelation"
+	"github.com/policyscope/policyscope/internal/netx"
 	"github.com/policyscope/policyscope/internal/routeviews"
 	"github.com/policyscope/policyscope/internal/simulate"
 	"github.com/policyscope/policyscope/internal/topogen"
@@ -55,25 +57,33 @@ type Config struct {
 }
 
 // TopologyTuning exposes the generator knobs that change experiment
-// shapes. Zero-valued fields keep their defaults.
+// shapes. Nil fields keep their defaults; a non-nil pointer is applied
+// verbatim, so a knob can be tuned all the way down to zero (e.g.
+// Prob(0) on SelectiveAnnounceProb disables selective announcement
+// outright — impossible back when zero values meant "default").
 type TopologyTuning struct {
-	// TierOneCount overrides the Tier-1 clique size.
+	// TierOneCount overrides the Tier-1 clique size (0 keeps the
+	// derived default; a zero-sized clique is not a valid Internet).
 	TierOneCount int
 	// SelectiveAnnounceProb is the probability a multihomed origin
 	// selectively announces a prefix (drives Tables 5-9).
-	SelectiveAnnounceProb float64
+	SelectiveAnnounceProb *float64
 	// AtypicalPrefProb is the share of sessions with class-order
 	// violations (drives Tables 2-3).
-	AtypicalPrefProb float64
+	AtypicalPrefProb *float64
 	// TaggingProb is the share of ASes deploying relationship-tagging
 	// communities (drives Table 4 coverage).
-	TaggingProb float64
+	TaggingProb *float64
 	// PeerSelectiveProb is the probability a peer withholds prefixes
 	// from another peer (drives Table 10).
-	PeerSelectiveProb float64
+	PeerSelectiveProb *float64
 	// MeanPrefixesStub scales table sizes.
-	MeanPrefixesStub float64
+	MeanPrefixesStub *float64
 }
+
+// Prob returns a pointer to v — shorthand for populating
+// TopologyTuning's optional knobs in literals.
+func Prob(v float64) *float64 { return &v }
 
 // DefaultConfig returns a laptop-scale study that exercises every
 // experiment in seconds.
@@ -104,11 +114,75 @@ type Study struct {
 	// Graph is the relationship source used by the analyses: the ground
 	// truth by default, the Gao-inferred graph when configured.
 	Graph *asgraph.Graph
-	// Inferred is the Gao inference output (always computed, so the
-	// Section 4.3 comparison is available even when unused).
-	Inferred *gaorelation.Inference
 
 	tiers map[bgp.ASN]int
+
+	// Lazily memoized shared artifacts. Both gates are safe for
+	// concurrent use, so many Session queries can share one Study.
+	inferOnce sync.Once
+	inferred  *gaorelation.Inference
+	pathOnce  sync.Once
+	pathIdx   map[netx.Prefix][]bgp.Path
+	allPaths  []bgp.Path
+}
+
+// Inference returns the Gao relationship-inference output, computing it
+// on first use (the Section 4.3 comparison input). Safe for concurrent
+// callers.
+func (s *Study) Inference() *gaorelation.Inference {
+	s.inferOnce.Do(func() {
+		opts := gaorelation.DefaultOptions()
+		opts.VantagePoints = s.Peers
+		s.inferred = gaorelation.Infer(s.Snapshot.AllPaths(), opts)
+	})
+	return s.inferred
+}
+
+// PathIndex returns the prefix → observed-AS-paths index over every
+// vantage table, built once and memoized (Tables 7 and Case 3 share
+// it). Safe for concurrent callers; treat the result as read-only.
+func (s *Study) PathIndex() map[netx.Prefix][]bgp.Path {
+	s.pathOnce.Do(func() {
+		s.pathIdx = core.PathsByPrefix(s.VantageTables())
+		s.allPaths = core.AllPathsOf(s.pathIdx)
+	})
+	return s.pathIdx
+}
+
+// AllObservedPaths returns every distinct observed AS path (derived
+// from PathIndex, memoized with it).
+func (s *Study) AllObservedPaths() []bgp.Path {
+	s.PathIndex()
+	return s.allPaths
+}
+
+// TopologyConfig resolves the generator configuration the study will
+// use: defaults sized by NumASes and Seed with the tuning overlay
+// applied. Nil tuning pointers keep the defaults; non-nil pointers are
+// applied verbatim, explicit zeros included.
+func (cfg Config) TopologyConfig() topogen.Config {
+	tcfg := topogen.DefaultConfig(cfg.NumASes, cfg.Seed)
+	if tn := cfg.Tuning; tn != nil {
+		if tn.TierOneCount > 0 {
+			tcfg.TierOneCount = tn.TierOneCount
+		}
+		if tn.SelectiveAnnounceProb != nil {
+			tcfg.SelectiveAnnounceProb = *tn.SelectiveAnnounceProb
+		}
+		if tn.AtypicalPrefProb != nil {
+			tcfg.AtypicalPrefProb = *tn.AtypicalPrefProb
+		}
+		if tn.TaggingProb != nil {
+			tcfg.TaggingProb = *tn.TaggingProb
+		}
+		if tn.PeerSelectiveProb != nil {
+			tcfg.PeerSelectiveProb = *tn.PeerSelectiveProb
+		}
+		if tn.MeanPrefixesStub != nil {
+			tcfg.MeanPrefixesStub = *tn.MeanPrefixesStub
+		}
+	}
+	return tcfg
 }
 
 // NewStudy generates, simulates and collects everything.
@@ -122,28 +196,7 @@ func NewStudy(cfg Config) (*Study, error) {
 	if cfg.LookingGlassASes <= 0 {
 		cfg.LookingGlassASes = 15
 	}
-	tcfg := topogen.DefaultConfig(cfg.NumASes, cfg.Seed)
-	if tn := cfg.Tuning; tn != nil {
-		if tn.TierOneCount > 0 {
-			tcfg.TierOneCount = tn.TierOneCount
-		}
-		if tn.SelectiveAnnounceProb > 0 {
-			tcfg.SelectiveAnnounceProb = tn.SelectiveAnnounceProb
-		}
-		if tn.AtypicalPrefProb > 0 {
-			tcfg.AtypicalPrefProb = tn.AtypicalPrefProb
-		}
-		if tn.TaggingProb > 0 {
-			tcfg.TaggingProb = tn.TaggingProb
-		}
-		if tn.PeerSelectiveProb > 0 {
-			tcfg.PeerSelectiveProb = tn.PeerSelectiveProb
-		}
-		if tn.MeanPrefixesStub > 0 {
-			tcfg.MeanPrefixesStub = tn.MeanPrefixesStub
-		}
-	}
-	topo, err := topogen.Generate(tcfg)
+	topo, err := topogen.Generate(cfg.TopologyConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -185,11 +238,11 @@ func NewStudy(cfg Config) (*Study, error) {
 	sort.Slice(lg, func(i, j int) bool { return lg[i] < lg[j] })
 	s.LookingGlass = lg
 
-	opts := gaorelation.DefaultOptions()
-	opts.VantagePoints = peers
-	s.Inferred = gaorelation.Infer(snap.AllPaths(), opts)
+	// Gao inference is expensive and usually only consulted for the
+	// Section 4.3 accuracy bound: leave it to the lazy gate unless the
+	// study is configured to analyze over inferred relationships.
 	if cfg.UseInferredRelationships {
-		s.Graph = s.Inferred.Graph
+		s.Graph = s.Inference().Graph
 	} else {
 		s.Graph = topo.Graph
 	}
@@ -246,7 +299,7 @@ func (s *Study) VantageTables() []*bgp.RIB {
 // RelationshipAccuracy scores the Gao inference against ground truth —
 // the Section 4.3 bound.
 func (s *Study) RelationshipAccuracy() gaorelation.Accuracy {
-	return gaorelation.Score(s.Inferred.Graph, s.Topo.Graph)
+	return gaorelation.Score(s.Inference().Graph, s.Topo.Graph)
 }
 
 // HasProviders reports whether the relationship source says asn has
