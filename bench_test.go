@@ -9,6 +9,7 @@ package policyscope
 //	go test -bench=. -benchmem .
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"github.com/policyscope/policyscope/internal/core"
 	"github.com/policyscope/policyscope/internal/gaorelation"
 	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/sweep"
 	"github.com/policyscope/policyscope/internal/topogen"
 )
 
@@ -267,6 +269,91 @@ func BenchmarkScenarioFullResim(b *testing.B) {
 	}
 }
 
+// ---- sweep fleet ----------------------------------------------------------
+
+var (
+	sweepBenchOnce      sync.Once
+	sweepBenchBase      *simulate.Engine
+	sweepBenchScenarios []simulate.Scenario
+)
+
+// sharedSweep memoizes the 800-AS base engine and the full
+// all-single-link-failures scenario list the sweep benchmarks share.
+func sharedSweep(b *testing.B) (*simulate.Engine, []simulate.Scenario) {
+	s := sharedStudy(b)
+	sweepBenchOnce.Do(func() {
+		base, err := simulate.NewEngine(s.Topo, simulate.Options{VantagePoints: s.Peers})
+		if err != nil {
+			b.Fatalf("engine: %v", err)
+		}
+		scenarios, err := sweep.Expand(base.Topology(), sweep.Spec{
+			Generators: []sweep.Generator{{Kind: sweep.KindAllSingleLinkFailures}},
+		})
+		if err != nil {
+			b.Fatalf("expand: %v", err)
+		}
+		sweepBenchBase, sweepBenchScenarios = base, scenarios
+	})
+	if sweepBenchBase == nil {
+		b.Skip("sweep setup failed earlier")
+	}
+	return sweepBenchBase, sweepBenchScenarios
+}
+
+// BenchmarkSweepSerialEngine is the pre-existing batch path: answering
+// each sweep scenario with its own full engine (one complete
+// resimulation per scenario — what running the fleet through
+// cmd/simulate -scenario or Study.WhatIf per scenario costs). ns/op is
+// the serial per-scenario price the sweep executor is judged against.
+// The full sweep is infeasible at ~4.5s per scenario, so -benchtime
+// sizes a sample, strided across the scenario list to avoid the
+// low-ASN tier-1 links the canonical ordering fronts; the cost is
+// dominated by the full resimulation, which is scenario-independent.
+func BenchmarkSweepSerialEngine(b *testing.B) {
+	s := sharedStudy(b)
+	_, scenarios := sharedSweep(b)
+	opts := simulate.Options{VantagePoints: s.Peers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := simulate.NewEngine(s.Topo, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := sweep.Apply(eng, scenarios[(i*serialSampleStride)%len(scenarios)], 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// serialSampleStride spreads the serial sample across the scenario
+// list (prime, so it cycles any realistic scenario count).
+const serialSampleStride = 997
+
+// benchmarkSweepExecutor runs the full all-single-link-failures sweep
+// per op and additionally reports the per-scenario cost, the number the
+// bench script compares across worker counts and against the serial
+// baseline (scripts/bench_sweep.sh → BENCH_sweep.json).
+func benchmarkSweepExecutor(b *testing.B, workers int) {
+	base, scenarios := sharedSweep(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err := sweep.Run(context.Background(), base, scenarios, sweep.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Scenarios != len(scenarios) {
+			b.Fatalf("ran %d of %d scenarios", agg.Scenarios, len(scenarios))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(scenarios)), "ns/scenario")
+	b.ReportMetric(float64(len(scenarios)), "scenarios")
+}
+
+func BenchmarkSweepExecutorJ1(b *testing.B) { benchmarkSweepExecutor(b, 1) }
+
+func BenchmarkSweepExecutorJ8(b *testing.B) { benchmarkSweepExecutor(b, 8) }
+
 // ---- session serving ------------------------------------------------------
 
 // BenchmarkSessionConcurrentQueries measures mixed-query throughput on
@@ -295,7 +382,7 @@ func BenchmarkSessionConcurrentQueries(b *testing.B) {
 	// benchmark measures steady-state throughput, not first-touch
 	// construction.
 	for _, q := range queries {
-		if _, err := se.Run(q.name, q.params); err != nil {
+		if _, err := se.Run(context.Background(), q.name, q.params); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -305,7 +392,7 @@ func BenchmarkSessionConcurrentQueries(b *testing.B) {
 		for pb.Next() {
 			q := queries[i%len(queries)]
 			i++
-			if _, err := se.Run(q.name, q.params); err != nil {
+			if _, err := se.Run(context.Background(), q.name, q.params); err != nil {
 				// b.Fatal must not run off the benchmark goroutine.
 				b.Error(err)
 				return

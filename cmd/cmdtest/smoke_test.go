@@ -137,6 +137,30 @@ func TestCLISmoke(t *testing.T) {
 		t.Fatalf("simulate -scenario report missing:\n%s", out)
 	}
 
+	// sweep: a capped single-link-failure fleet over the same topology,
+	// records to a file, rendered aggregate to stdout.
+	recPath := filepath.Join(dir, "records.ndjson")
+	out = run(t, bins["sweep"], "-ases", "40", "-seed", "3", "-peers", "5",
+		"-j", "2", "-max", "5", "-quiet", "-records", recPath, "-format", "text")
+	if !strings.Contains(out, "Most critical") || !strings.Contains(out, "scenarios=5 workers=2") {
+		t.Fatalf("sweep output missing aggregate or summary line:\n%s", out)
+	}
+	recData, err := os.ReadFile(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLines := strings.Split(strings.TrimSpace(string(recData)), "\n")
+	if len(recLines) != 5 {
+		t.Fatalf("sweep wrote %d records, want 5:\n%s", len(recLines), recData)
+	}
+	var rec struct {
+		Index int    `json:"index"`
+		Name  string `json:"name"`
+	}
+	if err := json.Unmarshal([]byte(recLines[4]), &rec); err != nil || rec.Index != 4 {
+		t.Fatalf("sweep record 4 malformed (%v): %s", err, recLines[4])
+	}
+
 	// inferrel recovers relationships from the snapshot and scores them.
 	out = run(t, bins["inferrel"], "-in", mrtPath, "-out", inferredRel, "-truth", relPath)
 	if !strings.Contains(out, "inferred") {

@@ -12,6 +12,7 @@
 //	GET  /experiments     list the catalog with default params
 //	POST /run/{name}      run one experiment (?format=json|text)
 //	POST /whatif          apply a scenario JSON to the converged study
+//	POST /sweep           stream a batch sweep as NDJSON records + aggregate
 //	GET  /healthz         liveness + readiness
 //
 // Example:
@@ -20,6 +21,8 @@
 //	curl -s localhost:8080/experiments | jq '.[].name'
 //	curl -s -X POST localhost:8080/run/table5 | jq '.result.rows[0]'
 //	curl -s -X POST 'localhost:8080/run/table6?format=text' -d '{"providers": 2}'
+//	curl -sN -X POST localhost:8080/sweep \
+//	  -d '{"spec": {"generators": [{"kind": "all_single_link_failures"}]}, "workers": 8}'
 package main
 
 import (

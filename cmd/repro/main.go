@@ -19,10 +19,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	policyscope "github.com/policyscope/policyscope"
@@ -70,9 +72,14 @@ func main() {
 		return
 	}
 
+	// Ctrl-C cancels the in-flight experiment instead of killing the
+	// process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
 	if *runName != "" {
-		res, err := sess.RunKV(*runName, params)
+		res, err := sess.RunKV(ctx, *runName, params)
 		if err != nil {
 			fail(err)
 		}
@@ -92,12 +99,12 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "generating and simulating %d ASes (seed %d)...\n", *ases, *seed)
 	if *format == "json" {
-		doc, err := sess.RunAllJSON(opts)
+		doc, err := sess.RunAllJSON(ctx, opts)
 		if err != nil {
 			fail(err)
 		}
 		emitJSON(doc)
-	} else if err := sess.RunAll(os.Stdout, opts); err != nil {
+	} else if err := sess.RunAll(ctx, os.Stdout, opts); err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))

@@ -6,11 +6,14 @@
 // file (link failures/restorations, prefix withdrawals/announcements,
 // policy edits) are applied to the converged state, the affected
 // prefixes are re-converged incrementally, a catchment-shift report is
-// printed, and the post-event snapshot is the one written out.
+// printed, and the post-event snapshot is the one written out. The
+// scenario runs through the sweep subsystem's single-scenario path
+// (internal/sweep.Apply), so a lone what-if and a cmd/sweep member
+// produce identical impact records. -j bounds simulation parallelism.
 //
 // Usage:
 //
-//	simulate [-ases 2000] [-seed 42] [-peers 56] -out table.mrt
+//	simulate [-ases 2000] [-seed 42] [-peers 56] [-j 8] -out table.mrt
 //	simulate -ases 800 -scenario events.json -out after.mrt
 //
 // An events.json looks like:
@@ -30,6 +33,7 @@ import (
 
 	"github.com/policyscope/policyscope/internal/routeviews"
 	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/sweep"
 	"github.com/policyscope/policyscope/internal/topogen"
 )
 
@@ -38,6 +42,7 @@ func main() {
 		ases     = flag.Int("ases", 2000, "number of ASes")
 		seed     = flag.Int64("seed", 42, "random seed")
 		peers    = flag.Int("peers", 56, "collector peers")
+		parallel = flag.Int("j", 0, "simulation worker parallelism (0 = GOMAXPROCS)")
 		out      = flag.String("out", "table.mrt", "output MRT file ('-' = stdout)")
 		scenario = flag.String("scenario", "", "what-if events JSON; the post-event snapshot is written")
 	)
@@ -48,7 +53,7 @@ func main() {
 		fail(err)
 	}
 	peerSet := routeviews.SelectPeers(topo, *peers)
-	opts := simulate.Options{VantagePoints: peerSet}
+	opts := simulate.Options{VantagePoints: peerSet, Parallelism: *parallel}
 
 	var res *simulate.Result
 	if *scenario == "" {
@@ -66,7 +71,9 @@ func main() {
 			fail(err)
 		}
 		start := time.Now()
-		delta, err := eng.Apply(sc)
+		// The sweep subsystem's single-scenario path: identical impact
+		// accounting whether a scenario runs alone or inside a fleet.
+		imp, delta, err := sweep.Apply(eng, sc, 10)
 		if err != nil {
 			fail(err)
 		}
@@ -75,9 +82,10 @@ func main() {
 			name = *scenario
 		}
 		fmt.Fprintf(os.Stderr,
-			"scenario %s: %d event(s), re-converged %d/%d prefixes in %v, %d AS-level best shifts\n",
+			"scenario %s: %d event(s), re-converged %d/%d prefixes in %v, %d AS-level best shifts, reach -%d/+%d\n",
 			name, len(sc.Events), delta.Recomputed, delta.TotalPrefixes,
-			time.Since(start).Round(time.Millisecond), delta.ShiftedASes())
+			time.Since(start).Round(time.Millisecond), imp.ShiftedASes,
+			imp.LostReachPairs, imp.GainedReachPairs)
 		for i, sh := range delta.Shifts {
 			if i >= 10 {
 				fmt.Fprintf(os.Stderr, "  ... %d more shifted prefixes\n", len(delta.Shifts)-10)

@@ -1,0 +1,185 @@
+// Command sweep runs a batch what-if sweep over a generated topology:
+// a declarative spec (or a -gen shorthand) expands into a scenario
+// family — every single-link failure, the de-peerings of a target AS,
+// prefix withdrawals, hijack grids, policy flips — and the sharded
+// executor runs them on -j worker-owned copy-on-write engine clones,
+// streaming per-scenario impact records and printing the final
+// aggregate.
+//
+// Usage:
+//
+//	sweep -ases 800 -seed 42 -j 8                       # all single-link failures
+//	sweep -gen all_provider_depeerings -as 64512        # one family by shorthand
+//	sweep -spec sweep.json -records records.ndjson      # full spec, records to file
+//	sweep -format text                                  # rendered aggregate tables
+//
+// Records stream in scenario index order (deterministic for a given
+// topology and spec regardless of -j). Progress goes to stderr; the
+// final stderr line is machine-readable:
+//
+//	sweep: scenarios=N workers=J elapsed_ms=T
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/routeviews"
+	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/sweep"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+func main() {
+	var (
+		ases      = flag.Int("ases", 800, "number of ASes")
+		seed      = flag.Int64("seed", 42, "random seed")
+		peers     = flag.Int("peers", 24, "collector peers (the sweep's vantage points)")
+		workers   = flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS)")
+		specPath  = flag.String("spec", "", "sweep spec JSON file ('-' = stdin)")
+		gen       = flag.String("gen", "", "generator shorthand instead of -spec (e.g. all_single_link_failures)")
+		genAS     = flag.Int("as", 0, "target AS for per-AS generators (-gen)")
+		genMax    = flag.Int("max", 0, "cap the generator's scenario count (-gen)")
+		genTier   = flag.Int("tier", 0, "restrict link failures to links touching this tier (-gen)")
+		records   = flag.String("records", "", "write per-scenario NDJSON records to this file ('-' = stdout)")
+		format    = flag.String("format", "json", "aggregate output: json or text")
+		topK      = flag.Int("top", 10, "aggregate top-k critical scenarios")
+		topShifts = flag.Int("top-shifts", 3, "per-record most-shifted prefix detail")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+	if *format != "json" && *format != "text" {
+		fail(fmt.Errorf("-format must be json or text"))
+	}
+	if *specPath != "" && *gen != "" {
+		fail(fmt.Errorf("-spec and -gen are mutually exclusive"))
+	}
+
+	spec, err := resolveSpec(*specPath, *gen, *genAS, *genMax, *genTier)
+	if err != nil {
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "sweep: generating and simulating %d ASes (seed %d)...\n", *ases, *seed)
+	topo, err := topogen.Generate(topogen.DefaultConfig(*ases, *seed))
+	if err != nil {
+		fail(err)
+	}
+	peerSet := routeviews.SelectPeers(topo, *peers)
+	base, err := simulate.NewEngine(topo, simulate.Options{VantagePoints: peerSet})
+	if err != nil {
+		fail(err)
+	}
+	scenarios, err := sweep.Expand(topo, spec)
+	if err != nil {
+		fail(err)
+	}
+
+	var recW *bufio.Writer
+	if *records != "" {
+		f := os.Stdout
+		if *records != "-" {
+			f, err = os.Create(*records)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+		}
+		recW = bufio.NewWriter(f)
+		defer recW.Flush()
+	}
+	var recEnc *json.Encoder
+	if recW != nil {
+		recEnc = json.NewEncoder(recW)
+	}
+
+	done := 0
+	step := len(scenarios) / 20
+	if step < 1 {
+		step = 1
+	}
+	start := time.Now()
+	opts := sweep.Options{Workers: *workers, TopShifts: *topShifts, TopK: *topK}
+	effectiveWorkers := opts.EffectiveWorkers(len(scenarios))
+	opts.OnImpact = func(imp *sweep.Impact) error {
+		if recEnc != nil {
+			if err := recEnc.Encode(imp); err != nil {
+				return err
+			}
+		}
+		done++
+		if !*quiet && (done%step == 0 || done == len(scenarios)) {
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios (%.0f%%), %v elapsed\n",
+				done, len(scenarios), 100*float64(done)/float64(len(scenarios)),
+				time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	}
+	agg, err := sweep.Run(ctx, base, scenarios, opts)
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+	if recW != nil {
+		if err := recW.Flush(); err != nil {
+			fail(err)
+		}
+	}
+
+	// Records on stdout imply NDJSON mode: the aggregate then only
+	// reaches stderr, keeping the record stream pure.
+	if *records != "-" {
+		if *format == "text" {
+			if err := (policyscope.SweepResult{Spec: spec, Aggregate: agg}).Render(os.Stdout); err != nil {
+				fail(err)
+			}
+		} else {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(agg); err != nil {
+				fail(err)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep: scenarios=%d workers=%d elapsed_ms=%d\n",
+		agg.Scenarios, effectiveWorkers, elapsed.Milliseconds())
+}
+
+// resolveSpec builds the sweep spec from -spec, -gen, or the default
+// (every single-link failure).
+func resolveSpec(specPath, gen string, genAS, genMax, genTier int) (sweep.Spec, error) {
+	switch {
+	case specPath == "-":
+		return sweep.Load(os.Stdin)
+	case specPath != "":
+		return sweep.LoadFile(specPath)
+	case gen != "":
+		return sweep.Spec{
+			Name: gen,
+			Generators: []sweep.Generator{{
+				Kind: gen, AS: bgp.ASN(genAS), Max: genMax, Tier: genTier,
+			}},
+		}, nil
+	default:
+		return sweep.Spec{
+			Name:       "all-single-link-failures",
+			Generators: []sweep.Generator{{Kind: sweep.KindAllSingleLinkFailures, Max: genMax, Tier: genTier}},
+		}, nil
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+	os.Exit(1)
+}

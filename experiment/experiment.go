@@ -13,6 +13,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -47,9 +48,12 @@ type Experiment[S any] struct {
 	// struct carrying the experiment's defaults, or nil when the
 	// experiment takes no parameters.
 	NewParams func() any
-	// Run executes the experiment. params is either nil (use defaults)
-	// or a pointer of the type NewParams returns.
-	Run func(ctx S, params any) (Result, error)
+	// Run executes the experiment. ctx carries cancellation from the
+	// caller (a disconnected HTTP client, an interrupted CLI);
+	// long-running experiments are expected to honor it. params is
+	// either nil (use defaults) or a pointer of the type NewParams
+	// returns.
+	Run func(ctx context.Context, s S, params any) (Result, error)
 }
 
 // Info is the serializable catalog row (what a server lists).
@@ -159,7 +163,7 @@ func (e *ParamError) Unwrap() error { return e.Err }
 
 // RunJSON runs the named experiment with parameters decoded strictly
 // from raw (empty raw, "null" or "{}" keep the defaults).
-func (r *Registry[S]) RunJSON(ctx S, name string, raw []byte) (Result, error) {
+func (r *Registry[S]) RunJSON(ctx context.Context, s S, name string, raw []byte) (Result, error) {
 	e, ok := r.Get(name)
 	if !ok {
 		return nil, &NotFoundError{Name: name}
@@ -176,12 +180,15 @@ func (r *Registry[S]) RunJSON(ctx S, name string, raw []byte) (Result, error) {
 		!bytes.Equal(bytes.TrimSpace(raw), []byte("{}")) {
 		return nil, &ParamError{Name: name, Err: fmt.Errorf("experiment takes no parameters")}
 	}
-	return e.Run(ctx, params)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, s, params)
 }
 
 // RunKV runs the named experiment with key=value parameter overrides
 // (the CLI flag form).
-func (r *Registry[S]) RunKV(ctx S, name string, kv []string) (Result, error) {
+func (r *Registry[S]) RunKV(ctx context.Context, s S, name string, kv []string) (Result, error) {
 	e, ok := r.Get(name)
 	if !ok {
 		return nil, &NotFoundError{Name: name}
@@ -204,7 +211,10 @@ func (r *Registry[S]) RunKV(ctx S, name string, kv []string) (Result, error) {
 			}
 		}
 	}
-	return e.Run(ctx, params)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, s, params)
 }
 
 // DecodeJSON decodes raw strictly (unknown fields rejected) into the

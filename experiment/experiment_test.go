@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,7 +10,7 @@ import (
 	"testing"
 )
 
-type fakeCtx struct{ calls int }
+type fakeSession struct{ calls int }
 
 type echoParams struct {
 	N     int     `json:"n"`
@@ -27,9 +28,9 @@ func (r echoResult) Render(w io.Writer) error {
 	return err
 }
 
-func testRegistry() *Registry[*fakeCtx] {
-	r := NewRegistry[*fakeCtx]()
-	r.MustRegister(Experiment[*fakeCtx]{
+func testRegistry() *Registry[*fakeSession] {
+	r := NewRegistry[*fakeSession]()
+	r.MustRegister(Experiment[*fakeSession]{
 		Name:  "echo",
 		Title: "echoes its params",
 		Group: "test",
@@ -37,17 +38,17 @@ func testRegistry() *Registry[*fakeCtx] {
 		NewParams: func() any {
 			return &echoParams{N: 7, Name: "default", Share: 0.5}
 		},
-		Run: func(ctx *fakeCtx, params any) (Result, error) {
-			ctx.calls++
+		Run: func(_ context.Context, s *fakeSession, params any) (Result, error) {
+			s.calls++
 			return echoResult{Params: *params.(*echoParams)}, nil
 		},
 	})
-	r.MustRegister(Experiment[*fakeCtx]{
+	r.MustRegister(Experiment[*fakeSession]{
 		Name:  "bare",
 		Title: "takes no params",
 		Group: "test",
 		Order: 1,
-		Run: func(ctx *fakeCtx, params any) (Result, error) {
+		Run: func(context.Context, *fakeSession, any) (Result, error) {
 			return echoResult{}, nil
 		},
 	})
@@ -72,10 +73,10 @@ func TestRegistryOrderAndLookup(t *testing.T) {
 }
 
 func TestMustRegisterPanics(t *testing.T) {
-	for _, e := range []Experiment[*fakeCtx]{
-		{Name: "", Run: func(*fakeCtx, any) (Result, error) { return nil, nil }},
+	for _, e := range []Experiment[*fakeSession]{
+		{Name: "", Run: func(context.Context, *fakeSession, any) (Result, error) { return nil, nil }},
 		{Name: "norun"},
-		{Name: "echo", Run: func(*fakeCtx, any) (Result, error) { return nil, nil }},
+		{Name: "echo", Run: func(context.Context, *fakeSession, any) (Result, error) { return nil, nil }},
 	} {
 		r := testRegistry()
 		func() {
@@ -91,8 +92,8 @@ func TestMustRegisterPanics(t *testing.T) {
 
 func TestRunJSON(t *testing.T) {
 	r := testRegistry()
-	ctx := &fakeCtx{}
-	res, err := r.RunJSON(ctx, "echo", []byte(`{"n": 3, "deep": [1, 2]}`))
+	sess := &fakeSession{}
+	res, err := r.RunJSON(context.Background(), sess, "echo", []byte(`{"n": 3, "deep": [1, 2]}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestRunJSON(t *testing.T) {
 		t.Fatalf("params = %+v (defaults must survive partial JSON)", got)
 	}
 	// Defaults when body empty.
-	res, err = r.RunJSON(ctx, "echo", nil)
+	res, err = r.RunJSON(context.Background(), sess, "echo", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,28 +110,28 @@ func TestRunJSON(t *testing.T) {
 		t.Fatalf("defaults not applied: %+v", res)
 	}
 	// Unknown field rejected.
-	if _, err := r.RunJSON(ctx, "echo", []byte(`{"bogus": 1}`)); err == nil {
+	if _, err := r.RunJSON(context.Background(), sess, "echo", []byte(`{"bogus": 1}`)); err == nil {
 		t.Fatal("unknown field accepted")
 	}
 	// Unknown experiment is a typed error.
 	var nf *NotFoundError
-	if _, err := r.RunJSON(ctx, "nope", nil); !errors.As(err, &nf) {
+	if _, err := r.RunJSON(context.Background(), sess, "nope", nil); !errors.As(err, &nf) {
 		t.Fatalf("want NotFoundError, got %v", err)
 	}
 	// Param-less experiment rejects a non-empty body...
-	if _, err := r.RunJSON(ctx, "bare", []byte(`{"n": 1}`)); err == nil {
+	if _, err := r.RunJSON(context.Background(), sess, "bare", []byte(`{"n": 1}`)); err == nil {
 		t.Fatal("bare accepted params")
 	}
 	// ...but tolerates an empty object.
-	if _, err := r.RunJSON(ctx, "bare", []byte(` {} `)); err != nil {
+	if _, err := r.RunJSON(context.Background(), sess, "bare", []byte(` {} `)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunKVAndSet(t *testing.T) {
 	r := testRegistry()
-	ctx := &fakeCtx{}
-	res, err := r.RunKV(ctx, "echo", []string{"n=9", "name=kv", "share=0.25", "deep=[4,5,6]"})
+	sess := &fakeSession{}
+	res, err := r.RunKV(context.Background(), sess, "echo", []string{"n=9", "name=kv", "share=0.25", "deep=[4,5,6]"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,17 +147,33 @@ func TestRunKVAndSet(t *testing.T) {
 	if err := Set(p, "bogus", "1"); err == nil || !strings.Contains(err.Error(), "unknown parameter") {
 		t.Fatalf("unknown key error = %v", err)
 	}
-	if _, err := r.RunKV(ctx, "echo", []string{"not-a-pair"}); err == nil {
+	if _, err := r.RunKV(context.Background(), sess, "echo", []string{"not-a-pair"}); err == nil {
 		t.Fatal("malformed pair accepted")
 	}
-	if _, err := r.RunKV(ctx, "bare", []string{"n=1"}); err == nil {
+	if _, err := r.RunKV(context.Background(), sess, "bare", []string{"n=1"}); err == nil {
 		t.Fatal("param-less experiment accepted kv")
+	}
+}
+
+func TestRunHonorsCanceledContext(t *testing.T) {
+	r := testRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess := &fakeSession{}
+	if _, err := r.RunJSON(ctx, sess, "echo", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if sess.calls != 0 {
+		t.Fatal("experiment ran despite canceled context")
+	}
+	if _, err := r.RunKV(ctx, sess, "echo", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }
 
 func TestResultRenders(t *testing.T) {
 	r := testRegistry()
-	res, err := r.RunJSON(&fakeCtx{}, "echo", nil)
+	res, err := r.RunJSON(context.Background(), &fakeSession{}, "echo", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -291,6 +291,29 @@ func (g *Graph) NumNodes() int { return len(g.nodes) }
 // NumEdges returns the edge count.
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
+// Edge is one undirected session of the graph with A < B; Rel states
+// what B is to A (the AddEdge/RemoveEdge orientation).
+type Edge struct {
+	A, B bgp.ASN
+	Rel  Relationship
+}
+
+// Edges returns every edge in deterministic (A, B) ascending order —
+// the canonical enumeration sweep generators and serializers iterate.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for k, rel := range g.edges {
+		out = append(out, Edge{A: k[0], B: k[1], Rel: rel})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
 func sortedCopy(in []bgp.ASN) []bgp.ASN {
 	if len(in) == 0 {
 		return nil

@@ -258,6 +258,10 @@ type PrefixShift struct {
 	Shifted int
 	// Lost / Gained count ASes that lost or gained any route.
 	Lost, Gained int
+	// Vantage lists the vantage-point ASes whose best next hop for the
+	// prefix changed, ascending. Sweep aggregation builds its
+	// per-vantage summaries from it.
+	Vantage []bgp.ASN `json:",omitempty"`
 }
 
 // ReachDelta records a prefix whose AS-level reachability changed.
@@ -327,6 +331,19 @@ func (en *Engine) Topology() *topogen.Topology { return en.topo }
 // by subsequent Apply calls.
 func (en *Engine) Result() *Result {
 	return en.e.buildResult(en.unconvergedList())
+}
+
+// UnconvergedCount reports how many prefixes hit the activation budget
+// without converging. The sweep executor compares it against the base
+// engine's count to decide whether a rollback restored a clean state.
+func (en *Engine) UnconvergedCount() int { return len(en.unconv) }
+
+// SetParallelism rebounds the per-Apply prefix worker count (0 =
+// GOMAXPROCS). A sweep executor sets its worker clones to 1 so the
+// parallelism lives across scenarios, not inside each one.
+func (en *Engine) SetParallelism(n int) {
+	en.opts.Parallelism = n
+	en.e.opts.Parallelism = n
 }
 
 func (en *Engine) unconvergedList() []netx.Prefix {
@@ -405,16 +422,20 @@ func (en *Engine) Apply(sc Scenario) (*Delta, error) {
 			// Record the catchment loss before the state disappears.
 			pi := e.prefixIdx[ev.Prefix]
 			lost := 0
-			for _, f := range e.track[pi] {
+			var vantage []bgp.ASN
+			for i, f := range e.track[pi] {
 				if f != trackNone {
 					lost++
+					if e.vantage[i] {
+						vantage = append(vantage, e.asns[i])
+					}
 				}
 			}
 			before := int(e.reachCounts[pi])
 			if lost > 0 {
 				delta.Shifts = append(delta.Shifts, PrefixShift{
 					Prefix: ev.Prefix, Origin: en.topo.PrefixOrigin[ev.Prefix],
-					Shifted: lost, Lost: lost,
+					Shifted: lost, Lost: lost, Vantage: vantage,
 				})
 			}
 			if before != 0 {
@@ -465,14 +486,18 @@ func (en *Engine) Apply(sc Scenario) (*Delta, error) {
 			}
 			pi := e.prefixIdx[p]
 			gained := 0
-			for _, f := range e.track[pi] {
+			var vantage []bgp.ASN
+			for i, f := range e.track[pi] {
 				if f != trackNone {
 					gained++
+					if e.vantage[i] {
+						vantage = append(vantage, e.asns[i])
+					}
 				}
 			}
 			delta.Shifts = append(delta.Shifts, PrefixShift{
 				Prefix: p, Origin: en.topo.PrefixOrigin[p],
-				Shifted: gained, Gained: gained,
+				Shifted: gained, Gained: gained, Vantage: vantage,
 			})
 			if after := int(e.reachCounts[pi]); after != 0 {
 				delta.ReachDeltas = append(delta.ReachDeltas, ReachDelta{Prefix: p, After: after})
@@ -1074,6 +1099,9 @@ func (en *Engine) captureIncremental(st *workerState, prefix netx.Prefix) (Prefi
 			if oldFrom == trackNone && newFrom != trackNone {
 				shift.Gained++
 			}
+			if e.vantage[int(i)] {
+				shift.Vantage = append(shift.Vantage, e.asns[i])
+			}
 		}
 		if oldFrom != trackNone {
 			reachDelta--
@@ -1104,6 +1132,9 @@ func (en *Engine) captureIncremental(st *workerState, prefix netx.Prefix) (Prefi
 	}
 	before := int(e.reachCounts[pi])
 	e.reachCounts[pi] += int64(reachDelta)
+	// Touched order is propagation order; vantage identities sort for a
+	// deterministic record.
+	sort.Slice(shift.Vantage, func(a, b int) bool { return shift.Vantage[a] < shift.Vantage[b] })
 	return shift, ReachDelta{Prefix: prefix, Before: before, After: before + reachDelta}
 }
 

@@ -1,0 +1,200 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/simulate"
+)
+
+// Options configures one sweep run.
+type Options struct {
+	// Workers is the shard count (each worker owns one copy-on-write
+	// engine clone); <= 0 uses GOMAXPROCS.
+	Workers int
+	// TopShifts bounds each record's per-prefix detail (default 3;
+	// negative keeps none).
+	TopShifts int
+	// TopK bounds the aggregate's critical-scenario lists (default 10).
+	TopK int
+	// OnImpact, when set, receives every record strictly in scenario
+	// index order (calls are serialized). Returning an error aborts the
+	// sweep — the streaming server uses this to stop on a dead client.
+	OnImpact func(*Impact) error
+}
+
+// EffectiveWorkers resolves the shard count actually used for an
+// n-scenario sweep: Workers, defaulted to GOMAXPROCS, capped at n.
+func (o Options) EffectiveWorkers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o Options) topShifts() int {
+	if o.TopShifts == 0 {
+		return 3
+	}
+	return o.TopShifts
+}
+
+// Run executes every scenario against base's converged state and
+// returns the streamed aggregate. Each worker clones the base engine
+// once (copy-on-write: the heavy best forest and vantage tables stay
+// shared until written), pulls scenarios from a shared queue, applies
+// each one incrementally, and rolls the clone back by applying the
+// inverse events — falling back to a fresh clone when a scenario is
+// not invertible (policy edits) or a rollback cannot be proven clean.
+//
+// Records are deterministic and identically ordered regardless of
+// Workers: every scenario observes the pristine base state, and
+// emission (OnImpact + aggregation) happens strictly in scenario index
+// order. The base engine itself is never mutated.
+func Run(ctx context.Context, base *simulate.Engine, scenarios []simulate.Scenario, opts Options) (*Aggregate, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("sweep: no scenarios")
+	}
+	workers := opts.EffectiveWorkers(len(scenarios))
+	topShifts := opts.topShifts()
+
+	em := &emitter{
+		agg:     newAggregator(opts.TopK),
+		pending: make(map[int]*Impact),
+		sink:    opts.OnImpact,
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	baseUnconv := base.UnconvergedCount()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var eng *simulate.Engine
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(scenarios) || ctx.Err() != nil || em.aborted() {
+					return
+				}
+				sc := scenarios[i]
+				if eng == nil {
+					eng = base.Clone()
+					// Parallelism lives across scenarios, not inside
+					// each incremental apply.
+					eng.SetParallelism(1)
+				}
+				inv, invertible := invertScenario(eng, sc)
+				imp, _, err := Apply(eng, sc, topShifts)
+				switch {
+				case err != nil:
+					// Validation failures leave the engine untouched
+					// (Apply validates before mutating).
+					imp = &Impact{Name: sc.Name, Events: len(sc.Events), Error: err.Error()}
+				case invertible:
+					if _, rbErr := eng.Apply(inv); rbErr != nil || eng.UnconvergedCount() != baseUnconv {
+						eng = nil // rollback not provably clean: re-clone
+					}
+				default:
+					eng = nil // policy edits have no inverse event: re-clone
+				}
+				imp.Index = i
+				em.emit(i, imp)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := em.sinkErr; err != nil {
+		return nil, fmt.Errorf("sweep: emitting record: %w", err)
+	}
+	return em.agg.aggregate(), nil
+}
+
+// emitter re-serializes out-of-order worker completions into strict
+// scenario index order before they reach the aggregator and the
+// caller's sink.
+type emitter struct {
+	mu       sync.Mutex
+	pending  map[int]*Impact
+	nextEmit int
+	agg      *aggregator
+	sink     func(*Impact) error
+	sinkErr  error
+	abort    atomic.Bool
+}
+
+func (em *emitter) aborted() bool { return em.abort.Load() }
+
+func (em *emitter) emit(i int, imp *Impact) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.pending[i] = imp
+	for {
+		ready, ok := em.pending[em.nextEmit]
+		if !ok {
+			return
+		}
+		delete(em.pending, em.nextEmit)
+		em.nextEmit++
+		em.agg.add(ready)
+		if em.sink != nil && em.sinkErr == nil {
+			if err := em.sink(ready); err != nil {
+				em.sinkErr = err
+				em.abort.Store(true)
+			}
+		}
+	}
+}
+
+// invertScenario builds the event batch that returns the engine to its
+// pre-scenario state, reading the pre-apply topology for the link
+// relationships the inverse needs. ok is false when any event has no
+// faithful inverse: policy edits (the old policy value is not
+// expressible as an event) and withdrawals — RemovePrefix erases the
+// origin's per-prefix selective-announcement and no-upstream export
+// policy, which a re-announce cannot restore, so a withdraw (and hence
+// a hijack) rolls back by re-cloning. The mixed-family determinism
+// property test guards exactly this.
+func invertScenario(eng *simulate.Engine, sc simulate.Scenario) (simulate.Scenario, bool) {
+	topo := eng.Topology()
+	inv := make([]simulate.Event, 0, len(sc.Events))
+	for _, ev := range sc.Events {
+		switch ev.Kind {
+		case simulate.EventLinkFail:
+			rel := topo.Graph.Rel(ev.A, ev.B)
+			if rel == asgraph.RelNone {
+				return simulate.Scenario{}, false
+			}
+			inv = append(inv, simulate.RestoreLink(ev.A, ev.B, rel))
+		case simulate.EventLinkRestore:
+			inv = append(inv, simulate.FailLink(ev.A, ev.B))
+		case simulate.EventAnnounce:
+			// A freshly announced prefix has no export-policy state, so
+			// withdrawing it is a clean inverse.
+			inv = append(inv, simulate.WithdrawPrefix(ev.Prefix))
+		default:
+			return simulate.Scenario{}, false
+		}
+	}
+	// Undo in reverse order so multi-event batches (e.g. a hijack's
+	// withdraw + announce) unwind correctly.
+	for l, r := 0, len(inv)-1; l < r; l, r = l+1, r-1 {
+		inv[l], inv[r] = inv[r], inv[l]
+	}
+	return simulate.Scenario{Name: "rollback:" + sc.Name, Events: inv}, true
+}

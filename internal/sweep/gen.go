@@ -1,0 +1,239 @@
+package sweep
+
+import (
+	"fmt"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// Expand enumerates the spec's scenario families against topo. The
+// result is deterministic: generators expand in spec order, and each
+// family iterates the topology in its canonical order (edges ascending,
+// prefixes in Compare order, neighbor/provider lists ascending). Every
+// scenario carries a stable generated name ("link_fail:64512-64513").
+func Expand(topo *topogen.Topology, sp Spec) ([]simulate.Scenario, error) {
+	var out []simulate.Scenario
+	for gi, g := range sp.Generators {
+		scs, err := expandOne(topo, g)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: generator %d (%s): %w", gi, g.Kind, err)
+		}
+		if g.Max > 0 && len(scs) > g.Max {
+			scs = scs[:g.Max]
+		}
+		out = append(out, scs...)
+	}
+	if sp.MaxScenarios > 0 && len(out) > sp.MaxScenarios {
+		out = out[:sp.MaxScenarios]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: spec expands to no scenarios")
+	}
+	return out, nil
+}
+
+func expandOne(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+	switch g.Kind {
+	case KindAllSingleLinkFailures:
+		return genLinkFailures(topo, g)
+	case KindAllProviderDepeerings:
+		return genDepeerings(topo, g)
+	case KindPrefixWithdrawals:
+		return genWithdrawals(topo, g)
+	case KindHijacks:
+		return genHijacks(topo, g)
+	case KindLocalPrefFlips:
+		return genLocalPrefFlips(topo, g)
+	case KindNoUpstreamFlips:
+		return genNoUpstreamFlips(topo, g)
+	case KindScenarios:
+		if len(g.Scenarios) == 0 {
+			return nil, fmt.Errorf("no scenarios listed")
+		}
+		for i, sc := range g.Scenarios {
+			if len(sc.Events) == 0 {
+				return nil, fmt.Errorf("scenario %d has no events", i)
+			}
+		}
+		return g.Scenarios, nil
+	default:
+		return nil, fmt.Errorf("unknown generator kind %q", g.Kind)
+	}
+}
+
+func genLinkFailures(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+	var out []simulate.Scenario
+	for _, e := range topo.Graph.Edges() {
+		if g.Tier > 0 && tierOf(topo, e.A) != g.Tier && tierOf(topo, e.B) != g.Tier {
+			continue
+		}
+		out = append(out, simulate.Scenario{
+			Name:   fmt.Sprintf("link_fail:%d-%d", e.A, e.B),
+			Events: []simulate.Event{simulate.FailLink(e.A, e.B)},
+		})
+	}
+	return out, nil
+}
+
+func genDepeerings(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+	if g.AS == 0 {
+		return nil, fmt.Errorf("requires a target \"as\"")
+	}
+	if _, ok := topo.ASes[g.AS]; !ok {
+		return nil, fmt.Errorf("unknown AS %d", g.AS)
+	}
+	providers := topo.Graph.Providers(g.AS)
+	if len(providers) == 0 {
+		return nil, fmt.Errorf("AS %d has no providers", g.AS)
+	}
+	out := make([]simulate.Scenario, 0, len(providers))
+	for _, p := range providers {
+		out = append(out, simulate.Scenario{
+			Name:   fmt.Sprintf("depeer:%d:%d", g.AS, p),
+			Events: []simulate.Event{simulate.FailLink(g.AS, p)},
+		})
+	}
+	return out, nil
+}
+
+// subjectPrefixes resolves a generator's prefix filter to a sorted,
+// validated prefix list (default: every originated prefix).
+func subjectPrefixes(topo *topogen.Topology, g Generator) ([]netx.Prefix, error) {
+	if len(g.Prefixes) > 0 {
+		out := append([]netx.Prefix(nil), g.Prefixes...)
+		for _, p := range out {
+			if _, ok := topo.PrefixOrigin[p]; !ok {
+				return nil, fmt.Errorf("prefix %v is not originated", p)
+			}
+		}
+		netx.SortPrefixes(out)
+		return out, nil
+	}
+	origins := make(map[bgp.ASN]bool, len(g.Origins))
+	for _, o := range g.Origins {
+		if _, ok := topo.ASes[o]; !ok {
+			return nil, fmt.Errorf("unknown origin AS %d", o)
+		}
+		origins[o] = true
+	}
+	out := make([]netx.Prefix, 0, len(topo.PrefixOrigin))
+	for p, o := range topo.PrefixOrigin {
+		if len(origins) > 0 && !origins[o] {
+			continue
+		}
+		out = append(out, p)
+	}
+	netx.SortPrefixes(out)
+	return out, nil
+}
+
+func genWithdrawals(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+	prefixes, err := subjectPrefixes(topo, g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]simulate.Scenario, 0, len(prefixes))
+	for _, p := range prefixes {
+		out = append(out, simulate.Scenario{
+			Name:   fmt.Sprintf("withdraw:%v", p),
+			Events: []simulate.Event{simulate.WithdrawPrefix(p)},
+		})
+	}
+	return out, nil
+}
+
+func genHijacks(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+	if len(g.Attackers) == 0 {
+		return nil, fmt.Errorf("requires \"attackers\"")
+	}
+	for _, a := range g.Attackers {
+		if _, ok := topo.ASes[a]; !ok {
+			return nil, fmt.Errorf("unknown attacker AS %d", a)
+		}
+	}
+	prefixes, err := subjectPrefixes(topo, g)
+	if err != nil {
+		return nil, err
+	}
+	var out []simulate.Scenario
+	for _, p := range prefixes {
+		origin := topo.PrefixOrigin[p]
+		for _, a := range g.Attackers {
+			if a == origin {
+				continue
+			}
+			out = append(out, simulate.Scenario{
+				Name: fmt.Sprintf("hijack:%v:%d", p, a),
+				Events: []simulate.Event{
+					simulate.WithdrawPrefix(p),
+					simulate.AnnouncePrefix(p, a),
+				},
+			})
+		}
+	}
+	return out, nil
+}
+
+func genLocalPrefFlips(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+	if g.AS == 0 {
+		return nil, fmt.Errorf("requires a target \"as\"")
+	}
+	if _, ok := topo.ASes[g.AS]; !ok {
+		return nil, fmt.Errorf("unknown AS %d", g.AS)
+	}
+	if len(g.Values) == 0 {
+		return nil, fmt.Errorf("requires \"values\"")
+	}
+	neighbors := g.Neighbors
+	if len(neighbors) == 0 {
+		neighbors = topo.Graph.Neighbors(g.AS)
+	}
+	if len(neighbors) == 0 {
+		return nil, fmt.Errorf("AS %d has no neighbors", g.AS)
+	}
+	var out []simulate.Scenario
+	for _, n := range neighbors {
+		if topo.Graph.Rel(g.AS, n) == asgraph.RelNone {
+			return nil, fmt.Errorf("AS %d has no session with %d", g.AS, n)
+		}
+		for _, v := range g.Values {
+			out = append(out, simulate.Scenario{
+				Name:   fmt.Sprintf("local_pref:%d:%d=%d", g.AS, n, v),
+				Events: []simulate.Event{simulate.SetLocalPref(g.AS, n, v)},
+			})
+		}
+	}
+	return out, nil
+}
+
+func genNoUpstreamFlips(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+	prefixes, err := subjectPrefixes(topo, g)
+	if err != nil {
+		return nil, err
+	}
+	var out []simulate.Scenario
+	for _, p := range prefixes {
+		origin := topo.PrefixOrigin[p]
+		for _, prov := range topo.Graph.Providers(origin) {
+			out = append(out, simulate.Scenario{
+				Name:   fmt.Sprintf("no_upstream:%v:%d", p, prov),
+				Events: []simulate.Event{simulate.TagNoUpstream(p, prov)},
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no (prefix, provider) pairs to tag")
+	}
+	return out, nil
+}
+
+func tierOf(topo *topogen.Topology, asn bgp.ASN) int {
+	if info, ok := topo.ASes[asn]; ok {
+		return info.Tier
+	}
+	return 0
+}

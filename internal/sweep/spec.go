@@ -1,0 +1,127 @@
+// Package sweep turns the one-shot what-if engine into a batch fleet:
+// a declarative spec enumerates whole scenario families from the
+// topology (every single-link failure, every de-peering of a target
+// AS, prefix-withdrawal and hijack grids, policy flips), a sharded
+// executor runs them across worker-owned copy-on-write engine clones
+// with incremental apply-and-rollback, and an online aggregator folds
+// the per-scenario impact records into histograms, top-k critical
+// scenarios and per-vantage summaries.
+//
+// The per-scenario records are deterministic and identically ordered
+// regardless of worker count — the executor emits them in scenario
+// index order, and each scenario always runs against the pristine base
+// state (a rollback that cannot be proven clean discards the clone).
+// The exhaustive counterfactual shape follows the catchment-inference
+// literature (Sermpezis & Kotronis) and nation-state routing
+// counterfactuals (Karlin et al.).
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+	"github.com/policyscope/policyscope/internal/simulate"
+)
+
+// Generator kinds. Each expands into a deterministic scenario list
+// against a concrete topology (see Expand).
+const (
+	// KindAllSingleLinkFailures fails every session of the graph, one
+	// scenario per edge, in canonical (A, B) ascending order. Tier
+	// restricts to links touching an AS of that tier; Max caps output.
+	KindAllSingleLinkFailures = "all_single_link_failures"
+	// KindAllProviderDepeerings fails, one at a time, every provider
+	// link of the target AS (field "as") — the de-peering blast radius
+	// of a multihomed customer.
+	KindAllProviderDepeerings = "all_provider_depeerings"
+	// KindPrefixWithdrawals withdraws each originated prefix (filtered
+	// by Origins and/or Prefixes, capped by Max).
+	KindPrefixWithdrawals = "prefix_withdrawals"
+	// KindHijacks is the cartesian grid prefixes x attackers: each
+	// scenario withdraws the prefix at its origin and re-originates it
+	// at the attacker (an origin-takeover hijack).
+	KindHijacks = "hijacks"
+	// KindLocalPrefFlips is the cartesian grid neighbors x values for
+	// the target AS (field "as"): each scenario overrides the local
+	// preference the AS assigns to one neighbor's routes. Empty
+	// Neighbors means every neighbor of the AS.
+	KindLocalPrefFlips = "local_pref_flips"
+	// KindNoUpstreamFlips tags, per scenario, one (prefix, provider)
+	// pair with the scoped no-upstream community at the prefix's origin
+	// — the community-flip counterpart of the local-pref grid.
+	KindNoUpstreamFlips = "no_upstream_flips"
+	// KindScenarios passes an explicit scenario list through verbatim.
+	KindScenarios = "scenarios"
+)
+
+// Generator is one scenario-family entry of a sweep spec. Kind selects
+// the family; the other fields parameterize it (unused fields are
+// ignored by the kinds that do not read them, but unknown JSON keys are
+// rejected at load time).
+type Generator struct {
+	Kind string `json:"kind"`
+	// AS targets per-AS families (provider de-peerings, local-pref
+	// flips).
+	AS bgp.ASN `json:"as,omitempty"`
+	// Tier restricts link-failure families to links touching an AS of
+	// this tier (1 = clique, 2 = transit, 3 = edge; 0 = no filter).
+	Tier int `json:"tier,omitempty"`
+	// Max caps this generator's scenario count (0 = unlimited).
+	Max int `json:"max,omitempty"`
+	// Origins restricts prefix families to prefixes originated by
+	// these ASes.
+	Origins []bgp.ASN `json:"origins,omitempty"`
+	// Prefixes restricts prefix families to exactly these prefixes.
+	Prefixes []netx.Prefix `json:"prefixes,omitempty"`
+	// Attackers are the hijacking origins of the hijack grid.
+	Attackers []bgp.ASN `json:"attackers,omitempty"`
+	// Neighbors are the sessions of the local-pref grid (empty = all
+	// neighbors of AS).
+	Neighbors []bgp.ASN `json:"neighbors,omitempty"`
+	// Values are the local preferences of the local-pref grid.
+	Values []uint32 `json:"values,omitempty"`
+	// Scenarios is the explicit event list of KindScenarios.
+	Scenarios []simulate.Scenario `json:"scenarios,omitempty"`
+}
+
+// Spec is a declarative sweep: a name, the generators to expand (in
+// order), and an overall cap.
+type Spec struct {
+	Name       string      `json:"name,omitempty"`
+	Generators []Generator `json:"generators"`
+	// MaxScenarios caps the expanded sweep after all generators ran
+	// (0 = unlimited).
+	MaxScenarios int `json:"max_scenarios,omitempty"`
+}
+
+// Load reads a Spec from JSON (strict: unknown fields rejected).
+func Load(r io.Reader) (Spec, error) {
+	var sp Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return Spec{}, fmt.Errorf("sweep: bad spec: %w", err)
+	}
+	return sp, nil
+}
+
+// LoadFile reads a Spec from a JSON file.
+func LoadFile(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// WriteJSON renders the spec as indented JSON, the format Load reads.
+func (sp Spec) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sp)
+}

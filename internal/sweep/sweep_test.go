@@ -1,0 +1,361 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// buildTestTopo generates a small Internet plus vantage options, the
+// same shape the scenario-engine property tests use.
+func buildTestTopo(t testing.TB, ases int, seed int64) (*topogen.Topology, simulate.Options) {
+	t.Helper()
+	topo, err := topogen.Generate(topogen.DefaultConfig(ases, seed))
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	vantage := make([]bgp.ASN, 0, 8)
+	for i, asn := range topo.Order {
+		if i%11 == 0 && len(vantage) < 8 {
+			vantage = append(vantage, asn)
+		}
+	}
+	return topo, simulate.Options{VantagePoints: vantage}
+}
+
+func newBase(t testing.TB, topo *topogen.Topology, opts simulate.Options) *simulate.Engine {
+	t.Helper()
+	base, err := simulate.NewEngine(topo, opts)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	return base
+}
+
+// serialImpacts is the reference the executor must match bit for bit:
+// each scenario on its own independent engine over the base state.
+func serialImpacts(t *testing.T, base *simulate.Engine, scenarios []simulate.Scenario, topShifts int) []*Impact {
+	t.Helper()
+	out := make([]*Impact, len(scenarios))
+	for i, sc := range scenarios {
+		eng := base.Clone()
+		eng.SetParallelism(1)
+		imp, _, err := Apply(eng, sc, topShifts)
+		if err != nil {
+			imp = &Impact{Name: sc.Name, Events: len(sc.Events), Error: err.Error()}
+		}
+		imp.Index = i
+		out[i] = imp
+	}
+	return out
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(b)
+}
+
+// runCollect executes the sweep and returns the streamed records plus
+// the aggregate.
+func runCollect(t *testing.T, base *simulate.Engine, scenarios []simulate.Scenario, workers int) ([]*Impact, *Aggregate) {
+	t.Helper()
+	var records []*Impact
+	agg, err := Run(context.Background(), base, scenarios, Options{
+		Workers: workers,
+		OnImpact: func(imp *Impact) error {
+			records = append(records, imp)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("run (workers=%d): %v", workers, err)
+	}
+	return records, agg
+}
+
+// TestSingleLinkFailureSweepDeterminism is the headline property: a
+// full single-link-failure sweep produces bit-identical per-scenario
+// records to N independent serial engine runs, across worker counts
+// {1, 4, 8} and three seeds — and the aggregates agree too. A sampled
+// subset is additionally checked against a from-scratch engine of the
+// mutated topology (full resimulation), closing the loop on rollback
+// fidelity.
+func TestSingleLinkFailureSweepDeterminism(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			topo, opts := buildTestTopo(t, 70, seed)
+			base := newBase(t, topo, opts)
+			scenarios, err := Expand(topo, Spec{Generators: []Generator{
+				{Kind: KindAllSingleLinkFailures},
+			}})
+			if err != nil {
+				t.Fatalf("expand: %v", err)
+			}
+			if len(scenarios) != topo.Graph.NumEdges() {
+				t.Fatalf("expanded %d scenarios for %d edges", len(scenarios), topo.Graph.NumEdges())
+			}
+			want := serialImpacts(t, base, scenarios, 3)
+			wantJSON := mustJSON(t, want)
+			var firstAgg string
+			for _, workers := range []int{1, 4, 8} {
+				records, agg := runCollect(t, base, scenarios, workers)
+				if got := mustJSON(t, records); got != wantJSON {
+					t.Fatalf("workers=%d: records differ from serial reference\ngot:  %.400s\nwant: %.400s",
+						workers, got, wantJSON)
+				}
+				aggJSON := mustJSON(t, agg)
+				if firstAgg == "" {
+					firstAgg = aggJSON
+				} else if aggJSON != firstAgg {
+					t.Fatalf("workers=%d: aggregate differs", workers)
+				}
+			}
+			// Sampled strong check: an independent engine's incremental
+			// apply produces both the reference record and, state-wise,
+			// exactly what a from-scratch simulation of the mutated
+			// topology produces — closing the loop from sweep records
+			// back to ground-truth resimulation.
+			for i := 0; i < len(scenarios); i += 10 {
+				sc := scenarios[i]
+				fresh := newBase(t, topo, opts)
+				imp, _, err := Apply(fresh, sc, 3)
+				if err != nil {
+					t.Fatalf("fresh apply %s: %v", sc.Name, err)
+				}
+				imp.Index = i
+				if got, ref := mustJSON(t, imp), mustJSON(t, want[i]); got != ref {
+					t.Fatalf("scenario %s: fresh-engine impact differs\ngot:  %s\nwant: %s", sc.Name, got, ref)
+				}
+				mutated := topo.Clone()
+				if err := sc.ApplyToTopology(mutated); err != nil {
+					t.Fatalf("mutate %s: %v", sc.Name, err)
+				}
+				full, err := simulate.Run(mutated, opts)
+				if err != nil {
+					t.Fatalf("full resim %s: %v", sc.Name, err)
+				}
+				if diffs := simulate.DiffResults(fresh.Result(), full); len(diffs) > 0 {
+					t.Fatalf("scenario %s: incremental state diverges from full resim: %v", sc.Name, diffs[:min(3, len(diffs))])
+				}
+			}
+		})
+	}
+}
+
+// TestMixedFamilySweepDeterminism drives the rollback machinery across
+// heterogeneous scenario kinds — invertible link/prefix events,
+// multi-event hijacks, and non-invertible policy flips that force a
+// re-clone — and demands bit-identical records across worker counts.
+func TestMixedFamilySweepDeterminism(t *testing.T) {
+	topo, opts := buildTestTopo(t, 60, 7)
+	base := newBase(t, topo, opts)
+
+	// A stub with providers anchors the per-AS families.
+	var stub bgp.ASN
+	for _, asn := range topo.Order {
+		if len(topo.Graph.Providers(asn)) >= 2 && len(topo.ASes[asn].Prefixes) > 0 {
+			stub = asn
+			break
+		}
+	}
+	if stub == 0 {
+		t.Fatal("no multihomed stub")
+	}
+	attacker := topo.Order[len(topo.Order)-1]
+	if attacker == stub {
+		attacker = topo.Order[0]
+	}
+	spec := Spec{Generators: []Generator{
+		{Kind: KindAllProviderDepeerings, AS: stub},
+		{Kind: KindPrefixWithdrawals, Max: 6},
+		{Kind: KindHijacks, Attackers: []bgp.ASN{attacker}, Max: 6},
+		{Kind: KindLocalPrefFlips, AS: stub, Values: []uint32{40, 200}},
+		{Kind: KindNoUpstreamFlips, Origins: []bgp.ASN{stub}},
+		{Kind: KindScenarios, Scenarios: []simulate.Scenario{{
+			Name:   "combo",
+			Events: []simulate.Event{simulate.FailLink(stub, topo.Graph.Providers(stub)[0])},
+		}}},
+	}}
+	scenarios, err := Expand(topo, spec)
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if len(scenarios) < 10 {
+		t.Fatalf("expected a meaty mixed sweep, got %d scenarios", len(scenarios))
+	}
+	want := mustJSON(t, serialImpacts(t, base, scenarios, 3))
+	for _, workers := range []int{1, 3, 8} {
+		records, _ := runCollect(t, base, scenarios, workers)
+		if got := mustJSON(t, records); got != want {
+			t.Fatalf("workers=%d: mixed-family records differ from serial reference", workers)
+		}
+	}
+}
+
+// TestSweepLeavesBaseUntouched proves the base engine still answers
+// what-ifs from pristine state after a sweep ran over clones of it.
+func TestSweepLeavesBaseUntouched(t *testing.T) {
+	topo, opts := buildTestTopo(t, 60, 11)
+	base := newBase(t, topo, opts)
+	scenarios, err := Expand(topo, Spec{Generators: []Generator{
+		{Kind: KindAllSingleLinkFailures, Max: 12},
+	}})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	before := mustJSON(t, serialImpacts(t, base, scenarios, 3))
+	if _, err := Run(context.Background(), base, scenarios, Options{Workers: 4}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	after := mustJSON(t, serialImpacts(t, base, scenarios, 3))
+	if before != after {
+		t.Fatal("sweep mutated the base engine's state")
+	}
+}
+
+func TestExpandGenerators(t *testing.T) {
+	topo, _ := buildTestTopo(t, 60, 5)
+
+	t.Run("caps", func(t *testing.T) {
+		scs, err := Expand(topo, Spec{
+			Generators:   []Generator{{Kind: KindAllSingleLinkFailures, Max: 5}},
+			MaxScenarios: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scs) != 3 {
+			t.Fatalf("caps not honored: %d scenarios", len(scs))
+		}
+	})
+
+	t.Run("tierFilter", func(t *testing.T) {
+		scs, err := Expand(topo, Spec{Generators: []Generator{
+			{Kind: KindAllSingleLinkFailures, Tier: 1},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, _ := Expand(topo, Spec{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}})
+		if len(scs) == 0 || len(scs) >= len(all) {
+			t.Fatalf("tier filter: %d of %d", len(scs), len(all))
+		}
+	})
+
+	t.Run("badInputs", func(t *testing.T) {
+		cases := []Spec{
+			{Generators: []Generator{{Kind: "nope"}}},
+			{Generators: []Generator{{Kind: KindAllProviderDepeerings}}},             // no AS
+			{Generators: []Generator{{Kind: KindAllProviderDepeerings, AS: 65530}}},  // unknown AS
+			{Generators: []Generator{{Kind: KindHijacks}}},                           // no attackers
+			{Generators: []Generator{{Kind: KindLocalPrefFlips, AS: topo.Order[0]}}}, // no values
+			{Generators: []Generator{{Kind: KindScenarios}}},                         // empty list
+			{}, // expands to nothing
+		}
+		for i, sp := range cases {
+			if _, err := Expand(topo, sp); err == nil {
+				t.Errorf("case %d: expected error", i)
+			}
+		}
+	})
+
+	t.Run("deterministicNames", func(t *testing.T) {
+		a, err := Expand(topo, Spec{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Expand(topo, Spec{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}})
+		if mustJSON(t, a) != mustJSON(t, b) {
+			t.Fatal("expansion is not deterministic")
+		}
+		seen := map[string]bool{}
+		for _, sc := range a {
+			if sc.Name == "" || seen[sc.Name] {
+				t.Fatalf("missing or duplicate scenario name %q", sc.Name)
+			}
+			seen[sc.Name] = true
+		}
+	})
+}
+
+func TestRunCancellation(t *testing.T) {
+	topo, opts := buildTestTopo(t, 60, 9)
+	base := newBase(t, topo, opts)
+	scenarios, err := Expand(topo, Spec{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	emitted := 0
+	_, err = Run(ctx, base, scenarios, Options{
+		Workers: 2,
+		OnImpact: func(*Impact) error {
+			emitted++
+			if emitted == 3 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if emitted >= len(scenarios) {
+		t.Fatal("cancellation did not stop the sweep early")
+	}
+
+	// A sink error likewise aborts.
+	boom := errors.New("client went away")
+	_, err = Run(context.Background(), base, scenarios[:8], Options{
+		Workers:  2,
+		OnImpact: func(*Impact) error { return boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want sink error, got %v", err)
+	}
+}
+
+func TestAggregatorShape(t *testing.T) {
+	agg := newAggregator(2)
+	for i, shifted := range []int{5, 0, 120, 5, 3000} {
+		agg.add(&Impact{Index: i, Name: fmt.Sprintf("s%d", i), ShiftedASes: shifted,
+			LostReachPairs: shifted / 2,
+			PeerChanges:    []PeerChange{{Peer: 64512, Prefixes: 1 + i}}})
+	}
+	agg.add(&Impact{Index: 5, Name: "bad", Error: "nope"})
+	out := agg.aggregate()
+	if out.Scenarios != 6 || out.Errors != 1 || out.ScenariosWithImpact != 4 {
+		t.Fatalf("totals wrong: %+v", out)
+	}
+	wantHist := []int{1, 2, 0, 1, 1}
+	for i, b := range out.Histogram {
+		if b.Scenarios != wantHist[i] {
+			t.Fatalf("histogram[%d]=%d want %d", i, b.Scenarios, wantHist[i])
+		}
+	}
+	if len(out.TopByShift) != 2 || out.TopByShift[0].Index != 4 || out.TopByShift[1].Index != 2 {
+		t.Fatalf("top-k wrong: %+v", out.TopByShift)
+	}
+	if len(out.Peers) != 1 || out.Peers[0].Scenarios != 5 || out.Peers[0].PrefixChanges != 1+2+3+4+5 {
+		t.Fatalf("peer summary wrong: %+v", out.Peers)
+	}
+	// Ties keep the earlier index.
+	tie := newAggregator(2)
+	tie.add(&Impact{Index: 0, Name: "a", ShiftedASes: 7})
+	tie.add(&Impact{Index: 1, Name: "b", ShiftedASes: 7})
+	tie.add(&Impact{Index: 2, Name: "c", ShiftedASes: 7})
+	if got := tie.aggregate().TopByShift; got[0].Index != 0 || got[1].Index != 1 {
+		t.Fatalf("tie-break wrong: %+v", got)
+	}
+}

@@ -8,11 +8,13 @@ package policyscope
 // between the CLI, the server and the full sweep.
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/policyscope/policyscope/experiment"
 	"github.com/policyscope/policyscope/internal/core"
 	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/sweep"
 )
 
 // catalog is the process-wide experiment registry, populated at init.
@@ -31,13 +33,13 @@ var runAllPlans = map[string]func(RunAllOptions) []any{}
 // nil pointers with resolve-on-read defaults instead (see
 // PersistenceParams.normalized).
 func register[P any](name, title, group string, order int, defaults *P,
-	run func(*Session, P) (experiment.Result, error), plan func(RunAllOptions) []any) {
+	run func(context.Context, *Session, P) (experiment.Result, error), plan func(RunAllOptions) []any) {
 	e := experiment.Experiment[*Session]{Name: name, Title: title, Group: group, Order: order}
 	if defaults != nil {
 		d := *defaults
 		e.NewParams = func() any { p := d; return &p }
 	}
-	e.Run = func(se *Session, params any) (experiment.Result, error) {
+	e.Run = func(ctx context.Context, se *Session, params any) (experiment.Result, error) {
 		var p P
 		if defaults != nil {
 			p = *defaults
@@ -50,7 +52,7 @@ func register[P any](name, title, group string, order int, defaults *P,
 			}
 			p = *tp
 		}
-		return run(se, p)
+		return run(ctx, se, p)
 	}
 	catalog.MustRegister(e)
 	if plan != nil {
@@ -146,6 +148,24 @@ type WhatIfParams struct {
 	MaxRows int `json:"max_rows"`
 }
 
+// SweepParams parameterizes the sweep experiment: a declarative spec
+// expanded against the study's topology, run on the sharded executor.
+// An empty spec (no generators) runs a capped all-single-link-failures
+// sweep as a demonstration.
+type SweepParams struct {
+	Spec sweep.Spec `json:"spec"`
+	// Workers is the executor shard count (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+	// TopShifts bounds each record's per-prefix detail (0 = 3).
+	TopShifts int `json:"top_shifts"`
+	// TopK bounds the aggregate's critical-scenario lists (0 = 10).
+	TopK int `json:"top_k"`
+	// MaxRecords caps the per-scenario records the result retains
+	// (<= 0 keeps all; the streaming /sweep endpoint always carries
+	// every record).
+	MaxRecords int `json:"max_records"`
+}
+
 // xlabel names the epoch unit for chart axes.
 func (k persistKey) xlabel() string {
 	if k.epochSeconds == 3600 {
@@ -157,7 +177,7 @@ func (k persistKey) xlabel() string {
 func init() {
 	register("overview", "Study overview: dimensions, inference accuracy, SA ground truth",
 		"summary", 0, (*NoParams)(nil),
-		func(se *Session, _ NoParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, _ NoParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -178,7 +198,7 @@ func init() {
 		}, nil)
 
 	register("table1", "Table 1: vantage ASes", "table", 10, (*NoParams)(nil),
-		func(se *Session, _ NoParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, _ NoParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -187,7 +207,7 @@ func init() {
 		}, nil)
 
 	register("table2", "Table 2: typical local preference assignment", "table", 20, (*NoParams)(nil),
-		func(se *Session, _ NoParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, _ NoParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -197,7 +217,7 @@ func init() {
 
 	register("table3", "Table 3: typical local preference from IRR", "table", 30,
 		&Table3Params{MinDate: 20020101, MinNeighbors: 4},
-		func(se *Session, p Table3Params) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p Table3Params) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -208,7 +228,7 @@ func init() {
 		}, nil)
 
 	register("figure2a", "Figure 2(a): localpref consistency with next-hop AS", "figure", 40, (*NoParams)(nil),
-		func(se *Session, _ NoParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, _ NoParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -221,7 +241,7 @@ func init() {
 
 	register("figure2b", "Figure 2(b): per-router localpref consistency", "figure", 50,
 		&Figure2bParams{Routers: 30, DriftRouters: 4},
-		func(se *Session, p Figure2bParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p Figure2bParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -244,7 +264,7 @@ func init() {
 
 	register("table4", "Table 4: AS relationships verified via BGP communities", "table", 60,
 		&Table4Params{MaxASes: 9},
-		func(se *Session, p Table4Params) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p Table4Params) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -253,7 +273,7 @@ func init() {
 		}, nil)
 
 	register("table5", "Table 5: selectively announced prefixes per vantage", "table", 70, (*NoParams)(nil),
-		func(se *Session, _ NoParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, _ NoParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -263,7 +283,7 @@ func init() {
 
 	register("table6", "Table 6: SA prefixes per customer of the top Tier-1 providers", "table", 80,
 		&Table6Params{Providers: 3, MaxRows: 8, MinPrefixes: 2},
-		func(se *Session, p Table6Params) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p Table6Params) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -279,7 +299,7 @@ func init() {
 
 	register("table7", "Table 7: SA prefixes verified via active customer paths", "table", 90,
 		&ProvidersParams{Providers: 3},
-		func(se *Session, p ProvidersParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p ProvidersParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -289,7 +309,7 @@ func init() {
 
 	register("table8", "Table 8: multihomed vs single-homed SA origins", "table", 100,
 		&ProvidersParams{Providers: 3},
-		func(se *Session, p ProvidersParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p ProvidersParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -299,7 +319,7 @@ func init() {
 
 	register("table9", "Table 9: prefix splitting and aggregation among SA prefixes", "table", 110,
 		&ProvidersParams{Providers: 3},
-		func(se *Session, p ProvidersParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p ProvidersParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -309,7 +329,7 @@ func init() {
 
 	register("case3", "Case 3: how SA origins export to vantage-side providers", "table", 120,
 		&ProvidersParams{Providers: 3},
-		func(se *Session, p ProvidersParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p ProvidersParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -319,7 +339,7 @@ func init() {
 
 	register("table10", "Table 10: peers announcing all their prefixes directly", "table", 130,
 		&ProvidersParams{Providers: 3},
-		func(se *Session, p ProvidersParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p ProvidersParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -328,7 +348,7 @@ func init() {
 		}, planProviders)
 
 	register("atoms", "Policy atoms: decomposition and SA attribution (extension)", "extension", 140, (*NoParams)(nil),
-		func(se *Session, _ NoParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, _ NoParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -337,7 +357,7 @@ func init() {
 		}, nil)
 
 	register("decision", "Deciding step for contested prefixes (extension)", "extension", 150, (*NoParams)(nil),
-		func(se *Session, _ NoParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, _ NoParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -347,7 +367,7 @@ func init() {
 
 	register("multisite", "Multi-site confounder (extension)", "extension", 160,
 		&ProvidersParams{Providers: 3},
-		func(se *Session, p ProvidersParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p ProvidersParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -356,7 +376,7 @@ func init() {
 		}, planProviders)
 
 	register("table11", "Table 11: published tagging communities", "table", 170, (*NoParams)(nil),
-		func(se *Session, _ NoParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, _ NoParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -367,7 +387,7 @@ func init() {
 
 	register("figure9", "Figure 9: prefixes announced by next-hop ASes", "figure", 180,
 		&Figure9Params{ASes: 3, MaxRanks: 20},
-		func(se *Session, p Figure9Params) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p Figure9Params) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -394,7 +414,7 @@ func init() {
 
 	register("figure6", "Figure 6: persistence of SA prefixes", "figure", 190,
 		&PersistenceParams{Epochs: 31, EpochSeconds: 86400},
-		func(se *Session, p PersistenceParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p PersistenceParams) (experiment.Result, error) {
 			k := p.normalized()
 			res, err := se.persistence(k)
 			if err != nil {
@@ -405,7 +425,7 @@ func init() {
 
 	register("figure7", "Figure 7: SA uptime histogram", "figure", 200,
 		&PersistenceParams{Epochs: 31, EpochSeconds: 86400},
-		func(se *Session, p PersistenceParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, p PersistenceParams) (experiment.Result, error) {
 			k := p.normalized()
 			res, err := se.persistence(k)
 			if err != nil {
@@ -416,7 +436,7 @@ func init() {
 
 	register("whatif", "What-if: scenario applied to the converged study", "whatif", 210,
 		&WhatIfParams{MaxRows: 10},
-		func(se *Session, p WhatIfParams) (experiment.Result, error) {
+		func(ctx context.Context, se *Session, p WhatIfParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err
@@ -428,7 +448,7 @@ func init() {
 					return WhatIfResult{MaxRows: p.MaxRows}, nil
 				}
 			}
-			rep, err := se.WhatIf(sc)
+			rep, err := se.WhatIf(ctx, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -441,8 +461,42 @@ func init() {
 			return []any{nil}
 		})
 
+	register("sweep", "Sweep: batch what-if over scenario families, aggregated", "sweep", 215,
+		&SweepParams{MaxRecords: 20},
+		func(ctx context.Context, se *Session, p SweepParams) (experiment.Result, error) {
+			spec := p.Spec
+			if len(spec.Generators) == 0 {
+				spec = sweep.Spec{
+					Name:       "default-single-link-failures",
+					Generators: []sweep.Generator{{Kind: sweep.KindAllSingleLinkFailures, Max: 16}},
+				}
+			}
+			scenarios, err := se.SweepScenarios(spec)
+			if err != nil {
+				return nil, &experiment.ParamError{Name: "sweep", Err: err}
+			}
+			var records []*sweep.Impact
+			opts := sweep.Options{
+				Workers: p.Workers, TopShifts: p.TopShifts, TopK: p.TopK,
+				OnImpact: func(imp *sweep.Impact) error {
+					if p.MaxRecords <= 0 || len(records) < p.MaxRecords {
+						records = append(records, imp)
+					}
+					return nil
+				},
+			}
+			agg, err := se.Sweep(ctx, scenarios, opts)
+			if err != nil {
+				return nil, err
+			}
+			return SweepResult{Spec: spec, Aggregate: agg, Records: records}, nil
+		},
+		// A whole-topology sweep is too heavy for the default RunAll
+		// battery; run it by name (repro -run sweep, POST /sweep).
+		func(RunAllOptions) []any { return []any{} })
+
 	register("summary", "Summary: paper vs measured", "summary", 220, (*NoParams)(nil),
-		func(se *Session, _ NoParams) (experiment.Result, error) {
+		func(_ context.Context, se *Session, _ NoParams) (experiment.Result, error) {
 			s, err := se.Study()
 			if err != nil {
 				return nil, err

@@ -12,6 +12,7 @@ import (
 	"github.com/policyscope/policyscope/internal/bgp"
 	"github.com/policyscope/policyscope/internal/core"
 	"github.com/policyscope/policyscope/internal/reports"
+	"github.com/policyscope/policyscope/internal/sweep"
 	"github.com/policyscope/policyscope/internal/topogen"
 )
 
@@ -236,6 +237,55 @@ func (r WhatIfResult) Render(w io.Writer) error {
 		return nil
 	}
 	return WriteWhatIf(w, r.Report, r.MaxRows)
+}
+
+// SweepResult is the registry-shaped outcome of a sweep: the expanded
+// spec, the streamed aggregate, and (bounded by SweepParams.MaxRecords)
+// the head of the per-scenario record stream.
+type SweepResult struct {
+	Spec      sweep.Spec       `json:"spec"`
+	Aggregate *sweep.Aggregate `json:"aggregate"`
+	Records   []*sweep.Impact  `json:"records,omitempty"`
+}
+
+// Render implements experiment.Result.
+func (r SweepResult) Render(w io.Writer) error {
+	a := r.Aggregate
+	name := r.Spec.Name
+	if name == "" {
+		name = fmt.Sprintf("%d generator(s)", len(r.Spec.Generators))
+	}
+	summary := &reports.Table{
+		Title: fmt.Sprintf(
+			"Sweep %s: %d scenarios (%d with impact, %d partitioning, %d errors), %d (prefix,AS) best shifts, reach -%d/+%d",
+			name, a.Scenarios, a.ScenariosWithImpact, a.ScenariosPartitioning, a.Errors,
+			a.ShiftedASes, a.LostReachPairs, a.GainedReachPairs),
+		Columns: []string{"Shifted (prefix,AS) pairs", "Scenarios"},
+	}
+	for _, b := range a.Histogram {
+		summary.AddRow(b.Label, fmt.Sprintf("%d", b.Scenarios))
+	}
+	top := &reports.Table{
+		Title:   "Most critical scenarios (by shifted pairs)",
+		Columns: []string{"#", "Scenario", "Shifted", "Lost reach"},
+	}
+	for i, e := range a.TopByShift {
+		top.AddRow(fmt.Sprintf("%d", i+1), e.Name,
+			fmt.Sprintf("%d", e.ShiftedASes), fmt.Sprintf("%d", e.LostReachPairs))
+	}
+	peers := &reports.Table{
+		Title:   fmt.Sprintf("Vantage points touched: %d", len(a.Peers)),
+		Columns: []string{"Peer", "Scenarios", "Changed best routes"},
+	}
+	for i, p := range a.Peers {
+		if i >= 10 {
+			peers.AddRow("...", fmt.Sprintf("(%d more)", len(a.Peers)-10), "")
+			break
+		}
+		peers.AddRow(fmt.Sprintf("AS%d", p.Peer),
+			fmt.Sprintf("%d", p.Scenarios), fmt.Sprintf("%d", p.PrefixChanges))
+	}
+	return writeAll(w, summary, top, peers)
 }
 
 // SummaryRow is one paper-vs-measured comparison line.

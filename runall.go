@@ -1,6 +1,7 @@
 package policyscope
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -46,7 +47,7 @@ func DefaultRunAllOptions() RunAllOptions {
 // renders the results to w. It returns the first error encountered.
 // (Study-first compatibility wrapper; see Session.RunAll.)
 func (s *Study) RunAll(w io.Writer, opts RunAllOptions) error {
-	return NewSessionFromStudy(s).RunAll(w, opts)
+	return NewSessionFromStudy(s).RunAll(context.Background(), w, opts)
 }
 
 // Summary computes the study's headline paper-vs-measured comparisons.

@@ -1,0 +1,70 @@
+#!/bin/sh
+# bench_sweep.sh — snapshot the sweep-fleet benchmarks.
+#
+# Runs the all-single-link-failures sweep of the 800-AS shared study
+# through the sharded executor at 1 and 8 workers
+# (BenchmarkSweepExecutorJ1/J8: whole sweep per op, per-scenario cost
+# reported as a metric) and measures the serial baseline
+# (BenchmarkSweepSerialEngine: the pre-existing batch path — one full
+# engine, i.e. one complete resimulation, per scenario; sampled via
+# benchtime with a stride across the scenario list, since the full
+# serial sweep would take hours and the cost is dominated by the
+# scenario-independent resimulation). Writes BENCH_sweep.json with the
+# per-scenario costs and the speedups:
+#
+#   speedup_vs_serial   executor at -j8 vs the serial engine-per-scenario
+#                       path (the headline: what batching what-ifs through
+#                       the fleet buys over the previously available way)
+#   j8_vs_j1            executor scaling across workers; ~1.0 on a
+#                       single-core box, approaches the core count on
+#                       real hardware
+#
+# Usage: scripts/bench_sweep.sh [serial_benchtime] [sweep_benchtime]
+#        (defaults 2x and 1x; one sweep op covers every scenario)
+set -eu
+
+cd "$(dirname "$0")/.."
+SERIAL_BT="${1:-2x}"
+SWEEP_BT="${2:-1x}"
+OUT="BENCH_sweep.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run NONE -bench 'BenchmarkSweepSerialEngine$' \
+    -benchtime "$SERIAL_BT" . | tee "$RAW"
+go test -run NONE -bench 'BenchmarkSweepExecutor(J1|J8)$' \
+    -benchtime "$SWEEP_BT" . | tee -a "$RAW"
+
+awk '
+    # Custom metrics print as "<value> <unit>" pairs; scan each line for
+    # the units instead of trusting fixed field positions.
+    /^BenchmarkSweepSerialEngine/ { serial = $3 }
+    /^BenchmarkSweepExecutorJ1/ || /^BenchmarkSweepExecutorJ8/ {
+        for (i = 2; i <= NF; i++) {
+            if ($i == "ns/scenario") v = $(i - 1)
+            if ($i == "scenarios")   n = $(i - 1)
+        }
+        if ($0 ~ /ExecutorJ1/) { j1 = v } else { j8 = v }
+        scen = n
+    }
+    END {
+        if (serial == "" || j1 == "" || j8 == "") {
+            print "bench_sweep.sh: missing benchmark output" > "/dev/stderr"
+            exit 1
+        }
+        # %.0f, not %d: ns values exceed awk's 32-bit integer range.
+        printf "{\n"
+        printf "  \"benchmark\": \"all-single-link-failures sweep, 800-AS shared study\",\n"
+        printf "  \"scenarios\": %.0f,\n", scen
+        printf "  \"serial_engine_ns_per_scenario\": %.0f,\n", serial
+        printf "  \"sweep_j1_ns_per_scenario\": %.0f,\n", j1
+        printf "  \"sweep_j8_ns_per_scenario\": %.0f,\n", j8
+        printf "  \"speedup_vs_serial\": %.1f,\n", serial / j8
+        printf "  \"j8_vs_j1\": %.2f,\n", j1 / j8
+        printf "  \"note\": \"serial = one full engine (complete resimulation) per scenario, the only batch path before the sweep executor, sampled across the scenario list via benchtime; j8_vs_j1 reflects the cores available to the run\"\n"
+        printf "}\n"
+    }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"

@@ -5,14 +5,18 @@
 //	GET  /experiments        the catalog: names, titles, default params
 //	POST /run/{name}         run one experiment; body = params JSON
 //	POST /whatif             apply a scenario; body = scenario JSON
+//	POST /sweep              run a batch sweep; body = sweep request JSON
 //	GET  /healthz            liveness plus session readiness
 //
 // /run accepts ?format=json (default) or ?format=text (the rendered
-// tables/charts, as cmd/repro prints them). All computation happens on
-// the shared Session: the first query pays for generation and
+// tables/charts, as cmd/repro prints them). /sweep streams NDJSON: one
+// per-scenario impact record per line (in scenario index order),
+// followed by a final {"aggregate": ...} line. All computation happens
+// on the shared Session: the first query pays for generation and
 // simulation, later queries reuse the memoized artifacts, and what-if
-// scenarios run on copy-on-write engine clones so concurrent requests
-// never contend.
+// scenarios and sweeps run on copy-on-write engine clones so
+// concurrent requests never contend. Handlers honor the request
+// context — a disconnected client cancels its in-flight run or sweep.
 package server
 
 import (
@@ -27,6 +31,7 @@ import (
 	policyscope "github.com/policyscope/policyscope"
 	"github.com/policyscope/policyscope/experiment"
 	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/sweep"
 )
 
 // Server handles the HTTP surface over one Session.
@@ -43,6 +48,7 @@ func New(sess *policyscope.Session) *Server {
 	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /run/{name}", s.handleRun)
 	s.mux.HandleFunc("POST /whatif", s.handleWhatIf)
+	s.mux.HandleFunc("POST /sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
@@ -71,7 +77,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
 		return
 	}
-	res, err := s.sess.RunJSON(name, body)
+	res, err := s.sess.RunJSON(r.Context(), name, body)
 	if err != nil {
 		var nf *experiment.NotFoundError
 		var pe *experiment.ParamError
@@ -125,7 +131,7 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	rep, err := s.sess.WhatIf(sc)
+	rep, err := s.sess.WhatIf(r.Context(), sc)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -137,6 +143,74 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// SweepRequest is the POST /sweep body: the declarative spec plus
+// executor knobs.
+type SweepRequest struct {
+	Spec sweep.Spec `json:"spec"`
+	// Workers is the executor shard count (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+	// TopShifts bounds each record's per-prefix detail (0 = 3).
+	TopShifts int `json:"top_shifts"`
+	// TopK bounds the aggregate's critical-scenario lists (0 = 10).
+	TopK int `json:"top_k"`
+}
+
+// handleSweep expands the spec, then streams one NDJSON line per
+// scenario record followed by a final aggregate line. Spec and
+// expansion errors are reported as ordinary JSON errors before any
+// stream output; once streaming starts, a failure can only truncate
+// the stream (the client detects it by the missing aggregate line).
+// The request context aborts the sweep when the client goes away.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	var req SweepRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("bad sweep request: %w", err))
+		return
+	}
+	if err := s.sess.Warm(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	scenarios, err := s.sess.SweepScenarios(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.ready.Store(true)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	agg, err := s.sess.Sweep(r.Context(), scenarios, sweep.Options{
+		Workers: req.Workers, TopShifts: req.TopShifts, TopK: req.TopK,
+		OnImpact: func(imp *sweep.Impact) error {
+			if err := enc.Encode(imp); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		// Mid-stream failure (dead client, canceled context): the
+		// stream just ends without an aggregate line.
+		return
+	}
+	_ = enc.Encode(struct {
+		Aggregate *sweep.Aggregate `json:"aggregate"`
+	}{Aggregate: agg})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

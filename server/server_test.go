@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -172,6 +173,95 @@ func TestWhatIfEndpoint(t *testing.T) {
 	}
 	if status, _ = post(t, ts.URL+"/whatif", `{"bogus": 1}`); status != http.StatusUnprocessableEntity {
 		t.Fatalf("unknown field status %d", status)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts := testServer(t)
+
+	// A capped single-link-failure sweep streams NDJSON: one record per
+	// scenario, a final aggregate line.
+	status, body := post(t, ts.URL+"/sweep",
+		`{"spec": {"generators": [{"kind": "all_single_link_failures", "max": 6}]}, "workers": 3}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("want 6 records + aggregate, got %d lines: %s", len(lines), body)
+	}
+	for i, line := range lines[:6] {
+		var rec struct {
+			Index int    `json:"index"`
+			Name  string `json:"name"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v in %s", i, err, line)
+		}
+		if rec.Index != i || !strings.HasPrefix(rec.Name, "link_fail:") {
+			t.Fatalf("line %d out of order or misnamed: %s", i, line)
+		}
+	}
+	var final struct {
+		Aggregate struct {
+			Scenarios int `json:"scenarios"`
+		} `json:"aggregate"`
+	}
+	if err := json.Unmarshal([]byte(lines[6]), &final); err != nil {
+		t.Fatalf("aggregate line: %v in %s", err, lines[6])
+	}
+	if final.Aggregate.Scenarios != 6 {
+		t.Fatalf("aggregate scenarios = %d", final.Aggregate.Scenarios)
+	}
+
+	// Identical request → byte-identical stream (deterministic across
+	// requests, hence across worker placements).
+	status, body2 := post(t, ts.URL+"/sweep",
+		`{"spec": {"generators": [{"kind": "all_single_link_failures", "max": 6}]}, "workers": 8}`)
+	if status != http.StatusOK || string(body2) != string(body) {
+		t.Fatalf("sweep stream not deterministic across worker counts")
+	}
+
+	// Bad specs rejected before any stream output.
+	if status, _ = post(t, ts.URL+"/sweep", `{"spec": {"generators": [{"kind": "nope"}]}}`); status != http.StatusUnprocessableEntity {
+		t.Fatalf("bad generator status %d", status)
+	}
+	if status, _ = post(t, ts.URL+"/sweep", `{"bogus": 1}`); status != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown field status %d", status)
+	}
+	if status, _ = post(t, ts.URL+"/sweep", `{"spec": {}}`); status != http.StatusUnprocessableEntity {
+		t.Fatalf("empty spec status %d", status)
+	}
+}
+
+// TestSweepClientDisconnect proves a canceled request context stops an
+// in-flight sweep (the satellite contract: a dead client cancels its
+// work instead of burning the executor).
+func TestSweepClientDisconnect(t *testing.T) {
+	ts := testServer(t)
+	// Warm so the sweep itself is the only slow part.
+	if status, body := get(t, ts.URL+"/healthz"); status != http.StatusOK {
+		t.Fatalf("healthz: %d %s", status, body)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/sweep",
+		strings.NewReader(`{"spec": {"generators": [{"kind": "all_single_link_failures"}]}, "workers": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// Read one record, then walk away.
+	buf := make([]byte, 1)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("first byte: %v", err)
+	}
+	cancel()
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("expected a truncated stream after cancellation")
 	}
 }
 

@@ -1,9 +1,11 @@
 package policyscope
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 
 	"sync"
 
@@ -12,6 +14,7 @@ import (
 	"github.com/policyscope/policyscope/internal/core"
 	"github.com/policyscope/policyscope/internal/lookingglass"
 	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/sweep"
 )
 
 // Session is the serving-side façade over a Study: it builds the Study
@@ -28,7 +31,7 @@ import (
 // simulation, every later query reuses them.
 //
 //	sess := policyscope.NewSession(policyscope.DefaultConfig())
-//	res, err := sess.Run("table5", nil)
+//	res, err := sess.Run(ctx, "table5", nil)
 //	res.Render(os.Stdout)           // or json.Marshal(res)
 type Session struct {
 	cfg Config
@@ -114,8 +117,10 @@ func (se *Session) Warm() error {
 // call runs on a fresh copy-on-write clone of the memoized base engine,
 // so concurrent what-ifs are independent and the base state is never
 // mutated. Compare Study.WhatIf, which re-simulates a brand-new engine
-// per call.
-func (se *Session) WhatIf(sc simulate.Scenario) (*WhatIfReport, error) {
+// per call. ctx gates the call (an already-canceled context returns
+// immediately); a single incremental apply is too fast to interrupt
+// mid-flight.
+func (se *Session) WhatIf(ctx context.Context, sc simulate.Scenario) (*WhatIfReport, error) {
 	s, err := se.Study()
 	if err != nil {
 		return nil, err
@@ -124,7 +129,45 @@ func (se *Session) WhatIf(sc simulate.Scenario) (*WhatIfReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.whatIfOn(base.Clone(), sc)
+}
+
+// SweepScenarios expands a sweep spec against the session's base
+// topology into the concrete scenario list a sweep will run, without
+// running anything. Servers use it to reject a bad spec before any
+// stream output is written.
+func (se *Session) SweepScenarios(spec sweep.Spec) ([]simulate.Scenario, error) {
+	base, err := se.baseEngine()
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Expand(base.Topology(), spec)
+}
+
+// Sweep runs a batch of scenarios against the session's base state on
+// the sharded sweep executor: workers own copy-on-write clones of the
+// memoized base engine, records stream through opts.OnImpact in
+// scenario index order, and the aggregate summarizes the whole batch.
+// ctx cancels the sweep between scenarios. The base state is never
+// mutated, so concurrent sweeps and what-ifs are independent.
+//
+// Worker counts are clamped to 2x GOMAXPROCS: the session is the
+// serving facade, so opts.Workers is wire-derived (POST /sweep,
+// /run/sweep, repro -p workers=...) and sweep work is CPU-bound —
+// beyond the core count extra shards only cost engine-clone memory.
+// Callers that really want more shards use sweep.Run directly.
+func (se *Session) Sweep(ctx context.Context, scenarios []simulate.Scenario, opts sweep.Options) (*sweep.Aggregate, error) {
+	base, err := se.baseEngine()
+	if err != nil {
+		return nil, err
+	}
+	if limit := 2 * runtime.GOMAXPROCS(0); opts.Workers > limit {
+		opts.Workers = limit
+	}
+	return sweep.Run(ctx, base, scenarios, opts)
 }
 
 // LookingGlass returns a query server over the study's vantage tables
@@ -180,27 +223,32 @@ func (se *Session) persistence(k persistKey) (core.PersistenceResult, error) {
 // Experiments returns the serializable experiment catalog in run order.
 func (se *Session) Experiments() []experiment.Info { return catalog.Infos() }
 
-// Run executes the named experiment. params is nil for defaults or a
-// pointer of the experiment's parameter type (see Experiments for the
-// catalog). For wire-shaped inputs use RunJSON / RunKV.
-func (se *Session) Run(name string, params any) (experiment.Result, error) {
+// Run executes the named experiment. ctx cancels an in-flight run (a
+// sweep stops between scenarios; a disconnected HTTP client aborts its
+// request). params is nil for defaults or a pointer of the experiment's
+// parameter type (see Experiments for the catalog). For wire-shaped
+// inputs use RunJSON / RunKV.
+func (se *Session) Run(ctx context.Context, name string, params any) (experiment.Result, error) {
 	e, ok := catalog.Get(name)
 	if !ok {
 		return nil, &experiment.NotFoundError{Name: name}
 	}
-	return e.Run(se, params)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, se, params)
 }
 
 // RunJSON executes the named experiment with JSON-encoded parameters
 // (strict decoding; empty keeps defaults).
-func (se *Session) RunJSON(name string, raw json.RawMessage) (experiment.Result, error) {
-	return catalog.RunJSON(se, name, raw)
+func (se *Session) RunJSON(ctx context.Context, name string, raw json.RawMessage) (experiment.Result, error) {
+	return catalog.RunJSON(ctx, se, name, raw)
 }
 
 // RunKV executes the named experiment with key=value parameter
 // overrides (the CLI form, e.g. "providers=3").
-func (se *Session) RunKV(name string, kv []string) (experiment.Result, error) {
-	return catalog.RunKV(se, name, kv)
+func (se *Session) RunKV(ctx context.Context, name string, kv []string) (experiment.Result, error) {
+	return catalog.RunKV(ctx, se, name, kv)
 }
 
 // RunAll executes every catalog experiment in order with the
@@ -208,12 +256,12 @@ func (se *Session) RunKV(name string, kv []string) (experiment.Result, error) {
 // the paper's tables and figures end to end. Because it is a plain
 // iteration over the registry, a newly registered experiment appears
 // here automatically and the ordering can never drift from the catalog.
-func (se *Session) RunAll(w io.Writer, opts RunAllOptions) error {
+func (se *Session) RunAll(ctx context.Context, w io.Writer, opts RunAllOptions) error {
 	if opts.TierOneProviders <= 0 {
 		opts.TierOneProviders = 3
 	}
 	for _, out := range se.runAllSequence(opts) {
-		res, err := se.Run(out.name, out.params)
+		res, err := se.Run(ctx, out.name, out.params)
 		if err != nil {
 			return fmt.Errorf("policyscope: %s: %w", out.name, err)
 		}
@@ -246,13 +294,13 @@ type ExperimentOutput struct {
 
 // RunAllJSON executes the same sweep as RunAll and returns the
 // structured document instead of rendering text.
-func (se *Session) RunAllJSON(opts RunAllOptions) (*RunAllDocument, error) {
+func (se *Session) RunAllJSON(ctx context.Context, opts RunAllOptions) (*RunAllDocument, error) {
 	if opts.TierOneProviders <= 0 {
 		opts.TierOneProviders = 3
 	}
 	doc := &RunAllDocument{Config: se.cfg}
 	for _, out := range se.runAllSequence(opts) {
-		res, err := se.Run(out.name, out.params)
+		res, err := se.Run(ctx, out.name, out.params)
 		if err != nil {
 			return nil, fmt.Errorf("policyscope: %s: %w", out.name, err)
 		}

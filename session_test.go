@@ -2,6 +2,7 @@ package policyscope
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"strings"
@@ -42,7 +43,7 @@ func TestSessionCatalogCompleteness(t *testing.T) {
 
 func TestSessionRunByName(t *testing.T) {
 	se := smallSession(t)
-	res, err := se.Run("table5", nil)
+	res, err := se.Run(context.Background(), "table5", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestSessionRunByName(t *testing.T) {
 		t.Fatalf("table5 rows %d, peers %d", len(rows), len(s.Peers))
 	}
 	// Parameters from JSON.
-	res, err = se.RunJSON("table6", []byte(`{"providers": 2, "max_rows": 4, "min_prefixes": 1}`))
+	res, err = se.RunJSON(context.Background(), "table6", []byte(`{"providers": 2, "max_rows": 4, "min_prefixes": 1}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestSessionRunByName(t *testing.T) {
 		t.Fatalf("max_rows ignored: %d rows", len(rows))
 	}
 	// Parameters from key=value flags.
-	res, err = se.RunKV("figure9", []string{"ases=2", "max_ranks=5"})
+	res, err = se.RunKV(context.Background(), "figure9", []string{"ases=2", "max_ranks=5"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,10 +78,10 @@ func TestSessionRunByName(t *testing.T) {
 		}
 	}
 	// Unknown names and unknown params fail loudly.
-	if _, err := se.Run("table99", nil); err == nil {
+	if _, err := se.Run(context.Background(), "table99", nil); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if _, err := se.RunJSON("table6", []byte(`{"bogus": 1}`)); err == nil {
+	if _, err := se.RunJSON(context.Background(), "table6", []byte(`{"bogus": 1}`)); err == nil {
 		t.Fatal("unknown param accepted")
 	}
 	// Every result renders.
@@ -128,7 +129,7 @@ func TestSessionConcurrentQueries(t *testing.T) {
 			wg.Add(1)
 			go func(q query) {
 				defer wg.Done()
-				res, err := se.RunJSON(q.name, []byte(q.raw))
+				res, err := se.RunJSON(context.Background(), q.name, []byte(q.raw))
 				if err != nil {
 					errs <- err
 					return
@@ -159,7 +160,7 @@ func TestSessionConcurrentQueries(t *testing.T) {
 // same zero-vs-unset semantics TopologyTuning gained).
 func TestSessionPersistenceZeroChurn(t *testing.T) {
 	se := smallSession(t)
-	res, err := se.RunJSON("figure6", []byte(`{"epochs": 3, "churn_fraction": 0}`))
+	res, err := se.RunJSON(context.Background(), "figure6", []byte(`{"epochs": 3, "churn_fraction": 0}`))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestSessionWhatIfMatchesStudyWhatIf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := se.WhatIf(sc)
+	fast, err := se.WhatIf(context.Background(), sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,6 +209,54 @@ func TestSessionWhatIfMatchesStudyWhatIf(t *testing.T) {
 	}
 }
 
+// TestSweepExperiment runs the registry's sweep entry end to end: spec
+// expansion, the sharded executor over session engine clones, record
+// capping, rendering, and worker-count-independent JSON.
+func TestSweepExperiment(t *testing.T) {
+	se := smallSession(t)
+	raw := `{"spec": {"generators": [{"kind": "all_single_link_failures", "max": 5}]}, "workers": 4, "max_records": 3}`
+	res, err := se.RunJSON(context.Background(), "sweep", []byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := res.(SweepResult)
+	if sr.Aggregate.Scenarios != 5 {
+		t.Fatalf("aggregate scenarios = %d", sr.Aggregate.Scenarios)
+	}
+	if len(sr.Records) != 3 || sr.Records[0].Index != 0 || sr.Records[2].Index != 2 {
+		t.Fatalf("record cap or ordering wrong: %+v", sr.Records)
+	}
+	var buf bytes.Buffer
+	if err := sr.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Sweep") || !strings.Contains(buf.String(), "Most critical") {
+		t.Fatalf("render output %q", buf.String())
+	}
+	a, err := json.Marshal(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different worker count yields byte-identical results.
+	res2, err := se.RunJSON(context.Background(), "sweep",
+		[]byte(`{"spec": {"generators": [{"kind": "all_single_link_failures", "max": 5}]}, "workers": 1, "max_records": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("sweep experiment not deterministic across worker counts:\n%s\nvs\n%s", a, b)
+	}
+	// A bad spec surfaces as a typed parameter error.
+	if _, err := se.RunJSON(context.Background(), "sweep",
+		[]byte(`{"spec": {"generators": [{"kind": "nope"}]}}`)); err == nil {
+		t.Fatal("bad generator accepted")
+	}
+}
+
 // TestRunAllJSONDeterminism: the acceptance bar for the JSON surface —
 // two independent sessions at the same seed marshal byte-identically.
 func TestRunAllJSONDeterminism(t *testing.T) {
@@ -217,7 +266,7 @@ func TestRunAllJSONDeterminism(t *testing.T) {
 	}
 	marshal := func() []byte {
 		t.Helper()
-		doc, err := smallSession(t).RunAllJSON(opts)
+		doc, err := smallSession(t).RunAllJSON(context.Background(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,7 +317,7 @@ func TestSessionRunAllMatchesStudyRunAll(t *testing.T) {
 		Routers: 6, DriftRouters: 1, Figure9ASes: 2,
 	}
 	var a, b bytes.Buffer
-	if err := se.RunAll(&a, opts); err != nil {
+	if err := se.RunAll(context.Background(), &a, opts); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.RunAll(&b, opts); err != nil {
