@@ -286,7 +286,7 @@ func sharedSweep(b *testing.B) (*simulate.Engine, []simulate.Scenario) {
 		if err != nil {
 			b.Fatalf("engine: %v", err)
 		}
-		scenarios, err := sweep.Expand(base.Topology(), sweep.Spec{
+		scenarios, err := sweep.Expand(context.Background(), base.Topology(), sweep.Spec{
 			Generators: []sweep.Generator{{Kind: sweep.KindAllSingleLinkFailures}},
 		})
 		if err != nil {

@@ -190,6 +190,103 @@ func TestCLISmoke(t *testing.T) {
 	}
 }
 
+// runFail executes a binary expecting a non-zero exit and returns the
+// combined output.
+func runFail(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("%s %s: expected failure\n%s", filepath.Base(bin), strings.Join(args, " "), buf.String())
+	}
+	return buf.String()
+}
+
+// TestDatasetCLISmoke drives the dataset plumbing end to end across
+// CLIs: simulate exports an MRT snapshot, a manifest names it, repro
+// imports it (snapshot-capable experiment runs; a ground-truth one
+// reports why it cannot), and the study cache accelerates a repeat run.
+func TestDatasetCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	root := repoRoot(t)
+	bins := map[string]string{}
+	for _, name := range []string{"repro", "simulate"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+
+	// Export a snapshot, catalog it in a manifest.
+	mrtPath := filepath.Join(dir, "snap.mrt")
+	run(t, bins["simulate"], "-ases", "60", "-seed", "3", "-peers", "6", "-out", mrtPath)
+	manifestPath := filepath.Join(dir, "datasets.json")
+	manifest := `{"datasets": [{"name": "imported", "mrt": "snap.mrt"}]}`
+	if err := os.WriteFile(manifestPath, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The imported snapshot answers the SA detector...
+	out := run(t, bins["repro"], "-manifest", manifestPath, "-dataset", "imported", "-run", "table5")
+	if !strings.Contains(out, "Table 5") {
+		t.Fatalf("repro over MRT dataset:\n%s", out)
+	}
+	// ...and refuses ground-truth experiments with the typed reason.
+	out = runFail(t, bins["repro"], "-manifest", manifestPath, "-dataset", "imported", "-run", "table1")
+	if !strings.Contains(out, "ground truth") {
+		t.Fatalf("repro GT experiment over MRT dataset:\n%s", out)
+	}
+	// An unknown dataset fails before any work.
+	out = runFail(t, bins["repro"], "-dataset", "nope", "-run", "table5")
+	if !strings.Contains(out, "unknown dataset") {
+		t.Fatalf("repro unknown dataset:\n%s", out)
+	}
+	// So do an unknown experiment and a bad parameter — at the default
+	// 2000-AS config, where a pre-validation regression would stall for
+	// minutes building the study first.
+	out = runFail(t, bins["repro"], "-run", "nope")
+	if !strings.Contains(out, "unknown experiment") {
+		t.Fatalf("repro unknown experiment:\n%s", out)
+	}
+	out = runFail(t, bins["repro"], "-run", "table6", "-p", "bogus=1")
+	if !strings.Contains(out, "unknown parameter") {
+		t.Fatalf("repro bad param:\n%s", out)
+	}
+
+	// The cache: a cold run populates the store, the warm run hits it.
+	cacheDir := filepath.Join(dir, "cache")
+	args := []string{"-ases", "150", "-seed", "4", "-peers", "8", "-lg", "4",
+		"-cache-dir", cacheDir, "-run", "table5", "-format", "json"}
+	coldOut := run(t, bins["repro"], args...)
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache dir not populated (%v)", err)
+	}
+	warmOut := run(t, bins["repro"], args...)
+	stripTimings := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.Contains(line, "dataset ready in") || strings.Contains(line, "total ") ||
+				strings.Contains(line, "loading dataset") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	if stripTimings(coldOut) != stripTimings(warmOut) {
+		t.Fatalf("cache hit changed experiment bytes:\ncold: %s\nwarm: %s", coldOut, warmOut)
+	}
+}
+
 // TestReproSmoke runs the complete experiment harness (including the
 // appended what-if) at a small scale. Kept separate: it is the slowest
 // CLI invocation.

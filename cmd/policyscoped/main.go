@@ -1,31 +1,42 @@
 // Command policyscoped serves the experiment catalog over HTTP/JSON: a
-// long-lived query service over one precomputed synthetic-Internet
-// study, the production shape of the repro harness.
+// long-lived query service over a pool of precomputed studies — many
+// universes (synthetic presets, manifest entries, imported MRT
+// snapshots) behind one process, the production shape of the repro
+// harness.
 //
 // Usage:
 //
 //	policyscoped [-addr :8080] [-ases 2000] [-seed 42] [-peers 56]
 //	             [-lg 15] [-inferred] [-warm]
+//	             [-dataset name] [-manifest datasets.json]
+//	             [-cache-dir .policyscope-cache] [-pool 4]
+//
+// The dataset catalog holds the built-in presets (paper, small, large),
+// the manifest's entries, and the flag-derived configuration under the
+// name "default" (the default dataset unless -dataset or the manifest
+// says otherwise). Every query endpoint accepts ?dataset=<name>; the
+// pool keeps at most -pool warmed sessions, LRU-evicted.
 //
 // Endpoints:
 //
-//	GET  /experiments     list the catalog with default params
-//	POST /run/{name}      run one experiment (?format=json|text)
-//	POST /whatif          apply a scenario JSON to the converged study
-//	POST /sweep           stream a batch sweep as NDJSON records + aggregate
-//	GET  /healthz         liveness + readiness
+//	GET  /datasets        list the dataset catalog + pool residency
+//	GET  /experiments     list the experiment catalog with default params
+//	POST /run/{name}      run one experiment (?format=json|text, ?dataset=)
+//	POST /whatif          apply a scenario JSON (?dataset=)
+//	POST /sweep           stream a batch sweep as NDJSON (?dataset=)
+//	GET  /healthz         liveness + default readiness + pool stats
 //
 // Example:
 //
-//	policyscoped -ases 800 &
-//	curl -s localhost:8080/experiments | jq '.[].name'
+//	policyscoped -ases 800 -cache-dir /tmp/psc &
+//	curl -s localhost:8080/datasets | jq '.[].name'
 //	curl -s -X POST localhost:8080/run/table5 | jq '.result.rows[0]'
+//	curl -s -X POST 'localhost:8080/run/table5?dataset=small' | jq '.result'
 //	curl -s -X POST 'localhost:8080/run/table6?format=text' -d '{"providers": 2}'
-//	curl -sN -X POST localhost:8080/sweep \
-//	  -d '{"spec": {"generators": [{"kind": "all_single_link_failures"}]}, "workers": 8}'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -33,18 +44,23 @@ import (
 	"time"
 
 	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/dataset"
 	"github.com/policyscope/policyscope/server"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
-		ases     = flag.Int("ases", 2000, "number of ASes in the synthetic Internet")
+		ases     = flag.Int("ases", 2000, "number of ASes in the flag-derived \"default\" dataset")
 		seed     = flag.Int64("seed", 42, "random seed (runs are deterministic per seed)")
 		peers    = flag.Int("peers", 56, "collector peer count")
 		lg       = flag.Int("lg", 15, "Looking Glass vantage count")
 		inferred = flag.Bool("inferred", false, "use Gao-inferred relationships instead of ground truth")
-		warm     = flag.Bool("warm", false, "build the study before accepting traffic")
+		warm     = flag.Bool("warm", false, "build the default dataset before accepting traffic")
+		dsName   = flag.String("dataset", "", "default dataset name (preset, manifest entry, or \"default\")")
+		manifest = flag.String("manifest", "", "JSON dataset manifest to add to the catalog")
+		cacheDir = flag.String("cache-dir", "", "content-addressed study cache directory (cold starts load from it)")
+		poolSize = flag.Int("pool", dataset.DefaultMaxSessions, "max warmed sessions resident at once")
 	)
 	flag.Parse()
 
@@ -55,19 +71,28 @@ func main() {
 	cfg.LookingGlassASes = *lg
 	cfg.UseInferredRelationships = *inferred
 
-	srv := server.New(policyscope.NewSession(cfg))
+	cat, err := dataset.BuildCatalog(cfg, *dsName, *manifest, *cacheDir)
+	if err != nil {
+		fail(err)
+	}
+	pool := dataset.NewPool(cat, *poolSize)
+	srv := server.New(pool)
 	if *warm {
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "policyscoped: warming %d-AS study (seed %d)...\n", *ases, *seed)
-		if err := srv.Warm(); err != nil {
-			fmt.Fprintf(os.Stderr, "policyscoped: %v\n", err)
-			os.Exit(1)
+		fmt.Fprintf(os.Stderr, "policyscoped: warming dataset %q...\n", cat.Default())
+		if err := srv.Warm(context.Background()); err != nil {
+			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "policyscoped: ready in %v\n", time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Fprintf(os.Stderr, "policyscoped: serving on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "policyscoped: serving %d dataset(s) on %s (default %q)\n",
+		len(cat.Names()), *addr, cat.Default())
 	if err := http.ListenAndServe(*addr, srv); err != nil {
-		fmt.Fprintf(os.Stderr, "policyscoped: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "policyscoped: %v\n", err)
+	os.Exit(1)
 }

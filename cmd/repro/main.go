@@ -9,12 +9,21 @@
 //
 //	repro [-ases 2000] [-seed 42] [-peers 56] [-lg 15] [-inferred]
 //	      [-daily 31] [-hourly 12] [-routers 30] [-format text|json]
+//	      [-dataset name] [-manifest datasets.json] [-cache-dir dir]
+//
+// The run executes against a dataset: by default the flag-derived
+// synthetic configuration, with -dataset any built-in preset (paper,
+// small, large) or manifest entry — including imported MRT snapshots,
+// where ground-truth-free experiments run and the rest report that they
+// need ground truth. -cache-dir makes repeat runs of the same dataset
+// load the converged tables from disk instead of re-simulating.
 //
 // Single experiments run by registry name, with key=value parameter
 // overrides:
 //
 //	repro -run table5
 //	repro -run table6 -p providers=2 -p max_rows=4
+//	repro -dataset small -cache-dir /tmp/psc -run table5
 //	repro -list
 package main
 
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/dataset"
 )
 
 func main() {
@@ -43,6 +53,9 @@ func main() {
 		format   = flag.String("format", "text", "output format: text or json")
 		runName  = flag.String("run", "", "run a single experiment by registry name")
 		list     = flag.Bool("list", false, "list the experiment catalog and exit")
+		dsName   = flag.String("dataset", "", "dataset to run against (preset or manifest entry; default: flag-derived config)")
+		manifest = flag.String("manifest", "", "JSON dataset manifest to add to the catalog")
+		cacheDir = flag.String("cache-dir", "", "content-addressed study cache directory")
 	)
 	var params paramList
 	flag.Var(&params, "p", "experiment parameter override key=value (repeatable, with -run)")
@@ -63,13 +76,29 @@ func main() {
 	cfg.CollectorPeers = *peers
 	cfg.LookingGlassASes = *lg
 	cfg.UseInferredRelationships = *inferred
-	sess := policyscope.NewSession(cfg)
+
+	cat, err := dataset.BuildCatalog(cfg, *dsName, *manifest, *cacheDir)
+	if err != nil {
+		fail(err)
+	}
 
 	if *list {
-		for _, info := range sess.Experiments() {
-			fmt.Printf("%-10s %-10s %s\n", info.Name, info.Group, info.Title)
+		for _, info := range policyscope.Experiments() {
+			gt := ""
+			if info.NeedsGroundTruth {
+				gt = "needs ground truth"
+			}
+			fmt.Printf("%-10s %-10s %-18s %s\n", info.Name, info.Group, gt, info.Title)
 		}
 		return
+	}
+
+	// Fail fast on a bad -run name or -p override: the check is a
+	// catalog lookup, the dataset load it precedes can be minutes.
+	if *runName != "" {
+		if err := policyscope.ValidateKV(*runName, params); err != nil {
+			fail(err)
+		}
 	}
 
 	// Ctrl-C cancels the in-flight experiment instead of killing the
@@ -78,6 +107,14 @@ func main() {
 	defer stop()
 
 	start := time.Now()
+	src, _ := cat.Get(cat.Default())
+	fmt.Fprintf(os.Stderr, "loading dataset %q...\n", cat.Default())
+	study, err := src.Load(ctx)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "dataset ready in %v\n", time.Since(start).Round(time.Millisecond))
+	sess := policyscope.NewSessionFromStudy(study)
 	if *runName != "" {
 		res, err := sess.RunKV(ctx, *runName, params)
 		if err != nil {
@@ -97,7 +134,6 @@ func main() {
 	opts.HourlyEpochs = *hourly
 	opts.Routers = *routers
 
-	fmt.Fprintf(os.Stderr, "generating and simulating %d ASes (seed %d)...\n", *ases, *seed)
 	if *format == "json" {
 		doc, err := sess.RunAllJSON(ctx, opts)
 		if err != nil {

@@ -1,6 +1,15 @@
-// Command simulate generates a topology, computes its converged BGP
-// state, and writes the RouteViews-style collector snapshot as an MRT
-// TABLE_DUMP_V2 file — the same format family real collectors archive.
+// Command simulate computes a dataset's converged BGP state and writes
+// the RouteViews-style collector snapshot as an MRT TABLE_DUMP_V2 file
+// — the same format family real collectors archive (and the format
+// policyscope imports back as a snapshot-only dataset).
+//
+// The topology comes from the dataset catalog: by default the
+// flag-derived synthetic configuration, with -dataset any built-in
+// preset or manifest entry. Snapshot-only datasets (MRT imports) carry
+// no topology to simulate and are rejected. With -cache-dir the
+// dataset's converged tables load from the study cache when present
+// (snapshot output path only: -scenario builds an engine that runs its
+// own convergence, so the cache cannot help it).
 //
 // With -scenario it additionally runs a what-if: the events in the JSON
 // file (link failures/restorations, prefix withdrawals/announcements,
@@ -15,6 +24,7 @@
 //
 //	simulate [-ases 2000] [-seed 42] [-peers 56] [-j 8] -out table.mrt
 //	simulate -ases 800 -scenario events.json -out after.mrt
+//	simulate -dataset paper -cache-dir /tmp/psc -out paper.mrt
 //
 // An events.json looks like:
 //
@@ -26,47 +36,73 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/dataset"
+	"github.com/policyscope/policyscope/internal/bgp"
 	"github.com/policyscope/policyscope/internal/routeviews"
 	"github.com/policyscope/policyscope/internal/simulate"
 	"github.com/policyscope/policyscope/internal/sweep"
-	"github.com/policyscope/policyscope/internal/topogen"
 )
 
 func main() {
 	var (
-		ases     = flag.Int("ases", 2000, "number of ASes")
+		ases     = flag.Int("ases", 2000, "number of ASes (flag-derived dataset)")
 		seed     = flag.Int64("seed", 42, "random seed")
 		peers    = flag.Int("peers", 56, "collector peers")
 		parallel = flag.Int("j", 0, "simulation worker parallelism (0 = GOMAXPROCS)")
 		out      = flag.String("out", "table.mrt", "output MRT file ('-' = stdout)")
 		scenario = flag.String("scenario", "", "what-if events JSON; the post-event snapshot is written")
+		dsName   = flag.String("dataset", "", "dataset to simulate (preset or manifest entry; default: flag-derived config)")
+		manifest = flag.String("manifest", "", "JSON dataset manifest to add to the catalog")
+		cacheDir = flag.String("cache-dir", "", "content-addressed study cache directory")
 	)
 	flag.Parse()
 
-	topo, err := topogen.Generate(topogen.DefaultConfig(*ases, *seed))
+	cfg := policyscope.Config{
+		NumASes:        *ases,
+		Seed:           *seed,
+		CollectorPeers: *peers,
+		Parallelism:    *parallel,
+	}
+	cat, err := dataset.BuildCatalog(cfg, *dsName, *manifest, *cacheDir)
 	if err != nil {
 		fail(err)
 	}
-	peerSet := routeviews.SelectPeers(topo, *peers)
-	opts := simulate.Options{VantagePoints: peerSet, Parallelism: *parallel}
+	src, _ := cat.Get(cat.Default())
 
 	var res *simulate.Result
+	var peerSet []bgp.ASN
 	if *scenario == "" {
-		res, err = simulate.Run(topo, opts)
+		// The converged base state is the output: a full load (which the
+		// study cache accelerates) is exactly what we need.
+		study, err := src.Load(context.Background())
 		if err != nil {
 			fail(err)
 		}
+		if !study.HasGroundTruth() {
+			fail(fmt.Errorf("dataset %q is snapshot-only: nothing to simulate", cat.Default()))
+		}
+		peerSet = study.Peers
+		res = study.Result
 	} else {
 		sc, err := simulate.LoadScenarioFile(*scenario)
 		if err != nil {
 			fail(err)
 		}
-		eng, err := simulate.NewEngine(topo, opts)
+		// Topology only: the engine converges the base state itself, so
+		// a full study load would simulate everything twice.
+		topo, peers, err := dataset.LoadTopology(context.Background(), src)
+		if err != nil {
+			fail(err)
+		}
+		peerSet = peers
+		eng, err := simulate.NewEngine(topo, simulate.Options{VantagePoints: peerSet, Parallelism: *parallel})
 		if err != nil {
 			fail(err)
 		}

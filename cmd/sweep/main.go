@@ -6,11 +6,19 @@
 // streaming per-scenario impact records and printing the final
 // aggregate.
 //
+// The topology comes from the dataset catalog: by default the
+// flag-derived synthetic configuration, with -dataset any built-in
+// preset or manifest entry (snapshot-only MRT datasets carry no
+// topology and are rejected). The sweep engine always runs its own
+// base convergence, so there is no -cache-dir here — the study cache
+// stores converged tables, which a sweep cannot reuse.
+//
 // Usage:
 //
 //	sweep -ases 800 -seed 42 -j 8                       # all single-link failures
 //	sweep -gen all_provider_depeerings -as 64512        # one family by shorthand
 //	sweep -spec sweep.json -records records.ndjson      # full spec, records to file
+//	sweep -dataset paper                                # a catalog preset
 //	sweep -format text                                  # rendered aggregate tables
 //
 // Records stream in scenario index order (deterministic for a given
@@ -31,11 +39,10 @@ import (
 	"time"
 
 	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/dataset"
 	"github.com/policyscope/policyscope/internal/bgp"
-	"github.com/policyscope/policyscope/internal/routeviews"
 	"github.com/policyscope/policyscope/internal/simulate"
 	"github.com/policyscope/policyscope/internal/sweep"
-	"github.com/policyscope/policyscope/internal/topogen"
 )
 
 func main() {
@@ -54,6 +61,8 @@ func main() {
 		topK      = flag.Int("top", 10, "aggregate top-k critical scenarios")
 		topShifts = flag.Int("top-shifts", 3, "per-record most-shifted prefix detail")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		dsName    = flag.String("dataset", "", "dataset to sweep (preset or manifest entry; default: flag-derived config)")
+		manifest  = flag.String("manifest", "", "JSON dataset manifest to add to the catalog")
 	)
 	flag.Parse()
 	if *format != "json" && *format != "text" {
@@ -71,17 +80,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "sweep: generating and simulating %d ASes (seed %d)...\n", *ases, *seed)
-	topo, err := topogen.Generate(topogen.DefaultConfig(*ases, *seed))
+	cat, err := dataset.BuildCatalog(policyscope.Config{
+		NumASes: *ases, Seed: *seed, CollectorPeers: *peers,
+	}, *dsName, *manifest, "")
 	if err != nil {
 		fail(err)
 	}
-	peerSet := routeviews.SelectPeers(topo, *peers)
+	fmt.Fprintf(os.Stderr, "sweep: loading dataset %q...\n", cat.Default())
+	src, _ := cat.Get(cat.Default())
+	// Topology only: the engine below runs its own convergence, so a
+	// full study load would converge the base state twice.
+	topo, peerSet, err := dataset.LoadTopology(ctx, src)
+	if err != nil {
+		fail(err)
+	}
 	base, err := simulate.NewEngine(topo, simulate.Options{VantagePoints: peerSet})
 	if err != nil {
 		fail(err)
 	}
-	scenarios, err := sweep.Expand(topo, spec)
+	scenarios, err := sweep.Expand(ctx, topo, spec)
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+	"github.com/policyscope/policyscope/internal/routeviews"
+	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+// cacheFormatVersion is hashed into every cache key, so a codec change
+// invalidates old entries instead of misreading them.
+const cacheFormatVersion = 1
+
+// Cached wraps a source with a content-addressed on-disk store: entries
+// are keyed by a hash of the wrapped source's spec, so the expensive
+// part of a synthetic dataset — BGP simulation to convergence — is paid
+// once per configuration and cold server/CLI starts load the converged
+// tables from disk. The topology itself is not stored: generation is
+// deterministic in the configuration and cheap next to simulation, so a
+// hit regenerates it and replays the persisted tables.
+//
+// Cache misses and unreadable/corrupt entries fall through to the
+// wrapped source; the store is repopulated best-effort (a write failure
+// degrades to cold loads, never to a load failure).
+type Cached struct {
+	Source Source
+	// Dir is the store directory, created on first write.
+	Dir string
+}
+
+// NewCached wraps src with the store at dir.
+func NewCached(src Source, dir string) *Cached { return &Cached{Source: src, Dir: dir} }
+
+// Spec implements Source (the wrapper is transparent).
+func (c *Cached) Spec() Spec { return c.Source.Spec() }
+
+// Key returns the content-addressed store key for the wrapped spec.
+func (c *Cached) Key() string {
+	return Fingerprint(c.Source.Spec())
+}
+
+// Fingerprint hashes a spec (plus the cache format version) to its
+// store key.
+func Fingerprint(sp Spec) string {
+	blob, err := json.Marshal(struct {
+		Version int  `json:"v"`
+		Spec    Spec `json:"spec"`
+	}{Version: cacheFormatVersion, Spec: sp})
+	if err != nil {
+		// Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("dataset: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:16])
+}
+
+func (c *Cached) path() string { return filepath.Join(c.Dir, c.Key()+".study") }
+
+// Load returns the cached study when the store has a valid entry, and
+// otherwise loads from the wrapped source and persists the result.
+func (c *Cached) Load(ctx context.Context) (*policyscope.Study, error) {
+	if study, err := readCacheFile(ctx, c.path()); err == nil {
+		c.overlayExecutionKnobs(study)
+		return study, nil
+	}
+	study, err := c.Source.Load(ctx)
+	if err != nil {
+		return nil, err
+	}
+	_ = writeCacheFile(c.path(), study) // best-effort
+	return study, nil
+}
+
+// overlayExecutionKnobs replaces the execution-only configuration a
+// cache entry preserved from its writer with the reading source's:
+// Parallelism cannot change the data (it is canonicalized out of the
+// cache key for the same reason), so the current process's setting —
+// not the writer's — must drive engines built from a hit, and appear
+// in serialized documents.
+func (c *Cached) overlayExecutionKnobs(study *policyscope.Study) {
+	switch src := c.Source.(type) {
+	case *Synthetic:
+		study.Config.Parallelism = src.Config.Parallelism
+	case *MRTFile:
+		study.Config.Parallelism = src.Config.Parallelism
+	}
+}
+
+// cachedStudy is the on-disk payload. Ground-truth studies persist the
+// converged per-vantage tables (the topology is regenerated from
+// Config); snapshot-only studies persist the MRT bytes.
+type cachedStudy struct {
+	Config policyscope.Config
+	Peers  []bgp.ASN
+	// GroundTruth selects the payload below.
+	GroundTruth bool
+	// Tables / ReachCount / Timestamp: the simulation result of a
+	// ground-truth study.
+	Tables     []cachedTable
+	ReachCount map[netx.Prefix]int
+	Timestamp  uint32
+	// MRT: the serialized snapshot of a snapshot-only study.
+	MRT []byte
+}
+
+type cachedTable struct {
+	Owner  bgp.ASN
+	Routes []cachedRoute
+}
+
+type cachedRoute struct {
+	From  bgp.ASN
+	Route bgp.Route
+}
+
+func writeCacheFile(path string, s *policyscope.Study) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	payload := cachedStudy{Config: s.Config, Peers: s.Peers, GroundTruth: s.HasGroundTruth()}
+	if payload.GroundTruth {
+		payload.Timestamp = s.Snapshot.Timestamp
+		payload.ReachCount = s.Result.ReachCount
+		owners := make([]bgp.ASN, 0, len(s.Result.Tables))
+		for asn := range s.Result.Tables {
+			owners = append(owners, asn)
+		}
+		sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+		for _, asn := range owners {
+			ct := cachedTable{Owner: asn}
+			s.Result.Tables[asn].EachCandidate(func(_ netx.Prefix, from bgp.ASN, r *bgp.Route) {
+				ct.Routes = append(ct.Routes, cachedRoute{From: from, Route: *r})
+			})
+			payload.Tables = append(payload.Tables, ct)
+		}
+	} else {
+		var buf bytes.Buffer
+		if err := s.Snapshot.WriteMRT(&buf); err != nil {
+			return err
+		}
+		payload.MRT = buf.Bytes()
+	}
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(payload); err != nil {
+		return err
+	}
+	// Atomic publish: a concurrent reader sees either no entry or a
+	// complete one.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".cache-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(blob.Bytes()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func readCacheFile(ctx context.Context, path string) (*policyscope.Study, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var payload cachedStudy
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("dataset: corrupt cache entry %s: %w", path, err)
+	}
+	if !payload.GroundTruth {
+		snap, err := routeviews.ReadMRT(bytes.NewReader(payload.MRT))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: corrupt cache entry %s: %w", path, err)
+		}
+		return policyscope.NewStudyFromSnapshot(snap, payload.Config)
+	}
+	// Generation is deterministic in the configuration: regenerate the
+	// ground truth, then replay the persisted converged tables instead
+	// of re-simulating.
+	topo, err := topogen.Generate(payload.Config.TopologyConfig())
+	if err != nil {
+		return nil, err
+	}
+	res := &simulate.Result{
+		Tables:     make(map[bgp.ASN]*bgp.RIB, len(payload.Tables)),
+		ReachCount: payload.ReachCount,
+	}
+	for _, ct := range payload.Tables {
+		rib := bgp.NewRIB(ct.Owner)
+		for i := range ct.Routes {
+			cr := &ct.Routes[i]
+			rib.Upsert(cr.From, &cr.Route)
+		}
+		res.Tables[ct.Owner] = rib
+	}
+	snap, err := routeviews.Collect(res, payload.Peers, payload.Timestamp)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: corrupt cache entry %s: %w", path, err)
+	}
+	return policyscope.NewStudyFromInputs(policyscope.StudyInputs{
+		Config:   payload.Config,
+		Topo:     topo,
+		Result:   res,
+		Peers:    payload.Peers,
+		Snapshot: snap,
+	})
+}

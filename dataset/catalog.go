@@ -1,0 +1,276 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	policyscope "github.com/policyscope/policyscope"
+)
+
+// Catalog names sources. It is populated from the built-in presets, a
+// JSON manifest, and programmatic registration, and is safe for
+// concurrent use once serving starts.
+type Catalog struct {
+	mu      sync.RWMutex
+	sources map[string]Source
+	order   []string
+	def     string
+	// defExplicit records that def was chosen deliberately (SetDefault,
+	// a manifest "default") rather than falling out of registration
+	// order or the built-in presets — BuildCatalog only overrides an
+	// implicit default with the flag-derived configuration.
+	defExplicit bool
+}
+
+// NewCatalog returns an empty catalog with no default.
+func NewCatalog() *Catalog { return &Catalog{sources: make(map[string]Source)} }
+
+// Builtin returns a catalog holding the built-in presets — paper (the
+// laptop-scale paper reproduction every CLI defaulted to), small (a
+// smoke-test universe), large (the 2000-AS, 56-peer dimension of the
+// paper's actual collector) — with "paper" as the default.
+func Builtin() *Catalog {
+	c := NewCatalog()
+	paper := policyscope.DefaultConfig()
+	small := policyscope.Config{NumASes: 200, Seed: 42, CollectorPeers: 12, LookingGlassASes: 8}
+	large := policyscope.Config{NumASes: 2000, Seed: 42, CollectorPeers: 56, LookingGlassASes: 15}
+	for _, p := range []struct {
+		name string
+		cfg  policyscope.Config
+	}{{"paper", paper}, {"small", small}, {"large", large}} {
+		if err := c.Register(p.name, NewSynthetic(p.cfg)); err != nil {
+			panic(err) // static names cannot collide
+		}
+	}
+	c.def = "paper"
+	return c
+}
+
+// Register adds a named source. Names are unique; registering a
+// duplicate or an empty name is an error.
+func (c *Catalog) Register(name string, src Source) error {
+	if name == "" {
+		return fmt.Errorf("dataset: registering with empty name")
+	}
+	if src == nil {
+		return fmt.Errorf("dataset: %s: nil source", name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.sources[name]; dup {
+		return fmt.Errorf("dataset: duplicate dataset %q", name)
+	}
+	c.sources[name] = src
+	c.order = append(c.order, name)
+	if c.def == "" {
+		c.def = name
+	}
+	return nil
+}
+
+// Get returns the source registered under name.
+func (c *Catalog) Get(name string) (Source, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	src, ok := c.sources[name]
+	return src, ok
+}
+
+// Names returns every dataset name in registration order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.order...)
+}
+
+// Default returns the default dataset name ("" on an empty catalog).
+func (c *Catalog) Default() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.def
+}
+
+// SetDefault makes name the default dataset.
+func (c *Catalog) SetDefault(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sources[name]; !ok {
+		return fmt.Errorf("dataset: unknown dataset %q", name)
+	}
+	c.def = name
+	c.defExplicit = true
+	return nil
+}
+
+// defaultExplicit reports whether the default was chosen deliberately.
+func (c *Catalog) defaultExplicit() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.defExplicit
+}
+
+// EnableCache wraps every registered synthetic source in a Cached
+// store at dir. Study-backed sources are left alone (their Load is
+// already free), as are sources already wrapped — and MRT sources: the
+// spec key is the file *path*, so a cache entry would keep serving the
+// old snapshot after the file changed, while the hit path would have
+// to re-parse the bytes anyway.
+func (c *Catalog) EnableCache(dir string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, src := range c.sources {
+		if _, ok := src.(*Cached); ok {
+			continue
+		}
+		if src.Spec().Kind != KindSynthetic {
+			continue
+		}
+		c.sources[name] = NewCached(src, dir)
+	}
+}
+
+// BuildCatalog assembles the catalog every CLI shares: the built-in
+// presets, the optional JSON manifest, and the flag-derived synthetic
+// configuration registered under "default". The default dataset
+// resolves by precedence: an explicit -dataset name, then a manifest
+// "default", then the flag-derived configuration (the pre-catalog CLI
+// behavior). A non-empty cacheDir wraps every loadable source in the
+// on-disk store.
+func BuildCatalog(flagCfg policyscope.Config, datasetName, manifestPath, cacheDir string) (*Catalog, error) {
+	cat := Builtin()
+	if manifestPath != "" {
+		if err := cat.LoadManifestFile(manifestPath); err != nil {
+			return nil, err
+		}
+	}
+	// The flag-derived configuration registers under "default" — unless
+	// a manifest entry already claimed the name, in which case the
+	// manifest wins (an explicit dataset beats implicit flags).
+	if _, taken := cat.Get("default"); !taken {
+		if err := cat.Register("default", NewSynthetic(flagCfg)); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case datasetName != "":
+		if err := cat.SetDefault(datasetName); err != nil {
+			return nil, err
+		}
+	case cat.defaultExplicit():
+		// the manifest chose; keep it
+	default:
+		if err := cat.SetDefault("default"); err != nil {
+			return nil, err
+		}
+	}
+	if cacheDir != "" {
+		cat.EnableCache(cacheDir)
+	}
+	return cat, nil
+}
+
+// Manifest is the JSON catalog file:
+//
+//	{
+//	  "default": "stress",
+//	  "datasets": [
+//	    {"name": "stress", "synthetic": {"ases": 5000, "seed": 7, "peers": 56}},
+//	    {"name": "rv-snapshot", "mrt": "snapshots/rv.mrt"}
+//	  ]
+//	}
+//
+// Relative MRT paths resolve against the manifest file's directory.
+type Manifest struct {
+	// Default optionally names the default dataset.
+	Default string `json:"default,omitempty"`
+	// Datasets lists the entries in catalog order.
+	Datasets []ManifestEntry `json:"datasets"`
+}
+
+// ManifestEntry declares one dataset: exactly one of Synthetic or MRT.
+type ManifestEntry struct {
+	Name      string              `json:"name"`
+	Synthetic *policyscope.Config `json:"synthetic,omitempty"`
+	MRT       string              `json:"mrt,omitempty"`
+}
+
+// LoadManifest registers every dataset of the manifest read from r.
+// baseDir resolves relative MRT paths ("" = current directory).
+func (c *Catalog) LoadManifest(r io.Reader, baseDir string) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return fmt.Errorf("dataset: bad manifest: %w", err)
+	}
+	if len(m.Datasets) == 0 {
+		return fmt.Errorf("dataset: manifest lists no datasets")
+	}
+	for i, e := range m.Datasets {
+		if e.Name == "" {
+			return fmt.Errorf("dataset: manifest entry %d has no name", i)
+		}
+		var src Source
+		switch {
+		case e.Synthetic != nil && e.MRT != "":
+			return fmt.Errorf("dataset: %s: both synthetic and mrt", e.Name)
+		case e.Synthetic != nil:
+			src = NewSynthetic(*e.Synthetic)
+		case e.MRT != "":
+			path := e.MRT
+			if baseDir != "" && !filepath.IsAbs(path) {
+				path = filepath.Join(baseDir, path)
+			}
+			src = NewMRTFile(path)
+		default:
+			return fmt.Errorf("dataset: %s: needs synthetic or mrt", e.Name)
+		}
+		if err := c.Register(e.Name, src); err != nil {
+			// Typically a clash with a built-in preset (paper, small,
+			// large) or a repeated manifest name.
+			return fmt.Errorf("dataset: manifest entry %d (%s): %w", i, e.Name, err)
+		}
+	}
+	if m.Default != "" {
+		if err := c.SetDefault(m.Default); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadManifestFile reads the manifest at path; relative MRT paths
+// resolve against the manifest's directory.
+func (c *Catalog) LoadManifestFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.LoadManifest(f, filepath.Dir(path))
+}
+
+// Info is the serializable catalog row (what GET /datasets returns).
+type Info struct {
+	Name    string `json:"name"`
+	Default bool   `json:"default,omitempty"`
+	Spec    Spec   `json:"spec"`
+	// Resident reports whether a warmed session is in the pool (set by
+	// Pool.Datasets; always false straight from a catalog).
+	Resident bool `json:"resident,omitempty"`
+}
+
+// Infos returns the serializable catalog in registration order.
+func (c *Catalog) Infos() []Info {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]Info, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, Info{Name: name, Default: name == c.def, Spec: c.sources[name].Spec()})
+	}
+	return out
+}

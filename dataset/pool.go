@@ -1,0 +1,226 @@
+package dataset
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+
+	"sync"
+
+	policyscope "github.com/policyscope/policyscope"
+)
+
+// DefaultMaxSessions bounds the pool when the caller passes no limit: a
+// handful of warmed universes is the memory envelope of one serving
+// process.
+const DefaultMaxSessions = 4
+
+// UnknownDatasetError reports a name the catalog does not know. Servers
+// map it to 404 before doing any work.
+type UnknownDatasetError struct{ Name string }
+
+func (e *UnknownDatasetError) Error() string {
+	return fmt.Sprintf("dataset: unknown dataset %q", e.Name)
+}
+
+// Pool is a bounded LRU of warmed Sessions keyed by dataset name.
+// Builds are deduplicated singleflight-style: N concurrent first
+// queries against one dataset trigger one Load, and the other N-1 block
+// until it resolves. Failed builds are not cached — the next request
+// retries the source. Evicted sessions are simply released; in-flight
+// queries against them finish on their own references.
+type Pool struct {
+	cat *Catalog
+	max int
+
+	mu      sync.Mutex
+	entries map[string]*poolEntry
+	lru     *list.List // front = most recently used; values are *poolEntry
+
+	hits, misses, evictions uint64
+}
+
+type poolEntry struct {
+	name string
+	elem *list.Element
+	// ready closes when the build resolves; sess/err are immutable
+	// afterwards.
+	ready chan struct{}
+	sess  *policyscope.Session
+	err   error
+}
+
+// NewPool returns a pool over cat retaining at most maxSessions warmed
+// sessions (<= 0 takes DefaultMaxSessions).
+func NewPool(cat *Catalog, maxSessions int) *Pool {
+	if maxSessions <= 0 {
+		maxSessions = DefaultMaxSessions
+	}
+	return &Pool{
+		cat:     cat,
+		max:     maxSessions,
+		entries: make(map[string]*poolEntry),
+		lru:     list.New(),
+	}
+}
+
+// Catalog returns the pool's catalog.
+func (p *Pool) Catalog() *Catalog { return p.cat }
+
+// Session returns the warmed session for the named dataset, building it
+// on first use ("" resolves to the catalog default). An unknown name
+// returns *UnknownDatasetError before any work. ctx bounds both a
+// build this call performs and the wait for a build another call is
+// performing.
+func (p *Pool) Session(ctx context.Context, name string) (*policyscope.Session, error) {
+	if name == "" {
+		name = p.cat.Default()
+	}
+	src, ok := p.cat.Get(name)
+	if !ok {
+		return nil, &UnknownDatasetError{Name: name}
+	}
+
+	p.mu.Lock()
+	if e, ok := p.entries[name]; ok {
+		p.lru.MoveToFront(e.elem)
+		p.hits++
+		p.mu.Unlock()
+		select {
+		case <-e.ready:
+			return e.sess, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &poolEntry{name: name, ready: make(chan struct{})}
+	e.elem = p.lru.PushFront(e)
+	p.entries[name] = e
+	p.misses++
+	p.evictLocked()
+	p.mu.Unlock()
+
+	// Build outside the lock so other datasets keep resolving, and on a
+	// context detached from the triggering request: the build serves
+	// every waiter (and the pool afterwards), so one client's
+	// disconnect must not poison it with that client's cancellation.
+	go func() {
+		study, err := src.Load(context.WithoutCancel(ctx))
+		if err != nil {
+			e.err = err
+			close(e.ready)
+			// Do not cache the failure; later requests retry the source.
+			p.mu.Lock()
+			if p.entries[name] == e {
+				delete(p.entries, name)
+				p.lru.Remove(e.elem)
+			}
+			p.mu.Unlock()
+			return
+		}
+		e.sess = policyscope.NewSessionFromStudy(study)
+		close(e.ready)
+		// The entry is now evictable; trim any excess that accumulated
+		// while builds were in flight.
+		p.mu.Lock()
+		p.evictLocked()
+		p.mu.Unlock()
+	}()
+	select {
+	case <-e.ready:
+		return e.sess, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// evictLocked trims the LRU tail beyond the size bound, skipping
+// entries whose build has not resolved: evicting one would defeat the
+// singleflight dedup exactly under the cold-start stampede the pool
+// absorbs (the next request would start a duplicate build of a study
+// that is already being built). The pool may therefore briefly exceed
+// its bound by the number of concurrent first builds; each build trims
+// again when it resolves.
+func (p *Pool) evictLocked() {
+	over := p.lru.Len() - p.max
+	for el := p.lru.Back(); el != nil && over > 0; {
+		prev := el.Prev()
+		e := el.Value.(*poolEntry)
+		select {
+		case <-e.ready:
+			p.lru.Remove(el)
+			delete(p.entries, e.name)
+			p.evictions++
+			over--
+		default:
+			// build in flight; keep
+		}
+		el = prev
+	}
+}
+
+// Warm builds and fully warms the default dataset's session (study plus
+// what-if engine where the dataset has ground truth). Servers call it
+// before accepting traffic; the non-default datasets stay cold until
+// queried.
+func (p *Pool) Warm(ctx context.Context) error {
+	name := p.cat.Default()
+	if name == "" {
+		return fmt.Errorf("dataset: pool has no default dataset")
+	}
+	sess, err := p.Session(ctx, name)
+	if err != nil {
+		return err
+	}
+	return sess.Warm()
+}
+
+// Stats is the pool's observable state (healthz material).
+type Stats struct {
+	// Datasets is how many datasets the catalog knows.
+	Datasets int `json:"datasets"`
+	// Default is the catalog's default dataset name.
+	Default string `json:"default"`
+	// Resident counts sessions currently retained (including builds in
+	// flight); ResidentNames lists them, most recently used first.
+	Resident      int      `json:"resident"`
+	ResidentNames []string `json:"resident_names,omitempty"`
+	// Capacity is the LRU bound.
+	Capacity int `json:"capacity"`
+	// Hits / Misses / Evictions count Session resolutions against the
+	// pool since start.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		Datasets:  len(p.cat.Names()),
+		Default:   p.cat.Default(),
+		Resident:  p.lru.Len(),
+		Capacity:  p.max,
+		Hits:      p.hits,
+		Misses:    p.misses,
+		Evictions: p.evictions,
+	}
+	for el := p.lru.Front(); el != nil; el = el.Next() {
+		st.ResidentNames = append(st.ResidentNames, el.Value.(*poolEntry).name)
+	}
+	return st
+}
+
+// Datasets returns the catalog rows annotated with pool residency.
+func (p *Pool) Datasets() []Info {
+	infos := p.cat.Infos()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range infos {
+		_, resident := p.entries[infos[i].Name]
+		infos[i].Resident = resident
+	}
+	return infos
+}

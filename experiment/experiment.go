@@ -44,6 +44,12 @@ type Experiment[S any] struct {
 	Group string
 	// Order fixes the catalog iteration order (ascending, then Name).
 	Order int
+	// NeedsGroundTruth marks experiments that read generator ground
+	// truth (topology annotations, full vantage tables) and therefore
+	// cannot run against a snapshot-only dataset such as an imported
+	// MRT table dump. Catalog consumers use it to filter; runners are
+	// expected to return a typed error rather than panic.
+	NeedsGroundTruth bool
 	// NewParams returns a pointer to a freshly allocated parameter
 	// struct carrying the experiment's defaults, or nil when the
 	// experiment takes no parameters.
@@ -58,10 +64,11 @@ type Experiment[S any] struct {
 
 // Info is the serializable catalog row (what a server lists).
 type Info struct {
-	Name   string `json:"name"`
-	Title  string `json:"title"`
-	Group  string `json:"group"`
-	Params any    `json:"params,omitempty"` // default parameter values
+	Name             string `json:"name"`
+	Title            string `json:"title"`
+	Group            string `json:"group"`
+	NeedsGroundTruth bool   `json:"needs_ground_truth,omitempty"`
+	Params           any    `json:"params,omitempty"` // default parameter values
 }
 
 // Registry holds the catalog. The zero value is not usable; call
@@ -134,7 +141,7 @@ func (r *Registry[S]) Infos() []Info {
 	all := r.All()
 	out := make([]Info, len(all))
 	for i, e := range all {
-		out[i] = Info{Name: e.Name, Title: e.Title, Group: e.Group}
+		out[i] = Info{Name: e.Name, Title: e.Title, Group: e.Group, NeedsGroundTruth: e.NeedsGroundTruth}
 		if e.NewParams != nil {
 			out[i].Params = e.NewParams()
 		}
@@ -193,28 +200,49 @@ func (r *Registry[S]) RunKV(ctx context.Context, s S, name string, kv []string) 
 	if !ok {
 		return nil, &NotFoundError{Name: name}
 	}
+	params, err := e.decodeKV(kv)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.Run(ctx, s, params)
+}
+
+// DecodeKV resolves the named experiment and decodes key=value
+// overrides into its parameter struct without running anything — the
+// fail-fast validation a CLI performs before paying for its dataset.
+func (r *Registry[S]) DecodeKV(name string, kv []string) (any, error) {
+	e, ok := r.Get(name)
+	if !ok {
+		return nil, &NotFoundError{Name: name}
+	}
+	return e.decodeKV(kv)
+}
+
+// decodeKV materializes the default parameters and applies key=value
+// overrides.
+func (e *Experiment[S]) decodeKV(kv []string) (any, error) {
 	var params any
 	if e.NewParams != nil {
 		params = e.NewParams()
 	}
 	if len(kv) > 0 {
 		if params == nil {
-			return nil, &ParamError{Name: name, Err: fmt.Errorf("experiment takes no parameters")}
+			return nil, &ParamError{Name: e.Name, Err: fmt.Errorf("experiment takes no parameters")}
 		}
 		for _, pair := range kv {
 			key, value, found := strings.Cut(pair, "=")
 			if !found {
-				return nil, &ParamError{Name: name, Err: fmt.Errorf("want key=value, got %q", pair)}
+				return nil, &ParamError{Name: e.Name, Err: fmt.Errorf("want key=value, got %q", pair)}
 			}
 			if err := Set(params, key, value); err != nil {
-				return nil, &ParamError{Name: name, Err: err}
+				return nil, &ParamError{Name: e.Name, Err: err}
 			}
 		}
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return e.Run(ctx, s, params)
+	return params, nil
 }
 
 // DecodeJSON decodes raw strictly (unknown fields rejected) into the

@@ -186,6 +186,24 @@ func (t *RIB) DropPrefix(prefix netx.Prefix) bool {
 	return true
 }
 
+// EachCandidate calls fn for every candidate route with the neighbor it
+// was learned from (the owner ASN for locally originated prefixes), in
+// (prefix Compare order, neighbor ascending) order — the serialization
+// walk: NewRIB + Upsert over the emitted triples reconstructs the table.
+func (t *RIB) EachCandidate(fn func(prefix netx.Prefix, from ASN, r *Route)) {
+	for _, prefix := range t.Prefixes() {
+		e := t.entries[prefix]
+		neighbors := make([]ASN, 0, len(e.candidates))
+		for n := range e.candidates {
+			neighbors = append(neighbors, n)
+		}
+		sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+		for _, n := range neighbors {
+			fn(prefix, n, e.candidates[n])
+		}
+	}
+}
+
 // Has reports whether the table holds any candidate for prefix.
 func (t *RIB) Has(prefix netx.Prefix) bool {
 	_, ok := t.entries[prefix]

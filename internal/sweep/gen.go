@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/policyscope/policyscope/internal/asgraph"
@@ -15,10 +16,16 @@ import (
 // family iterates the topology in its canonical order (edges ascending,
 // prefixes in Compare order, neighbor/provider lists ascending). Every
 // scenario carries a stable generated name ("link_fail:64512-64513").
-func Expand(topo *topogen.Topology, sp Spec) ([]simulate.Scenario, error) {
+// ctx cancels the enumeration between families and between iteration
+// chunks within a family — hijack and flip grids over a large topology
+// expand to (prefix × AS) products worth interrupting.
+func Expand(ctx context.Context, topo *topogen.Topology, sp Spec) ([]simulate.Scenario, error) {
 	var out []simulate.Scenario
 	for gi, g := range sp.Generators {
-		scs, err := expandOne(topo, g)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		scs, err := expandOne(ctx, topo, g)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: generator %d (%s): %w", gi, g.Kind, err)
 		}
@@ -36,20 +43,34 @@ func Expand(topo *topogen.Topology, sp Spec) ([]simulate.Scenario, error) {
 	return out, nil
 }
 
-func expandOne(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+// expandCheckEvery bounds how much enumeration work runs between two
+// context polls inside one generator family.
+const expandCheckEvery = 4096
+
+// checkEvery polls ctx every expandCheckEvery-th call (n counts up from
+// zero), keeping the per-iteration overhead to a counter increment.
+func checkEvery(ctx context.Context, n *int) error {
+	*n++
+	if *n%expandCheckEvery != 0 {
+		return nil
+	}
+	return ctx.Err()
+}
+
+func expandOne(ctx context.Context, topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
 	switch g.Kind {
 	case KindAllSingleLinkFailures:
-		return genLinkFailures(topo, g)
+		return genLinkFailures(ctx, topo, g)
 	case KindAllProviderDepeerings:
 		return genDepeerings(topo, g)
 	case KindPrefixWithdrawals:
-		return genWithdrawals(topo, g)
+		return genWithdrawals(ctx, topo, g)
 	case KindHijacks:
-		return genHijacks(topo, g)
+		return genHijacks(ctx, topo, g)
 	case KindLocalPrefFlips:
-		return genLocalPrefFlips(topo, g)
+		return genLocalPrefFlips(ctx, topo, g)
 	case KindNoUpstreamFlips:
-		return genNoUpstreamFlips(topo, g)
+		return genNoUpstreamFlips(ctx, topo, g)
 	case KindScenarios:
 		if len(g.Scenarios) == 0 {
 			return nil, fmt.Errorf("no scenarios listed")
@@ -65,9 +86,13 @@ func expandOne(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error)
 	}
 }
 
-func genLinkFailures(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+func genLinkFailures(ctx context.Context, topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
 	var out []simulate.Scenario
+	var n int
 	for _, e := range topo.Graph.Edges() {
+		if err := checkEvery(ctx, &n); err != nil {
+			return nil, err
+		}
 		if g.Tier > 0 && tierOf(topo, e.A) != g.Tier && tierOf(topo, e.B) != g.Tier {
 			continue
 		}
@@ -131,13 +156,17 @@ func subjectPrefixes(topo *topogen.Topology, g Generator) ([]netx.Prefix, error)
 	return out, nil
 }
 
-func genWithdrawals(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+func genWithdrawals(ctx context.Context, topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
 	prefixes, err := subjectPrefixes(topo, g)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]simulate.Scenario, 0, len(prefixes))
+	var n int
 	for _, p := range prefixes {
+		if err := checkEvery(ctx, &n); err != nil {
+			return nil, err
+		}
 		out = append(out, simulate.Scenario{
 			Name:   fmt.Sprintf("withdraw:%v", p),
 			Events: []simulate.Event{simulate.WithdrawPrefix(p)},
@@ -146,7 +175,7 @@ func genWithdrawals(topo *topogen.Topology, g Generator) ([]simulate.Scenario, e
 	return out, nil
 }
 
-func genHijacks(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+func genHijacks(ctx context.Context, topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
 	if len(g.Attackers) == 0 {
 		return nil, fmt.Errorf("requires \"attackers\"")
 	}
@@ -160,9 +189,13 @@ func genHijacks(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error
 		return nil, err
 	}
 	var out []simulate.Scenario
+	var n int
 	for _, p := range prefixes {
 		origin := topo.PrefixOrigin[p]
 		for _, a := range g.Attackers {
+			if err := checkEvery(ctx, &n); err != nil {
+				return nil, err
+			}
 			if a == origin {
 				continue
 			}
@@ -178,7 +211,7 @@ func genHijacks(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error
 	return out, nil
 }
 
-func genLocalPrefFlips(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+func genLocalPrefFlips(ctx context.Context, topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
 	if g.AS == 0 {
 		return nil, fmt.Errorf("requires a target \"as\"")
 	}
@@ -196,11 +229,15 @@ func genLocalPrefFlips(topo *topogen.Topology, g Generator) ([]simulate.Scenario
 		return nil, fmt.Errorf("AS %d has no neighbors", g.AS)
 	}
 	var out []simulate.Scenario
+	var polls int
 	for _, n := range neighbors {
 		if topo.Graph.Rel(g.AS, n) == asgraph.RelNone {
 			return nil, fmt.Errorf("AS %d has no session with %d", g.AS, n)
 		}
 		for _, v := range g.Values {
+			if err := checkEvery(ctx, &polls); err != nil {
+				return nil, err
+			}
 			out = append(out, simulate.Scenario{
 				Name:   fmt.Sprintf("local_pref:%d:%d=%d", g.AS, n, v),
 				Events: []simulate.Event{simulate.SetLocalPref(g.AS, n, v)},
@@ -210,15 +247,19 @@ func genLocalPrefFlips(topo *topogen.Topology, g Generator) ([]simulate.Scenario
 	return out, nil
 }
 
-func genNoUpstreamFlips(topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
+func genNoUpstreamFlips(ctx context.Context, topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
 	prefixes, err := subjectPrefixes(topo, g)
 	if err != nil {
 		return nil, err
 	}
 	var out []simulate.Scenario
+	var polls int
 	for _, p := range prefixes {
 		origin := topo.PrefixOrigin[p]
 		for _, prov := range topo.Graph.Providers(origin) {
+			if err := checkEvery(ctx, &polls); err != nil {
+				return nil, err
+			}
 			out = append(out, simulate.Scenario{
 				Name:   fmt.Sprintf("no_upstream:%v:%d", p, prov),
 				Events: []simulate.Event{simulate.TagNoUpstream(p, prov)},

@@ -96,7 +96,7 @@ func TestSingleLinkFailureSweepDeterminism(t *testing.T) {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			topo, opts := buildTestTopo(t, 70, seed)
 			base := newBase(t, topo, opts)
-			scenarios, err := Expand(topo, Spec{Generators: []Generator{
+			scenarios, err := Expand(context.Background(), topo, Spec{Generators: []Generator{
 				{Kind: KindAllSingleLinkFailures},
 			}})
 			if err != nil {
@@ -187,7 +187,7 @@ func TestMixedFamilySweepDeterminism(t *testing.T) {
 			Events: []simulate.Event{simulate.FailLink(stub, topo.Graph.Providers(stub)[0])},
 		}}},
 	}}
-	scenarios, err := Expand(topo, spec)
+	scenarios, err := Expand(context.Background(), topo, spec)
 	if err != nil {
 		t.Fatalf("expand: %v", err)
 	}
@@ -208,7 +208,7 @@ func TestMixedFamilySweepDeterminism(t *testing.T) {
 func TestSweepLeavesBaseUntouched(t *testing.T) {
 	topo, opts := buildTestTopo(t, 60, 11)
 	base := newBase(t, topo, opts)
-	scenarios, err := Expand(topo, Spec{Generators: []Generator{
+	scenarios, err := Expand(context.Background(), topo, Spec{Generators: []Generator{
 		{Kind: KindAllSingleLinkFailures, Max: 12},
 	}})
 	if err != nil {
@@ -228,7 +228,7 @@ func TestExpandGenerators(t *testing.T) {
 	topo, _ := buildTestTopo(t, 60, 5)
 
 	t.Run("caps", func(t *testing.T) {
-		scs, err := Expand(topo, Spec{
+		scs, err := Expand(context.Background(), topo, Spec{
 			Generators:   []Generator{{Kind: KindAllSingleLinkFailures, Max: 5}},
 			MaxScenarios: 3,
 		})
@@ -241,13 +241,13 @@ func TestExpandGenerators(t *testing.T) {
 	})
 
 	t.Run("tierFilter", func(t *testing.T) {
-		scs, err := Expand(topo, Spec{Generators: []Generator{
+		scs, err := Expand(context.Background(), topo, Spec{Generators: []Generator{
 			{Kind: KindAllSingleLinkFailures, Tier: 1},
 		}})
 		if err != nil {
 			t.Fatal(err)
 		}
-		all, _ := Expand(topo, Spec{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}})
+		all, _ := Expand(context.Background(), topo, Spec{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}})
 		if len(scs) == 0 || len(scs) >= len(all) {
 			t.Fatalf("tier filter: %d of %d", len(scs), len(all))
 		}
@@ -264,18 +264,18 @@ func TestExpandGenerators(t *testing.T) {
 			{}, // expands to nothing
 		}
 		for i, sp := range cases {
-			if _, err := Expand(topo, sp); err == nil {
+			if _, err := Expand(context.Background(), topo, sp); err == nil {
 				t.Errorf("case %d: expected error", i)
 			}
 		}
 	})
 
 	t.Run("deterministicNames", func(t *testing.T) {
-		a, err := Expand(topo, Spec{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}})
+		a, err := Expand(context.Background(), topo, Spec{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, _ := Expand(topo, Spec{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}})
+		b, _ := Expand(context.Background(), topo, Spec{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}})
 		if mustJSON(t, a) != mustJSON(t, b) {
 			t.Fatal("expansion is not deterministic")
 		}
@@ -292,7 +292,7 @@ func TestExpandGenerators(t *testing.T) {
 func TestRunCancellation(t *testing.T) {
 	topo, opts := buildTestTopo(t, 60, 9)
 	base := newBase(t, topo, opts)
-	scenarios, err := Expand(topo, Spec{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}})
+	scenarios, err := Expand(context.Background(), topo, Spec{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,5 +357,32 @@ func TestAggregatorShape(t *testing.T) {
 	tie.add(&Impact{Index: 2, Name: "c", ShiftedASes: 7})
 	if got := tie.aggregate().TopByShift; got[0].Index != 0 || got[1].Index != 1 {
 		t.Fatalf("tie-break wrong: %+v", got)
+	}
+}
+
+// TestExpandCanceledContext proves generator enumeration honors
+// cancellation: an already-canceled context stops every family —
+// including the large hijack grid, whose (prefix x attacker) product is
+// the expansion worth interrupting — before it returns scenarios.
+func TestExpandCanceledContext(t *testing.T) {
+	topo, _ := buildTestTopo(t, 200, 21)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	attackers := topo.Order[:3]
+	specs := []Spec{
+		{Generators: []Generator{{Kind: KindAllSingleLinkFailures}}},
+		{Generators: []Generator{{Kind: KindPrefixWithdrawals}}},
+		{Generators: []Generator{{Kind: KindHijacks, Attackers: attackers}}},
+	}
+	for _, sp := range specs {
+		if _, err := Expand(ctx, topo, sp); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: want context.Canceled, got %v", sp.Generators[0].Kind, err)
+		}
+	}
+	// The same specs expand fine on a live context.
+	for _, sp := range specs {
+		if scs, err := Expand(context.Background(), topo, sp); err != nil || len(scs) == 0 {
+			t.Errorf("%s: live expand failed: %v", sp.Generators[0].Kind, err)
+		}
 	}
 }

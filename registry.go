@@ -25,6 +25,21 @@ var catalog = experiment.NewRegistry[*Session]()
 // skipped in RunAll but still runnable by name).
 var runAllPlans = map[string]func(RunAllOptions) []any{}
 
+// snapshotCapable lists the experiments that read only the collector
+// snapshot and the analysis relationship graph — the inputs an imported
+// MRT table dump provides. Everything else consumes generator ground
+// truth (annotated topology, full vantage tables, the simulation
+// engine) and is gated behind HasGroundTruth: running it against a
+// snapshot-only dataset returns ErrNeedsGroundTruth instead of
+// panicking on the missing inputs.
+var snapshotCapable = map[string]bool{
+	"table5":  true, // SA detector over peer best views
+	"table6":  true, // per-customer SA shares at Tier-1 vantages
+	"table8":  true, // multihoming split of SA origins
+	"table9":  true, // splitting/aggregation signatures
+	"table10": true, // peer-export behaviour over the origin universe
+}
+
 // register wires one experiment into the catalog with typed parameters.
 // defaults == nil marks a parameter-less experiment. The defaults value
 // must not contain pointers to shared mutable state — every NewParams
@@ -34,11 +49,13 @@ var runAllPlans = map[string]func(RunAllOptions) []any{}
 // PersistenceParams.normalized).
 func register[P any](name, title, group string, order int, defaults *P,
 	run func(context.Context, *Session, P) (experiment.Result, error), plan func(RunAllOptions) []any) {
-	e := experiment.Experiment[*Session]{Name: name, Title: title, Group: group, Order: order}
+	e := experiment.Experiment[*Session]{Name: name, Title: title, Group: group, Order: order,
+		NeedsGroundTruth: !snapshotCapable[name]}
 	if defaults != nil {
 		d := *defaults
 		e.NewParams = func() any { p := d; return &p }
 	}
+	needsGT := e.NeedsGroundTruth
 	e.Run = func(ctx context.Context, se *Session, params any) (experiment.Result, error) {
 		var p P
 		if defaults != nil {
@@ -51,6 +68,15 @@ func register[P any](name, title, group string, order int, defaults *P,
 					Err: fmt.Errorf("want *%T, got %T", p, params)}
 			}
 			p = *tp
+		}
+		if needsGT {
+			s, err := se.Study()
+			if err != nil {
+				return nil, err
+			}
+			if !s.HasGroundTruth() {
+				return nil, &NeedsGroundTruthError{Op: "experiment " + name}
+			}
 		}
 		return run(ctx, se, p)
 	}
@@ -471,7 +497,7 @@ func init() {
 					Generators: []sweep.Generator{{Kind: sweep.KindAllSingleLinkFailures, Max: 16}},
 				}
 			}
-			scenarios, err := se.SweepScenarios(spec)
+			scenarios, err := se.SweepScenarios(ctx, spec)
 			if err != nil {
 				return nil, &experiment.ParamError{Name: "sweep", Err: err}
 			}

@@ -1,0 +1,56 @@
+#!/bin/sh
+# bench_pool.sh — snapshot the dataset-cache and session-pool benchmarks.
+#
+# Runs BenchmarkDatasetColdGenerate vs BenchmarkDatasetCacheHit (the
+# paper-preset dataset built from scratch vs loaded from the
+# content-addressed study cache) and BenchmarkPoolConcurrentMixedQueries
+# (parallel queries rotated across three resident datasets), and writes
+# BENCH_pool.json. The acceptance bar is speedup_x >= 10.
+#
+# Usage: scripts/bench_pool.sh [load-benchtime] [query-benchtime]
+#        (defaults 2x and 1s)
+set -eu
+
+cd "$(dirname "$0")/.."
+LOADTIME="${1:-2x}"
+QUERYTIME="${2:-1s}"
+OUT="BENCH_pool.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run NONE -bench 'BenchmarkDataset(ColdGenerate|CacheHit)$' \
+    -benchtime "$LOADTIME" ./dataset/ | tee "$RAW"
+go test -run NONE -bench 'BenchmarkPoolConcurrentMixedQueries$' \
+    -benchtime "$QUERYTIME" ./dataset/ | tee -a "$RAW"
+
+awk -v loadtime="$LOADTIME" -v querytime="$QUERYTIME" '
+    /^BenchmarkDatasetColdGenerate/ { cold = $3 }
+    /^BenchmarkDatasetCacheHit/     { hit = $3 }
+    /^BenchmarkPoolConcurrentMixedQueries/ {
+        for (i = 1; i <= NF; i++) if ($i == "queries/s") qps = $(i - 1)
+    }
+    END {
+        if (cold == "" || hit == "" || qps == "") {
+            print "bench_pool.sh: missing benchmark output" > "/dev/stderr"
+            exit 1
+        }
+        printf "{\n"
+        printf "  \"benchmark\": \"dataset cache (paper preset: cold generate vs cache-hit load) + pool throughput (3 resident datasets, mixed queries)\",\n"
+        printf "  \"load_benchtime\": \"%s\",\n", loadtime
+        printf "  \"query_benchtime\": \"%s\",\n", querytime
+        printf "  \"cold_generate_ns\": %s,\n", cold
+        printf "  \"cache_hit_ns\": %s,\n", hit
+        printf "  \"speedup_x\": %.1f,\n", cold / hit
+        printf "  \"pool_mixed_queries_per_sec\": %s\n", qps
+        printf "}\n"
+    }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"
+
+SPEEDUP=$(awk -F': ' '/speedup_x/ {print $2+0}' "$OUT")
+awk -v s="$SPEEDUP" 'BEGIN { exit (s >= 10 ? 0 : 1) }' || {
+    echo "bench_pool.sh: cache-hit speedup ${SPEEDUP}x is below the 10x bar" >&2
+    exit 1
+}

@@ -1,26 +1,32 @@
-// Package server exposes a policyscope Session over HTTP/JSON — the
-// query-service shape of the related inference systems (named,
-// parameterized experiments over one shared precomputed snapshot).
+// Package server exposes a dataset pool of policyscope Sessions over
+// HTTP/JSON — the query-service shape of the related inference systems
+// (named, parameterized experiments over named precomputed snapshots).
 //
-//	GET  /experiments        the catalog: names, titles, default params
+//	GET  /datasets           the dataset catalog + pool residency
+//	GET  /experiments        the experiment catalog: names, titles, default params
 //	POST /run/{name}         run one experiment; body = params JSON
 //	POST /whatif             apply a scenario; body = scenario JSON
 //	POST /sweep              run a batch sweep; body = sweep request JSON
-//	GET  /healthz            liveness plus session readiness
+//	GET  /healthz            liveness, default-dataset readiness, pool stats
 //
-// /run accepts ?format=json (default) or ?format=text (the rendered
-// tables/charts, as cmd/repro prints them). /sweep streams NDJSON: one
-// per-scenario impact record per line (in scenario index order),
-// followed by a final {"aggregate": ...} line. All computation happens
-// on the shared Session: the first query pays for generation and
-// simulation, later queries reuse the memoized artifacts, and what-if
-// scenarios and sweeps run on copy-on-write engine clones so
-// concurrent requests never contend. Handlers honor the request
-// context — a disconnected client cancels its in-flight run or sweep.
+// Every query endpoint accepts ?dataset=<name> selecting the universe
+// it runs against; omitting it uses the catalog's default dataset, and
+// an unknown name is a 404 before any work. The pool retains a bounded
+// LRU of warmed sessions — the first query against a dataset pays for
+// its load (synthetic generation + simulation, or MRT import), later
+// queries reuse the memoized artifacts, and concurrent first queries
+// against one dataset are deduplicated into a single build.
+//
+// /run accepts ?format=json (default) or ?format=text. /sweep streams
+// NDJSON. Experiments that need generator ground truth return 422 with
+// a "needs ground truth" error when the selected dataset is an imported
+// snapshot. Handlers honor the request context — a disconnected client
+// cancels its in-flight run, sweep, or dataset build.
 package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,22 +35,25 @@ import (
 	"sync/atomic"
 
 	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/dataset"
 	"github.com/policyscope/policyscope/experiment"
 	"github.com/policyscope/policyscope/internal/simulate"
 	"github.com/policyscope/policyscope/internal/sweep"
 )
 
-// Server handles the HTTP surface over one Session.
+// Server handles the HTTP surface over one dataset pool.
 type Server struct {
-	sess *policyscope.Session
+	pool *dataset.Pool
 	mux  *http.ServeMux
-	// ready flips once the study is built (healthz reports it).
+	// ready flips once the default dataset's study is built (healthz
+	// reports it).
 	ready atomic.Bool
 }
 
-// New returns an http.Handler serving the session.
-func New(sess *policyscope.Session) *Server {
-	s := &Server{sess: sess, mux: http.NewServeMux()}
+// New returns an http.Handler serving the pool.
+func New(pool *dataset.Pool) *Server {
+	s := &Server{pool: pool, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
 	s.mux.HandleFunc("POST /run/{name}", s.handleRun)
 	s.mux.HandleFunc("POST /whatif", s.handleWhatIf)
@@ -56,18 +65,49 @@ func New(sess *policyscope.Session) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Warm builds the study and the base what-if engine eagerly (optional;
-// queries warm lazily too).
-func (s *Server) Warm() error {
-	err := s.sess.Warm()
+// Warm builds and warms the default dataset's session eagerly
+// (optional; queries warm lazily too). Non-default datasets stay cold
+// until first queried.
+func (s *Server) Warm(ctx context.Context) error {
+	err := s.pool.Warm(ctx)
 	if err == nil {
 		s.ready.Store(true)
 	}
 	return err
 }
 
+// Pool returns the server's dataset pool.
+func (s *Server) Pool() *dataset.Pool { return s.pool }
+
+// session resolves the request's dataset (?dataset=, default when
+// absent) to a warmed session, writing the error response itself on
+// failure: 404 for an unknown name — before any build work — and 500
+// for a failed build.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*policyscope.Session, bool) {
+	name := r.URL.Query().Get("dataset")
+	sess, err := s.pool.Session(r.Context(), name)
+	if err != nil {
+		var unknown *dataset.UnknownDatasetError
+		if errors.As(err, &unknown) {
+			writeError(w, http.StatusNotFound, err)
+		} else {
+			// A dataset that fails to load is the server's fault.
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return nil, false
+	}
+	if name == "" || name == s.pool.Catalog().Default() {
+		s.ready.Store(true)
+	}
+	return sess, true
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pool.Datasets())
+}
+
 func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.sess.Experiments())
+	writeJSON(w, http.StatusOK, policyscope.Experiments())
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -77,7 +117,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
 		return
 	}
-	res, err := s.sess.RunJSON(r.Context(), name, body)
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	res, err := sess.RunJSON(r.Context(), name, body)
 	if err != nil {
 		var nf *experiment.NotFoundError
 		var pe *experiment.ParamError
@@ -86,12 +130,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, err)
 		case errors.As(err, &pe):
 			writeError(w, http.StatusUnprocessableEntity, err)
+		case errors.Is(err, policyscope.ErrNeedsGroundTruth):
+			// The experiment exists but the selected dataset cannot
+			// answer it: the request, not the server, is at fault.
+			writeError(w, http.StatusUnprocessableEntity, err)
 		default:
 			writeError(w, http.StatusInternalServerError, err)
 		}
 		return
 	}
-	s.ready.Store(true)
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := res.Render(w); err != nil {
@@ -124,19 +171,23 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("scenario has no events"))
 		return
 	}
-	// A study/engine construction failure is the server's fault (500);
-	// only errors past a healthy base state are scenario-validation
-	// 422s.
-	if err := s.sess.Warm(); err != nil {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	// A study/engine construction failure is the server's fault (500) —
+	// except a snapshot-only dataset, which can never run what-ifs
+	// (422). Only errors past a healthy base state are
+	// scenario-validation 422s.
+	if err := sess.Warm(); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	rep, err := s.sess.WhatIf(r.Context(), sc)
+	rep, err := sess.WhatIf(r.Context(), sc)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.ready.Store(true)
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = policyscope.WriteWhatIf(w, rep, 10)
@@ -176,22 +227,25 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("bad sweep request: %w", err))
 		return
 	}
-	if err := s.sess.Warm(); err != nil {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	if err := sess.Warm(); err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	scenarios, err := s.sess.SweepScenarios(req.Spec)
+	scenarios, err := sess.SweepScenarios(r.Context(), req.Spec)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.ready.Store(true)
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
-	agg, err := s.sess.Sweep(r.Context(), scenarios, sweep.Options{
+	agg, err := sess.Sweep(r.Context(), scenarios, sweep.Options{
 		Workers: req.Workers, TopShifts: req.TopShifts, TopK: req.TopK,
 		OnImpact: func(imp *sweep.Impact) error {
 			if err := enc.Encode(imp); err != nil {
@@ -215,9 +269,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
-		OK    bool `json:"ok"`
-		Ready bool `json:"ready"`
-	}{OK: true, Ready: s.ready.Load()})
+		OK bool `json:"ok"`
+		// Ready reports whether the default dataset has been built.
+		Ready bool          `json:"ready"`
+		Pool  dataset.Stats `json:"pool"`
+	}{OK: true, Ready: s.ready.Load(), Pool: s.pool.Stats()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -7,23 +7,66 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
 	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/dataset"
 )
 
-func testServer(t *testing.T) *httptest.Server {
-	t.Helper()
+func testConfig() policyscope.Config {
 	cfg := policyscope.DefaultConfig()
 	cfg.NumASes = 200
 	cfg.Seed = 5
 	cfg.CollectorPeers = 10
 	cfg.LookingGlassASes = 6
-	ts := httptest.NewServer(New(policyscope.NewSession(cfg)))
+	return cfg
+}
+
+// testServer serves a three-dataset catalog: "default" (the synthetic
+// study the old single-session server carried), "tiny" (a second
+// synthetic universe), and "imported" (an MRT snapshot of tiny, i.e. a
+// snapshot-only dataset).
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	cat := dataset.NewCatalog()
+	if err := cat.Register("default", dataset.NewSynthetic(testConfig())); err != nil {
+		t.Fatal(err)
+	}
+	tiny := policyscope.Config{NumASes: 120, Seed: 7, CollectorPeers: 8, LookingGlassASes: 5}
+	if err := cat.Register("tiny", dataset.NewSynthetic(tiny)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Register("imported", dataset.NewMRTFile(writeTinyMRT(t, tiny))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(dataset.NewPool(cat, 3)))
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// writeTinyMRT materializes an MRT snapshot for the tiny config.
+func writeTinyMRT(t *testing.T, cfg policyscope.Config) string {
+	t.Helper()
+	study, err := policyscope.NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.mrt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := study.Snapshot.WriteMRT(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
 }
 
 func get(t *testing.T, url string) (int, []byte) {
@@ -61,22 +104,61 @@ func TestExperimentsEndpoint(t *testing.T) {
 		t.Fatalf("status %d: %s", status, body)
 	}
 	var infos []struct {
-		Name   string          `json:"name"`
-		Title  string          `json:"title"`
-		Group  string          `json:"group"`
-		Params json.RawMessage `json:"params"`
+		Name             string          `json:"name"`
+		Title            string          `json:"title"`
+		Group            string          `json:"group"`
+		NeedsGroundTruth bool            `json:"needs_ground_truth"`
+		Params           json.RawMessage `json:"params"`
 	}
 	if err := json.Unmarshal(body, &infos); err != nil {
 		t.Fatalf("%v in %s", err, body)
 	}
 	names := map[string]bool{}
+	snapshotOK := map[string]bool{}
 	for _, info := range infos {
 		names[info.Name] = true
+		snapshotOK[info.Name] = !info.NeedsGroundTruth
 	}
 	for _, want := range []string{"table1", "table5", "figure9", "whatif", "summary"} {
 		if !names[want] {
 			t.Errorf("catalog missing %s", want)
 		}
+	}
+	if !snapshotOK["table5"] || snapshotOK["table1"] {
+		t.Errorf("needs_ground_truth flags wrong: table5 snapshotOK=%v table1 snapshotOK=%v",
+			snapshotOK["table5"], snapshotOK["table1"])
+	}
+}
+
+func TestDatasetsEndpoint(t *testing.T) {
+	ts := testServer(t)
+	status, body := get(t, ts.URL+"/datasets")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var infos []struct {
+		Name    string `json:"name"`
+		Default bool   `json:"default"`
+		Spec    struct {
+			Kind string `json:"kind"`
+		} `json:"spec"`
+	}
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	if len(infos) != 3 {
+		t.Fatalf("want 3 datasets, got %s", body)
+	}
+	kinds := map[string]string{}
+	var def string
+	for _, info := range infos {
+		kinds[info.Name] = info.Spec.Kind
+		if info.Default {
+			def = info.Name
+		}
+	}
+	if def != "default" || kinds["imported"] != dataset.KindMRT || kinds["tiny"] != dataset.KindSynthetic {
+		t.Fatalf("unexpected catalog: %s", body)
 	}
 }
 
@@ -119,6 +201,47 @@ func TestRunEndpoint(t *testing.T) {
 	}
 	if status, _ = post(t, ts.URL+"/run/table6", `{"bogus": 1}`); status != http.StatusUnprocessableEntity {
 		t.Fatalf("bad params status %d", status)
+	}
+}
+
+// TestDatasetSelection exercises ?dataset= across the three catalog
+// entries: a second synthetic universe answers with different bytes
+// than the default, an unknown name 404s before any work, and the
+// imported snapshot runs snapshot-capable experiments but answers
+// ground-truth-dependent ones with 422.
+func TestDatasetSelection(t *testing.T) {
+	ts := testServer(t)
+
+	status, defBody := post(t, ts.URL+"/run/table5", "")
+	if status != http.StatusOK {
+		t.Fatalf("default: %d %s", status, defBody)
+	}
+	status, tinyBody := post(t, ts.URL+"/run/table5?dataset=tiny", "")
+	if status != http.StatusOK {
+		t.Fatalf("tiny: %d %s", status, tinyBody)
+	}
+	if string(defBody) == string(tinyBody) {
+		t.Fatal("tiny dataset answered with the default dataset's bytes")
+	}
+
+	// Unknown dataset → 404, and no session was built for it.
+	if status, _ = post(t, ts.URL+"/run/table5?dataset=nope", ""); status != http.StatusNotFound {
+		t.Fatalf("unknown dataset status %d", status)
+	}
+
+	// The imported MRT snapshot runs the SA detector...
+	status, body := post(t, ts.URL+"/run/table5?dataset=imported", "")
+	if status != http.StatusOK {
+		t.Fatalf("imported table5: %d %s", status, body)
+	}
+	// ...but has no ground truth for Table 1 or what-ifs.
+	status, body = post(t, ts.URL+"/run/table1?dataset=imported", "")
+	if status != http.StatusUnprocessableEntity || !strings.Contains(string(body), "ground truth") {
+		t.Fatalf("imported table1: %d %s", status, body)
+	}
+	status, body = post(t, ts.URL+"/whatif?dataset=imported", `{"events": [{"kind": "link_fail", "a": 1, "b": 2}]}`)
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("imported whatif: %d %s", status, body)
 	}
 }
 
@@ -240,8 +363,8 @@ func TestSweepEndpoint(t *testing.T) {
 func TestSweepClientDisconnect(t *testing.T) {
 	ts := testServer(t)
 	// Warm so the sweep itself is the only slow part.
-	if status, body := get(t, ts.URL+"/healthz"); status != http.StatusOK {
-		t.Fatalf("healthz: %d %s", status, body)
+	if status, body := post(t, ts.URL+"/run/overview", ""); status != http.StatusOK {
+		t.Fatalf("warm: %d %s", status, body)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/sweep",
@@ -265,13 +388,15 @@ func TestSweepClientDisconnect(t *testing.T) {
 	}
 }
 
-// TestConcurrentRequests hammers one server with a mixed workload — the
-// production pattern the Session exists for. Run with -race.
+// TestConcurrentRequests hammers one server with a mixed multi-dataset
+// workload — the production pattern the pool exists for. Run with
+// -race.
 func TestConcurrentRequests(t *testing.T) {
 	ts := testServer(t)
 	paths := []string{
 		"/run/table2", "/run/table5", "/run/table7", "/run/case3",
-		"/run/atoms", "/run/whatif", "/run/whatif", "/run/summary",
+		"/run/atoms", "/run/whatif", "/run/summary",
+		"/run/table5?dataset=tiny", "/run/table8?dataset=imported",
 	}
 	var wg sync.WaitGroup
 	errs := make(chan string, 2*len(paths))
@@ -299,5 +424,36 @@ func TestHealthz(t *testing.T) {
 	status, body := get(t, ts.URL+"/healthz")
 	if status != http.StatusOK || !strings.Contains(string(body), `"ok": true`) {
 		t.Fatalf("healthz: %d %s", status, body)
+	}
+	var h struct {
+		OK    bool `json:"ok"`
+		Ready bool `json:"ready"`
+		Pool  struct {
+			Datasets int    `json:"datasets"`
+			Default  string `json:"default"`
+			Resident int    `json:"resident"`
+			Capacity int    `json:"capacity"`
+		} `json:"pool"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Pool.Datasets != 3 || h.Pool.Default != "default" || h.Pool.Capacity != 3 {
+		t.Fatalf("pool stats: %s", body)
+	}
+	if h.Ready {
+		t.Fatal("ready before any default-dataset query")
+	}
+
+	// A default-dataset query flips readiness and registers residency.
+	if status, body := post(t, ts.URL+"/run/table5", ""); status != http.StatusOK {
+		t.Fatalf("table5: %d %s", status, body)
+	}
+	_, body = get(t, ts.URL+"/healthz")
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Ready || h.Pool.Resident != 1 {
+		t.Fatalf("after query: %s", body)
 	}
 }

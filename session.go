@@ -105,11 +105,18 @@ func (se *Session) baseEngine() (*simulate.Engine, error) {
 // Warm eagerly builds the study and the base what-if engine. Servers
 // call it before accepting traffic, and to tell construction failures
 // (the session's fault) from per-query errors (the query's fault).
+// Snapshot-only studies have no engine to warm; Warm succeeds once the
+// study is built, and what-if/sweep calls fail per-query with
+// ErrNeedsGroundTruth.
 func (se *Session) Warm() error {
-	if _, err := se.Study(); err != nil {
+	s, err := se.Study()
+	if err != nil {
 		return err
 	}
-	_, err := se.baseEngine()
+	if !s.HasGroundTruth() {
+		return nil
+	}
+	_, err = se.baseEngine()
 	return err
 }
 
@@ -138,13 +145,16 @@ func (se *Session) WhatIf(ctx context.Context, sc simulate.Scenario) (*WhatIfRep
 // SweepScenarios expands a sweep spec against the session's base
 // topology into the concrete scenario list a sweep will run, without
 // running anything. Servers use it to reject a bad spec before any
-// stream output is written.
-func (se *Session) SweepScenarios(spec sweep.Spec) ([]simulate.Scenario, error) {
+// stream output is written. ctx cancels the expansion — generator
+// enumeration over a large topology (every link, every
+// (prefix, attacker) pair) is real work, and a disconnected client
+// stops it mid-family like every other Session entry point.
+func (se *Session) SweepScenarios(ctx context.Context, spec sweep.Spec) ([]simulate.Scenario, error) {
 	base, err := se.baseEngine()
 	if err != nil {
 		return nil, err
 	}
-	return sweep.Expand(base.Topology(), spec)
+	return sweep.Expand(ctx, base.Topology(), spec)
 }
 
 // Sweep runs a batch of scenarios against the session's base state on
@@ -177,6 +187,10 @@ func (se *Session) LookingGlass() (*lookingglass.Server, error) {
 		s, err := se.Study()
 		if err != nil {
 			se.lgErr = err
+			return
+		}
+		if !s.HasGroundTruth() {
+			se.lgErr = &NeedsGroundTruthError{Op: "looking glass"}
 			return
 		}
 		tables := make(map[bgp.ASN]*bgp.RIB, len(s.Peers))
@@ -221,7 +235,22 @@ func (se *Session) persistence(k persistKey) (core.PersistenceResult, error) {
 }
 
 // Experiments returns the serializable experiment catalog in run order.
-func (se *Session) Experiments() []experiment.Info { return catalog.Infos() }
+// The catalog is process-wide: it does not depend on any session's
+// configuration or dataset.
+func Experiments() []experiment.Info { return catalog.Infos() }
+
+// ValidateKV checks an experiment name and key=value parameter
+// overrides against the catalog without running anything — the
+// fail-fast check a CLI performs before paying for dataset
+// construction. It returns *experiment.NotFoundError for an unknown
+// name and *experiment.ParamError for undecodable parameters.
+func ValidateKV(name string, kv []string) error {
+	_, err := catalog.DecodeKV(name, kv)
+	return err
+}
+
+// Experiments returns the serializable experiment catalog in run order.
+func (se *Session) Experiments() []experiment.Info { return Experiments() }
 
 // Run executes the named experiment. ctx cancels an in-flight run (a
 // sweep stops between scenarios; a disconnected HTTP client aborts its
@@ -261,6 +290,11 @@ func (se *Session) RunAll(ctx context.Context, w io.Writer, opts RunAllOptions) 
 		opts.TierOneProviders = 3
 	}
 	for _, out := range se.runAllSequence(opts) {
+		if skip, err := se.skipInRunAll(out.name); err != nil {
+			return err
+		} else if skip {
+			continue
+		}
 		res, err := se.Run(ctx, out.name, out.params)
 		if err != nil {
 			return fmt.Errorf("policyscope: %s: %w", out.name, err)
@@ -273,6 +307,24 @@ func (se *Session) RunAll(ctx context.Context, w io.Writer, opts RunAllOptions) 
 		}
 	}
 	return nil
+}
+
+// skipInRunAll reports whether a full sweep should pass over the named
+// experiment: on a snapshot-only dataset the ground-truth-dependent
+// experiments are unanswerable by construction, so the sweep runs the
+// snapshot-capable ones instead of aborting at the first typed error.
+// Running such an experiment *by name* still returns
+// ErrNeedsGroundTruth — only the battery filters.
+func (se *Session) skipInRunAll(name string) (bool, error) {
+	e, ok := catalog.Get(name)
+	if !ok || !e.NeedsGroundTruth {
+		return false, nil
+	}
+	s, err := se.Study()
+	if err != nil {
+		return false, err
+	}
+	return !s.HasGroundTruth(), nil
 }
 
 // RunAllDocument is the JSON form of a full sweep: one entry per
@@ -300,6 +352,11 @@ func (se *Session) RunAllJSON(ctx context.Context, opts RunAllOptions) (*RunAllD
 	}
 	doc := &RunAllDocument{Config: se.cfg}
 	for _, out := range se.runAllSequence(opts) {
+		if skip, err := se.skipInRunAll(out.name); err != nil {
+			return nil, err
+		} else if skip {
+			continue
+		}
 		res, err := se.Run(ctx, out.name, out.params)
 		if err != nil {
 			return nil, fmt.Errorf("policyscope: %s: %w", out.name, err)

@@ -20,6 +20,7 @@
 package policyscope
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,26 +35,47 @@ import (
 	"github.com/policyscope/policyscope/internal/topogen"
 )
 
-// Config sizes a study.
+// ErrNeedsGroundTruth is the sentinel wrapped by every failure caused by
+// asking a snapshot-only study (an imported MRT table dump) for an
+// analysis that reads generator ground truth — the annotated topology,
+// the full per-vantage tables, or the simulation engine. Match with
+// errors.Is.
+var ErrNeedsGroundTruth = errors.New("needs ground truth, but the study is snapshot-only")
+
+// NeedsGroundTruthError reports which operation required ground truth.
+type NeedsGroundTruthError struct {
+	// Op names the experiment or subsystem ("table1", "what-if engine").
+	Op string
+}
+
+func (e *NeedsGroundTruthError) Error() string {
+	return fmt.Sprintf("policyscope: %s %v", e.Op, ErrNeedsGroundTruth)
+}
+
+// Unwrap makes errors.Is(err, ErrNeedsGroundTruth) succeed.
+func (e *NeedsGroundTruthError) Unwrap() error { return ErrNeedsGroundTruth }
+
+// Config sizes a study. The JSON names are the dataset-manifest and
+// wire vocabulary (dataset.Catalog, RunAllDocument).
 type Config struct {
 	// NumASes is the synthetic Internet's size.
-	NumASes int
+	NumASes int `json:"ases"`
 	// Seed drives every random choice.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// CollectorPeers is the RouteViews-style peer count (the paper's
 	// collector had 56 peers).
-	CollectorPeers int
+	CollectorPeers int `json:"peers,omitempty"`
 	// LookingGlassASes is how many vantage ASes expose full tables with
 	// local preference (the paper used 15).
-	LookingGlassASes int
+	LookingGlassASes int `json:"lg,omitempty"`
 	// UseInferredRelationships switches the analyses from ground-truth
 	// relationships to Gao-inferred ones (the paper's actual setting;
 	// Section 4.3 bounds the error).
-	UseInferredRelationships bool
+	UseInferredRelationships bool `json:"inferred,omitempty"`
 	// Parallelism bounds simulation workers (0 = GOMAXPROCS).
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
 	// Tuning optionally adjusts the synthetic Internet's policy mix.
-	Tuning *TopologyTuning
+	Tuning *TopologyTuning `json:"tuning,omitempty"`
 }
 
 // TopologyTuning exposes the generator knobs that change experiment
@@ -64,21 +86,21 @@ type Config struct {
 type TopologyTuning struct {
 	// TierOneCount overrides the Tier-1 clique size (0 keeps the
 	// derived default; a zero-sized clique is not a valid Internet).
-	TierOneCount int
+	TierOneCount int `json:"tier_one_count,omitempty"`
 	// SelectiveAnnounceProb is the probability a multihomed origin
 	// selectively announces a prefix (drives Tables 5-9).
-	SelectiveAnnounceProb *float64
+	SelectiveAnnounceProb *float64 `json:"selective_announce_prob,omitempty"`
 	// AtypicalPrefProb is the share of sessions with class-order
 	// violations (drives Tables 2-3).
-	AtypicalPrefProb *float64
+	AtypicalPrefProb *float64 `json:"atypical_pref_prob,omitempty"`
 	// TaggingProb is the share of ASes deploying relationship-tagging
 	// communities (drives Table 4 coverage).
-	TaggingProb *float64
+	TaggingProb *float64 `json:"tagging_prob,omitempty"`
 	// PeerSelectiveProb is the probability a peer withholds prefixes
 	// from another peer (drives Table 10).
-	PeerSelectiveProb *float64
+	PeerSelectiveProb *float64 `json:"peer_selective_prob,omitempty"`
 	// MeanPrefixesStub scales table sizes.
-	MeanPrefixesStub *float64
+	MeanPrefixesStub *float64 `json:"mean_prefixes_stub,omitempty"`
 }
 
 // Prob returns a pointer to v — shorthand for populating
@@ -96,23 +118,31 @@ func DefaultConfig() Config {
 	}
 }
 
-// Study is a generated Internet plus its converged routing state and the
-// vantage data every experiment consumes.
+// Study is an Internet plus the vantage data the experiments consume.
+// Synthetic studies carry the full ground truth (generated topology and
+// converged per-vantage tables); snapshot-only studies — built from an
+// imported MRT table dump — carry just the collector snapshot, run the
+// snapshot-driven experiments, and answer ground-truth-dependent ones
+// with ErrNeedsGroundTruth.
 type Study struct {
 	Config Config
-	// Topo is the generated ground truth.
+	// Topo is the generated ground truth (nil for snapshot-only studies).
 	Topo *topogen.Topology
 	// Peers are the collector's peer ASes (all of them vantage points).
 	Peers []bgp.ASN
 	// LookingGlass is the subset of peers whose full tables play the
-	// role of the paper's 15 Looking Glass servers.
+	// role of the paper's 15 Looking Glass servers (empty when the study
+	// has no full tables).
 	LookingGlass []bgp.ASN
-	// Result holds the converged state (full tables at every peer).
+	// Result holds the converged state (full tables at every peer; nil
+	// for snapshot-only studies).
 	Result *simulate.Result
 	// Snapshot is the collector's best-route view.
 	Snapshot *routeviews.Snapshot
 	// Graph is the relationship source used by the analyses: the ground
-	// truth by default, the Gao-inferred graph when configured.
+	// truth by default, the Gao-inferred graph when configured — and
+	// always the inferred graph for snapshot-only studies, which have no
+	// ground truth to consult.
 	Graph *asgraph.Graph
 
 	tiers map[bgp.ASN]int
@@ -185,82 +215,181 @@ func (cfg Config) TopologyConfig() topogen.Config {
 	return tcfg
 }
 
+// StudyInputs is the raw material a Study is assembled from. Dataset
+// sources — synthetic generation, MRT import, the on-disk cache — own
+// data acquisition and hand the result here; NewStudyFromInputs only
+// derives the shared analysis state (Looking Glass selection, the
+// relationship graph, the tier map).
+type StudyInputs struct {
+	// Config records how the inputs were produced (or, for imports, how
+	// to analyze them: seed, parallelism, inference toggle).
+	Config Config
+	// Topo is the generated ground truth; nil for snapshot-only inputs.
+	Topo *topogen.Topology
+	// Result holds the full per-vantage tables; nil for snapshot-only
+	// inputs. Topo and Result come and go together.
+	Result *simulate.Result
+	// Peers is the collector peer set; defaulted from Snapshot.Peers.
+	Peers []bgp.ASN
+	// Snapshot is the collector's best-route view (required).
+	Snapshot *routeviews.Snapshot
+}
+
 // NewStudy generates, simulates and collects everything.
 func NewStudy(cfg Config) (*Study, error) {
-	if cfg.NumASes <= 0 {
-		return nil, fmt.Errorf("policyscope: NumASes must be positive")
+	in, err := GenerateInputs(cfg)
+	if err != nil {
+		return nil, err
 	}
+	return NewStudyFromInputs(in)
+}
+
+// GenerateInputs runs the synthetic pipeline — topology generation, BGP
+// simulation to convergence, collector snapshot — and returns the full
+// ground-truth inputs. Dataset sources call it so they can persist the
+// inputs before study assembly.
+func GenerateInputs(cfg Config) (StudyInputs, error) {
 	if cfg.CollectorPeers <= 0 {
 		cfg.CollectorPeers = 24
 	}
 	if cfg.LookingGlassASes <= 0 {
 		cfg.LookingGlassASes = 15
 	}
-	topo, err := topogen.Generate(cfg.TopologyConfig())
+	topo, peers, err := GenerateTopology(cfg)
 	if err != nil {
-		return nil, err
+		return StudyInputs{}, err
 	}
-	peers := routeviews.SelectPeers(topo, cfg.CollectorPeers)
 	res, err := simulate.Run(topo, simulate.Options{
 		VantagePoints: peers,
 		Parallelism:   cfg.Parallelism,
 	})
 	if err != nil {
-		return nil, err
+		return StudyInputs{}, err
 	}
 	if len(res.Unconverged) > 0 {
-		return nil, fmt.Errorf("policyscope: %d prefixes did not converge", len(res.Unconverged))
+		return StudyInputs{}, fmt.Errorf("policyscope: %d prefixes did not converge", len(res.Unconverged))
 	}
 	snap, err := routeviews.Collect(res, peers, 0)
 	if err != nil {
-		return nil, err
+		return StudyInputs{}, err
+	}
+	return StudyInputs{Config: cfg, Topo: topo, Result: res, Peers: peers, Snapshot: snap}, nil
+}
+
+// GenerateTopology generates just the annotated topology and the
+// collector peer selection for cfg — the engine-only slice of
+// GenerateInputs, for consumers (scenario engines, sweeps) that run
+// their own convergence and have no use for the simulated tables. The
+// peer set matches what a full GenerateInputs of the same cfg selects.
+func GenerateTopology(cfg Config) (*topogen.Topology, []bgp.ASN, error) {
+	if cfg.NumASes <= 0 {
+		return nil, nil, fmt.Errorf("policyscope: NumASes must be positive")
+	}
+	if cfg.CollectorPeers <= 0 {
+		cfg.CollectorPeers = 24
+	}
+	topo, err := topogen.Generate(cfg.TopologyConfig())
+	if err != nil {
+		return nil, nil, err
+	}
+	return topo, routeviews.SelectPeers(topo, cfg.CollectorPeers), nil
+}
+
+// NewStudyFromInputs assembles a Study from already-acquired inputs.
+// With Topo and Result present the study is fully ground-truth-capable;
+// with only a Snapshot it is snapshot-only: relationship analysis runs
+// over the Gao-inferred graph (UseInferredRelationships is forced) and
+// ground-truth-dependent experiments return ErrNeedsGroundTruth.
+func NewStudyFromInputs(in StudyInputs) (*Study, error) {
+	if in.Snapshot == nil {
+		return nil, fmt.Errorf("policyscope: inputs have no snapshot")
+	}
+	if (in.Topo == nil) != (in.Result == nil) {
+		return nil, fmt.Errorf("policyscope: inputs must carry both Topo and Result or neither")
+	}
+	cfg := in.Config
+	peers := in.Peers
+	if len(peers) == 0 {
+		peers = append([]bgp.ASN(nil), in.Snapshot.Peers...)
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("policyscope: inputs have no collector peers")
+	}
+	if cfg.CollectorPeers <= 0 {
+		cfg.CollectorPeers = len(peers)
+	}
+	if in.Topo == nil {
+		// No ground truth to analyze against: relationships must come
+		// from the observed paths.
+		cfg.UseInferredRelationships = true
 	}
 	s := &Study{
 		Config:   cfg,
-		Topo:     topo,
+		Topo:     in.Topo,
 		Peers:    peers,
-		Result:   res,
-		Snapshot: snap,
+		Result:   in.Result,
+		Snapshot: in.Snapshot,
 	}
-	// Looking Glass ASes: a mix like Table 1's — the largest peers plus
-	// some mid-size ones.
-	lg := append([]bgp.ASN(nil), peers...)
-	sort.Slice(lg, func(i, j int) bool {
-		di, dj := topo.Graph.Degree(lg[i]), topo.Graph.Degree(lg[j])
-		if di != dj {
-			return di > dj
+	if in.Result != nil {
+		if cfg.LookingGlassASes <= 0 {
+			cfg.LookingGlassASes = 15
+			s.Config.LookingGlassASes = 15
 		}
-		return lg[i] < lg[j]
-	})
-	if len(lg) > cfg.LookingGlassASes {
-		lg = lg[:cfg.LookingGlassASes]
+		// Looking Glass ASes: a mix like Table 1's — the largest peers
+		// plus some mid-size ones.
+		lg := append([]bgp.ASN(nil), peers...)
+		sort.Slice(lg, func(i, j int) bool {
+			di, dj := in.Topo.Graph.Degree(lg[i]), in.Topo.Graph.Degree(lg[j])
+			if di != dj {
+				return di > dj
+			}
+			return lg[i] < lg[j]
+		})
+		if len(lg) > cfg.LookingGlassASes {
+			lg = lg[:cfg.LookingGlassASes]
+		}
+		sort.Slice(lg, func(i, j int) bool { return lg[i] < lg[j] })
+		s.LookingGlass = lg
 	}
-	sort.Slice(lg, func(i, j int) bool { return lg[i] < lg[j] })
-	s.LookingGlass = lg
 
 	// Gao inference is expensive and usually only consulted for the
 	// Section 4.3 accuracy bound: leave it to the lazy gate unless the
-	// study is configured to analyze over inferred relationships.
+	// study analyzes over inferred relationships.
 	if cfg.UseInferredRelationships {
 		s.Graph = s.Inference().Graph
 	} else {
-		s.Graph = topo.Graph
+		s.Graph = in.Topo.Graph
 	}
 	s.tiers = s.Graph.Tiers()
 	return s, nil
 }
 
+// NewStudyFromSnapshot builds a snapshot-only study over one collector
+// snapshot (the MRT-import path). cfg carries analysis knobs (Seed,
+// Parallelism); sizing fields are derived from the snapshot.
+func NewStudyFromSnapshot(snap *routeviews.Snapshot, cfg Config) (*Study, error) {
+	return NewStudyFromInputs(StudyInputs{Config: cfg, Snapshot: snap})
+}
+
+// HasGroundTruth reports whether the study carries generator ground
+// truth (annotated topology + full vantage tables). Snapshot-only
+// studies answer false; their ground-truth-dependent experiments return
+// ErrNeedsGroundTruth.
+func (s *Study) HasGroundTruth() bool { return s.Topo != nil && s.Result != nil }
+
 // TierOneVantages returns the study's Tier-1 vantage ASes (largest
-// first), the analogues of AS1/AS3549/AS7018.
+// first), the analogues of AS1/AS3549/AS7018. Tier and degree come from
+// the analysis relationship graph, so snapshot-only studies (inferred
+// graph) and ground-truth studies answer through the same lens.
 func (s *Study) TierOneVantages(n int) []bgp.ASN {
 	var t1 []bgp.ASN
 	for _, asn := range s.Peers {
-		if s.Topo.TierOf(asn) == 1 {
+		if s.tiers[asn] == 1 {
 			t1 = append(t1, asn)
 		}
 	}
 	sort.Slice(t1, func(i, j int) bool {
-		di, dj := s.Topo.Graph.Degree(t1[i]), s.Topo.Graph.Degree(t1[j])
+		di, dj := s.Graph.Degree(t1[i]), s.Graph.Degree(t1[j])
 		if di != dj {
 			return di > dj
 		}
@@ -287,8 +416,11 @@ func (s *Study) AllPeerViews() []core.BestView {
 }
 
 // VantageTables returns the full tables of every peer (the path-index
-// input).
+// input), or nil for snapshot-only studies.
 func (s *Study) VantageTables() []*bgp.RIB {
+	if s.Result == nil {
+		return nil
+	}
 	out := make([]*bgp.RIB, 0, len(s.Peers))
 	for _, p := range s.Peers {
 		out = append(out, s.Result.Tables[p])

@@ -37,6 +37,9 @@ type WhatIfReport struct {
 // successive Apply calls compound on it while the study itself stays on
 // the base configuration.
 func (s *Study) WhatIfEngine() (*simulate.Engine, error) {
+	if s.Topo == nil {
+		return nil, &NeedsGroundTruthError{Op: "what-if engine"}
+	}
 	return simulate.NewEngine(s.Topo, simulate.Options{
 		VantagePoints: s.Peers,
 		Parallelism:   s.Config.Parallelism,
