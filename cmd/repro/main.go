@@ -38,24 +38,31 @@ import (
 
 	policyscope "github.com/policyscope/policyscope"
 	"github.com/policyscope/policyscope/dataset"
+	"github.com/policyscope/policyscope/internal/profiling"
 )
+
+// profStop flushes any active profiles; fail() and normal returns both
+// run it so -cpuprofile/-memprofile survive error exits.
+var profStop = func() {}
 
 func main() {
 	var (
-		ases     = flag.Int("ases", 2000, "number of ASes in the synthetic Internet")
-		seed     = flag.Int64("seed", 42, "random seed (runs are deterministic per seed)")
-		peers    = flag.Int("peers", 56, "collector peer count (the paper's RouteViews had 56)")
-		lg       = flag.Int("lg", 15, "Looking Glass vantage count")
-		inferred = flag.Bool("inferred", false, "use Gao-inferred relationships instead of ground truth")
-		daily    = flag.Int("daily", 31, "daily persistence epochs (0 skips Figures 6a/7a)")
-		hourly   = flag.Int("hourly", 12, "hourly persistence epochs (0 skips Figures 6b/7b)")
-		routers  = flag.Int("routers", 30, "border routers in the Figure 2(b) refinement")
-		format   = flag.String("format", "text", "output format: text or json")
-		runName  = flag.String("run", "", "run a single experiment by registry name")
-		list     = flag.Bool("list", false, "list the experiment catalog and exit")
-		dsName   = flag.String("dataset", "", "dataset to run against (preset or manifest entry; default: flag-derived config)")
-		manifest = flag.String("manifest", "", "JSON dataset manifest to add to the catalog")
-		cacheDir = flag.String("cache-dir", "", "content-addressed study cache directory")
+		ases       = flag.Int("ases", 2000, "number of ASes in the synthetic Internet")
+		seed       = flag.Int64("seed", 42, "random seed (runs are deterministic per seed)")
+		peers      = flag.Int("peers", 56, "collector peer count (the paper's RouteViews had 56)")
+		lg         = flag.Int("lg", 15, "Looking Glass vantage count")
+		inferred   = flag.Bool("inferred", false, "use Gao-inferred relationships instead of ground truth")
+		daily      = flag.Int("daily", 31, "daily persistence epochs (0 skips Figures 6a/7a)")
+		hourly     = flag.Int("hourly", 12, "hourly persistence epochs (0 skips Figures 6b/7b)")
+		routers    = flag.Int("routers", 30, "border routers in the Figure 2(b) refinement")
+		format     = flag.String("format", "text", "output format: text or json")
+		runName    = flag.String("run", "", "run a single experiment by registry name")
+		list       = flag.Bool("list", false, "list the experiment catalog and exit")
+		dsName     = flag.String("dataset", "", "dataset to run against (preset or manifest entry; default: flag-derived config)")
+		manifest   = flag.String("manifest", "", "JSON dataset manifest to add to the catalog")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed study cache directory")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	var params paramList
 	flag.Var(&params, "p", "experiment parameter override key=value (repeatable, with -run)")
@@ -69,6 +76,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "repro: -p requires -run <experiment>\n")
 		os.Exit(2)
 	}
+	profStop = profiling.MustStart(*cpuProfile, *memProfile, fail)
+	defer profStop()
 
 	cfg := policyscope.DefaultConfig()
 	cfg.NumASes = *ases
@@ -166,6 +175,7 @@ func (p *paramList) Set(v string) error {
 }
 
 func fail(err error) {
+	profStop()
 	fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 	os.Exit(1)
 }

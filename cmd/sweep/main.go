@@ -41,28 +41,35 @@ import (
 	policyscope "github.com/policyscope/policyscope"
 	"github.com/policyscope/policyscope/dataset"
 	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/profiling"
 	"github.com/policyscope/policyscope/internal/simulate"
 	"github.com/policyscope/policyscope/internal/sweep"
 )
 
+// profStop flushes any active profiles; fail() and normal returns both
+// run it so -cpuprofile/-memprofile survive error exits.
+var profStop = func() {}
+
 func main() {
 	var (
-		ases      = flag.Int("ases", 800, "number of ASes")
-		seed      = flag.Int64("seed", 42, "random seed")
-		peers     = flag.Int("peers", 24, "collector peers (the sweep's vantage points)")
-		workers   = flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS)")
-		specPath  = flag.String("spec", "", "sweep spec JSON file ('-' = stdin)")
-		gen       = flag.String("gen", "", "generator shorthand instead of -spec (e.g. all_single_link_failures)")
-		genAS     = flag.Int("as", 0, "target AS for per-AS generators (-gen)")
-		genMax    = flag.Int("max", 0, "cap the generator's scenario count (-gen)")
-		genTier   = flag.Int("tier", 0, "restrict link failures to links touching this tier (-gen)")
-		records   = flag.String("records", "", "write per-scenario NDJSON records to this file ('-' = stdout)")
-		format    = flag.String("format", "json", "aggregate output: json or text")
-		topK      = flag.Int("top", 10, "aggregate top-k critical scenarios")
-		topShifts = flag.Int("top-shifts", 3, "per-record most-shifted prefix detail")
-		quiet     = flag.Bool("quiet", false, "suppress progress output")
-		dsName    = flag.String("dataset", "", "dataset to sweep (preset or manifest entry; default: flag-derived config)")
-		manifest  = flag.String("manifest", "", "JSON dataset manifest to add to the catalog")
+		ases       = flag.Int("ases", 800, "number of ASes")
+		seed       = flag.Int64("seed", 42, "random seed")
+		peers      = flag.Int("peers", 24, "collector peers (the sweep's vantage points)")
+		workers    = flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS)")
+		specPath   = flag.String("spec", "", "sweep spec JSON file ('-' = stdin)")
+		gen        = flag.String("gen", "", "generator shorthand instead of -spec (e.g. all_single_link_failures)")
+		genAS      = flag.Int("as", 0, "target AS for per-AS generators (-gen)")
+		genMax     = flag.Int("max", 0, "cap the generator's scenario count (-gen)")
+		genTier    = flag.Int("tier", 0, "restrict link failures to links touching this tier (-gen)")
+		records    = flag.String("records", "", "write per-scenario NDJSON records to this file ('-' = stdout)")
+		format     = flag.String("format", "json", "aggregate output: json or text")
+		topK       = flag.Int("top", 10, "aggregate top-k critical scenarios")
+		topShifts  = flag.Int("top-shifts", 3, "per-record most-shifted prefix detail")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		dsName     = flag.String("dataset", "", "dataset to sweep (preset or manifest entry; default: flag-derived config)")
+		manifest   = flag.String("manifest", "", "JSON dataset manifest to add to the catalog")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *format != "json" && *format != "text" {
@@ -71,6 +78,8 @@ func main() {
 	if *specPath != "" && *gen != "" {
 		fail(fmt.Errorf("-spec and -gen are mutually exclusive"))
 	}
+	profStop = profiling.MustStart(*cpuProfile, *memProfile, fail)
+	defer profStop()
 
 	spec, err := resolveSpec(*specPath, *gen, *genAS, *genMax, *genTier)
 	if err != nil {
@@ -197,6 +206,7 @@ func resolveSpec(specPath, gen string, genAS, genMax, genTier int) (sweep.Spec, 
 }
 
 func fail(err error) {
+	profStop()
 	fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
 	os.Exit(1)
 }

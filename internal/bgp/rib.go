@@ -1,7 +1,8 @@
 package bgp
 
 import (
-	"sort"
+	"slices"
+	"sync/atomic"
 
 	"github.com/policyscope/policyscope/internal/netx"
 )
@@ -18,6 +19,13 @@ type RIB struct {
 	Owner ASN
 
 	entries map[netx.Prefix]*ribEntry
+	// sorted caches Prefixes() output. Mutations that change the prefix
+	// set store nil (invalidate); readers rebuild lazily. It is atomic
+	// because analyses read one table from many goroutines — concurrent
+	// readers may both rebuild (benign, each result is equivalent) but
+	// must never observe a torn cache. The cached slice is never mutated
+	// in place, so COW clones may share it safely.
+	sorted atomic.Pointer[[]netx.Prefix]
 	// maxStep lets ablations truncate the decision process; zero means
 	// the full seven steps.
 	maxStep DecisionStep
@@ -28,11 +36,29 @@ type RIB struct {
 	owned map[netx.Prefix]bool
 }
 
+// ribEntry holds one prefix's candidates as two aligned slices sorted by
+// announcing neighbor ASN (locally originated routes use the owner's own
+// ASN as the key). The flat layout keeps Upsert/Withdraw allocation-free
+// in the steady state and makes the deterministic candidate order
+// (ascending neighbor) implicit instead of re-sorted per access.
 type ribEntry struct {
-	// candidates are keyed by announcing neighbor; locally originated
-	// routes use the owner's own ASN as the key.
-	candidates map[ASN]*Route
-	best       *Route
+	nbrs   []ASN
+	routes []*Route
+	best   *Route
+}
+
+// find returns the index of neighbor in e.nbrs and whether it is present;
+// when absent, the index is the insertion point.
+func (e *ribEntry) find(neighbor ASN) (int, bool) {
+	return slices.BinarySearch(e.nbrs, neighbor)
+}
+
+func (e *ribEntry) clone() *ribEntry {
+	return &ribEntry{
+		nbrs:   append([]ASN(nil), e.nbrs...),
+		routes: append([]*Route(nil), e.routes...),
+		best:   e.best,
+	}
 }
 
 // NewRIB returns an empty table owned by asn.
@@ -57,18 +83,16 @@ func (t *RIB) depth() DecisionStep {
 func (t *RIB) writableEntry(prefix netx.Prefix) *ribEntry {
 	e := t.entries[prefix]
 	if e == nil {
-		e = &ribEntry{candidates: make(map[ASN]*Route, 4)}
+		e = &ribEntry{}
 		t.entries[prefix] = e
+		t.sorted.Store(nil)
 		if t.cow {
 			t.owned[prefix] = true
 		}
 		return e
 	}
 	if t.cow && !t.owned[prefix] {
-		ce := &ribEntry{candidates: make(map[ASN]*Route, len(e.candidates)+1), best: e.best}
-		for n, r := range e.candidates {
-			ce.candidates[n] = r
-		}
+		ce := e.clone()
 		t.entries[prefix] = ce
 		t.owned[prefix] = true
 		e = ce
@@ -82,8 +106,18 @@ func (t *RIB) writableEntry(prefix netx.Prefix) *ribEntry {
 // route for the prefix changed.
 func (t *RIB) Upsert(neighbor ASN, route *Route) bool {
 	e := t.writableEntry(route.Prefix)
-	e.candidates[neighbor] = route
-	return t.reselect(route.Prefix, e)
+	i, ok := e.find(neighbor)
+	if ok {
+		e.routes[i] = route
+	} else {
+		e.nbrs = append(e.nbrs, 0)
+		copy(e.nbrs[i+1:], e.nbrs[i:])
+		e.nbrs[i] = neighbor
+		e.routes = append(e.routes, nil)
+		copy(e.routes[i+1:], e.routes[i:])
+		e.routes[i] = route
+	}
+	return t.reselect(e)
 }
 
 // Withdraw removes the route for prefix learned from neighbor. It returns
@@ -93,29 +127,26 @@ func (t *RIB) Withdraw(neighbor ASN, prefix netx.Prefix) bool {
 	if e == nil {
 		return false
 	}
-	if _, ok := e.candidates[neighbor]; !ok {
+	if _, ok := e.find(neighbor); !ok {
 		return false
 	}
 	e = t.writableEntry(prefix)
-	delete(e.candidates, neighbor)
-	if len(e.candidates) == 0 {
+	i, _ := e.find(neighbor)
+	e.nbrs = append(e.nbrs[:i], e.nbrs[i+1:]...)
+	e.routes = append(e.routes[:i], e.routes[i+1:]...)
+	if len(e.nbrs) == 0 {
 		delete(t.entries, prefix)
+		t.sorted.Store(nil)
 		return e.best != nil
 	}
-	return t.reselect(prefix, e)
+	return t.reselect(e)
 }
 
-func (t *RIB) reselect(prefix netx.Prefix, e *ribEntry) bool {
-	// Deterministic candidate order: neighbors ascending. This makes the
-	// "first wins" tie-break reproducible across runs.
-	neighbors := make([]ASN, 0, len(e.candidates))
-	for n := range e.candidates {
-		neighbors = append(neighbors, n)
-	}
-	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+// reselect recomputes the entry's best route over the candidates in
+// ascending-neighbor order (the deterministic "first wins" tie-break).
+func (t *RIB) reselect(e *ribEntry) bool {
 	var best *Route
-	for _, n := range neighbors {
-		r := e.candidates[n]
+	for _, r := range e.routes {
 		if best == nil || Compare(r, best, t.depth()) < 0 {
 			best = r
 		}
@@ -140,19 +171,75 @@ func routesEqual(a, b *Route) bool {
 		len(a.Communities) == len(b.Communities)
 }
 
+// InstallConverged replaces prefix's entry wholesale with pre-selected
+// state: neighbors must be ascending, routes aligned with them, and best
+// the route the decision process would pick (nil only when routes is
+// empty, which drops the prefix). The simulator's capture path uses it to
+// install converged per-prefix state without re-running selection or
+// re-sorting; both slices are copied.
+func (t *RIB) InstallConverged(prefix netx.Prefix, neighbors []ASN, routes []*Route, best *Route) {
+	if len(neighbors) == 0 {
+		t.DropPrefix(prefix)
+		return
+	}
+	e := &ribEntry{
+		nbrs:   append([]ASN(nil), neighbors...),
+		routes: append([]*Route(nil), routes...),
+		best:   best,
+	}
+	if _, present := t.entries[prefix]; !present {
+		t.sorted.Store(nil)
+	}
+	t.entries[prefix] = e
+	if t.cow {
+		t.owned[prefix] = true
+	}
+}
+
+// EntrySnapshot is a copied view of one prefix's entry, used by the
+// scenario engine's rollback journal to restore a table slice without
+// replaying events.
+type EntrySnapshot struct {
+	Present   bool
+	Neighbors []ASN
+	Routes    []*Route
+	Best      *Route
+}
+
+// SnapshotEntry copies prefix's current entry (Present=false when the
+// table has no candidates for it).
+func (t *RIB) SnapshotEntry(prefix netx.Prefix) EntrySnapshot {
+	e := t.entries[prefix]
+	if e == nil {
+		return EntrySnapshot{}
+	}
+	return EntrySnapshot{
+		Present:   true,
+		Neighbors: append([]ASN(nil), e.nbrs...),
+		Routes:    append([]*Route(nil), e.routes...),
+		Best:      e.best,
+	}
+}
+
+// RestoreEntry reinstates a snapshot taken with SnapshotEntry.
+func (t *RIB) RestoreEntry(prefix netx.Prefix, snap EntrySnapshot) {
+	if !snap.Present {
+		t.DropPrefix(prefix)
+		return
+	}
+	t.InstallConverged(prefix, snap.Neighbors, snap.Routes, snap.Best)
+}
+
 // Clone returns an independent deep copy of the table. Route values are
 // shared (the simulator never mutates an installed *Route); the entry
-// and candidate maps are copied, so Upsert/Withdraw/DropPrefix on the
-// clone leave the original untouched.
+// map and candidate slices are copied, so Upsert/Withdraw/DropPrefix on
+// the clone leave the original untouched.
 func (t *RIB) Clone() *RIB {
 	c := &RIB{Owner: t.Owner, maxStep: t.maxStep,
 		entries: make(map[netx.Prefix]*ribEntry, len(t.entries))}
+	c.sorted.Store(t.sorted.Load())
 	for p, e := range t.entries {
-		ce := &ribEntry{candidates: make(map[ASN]*Route, len(e.candidates)), best: e.best}
-		for n, r := range e.candidates {
-			ce.candidates[n] = r
-		}
-		c.entries[p] = ce
+		c.entries[p] = e.clone()
 	}
 	return c
 }
@@ -161,7 +248,7 @@ func (t *RIB) Clone() *RIB {
 // copied up front; the per-prefix entries stay shared and are copied
 // lazily on their first mutation through the clone, so cloning a large
 // table to rewrite a handful of prefixes costs O(prefixes) pointers
-// instead of a full candidate-map deep copy. The receiver MUST NOT be
+// instead of a full candidate deep copy. The receiver MUST NOT be
 // mutated after CloneCOW (it still references the shared entries); the
 // scenario engine enforces this by retiring the source table once any
 // clone exists.
@@ -169,6 +256,7 @@ func (t *RIB) CloneCOW() *RIB {
 	c := &RIB{Owner: t.Owner, maxStep: t.maxStep,
 		entries: make(map[netx.Prefix]*ribEntry, len(t.entries)),
 		cow:     true, owned: make(map[netx.Prefix]bool)}
+	c.sorted.Store(t.sorted.Load())
 	for p, e := range t.entries {
 		c.entries[p] = e
 	}
@@ -183,6 +271,7 @@ func (t *RIB) DropPrefix(prefix netx.Prefix) bool {
 		return false
 	}
 	delete(t.entries, prefix)
+	t.sorted.Store(nil)
 	return true
 }
 
@@ -193,13 +282,8 @@ func (t *RIB) DropPrefix(prefix netx.Prefix) bool {
 func (t *RIB) EachCandidate(fn func(prefix netx.Prefix, from ASN, r *Route)) {
 	for _, prefix := range t.Prefixes() {
 		e := t.entries[prefix]
-		neighbors := make([]ASN, 0, len(e.candidates))
-		for n := range e.candidates {
-			neighbors = append(neighbors, n)
-		}
-		sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
-		for _, n := range neighbors {
-			fn(prefix, n, e.candidates[n])
+		for i, n := range e.nbrs {
+			fn(prefix, n, e.routes[i])
 		}
 	}
 }
@@ -219,39 +303,42 @@ func (t *RIB) Best(prefix netx.Prefix) *Route {
 }
 
 // Candidates returns every candidate route for prefix in ascending
-// neighbor order (the order IOS would list paths deterministically).
+// neighbor order (the order IOS would list paths deterministically). The
+// returned slice is a copy and safe to hold across mutations.
 func (t *RIB) Candidates(prefix netx.Prefix) []*Route {
 	e := t.entries[prefix]
 	if e == nil {
 		return nil
 	}
-	neighbors := make([]ASN, 0, len(e.candidates))
-	for n := range e.candidates {
-		neighbors = append(neighbors, n)
-	}
-	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
-	out := make([]*Route, 0, len(neighbors))
-	for _, n := range neighbors {
-		out = append(out, e.candidates[n])
-	}
-	return out
+	return append([]*Route(nil), e.routes...)
 }
 
 // CandidateFrom returns the candidate learned from the given neighbor.
 func (t *RIB) CandidateFrom(prefix netx.Prefix, neighbor ASN) *Route {
 	if e := t.entries[prefix]; e != nil {
-		return e.candidates[neighbor]
+		if i, ok := e.find(neighbor); ok {
+			return e.routes[i]
+		}
 	}
 	return nil
 }
 
-// Prefixes returns every prefix with at least one route, in Compare order.
+// Prefixes returns every prefix with at least one route, in Compare
+// order. The slice is cached and invalidated by prefix-set mutations
+// (Upsert of a new prefix, Withdraw of a last candidate, DropPrefix,
+// InstallConverged), so repeated calls — one per collector peer in
+// ViewFromPeerTable — neither allocate nor re-sort. Concurrent readers
+// are safe on a quiescent table; treat the result as read-only.
 func (t *RIB) Prefixes() []netx.Prefix {
+	if cached := t.sorted.Load(); cached != nil {
+		return *cached
+	}
 	out := make([]netx.Prefix, 0, len(t.entries))
 	for p := range t.entries {
 		out = append(out, p)
 	}
 	netx.SortPrefixes(out)
+	t.sorted.Store(&out)
 	return out
 }
 
@@ -262,7 +349,7 @@ func (t *RIB) Len() int { return len(t.entries) }
 func (t *RIB) NumRoutes() int {
 	n := 0
 	for _, e := range t.entries {
-		n += len(e.candidates)
+		n += len(e.routes)
 	}
 	return n
 }

@@ -1,0 +1,107 @@
+package simulate
+
+// The cold-convergence gate benchmarks (scripts/bench_converge.sh →
+// BENCH_converge.json). The subject is the paper preset's topology
+// (600 ASes, the scale policyscope.DefaultConfig simulates) with 24
+// vantage points:
+//
+//   - BenchmarkConvergeCold / BenchmarkConvergeColdLegacy gate the
+//     ≥3x end-to-end speedup of the atom-sharded, allocation-lean
+//     engine over the pre-refactor reference (engine_equivalence_test
+//     proves the results byte-identical);
+//   - BenchmarkConvergeColdNoDedup isolates the zero-alloc core's share
+//     of the win (atom dedup disabled);
+//   - BenchmarkConvergeAllocs / BenchmarkConvergeAllocsLegacy gate the
+//     ≥5x allocs/op reduction of the propagation loop (run with
+//     -benchmem; single-threaded so allocs/op is stable).
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/topogen"
+)
+
+var (
+	convergeOnce    sync.Once
+	convergeTopo    *topogen.Topology
+	convergeVantage []bgp.ASN
+)
+
+// convergeBenchSetup memoizes the paper-preset topology shared by the
+// converge benchmarks.
+func convergeBenchSetup(b *testing.B) (*topogen.Topology, []bgp.ASN) {
+	b.Helper()
+	convergeOnce.Do(func() {
+		convergeTopo, convergeVantage = equivalenceTopo(b, 600, 42)
+	})
+	if convergeTopo == nil {
+		b.Skip("topology generation failed earlier")
+	}
+	return convergeTopo, convergeVantage
+}
+
+func BenchmarkConvergeCold(b *testing.B) {
+	topo, vantage := convergeBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(topo, Options{VantagePoints: vantage})
+		if err != nil || len(res.Tables) == 0 {
+			b.Fatalf("err %v", err)
+		}
+	}
+	b.ReportMetric(float64(len(topo.PrefixOrigin)), "prefixes")
+}
+
+func BenchmarkConvergeColdNoDedup(b *testing.B) {
+	topo, vantage := convergeBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(topo, Options{VantagePoints: vantage, DisableAtomDedup: true})
+		if err != nil || len(res.Tables) == 0 {
+			b.Fatalf("err %v", err)
+		}
+	}
+}
+
+func BenchmarkConvergeColdLegacy(b *testing.B) {
+	topo, vantage := convergeBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := legacyRun(topo, Options{VantagePoints: vantage})
+		if len(res.Tables) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkConvergeAllocs runs the optimized loop single-threaded so
+// allocs/op is deterministic; the allocation gate divides the legacy
+// variant's allocs/op by this one's.
+func BenchmarkConvergeAllocs(b *testing.B) {
+	topo, vantage := convergeBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(topo, Options{VantagePoints: vantage, Parallelism: 1})
+		if err != nil || len(res.Tables) == 0 {
+			b.Fatalf("err %v", err)
+		}
+	}
+}
+
+func BenchmarkConvergeAllocsLegacy(b *testing.B) {
+	topo, vantage := convergeBenchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _ := legacyRun(topo, Options{VantagePoints: vantage, Parallelism: 1})
+		if len(res.Tables) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}

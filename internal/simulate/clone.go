@@ -48,8 +48,17 @@ func (en *Engine) Clone() *Engine {
 		vantage: e.vantage,
 		depth:   e.depth,
 		budget:  e.budget,
+		// The atom partition is immutable; staleness is tracked per
+		// engine (the clone goes stale on its own Applies).
+		atoms:      e.atoms,
+		atomsStale: e.atomsStale,
 		// Outer slices copied; inner neighbor/relationship slices are
-		// shared because rebuildAdjacency replaces them wholesale.
+		// shared because rebuildAdjacency replaces them wholesale. The
+		// CSR offsets are copied because rebuildCSR rewrites them in
+		// place; the fresh statePool (zero value) keys off adjVersion.
+		csrOff:      append([]int32(nil), e.csrOff...),
+		back:        append([][]int32(nil), e.back...),
+		adjVersion:  e.adjVersion,
 		nbrs:        append([][]int32(nil), e.nbrs...),
 		rels:        append([][]asgraph.Relationship(nil), e.rels...),
 		pols:        make([]*topogen.Policy, len(e.asns)),

@@ -12,6 +12,19 @@
 // paper observes the Internet through RouteViews peers and Looking Glass
 // servers.
 //
+// Two structural optimizations keep the loop fast without changing its
+// results (engine_equivalence_test.go proves byte-identity against a
+// reference implementation):
+//
+//   - the hot loop is allocation-lean: candidates live in a flat CSR
+//     store aligned with the adjacency, Route/Path values come from
+//     per-worker arenas, and best-route selection is an inline linear
+//     scan (candidates always have distinct next-hop ASes, so the
+//     deterministic-MED grouping of bgp.Best degenerates to it);
+//   - prefixes are converged atom-sharded (see atoms.go): one full
+//     propagation per propagation-equivalence class, then a cheap
+//     deviation re-convergence per member prefix.
+//
 // On top of the one-shot Run/RunSubset entry points, the package offers a
 // what-if scenario engine (see scenario.go): Engine holds a converged
 // state plus a per-prefix record of every AS's best next hop, and
@@ -26,7 +39,6 @@ package simulate
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"github.com/policyscope/policyscope/internal/asgraph"
@@ -58,6 +70,11 @@ type Options struct {
 	// count; 0 uses a generous default. Prefixes exceeding it are
 	// reported in Result.Unconverged.
 	ActivationBudget int
+	// DisableAtomDedup turns off atom-sharded convergence and runs every
+	// prefix through the full per-prefix fixpoint. The results are
+	// identical either way (the equivalence property tests prove it);
+	// the knob exists for benchmarking and as an escape hatch.
+	DisableAtomDedup bool
 }
 
 // Result is the observable outcome of a run.
@@ -84,12 +101,36 @@ type engine struct {
 	pols  []*topogen.Policy
 	depth bgp.DecisionStep
 
+	// csrOff is the CSR offset table over nbrs (len n+1); adjVersion
+	// bumps whenever the adjacency (and hence the layout) changes, so
+	// pooled worker states know to re-size their candidate stores. back
+	// is the reverse index: back[u][j] is the position of u inside
+	// nbrs[v] for v = nbrs[u][j], so the export loop addresses the
+	// receiver's candidate slot without a binary search.
+	csrOff     []int32
+	back       [][]int32
+	adjVersion uint64
+	statePool  sync.Pool
+
 	vantage     map[int]bool
 	tables      map[int]*tableSlot
 	budget      int
 	reachCounts []int64 // indexed like prefix list
 	prefixes    []netx.Prefix
 	prefixIdx   map[netx.Prefix]int
+
+	// atoms is the propagation-equivalence partition used by the cold
+	// convergence path; nil when dedup is disabled. atomsStale is set by
+	// Engine.Apply — scenario events can change origins, policies and
+	// adjacency, invalidating the partition — and routes later
+	// convergences through the plain per-prefix path. See atoms.go.
+	atoms      *atomIndex
+	atomsStale bool
+
+	// journal, when armed via Engine.Checkpoint, captures pre-images of
+	// everything the next Apply overwrites so Rollback can restore the
+	// checkpointed state. See journal.go.
+	journal *applyJournal
 
 	// track, when non-nil, records for every prefix the converged best
 	// next hop of every AS: track[prefixIdx][asIdx] is the as-index the
@@ -98,8 +139,10 @@ type engine struct {
 	// pre-event routing state from this forest.
 	track [][]int32
 	// trackShared marks track rows shared with a copy-on-write engine
-	// clone: the row is copied before its first in-place write. Nil
-	// until the first Clone.
+	// clone: the row is copied or replaced before its first in-place
+	// write. Nil until the first Clone. (Atom fan-out deliberately does
+	// NOT share rows between class members — members diverge whenever a
+	// deviation flips a best choice, so every prefix owns its row.)
 	trackShared []bool
 }
 
@@ -154,6 +197,7 @@ func newEngine(topo *topogen.Topology, opts Options) *engine {
 		}
 		e.pols[i] = topo.Policies[asn]
 	}
+	e.rebuildCSR()
 	e.depth = opts.DecisionDepth
 	if e.depth == 0 {
 		e.depth = bgp.StepRouterID
@@ -184,7 +228,48 @@ func newEngine(topo *topogen.Topology, opts Options) *engine {
 		e.prefixIdx[p] = i
 	}
 	e.reachCounts = make([]int64, len(e.prefixes))
+	if e.atomsApplicable() {
+		e.atoms = buildAtomIndex(e)
+	}
 	return e
+}
+
+// atomsApplicable reports whether atom-sharded convergence is safe for
+// the configured options. The fan-out correctness argument relies on the
+// uniqueness of the converged fixpoint under the full decision process;
+// truncated-decision ablations fall back to plain per-prefix propagation.
+func (e *engine) atomsApplicable() bool {
+	if e.opts.DisableAtomDedup {
+		return false
+	}
+	return e.opts.DecisionDepth == 0 || e.opts.DecisionDepth == bgp.StepRouterID
+}
+
+// rebuildCSR refreshes the CSR offsets and the reverse index from the
+// per-AS adjacency lists and bumps the adjacency version so pooled
+// worker states re-size.
+func (e *engine) rebuildCSR() {
+	n := len(e.asns)
+	if e.csrOff == nil {
+		e.csrOff = make([]int32, n+1)
+	}
+	if e.back == nil {
+		e.back = make([][]int32, n)
+	}
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		e.csrOff[i] = off
+		off += int32(len(e.nbrs[i]))
+	}
+	e.csrOff[n] = off
+	for u := range e.nbrs {
+		// Fresh slices: clones share the outer array until they rebuild.
+		e.back[u] = make([]int32, len(e.nbrs[u]))
+		for j, v := range e.nbrs[u] {
+			e.back[u][j] = int32(slotOf(e.nbrs[v], int32(u)))
+		}
+	}
+	e.adjVersion++
 }
 
 // Run simulates the whole topology.
@@ -243,36 +328,40 @@ func (e *engine) buildResult(unconverged []netx.Prefix) *Result {
 	return res
 }
 
+// runPrefixes converges the given prefixes — atom-sharded when the
+// partition is available, plain per-prefix otherwise — and returns the
+// sorted list of prefixes that exhausted their activation budget.
 func (e *engine) runPrefixes(prefixes []netx.Prefix) []netx.Prefix {
 	var (
 		mu          sync.Mutex
 		unconverged []netx.Prefix
 	)
-	e.forEachPrefix(prefixes, func(st *workerState, p netx.Prefix) {
-		if !e.propagate(st, p) {
-			mu.Lock()
-			unconverged = append(unconverged, p)
-			mu.Unlock()
-		}
-	})
+	fail := func(p netx.Prefix) {
+		mu.Lock()
+		unconverged = append(unconverged, p)
+		mu.Unlock()
+	}
+	if e.atoms != nil && !e.atomsStale {
+		e.runAtoms(prefixes, fail)
+	} else {
+		e.forEachPrefix(prefixes, func(st *workerState, p netx.Prefix) {
+			if !e.propagate(st, p) {
+				fail(p)
+			}
+			e.capture(st, p)
+		})
+	}
 	netx.SortPrefixes(unconverged)
 	return unconverged
 }
 
-// forEachPrefix runs fn over every prefix on a bounded worker pool, one
-// reusable workerState per worker. Both the full-convergence and the
-// incremental scenario passes schedule through it.
-func (e *engine) forEachPrefix(prefixes []netx.Prefix, fn func(*workerState, netx.Prefix)) {
-	workers := e.opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(prefixes) {
-		workers = len(prefixes)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+// forEachIndex runs body(i) for every i in [0, n) on a bounded worker
+// pool. setup runs once per worker and returns the per-item body plus a
+// teardown invoked when the worker drains. Every parallel pass (full
+// convergence, atom groups, incremental scenarios) schedules through
+// it.
+func (e *engine) forEachIndex(n int, setup func() (body func(int), done func())) {
+	workers := e.workerCount(n)
 	var (
 		mu   sync.Mutex
 		next int
@@ -282,98 +371,88 @@ func (e *engine) forEachPrefix(prefixes []netx.Prefix, fn func(*workerState, net
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st := newWorkerState(len(e.asns))
+			body, done := setup()
+			defer done()
 			for {
 				mu.Lock()
-				if next >= len(prefixes) {
+				if next >= n {
 					mu.Unlock()
 					return
 				}
-				p := prefixes[next]
+				i := next
 				next++
 				mu.Unlock()
-				fn(st, p)
+				body(i)
 			}
 		}()
 	}
 	wg.Wait()
 }
 
-// workerState is the reusable per-prefix scratch space.
-type workerState struct {
-	version  uint32
-	seen     []uint32
-	cands    []map[int32]*bgp.Route
-	best     []*bgp.Route
-	bestFrom []int32 // as-index best was learned from; own index = local; trackNone = none
-	inQueue  []bool
-	queue    []int32
-	touched  []int32
+// forEachPrefix runs fn over every prefix, one pooled workerState per
+// worker.
+func (e *engine) forEachPrefix(prefixes []netx.Prefix, fn func(*workerState, netx.Prefix)) {
+	e.forEachIndex(len(prefixes), func() (func(int), func()) {
+		st := e.getState()
+		return func(i int) { fn(st, prefixes[i]) },
+			func() { e.putState(st) }
+	})
 }
 
-func newWorkerState(n int) *workerState {
-	return &workerState{
-		seen:     make([]uint32, n),
-		cands:    make([]map[int32]*bgp.Route, n),
-		best:     make([]*bgp.Route, n),
-		bestFrom: make([]int32, n),
-		inQueue:  make([]bool, n),
+func (e *engine) workerCount(items int) int {
+	workers := e.opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-}
-
-func (st *workerState) reset() {
-	st.version++
-	st.queue = st.queue[:0]
-	st.touched = st.touched[:0]
-}
-
-func (st *workerState) touch(i int32) {
-	if st.seen[i] != st.version {
-		st.seen[i] = st.version
-		st.cands[i] = nil
-		st.best[i] = nil
-		st.bestFrom[i] = trackNone
-		st.inQueue[i] = false
-		st.touched = append(st.touched, i)
+	if workers > items {
+		workers = items
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
-// propagate runs one prefix to convergence. It returns false when the
-// activation budget is exhausted.
+// propagate runs one prefix to convergence in st (without capturing).
+// It returns false when the activation budget is exhausted. The caller
+// captures st into the engine's observable state afterwards.
 func (e *engine) propagate(st *workerState, prefix netx.Prefix) bool {
 	origin, ok := e.topo.PrefixOrigin[prefix]
 	if !ok {
+		st.reset()
+		st.curPrefix = prefix
+		st.originIdx = trackNone
 		return true
 	}
 	oi := int32(e.idx[origin])
 	st.reset()
+	st.curPrefix = prefix
+	st.originIdx = oi
 	st.touch(oi)
 
-	st.best[oi] = localRoute(prefix, origin)
+	st.best[oi] = localRoute(&st.routes, prefix, origin)
 	st.bestFrom[oi] = oi
 	st.push(oi)
 
-	budget := e.budget * (len(e.asns) + e.topo.Graph.NumEdges())
-	activations := 0
-	for len(st.queue) > 0 {
-		activations++
-		if activations > budget {
-			e.capture(st, prefix)
-			return false
-		}
-		u := st.queue[0]
-		st.queue = st.queue[1:]
-		st.inQueue[u] = false
-		e.exportFrom(st, u)
-	}
-	e.capture(st, prefix)
-	return true
+	return e.drain(st)
 }
 
-func (st *workerState) push(i int32) {
-	if !st.inQueue[i] {
-		st.inQueue[i] = true
-		st.queue = append(st.queue, i)
+// drain runs the event-driven activation loop in st until quiescence or
+// budget exhaustion (false).
+func (e *engine) drain(st *workerState) bool {
+	budget := e.budget * (len(e.asns) + e.topo.Graph.NumEdges())
+	activations := 0
+	for {
+		u := st.pop()
+		if u < 0 {
+			return true
+		}
+		activations++
+		if activations > budget {
+			return false
+		}
+		st.inQueue[u] = false
+		e.exportFrom(st, u)
 	}
 }
 
@@ -383,18 +462,21 @@ func (e *engine) exportFrom(st *workerState, u int32) {
 	best := st.best[u]
 	for j, v := range e.nbrs[u] {
 		relVtoU := e.rels[u][j] // what v is to u
-		allowed := best != nil && e.shouldExport(u, v, relVtoU, best)
+		vslot := e.back[u][j]
+		allowed := best != nil && e.shouldExport(u, v, relVtoU, best, st.curPrefix)
 		if allowed {
-			e.announce(st, u, v, relVtoU, best)
+			e.announceAt(st, u, v, vslot, relVtoU, best)
 		} else {
-			e.withdraw(st, u, v)
+			e.withdrawAt(st, u, v, vslot)
 		}
 	}
 }
 
 // shouldExport applies the export rules of Section 2.2.2 plus the
-// topology's ground-truth export policies.
-func (e *engine) shouldExport(u, v int32, relVtoU asgraph.Relationship, route *bgp.Route) bool {
+// topology's ground-truth export policies. prefix is the authoritative
+// destination (route.Prefix may belong to the atom representative during
+// fan-out re-convergence and is never consulted).
+func (e *engine) shouldExport(u, v int32, relVtoU asgraph.Relationship, route *bgp.Route, prefix netx.Prefix) bool {
 	uASN, vASN := e.asns[u], e.asns[v]
 
 	// Ingress class of the route at u.
@@ -403,13 +485,16 @@ func (e *engine) shouldExport(u, v int32, relVtoU asgraph.Relationship, route *b
 		nh, _ := route.NextHopAS()
 		ingress = e.topo.Graph.Rel(uASN, nh)
 	}
-	return exportAllowed(uASN, vASN, relVtoU, ingress, route, e.pols[u])
+	return exportAllowed(uASN, vASN, relVtoU, ingress, route, prefix, e.pols[u])
 }
 
 // exportAllowed is the policy core of shouldExport with the ingress
 // classification already resolved, so the scenario engine can evaluate
-// it against a pre-event relationship view or policy snapshot.
-func exportAllowed(uASN, vASN bgp.ASN, relVtoU, ingress asgraph.Relationship, route *bgp.Route, pol *topogen.Policy) bool {
+// it against a pre-event relationship view or policy snapshot. prefix is
+// passed explicitly (instead of read from the route) because atom
+// fan-out re-converges member prefixes over state borrowed from their
+// class representative.
+func exportAllowed(uASN, vASN bgp.ASN, relVtoU, ingress asgraph.Relationship, route *bgp.Route, prefix netx.Prefix, pol *topogen.Policy) bool {
 	// Well-known NO_EXPORT / NO_ADVERTISE.
 	if route.Communities.Has(bgp.NoExport) || route.Communities.Has(bgp.NoAdvertise) {
 		return false
@@ -435,119 +520,149 @@ func exportAllowed(uASN, vASN bgp.ASN, relVtoU, ingress asgraph.Relationship, ro
 
 	// Origin-side selective announcement (Case 3 subsets).
 	if route.IsLocal() && relVtoU == asgraph.RelProvider {
-		if !pol.Export.AnnouncesToProvider(route.Prefix, vASN) {
+		if !pol.Export.AnnouncesToProvider(prefix, vASN) {
 			return false
 		}
 	}
 	// Origin-side withholding from a peer (Table 10).
 	if route.IsLocal() && relVtoU == asgraph.RelPeer {
-		if pol.Export.ExcludedFromPeer(route.Prefix, vASN) {
+		if pol.Export.ExcludedFromPeer(prefix, vASN) {
 			return false
 		}
 	}
 	// Intermediate-AS selective announcement.
 	if ingress == asgraph.RelCustomer && relVtoU == asgraph.RelProvider {
-		if pol.Export.TransitExcluded(uASN, route.Prefix, vASN) {
+		if pol.Export.TransitExcluded(uASN, prefix, vASN) {
 			return false
 		}
 	}
 	// Provider-side aggregation of delegated specifics (Case 2): the
 	// covering block is announced instead; the specific stays inside.
-	if ingress == asgraph.RelCustomer && pol.Export.AggregateSpecifics[route.Prefix] {
+	if ingress == asgraph.RelCustomer && pol.Export.AggregateSpecifics[prefix] {
 		return false
 	}
 	return true
 }
 
-// announce builds the route as seen at v and installs it.
+// announce builds the route as seen at v and installs it (position
+// resolved by binary search; the export loop uses announceAt).
 func (e *engine) announce(st *workerState, u, v int32, relVtoU asgraph.Relationship, best *bgp.Route) {
-	uASN, vASN := e.asns[u], e.asns[v]
-	// Loop prevention: v discards routes already carrying its ASN.
-	if best.Path.Contains(vASN) || vASN == e.topo.PrefixOrigin[best.Prefix] {
-		e.withdraw(st, u, v)
+	j := slotOf(e.nbrs[v], u)
+	if j < 0 {
 		return
 	}
-	r := e.buildAnnouncement(uASN, vASN, relVtoU, best, e.pols[u], e.pols[v])
-	st.touch(v)
-	if st.cands[v] == nil {
-		st.cands[v] = make(map[int32]*bgp.Route, 4)
+	e.announceAt(st, u, v, int32(j), relVtoU, best)
+}
+
+// announceAt builds the route as seen at v and installs it in the given
+// slot of v's candidate row.
+func (e *engine) announceAt(st *workerState, u, v, vslot int32, relVtoU asgraph.Relationship, best *bgp.Route) {
+	uASN, vASN := e.asns[u], e.asns[v]
+	// Loop prevention: v discards routes already carrying its ASN.
+	if best.Path.Contains(vASN) || v == st.originIdx {
+		e.withdrawAt(st, u, v, vslot)
+		return
 	}
-	prev := st.cands[v][u]
+	r := e.buildAnnouncement(uASN, vASN, relVtoU, best, st.curPrefix, e.pols[u], e.pols[v], st)
+	st.touch(v)
+	prev := st.cs.at(v, vslot)
 	if prev != nil && sameRoute(prev, r) {
 		return
 	}
-	st.cands[v][u] = r
+	st.cs.setAt(v, vslot, r)
 	e.reselect(st, v)
 }
 
 // buildAnnouncement constructs the route v installs when u announces
 // best over a session where v is relVtoU to u. The announcing and
 // receiving policies are explicit so the scenario engine can rebuild
-// pre-event routes against policy snapshots.
-func (e *engine) buildAnnouncement(uASN, vASN bgp.ASN, relVtoU asgraph.Relationship, best *bgp.Route, polU, polV *topogen.Policy) *bgp.Route {
+// pre-event routes against policy snapshots; prefix is the authoritative
+// destination (best.Prefix may be the atom representative's). When st is
+// non-nil the Route and Path are carved from its arenas and are only
+// valid until the worker state resets; a nil st allocates from the heap
+// (the reconstruction paths that memoize routes across prefixes).
+func (e *engine) buildAnnouncement(uASN, vASN bgp.ASN, relVtoU asgraph.Relationship, best *bgp.Route, prefix netx.Prefix, polU, polV *topogen.Policy, st *workerState) *bgp.Route {
 	comm := best.Communities
 	if best.IsLocal() && polU != nil {
-		if tagged, ok := polU.Export.NoUpstream[best.Prefix]; ok && tagged == vASN {
-			comm = comm.Add(bgp.MakeCommunity(vASN, topogen.NoUpstreamValue))
+		if tagged, ok := polU.Export.NoUpstream[prefix]; ok && tagged == vASN {
+			comm = addCommunity(st, comm, bgp.MakeCommunity(vASN, topogen.NoUpstreamValue))
 		}
 	}
-	path := best.Path.Prepend(uASN, 1)
+	var path bgp.Path
+	if st != nil {
+		path = st.paths.prepend(uASN, best.Path)
+	} else {
+		path = best.Path.Prepend(uASN, 1)
+	}
 
 	// Import side at v: local preference and relationship tagging.
 	var lp uint32 = bgp.DefaultLocalPref
 	if !e.opts.IgnoreImportPolicy {
-		lp = e.topo.EffectiveLocalPrefWith(polV, vASN, uASN, best.Prefix)
+		lp = e.topo.EffectiveLocalPrefWith(polV, vASN, uASN, prefix)
 	}
 	if polV != nil && polV.Tagging != nil {
 		if tag, ok := polV.Tagging.TagFor(relVtoU.Invert(), uASN); ok {
 			// relVtoU is what v is to u; the tag classifies u from v's
 			// point of view, hence the inversion.
-			comm = comm.Add(tag)
+			comm = addCommunity(st, comm, tag)
 		}
 	}
 
-	return &bgp.Route{
-		Prefix:      best.Prefix,
+	var r *bgp.Route
+	if st != nil {
+		r = st.routes.alloc()
+	} else {
+		r = new(bgp.Route)
+	}
+	*r = bgp.Route{
+		Prefix:      prefix,
 		Path:        path,
 		NextHop:     routerIP(uASN),
 		LocalPref:   lp,
 		Origin:      best.Origin,
 		Communities: comm,
 	}
+	return r
 }
 
 func (e *engine) withdraw(st *workerState, u, v int32) {
-	if st.seen[v] != st.version || st.cands[v] == nil {
+	if st.seen[v] != st.version {
 		return
 	}
-	if _, ok := st.cands[v][u]; !ok {
+	if !st.cs.del(e.nbrs[v], v, u) {
 		return
 	}
-	delete(st.cands[v], u)
+	e.reselect(st, v)
+}
+
+func (e *engine) withdrawAt(st *workerState, u, v, vslot int32) {
+	if st.seen[v] != st.version {
+		return
+	}
+	if !st.cs.delAt(v, vslot) {
+		return
+	}
 	e.reselect(st, v)
 }
 
 // reselect recomputes v's best route and schedules v when it changed.
+// Candidates are scanned in ascending neighbor order (implicit in the
+// CSR layout); because every candidate has a distinct next-hop AS, the
+// deterministic-MED grouping of bgp.Best degenerates to this linear
+// Compare scan, allocation-free.
 func (e *engine) reselect(st *workerState, v int32) {
-	// Deterministic candidate order: ascending neighbor index.
-	keys := make([]int32, 0, len(st.cands[v]))
-	for k := range st.cands[v] {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	cands := make([]*bgp.Route, 0, len(keys))
-	for _, k := range keys {
-		cands = append(cands, st.cands[v][k])
-	}
-	newBest := bgp.Best(cands, e.depth)
-	from := trackNone
-	for i, r := range cands {
-		if r == newBest {
-			from = keys[i]
-			break
+	var (
+		newBest *bgp.Route
+		from    = trackNone
+	)
+	st.cs.each(e.nbrs[v], v, func(u int32, r *bgp.Route) {
+		if newBest == nil || bgp.Compare(r, newBest, e.depth) < 0 {
+			newBest = r
+			from = u
 		}
-	}
+	})
 	if routesEquivalent(newBest, st.best[v]) {
+		st.best[v] = newBest
 		st.bestFrom[v] = from
 		return
 	}
@@ -556,8 +671,12 @@ func (e *engine) reselect(st *workerState, v int32) {
 	st.push(v)
 }
 
+// sameRoute compares every attribute except Prefix: within one prefix's
+// convergence all routes share the logical destination, and during atom
+// fan-out the borrowed representative state carries the representative's
+// Prefix until capture rewrites it.
 func sameRoute(a, b *bgp.Route) bool {
-	return a.Prefix == b.Prefix && a.LocalPref == b.LocalPref &&
+	return a.LocalPref == b.LocalPref &&
 		a.MED == b.MED && a.Origin == b.Origin &&
 		a.Path.Equal(b.Path) && len(a.Communities) == len(b.Communities) &&
 		communitiesEqual(a.Communities, b.Communities)
@@ -582,13 +701,26 @@ func routesEquivalent(a, b *bgp.Route) bool {
 	return sameRoute(a, b)
 }
 
-// capture copies converged state into vantage tables and reach counters.
+// persistRoute deep-copies an arena-backed route into heap memory with
+// the authoritative prefix, so it can outlive the worker state inside a
+// vantage table. Communities are shared (immutable once built).
+func persistRoute(r *bgp.Route, prefix netx.Prefix) *bgp.Route {
+	c := *r
+	c.Prefix = prefix
+	c.Path = r.Path.Clone()
+	return &c
+}
+
+// capture copies converged state from st into vantage tables, reach
+// counters and (when tracking) the best forest, for the prefix st was
+// converged for.
 func (e *engine) capture(st *workerState, prefix netx.Prefix) {
 	pi := e.prefixIdx[prefix]
 	if e.track != nil {
 		row := e.track[pi]
-		// A row shared with an engine clone is replaced, not rewritten
-		// in place: capture overwrites every cell anyway.
+		// A row shared with an engine clone (or another atom member) is
+		// replaced, not rewritten in place: capture overwrites every cell
+		// anyway.
 		if row == nil || (e.trackShared != nil && e.trackShared[pi]) {
 			row = make([]int32, len(e.asns))
 			e.track[pi] = row
@@ -605,30 +737,60 @@ func (e *engine) capture(st *workerState, prefix netx.Prefix) {
 	}
 	reach := 0
 	for _, i := range st.touched {
-		if st.best[i] != nil || len(st.cands[i]) > 0 {
+		if st.best[i] != nil || st.cs.count[i] > 0 {
 			reach++
 		}
 		if !e.vantage[int(i)] {
 			continue
 		}
-		slot := e.tables[int(i)]
-		slot.mu.Lock()
-		rib := slot.writable()
-		if st.best[i] != nil && st.best[i].IsLocal() {
-			rib.Upsert(e.asns[i], st.best[i])
-		}
-		// Candidates in deterministic order.
-		keys := make([]int32, 0, len(st.cands[i]))
-		for k := range st.cands[i] {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-		for _, k := range keys {
-			rib.Upsert(e.asns[k], st.cands[i][k])
-		}
-		slot.mu.Unlock()
+		e.captureVantage(st, i, prefix)
 	}
 	e.reachCounts[pi] = int64(reach)
+}
+
+// captureVantage installs AS i's converged candidates for prefix into
+// its vantage table, deep-copying the arena-backed routes.
+func (e *engine) captureVantage(st *workerState, i int32, prefix netx.Prefix) {
+	st.capNbrs = st.capNbrs[:0]
+	st.capRoutes = st.capRoutes[:0]
+	var best *bgp.Route
+	if st.best[i] != nil && st.best[i].IsLocal() {
+		// Locally originated: the origin holds no learned candidates
+		// (loop prevention rejects them), so the entry is the local route
+		// keyed by the owner ASN.
+		best = persistRoute(st.best[i], prefix)
+		st.capNbrs = append(st.capNbrs, e.asns[i])
+		st.capRoutes = append(st.capRoutes, best)
+	} else {
+		bestFrom := st.bestFrom[i]
+		st.cs.each(e.nbrs[i], i, func(u int32, r *bgp.Route) {
+			pr := persistRoute(r, prefix)
+			st.capNbrs = append(st.capNbrs, e.asns[u])
+			st.capRoutes = append(st.capRoutes, pr)
+			if u == bestFrom {
+				best = pr
+			}
+		})
+	}
+	if best == nil && len(st.capRoutes) > 0 {
+		// bestFrom can dangle in mid-oscillation captures (budget
+		// exhaustion); fall back to the linear selection the RIB itself
+		// would run.
+		for _, r := range st.capRoutes {
+			if best == nil || bgp.Compare(r, best, e.depth) < 0 {
+				best = r
+			}
+		}
+	}
+	slot := e.tables[int(i)]
+	slot.mu.Lock()
+	rib := slot.writable()
+	if len(st.capNbrs) == 0 {
+		rib.DropPrefix(prefix)
+	} else {
+		rib.InstallConverged(prefix, st.capNbrs, st.capRoutes, best)
+	}
+	slot.mu.Unlock()
 }
 
 // routerIP synthesizes a stable next-hop IP for an AS's border router.
@@ -636,14 +798,22 @@ func routerIP(asn bgp.ASN) uint32 {
 	return 0x0a000000 | (uint32(asn)&0xffff)<<8 | 1 // 10.x.y.1
 }
 
-// localRoute is the locally originated route installed at an origin AS.
-func localRoute(prefix netx.Prefix, origin bgp.ASN) *bgp.Route {
-	return &bgp.Route{
+// localRoute is the locally originated route installed at an origin AS,
+// carved from the arena when one is supplied.
+func localRoute(arena *routeArena, prefix netx.Prefix, origin bgp.ASN) *bgp.Route {
+	var r *bgp.Route
+	if arena != nil {
+		r = arena.alloc()
+	} else {
+		r = new(bgp.Route)
+	}
+	*r = bgp.Route{
 		Prefix:    prefix,
 		LocalPref: LocalRoutePref,
 		Origin:    bgp.OriginIGP,
 		NextHop:   routerIP(origin),
 	}
+	return r
 }
 
 // String renders run options for diagnostics.

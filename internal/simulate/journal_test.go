@@ -1,0 +1,151 @@
+package simulate
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// resultSnapshot deep-copies the observable engine state so later
+// mutations cannot alias it.
+func resultSnapshot(en *Engine) *Result {
+	res := en.Result()
+	cp := &Result{
+		Tables:      make(map[bgp.ASN]*bgp.RIB, len(res.Tables)),
+		ReachCount:  make(map[netx.Prefix]int, len(res.ReachCount)),
+		Unconverged: append([]netx.Prefix(nil), res.Unconverged...),
+	}
+	for asn, rib := range res.Tables {
+		cp.Tables[asn] = rib.Clone()
+	}
+	for p, c := range res.ReachCount {
+		cp.ReachCount[p] = c
+	}
+	return cp
+}
+
+// TestCheckpointRollbackRestoresState: Checkpoint → Apply(link events) →
+// Rollback restores tables, reach counts, the best forest and the
+// unconverged set bit for bit, and the engine remains usable (a second
+// Apply matches a fresh engine's).
+func TestCheckpointRollbackRestoresState(t *testing.T) {
+	topo, vantage := equivalenceTopo(t, 200, 11)
+	en, err := NewEngine(topo, Options{VantagePoints: vantage, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := resultSnapshot(en)
+	rows := make([][]int32, len(en.e.prefixes))
+	for pi, row := range en.e.track {
+		rows[pi] = append([]int32(nil), row...)
+	}
+
+	edges := topo.Graph.Edges()
+	if len(edges) < 20 {
+		t.Fatal("topology too small")
+	}
+	for trial := 0; trial < 8; trial++ {
+		ev := edges[(trial*37)%len(edges)]
+		sc := Scenario{Name: fmt.Sprintf("fail-%d", trial), Events: []Event{FailLink(ev.A, ev.B)}}
+		en.Checkpoint()
+		delta, err := en.Apply(sc)
+		if err != nil {
+			t.Fatalf("apply %v: %v", sc.Name, err)
+		}
+		_ = delta
+		if !en.Rollback() {
+			t.Fatalf("rollback %v failed", sc.Name)
+		}
+		if diffs := DiffResults(pristine, en.Result()); len(diffs) > 0 {
+			t.Fatalf("trial %d: state not restored: %s", trial, diffs[0])
+		}
+		for pi := range rows {
+			got := en.e.track[pi]
+			for i := range rows[pi] {
+				if rows[pi][i] != got[i] {
+					t.Fatalf("trial %d: forest row %d differs at AS %d", trial, pi, i)
+				}
+			}
+		}
+		// The restored link must be back in the graph.
+		if topoRel := en.Topology().Graph.Rel(ev.A, ev.B); topoRel == asgraph.RelNone {
+			t.Fatalf("trial %d: link %v-%v not restored", trial, ev.A, ev.B)
+		}
+	}
+
+	// After all the checkpoint/rollback churn, a real Apply must still
+	// match a fresh engine applying the same scenario.
+	ev := edges[3]
+	sc := Scenario{Events: []Event{FailLink(ev.A, ev.B)}}
+	if _, err := en.Apply(sc); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewEngine(topo, Options{VantagePoints: vantage, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.Apply(sc); err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffResults(fresh.Result(), en.Result()); len(diffs) > 0 {
+		t.Fatalf("post-rollback apply differs: %s", diffs[0])
+	}
+}
+
+// TestCheckpointDoubleApplyRefused: a second Apply under the same
+// checkpoint would mix pre-images of the first batch with link deltas
+// of the second; Rollback must refuse rather than restore a hybrid.
+func TestCheckpointDoubleApplyRefused(t *testing.T) {
+	topo, vantage := equivalenceTopo(t, 120, 5)
+	en, err := NewEngine(topo, Options{VantagePoints: vantage, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := topo.Graph.Edges()
+	en.Checkpoint()
+	if _, err := en.Apply(Scenario{Events: []Event{FailLink(edges[0].A, edges[0].B)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := en.Apply(Scenario{Events: []Event{FailLink(edges[1].A, edges[1].B)}}); err != nil {
+		t.Fatal(err)
+	}
+	if en.Rollback() {
+		t.Fatal("rollback claimed success after two applies under one checkpoint")
+	}
+}
+
+// TestCheckpointUnsupportedBatch: non-link events consume the
+// checkpoint and Rollback reports false (caller must re-clone).
+func TestCheckpointUnsupportedBatch(t *testing.T) {
+	topo, vantage := equivalenceTopo(t, 120, 3)
+	en, err := NewEngine(topo, Options{VantagePoints: vantage, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *Engine = en
+	// Pick any originated prefix.
+	var ev Event
+	for p := range topo.PrefixOrigin {
+		ev = WithdrawPrefix(p)
+		break
+	}
+	target.Checkpoint()
+	if _, err := target.Apply(Scenario{Events: []Event{ev}}); err != nil {
+		t.Fatal(err)
+	}
+	if target.Rollback() {
+		t.Fatal("rollback claimed success for an unsupported batch")
+	}
+	// An unused checkpoint (validation failure) reports success: the
+	// engine never left the checkpointed state.
+	target.Checkpoint()
+	if _, err := target.Apply(Scenario{Events: []Event{FailLink(1, 2)}}); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if !target.Rollback() {
+		t.Fatal("rollback after validation failure should be a clean no-op")
+	}
+}

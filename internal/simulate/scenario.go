@@ -364,6 +364,11 @@ func (en *Engine) Apply(sc Scenario) (*Delta, error) {
 	if err := en.validate(sc); err != nil {
 		return nil, err
 	}
+	// Scenario events can change origins, policies and adjacency; the
+	// cold-convergence atom partition no longer describes this engine
+	// (a journaled Rollback restores the pre-Apply staleness).
+	e.journal.beginApply(sc.Events, e.atomsStale)
+	e.atomsStale = true
 
 	rc := &recon{
 		e:       e,
@@ -399,6 +404,7 @@ func (en *Engine) Apply(sc Scenario) (*Delta, error) {
 	// Mutate the topology, recording link deltas for reconstruction, and
 	// handle prefix removal/addition bookkeeping.
 	var added []netx.Prefix
+	linkEvents := false
 	addedSet := make(map[netx.Prefix]bool)
 	for _, ev := range sc.Events {
 		switch ev.Kind {
@@ -464,13 +470,19 @@ func (en *Engine) Apply(sc Scenario) (*Delta, error) {
 				rc.removed[edgePair(ai, bi)] = orient(rel, ai, bi)
 				e.rebuildAdjacency(ai)
 				e.rebuildAdjacency(bi)
+				linkEvents = true
 			case EventLinkRestore:
 				rc.added[edgePair(ai, bi)] = true
 				e.rebuildAdjacency(ai)
 				e.rebuildAdjacency(bi)
+				linkEvents = true
 			}
 		}
 	}
+	if linkEvents {
+		e.rebuildCSR()
+	}
+	e.journal.recordLinks(rc)
 	// Policy edits mutate Policy values in place, but refresh the
 	// engine's pointers anyway in case a policy object was created.
 	for i, asn := range e.asns {
@@ -672,7 +684,8 @@ func (en *Engine) addPrefixState(prefix netx.Prefix) {
 }
 
 // rebuildAdjacency refreshes one AS's neighbor arrays from the (mutated)
-// graph.
+// graph. Callers must refresh the CSR layout (rebuildCSR) once all
+// endpoints of a batch are rebuilt.
 func (e *engine) rebuildAdjacency(i int32) {
 	asn := e.asns[i]
 	nbs := e.topo.Graph.Neighbors(asn)
@@ -711,26 +724,38 @@ type recon struct {
 	oldPols map[int32]*topogen.Policy
 }
 
+// curRel reads the current relationship of v to u off the engine's
+// adjacency arrays (equivalent to topo.Graph.Rel but without the edge
+// map lookups; rebuildAdjacency keeps the arrays current).
+func (e *engine) curRel(u, v int32) asgraph.Relationship {
+	if j := slotOf(e.nbrs[u], v); j >= 0 {
+		return e.rels[u][j]
+	}
+	return asgraph.RelNone
+}
+
 // relOld returns what v was to u before this batch's link events.
 func (rc *recon) relOld(u, v int32) asgraph.Relationship {
-	key := edgePair(u, v)
-	if rel, ok := rc.removed[key]; ok {
-		if key[0] == u {
-			return rel
+	if len(rc.removed) > 0 || len(rc.added) > 0 {
+		key := edgePair(u, v)
+		if rel, ok := rc.removed[key]; ok {
+			if key[0] == u {
+				return rel
+			}
+			return rel.Invert()
 		}
-		return rel.Invert()
+		if rc.added[key] {
+			return asgraph.RelNone
+		}
 	}
-	if rc.added[key] {
-		return asgraph.RelNone
-	}
-	return rc.e.topo.Graph.Rel(rc.e.asns[u], rc.e.asns[v])
+	return rc.e.curRel(u, v)
 }
 
 // relAny returns the current relationship, falling back to the removed-
 // edge record (used to classify the ingress of not-yet-reprocessed old
 // routes whose next hop crossed a failed link).
 func (rc *recon) relAny(u, v int32) asgraph.Relationship {
-	if rel := rc.e.topo.Graph.Rel(rc.e.asns[u], rc.e.asns[v]); rel != asgraph.RelNone {
+	if rel := rc.e.curRel(u, v); rel != asgraph.RelNone {
 		return rel
 	}
 	key := edgePair(u, v)
@@ -757,20 +782,24 @@ func (rc *recon) polOld(i int32) *topogen.Policy {
 // origin's local route.
 type prefixRecon struct {
 	rc        *recon
+	st        *workerState
 	prefix    netx.Prefix
 	originIdx int32
 	row       []int32
-	memo      map[int32]*bgp.Route
 }
 
-func newPrefixRecon(rc *recon, prefix netx.Prefix) *prefixRecon {
+// newPrefixRecon binds the reconstruction to st: rebuilt routes come
+// from st's arenas and the memo lives in its version-stamped arrays, so
+// scanning a prefix allocates nothing. st must already be reset for
+// this prefix.
+func newPrefixRecon(rc *recon, st *workerState, prefix netx.Prefix) *prefixRecon {
 	e := rc.e
 	return &prefixRecon{
 		rc:        rc,
+		st:        st,
 		prefix:    prefix,
 		originIdx: int32(e.idx[e.topo.PrefixOrigin[prefix]]),
 		row:       e.track[e.prefixIdx[prefix]],
-		memo:      make(map[int32]*bgp.Route, 16),
 	}
 }
 
@@ -784,8 +813,8 @@ func (pr *prefixRecon) bestOldDepth(u int32, depth int) *bgp.Route {
 	if f == trackNone {
 		return nil
 	}
-	if r, ok := pr.memo[u]; ok {
-		return r
+	if pr.st.memoSeen[u] == pr.st.version {
+		return pr.st.memoRoute[u]
 	}
 	// A converged forest is acyclic with chains no longer than the AS
 	// count; anything deeper means the row was captured mid-oscillation
@@ -796,7 +825,7 @@ func (pr *prefixRecon) bestOldDepth(u int32, depth int) *bgp.Route {
 	}
 	var r *bgp.Route
 	if f == u {
-		r = localRoute(pr.prefix, pr.rc.e.asns[u])
+		r = localRoute(&pr.st.routes, pr.prefix, pr.rc.e.asns[u])
 	} else {
 		parentBest := pr.bestOldDepth(f, depth+1)
 		if parentBest == nil {
@@ -806,9 +835,10 @@ func (pr *prefixRecon) bestOldDepth(u int32, depth int) *bgp.Route {
 		}
 		e := pr.rc.e
 		r = e.buildAnnouncement(e.asns[f], e.asns[u], pr.rc.relOld(f, u), parentBest,
-			pr.rc.polOld(f), pr.rc.polOld(u))
+			pr.prefix, pr.rc.polOld(f), pr.rc.polOld(u), pr.st)
 	}
-	pr.memo[u] = r
+	pr.st.memoSeen[u] = pr.st.version
+	pr.st.memoRoute[u] = r
 	return r
 }
 
@@ -838,10 +868,10 @@ func (pr *prefixRecon) candOld(v, u int32) *bgp.Route {
 		nh, _ := best.NextHopAS()
 		ingress = pr.rc.relOld(u, int32(e.idx[nh]))
 	}
-	if !exportAllowed(e.asns[u], vASN, relVtoU, ingress, best, pr.rc.polOld(u)) {
+	if !exportAllowed(e.asns[u], vASN, relVtoU, ingress, best, pr.prefix, pr.rc.polOld(u)) {
 		return nil
 	}
-	return e.buildAnnouncement(e.asns[u], vASN, relVtoU, best, pr.rc.polOld(u), pr.rc.polOld(v))
+	return e.buildAnnouncement(e.asns[u], vASN, relVtoU, best, pr.prefix, pr.rc.polOld(u), pr.rc.polOld(v), pr.st)
 }
 
 // candNew computes the candidate v would hold from u right now: u's
@@ -849,7 +879,7 @@ func (pr *prefixRecon) candOld(v, u int32) *bgp.Route {
 // the post-event session policies.
 func (pr *prefixRecon) candNew(st *workerState, v, u int32) *bgp.Route {
 	e := pr.rc.e
-	relVtoU := e.topo.Graph.Rel(e.asns[u], e.asns[v])
+	relVtoU := e.curRel(u, v)
 	if relVtoU == asgraph.RelNone {
 		return nil
 	}
@@ -871,10 +901,10 @@ func (pr *prefixRecon) candNew(st *workerState, v, u int32) *bgp.Route {
 		nh, _ := best.NextHopAS()
 		ingress = pr.rc.relAny(u, int32(e.idx[nh]))
 	}
-	if !exportAllowed(e.asns[u], vASN, relVtoU, ingress, best, e.pols[u]) {
+	if !exportAllowed(e.asns[u], vASN, relVtoU, ingress, best, pr.prefix, e.pols[u]) {
 		return nil
 	}
-	return e.buildAnnouncement(e.asns[u], vASN, relVtoU, best, e.pols[u], e.pols[v])
+	return e.buildAnnouncement(e.asns[u], vASN, relVtoU, best, pr.prefix, e.pols[u], e.pols[v], pr.st)
 }
 
 // materialize seeds v's per-prefix scratch state with its reconstructed
@@ -885,14 +915,14 @@ func (pr *prefixRecon) materialize(st *workerState, v int32) {
 	}
 	st.touch(v)
 	e := pr.rc.e
-	m := make(map[int32]*bgp.Route, 4)
 	for _, u := range e.nbrs[v] {
 		if c := pr.candOld(v, u); c != nil {
-			m[u] = c
+			st.cs.set(e.nbrs[v], v, u, c)
 		}
 	}
 	// Sessions over just-failed links are gone from the adjacency but
-	// their candidates were still installed pre-event.
+	// their candidates were still installed pre-event (the candidate
+	// store files them in its overflow list).
 	for key := range pr.rc.removed {
 		var u int32
 		switch v {
@@ -904,19 +934,18 @@ func (pr *prefixRecon) materialize(st *workerState, v int32) {
 			continue
 		}
 		if c := pr.candOld(v, u); c != nil {
-			m[u] = c
+			st.cs.set(e.nbrs[v], v, u, c)
 		}
 	}
-	st.cands[v] = m
 	f := pr.row[v]
 	st.bestFrom[v] = f
 	switch {
 	case f == trackNone:
 		st.best[v] = nil
 	case f == v:
-		st.best[v] = localRoute(pr.prefix, e.asns[v])
+		st.best[v] = localRoute(&st.routes, pr.prefix, e.asns[v])
 	default:
-		st.best[v] = m[f]
+		st.best[v] = st.cs.get(e.nbrs[v], v, f)
 	}
 }
 
@@ -925,9 +954,10 @@ func (pr *prefixRecon) materialize(st *workerState, v int32) {
 // re-selected. Unchanged sessions cost two route reconstructions and no
 // state.
 func (pr *prefixRecon) sessionReseed(st *workerState, u, v int32) {
+	e := pr.rc.e
 	var rOld *bgp.Route
 	if st.seen[v] == st.version {
-		rOld = st.cands[v][u]
+		rOld = st.cs.get(e.nbrs[v], v, u)
 	} else {
 		rOld = pr.candOld(v, u)
 	}
@@ -937,21 +967,30 @@ func (pr *prefixRecon) sessionReseed(st *workerState, u, v int32) {
 	}
 	pr.materialize(st, v)
 	if rNew == nil {
-		delete(st.cands[v], u)
+		st.cs.del(e.nbrs[v], v, u)
 	} else {
-		st.cands[v][u] = rNew
+		st.cs.set(e.nbrs[v], v, u, rNew)
 	}
-	pr.rc.e.reselect(st, v)
+	e.reselect(st, v)
 }
 
-// runIncremental runs the incremental re-convergence pass over every
-// pre-existing prefix in parallel.
+// runIncremental runs the incremental re-convergence pass over the
+// pre-existing prefixes. Link-failure-only batches take the atom-aware
+// fast path: the disturb set is read off the best forest (only prefixes
+// whose forest actually crosses a failed link can change any best
+// route), every other prefix needs at most a constant-time candidate
+// removal in the vantage tables. Mixed batches scan every prefix as
+// before.
 func (en *Engine) runIncremental(events []Event, rc *recon, skip map[netx.Prefix]bool, delta *Delta) {
 	e := en.e
 	prefixes := make([]netx.Prefix, 0, len(e.prefixes))
-	for _, p := range e.prefixes {
-		if !skip[p] {
-			prefixes = append(prefixes, p)
+	if allLinkFailures(events) && len(skip) == 0 {
+		prefixes = en.linkFailDisturbSet(events, delta)
+	} else {
+		for _, p := range e.prefixes {
+			if !skip[p] {
+				prefixes = append(prefixes, p)
+			}
 		}
 	}
 	var mu sync.Mutex
@@ -971,6 +1010,7 @@ func (en *Engine) runIncremental(events []Event, rc *recon, skip map[netx.Prefix
 		if reach.Before != reach.After {
 			delta.ReachDeltas = append(delta.ReachDeltas, reach)
 		}
+		e.journal.unconvPre(p, en.unconv[p])
 		if !converged {
 			en.unconv[p] = true
 		} else if touched > 0 {
@@ -981,14 +1021,96 @@ func (en *Engine) runIncremental(events []Event, rc *recon, skip map[netx.Prefix
 	})
 }
 
+func allLinkFailures(events []Event) bool {
+	if len(events) == 0 {
+		return false
+	}
+	for _, ev := range events {
+		if ev.Kind != EventLinkFail {
+			return false
+		}
+	}
+	return true
+}
+
+// linkFailDisturbSet returns the prefixes a batch of link failures can
+// actually disturb, handling the rest in place. A prefix's best routes
+// can only change when its best forest crosses a failed link (the
+// failing candidate was some AS's best); otherwise the failure at most
+// removes a non-best candidate, which is observable only in a vantage
+// table and is withdrawn directly. Budget-exhausted prefixes have
+// unreliable forest rows and always reconverge.
+func (en *Engine) linkFailDisturbSet(events []Event, delta *Delta) []netx.Prefix {
+	e := en.e
+	links := make([][2]int32, 0, len(events))
+	for _, ev := range events {
+		links = append(links, [2]int32{int32(e.idx[ev.A]), int32(e.idx[ev.B])})
+	}
+	var disturbed []netx.Prefix
+	for pi, p := range e.prefixes {
+		row := e.track[pi]
+		carrier := row == nil || en.unconv[p]
+		if !carrier {
+			for _, l := range links {
+				if row[l[0]] == l[1] || row[l[1]] == l[0] {
+					carrier = true
+					break
+				}
+			}
+		}
+		if carrier {
+			disturbed = append(disturbed, p)
+			continue
+		}
+		// The failed sessions carried at most non-best candidates for
+		// this prefix: selection cannot change anywhere, so only vantage
+		// tables (which retain full candidate sets) need maintenance.
+		recomputed := false
+		fallback := false
+		for _, l := range links {
+			for _, dir := range [2][2]int32{{l[0], l[1]}, {l[1], l[0]}} {
+				v, u := dir[0], dir[1]
+				if !e.vantage[int(v)] {
+					continue
+				}
+				slot := e.tables[int(v)]
+				slot.mu.Lock()
+				if slot.rib.CandidateFrom(p, e.asns[u]) != nil {
+					if e.journal != nil {
+						e.journal.entryPreTaken(int(v), p, slot.rib.SnapshotEntry(p))
+					}
+					if slot.writable().Withdraw(e.asns[u], p) {
+						// The removed candidate was selected: the forest
+						// said otherwise, so fall back to a full
+						// re-convergence (captures rebuild the entry).
+						fallback = true
+					}
+					recomputed = true
+				}
+				slot.mu.Unlock()
+			}
+		}
+		if fallback {
+			disturbed = append(disturbed, p)
+			continue
+		}
+		if recomputed {
+			delta.Recomputed++
+		}
+	}
+	return disturbed
+}
+
 // reconverge applies the events' session changes to one prefix and runs
 // the activation loop from the reconstructed pre-event state. It returns
 // the catchment shift, the reach change, the number of ASes whose state
 // was rewritten, and whether the prefix converged within budget.
 func (en *Engine) reconverge(st *workerState, prefix netx.Prefix, events []Event, rc *recon) (PrefixShift, ReachDelta, int, bool) {
 	e := en.e
-	pr := newPrefixRecon(rc, prefix)
 	st.reset()
+	pr := newPrefixRecon(rc, st, prefix)
+	st.curPrefix = prefix
+	st.originIdx = pr.originIdx
 
 	// Seed: re-evaluate exactly the sessions each event touches.
 	for _, ev := range events {
@@ -1019,35 +1141,37 @@ func (en *Engine) reconverge(st *workerState, prefix netx.Prefix, events []Event
 	budget := e.budget * (len(e.asns) + e.topo.Graph.NumEdges())
 	activations := 0
 	converged := true
-	for len(st.queue) > 0 {
+	for {
+		u := st.pop()
+		if u < 0 {
+			break
+		}
 		activations++
 		if activations > budget {
 			converged = false
 			break
 		}
-		u := st.queue[0]
-		st.queue = st.queue[1:]
 		st.inQueue[u] = false
 		best := st.best[u]
 		for j, v := range e.nbrs[u] {
 			relVtoU := e.rels[u][j]
 			var rNew *bgp.Route
-			if best != nil && e.shouldExport(u, v, relVtoU, best) {
+			if best != nil && e.shouldExport(u, v, relVtoU, best, prefix) {
 				vASN := e.asns[v]
 				if !best.Path.Contains(vASN) && v != pr.originIdx {
-					rNew = e.buildAnnouncement(e.asns[u], vASN, relVtoU, best, e.pols[u], e.pols[v])
+					rNew = e.buildAnnouncement(e.asns[u], vASN, relVtoU, best, prefix, e.pols[u], e.pols[v], st)
 				}
 			}
 			if st.seen[v] == st.version {
-				prev := st.cands[v][u]
+				prev := st.cs.get(e.nbrs[v], v, u)
 				switch {
 				case rNew == nil && prev == nil:
 				case rNew == nil:
-					delete(st.cands[v], u)
+					st.cs.del(e.nbrs[v], v, u)
 					e.reselect(st, v)
 				case prev != nil && sameRoute(prev, rNew):
 				default:
-					st.cands[v][u] = rNew
+					st.cs.set(e.nbrs[v], v, u, rNew)
 					e.reselect(st, v)
 				}
 				continue
@@ -1057,9 +1181,9 @@ func (en *Engine) reconverge(st *workerState, prefix netx.Prefix, events []Event
 			}
 			pr.materialize(st, v)
 			if rNew == nil {
-				delete(st.cands[v], u)
+				st.cs.del(e.nbrs[v], v, u)
 			} else {
-				st.cands[v][u] = rNew
+				st.cs.set(e.nbrs[v], v, u, rNew)
 			}
 			e.reselect(st, v)
 		}
@@ -1076,6 +1200,7 @@ func (en *Engine) captureIncremental(st *workerState, prefix netx.Prefix) (Prefi
 	e := en.e
 	pi := e.prefixIdx[prefix]
 	row := e.track[pi]
+	e.journal.rowPre(pi, row, e.trackShared != nil && e.trackShared[pi], e.reachCounts[pi])
 	if e.trackShared != nil && e.trackShared[pi] {
 		// The row is visible from an engine clone: copy before the
 		// in-place rewrite below (only this worker owns prefix pi).
@@ -1113,22 +1238,15 @@ func (en *Engine) captureIncremental(st *workerState, prefix netx.Prefix) (Prefi
 		if !e.vantage[int(i)] {
 			continue
 		}
-		slot := e.tables[int(i)]
-		slot.mu.Lock()
-		rib := slot.writable()
-		rib.DropPrefix(prefix)
-		if st.best[i] != nil && st.best[i].IsLocal() {
-			rib.Upsert(e.asns[i], st.best[i])
+		if j := e.journal; j != nil {
+			j.entryPre(int(i), prefix, func() bgp.EntrySnapshot {
+				slot := e.tables[int(i)]
+				slot.mu.Lock()
+				defer slot.mu.Unlock()
+				return slot.rib.SnapshotEntry(prefix)
+			})
 		}
-		keys := make([]int32, 0, len(st.cands[i]))
-		for k := range st.cands[i] {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-		for _, k := range keys {
-			rib.Upsert(e.asns[k], st.cands[i][k])
-		}
-		slot.mu.Unlock()
+		e.captureVantage(st, i, prefix)
 	}
 	before := int(e.reachCounts[pi])
 	e.reachCounts[pi] += int64(reachDelta)

@@ -1,0 +1,140 @@
+package simulate
+
+import (
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// Flat candidate-store unit tests and the allocation regression guard
+// for the propagation loop's per-hop operations.
+
+func storeFixture() (*candStore, [][]int32) {
+	// Three ASes: 0–{1,2}, 1–{0,2}, 2–{0,1} (triangle).
+	nbrs := [][]int32{{1, 2}, {0, 2}, {0, 1}}
+	off := []int32{0, 2, 4, 6}
+	cs := &candStore{}
+	cs.init(off, 3)
+	for v := int32(0); v < 3; v++ {
+		cs.clear(v)
+	}
+	return cs, nbrs
+}
+
+func storeRoute(lp uint32) *bgp.Route {
+	return &bgp.Route{Prefix: netx.MustParsePrefix("10.0.0.0/24"), Path: bgp.Path{100}, LocalPref: lp}
+}
+
+func TestCandStoreSlotsAndOverflow(t *testing.T) {
+	cs, nbrs := storeFixture()
+	r1, r2 := storeRoute(100), storeRoute(90)
+	cs.set(nbrs[0], 0, 1, r1) // adjacency slot
+	cs.set(nbrs[0], 0, 9, r2) // AS 9 not adjacent: overflow
+	if got := cs.get(nbrs[0], 0, 1); got != r1 {
+		t.Fatalf("slot get = %v", got)
+	}
+	if got := cs.get(nbrs[0], 0, 9); got != r2 {
+		t.Fatalf("overflow get = %v", got)
+	}
+	if cs.count[0] != 2 {
+		t.Fatalf("count = %d", cs.count[0])
+	}
+	// Iteration merges slots and overflow in ascending neighbor order.
+	var order []int32
+	cs.each(nbrs[0], 0, func(u int32, r *bgp.Route) { order = append(order, u) })
+	if len(order) != 2 || order[0] != 1 || order[1] != 9 {
+		t.Fatalf("each order = %v", order)
+	}
+	// Overflow ahead of a slot neighbor sorts first.
+	cs.set(nbrs[2], 2, 0, r1)  // slot (neighbor 0)
+	cs.set(nbrs[2], 2, -1, r2) // impossible index, but exercises ordering paths
+	order = order[:0]
+	cs.each(nbrs[2], 2, func(u int32, r *bgp.Route) { order = append(order, u) })
+	if len(order) != 2 || order[0] != -1 || order[1] != 0 {
+		t.Fatalf("merged order = %v", order)
+	}
+	// Deletion from both stores.
+	if !cs.del(nbrs[0], 0, 9) || cs.del(nbrs[0], 0, 9) {
+		t.Fatal("overflow delete misbehaved")
+	}
+	if !cs.del(nbrs[0], 0, 1) || cs.count[0] != 0 {
+		t.Fatalf("slot delete misbehaved, count=%d", cs.count[0])
+	}
+	// clear resets a row wholesale.
+	cs.set(nbrs[1], 1, 0, r1)
+	cs.clear(1)
+	if cs.count[1] != 0 || cs.get(nbrs[1], 1, 0) != nil {
+		t.Fatal("clear left state behind")
+	}
+}
+
+// TestCandStoreHotPathAllocFree: the slot-indexed accessors used by the
+// export loop allocate nothing.
+func TestCandStoreHotPathAllocFree(t *testing.T) {
+	cs, nbrs := storeFixture()
+	r := storeRoute(100)
+	if avg := testing.AllocsPerRun(1000, func() {
+		cs.setAt(0, 0, r)
+		if cs.at(0, 0) != r {
+			t.Fatal("lost route")
+		}
+		cs.each(nbrs[0], 0, func(int32, *bgp.Route) {})
+		if !cs.delAt(0, 0) {
+			t.Fatal("lost slot")
+		}
+	}); avg != 0 {
+		t.Fatalf("hot path allocates %.1f per run", avg)
+	}
+}
+
+// TestPathArenaPrepend: arena paths are value-correct and isolated.
+func TestPathArenaPrepend(t *testing.T) {
+	var a pathArena
+	base := bgp.Path{3356, 7018}
+	p1 := a.prepend(701, base)
+	p2 := a.prepend(1239, p1)
+	if p1.String() != "701 3356 7018" || p2.String() != "1239 701 3356 7018" {
+		t.Fatalf("paths %q / %q", p1, p2)
+	}
+	// Arena reuse after reset recycles memory without reallocating.
+	a.reset()
+	if avg := testing.AllocsPerRun(100, func() {
+		a.reset()
+		if got := a.prepend(701, base); len(got) != 3 {
+			t.Fatal("bad prepend")
+		}
+	}); avg != 0 {
+		t.Fatalf("warm arena allocates %.1f per run", avg)
+	}
+}
+
+// TestCommunityInterning: the worker-level intern cache returns
+// canonical sets and never mutates its inputs.
+func TestCommunityInterning(t *testing.T) {
+	st := &workerState{}
+	base := bgp.NewCommunities(bgp.MakeCommunity(100, 1))
+	tag := bgp.MakeCommunity(200, 2)
+	first := st.internAddCommunity(base, tag)
+	second := st.internAddCommunity(base, tag)
+	if &first[0] != &second[0] {
+		t.Fatal("intern cache returned distinct values for the same key")
+	}
+	if !first.Has(tag) || !first.Has(bgp.MakeCommunity(100, 1)) || len(first) != 2 {
+		t.Fatalf("interned set wrong: %v", first)
+	}
+	if len(base) != 1 {
+		t.Fatalf("input mutated: %v", base)
+	}
+	// Adding a community already present returns the input unchanged.
+	if got := addCommunity(st, first, tag); len(got) != 2 {
+		t.Fatalf("idempotent add wrong: %v", got)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		if r := st.internAddCommunity(base, tag); len(r) != 2 {
+			t.Fatal("bad intern")
+		}
+	}); avg != 0 {
+		t.Fatalf("warm intern allocates %.1f per run", avg)
+	}
+}

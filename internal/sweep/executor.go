@@ -96,6 +96,23 @@ func Run(ctx context.Context, base *simulate.Engine, scenarios []simulate.Scenar
 					// each incremental apply.
 					eng.SetParallelism(1)
 				}
+				if linkEventsOnly(sc) {
+					// Link scenarios (the dominant sweep families) roll
+					// back through the engine's pre-image journal: undo
+					// costs what the apply touched instead of a second
+					// incremental pass over the inverse events.
+					eng.Checkpoint()
+					imp, _, err := Apply(eng, sc, topShifts)
+					if err != nil {
+						imp = &Impact{Name: sc.Name, Events: len(sc.Events), Error: err.Error()}
+					}
+					if !eng.Rollback() || eng.UnconvergedCount() != baseUnconv {
+						eng = nil // rollback not provably clean: re-clone
+					}
+					imp.Index = i
+					em.emit(i, imp)
+					continue
+				}
 				inv, invertible := invertScenario(eng, sc)
 				imp, _, err := Apply(eng, sc, topShifts)
 				switch {
@@ -159,6 +176,20 @@ func (em *emitter) emit(i int, imp *Impact) {
 			}
 		}
 	}
+}
+
+// linkEventsOnly reports whether every event is a link failure or
+// restoration — the batches the engine's rollback journal supports.
+func linkEventsOnly(sc simulate.Scenario) bool {
+	if len(sc.Events) == 0 {
+		return false
+	}
+	for _, ev := range sc.Events {
+		if ev.Kind != simulate.EventLinkFail && ev.Kind != simulate.EventLinkRestore {
+			return false
+		}
+	}
+	return true
 }
 
 // invertScenario builds the event batch that returns the engine to its

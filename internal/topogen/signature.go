@@ -1,0 +1,183 @@
+package topogen
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/netx"
+)
+
+// Policy-signature extraction for atom-sharded simulation.
+//
+// The simulator partitions prefixes into propagation-equivalence classes:
+// prefixes with the same origin AS and the same *keyed* per-prefix export
+// policy (selective-announcement provider sets, scoped no-upstream
+// communities, peer withholding, provider-side aggregation) propagate
+// identically except where a *hash-drawn* per-prefix policy — per-prefix
+// local-preference overrides, atypical-preference subsets, transit
+// selective announcement — fires differently. The keyed part becomes the
+// signature computed here; the hash-drawn part is enumerated as
+// "sensitive sessions" that the simulator re-evaluates per member prefix
+// when fanning a converged representative out to its class.
+
+// SensitiveSession is a directed session whose treatment of a route can
+// depend on the route's prefix.
+type SensitiveSession struct {
+	// AS owns the prefix-dependent policy.
+	AS bgp.ASN
+	// Neighbor is the session peer: the announcing neighbor for import
+	// sensitivity, the receiving provider for transit-export sensitivity.
+	Neighbor bgp.ASN
+}
+
+// PrefixSignatures computes the canonical keyed-policy signature of every
+// originated prefix. Two prefixes with equal signatures (which embed the
+// origin AS) differ in propagation only through the hash-drawn policies
+// covered by ImportSensitiveSessions and TransitSelectivePairs.
+func (t *Topology) PrefixSignatures() map[netx.Prefix]string {
+	// Provider-side aggregation is keyed (provider policy, prefix);
+	// invert it once so each prefix sees the ASes that aggregate it.
+	aggBy := make(map[netx.Prefix][]bgp.ASN)
+	for _, asn := range t.Order {
+		pol := t.Policies[asn]
+		if pol == nil {
+			continue
+		}
+		for p := range pol.Export.AggregateSpecifics {
+			aggBy[p] = append(aggBy[p], asn)
+		}
+	}
+	for _, list := range aggBy {
+		sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+	}
+
+	out := make(map[netx.Prefix]string, len(t.PrefixOrigin))
+	var b strings.Builder
+	for p, origin := range t.PrefixOrigin {
+		b.Reset()
+		b.WriteString(strconv.FormatUint(uint64(origin), 10))
+		pol := t.Policies[origin]
+		if pol != nil {
+			if set, ok := pol.Export.OriginProviders[p]; ok {
+				b.WriteString("|sa:")
+				writeASNSet(&b, set)
+			}
+			if prov, ok := pol.Export.NoUpstream[p]; ok {
+				b.WriteString("|nu:")
+				b.WriteString(strconv.FormatUint(uint64(prov), 10))
+			}
+			if len(pol.Export.PeerExclude) > 0 {
+				var peers []bgp.ASN
+				for k := range pol.Export.PeerExclude {
+					if k.Prefix == p {
+						peers = append(peers, k.Provider)
+					}
+				}
+				if len(peers) > 0 {
+					sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+					b.WriteString("|px:")
+					for i, a := range peers {
+						if i > 0 {
+							b.WriteByte(',')
+						}
+						b.WriteString(strconv.FormatUint(uint64(a), 10))
+					}
+				}
+			}
+		}
+		if aggs := aggBy[p]; len(aggs) > 0 {
+			b.WriteString("|ag:")
+			for i, a := range aggs {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.FormatUint(uint64(a), 10))
+			}
+		}
+		out[p] = b.String()
+	}
+	return out
+}
+
+func writeASNSet(b *strings.Builder, set map[bgp.ASN]bool) {
+	asns := make([]bgp.ASN, 0, len(set))
+	for a, v := range set {
+		if v {
+			asns = append(asns, a)
+		}
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for i, a := range asns {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(uint64(a), 10))
+	}
+}
+
+// ImportSensitiveSessions lists every directed session (AS, announcing
+// neighbor) whose effective local preference can vary by prefix: the
+// neighbor carries per-prefix hash-drawn overrides, an atypical-
+// preference subset, or explicit per-prefix scenario overrides — unless
+// a neighbor-wide scenario override shadows the hash-drawn rules.
+// Sessions are returned in deterministic (AS, Neighbor) order.
+func (t *Topology) ImportSensitiveSessions() []SensitiveSession {
+	var out []SensitiveSession
+	var nbrs []bgp.ASN
+	for _, asn := range t.Order {
+		pol := t.Policies[asn]
+		if pol == nil {
+			continue
+		}
+		nbrs = nbrs[:0]
+		seen := make(map[bgp.ASN]bool)
+		add := func(nbr bgp.ASN) {
+			if !seen[nbr] {
+				seen[nbr] = true
+				nbrs = append(nbrs, nbr)
+			}
+		}
+		var shadowed map[bgp.ASN]uint32
+		if pol.Override != nil {
+			shadowed = pol.Override.Neighbor
+			for nbr, m := range pol.Override.Prefix {
+				if len(m) > 0 {
+					add(nbr)
+				}
+			}
+		}
+		for nbr := range pol.Import.PrefixPref {
+			if _, ok := shadowed[nbr]; !ok {
+				add(nbr)
+			}
+		}
+		for nbr := range pol.Import.AtypicalPref {
+			if _, ok := shadowed[nbr]; !ok {
+				add(nbr)
+			}
+		}
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for _, nbr := range nbrs {
+			out = append(out, SensitiveSession{AS: asn, Neighbor: nbr})
+		}
+	}
+	return out
+}
+
+// TransitSelectivePairs lists every (transit AS, provider) session gated
+// by the per-prefix transit-selective hash, in deterministic order.
+func (t *Topology) TransitSelectivePairs() []SensitiveSession {
+	var out []SensitiveSession
+	for _, asn := range t.Order {
+		pol := t.Policies[asn]
+		if pol == nil || pol.Export.TransitSelective <= 0 {
+			continue
+		}
+		for _, prov := range t.Graph.Providers(asn) {
+			out = append(out, SensitiveSession{AS: asn, Neighbor: prov})
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package topogen
+
+import (
+	"testing"
+)
+
+// TestPrefixSignatures pins the signature extraction the simulator's
+// atom partition is built on: full coverage, determinism, origin
+// embedding, and sensitivity of the keyed export policies.
+func TestPrefixSignatures(t *testing.T) {
+	topo, err := Generate(DefaultConfig(300, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := topo.PrefixSignatures()
+	if len(sigs) != len(topo.PrefixOrigin) {
+		t.Fatalf("signatures cover %d of %d prefixes", len(sigs), len(topo.PrefixOrigin))
+	}
+	again := topo.PrefixSignatures()
+	for p, s := range sigs {
+		if again[p] != s {
+			t.Fatalf("signature for %v not deterministic: %q vs %q", p, s, again[p])
+		}
+	}
+	// Distinct origins can never share a signature (it embeds the
+	// origin ASN as its first component).
+	byOriginSig := make(map[string]map[uint32]bool)
+	for p, s := range sigs {
+		origin := uint32(topo.PrefixOrigin[p])
+		if byOriginSig[s] == nil {
+			byOriginSig[s] = make(map[uint32]bool)
+		}
+		byOriginSig[s][origin] = true
+	}
+	for s, origins := range byOriginSig {
+		if len(origins) > 1 {
+			t.Fatalf("signature %q spans %d origins", s, len(origins))
+		}
+	}
+	// Keyed export policy must split signatures: a selectively announced
+	// prefix and a plainly announced sibling from the same origin.
+	found := false
+	for _, asn := range topo.Order {
+		pol := topo.Policies[asn]
+		info := topo.ASes[asn]
+		if pol == nil || len(pol.Export.OriginProviders) == 0 || len(info.Prefixes) < 2 {
+			continue
+		}
+		for _, p := range info.Prefixes {
+			if _, sel := pol.Export.OriginProviders[p]; !sel {
+				continue
+			}
+			for _, q := range info.Prefixes {
+				if q == p {
+					continue
+				}
+				if _, sel2 := pol.Export.OriginProviders[q]; !sel2 {
+					if sigs[p] == sigs[q] {
+						t.Fatalf("SA prefix %v shares signature with plain %v: %q", p, q, sigs[p])
+					}
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("generator produced no SA/plain sibling pair to test")
+	}
+}
+
+// TestSensitiveSessions pins the hash-drawn-policy enumeration.
+func TestSensitiveSessions(t *testing.T) {
+	topo, err := Generate(DefaultConfig(300, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := topo.ImportSensitiveSessions()
+	if len(imp) == 0 {
+		t.Fatal("no import-sensitive sessions on the default config")
+	}
+	for _, s := range imp {
+		pol := topo.Policies[s.AS]
+		_, marked := pol.Import.PrefixPref[s.Neighbor]
+		_, atypical := pol.Import.AtypicalPref[s.Neighbor]
+		if !marked && !atypical {
+			t.Fatalf("session %v<-%v listed but carries no per-prefix rule", s.AS, s.Neighbor)
+		}
+	}
+	// A neighbor-wide override shadows the hash-drawn rules; a
+	// per-prefix override adds sensitivity.
+	s0 := imp[0]
+	topo.Policies[s0.AS].EnsureOverride().SetNeighbor(s0.Neighbor, 150)
+	for _, s := range topo.ImportSensitiveSessions() {
+		if s == s0 {
+			t.Fatalf("session %v<-%v still sensitive under a neighbor-wide override", s.AS, s.Neighbor)
+		}
+	}
+	var probe SensitiveSession
+	for _, asn := range topo.Order {
+		for _, nb := range topo.Graph.Neighbors(asn) {
+			cand := SensitiveSession{AS: asn, Neighbor: nb}
+			already := false
+			for _, s := range topo.ImportSensitiveSessions() {
+				if s == cand {
+					already = true
+					break
+				}
+			}
+			if !already {
+				probe = cand
+				break
+			}
+		}
+		if probe.AS != 0 {
+			break
+		}
+	}
+	prefix := topo.ASes[topo.Order[0]].Prefixes[0]
+	topo.Policies[probe.AS].EnsureOverride().SetPrefix(probe.Neighbor, prefix, 140)
+	hit := false
+	for _, s := range topo.ImportSensitiveSessions() {
+		if s == probe {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("per-prefix override on %v<-%v not listed as sensitive", probe.AS, probe.Neighbor)
+	}
+
+	trn := topo.TransitSelectivePairs()
+	for _, s := range trn {
+		pol := topo.Policies[s.AS]
+		if pol == nil || pol.Export.TransitSelective <= 0 {
+			t.Fatalf("pair %v->%v listed without a transit-selective policy", s.AS, s.Neighbor)
+		}
+	}
+	if len(trn) == 0 {
+		t.Fatal("no transit-selective pairs on the default config")
+	}
+}

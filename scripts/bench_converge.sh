@@ -1,0 +1,75 @@
+#!/bin/sh
+# bench_converge.sh — snapshot the cold-convergence gate benchmarks.
+#
+# Runs BenchmarkConvergeCold (atom-sharded, zero-alloc engine) against
+# BenchmarkConvergeColdLegacy (the pre-refactor reference engine kept in
+# engine_equivalence_test.go, proven byte-identical), plus the
+# ConvergeAllocs pair that gates the propagation loop's allocs/op, and
+# writes BENCH_converge.json. BenchmarkConvergeColdNoDedup isolates the
+# zero-alloc core's share of the win.
+#
+# Acceptance bars (enforced here and in CI):
+#   cold_speedup_x      >= 3.0   (legacy / optimized, wall clock)
+#   allocs_reduction_x  >= 5.0   (legacy / optimized, allocs per run)
+#
+# Usage: scripts/bench_converge.sh [cold-benchtime] [allocs-benchtime]
+#        (defaults 3x and 1x)
+set -eu
+
+cd "$(dirname "$0")/.."
+COLDTIME="${1:-3x}"
+ALLOCTIME="${2:-1x}"
+OUT="BENCH_converge.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run NONE -bench 'BenchmarkConvergeCold(NoDedup|Legacy)?$' \
+    -benchtime "$COLDTIME" -benchmem ./internal/simulate/ | tee "$RAW"
+go test -run NONE -bench 'BenchmarkConvergeAllocs(Legacy)?$' \
+    -benchtime "$ALLOCTIME" -benchmem ./internal/simulate/ | tee -a "$RAW"
+
+awk -v coldtime="$COLDTIME" -v alloctime="$ALLOCTIME" '
+    function metric(unit,   i) {
+        for (i = 1; i <= NF; i++) if ($i == unit) return $(i - 1)
+        return ""
+    }
+    /^BenchmarkConvergeColdNoDedup/ { nodedup = metric("ns/op"); next }
+    /^BenchmarkConvergeColdLegacy/  { legacy = metric("ns/op"); next }
+    /^BenchmarkConvergeCold/        { cold = metric("ns/op"); prefixes = metric("prefixes"); next }
+    /^BenchmarkConvergeAllocsLegacy/ { alegacy = metric("allocs/op"); next }
+    /^BenchmarkConvergeAllocs/       { anew = metric("allocs/op"); next }
+    END {
+        if (cold == "" || nodedup == "" || legacy == "" || anew == "" || alegacy == "") {
+            print "bench_converge.sh: missing benchmark output" > "/dev/stderr"
+            exit 1
+        }
+        printf "{\n"
+        printf "  \"benchmark\": \"cold convergence, paper preset (600 ASes, 24 vantage points): atom-sharded zero-alloc engine vs pre-refactor reference\",\n"
+        printf "  \"cold_benchtime\": \"%s\",\n", coldtime
+        printf "  \"allocs_benchtime\": \"%s\",\n", alloctime
+        printf "  \"prefixes\": %s,\n", prefixes
+        printf "  \"cold_ns\": %s,\n", cold
+        printf "  \"cold_nodedup_ns\": %s,\n", nodedup
+        printf "  \"cold_legacy_ns\": %s,\n", legacy
+        printf "  \"cold_speedup_x\": %.2f,\n", legacy / cold
+        printf "  \"core_speedup_x\": %.2f,\n", legacy / nodedup
+        printf "  \"allocs_per_op\": %s,\n", anew
+        printf "  \"allocs_per_op_legacy\": %s,\n", alegacy
+        printf "  \"allocs_reduction_x\": %.2f\n", alegacy / anew
+        printf "}\n"
+    }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"
+
+SPEEDUP=$(awk -F': ' '/cold_speedup_x/ {print $2+0}' "$OUT")
+ALLOCS=$(awk -F': ' '/allocs_reduction_x/ {print $2+0}' "$OUT")
+awk -v s="$SPEEDUP" 'BEGIN { exit (s >= 3.0 ? 0 : 1) }' || {
+    echo "bench_converge.sh: cold speedup ${SPEEDUP}x is below the 3x bar" >&2
+    exit 1
+}
+awk -v a="$ALLOCS" 'BEGIN { exit (a >= 5.0 ? 0 : 1) }' || {
+    echo "bench_converge.sh: allocs reduction ${ALLOCS}x is below the 5x bar" >&2
+    exit 1
+}

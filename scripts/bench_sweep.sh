@@ -52,7 +52,8 @@ awk '
             print "bench_sweep.sh: missing benchmark output" > "/dev/stderr"
             exit 1
         }
-        # %.0f, not %d: ns values exceed awk's 32-bit integer range.
+        # %.0f, not %d: ns values exceed the 32-bit awk integer range.
+        # (No apostrophes in this program: it is single-quoted shell.)
         printf "{\n"
         printf "  \"benchmark\": \"all-single-link-failures sweep, 800-AS shared study\",\n"
         printf "  \"scenarios\": %.0f,\n", scen
