@@ -287,6 +287,72 @@ func TestDatasetCLISmoke(t *testing.T) {
 	}
 }
 
+// writeRelHierarchy synthesizes a deterministic CAIDA as-rel file with
+// n ASes: a 5-AS tier-1 peering clique, n/20 dual-homed tier-2 transit
+// ASes, and dual-homed tier-3 edges for the rest.
+func writeRelHierarchy(t *testing.T, path string, n int) {
+	t.Helper()
+	var b bytes.Buffer
+	b.WriteString("# synthesized as-rel hierarchy\n")
+	const t1 = 5
+	t2 := n / 20
+	for i := 1; i <= t1; i++ {
+		for j := i + 1; j <= t1; j++ {
+			fmt.Fprintf(&b, "%d|%d|0\n", i, j)
+		}
+	}
+	for i := 0; i < t2; i++ {
+		asn := t1 + 1 + i
+		fmt.Fprintf(&b, "%d|%d|-1\n", 1+i%t1, asn)
+		fmt.Fprintf(&b, "%d|%d|-1\n", 1+(i+1)%t1, asn)
+	}
+	for asn := t1 + t2 + 1; asn <= n; asn++ {
+		i := asn - t1 - t2 - 1
+		fmt.Fprintf(&b, "%d|%d|-1\n", t1+1+i%t2, asn)
+		fmt.Fprintf(&b, "%d|%d|-1\n", t1+1+(i*7+3)%t2, asn)
+	}
+	if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReproCAIDASmoke is the internet-scale acceptance path: a 20k-AS
+// CAIDA-format relationships file — 33x the paper preset — loads
+// through "-dataset caida:<path>", converges end to end, and answers an
+// experiment; a second run resolves the whole dataset from the study
+// cache (the entry embeds the graph, so the hit is self-contained).
+func TestReproCAIDASmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and converges a 20k-AS graph; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	root := repoRoot(t)
+	bin := filepath.Join(dir, "repro")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/repro")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build repro: %v\n%s", err, out)
+	}
+	relPath := filepath.Join(dir, "as-rel-20k.txt")
+	writeRelHierarchy(t, relPath, 20000)
+
+	cacheDir := filepath.Join(dir, "cache")
+	args := []string{"-dataset", "caida:" + relPath, "-cache-dir", cacheDir, "-run", "table5"}
+	out := run(t, bin, args...)
+	if !strings.Contains(out, "Table 5") {
+		t.Fatalf("repro over 20k-AS CAIDA graph:\n%s", out)
+	}
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("CAIDA study cache not populated (%v)", err)
+	}
+	// The warm run must still answer (and identically), now from disk.
+	warm := run(t, bin, args...)
+	if !strings.Contains(warm, "Table 5") {
+		t.Fatalf("warm repro over CAIDA cache:\n%s", warm)
+	}
+}
+
 // TestReproSmoke runs the complete experiment harness (including the
 // appended what-if) at a small scale. Kept separate: it is the slowest
 // CLI invocation.

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"context"
 	"crypto/sha256"
-	"encoding/gob"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
@@ -13,28 +12,36 @@ import (
 	"sort"
 
 	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/internal/asgraph"
 	"github.com/policyscope/policyscope/internal/bgp"
 	"github.com/policyscope/policyscope/internal/netx"
 	"github.com/policyscope/policyscope/internal/routeviews"
 	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/studyfmt"
 	"github.com/policyscope/policyscope/internal/topogen"
 )
 
 // cacheFormatVersion is hashed into every cache key, so a codec change
-// invalidates old entries instead of misreading them.
-const cacheFormatVersion = 1
+// invalidates old entries instead of misreading them. Version 2 is the
+// flat studyfmt payload (version 1 was gob); the version byte inside
+// the blob catches entries that survive a key collision or a hand-moved
+// file, so both layers fall through to regeneration.
+const cacheFormatVersion = 2
 
 // Cached wraps a source with a content-addressed on-disk store: entries
 // are keyed by a hash of the wrapped source's spec, so the expensive
 // part of a synthetic dataset — BGP simulation to convergence — is paid
 // once per configuration and cold server/CLI starts load the converged
-// tables from disk. The topology itself is not stored: generation is
-// deterministic in the configuration and cheap next to simulation, so a
-// hit regenerates it and replays the persisted tables.
+// tables from disk. The payload is the studyfmt flat binary format:
+// converged tables decode in parallel straight into bulk-installed RIBs
+// while the topology regenerates concurrently (synthetic topologies are
+// deterministic in the configuration and cheap next to simulation;
+// CAIDA graphs are embedded in the entry, since no configuration can
+// regenerate a measured file).
 //
-// Cache misses and unreadable/corrupt entries fall through to the
-// wrapped source; the store is repopulated best-effort (a write failure
-// degrades to cold loads, never to a load failure).
+// Cache misses and unreadable/corrupt/stale-version entries fall
+// through to the wrapped source; the store is repopulated best-effort
+// (a write failure degrades to cold loads, never to a load failure).
 type Cached struct {
 	Source Source
 	// Dir is the store directory, created on first write.
@@ -72,15 +79,17 @@ func (c *Cached) path() string { return filepath.Join(c.Dir, c.Key()+".study") }
 // Load returns the cached study when the store has a valid entry, and
 // otherwise loads from the wrapped source and persists the result.
 func (c *Cached) Load(ctx context.Context) (*policyscope.Study, error) {
-	if study, err := readCacheFile(ctx, c.path()); err == nil {
+	if study, err := c.readCacheFile(ctx, c.path()); err == nil {
 		c.overlayExecutionKnobs(study)
 		return study, nil
+	} else if ctx.Err() != nil {
+		return nil, err
 	}
 	study, err := c.Source.Load(ctx)
 	if err != nil {
 		return nil, err
 	}
-	_ = writeCacheFile(c.path(), study) // best-effort
+	_ = c.writeCacheFile(c.path(), study) // best-effort
 	return study, nil
 }
 
@@ -96,75 +105,27 @@ func (c *Cached) overlayExecutionKnobs(study *policyscope.Study) {
 		study.Config.Parallelism = src.Config.Parallelism
 	case *MRTFile:
 		study.Config.Parallelism = src.Config.Parallelism
+	case *CAIDAFile:
+		study.Config.Parallelism = src.Parallelism
 	}
 }
 
-// cachedStudy is the on-disk payload. Ground-truth studies persist the
-// converged per-vantage tables (the topology is regenerated from
-// Config); snapshot-only studies persist the MRT bytes.
-type cachedStudy struct {
-	Config policyscope.Config
-	Peers  []bgp.ASN
-	// GroundTruth selects the payload below.
-	GroundTruth bool
-	// Tables / ReachCount / Timestamp: the simulation result of a
-	// ground-truth study.
-	Tables     []cachedTable
-	ReachCount map[netx.Prefix]int
-	Timestamp  uint32
-	// MRT: the serialized snapshot of a snapshot-only study.
-	MRT []byte
-}
-
-type cachedTable struct {
-	Owner  bgp.ASN
-	Routes []cachedRoute
-}
-
-type cachedRoute struct {
-	From  bgp.ASN
-	Route bgp.Route
-}
-
-func writeCacheFile(path string, s *policyscope.Study) error {
+// writeCacheFile encodes s and atomically publishes it at path: a
+// concurrent reader sees either no entry or a complete one.
+func (c *Cached) writeCacheFile(path string, s *policyscope.Study) error {
+	blob, err := c.encodeStudy(s)
+	if err != nil {
+		return err
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	payload := cachedStudy{Config: s.Config, Peers: s.Peers, GroundTruth: s.HasGroundTruth()}
-	if payload.GroundTruth {
-		payload.Timestamp = s.Snapshot.Timestamp
-		payload.ReachCount = s.Result.ReachCount
-		owners := make([]bgp.ASN, 0, len(s.Result.Tables))
-		for asn := range s.Result.Tables {
-			owners = append(owners, asn)
-		}
-		sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
-		for _, asn := range owners {
-			ct := cachedTable{Owner: asn}
-			s.Result.Tables[asn].EachCandidate(func(_ netx.Prefix, from bgp.ASN, r *bgp.Route) {
-				ct.Routes = append(ct.Routes, cachedRoute{From: from, Route: *r})
-			})
-			payload.Tables = append(payload.Tables, ct)
-		}
-	} else {
-		var buf bytes.Buffer
-		if err := s.Snapshot.WriteMRT(&buf); err != nil {
-			return err
-		}
-		payload.MRT = buf.Bytes()
-	}
-	var blob bytes.Buffer
-	if err := gob.NewEncoder(&blob).Encode(payload); err != nil {
-		return err
-	}
-	// Atomic publish: a concurrent reader sees either no entry or a
-	// complete one.
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".cache-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(blob.Bytes()); err != nil {
+	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
 		return err
 	}
@@ -174,7 +135,61 @@ func writeCacheFile(path string, s *policyscope.Study) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-func readCacheFile(ctx context.Context, path string) (*policyscope.Study, error) {
+// encodeStudy builds the flat payload. Ground-truth studies persist the
+// converged vantage tables plus the collector table (the topology is
+// regenerated from Config, or from the embedded CAIDA graph for CAIDA
+// sources); snapshot-only studies persist the MRT bytes.
+func (c *Cached) encodeStudy(s *policyscope.Study) ([]byte, error) {
+	cfgJSON, err := json.Marshal(s.Config)
+	if err != nil {
+		return nil, err
+	}
+	fs := &studyfmt.Study{ConfigJSON: cfgJSON, GroundTruth: s.HasGroundTruth()}
+	if !fs.GroundTruth {
+		var buf bytes.Buffer
+		if err := s.Snapshot.WriteMRT(&buf); err != nil {
+			return nil, err
+		}
+		fs.MRT = buf.Bytes()
+		return studyfmt.Encode(fs)
+	}
+	if _, ok := c.Source.(*CAIDAFile); ok {
+		var buf bytes.Buffer
+		if _, err := s.Topo.Graph.WriteTo(&buf); err != nil {
+			return nil, err
+		}
+		fs.TopoCAIDA = buf.Bytes()
+	}
+	fs.Timestamp = s.Snapshot.Timestamp
+	fs.Peers = s.Peers
+	fs.Reach = make([]studyfmt.ReachEntry, 0, len(s.Result.ReachCount))
+	for p, n := range s.Result.ReachCount {
+		fs.Reach = append(fs.Reach, studyfmt.ReachEntry{Prefix: p, Count: n})
+	}
+	sort.Slice(fs.Reach, func(i, j int) bool {
+		return fs.Reach[i].Prefix.Compare(fs.Reach[j].Prefix) < 0
+	})
+	owners := make([]bgp.ASN, 0, len(s.Result.Tables))
+	for asn := range s.Result.Tables {
+		owners = append(owners, asn)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+	fs.Tables = make([]studyfmt.Table, 0, len(owners)+1)
+	for _, asn := range owners {
+		fs.Tables = append(fs.Tables, studyfmt.Table{Owner: asn, RIB: s.Result.Tables[asn]})
+	}
+	fs.Tables = append(fs.Tables, studyfmt.Table{
+		Owner: s.Snapshot.Table.Owner, Collector: true, RIB: s.Snapshot.Table,
+	})
+	return studyfmt.Encode(fs)
+}
+
+// readCacheFile loads a cache entry. Any decode failure — truncation,
+// corruption, a different format version — is returned as an error and
+// treated by Load as a miss. For ground-truth entries the topology
+// regenerates on its own goroutine while the tables decode in parallel,
+// so the two dominant costs of a hit overlap.
+func (c *Cached) readCacheFile(ctx context.Context, path string) (*policyscope.Study, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -182,45 +197,94 @@ func readCacheFile(ctx context.Context, path string) (*policyscope.Study, error)
 	if err != nil {
 		return nil, err
 	}
-	var payload cachedStudy
-	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&payload); err != nil {
-		return nil, fmt.Errorf("dataset: corrupt cache entry %s: %w", path, err)
+	h, err := studyfmt.DecodeHeader(blob)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: cache entry %s: %w", path, err)
 	}
-	if !payload.GroundTruth {
-		snap, err := routeviews.ReadMRT(bytes.NewReader(payload.MRT))
+	var cfg policyscope.Config
+	if err := json.Unmarshal(h.ConfigJSON, &cfg); err != nil {
+		return nil, fmt.Errorf("dataset: cache entry %s: bad config: %w", path, err)
+	}
+
+	if !h.GroundTruth {
+		fs, err := h.DecodeBody(studyfmt.DecodeOptions{Parallelism: cfg.Parallelism})
 		if err != nil {
-			return nil, fmt.Errorf("dataset: corrupt cache entry %s: %w", path, err)
+			return nil, fmt.Errorf("dataset: cache entry %s: %w", path, err)
 		}
-		return policyscope.NewStudyFromSnapshot(snap, payload.Config)
+		snap, err := routeviews.ReadMRT(bytes.NewReader(fs.MRT))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: cache entry %s: %w", path, err)
+		}
+		return policyscope.NewStudyFromSnapshot(snap, cfg)
 	}
-	// Generation is deterministic in the configuration: regenerate the
-	// ground truth, then replay the persisted converged tables instead
-	// of re-simulating.
-	topo, err := topogen.Generate(payload.Config.TopologyConfig())
+
+	type topoResult struct {
+		topo *topogen.Topology
+		err  error
+	}
+	topoCh := make(chan topoResult, 1)
+	go func() {
+		var tr topoResult
+		if h.TopoCAIDA {
+			tr.topo, tr.err = c.topologyFromCAIDA(h.Topo)
+		} else {
+			tr.topo, tr.err = topogen.Generate(cfg.TopologyConfig())
+		}
+		topoCh <- tr
+	}()
+
+	intern := bgp.NewIntern()
+	fs, err := h.DecodeBody(studyfmt.DecodeOptions{Parallelism: cfg.Parallelism, Intern: intern})
+	if err != nil {
+		return nil, fmt.Errorf("dataset: cache entry %s: %w", path, err)
+	}
+	res := &simulate.Result{
+		Tables:     make(map[bgp.ASN]*bgp.RIB, len(fs.Tables)),
+		ReachCount: make(map[netx.Prefix]int, len(fs.Reach)),
+	}
+	for _, re := range fs.Reach {
+		res.ReachCount[re.Prefix] = re.Count
+	}
+	var collector *bgp.RIB
+	for _, t := range fs.Tables {
+		if t.Collector {
+			if collector != nil {
+				return nil, fmt.Errorf("dataset: cache entry %s: multiple collector tables", path)
+			}
+			collector = t.RIB
+		} else {
+			res.Tables[t.Owner] = t.RIB
+		}
+	}
+	if collector == nil {
+		return nil, fmt.Errorf("dataset: cache entry %s: no collector table", path)
+	}
+	tr := <-topoCh
+	if tr.err != nil {
+		return nil, fmt.Errorf("dataset: cache entry %s: %w", path, tr.err)
+	}
+	snap := &routeviews.Snapshot{Timestamp: fs.Timestamp, Peers: fs.Peers, Table: collector}
+	return policyscope.NewStudyFromInputs(policyscope.StudyInputs{
+		Config:   cfg,
+		Topo:     tr.topo,
+		Result:   res,
+		Peers:    fs.Peers,
+		Snapshot: snap,
+		Intern:   intern,
+	})
+}
+
+// topologyFromCAIDA rebuilds a CAIDA source's topology from the graph
+// bytes embedded in a cache entry, using the live source's spec (the
+// cache key guarantees it matches the writer's).
+func (c *Cached) topologyFromCAIDA(graphBytes []byte) (*topogen.Topology, error) {
+	cf, ok := c.Source.(*CAIDAFile)
+	if !ok {
+		return nil, fmt.Errorf("dataset: entry embeds a CAIDA topology but the source is %T", c.Source)
+	}
+	g, err := asgraph.Read(bytes.NewReader(graphBytes))
 	if err != nil {
 		return nil, err
 	}
-	res := &simulate.Result{
-		Tables:     make(map[bgp.ASN]*bgp.RIB, len(payload.Tables)),
-		ReachCount: payload.ReachCount,
-	}
-	for _, ct := range payload.Tables {
-		rib := bgp.NewRIB(ct.Owner)
-		for i := range ct.Routes {
-			cr := &ct.Routes[i]
-			rib.Upsert(cr.From, &cr.Route)
-		}
-		res.Tables[ct.Owner] = rib
-	}
-	snap, err := routeviews.Collect(res, payload.Peers, payload.Timestamp)
-	if err != nil {
-		return nil, fmt.Errorf("dataset: corrupt cache entry %s: %w", path, err)
-	}
-	return policyscope.NewStudyFromInputs(policyscope.StudyInputs{
-		Config:   payload.Config,
-		Topo:     topo,
-		Result:   res,
-		Peers:    payload.Peers,
-		Snapshot: snap,
-	})
+	return CAIDATopology(g, *cf.Spec().CAIDA)
 }

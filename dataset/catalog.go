@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	policyscope "github.com/policyscope/policyscope"
@@ -113,12 +114,14 @@ func (c *Catalog) defaultExplicit() bool {
 	return c.defExplicit
 }
 
-// EnableCache wraps every registered synthetic source in a Cached
-// store at dir. Study-backed sources are left alone (their Load is
-// already free), as are sources already wrapped — and MRT sources: the
-// spec key is the file *path*, so a cache entry would keep serving the
-// old snapshot after the file changed, while the hit path would have
-// to re-parse the bytes anyway.
+// EnableCache wraps every registered synthetic and CAIDA source in a
+// Cached store at dir (both pay a BGP simulation on a cold load; CAIDA
+// entries embed the graph bytes, so a hit stays consistent with the
+// tables it was written with). Study-backed sources are left alone
+// (their Load is already free), as are sources already wrapped — and
+// MRT sources: the spec key is the file *path*, so a cache entry would
+// keep serving the old snapshot after the file changed, while the hit
+// path would have to re-parse the bytes anyway.
 func (c *Catalog) EnableCache(dir string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -126,7 +129,7 @@ func (c *Catalog) EnableCache(dir string) {
 		if _, ok := src.(*Cached); ok {
 			continue
 		}
-		if src.Spec().Kind != KindSynthetic {
+		if k := src.Spec().Kind; k != KindSynthetic && k != KindCAIDA {
 			continue
 		}
 		c.sources[name] = NewCached(src, dir)
@@ -153,6 +156,20 @@ func BuildCatalog(flagCfg policyscope.Config, datasetName, manifestPath, cacheDi
 	if _, taken := cat.Get("default"); !taken {
 		if err := cat.Register("default", NewSynthetic(flagCfg)); err != nil {
 			return nil, err
+		}
+	}
+	// "caida:<path>" names an ad-hoc CAIDA relationships file without a
+	// manifest; the literal string is the dataset name.
+	if path, ok := strings.CutPrefix(datasetName, "caida:"); ok {
+		if path == "" {
+			return nil, fmt.Errorf("dataset: %q names no relationships file", datasetName)
+		}
+		if _, taken := cat.Get(datasetName); !taken {
+			src := NewCAIDAFile(path)
+			src.Parallelism = flagCfg.Parallelism
+			if err := cat.Register(datasetName, src); err != nil {
+				return nil, err
+			}
 		}
 	}
 	switch {
@@ -191,11 +208,13 @@ type Manifest struct {
 	Datasets []ManifestEntry `json:"datasets"`
 }
 
-// ManifestEntry declares one dataset: exactly one of Synthetic or MRT.
+// ManifestEntry declares one dataset: exactly one of Synthetic, MRT or
+// CAIDA.
 type ManifestEntry struct {
 	Name      string              `json:"name"`
 	Synthetic *policyscope.Config `json:"synthetic,omitempty"`
 	MRT       string              `json:"mrt,omitempty"`
+	CAIDA     *CAIDASpec          `json:"caida,omitempty"`
 }
 
 // LoadManifest registers every dataset of the manifest read from r.
@@ -214,10 +233,17 @@ func (c *Catalog) LoadManifest(r io.Reader, baseDir string) error {
 		if e.Name == "" {
 			return fmt.Errorf("dataset: manifest entry %d has no name", i)
 		}
+		declared := 0
+		for _, set := range []bool{e.Synthetic != nil, e.MRT != "", e.CAIDA != nil} {
+			if set {
+				declared++
+			}
+		}
+		if declared > 1 {
+			return fmt.Errorf("dataset: %s: declares more than one of synthetic, mrt, caida", e.Name)
+		}
 		var src Source
 		switch {
-		case e.Synthetic != nil && e.MRT != "":
-			return fmt.Errorf("dataset: %s: both synthetic and mrt", e.Name)
 		case e.Synthetic != nil:
 			src = NewSynthetic(*e.Synthetic)
 		case e.MRT != "":
@@ -226,8 +252,23 @@ func (c *Catalog) LoadManifest(r io.Reader, baseDir string) error {
 				path = filepath.Join(baseDir, path)
 			}
 			src = NewMRTFile(path)
+		case e.CAIDA != nil:
+			sp := *e.CAIDA
+			if sp.Path == "" {
+				return fmt.Errorf("dataset: %s: caida entry has no path", e.Name)
+			}
+			if baseDir != "" && !filepath.IsAbs(sp.Path) {
+				sp.Path = filepath.Join(baseDir, sp.Path)
+			}
+			src = &CAIDAFile{
+				Path:             sp.Path,
+				MaxPrefixes:      sp.MaxPrefixes,
+				CollectorPeers:   sp.CollectorPeers,
+				LookingGlassASes: sp.LookingGlassASes,
+				Seed:             sp.Seed,
+			}
 		default:
-			return fmt.Errorf("dataset: %s: needs synthetic or mrt", e.Name)
+			return fmt.Errorf("dataset: %s: needs synthetic, mrt or caida", e.Name)
 		}
 		if err := c.Register(e.Name, src); err != nil {
 			// Typically a clash with a built-in preset (paper, small,

@@ -28,7 +28,8 @@ import (
 	"github.com/policyscope/policyscope/internal/topogen"
 )
 
-// Source kinds, as reported by Spec.Kind.
+// Source kinds, as reported by Spec.Kind. KindCAIDA is declared with
+// its source in caida.go.
 const (
 	KindSynthetic = "synthetic"
 	KindMRT       = "mrt"
@@ -57,6 +58,9 @@ type Spec struct {
 	Synthetic *policyscope.Config `json:"synthetic,omitempty"`
 	// MRT is the snapshot path for MRT sources.
 	MRT string `json:"mrt,omitempty"`
+	// CAIDA carries the relationship-file configuration for CAIDA
+	// sources.
+	CAIDA *CAIDASpec `json:"caida,omitempty"`
 }
 
 // Synthetic generates a study from a policyscope configuration — the
@@ -144,6 +148,21 @@ func LoadTopology(ctx context.Context, src Source) (*topogen.Topology, []bgp.ASN
 			return nil, nil, err
 		}
 		return policyscope.GenerateTopology(s.Config)
+	}
+	if c, ok := src.(*CAIDAFile); ok {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		g, err := c.readGraph()
+		if err != nil {
+			return nil, nil, err
+		}
+		sp := *c.Spec().CAIDA
+		topo, err := CAIDATopology(g, sp)
+		if err != nil {
+			return nil, nil, err
+		}
+		return topo, routeviews.SelectPeers(topo, sp.CollectorPeers), nil
 	}
 	study, err := src.Load(ctx)
 	if err != nil {

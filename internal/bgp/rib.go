@@ -66,6 +66,13 @@ func NewRIB(asn ASN) *RIB {
 	return &RIB{Owner: asn, entries: make(map[netx.Prefix]*ribEntry)}
 }
 
+// NewRIBSized returns an empty table pre-sized for n prefixes — the
+// bulk-install constructor the study-format decoder uses so the entry
+// map never rehashes during a load.
+func NewRIBSized(asn ASN, n int) *RIB {
+	return &RIB{Owner: asn, entries: make(map[netx.Prefix]*ribEntry, n)}
+}
+
 // SetDecisionDepth truncates the decision process at step s for all future
 // selections (ablation support). Zero restores the full process.
 func (t *RIB) SetDecisionDepth(s DecisionStep) { t.maxStep = s }
@@ -193,6 +200,38 @@ func (t *RIB) InstallConverged(prefix netx.Prefix, neighbors []ASN, routes []*Ro
 	t.entries[prefix] = e
 	if t.cow {
 		t.owned[prefix] = true
+	}
+}
+
+// InstallOwned is InstallConverged without the defensive copies: the
+// table takes ownership of both slices, which the caller must not
+// reuse or mutate afterwards. It is the bulk-install entry point of
+// the study-format decoder, which carves per-prefix subslices out of
+// one arena per table — copying them again would double the load-path
+// allocation for no benefit.
+func (t *RIB) InstallOwned(prefix netx.Prefix, neighbors []ASN, routes []*Route, best *Route) {
+	if len(neighbors) == 0 {
+		t.DropPrefix(prefix)
+		return
+	}
+	if _, present := t.entries[prefix]; !present {
+		t.sorted.Store(nil)
+	}
+	t.entries[prefix] = &ribEntry{nbrs: neighbors, routes: routes, best: best}
+	if t.cow {
+		t.owned[prefix] = true
+	}
+}
+
+// EachEntry calls fn for every prefix with its full entry — aligned
+// neighbor/route slices (ascending neighbor) plus the selected best —
+// in prefix Compare order. It is the no-copy serialization walk the
+// study-format encoder uses; callers must treat the slices as
+// read-only.
+func (t *RIB) EachEntry(fn func(prefix netx.Prefix, neighbors []ASN, routes []*Route, best *Route)) {
+	for _, prefix := range t.Prefixes() {
+		e := t.entries[prefix]
+		fn(prefix, e.nbrs, e.routes, e.best)
 	}
 }
 

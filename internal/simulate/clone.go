@@ -53,10 +53,16 @@ func (en *Engine) Clone() *Engine {
 		atoms:      e.atoms,
 		atomsStale: e.atomsStale,
 		// Outer slices copied; inner neighbor/relationship slices are
-		// shared because rebuildAdjacency replaces them wholesale. The
-		// CSR offsets are copied because rebuildCSR rewrites them in
-		// place; the fresh statePool (zero value) keys off adjVersion.
-		csrOff:      append([]int32(nil), e.csrOff...),
+		// shared because rebuildAdjacency replaces them wholesale, and
+		// the CSR offset table is shared because rebuildCSR publishes a
+		// fresh slice instead of rewriting. The state pool and intern
+		// table are shared across the whole engine family: worker
+		// states warmed on the parent serve the clones directly (the
+		// clone inherits the parent's adjVersion, so warm states match
+		// without a re-size), and attribute interning stays global.
+		statePool:   e.statePool,
+		intern:      e.intern,
+		csrOff:      e.csrOff,
 		back:        append([][]int32(nil), e.back...),
 		adjVersion:  e.adjVersion,
 		nbrs:        append([][]int32(nil), e.nbrs...),

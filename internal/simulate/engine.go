@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/policyscope/policyscope/internal/asgraph"
 	"github.com/policyscope/policyscope/internal/bgp"
@@ -75,6 +76,12 @@ type Options struct {
 	// identical either way (the equivalence property tests prove it);
 	// the knob exists for benchmarking and as an escape hatch.
 	DisableAtomDedup bool
+	// Intern, when set, is the shared canonical-attribute table the
+	// engine's workers populate and consult (community sets today). A
+	// study loaded from the binary cache passes the table its decoder
+	// already filled, so convergence and what-if work reuse the decoded
+	// allocations. Nil allocates a private table.
+	Intern *bgp.Intern
 }
 
 // Result is the observable outcome of a run.
@@ -101,16 +108,24 @@ type engine struct {
 	pols  []*topogen.Policy
 	depth bgp.DecisionStep
 
-	// csrOff is the CSR offset table over nbrs (len n+1); adjVersion
-	// bumps whenever the adjacency (and hence the layout) changes, so
-	// pooled worker states know to re-size their candidate stores. back
-	// is the reverse index: back[u][j] is the position of u inside
-	// nbrs[v] for v = nbrs[u][j], so the export loop addresses the
-	// receiver's candidate slot without a binary search.
+	// csrOff is the CSR offset table over nbrs (len n+1); adjVersion is
+	// drawn from the process-global counter whenever the adjacency (and
+	// hence the layout) changes, so pooled worker states know to re-size
+	// their candidate stores. back is the reverse index: back[u][j] is
+	// the position of u inside nbrs[v] for v = nbrs[u][j], so the export
+	// loop addresses the receiver's candidate slot without a binary
+	// search. statePool is a pointer because engine clones share the
+	// parent's pool: worker states warmed on the base engine serve every
+	// clone (versions are globally unique, so a state that migrated from
+	// an engine with a different layout re-sizes on first use).
 	csrOff     []int32
 	back       [][]int32
 	adjVersion uint64
-	statePool  sync.Pool
+	statePool  *sync.Pool
+
+	// intern is the shared canonical-attribute table (see Options.Intern);
+	// never nil after newEngine, shared by Clone.
+	intern *bgp.Intern
 
 	vantage     map[int]bool
 	tables      map[int]*tableSlot
@@ -175,10 +190,15 @@ const trackNone int32 = -1
 
 func newEngine(topo *topogen.Topology, opts Options) *engine {
 	e := &engine{
-		topo: topo,
-		opts: opts,
-		idx:  make(map[bgp.ASN]int, len(topo.Order)),
-		asns: topo.Order,
+		topo:      topo,
+		opts:      opts,
+		idx:       make(map[bgp.ASN]int, len(topo.Order)),
+		asns:      topo.Order,
+		statePool: new(sync.Pool),
+		intern:    opts.Intern,
+	}
+	if e.intern == nil {
+		e.intern = bgp.NewIntern()
 	}
 	for i, asn := range topo.Order {
 		e.idx[asn] = i
@@ -245,23 +265,33 @@ func (e *engine) atomsApplicable() bool {
 	return e.opts.DecisionDepth == 0 || e.opts.DecisionDepth == bgp.StepRouterID
 }
 
+// adjVersions issues process-globally unique adjacency versions. Global
+// (not per engine) because clones share one state pool: a worker state
+// warmed on engine A must never false-match engine B's layout just
+// because both counted to the same value independently.
+var adjVersions atomic.Uint64
+
 // rebuildCSR refreshes the CSR offsets and the reverse index from the
-// per-AS adjacency lists and bumps the adjacency version so pooled
-// worker states re-size.
+// per-AS adjacency lists and re-stamps the adjacency version so pooled
+// worker states re-size. The offset table is always a freshly
+// allocated slice — never rewritten in place — because worker states
+// from the family-shared pool alias the slice of whatever engine they
+// last synced against; replacing wholesale keeps every published
+// layout immutable, so an in-flight state on a sibling clone can keep
+// reading its (version-matched) layout while this engine rebuilds.
 func (e *engine) rebuildCSR() {
 	n := len(e.asns)
-	if e.csrOff == nil {
-		e.csrOff = make([]int32, n+1)
-	}
+	csrOff := make([]int32, n+1)
 	if e.back == nil {
 		e.back = make([][]int32, n)
 	}
 	off := int32(0)
 	for i := 0; i < n; i++ {
-		e.csrOff[i] = off
+		csrOff[i] = off
 		off += int32(len(e.nbrs[i]))
 	}
-	e.csrOff[n] = off
+	csrOff[n] = off
+	e.csrOff = csrOff
 	for u := range e.nbrs {
 		// Fresh slices: clones share the outer array until they rebuild.
 		e.back[u] = make([]int32, len(e.nbrs[u]))
@@ -269,7 +299,7 @@ func (e *engine) rebuildCSR() {
 			e.back[u][j] = int32(slotOf(e.nbrs[v], int32(u)))
 		}
 	}
-	e.adjVersion++
+	e.adjVersion = adjVersions.Add(1)
 }
 
 // Run simulates the whole topology.

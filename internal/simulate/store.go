@@ -284,13 +284,19 @@ type workerState struct {
 	capNbrs   []bgp.ASN
 	capRoutes []*bgp.Route
 
-	// commCache interns community-set Add results: the hot loop attaches
-	// the same relationship tags to the same inherited sets over and
-	// over, and every bgp.Communities.Add allocates. Interned sets are
-	// ordinary heap values, safe to escape into vantage tables, and the
-	// cache survives across prefixes on the pooled state.
+	// commCache is the worker's lock-free L1 over the engine's shared
+	// intern table: the hot loop attaches the same relationship tags to
+	// the same inherited sets over and over, and every
+	// bgp.Communities.Add allocates. L1 misses fall through to the
+	// shared bgp.Intern (L2, set by getState), which canonicalizes
+	// across workers, engine clones, and the study-cache decoder, so
+	// the whole engine family converges on one allocation per distinct
+	// set. Interned sets are immutable heap values, safe to escape into
+	// vantage tables; the L1 survives across prefixes on the pooled
+	// state.
 	commCache map[string]bgp.Communities
 	commKey   []byte
+	intern    *bgp.Intern
 }
 
 // addCommunity returns cs+c, memoized through st's intern cache when a
@@ -306,16 +312,30 @@ func (st *workerState) internAddCommunity(cs bgp.Communities, c bgp.Community) b
 	if cs.Has(c) {
 		return cs
 	}
-	k := st.commKey[:0]
-	for _, x := range cs {
-		k = append(k, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
-	}
+	// The derivation key is cs's canonical bytes
+	// (bgp.AppendCommunitiesKey) with c's appended: every key decomposes
+	// uniquely into (cs, c) — the last 4 bytes are c, the rest cs — so a
+	// hit always returns exactly cs.Add(c). On a miss the result is
+	// first interned under its own canonical (sorted) key, the one the
+	// study-cache decoder uses, so every derivation of the same set —
+	// across workers, clones, and decode — lands on one allocation.
+	k := bgp.AppendCommunitiesKey(st.commKey[:0], cs)
 	k = append(k, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
 	st.commKey = k
 	if r, ok := st.commCache[string(k)]; ok {
 		return r
 	}
-	r := cs.Add(c)
+	r, ok := st.intern.LookupCommunities(k)
+	if !ok {
+		r = cs.Add(c)
+		canon := bgp.AppendCommunitiesKey(nil, r)
+		if prev, found := st.intern.LookupCommunities(canon); found {
+			r = prev
+		} else {
+			r = st.intern.InternCommunities(canon, r)
+		}
+		r = st.intern.InternCommunities(k, r)
+	}
 	if st.commCache == nil {
 		st.commCache = make(map[string]bgp.Communities)
 	}
@@ -397,14 +417,20 @@ func (st *workerState) pop() int32 {
 }
 
 // getState pulls a worker state from the engine's pool (or builds one)
-// and synchronizes it with the current adjacency.
+// and synchronizes it with the current adjacency and intern table. The
+// pool is shared across engine clones, so a pulled state may have been
+// warmed elsewhere in the family; re-pointing the intern is cheap and
+// the adjacency sync keys off the globally unique version.
 func (e *engine) getState() *workerState {
 	if v := e.statePool.Get(); v != nil {
 		st := v.(*workerState)
 		st.syncAdjacency(e)
+		st.intern = e.intern
 		return st
 	}
-	return newWorkerState(e)
+	st := newWorkerState(e)
+	st.intern = e.intern
+	return st
 }
 
 func (e *engine) putState(st *workerState) { e.statePool.Put(st) }

@@ -156,10 +156,36 @@ func subjectPrefixes(topo *topogen.Topology, g Generator) ([]netx.Prefix, error)
 	return out, nil
 }
 
+// atomRepresentatives collapses a sorted prefix list to one prefix per
+// policy-equivalence atom (topogen.PrefixSignatures class). The list is
+// iterated in Compare order, so the representative is always the
+// atom's lowest subject prefix and the result is deterministic.
+// Prefixes without a signature (not originated — cannot happen for
+// subjectPrefixes output, which validates) pass through untouched.
+func atomRepresentatives(topo *topogen.Topology, prefixes []netx.Prefix) []netx.Prefix {
+	sigs := topo.PrefixSignatures()
+	seen := make(map[string]bool, len(prefixes))
+	out := make([]netx.Prefix, 0, len(prefixes))
+	for _, p := range prefixes {
+		sig, ok := sigs[p]
+		if ok && seen[sig] {
+			continue
+		}
+		if ok {
+			seen[sig] = true
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 func genWithdrawals(ctx context.Context, topo *topogen.Topology, g Generator) ([]simulate.Scenario, error) {
 	prefixes, err := subjectPrefixes(topo, g)
 	if err != nil {
 		return nil, err
+	}
+	if !g.PerPrefix {
+		prefixes = atomRepresentatives(topo, prefixes)
 	}
 	out := make([]simulate.Scenario, 0, len(prefixes))
 	var n int
@@ -187,6 +213,9 @@ func genHijacks(ctx context.Context, topo *topogen.Topology, g Generator) ([]sim
 	prefixes, err := subjectPrefixes(topo, g)
 	if err != nil {
 		return nil, err
+	}
+	if !g.PerPrefix {
+		prefixes = atomRepresentatives(topo, prefixes)
 	}
 	var out []simulate.Scenario
 	var n int

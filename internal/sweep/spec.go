@@ -38,12 +38,17 @@ const (
 	// link of the target AS (field "as") — the de-peering blast radius
 	// of a multihomed customer.
 	KindAllProviderDepeerings = "all_provider_depeerings"
-	// KindPrefixWithdrawals withdraws each originated prefix (filtered
-	// by Origins and/or Prefixes, capped by Max).
+	// KindPrefixWithdrawals withdraws originated prefixes (filtered by
+	// Origins and/or Prefixes, capped by Max). By default it expands one
+	// scenario per policy-equivalence atom — prefixes with identical
+	// keyed propagation signatures share one representative — because
+	// atom members produce near-identical impact records; PerPrefix
+	// restores exhaustive per-prefix expansion.
 	KindPrefixWithdrawals = "prefix_withdrawals"
-	// KindHijacks is the cartesian grid prefixes x attackers: each
-	// scenario withdraws the prefix at its origin and re-originates it
-	// at the attacker (an origin-takeover hijack).
+	// KindHijacks is the grid prefixes x attackers: each scenario
+	// withdraws the prefix at its origin and re-originates it at the
+	// attacker (an origin-takeover hijack). Prefixes collapse to atom
+	// representatives like KindPrefixWithdrawals unless PerPrefix is set.
 	KindHijacks = "hijacks"
 	// KindLocalPrefFlips is the cartesian grid neighbors x values for
 	// the target AS (field "as"): each scenario overrides the local
@@ -84,6 +89,10 @@ type Generator struct {
 	Neighbors []bgp.ASN `json:"neighbors,omitempty"`
 	// Values are the local preferences of the local-pref grid.
 	Values []uint32 `json:"values,omitempty"`
+	// PerPrefix disables atom-deduplicated expansion for the prefix
+	// families (withdrawals, hijacks): every subject prefix gets its own
+	// scenario instead of one representative per policy-equivalence atom.
+	PerPrefix bool `json:"per_prefix,omitempty"`
 	// Scenarios is the explicit event list of KindScenarios.
 	Scenarios []simulate.Scenario `json:"scenarios,omitempty"`
 }

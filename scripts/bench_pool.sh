@@ -5,10 +5,12 @@
 # paper-preset dataset built from scratch vs loaded from the
 # content-addressed study cache) and BenchmarkPoolConcurrentMixedQueries
 # (parallel queries rotated across three resident datasets), and writes
-# BENCH_pool.json. The acceptance bar is speedup_x >= 3: it was 10 when
-# cold generation took ~2.6 s, but the atom-sharded zero-alloc engine
-# (BENCH_converge.json) cut the cold path ~5x, so the cache's *relative*
-# edge shrank while both absolute numbers improved.
+# BENCH_pool.json. The enforced gate is load_hit_x >= 10: a cache-hit
+# study load must beat cold generation by at least 10x on the paper
+# preset. The bar had been relaxed to 3x after the atom-sharded engine
+# cut the cold path ~5x (the gob decode could not keep pace); the flat
+# studyfmt payload — parallel table decode into bulk-installed RIBs,
+# topology regeneration overlapped with the decode — restores it.
 #
 # Usage: scripts/bench_pool.sh [load-benchtime] [query-benchtime]
 #        (defaults 2x and 1s)
@@ -43,7 +45,7 @@ awk -v loadtime="$LOADTIME" -v querytime="$QUERYTIME" '
         printf "  \"query_benchtime\": \"%s\",\n", querytime
         printf "  \"cold_generate_ns\": %s,\n", cold
         printf "  \"cache_hit_ns\": %s,\n", hit
-        printf "  \"speedup_x\": %.1f,\n", cold / hit
+        printf "  \"load_hit_x\": %.1f,\n", cold / hit
         printf "  \"pool_mixed_queries_per_sec\": %s\n", qps
         printf "}\n"
     }
@@ -52,8 +54,8 @@ awk -v loadtime="$LOADTIME" -v querytime="$QUERYTIME" '
 echo "wrote $OUT:"
 cat "$OUT"
 
-SPEEDUP=$(awk -F': ' '/speedup_x/ {print $2+0}' "$OUT")
-awk -v s="$SPEEDUP" 'BEGIN { exit (s >= 3 ? 0 : 1) }' || {
-    echo "bench_pool.sh: cache-hit speedup ${SPEEDUP}x is below the 3x bar" >&2
+SPEEDUP=$(awk -F': ' '/load_hit_x/ {print $2+0}' "$OUT")
+awk -v s="$SPEEDUP" 'BEGIN { exit (s >= 10 ? 0 : 1) }' || {
+    echo "bench_pool.sh: cache-hit load ${SPEEDUP}x is below the 10x bar" >&2
     exit 1
 }

@@ -62,7 +62,7 @@ awk '
         printf "  \"sweep_j8_ns_per_scenario\": %.0f,\n", j8
         printf "  \"speedup_vs_serial\": %.1f,\n", serial / j8
         printf "  \"j8_vs_j1\": %.2f,\n", j1 / j8
-        printf "  \"note\": \"serial = one full engine (complete resimulation) per scenario, the only batch path before the sweep executor, sampled across the scenario list via benchtime; j8_vs_j1 reflects the cores available to the run\"\n"
+        printf "  \"note\": \"serial = one full engine (complete resimulation) per scenario, the only batch path before the sweep executor, sampled across the scenario list via benchtime; j8_vs_j1 reflects the cores available to the run; worker engines clone the shared family (pooled per-prefix state, intern table, CSR) so cold-start cost is paid once per family, not per worker\"\n"
         printf "}\n"
     }
 ' "$RAW" > "$OUT"

@@ -144,6 +144,12 @@ type Study struct {
 	// always the inferred graph for snapshot-only studies, which have no
 	// ground truth to consult.
 	Graph *asgraph.Graph
+	// Intern is the shared canonical-attribute table: the table decoder,
+	// the simulation engine and the cache encoder all draw AS paths and
+	// community sets from it, so equal attribute values are one
+	// allocation study-wide. Always non-nil for studies built through
+	// NewStudyFromInputs.
+	Intern *bgp.Intern
 
 	tiers map[bgp.ASN]int
 
@@ -233,6 +239,9 @@ type StudyInputs struct {
 	Peers []bgp.ASN
 	// Snapshot is the collector's best-route view (required).
 	Snapshot *routeviews.Snapshot
+	// Intern is the attribute table the inputs were built against
+	// (simulation or cache decode). Nil gets a fresh table.
+	Intern *bgp.Intern
 }
 
 // NewStudy generates, simulates and collects everything.
@@ -259,9 +268,11 @@ func GenerateInputs(cfg Config) (StudyInputs, error) {
 	if err != nil {
 		return StudyInputs{}, err
 	}
+	intern := bgp.NewIntern()
 	res, err := simulate.Run(topo, simulate.Options{
 		VantagePoints: peers,
 		Parallelism:   cfg.Parallelism,
+		Intern:        intern,
 	})
 	if err != nil {
 		return StudyInputs{}, err
@@ -273,7 +284,7 @@ func GenerateInputs(cfg Config) (StudyInputs, error) {
 	if err != nil {
 		return StudyInputs{}, err
 	}
-	return StudyInputs{Config: cfg, Topo: topo, Result: res, Peers: peers, Snapshot: snap}, nil
+	return StudyInputs{Config: cfg, Topo: topo, Result: res, Peers: peers, Snapshot: snap, Intern: intern}, nil
 }
 
 // GenerateTopology generates just the annotated topology and the
@@ -323,12 +334,17 @@ func NewStudyFromInputs(in StudyInputs) (*Study, error) {
 		// from the observed paths.
 		cfg.UseInferredRelationships = true
 	}
+	intern := in.Intern
+	if intern == nil {
+		intern = bgp.NewIntern()
+	}
 	s := &Study{
 		Config:   cfg,
 		Topo:     in.Topo,
 		Peers:    peers,
 		Result:   in.Result,
 		Snapshot: in.Snapshot,
+		Intern:   intern,
 	}
 	if in.Result != nil {
 		if cfg.LookingGlassASes <= 0 {

@@ -43,6 +43,7 @@ func (s *Study) WhatIfEngine() (*simulate.Engine, error) {
 	return simulate.NewEngine(s.Topo, simulate.Options{
 		VantagePoints: s.Peers,
 		Parallelism:   s.Config.Parallelism,
+		Intern:        s.Intern,
 	})
 }
 
