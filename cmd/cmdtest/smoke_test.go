@@ -11,11 +11,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // repoRoot resolves the module root (two levels above this package).
@@ -165,6 +169,35 @@ func TestCLISmoke(t *testing.T) {
 	out = run(t, bins["inferrel"], "-in", mrtPath, "-out", inferredRel, "-truth", relPath)
 	if !strings.Contains(out, "inferred") {
 		t.Fatalf("inferrel output:\n%s", out)
+	}
+
+	// The registry surface: -list names every algorithm, -algo selects
+	// one with -p parameter overrides, -score prints the per-class
+	// scorecard, and an unknown algorithm fails before touching input.
+	out = run(t, bins["inferrel"], "-list")
+	for _, name := range []string{"gao", "rank", "pari"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("inferrel -list missing %s:\n%s", name, out)
+		}
+	}
+	out = run(t, bins["inferrel"], "-in", mrtPath, "-algo", "rank", "-p", "peer_ratio=6",
+		"-out", filepath.Join(dir, "rel-rank.txt"), "-truth", relPath, "-score")
+	if !strings.Contains(out, "rank: inferred") || !strings.Contains(out, "precision") {
+		t.Fatalf("inferrel -algo rank -score output:\n%s", out)
+	}
+	posteriorPath := filepath.Join(dir, "posterior.json")
+	run(t, bins["inferrel"], "-in", mrtPath, "-algo", "pari", "-posterior", "-out", posteriorPath)
+	postData, err := os.ReadFile(posteriorPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posterior []map[string]any
+	if err := json.Unmarshal(postData, &posterior); err != nil || len(posterior) == 0 {
+		t.Fatalf("inferrel -posterior wrote bad JSON (%v):\n%s", err, postData)
+	}
+	badAlgo := exec.Command(bins["inferrel"], "-in", mrtPath, "-algo", "nope")
+	if out, err := badAlgo.CombinedOutput(); err == nil || !strings.Contains(string(out), "unknown algorithm") {
+		t.Fatalf("inferrel -algo nope: err=%v out=%s", err, out)
 	}
 
 	// inferexport runs the Figure-4 SA detector.
@@ -425,5 +458,106 @@ func TestReproJSONByteStable(t *testing.T) {
 	}
 	if len(doc.Experiments) < 20 {
 		t.Fatalf("only %d experiments in the sweep", len(doc.Experiments))
+	}
+}
+
+// TestServerInferSmoke drives the policyscoped /infer surface end to
+// end: the algorithm catalog, a real inference run, and the
+// fail-before-work contract (bad algo → 422 with no dataset built).
+func TestServerInferSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "policyscoped")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/policyscoped")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build policyscoped: %v\n%s", err, out)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	srv := exec.Command(bin, "-addr", addr, "-ases", "60", "-seed", "3", "-peers", "5", "-lg", "3")
+	var srvLog bytes.Buffer
+	srv.Stdout = &srvLog
+	srv.Stderr = &srvLog
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Process.Kill()
+		srv.Wait()
+	})
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("policyscoped never became healthy: %v\n%s", err, srvLog.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Bad algorithm: 422 before any dataset is built.
+	resp, err := http.Post(base+"/infer/nope", "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 422 || !strings.Contains(string(body), "unknown algorithm") {
+		t.Fatalf("/infer/nope: %d %s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"resident": 0`) {
+		t.Fatalf("bad algo built a dataset: %s", body)
+	}
+
+	// The algorithm catalog.
+	resp, err = http.Get(base + "/infer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, name := range []string{"gao", "rank", "pari"} {
+		if !strings.Contains(string(body), `"`+name+`"`) {
+			t.Fatalf("GET /infer missing %s: %s", name, body)
+		}
+	}
+
+	// A real run pays for the dataset build and returns the edge list.
+	resp, err = http.Post(base+"/infer/rank", "application/json", strings.NewReader(`{"peer_ratio":6}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var res struct {
+		Algorithm     string   `json:"algorithm"`
+		Edges         int      `json:"edges"`
+		Relationships []string `json:"relationships"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	if resp.StatusCode != 200 || res.Algorithm != "rank" || res.Edges == 0 || len(res.Relationships) != res.Edges {
+		t.Fatalf("/infer/rank: %d %s", resp.StatusCode, body)
 	}
 }

@@ -21,7 +21,10 @@
 //
 //	GET  /datasets        list the dataset catalog + pool residency
 //	GET  /experiments     list the experiment catalog with default params
-//	POST /run/{name}      run one experiment (?format=json|text, ?dataset=)
+//	GET  /infer           list the inference-algorithm catalog
+//	POST /run/{name}      run one experiment (?format=json|text, ?dataset=,
+//	                      ?algo= narrows inferbakeoff/inferensemble)
+//	POST /infer/{algo}    run one inference algorithm (?format=json|text, ?dataset=)
 //	POST /whatif          apply a scenario JSON (?dataset=)
 //	POST /sweep           stream a batch sweep as NDJSON (?dataset=)
 //	GET  /healthz         liveness + default readiness + pool stats

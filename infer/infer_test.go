@@ -1,0 +1,277 @@
+package infer_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/policyscope/policyscope/infer"
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/gaorelation"
+)
+
+// testInput is a small two-tier hierarchy observed from two vantage
+// stubs: 1 and 2 are the tier-1 clique, {3,4} home to 1, {5,6} home to
+// 2, and 7 dual-homes to 3 and 5.
+func testInput() infer.Input {
+	paths := []bgp.Path{
+		{3, 1, 4}, {3, 1, 2, 5}, {3, 1, 2, 6}, {3, 7}, {3, 1}, {3, 1, 2},
+		{3, 7}, // duplicates are fine: collectors repeat per prefix
+		{5, 2, 6}, {5, 2, 1, 3}, {5, 2, 1, 4}, {5, 7}, {5, 2}, {5, 2, 1},
+		{5, 2, 1, 1, 3}, // prepending collapses
+	}
+	return infer.Input{Paths: paths, VantagePoints: []bgp.ASN{3, 5}}
+}
+
+func TestCatalog(t *testing.T) {
+	names := infer.Default.Names()
+	want := []string{"gao", "pari", "rank"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("catalog names = %v, want %v", names, want)
+	}
+	for _, info := range infer.Default.Infos() {
+		if info.Title == "" || info.Params == nil {
+			t.Fatalf("algorithm %s: incomplete info %+v", info.Name, info)
+		}
+		if info.Probabilistic != (info.Name == "pari") {
+			t.Fatalf("algorithm %s: probabilistic = %v", info.Name, info.Probabilistic)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ctx := context.Background()
+	in := testInput()
+	var nf *infer.NotFoundError
+	if _, err := infer.Default.RunJSON(ctx, in, "nope", nil); !errors.As(err, &nf) || nf.Name != "nope" {
+		t.Fatalf("unknown algorithm: got %v, want NotFoundError", err)
+	}
+	var pe *infer.ParamError
+	if _, err := infer.Default.RunJSON(ctx, in, "gao", []byte(`{"bogus":1}`)); !errors.As(err, &pe) {
+		t.Fatalf("unknown JSON field: got %v, want ParamError", err)
+	}
+	if _, err := infer.Default.RunKV(ctx, in, "rank", []string{"bogus=1"}); !errors.As(err, &pe) {
+		t.Fatalf("unknown KV key: got %v, want ParamError", err)
+	}
+	if _, err := infer.Default.RunKV(ctx, in, "rank", []string{"peer_ratio"}); !errors.As(err, &pe) {
+		t.Fatalf("missing '=': got %v, want ParamError", err)
+	}
+}
+
+func serializeGraph(t *testing.T, g *asgraph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAlgorithmsCoverObservedEdges: every algorithm annotates exactly
+// the observed adjacencies, deterministically across runs.
+func TestAlgorithmsCoverObservedEdges(t *testing.T) {
+	ctx := context.Background()
+	in := testInput()
+	wantEdges := map[[2]bgp.ASN]bool{
+		{1, 2}: true, {1, 3}: true, {1, 4}: true, {2, 5}: true,
+		{2, 6}: true, {3, 7}: true, {5, 7}: true,
+	}
+	for _, name := range infer.Default.Names() {
+		out, err := infer.Default.RunJSON(ctx, in, name, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Algorithm != name {
+			t.Fatalf("%s: output labelled %q", name, out.Algorithm)
+		}
+		edges := out.Graph.Edges()
+		if len(edges) != len(wantEdges) {
+			t.Fatalf("%s: inferred %d edges, want %d (%v)", name, len(edges), len(wantEdges), edges)
+		}
+		for _, e := range edges {
+			if !wantEdges[[2]bgp.ASN{e.A, e.B}] {
+				t.Fatalf("%s: unexpected edge %v-%v", name, e.A, e.B)
+			}
+		}
+		if got := out.Degrees[1]; got != 3 {
+			t.Fatalf("%s: degree(AS1) = %d, want 3", name, got)
+		}
+		again, err := infer.Default.RunJSON(ctx, in, name, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serializeGraph(t, out.Graph), serializeGraph(t, again.Graph)) {
+			t.Fatalf("%s: two runs disagree", name)
+		}
+	}
+}
+
+// TestGaoAdapterMatchesDirectCall: the registry adapter is the same
+// computation as calling internal/gaorelation directly.
+func TestGaoAdapterMatchesDirectCall(t *testing.T) {
+	in := testInput()
+	out, err := infer.Default.RunKV(context.Background(), in, "gao", []string{"l=2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := gaorelation.DefaultOptions()
+	opts.L = 2
+	opts.VantagePoints = in.VantagePoints
+	direct := gaorelation.Infer(in.Paths, opts)
+	if !bytes.Equal(serializeGraph(t, out.Graph), serializeGraph(t, direct.Graph)) {
+		t.Fatal("gao adapter output differs from direct gaorelation call")
+	}
+	if !reflect.DeepEqual(out.Degrees, direct.Degrees) {
+		t.Fatal("gao adapter degrees differ from direct call")
+	}
+}
+
+func TestPariPosterior(t *testing.T) {
+	out, err := infer.Default.RunJSON(context.Background(), testInput(), "pari", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Posterior) != out.Graph.NumEdges() {
+		t.Fatalf("posterior has %d entries, graph %d edges", len(out.Posterior), out.Graph.NumEdges())
+	}
+	mapGraph := asgraph.New()
+	for i, ep := range out.Posterior {
+		if ep.A >= ep.B {
+			t.Fatalf("posterior %d: not canonical: %d|%d", i, ep.A, ep.B)
+		}
+		if i > 0 {
+			prev := out.Posterior[i-1]
+			if prev.A > ep.A || (prev.A == ep.A && prev.B >= ep.B) {
+				t.Fatalf("posterior not sorted at %d", i)
+			}
+		}
+		sum := ep.P2C + ep.C2P + ep.P2P + ep.Sibling
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("posterior %d|%d sums to %v", ep.A, ep.B, sum)
+		}
+		switch ep.MAP() {
+		case infer.ClassP2C:
+			if err := mapGraph.AddProviderCustomer(ep.A, ep.B); err != nil {
+				t.Fatal(err)
+			}
+		case infer.ClassC2P:
+			if err := mapGraph.AddProviderCustomer(ep.B, ep.A); err != nil {
+				t.Fatal(err)
+			}
+		case infer.ClassP2P:
+			if err := mapGraph.AddPeer(ep.A, ep.B); err != nil {
+				t.Fatal(err)
+			}
+		case infer.ClassSibling:
+			if err := mapGraph.AddSibling(ep.A, ep.B); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !bytes.Equal(serializeGraph(t, out.Graph), serializeGraph(t, mapGraph)) {
+		t.Fatal("Output.Graph is not the MAP of the posterior")
+	}
+	// Posterior JSON is deterministic across runs.
+	j1, err := json.Marshal(out.Posterior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := infer.Default.RunJSON(context.Background(), testInput(), "pari", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(again.Posterior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("posterior JSON not deterministic")
+	}
+}
+
+func TestSampleEnsembleDeterminism(t *testing.T) {
+	out, err := infer.Default.RunJSON(context.Background(), testInput(), "pari", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e5 := infer.SampleEnsemble(out.Posterior, 7, 5)
+	e5b := infer.SampleEnsemble(out.Posterior, 7, 5)
+	e8 := infer.SampleEnsemble(out.Posterior, 7, 8)
+	for i := range e5 {
+		if g := serializeGraph(t, e5[i]); !bytes.Equal(g, serializeGraph(t, e5b[i])) {
+			t.Fatalf("sample %d not deterministic", i)
+		} else if !bytes.Equal(g, serializeGraph(t, e8[i])) {
+			t.Fatalf("sample %d depends on ensemble size", i)
+		}
+		if e5[i].NumEdges() != len(out.Posterior) {
+			t.Fatalf("sample %d has %d edges, want %d", i, e5[i].NumEdges(), len(out.Posterior))
+		}
+	}
+	if bytes.Equal(serializeGraph(t, infer.SamplePosterior(out.Posterior, 1)),
+		serializeGraph(t, infer.SamplePosterior(out.Posterior, 2))) {
+		// Not fatal in principle, but with 7 edges of spread-out
+		// posterior two seeds colliding exactly signals a broken rng.
+		t.Log("warning: two adjacent seeds drew identical samples")
+	}
+}
+
+func TestScore(t *testing.T) {
+	truth := asgraph.New()
+	mustOK(t, truth.AddProviderCustomer(1, 3)) // inferred correctly
+	mustOK(t, truth.AddProviderCustomer(1, 4)) // inferred with flipped orientation
+	mustOK(t, truth.AddPeer(1, 2))             // inferred as p2c
+	mustOK(t, truth.AddSibling(5, 6))          // missed entirely
+	inferred := asgraph.New()
+	mustOK(t, inferred.AddProviderCustomer(1, 3))
+	mustOK(t, inferred.AddProviderCustomer(4, 1))
+	mustOK(t, inferred.AddProviderCustomer(1, 2))
+	mustOK(t, inferred.AddPeer(7, 8)) // spurious
+	sc := infer.Score(inferred, truth)
+	if sc.SharedEdges != 3 || sc.Correct != 1 || sc.MissedEdges != 1 || sc.SpuriousEdges != 1 {
+		t.Fatalf("scorecard %+v", sc)
+	}
+	if math.Abs(sc.Accuracy-1.0/3.0) > 1e-12 {
+		t.Fatalf("accuracy = %v", sc.Accuracy)
+	}
+	p2c := sc.ByClass["p2c"]
+	if p2c.Truth != 2 || p2c.Inferred != 3 || p2c.Correct != 1 {
+		t.Fatalf("p2c class %+v", p2c)
+	}
+	if math.Abs(p2c.Precision-1.0/3.0) > 1e-12 || math.Abs(p2c.Recall-0.5) > 1e-12 {
+		t.Fatalf("p2c precision/recall %+v", p2c)
+	}
+	p2p := sc.ByClass["p2p"]
+	if p2p.Truth != 1 || p2p.Inferred != 0 || p2p.Recall != 0 {
+		t.Fatalf("p2p class %+v", p2p)
+	}
+}
+
+func TestAgree(t *testing.T) {
+	a := asgraph.New()
+	mustOK(t, a.AddProviderCustomer(1, 3))
+	mustOK(t, a.AddPeer(1, 2))
+	mustOK(t, a.AddPeer(4, 5))
+	b := asgraph.New()
+	mustOK(t, b.AddProviderCustomer(1, 3))
+	mustOK(t, b.AddProviderCustomer(1, 2))
+	mustOK(t, b.AddSibling(6, 7))
+	ag := infer.Agree(a, b)
+	if ag.SharedEdges != 2 || ag.Agree != 1 || ag.OnlyA != 1 || ag.OnlyB != 1 {
+		t.Fatalf("agreement %+v", ag)
+	}
+	if math.Abs(ag.Fraction-0.5) > 1e-12 {
+		t.Fatalf("fraction = %v", ag.Fraction)
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

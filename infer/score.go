@@ -1,0 +1,144 @@
+package infer
+
+import (
+	"github.com/policyscope/policyscope/internal/asgraph"
+)
+
+// Scoring: accuracy/precision/recall against ground truth when it
+// exists (the quantity the paper bounds in Section 4.3 / Table 4), and
+// pairwise agreement between algorithms when it does not (MRT imports
+// carry no annotated graph to score against).
+
+// ClassScore is one relationship class's confusion summary. The p2c
+// class covers provider-customer edges in either orientation; an edge
+// inferred provider-customer with the orientation reversed counts as
+// inferred-but-incorrect.
+type ClassScore struct {
+	// Truth counts shared edges whose true class this is.
+	Truth int `json:"truth"`
+	// Inferred counts shared edges the algorithm assigned this class.
+	Inferred int `json:"inferred"`
+	// Correct counts exact matches (orientation included).
+	Correct   int     `json:"correct"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+}
+
+// classKeys is the fixed reporting order of scorecard classes.
+var classKeys = []string{"p2c", "p2p", "sibling"}
+
+// classOf buckets an exact edge relationship into its scorecard class.
+func classOf(rel asgraph.Relationship) string {
+	switch rel {
+	case asgraph.RelProvider, asgraph.RelCustomer:
+		return "p2c"
+	case asgraph.RelPeer:
+		return "p2p"
+	case asgraph.RelSibling:
+		return "sibling"
+	}
+	return "none"
+}
+
+// Scorecard summarizes one inferred graph against ground truth.
+type Scorecard struct {
+	// SharedEdges counts edges present in both graphs.
+	SharedEdges int `json:"shared_edges"`
+	// Correct counts shared edges with the exact relationship
+	// (orientation included).
+	Correct int `json:"correct"`
+	// Accuracy is Correct/SharedEdges (0 when nothing is comparable).
+	Accuracy float64 `json:"accuracy"`
+	// MissedEdges counts truth edges absent from the inferred graph.
+	MissedEdges int `json:"missed_edges"`
+	// SpuriousEdges counts inferred edges absent from the truth.
+	SpuriousEdges int `json:"spurious_edges"`
+	// ByClass keys per-class scores by "p2c", "p2p", "sibling".
+	ByClass map[string]ClassScore `json:"by_class"`
+}
+
+// Score compares an inferred graph against ground truth over the edges
+// both graphs contain.
+func Score(inferred, truth *asgraph.Graph) *Scorecard {
+	sc := &Scorecard{ByClass: make(map[string]ClassScore, len(classKeys))}
+	for _, key := range classKeys {
+		sc.ByClass[key] = ClassScore{}
+	}
+	for _, e := range truth.Edges() {
+		iRel := inferred.Rel(e.A, e.B)
+		if iRel == asgraph.RelNone {
+			sc.MissedEdges++
+			continue
+		}
+		sc.SharedEdges++
+		tKey, iKey := classOf(e.Rel), classOf(iRel)
+		tc := sc.ByClass[tKey]
+		tc.Truth++
+		sc.ByClass[tKey] = tc
+		ic := sc.ByClass[iKey]
+		ic.Inferred++
+		if iRel == e.Rel {
+			sc.Correct++
+			ic.Correct++
+		}
+		sc.ByClass[iKey] = ic
+	}
+	for _, e := range inferred.Edges() {
+		if truth.Rel(e.A, e.B) == asgraph.RelNone {
+			sc.SpuriousEdges++
+		}
+	}
+	if sc.SharedEdges > 0 {
+		sc.Accuracy = float64(sc.Correct) / float64(sc.SharedEdges)
+	}
+	for key, cs := range sc.ByClass {
+		if cs.Inferred > 0 {
+			cs.Precision = float64(cs.Correct) / float64(cs.Inferred)
+		}
+		if cs.Truth > 0 {
+			cs.Recall = float64(cs.Correct) / float64(cs.Truth)
+		}
+		sc.ByClass[key] = cs
+	}
+	return sc
+}
+
+// Agreement summarizes how two inferred graphs compare when no ground
+// truth exists to arbitrate.
+type Agreement struct {
+	// SharedEdges counts edges both graphs contain.
+	SharedEdges int `json:"shared_edges"`
+	// Agree counts shared edges with identical relationships
+	// (orientation included).
+	Agree int `json:"agree"`
+	// Fraction is Agree/SharedEdges (0 when nothing is comparable).
+	Fraction float64 `json:"fraction"`
+	// OnlyA / OnlyB count edges exclusive to one graph.
+	OnlyA int `json:"only_a"`
+	OnlyB int `json:"only_b"`
+}
+
+// Agree compares two inferred graphs edge by edge.
+func Agree(a, b *asgraph.Graph) Agreement {
+	var ag Agreement
+	for _, e := range a.Edges() {
+		bRel := b.Rel(e.A, e.B)
+		if bRel == asgraph.RelNone {
+			ag.OnlyA++
+			continue
+		}
+		ag.SharedEdges++
+		if bRel == e.Rel {
+			ag.Agree++
+		}
+	}
+	for _, e := range b.Edges() {
+		if a.Rel(e.A, e.B) == asgraph.RelNone {
+			ag.OnlyB++
+		}
+	}
+	if ag.SharedEdges > 0 {
+		ag.Fraction = float64(ag.Agree) / float64(ag.SharedEdges)
+	}
+	return ag
+}

@@ -1,0 +1,197 @@
+package policyscope
+
+// Inference bakeoff benchmarks (snapshot them with
+// scripts/bench_infer.sh -> BENCH_infer.json): per-algorithm inference
+// and scorer wall time at two scales — the shared 800-AS paper-preset
+// study, and a synthesized 20k-AS CAIDA hierarchy with deterministic
+// valley-free paths (the same shape cmd/cmdtest's CAIDA smoke loads
+// from disk, built in memory here).
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/policyscope/policyscope/infer"
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/bgp"
+)
+
+// caidaBench is the synthesized 20k-AS hierarchy: truth graph plus the
+// valley-free paths a few tier-2 vantages would observe.
+type caidaBench struct {
+	in    infer.Input
+	truth *asgraph.Graph
+}
+
+var (
+	caidaBenchOnce sync.Once
+	caidaBenchData *caidaBench
+)
+
+// caidaInput builds the hierarchy of cmdtest's writeRelHierarchy in
+// memory: a 5-AS tier-1 clique, n/20 dual-homed tier-2 transit ASes,
+// dual-homed tier-3 edges for the rest. Paths go vantage → tier-1 →
+// (peer tier-1) → tier-2 → tier-3, strictly valley-free.
+func caidaInput(b *testing.B, n int) *caidaBench {
+	b.Helper()
+	caidaBenchOnce.Do(func() {
+		const t1 = 5
+		t2 := n / 20
+		g := asgraph.New()
+		must := func(err error) {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 1; i <= t1; i++ {
+			for j := i + 1; j <= t1; j++ {
+				must(g.AddPeer(bgp.ASN(i), bgp.ASN(j)))
+			}
+		}
+		// provA/provB mirror writeRelHierarchy's provider choices.
+		provA := func(asn int) int {
+			if asn <= t1+t2 {
+				i := asn - t1 - 1
+				return 1 + i%t1
+			}
+			i := asn - t1 - t2 - 1
+			return t1 + 1 + i%t2
+		}
+		provB := func(asn int) int {
+			if asn <= t1+t2 {
+				i := asn - t1 - 1
+				return 1 + (i+1)%t1
+			}
+			i := asn - t1 - t2 - 1
+			return t1 + 1 + (i*7+3)%t2
+		}
+		for asn := t1 + 1; asn <= n; asn++ {
+			must(g.AddProviderCustomer(bgp.ASN(provA(asn)), bgp.ASN(asn)))
+			must(g.AddProviderCustomer(bgp.ASN(provB(asn)), bgp.ASN(asn)))
+		}
+
+		// Vantages: the first three tier-2 ASes. Each observes every
+		// other AS through its first provider.
+		vantages := []int{t1 + 1, t1 + 2, t1 + 3}
+		var paths []bgp.Path
+		appendPath := func(asns ...int) {
+			p := make(bgp.Path, 0, len(asns))
+			for i, a := range asns {
+				// Collapse consecutive duplicates (vantage == target's
+				// tier-2 provider, or shared tier-1).
+				if i > 0 && asns[i-1] == a {
+					continue
+				}
+				p = append(p, bgp.ASN(a))
+			}
+			if len(p) >= 2 {
+				paths = append(paths, p)
+			}
+		}
+		for _, v := range vantages {
+			up := provA(v) // v's tier-1 provider
+			for _, t := range []int{1, 2, 3, 4, 5} {
+				appendPath(v, up, t) // reach each tier-1 (peer hop when t != up)
+			}
+			for asn := t1 + 1; asn <= n; asn++ {
+				if asn == v {
+					continue
+				}
+				if asn <= t1+t2 { // a tier-2: down from its tier-1
+					appendPath(v, up, provA(asn), asn)
+					continue
+				}
+				p := provA(asn) // tier-2 above the tier-3 target
+				appendPath(v, up, provA(p), p, asn)
+			}
+		}
+		caidaBenchData = &caidaBench{
+			in:    infer.Input{Paths: paths, VantagePoints: []bgp.ASN{bgp.ASN(vantages[0]), bgp.ASN(vantages[1]), bgp.ASN(vantages[2])}},
+			truth: g,
+		}
+	})
+	if caidaBenchData == nil {
+		b.Skip("caida hierarchy construction failed earlier")
+	}
+	return caidaBenchData
+}
+
+// paperInput is the shared paper-preset study's observed paths.
+func paperInput(b *testing.B) (infer.Input, *Study) {
+	b.Helper()
+	s := sharedStudy(b)
+	return infer.Input{Paths: s.SnapshotPaths(), VantagePoints: s.Peers}, s
+}
+
+func benchAlgo(b *testing.B, in infer.Input, algo string) {
+	b.Helper()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := infer.Default.Run(ctx, in, algo, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Graph.NumEdges() == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+func BenchmarkInferGao(b *testing.B) {
+	in, _ := paperInput(b)
+	benchAlgo(b, in, "gao")
+}
+
+func BenchmarkInferRank(b *testing.B) {
+	in, _ := paperInput(b)
+	benchAlgo(b, in, "rank")
+}
+
+func BenchmarkInferPari(b *testing.B) {
+	in, _ := paperInput(b)
+	benchAlgo(b, in, "pari")
+}
+
+func BenchmarkInferScore(b *testing.B) {
+	in, s := paperInput(b)
+	out, err := infer.Default.Run(context.Background(), in, "gao", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := infer.Score(out.Graph, s.Topo.Graph)
+		if sc.SharedEdges == 0 {
+			b.Fatal("nothing scored")
+		}
+	}
+}
+
+func BenchmarkInferGao20k(b *testing.B) {
+	benchAlgo(b, caidaInput(b, 20000).in, "gao")
+}
+
+func BenchmarkInferRank20k(b *testing.B) {
+	benchAlgo(b, caidaInput(b, 20000).in, "rank")
+}
+
+func BenchmarkInferPari20k(b *testing.B) {
+	benchAlgo(b, caidaInput(b, 20000).in, "pari")
+}
+
+func BenchmarkInferScore20k(b *testing.B) {
+	cb := caidaInput(b, 20000)
+	out, err := infer.Default.Run(context.Background(), cb.in, "gao", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := infer.Score(out.Graph, cb.truth)
+		if sc.SharedEdges == 0 {
+			b.Fatal("nothing scored")
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package policyscope
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"github.com/policyscope/policyscope/experiment"
+	"github.com/policyscope/policyscope/infer"
+	"github.com/policyscope/policyscope/internal/asgraph"
+	"github.com/policyscope/policyscope/internal/routeviews"
+)
+
+func serializeGraphT(t *testing.T, g *asgraph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func readMRTBytes(b []byte) (*routeviews.Snapshot, error) {
+	return routeviews.ReadMRT(bytes.NewReader(b))
+}
+
+// TestSessionInferGaoMatchesStudyInference: the registry's gao adapter
+// is byte-identical (serialized a|b|rel) to the study's own lazy Gao
+// gate, across seeds of the synthetic preset and across an MRT
+// round trip of the snapshot.
+func TestSessionInferGaoMatchesStudyInference(t *testing.T) {
+	ctx := context.Background()
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := DefaultConfig()
+		cfg.NumASes = 150
+		cfg.Seed = seed
+		cfg.CollectorPeers = 10
+		cfg.LookingGlassASes = 6
+		se := NewSession(cfg)
+		out, err := se.Infer(ctx, "gao", nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		s, err := se.Study()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := serializeGraphT(t, s.Inference().Graph)
+		if got := serializeGraphT(t, out.Graph); !bytes.Equal(got, want) {
+			t.Fatalf("seed %d: registry gao differs from Study.Inference", seed)
+		}
+
+		// The same equivalence must hold on a snapshot-only import of
+		// this study's MRT dump.
+		var mrt bytes.Buffer
+		if err := s.Snapshot.WriteMRT(&mrt); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := readMRTBytes(mrt.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		imported, err := NewStudyFromSnapshot(snap, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		impSess := NewSessionFromStudy(imported)
+		impOut, err := impSess.Infer(ctx, "gao", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := serializeGraphT(t, impOut.Graph); !bytes.Equal(got, serializeGraphT(t, imported.Inference().Graph)) {
+			t.Fatalf("seed %d: registry gao differs from Study.Inference on MRT import", seed)
+		}
+	}
+}
+
+// TestSessionInferMemoization: one algorithm with equal effective
+// params runs once per session; different params run separately.
+func TestSessionInferMemoization(t *testing.T) {
+	se := smallSession(t)
+	ctx := context.Background()
+	a, err := se.Infer(ctx, "rank", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := se.Infer(ctx, "rank", json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("equal params did not share one memoized run")
+	}
+	c, err := se.InferKV(ctx, "rank", []string{"peer_ratio=9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("different params shared a memoized run")
+	}
+}
+
+func TestInferBakeoffExperiment(t *testing.T) {
+	se := smallSession(t)
+	ctx := context.Background()
+
+	res, err := se.Run(ctx, "inferbakeoff", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := res.(*InferBakeoffResult)
+	if len(bk.Algorithms) != 3 || len(bk.Agreement) != 3 {
+		t.Fatalf("bakeoff shape: %d algorithms, %d agreement cells", len(bk.Algorithms), len(bk.Agreement))
+	}
+	if bk.Scored {
+		t.Fatal("default bakeoff must not be scored")
+	}
+	for _, a := range bk.Algorithms {
+		if a.Score != nil {
+			t.Fatalf("%s: unscored run carries a scorecard", a.Name)
+		}
+		if a.Edges == 0 || a.P2C+a.P2P+a.Siblings != a.Edges {
+			t.Fatalf("%s: class counts %d+%d+%d do not sum to %d edges", a.Name, a.P2C, a.P2P, a.Siblings, a.Edges)
+		}
+	}
+
+	// Scored run: every algorithm gets a ground-truth scorecard, and
+	// gao's accuracy matches the study's own Section 4.3 number.
+	res, err = se.RunKV(ctx, "inferbakeoff", []string{"score=true", `algos=["gao"]`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored := res.(*InferBakeoffResult)
+	if len(scored.Algorithms) != 1 || scored.Algorithms[0].Score == nil {
+		t.Fatalf("scored bakeoff: %+v", scored.Algorithms)
+	}
+	s, err := se.Study()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := s.RelationshipAccuracy()
+	sc := scored.Algorithms[0].Score
+	if sc.SharedEdges != acc.Total || sc.Accuracy != acc.Fraction() {
+		t.Fatalf("gao scorecard (%d shared, %.4f) disagrees with RelationshipAccuracy (%d, %.4f)",
+			sc.SharedEdges, sc.Accuracy, acc.Total, acc.Fraction())
+	}
+
+	// Unknown algorithm: rejected before any inference.
+	var nf *infer.NotFoundError
+	if _, err := se.RunJSON(ctx, "inferbakeoff", []byte(`{"algos":["nope"]}`)); !errors.As(err, &nf) {
+		t.Fatalf("bad algo: got %v", err)
+	}
+
+	// Rendering produces the summary and agreement tables.
+	var buf bytes.Buffer
+	if err := bk.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("Inference bakeoff")) ||
+		!bytes.Contains(buf.Bytes(), []byte("Pairwise agreement")) {
+		t.Fatalf("render missing sections:\n%s", buf.String())
+	}
+}
+
+// TestInferBakeoffScoreNeedsGroundTruth: score=true on a snapshot-only
+// dataset is a NeedsGroundTruth error, not a panic or a silent skip.
+func TestInferBakeoffScoreNeedsGroundTruth(t *testing.T) {
+	se := smallSession(t)
+	s, err := se.Study()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mrt bytes.Buffer
+	if err := s.Snapshot.WriteMRT(&mrt); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := readMRTBytes(mrt.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported, err := NewStudyFromSnapshot(snap, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	impSess := NewSessionFromStudy(imported)
+	if _, err := impSess.RunKV(context.Background(), "inferbakeoff", []string{"score=true"}); !errors.Is(err, ErrNeedsGroundTruth) {
+		t.Fatalf("want ErrNeedsGroundTruth, got %v", err)
+	}
+	// Unscored stays answerable.
+	if _, err := impSess.Run(context.Background(), "inferbakeoff", nil); err != nil {
+		t.Fatalf("unscored bakeoff on import: %v", err)
+	}
+}
+
+// TestInferEnsembleDeterministicAcrossWorkers: the ensemble result is
+// bit-identical JSON regardless of the sweep executor's worker count.
+func TestInferEnsembleDeterministicAcrossWorkers(t *testing.T) {
+	// Sampled relationship worlds are not valley-free, so convergence is
+	// activation-budget-bound: keep the universe small.
+	cfg := DefaultConfig()
+	cfg.NumASes = 80
+	cfg.Seed = 5
+	cfg.CollectorPeers = 6
+	cfg.LookingGlassASes = 4
+	se := NewSession(cfg)
+	ctx := context.Background()
+	var want []byte
+	for _, workers := range []int{1, 4, 8} {
+		params, err := json.Marshal(map[string]any{
+			"samples": 3, "seed": 5, "sweep_max": 4, "workers": workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := se.RunJSON(ctx, "inferensemble", params)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d diverged:\n want %s\n  got %s", workers, want, got)
+		}
+	}
+
+	var er InferEnsembleResult
+	if err := json.Unmarshal(want, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Samples) != 3 || er.PosteriorEdges == 0 || er.SweepScenarios != 4 {
+		t.Fatalf("ensemble shape: %+v", er)
+	}
+	for i, s := range er.Samples {
+		if s.Index != i || s.Seed != 5+int64(i) {
+			t.Fatalf("sample %d mislabelled: %+v", i, s)
+		}
+		if s.Atoms == 0 {
+			t.Fatalf("sample %d: no atoms", i)
+		}
+	}
+	if len(er.Spread) == 0 {
+		t.Fatal("no spread rows")
+	}
+	var buf bytes.Buffer
+	if err := er.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("Posterior ensemble")) ||
+		!bytes.Contains(buf.Bytes(), []byte("Spread across samples")) {
+		t.Fatalf("render missing sections:\n%s", buf.String())
+	}
+}
+
+// TestInferEnsembleRejectsNonProbabilistic: only algorithms with a
+// posterior can be sampled.
+func TestInferEnsembleRejectsNonProbabilistic(t *testing.T) {
+	se := smallSession(t)
+	var pe *experiment.ParamError
+	if _, err := se.RunJSON(context.Background(), "inferensemble", []byte(`{"algo":"gao"}`)); !errors.As(err, &pe) {
+		t.Fatalf("want ParamError, got %v", err)
+	}
+}

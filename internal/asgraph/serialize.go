@@ -1,37 +1,23 @@
 package asgraph
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"sort"
-	"strconv"
-	"strings"
 
 	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/relfile"
 )
 
-// Serialization in the CAIDA AS-relationship file format the community
-// standardized on after Gao's work:
-//
-//	# comment
-//	<provider>|<customer>|-1
-//	<peer>|<peer>|0
-//	<sibling>|<sibling>|1
-//
-// Peer and sibling lines are written with the smaller ASN first.
+// Serialization in the CAIDA AS-relationship file format, delegated to
+// internal/relfile (the one definition of the a|b|rel dialect). Peer
+// and sibling lines are written with the smaller ASN first; lines are
+// emitted in deterministic canonical-key order.
 
-// Relationship codes used by the file format.
-const (
-	codeProviderCustomer = -1
-	codePeer             = 0
-	codeSibling          = 1
-)
-
-// WriteTo serializes the graph. Lines are emitted in deterministic order.
-func (g *Graph) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
-	var total int64
+// Records returns the graph's edges as relationship-file records in
+// the deterministic order WriteTo emits them: canonical (A, B)
+// ascending, provider-customer records oriented provider first.
+func (g *Graph) Records() []relfile.Record {
 	keys := make([][2]bgp.ASN, 0, len(g.edges))
 	for k := range g.edges {
 		keys = append(keys, k)
@@ -42,73 +28,57 @@ func (g *Graph) WriteTo(w io.Writer) (int64, error) {
 		}
 		return keys[i][1] < keys[j][1]
 	})
+	recs := make([]relfile.Record, 0, len(keys))
 	for _, k := range keys {
 		a, b := k[0], k[1]
-		var line string
 		switch g.edges[k] { // what b is to a
 		case RelProvider:
-			line = fmt.Sprintf("%d|%d|%d\n", b, a, codeProviderCustomer)
+			recs = append(recs, relfile.Record{A: b, B: a, Code: relfile.CodeProviderCustomer})
 		case RelCustomer:
-			line = fmt.Sprintf("%d|%d|%d\n", a, b, codeProviderCustomer)
+			recs = append(recs, relfile.Record{A: a, B: b, Code: relfile.CodeProviderCustomer})
 		case RelPeer:
-			line = fmt.Sprintf("%d|%d|%d\n", a, b, codePeer)
+			recs = append(recs, relfile.Record{A: a, B: b, Code: relfile.CodePeer})
 		case RelSibling:
-			line = fmt.Sprintf("%d|%d|%d\n", a, b, codeSibling)
-		}
-		n, err := bw.WriteString(line)
-		total += int64(n)
-		if err != nil {
-			return total, err
+			recs = append(recs, relfile.Record{A: a, B: b, Code: relfile.CodeSibling})
 		}
 	}
-	return total, bw.Flush()
+	return recs
+}
+
+// WriteTo serializes the graph. Lines are emitted in deterministic order.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	return relfile.Write(w, g.Records())
+}
+
+// FromRecords builds a graph from relationship records, rejecting
+// conflicting re-additions.
+func FromRecords(recs []relfile.Record) (*Graph, error) {
+	g := New()
+	for _, rec := range recs {
+		var err error
+		switch rec.Code {
+		case relfile.CodeProviderCustomer:
+			err = g.AddProviderCustomer(rec.A, rec.B)
+		case relfile.CodePeer:
+			err = g.AddPeer(rec.A, rec.B)
+		case relfile.CodeSibling:
+			err = g.AddSibling(rec.A, rec.B)
+		default:
+			err = fmt.Errorf("unknown relationship code %d", rec.Code)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("asgraph: line %d: %v", rec.Line, err)
+		}
+	}
+	return g, nil
 }
 
 // Read parses a CAIDA-format relationship file into a new graph. Comment
 // lines beginning with '#' and blank lines are skipped.
 func Read(r io.Reader) (*Graph, error) {
-	g := New()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		parts := strings.Split(line, "|")
-		if len(parts) < 3 {
-			return nil, fmt.Errorf("asgraph: line %d: want a|b|rel, got %q", lineNo, line)
-		}
-		a, err := strconv.ParseUint(parts[0], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("asgraph: line %d: bad ASN %q", lineNo, parts[0])
-		}
-		b, err := strconv.ParseUint(parts[1], 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("asgraph: line %d: bad ASN %q", lineNo, parts[1])
-		}
-		code, err := strconv.Atoi(parts[2])
-		if err != nil {
-			return nil, fmt.Errorf("asgraph: line %d: bad code %q", lineNo, parts[2])
-		}
-		switch code {
-		case codeProviderCustomer:
-			err = g.AddProviderCustomer(bgp.ASN(a), bgp.ASN(b))
-		case codePeer:
-			err = g.AddPeer(bgp.ASN(a), bgp.ASN(b))
-		case codeSibling:
-			err = g.AddSibling(bgp.ASN(a), bgp.ASN(b))
-		default:
-			err = fmt.Errorf("unknown relationship code %d", code)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("asgraph: line %d: %v", lineNo, err)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	recs, err := relfile.Read(r)
+	if err != nil {
 		return nil, err
 	}
-	return g, nil
+	return FromRecords(recs)
 }

@@ -33,11 +33,12 @@ var runAllPlans = map[string]func(RunAllOptions) []any{}
 // snapshot-only dataset returns ErrNeedsGroundTruth instead of
 // panicking on the missing inputs.
 var snapshotCapable = map[string]bool{
-	"table5":  true, // SA detector over peer best views
-	"table6":  true, // per-customer SA shares at Tier-1 vantages
-	"table8":  true, // multihoming split of SA origins
-	"table9":  true, // splitting/aggregation signatures
-	"table10": true, // peer-export behaviour over the origin universe
+	"table5":       true, // SA detector over peer best views
+	"table6":       true, // per-customer SA shares at Tier-1 vantages
+	"table8":       true, // multihoming split of SA origins
+	"table9":       true, // splitting/aggregation signatures
+	"table10":      true, // peer-export behaviour over the origin universe
+	"inferbakeoff": true, // inference runs on observed paths; scoring is opt-in
 }
 
 // register wires one experiment into the catalog with typed parameters.
@@ -190,6 +191,32 @@ type SweepParams struct {
 	// (<= 0 keeps all; the streaming /sweep endpoint always carries
 	// every record).
 	MaxRecords int `json:"max_records"`
+}
+
+// InferBakeoffParams parameterizes the inference bakeoff. Empty Algos
+// runs every registered algorithm; Score attaches ground-truth
+// scorecards (and requires ground truth), so the default result stays
+// derivable from a snapshot alone.
+type InferBakeoffParams struct {
+	Algos []string `json:"algos,omitempty"`
+	Score bool     `json:"score,omitempty"`
+}
+
+// InferEnsembleParams parameterizes the posterior-ensemble experiment.
+// Zero values take the defaults registered with the experiment (pari,
+// 5 samples, seed 1, a 16-scenario link-failure probe).
+type InferEnsembleParams struct {
+	// Algo must name a probabilistic algorithm (one with a posterior).
+	Algo string `json:"algo"`
+	// Samples is the ensemble size K (capped at 64).
+	Samples int `json:"samples"`
+	// Seed drives the posterior sampler; sample i uses seed+i.
+	Seed int64 `json:"seed"`
+	// SweepMax caps the per-sample single-link-failure probe
+	// (0 disables sweeping entirely).
+	SweepMax int `json:"sweep_max"`
+	// Workers is the sweep executor shard count (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
 }
 
 // xlabel names the epoch unit for chart axes.
@@ -519,6 +546,16 @@ func init() {
 		},
 		// A whole-topology sweep is too heavy for the default RunAll
 		// battery; run it by name (repro -run sweep, POST /sweep).
+		func(RunAllOptions) []any { return []any{} })
+
+	register("inferbakeoff", "Inference bakeoff: relationship algorithms side by side", "infer", 216,
+		&InferBakeoffParams{}, runInferBakeoff, nil)
+
+	register("inferensemble", "Posterior ensemble: sampled relationship worlds through convergence and sweeps", "infer", 217,
+		&InferEnsembleParams{Algo: "pari", Samples: 5, Seed: 1, SweepMax: 16},
+		runInferEnsemble,
+		// Convergence per sample is too heavy for the default RunAll
+		// battery; run it by name (repro -run inferensemble).
 		func(RunAllOptions) []any { return []any{} })
 
 	register("summary", "Summary: paper vs measured", "summary", 220, (*NoParams)(nil),

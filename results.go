@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/policyscope/policyscope/infer"
 	"github.com/policyscope/policyscope/internal/bgp"
 	"github.com/policyscope/policyscope/internal/core"
 	"github.com/policyscope/policyscope/internal/reports"
@@ -286,6 +287,179 @@ func (r SweepResult) Render(w io.Writer) error {
 			fmt.Sprintf("%d", p.Scenarios), fmt.Sprintf("%d", p.PrefixChanges))
 	}
 	return writeAll(w, summary, top, peers)
+}
+
+// InferAlgoSummary is one algorithm's row in the bakeoff: what it
+// inferred, and (when scored) how it did against ground truth.
+type InferAlgoSummary struct {
+	Name          string `json:"name"`
+	Probabilistic bool   `json:"probabilistic,omitempty"`
+	ASes          int    `json:"ases"`
+	Edges         int    `json:"edges"`
+	// P2C counts provider-customer edges (either orientation), P2P
+	// peering edges, Siblings sibling edges.
+	P2C      int `json:"p2c"`
+	P2P      int `json:"p2p"`
+	Siblings int `json:"siblings"`
+	// Score is present only on scored runs (score=true, needs ground
+	// truth) so the default result stays snapshot-derivable.
+	Score *infer.Scorecard `json:"score,omitempty"`
+}
+
+// InferAgreementCell is one pairwise-agreement entry between two
+// algorithms' inferred graphs, in bakeoff algorithm order.
+type InferAgreementCell struct {
+	A         string          `json:"a"`
+	B         string          `json:"b"`
+	Agreement infer.Agreement `json:"agreement"`
+}
+
+// InferBakeoffResult is the inference bakeoff: per-algorithm summaries
+// plus the pairwise agreement matrix (upper triangle). Unscored runs
+// contain nothing derived from ground truth.
+type InferBakeoffResult struct {
+	Paths      int                  `json:"paths"`
+	Scored     bool                 `json:"scored,omitempty"`
+	Algorithms []InferAlgoSummary   `json:"algorithms"`
+	Agreement  []InferAgreementCell `json:"agreement,omitempty"`
+}
+
+// Render implements experiment.Result.
+func (r InferBakeoffResult) Render(w io.Writer) error {
+	cols := []string{"Algorithm", "ASes", "Edges", "p2c", "p2p", "sibling"}
+	if r.Scored {
+		cols = append(cols, "Accuracy", "Missed", "Spurious")
+	}
+	summary := &reports.Table{
+		Title: fmt.Sprintf("Inference bakeoff: %d algorithms over %d observed paths",
+			len(r.Algorithms), r.Paths),
+		Columns: cols,
+	}
+	for _, a := range r.Algorithms {
+		name := a.Name
+		if a.Probabilistic {
+			name += " (MAP)"
+		}
+		row := []string{name, fmt.Sprintf("%d", a.ASes), fmt.Sprintf("%d", a.Edges),
+			fmt.Sprintf("%d", a.P2C), fmt.Sprintf("%d", a.P2P), fmt.Sprintf("%d", a.Siblings)}
+		if r.Scored {
+			acc, missed, spurious := "-", "-", "-"
+			if a.Score != nil {
+				acc = fmt.Sprintf("%.2f%%", 100*a.Score.Accuracy)
+				missed = fmt.Sprintf("%d", a.Score.MissedEdges)
+				spurious = fmt.Sprintf("%d", a.Score.SpuriousEdges)
+			}
+			row = append(row, acc, missed, spurious)
+		}
+		summary.AddRow(row...)
+	}
+	items := []interface {
+		WriteTo(io.Writer) (int64, error)
+	}{summary}
+	if r.Scored {
+		classes := &reports.Table{
+			Title:   "Per-class precision/recall vs ground truth",
+			Columns: []string{"Algorithm", "Class", "Truth", "Inferred", "Correct", "Precision", "Recall"},
+		}
+		for _, a := range r.Algorithms {
+			if a.Score == nil {
+				continue
+			}
+			for _, key := range []string{"p2c", "p2p", "sibling"} {
+				cs := a.Score.ByClass[key]
+				classes.AddRow(a.Name, key, fmt.Sprintf("%d", cs.Truth),
+					fmt.Sprintf("%d", cs.Inferred), fmt.Sprintf("%d", cs.Correct),
+					fmt.Sprintf("%.2f", cs.Precision), fmt.Sprintf("%.2f", cs.Recall))
+			}
+		}
+		items = append(items, classes)
+	}
+	if len(r.Agreement) > 0 {
+		ag := &reports.Table{
+			Title:   "Pairwise agreement (shared edges, identical relationship)",
+			Columns: []string{"A", "B", "Shared", "Agree", "Fraction", "Only A", "Only B"},
+		}
+		for _, c := range r.Agreement {
+			ag.AddRow(c.A, c.B, fmt.Sprintf("%d", c.Agreement.SharedEdges),
+				fmt.Sprintf("%d", c.Agreement.Agree), fmt.Sprintf("%.2f", c.Agreement.Fraction),
+				fmt.Sprintf("%d", c.Agreement.OnlyA), fmt.Sprintf("%d", c.Agreement.OnlyB))
+		}
+		items = append(items, ag)
+	}
+	return writeAll(w, items...)
+}
+
+// EnsembleSample is one posterior sample's downstream metrics (Index -1
+// is the ground-truth base row).
+type EnsembleSample struct {
+	Index int   `json:"index"`
+	Seed  int64 `json:"seed"`
+	// FlippedEdges counts relationship annotations the sample changed
+	// relative to ground truth.
+	FlippedEdges int `json:"flipped_edges"`
+	// Unconverged counts prefixes that hit the activation budget under
+	// the sampled policies (0 in valley-free ground truth).
+	Unconverged      int `json:"unconverged"`
+	Atoms            int `json:"atoms"`
+	MultiPrefixAtoms int `json:"multi_prefix_atoms"`
+	// Sweep totals over the capped single-link-failure probe (0 when
+	// sweep_max=0 disables it).
+	SweepShiftedASes    int `json:"sweep_shifted_ases"`
+	SweepLostReachPairs int `json:"sweep_lost_reach_pairs"`
+}
+
+// EnsembleSpread is one metric's spread over the ensemble samples.
+type EnsembleSpread struct {
+	Metric string  `json:"metric"`
+	Min    float64 `json:"min"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+	// StdDev is the population standard deviation over the samples.
+	StdDev float64 `json:"stddev"`
+	// Base is the metric under the study's ground-truth relationships.
+	Base float64 `json:"base"`
+}
+
+// InferEnsembleResult is the posterior-ensemble experiment: K sampled
+// relationship assignments pushed through convergence and the sweep
+// executor, with spread bars against the ground-truth base.
+type InferEnsembleResult struct {
+	Algo           string           `json:"algo"`
+	Seed           int64            `json:"seed"`
+	PosteriorEdges int              `json:"posterior_edges"`
+	SweepMax       int              `json:"sweep_max"`
+	SweepScenarios int              `json:"sweep_scenarios,omitempty"`
+	Base           EnsembleSample   `json:"base"`
+	Samples        []EnsembleSample `json:"samples"`
+	Spread         []EnsembleSpread `json:"spread"`
+}
+
+// Render implements experiment.Result.
+func (r InferEnsembleResult) Render(w io.Writer) error {
+	sampleRow := func(t *reports.Table, label string, s EnsembleSample) {
+		t.AddRow(label, fmt.Sprintf("%d", s.FlippedEdges), fmt.Sprintf("%d", s.Unconverged),
+			fmt.Sprintf("%d", s.Atoms), fmt.Sprintf("%d", s.MultiPrefixAtoms),
+			fmt.Sprintf("%d", s.SweepShiftedASes), fmt.Sprintf("%d", s.SweepLostReachPairs))
+	}
+	samples := &reports.Table{
+		Title: fmt.Sprintf(
+			"Posterior ensemble (%s): %d samples over %d edges, %d-scenario link-failure probe",
+			r.Algo, len(r.Samples), r.PosteriorEdges, r.SweepScenarios),
+		Columns: []string{"Sample", "Flipped", "Unconverged", "Atoms", "Multi-prefix", "Sweep shifted", "Sweep lost"},
+	}
+	sampleRow(samples, "base", r.Base)
+	for _, s := range r.Samples {
+		sampleRow(samples, fmt.Sprintf("#%d (seed %d)", s.Index, s.Seed), s)
+	}
+	spread := &reports.Table{
+		Title:   "Spread across samples",
+		Columns: []string{"Metric", "Min", "Mean", "Max", "StdDev", "Base"},
+	}
+	for _, sp := range r.Spread {
+		spread.AddRow(sp.Metric, fmt.Sprintf("%.0f", sp.Min), fmt.Sprintf("%.1f", sp.Mean),
+			fmt.Sprintf("%.0f", sp.Max), fmt.Sprintf("%.2f", sp.StdDev), fmt.Sprintf("%.0f", sp.Base))
+	}
+	return writeAll(w, samples, spread)
 }
 
 // SummaryRow is one paper-vs-measured comparison line.

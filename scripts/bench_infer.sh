@@ -1,0 +1,75 @@
+#!/bin/sh
+# bench_infer.sh — snapshot the inference-bakeoff benchmarks.
+#
+# Runs every registered algorithm (gao, rank, pari) plus the
+# ground-truth scorer at two scales — the 800-AS paper-preset study and
+# a synthesized 20k-AS CAIDA hierarchy — and writes BENCH_infer.json.
+#
+# Acceptance bar (enforced here and in CI): every algorithm and the
+# scorer must complete both scales; the 20k hierarchy must infer in
+# under 60s per algorithm (a generous ceiling — the point is that
+# internet scale stays interactive, ~100ms at time of writing).
+#
+# Usage: scripts/bench_infer.sh [benchtime]   (default 3x)
+set -eu
+
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-3x}"
+OUT="BENCH_infer.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run NONE -bench 'BenchmarkInfer(Gao|Rank|Pari|Score)(20k)?$' \
+    -benchtime "$BENCHTIME" . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+    function metric(unit,   i) {
+        for (i = 1; i <= NF; i++) if ($i == unit) return $(i - 1)
+        return ""
+    }
+    /^BenchmarkInferGao20k/   { gao20k = metric("ns/op"); next }
+    /^BenchmarkInferRank20k/  { rank20k = metric("ns/op"); next }
+    /^BenchmarkInferPari20k/  { pari20k = metric("ns/op"); next }
+    /^BenchmarkInferScore20k/ { score20k = metric("ns/op"); next }
+    /^BenchmarkInferGao/      { gao = metric("ns/op"); next }
+    /^BenchmarkInferRank/     { rank = metric("ns/op"); next }
+    /^BenchmarkInferPari/     { pari = metric("ns/op"); next }
+    /^BenchmarkInferScore/    { score = metric("ns/op"); next }
+    END {
+        if (gao == "" || rank == "" || pari == "" || score == "" ||
+            gao20k == "" || rank20k == "" || pari20k == "" || score20k == "") {
+            print "bench_infer.sh: missing benchmark output" > "/dev/stderr"
+            exit 1
+        }
+        printf "{\n"
+        printf "  \"benchmark\": \"relationship inference + scorer: paper preset (800 ASes, 24 vantage points) and synthesized 20k-AS CAIDA hierarchy\",\n"
+        printf "  \"benchtime\": \"%s\",\n", benchtime
+        printf "  \"paper_preset\": {\n"
+        printf "    \"gao_ns\": %s,\n", gao
+        printf "    \"rank_ns\": %s,\n", rank
+        printf "    \"pari_ns\": %s,\n", pari
+        printf "    \"score_ns\": %s\n", score
+        printf "  },\n"
+        printf "  \"caida_20k\": {\n"
+        printf "    \"gao_ns\": %s,\n", gao20k
+        printf "    \"rank_ns\": %s,\n", rank20k
+        printf "    \"pari_ns\": %s,\n", pari20k
+        printf "    \"score_ns\": %s\n", score20k
+        printf "  }\n"
+        printf "}\n"
+    }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT:"
+cat "$OUT"
+
+for algo in gao rank pari; do
+    NS=$(awk -F': ' -v a="$algo" '
+        /"caida_20k"/ { in20k = 1 }
+        in20k && $0 ~ "\"" a "_ns\"" { gsub(/[ ,]/, "", $2); print $2; exit }
+    ' "$OUT")
+    awk -v ns="$NS" 'BEGIN { exit (ns + 0 < 60e9 ? 0 : 1) }' || {
+        echo "bench_infer.sh: $algo took ${NS}ns on the 20k hierarchy (60s bar)" >&2
+        exit 1
+    }
+done

@@ -4,7 +4,9 @@
 //
 //	GET  /datasets           the dataset catalog + pool residency
 //	GET  /experiments        the experiment catalog: names, titles, default params
+//	GET  /infer              the inference-algorithm catalog
 //	POST /run/{name}         run one experiment; body = params JSON
+//	POST /infer/{algo}       run one inference algorithm; body = algorithm params JSON
 //	POST /whatif             apply a scenario; body = scenario JSON
 //	POST /sweep              run a batch sweep; body = sweep request JSON
 //	GET  /healthz            liveness, default-dataset readiness, pool stats
@@ -37,6 +39,7 @@ import (
 	policyscope "github.com/policyscope/policyscope"
 	"github.com/policyscope/policyscope/dataset"
 	"github.com/policyscope/policyscope/experiment"
+	"github.com/policyscope/policyscope/infer"
 	"github.com/policyscope/policyscope/internal/simulate"
 	"github.com/policyscope/policyscope/internal/sweep"
 )
@@ -55,7 +58,9 @@ func New(pool *dataset.Pool) *Server {
 	s := &Server{pool: pool, mux: http.NewServeMux()}
 	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
 	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
+	s.mux.HandleFunc("GET /infer", s.handleInferList)
 	s.mux.HandleFunc("POST /run/{name}", s.handleRun)
+	s.mux.HandleFunc("POST /infer/{algo}", s.handleInfer)
 	s.mux.HandleFunc("POST /whatif", s.handleWhatIf)
 	s.mux.HandleFunc("POST /sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -117,6 +122,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
 		return
 	}
+	if algo := r.URL.Query().Get("algo"); algo != "" {
+		body, err = mergeAlgoQuery(name, algo, body)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+	}
 	sess, ok := s.session(w, r)
 	if !ok {
 		return
@@ -152,6 +164,77 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Name   string            `json:"name"`
 		Result experiment.Result `json:"result"`
 	}{Name: name, Result: res})
+}
+
+// mergeAlgoQuery folds a ?algo=<name> query shortcut into the params
+// body of the two inference experiments.
+func mergeAlgoQuery(name, algo string, body []byte) ([]byte, error) {
+	m := map[string]any{}
+	if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &m); err != nil {
+			return nil, fmt.Errorf("bad params: %w", err)
+		}
+	}
+	switch name {
+	case "inferbakeoff":
+		m["algos"] = []string{algo}
+	case "inferensemble":
+		m["algo"] = algo
+	default:
+		return nil, fmt.Errorf("?algo= applies only to inferbakeoff and inferensemble")
+	}
+	return json.Marshal(m)
+}
+
+func (s *Server) handleInferList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, policyscope.InferAlgorithms())
+}
+
+// handleInfer runs one registered inference algorithm against the
+// dataset's observed paths. An unknown algorithm is rejected before the
+// body is read or any dataset build starts.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	algo := r.PathValue("algo")
+	if _, ok := infer.Default.Get(algo); !ok {
+		writeError(w, http.StatusUnprocessableEntity, &infer.NotFoundError{Name: algo})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	out, err := sess.Infer(r.Context(), algo, body)
+	if err != nil {
+		var pe *infer.ParamError
+		if errors.As(err, &pe) {
+			writeError(w, http.StatusUnprocessableEntity, err)
+		} else {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = out.Graph.WriteTo(w)
+		return
+	}
+	recs := out.Graph.Records()
+	rels := make([]string, len(recs))
+	for i, rec := range recs {
+		rels[i] = rec.String()
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Algorithm     string                `json:"algorithm"`
+		ASes          int                   `json:"ases"`
+		Edges         int                   `json:"edges"`
+		Relationships []string              `json:"relationships"`
+		Posterior     []infer.EdgePosterior `json:"posterior,omitempty"`
+	}{out.Algorithm, out.Graph.NumNodes(), out.Graph.NumEdges(), rels, out.Posterior})
 }
 
 func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {

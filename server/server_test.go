@@ -457,3 +457,148 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("after query: %s", body)
 	}
 }
+
+func TestInferListEndpoint(t *testing.T) {
+	ts := testServer(t)
+	status, body := get(t, ts.URL+"/infer")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var infos []struct {
+		Name          string          `json:"name"`
+		Title         string          `json:"title"`
+		Probabilistic bool            `json:"probabilistic"`
+		Params        json.RawMessage `json:"params"`
+	}
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	names := map[string]bool{}
+	for _, info := range infos {
+		names[info.Name] = true
+		if info.Title == "" {
+			t.Errorf("algorithm %s: no title", info.Name)
+		}
+	}
+	for _, want := range []string{"gao", "rank", "pari"} {
+		if !names[want] {
+			t.Errorf("algorithm catalog missing %s", want)
+		}
+	}
+}
+
+func TestInferEndpoint(t *testing.T) {
+	ts := testServer(t)
+
+	// An unknown algorithm is a 422 before any dataset build: the pool
+	// must still be empty afterwards.
+	status, body := post(t, ts.URL+"/infer/nope", "")
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("bad algo: %d %s", status, body)
+	}
+	if _, hbody := get(t, ts.URL+"/healthz"); !strings.Contains(string(hbody), `"resident": 0`) {
+		t.Fatalf("bad algo built a dataset: %s", hbody)
+	}
+
+	// Bad params: 422.
+	if status, body := post(t, ts.URL+"/infer/gao", `{"bogus":1}`); status != http.StatusUnprocessableEntity {
+		t.Fatalf("bad params: %d %s", status, body)
+	}
+
+	// A real run returns the annotated edge list; pari adds a posterior.
+	status, body = post(t, ts.URL+"/infer/gao", "")
+	if status != http.StatusOK {
+		t.Fatalf("gao: %d %s", status, body)
+	}
+	var res struct {
+		Algorithm     string   `json:"algorithm"`
+		ASes          int      `json:"ases"`
+		Edges         int      `json:"edges"`
+		Relationships []string `json:"relationships"`
+		Posterior     []struct {
+			A   uint32  `json:"a"`
+			B   uint32  `json:"b"`
+			P2C float64 `json:"p2c"`
+		} `json:"posterior"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("%v in %s", err, body)
+	}
+	if res.Algorithm != "gao" || res.Edges == 0 || len(res.Relationships) != res.Edges || len(res.Posterior) != 0 {
+		t.Fatalf("gao response shape: %s", body)
+	}
+	if !strings.Contains(res.Relationships[0], "|") {
+		t.Fatalf("relationship not in a|b|rel form: %q", res.Relationships[0])
+	}
+
+	status, body = post(t, ts.URL+"/infer/pari?dataset=imported", `{"smoothing":0.25}`)
+	if status != http.StatusOK {
+		t.Fatalf("pari on import: %d %s", status, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Posterior) != res.Edges || res.Edges == 0 {
+		t.Fatalf("pari posterior shape: %d edges, %d posterior rows", res.Edges, len(res.Posterior))
+	}
+
+	// Text format streams the CAIDA file body.
+	resp, err := http.Post(ts.URL+"/infer/rank?format=text", "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("text format content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(string(text)), "\n")
+	if len(lines) == 0 || strings.Count(lines[0], "|") != 2 {
+		t.Fatalf("text body not a|b|rel:\n%s", text)
+	}
+}
+
+func TestRunAlgoQueryShortcut(t *testing.T) {
+	ts := testServer(t)
+
+	status, body := post(t, ts.URL+"/run/inferbakeoff?algo=rank", "")
+	if status != http.StatusOK {
+		t.Fatalf("bakeoff?algo=rank: %d %s", status, body)
+	}
+	var wrapped struct {
+		Result struct {
+			Algorithms []struct {
+				Name string `json:"name"`
+			} `json:"algorithms"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &wrapped); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrapped.Result.Algorithms) != 1 || wrapped.Result.Algorithms[0].Name != "rank" {
+		t.Fatalf("?algo= did not narrow the bakeoff: %s", body)
+	}
+
+	// The shortcut composes with a params body.
+	status, body = post(t, ts.URL+"/run/inferbakeoff?algo=gao", `{"score":true}`)
+	if status != http.StatusOK {
+		t.Fatalf("scored bakeoff: %d %s", status, body)
+	}
+	if !strings.Contains(string(body), `"score"`) {
+		t.Fatalf("score=true body ignored: %s", body)
+	}
+
+	// On an experiment that does not take an algorithm: 422.
+	if status, body := post(t, ts.URL+"/run/table5?algo=gao", ""); status != http.StatusUnprocessableEntity {
+		t.Fatalf("?algo= on table5: %d %s", status, body)
+	}
+
+	// An unknown algorithm via the shortcut surfaces as a 422 from the
+	// experiment's own validation.
+	if status, body := post(t, ts.URL+"/run/inferbakeoff?algo=nope", ""); status != http.StatusUnprocessableEntity {
+		t.Fatalf("bad ?algo=: %d %s", status, body)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"github.com/policyscope/policyscope/experiment"
+	"github.com/policyscope/policyscope/infer"
 	"github.com/policyscope/policyscope/internal/bgp"
 	"github.com/policyscope/policyscope/internal/core"
 	"github.com/policyscope/policyscope/internal/lookingglass"
@@ -53,6 +54,13 @@ type Session struct {
 	// incremental re-simulation), and figure6/figure7 share one series.
 	persistMu sync.Mutex
 	persist   map[persistKey]*persistEntry
+
+	// inferRuns memoizes relationship-inference outputs per
+	// (algorithm, canonical params): the bakeoff, the ensemble and the
+	// /infer endpoint all share one run of each parameterization, the
+	// same way the lazy Gao gate shares one legacy inference.
+	inferMu   sync.Mutex
+	inferRuns map[inferKey]*inferEntry
 }
 
 type persistEntry struct {
@@ -61,9 +69,28 @@ type persistEntry struct {
 	err  error
 }
 
+// inferKey identifies one memoized inference: the algorithm name plus
+// its decoded parameters re-marshaled to canonical JSON, so equal
+// effective parameter sets share one run regardless of field order or
+// encoding form (JSON body, key=value flags, defaults).
+type inferKey struct {
+	algo   string
+	params string
+}
+
+type inferEntry struct {
+	once sync.Once
+	out  *infer.Output
+	err  error
+}
+
 // NewSession returns a session for cfg without doing any work yet.
 func NewSession(cfg Config) *Session {
-	return &Session{cfg: cfg, persist: make(map[persistKey]*persistEntry)}
+	return &Session{
+		cfg:       cfg,
+		persist:   make(map[persistKey]*persistEntry),
+		inferRuns: make(map[inferKey]*inferEntry),
+	}
 }
 
 // NewSessionFromStudy wraps an already-built Study (the Study-first
@@ -233,6 +260,60 @@ func (se *Session) persistence(k persistKey) (core.PersistenceResult, error) {
 	})
 	return entry.res, entry.err
 }
+
+// Infer runs the named relationship-inference algorithm over the
+// session's observed paths, with parameters decoded strictly from raw
+// JSON (empty keeps the algorithm's defaults). Outputs are memoized
+// per (algorithm, canonical params), so the bakeoff experiment, the
+// ensemble and repeated /infer calls share one run. Name and parameter
+// validation happens before any study work: an unknown algorithm
+// returns *infer.NotFoundError and bad parameters *infer.ParamError
+// without paying for dataset construction.
+func (se *Session) Infer(ctx context.Context, algo string, raw json.RawMessage) (*infer.Output, error) {
+	params, err := infer.Default.DecodeJSON(algo, raw)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := json.Marshal(params)
+	if err != nil {
+		return nil, err
+	}
+	k := inferKey{algo: algo, params: string(canon)}
+	se.inferMu.Lock()
+	entry, ok := se.inferRuns[k]
+	if !ok {
+		entry = &inferEntry{}
+		se.inferRuns[k] = entry
+	}
+	se.inferMu.Unlock()
+	entry.once.Do(func() {
+		s, err := se.Study()
+		if err != nil {
+			entry.err = err
+			return
+		}
+		in := infer.Input{Paths: s.SnapshotPaths(), VantagePoints: s.Peers}
+		entry.out, entry.err = infer.Default.Run(ctx, in, algo, params)
+	})
+	return entry.out, entry.err
+}
+
+// InferKV is Infer with key=value parameter overrides (the CLI form).
+func (se *Session) InferKV(ctx context.Context, algo string, kv []string) (*infer.Output, error) {
+	params, err := infer.Default.DecodeKV(algo, kv)
+	if err != nil {
+		return nil, err
+	}
+	canon, err := json.Marshal(params)
+	if err != nil {
+		return nil, err
+	}
+	return se.Infer(ctx, algo, canon)
+}
+
+// InferAlgorithms returns the serializable inference-algorithm catalog.
+// Like Experiments, it is process-wide.
+func InferAlgorithms() []infer.Info { return infer.Default.Infos() }
 
 // Experiments returns the serializable experiment catalog in run order.
 // The catalog is process-wide: it does not depend on any session's

@@ -153,13 +153,26 @@ type Study struct {
 
 	tiers map[bgp.ASN]int
 
-	// Lazily memoized shared artifacts. Both gates are safe for
+	// Lazily memoized shared artifacts. All gates are safe for
 	// concurrent use, so many Session queries can share one Study.
-	inferOnce sync.Once
-	inferred  *gaorelation.Inference
-	pathOnce  sync.Once
-	pathIdx   map[netx.Prefix][]bgp.Path
-	allPaths  []bgp.Path
+	inferOnce    sync.Once
+	inferred     *gaorelation.Inference
+	pathOnce     sync.Once
+	pathIdx      map[netx.Prefix][]bgp.Path
+	allPaths     []bgp.Path
+	snapPathOnce sync.Once
+	snapPaths    []bgp.Path
+}
+
+// SnapshotPaths returns the deduplicated observed AS paths of the
+// collector snapshot — the input every relationship-inference
+// algorithm consumes — computed once and memoized. Safe for concurrent
+// callers; treat the result as read-only.
+func (s *Study) SnapshotPaths() []bgp.Path {
+	s.snapPathOnce.Do(func() {
+		s.snapPaths = s.Snapshot.AllPaths()
+	})
+	return s.snapPaths
 }
 
 // Inference returns the Gao relationship-inference output, computing it
@@ -169,7 +182,7 @@ func (s *Study) Inference() *gaorelation.Inference {
 	s.inferOnce.Do(func() {
 		opts := gaorelation.DefaultOptions()
 		opts.VantagePoints = s.Peers
-		s.inferred = gaorelation.Infer(s.Snapshot.AllPaths(), opts)
+		s.inferred = gaorelation.Infer(s.SnapshotPaths(), opts)
 	})
 	return s.inferred
 }
