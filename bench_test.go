@@ -12,6 +12,7 @@ import (
 	"context"
 	"io"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/policyscope/policyscope/internal/bgp"
@@ -332,12 +333,20 @@ const serialSampleStride = 997
 // benchmarkSweepExecutor runs the full all-single-link-failures sweep
 // per op and additionally reports the per-scenario cost, the number the
 // bench script compares across worker counts and against the serial
-// baseline (scripts/bench_sweep.sh → BENCH_sweep.json).
+// baseline (scripts/bench_sweep.sh → BENCH_sweep.json). utilization is
+// sum(per-worker busy time) / (workers × wall): ~1.0 means the shards
+// computed the whole time, lower means workers idled — the diagnostic
+// that tells contention apart from "machine has fewer cores than -j".
 func benchmarkSweepExecutor(b *testing.B, workers int) {
 	base, scenarios := sharedSweep(b)
+	var busy atomic.Int64
+	opts := sweep.Options{Workers: workers, OnWorkerDone: func(ws sweep.WorkerStats) {
+		busy.Add(int64(ws.Busy))
+	}}
+	effective := opts.EffectiveWorkers(len(scenarios))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		agg, err := sweep.Run(context.Background(), base, scenarios, sweep.Options{Workers: workers})
+		agg, err := sweep.Run(context.Background(), base, scenarios, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -348,6 +357,7 @@ func benchmarkSweepExecutor(b *testing.B, workers int) {
 	b.StopTimer()
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(scenarios)), "ns/scenario")
 	b.ReportMetric(float64(len(scenarios)), "scenarios")
+	b.ReportMetric(float64(busy.Load())/float64(b.Elapsed().Nanoseconds()*int64(effective)), "utilization")
 }
 
 func BenchmarkSweepExecutorJ1(b *testing.B) { benchmarkSweepExecutor(b, 1) }

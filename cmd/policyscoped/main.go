@@ -10,6 +10,7 @@
 //	             [-lg 15] [-inferred] [-warm]
 //	             [-dataset name] [-manifest datasets.json]
 //	             [-cache-dir .policyscope-cache] [-pool 4]
+//	             [-log-level info] [-log-format text] [-debug-addr :6060]
 //
 // The dataset catalog holds the built-in presets (paper, small, large),
 // the manifest's entries, and the flag-derived configuration under the
@@ -27,7 +28,14 @@
 //	POST /infer/{algo}    run one inference algorithm (?format=json|text, ?dataset=)
 //	POST /whatif          apply a scenario JSON (?dataset=)
 //	POST /sweep           stream a batch sweep as NDJSON (?dataset=)
-//	GET  /healthz         liveness + default readiness + pool stats
+//	GET  /healthz         liveness + default readiness + pool stats (entry
+//	                      ages, last build errors, uptime)
+//	GET  /metrics         Prometheus text exposition of the obs registry
+//
+// Appending ?trace=1 to a query endpoint appends a per-request NDJSON
+// span summary after the body. -debug-addr starts a second listener
+// serving /debug/pprof/* and a /metrics mirror — opt-in, so profiling
+// endpoints never share the public address.
 //
 // Example:
 //
@@ -41,31 +49,39 @@ package main
 import (
 	"context"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	policyscope "github.com/policyscope/policyscope"
 	"github.com/policyscope/policyscope/dataset"
+	"github.com/policyscope/policyscope/obs"
 	"github.com/policyscope/policyscope/server"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		ases     = flag.Int("ases", 2000, "number of ASes in the flag-derived \"default\" dataset")
-		seed     = flag.Int64("seed", 42, "random seed (runs are deterministic per seed)")
-		peers    = flag.Int("peers", 56, "collector peer count")
-		lg       = flag.Int("lg", 15, "Looking Glass vantage count")
-		inferred = flag.Bool("inferred", false, "use Gao-inferred relationships instead of ground truth")
-		warm     = flag.Bool("warm", false, "build the default dataset before accepting traffic")
-		dsName   = flag.String("dataset", "", "default dataset name (preset, manifest entry, or \"default\")")
-		manifest = flag.String("manifest", "", "JSON dataset manifest to add to the catalog")
-		cacheDir = flag.String("cache-dir", "", "content-addressed study cache directory (cold starts load from it)")
-		poolSize = flag.Int("pool", dataset.DefaultMaxSessions, "max warmed sessions resident at once")
+		addr      = flag.String("addr", ":8080", "listen address")
+		ases      = flag.Int("ases", 2000, "number of ASes in the flag-derived \"default\" dataset")
+		seed      = flag.Int64("seed", 42, "random seed (runs are deterministic per seed)")
+		peers     = flag.Int("peers", 56, "collector peer count")
+		lg        = flag.Int("lg", 15, "Looking Glass vantage count")
+		inferred  = flag.Bool("inferred", false, "use Gao-inferred relationships instead of ground truth")
+		warm      = flag.Bool("warm", false, "build the default dataset before accepting traffic")
+		dsName    = flag.String("dataset", "", "default dataset name (preset, manifest entry, or \"default\")")
+		manifest  = flag.String("manifest", "", "JSON dataset manifest to add to the catalog")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed study cache directory (cold starts load from it)")
+		poolSize  = flag.Int("pool", dataset.DefaultMaxSessions, "max warmed sessions resident at once")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof/* and /metrics on this extra address (off when empty)")
+		logFlags  obs.LogFlags
 	)
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
+	if err := logFlags.SetDefault(os.Stderr); err != nil {
+		fail(err)
+	}
 
 	cfg := policyscope.DefaultConfig()
 	cfg.NumASes = *ases
@@ -80,22 +96,42 @@ func main() {
 	}
 	pool := dataset.NewPool(cat, *poolSize)
 	srv := server.New(pool)
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
 	if *warm {
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "policyscoped: warming dataset %q...\n", cat.Default())
+		slog.Info("warming dataset", "dataset", cat.Default())
 		if err := srv.Warm(context.Background()); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "policyscoped: ready in %v\n", time.Since(start).Round(time.Millisecond))
+		slog.Info("warm complete", "dataset", cat.Default(),
+			"elapsed", time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Fprintf(os.Stderr, "policyscoped: serving %d dataset(s) on %s (default %q)\n",
-		len(cat.Names()), *addr, cat.Default())
+	slog.Info("serving", "addr", *addr, "datasets", len(cat.Names()), "default", cat.Default())
 	if err := http.ListenAndServe(*addr, srv); err != nil {
 		fail(err)
 	}
 }
 
+// serveDebug exposes the profiling and metrics endpoints on their own
+// mux — never the public one — so enabling pprof is an explicit,
+// separately-addressable choice.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", obs.Default.Handler())
+	slog.Info("debug server", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		slog.Error("debug server failed", "err", err)
+	}
+}
+
 func fail(err error) {
-	fmt.Fprintf(os.Stderr, "policyscoped: %v\n", err)
+	slog.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -10,6 +10,7 @@
 //	repro [-ases 2000] [-seed 42] [-peers 56] [-lg 15] [-inferred]
 //	      [-daily 31] [-hourly 12] [-routers 30] [-format text|json]
 //	      [-dataset name] [-manifest datasets.json] [-cache-dir dir]
+//	      [-log-level info] [-log-format text]
 //
 // The run executes against a dataset: by default the flag-derived
 // synthetic configuration, with -dataset any built-in preset (paper,
@@ -32,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
@@ -39,6 +41,7 @@ import (
 	policyscope "github.com/policyscope/policyscope"
 	"github.com/policyscope/policyscope/dataset"
 	"github.com/policyscope/policyscope/internal/profiling"
+	"github.com/policyscope/policyscope/obs"
 )
 
 // profStop flushes any active profiles; fail() and normal returns both
@@ -63,10 +66,15 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "content-addressed study cache directory")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		logFlags   obs.LogFlags
 	)
 	var params paramList
 	flag.Var(&params, "p", "experiment parameter override key=value (repeatable, with -run)")
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
+	if err := logFlags.SetDefault(os.Stderr); err != nil {
+		fail(err)
+	}
 
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "repro: -format must be text or json\n")
@@ -117,12 +125,12 @@ func main() {
 
 	start := time.Now()
 	src, _ := cat.Get(cat.Default())
-	fmt.Fprintf(os.Stderr, "loading dataset %q...\n", cat.Default())
+	slog.Info("loading dataset", "dataset", cat.Default())
 	study, err := src.Load(ctx)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "dataset ready in %v\n", time.Since(start).Round(time.Millisecond))
+	slog.Info("dataset ready", "elapsed", time.Since(start).Round(time.Millisecond))
 	sess := policyscope.NewSessionFromStudy(study)
 	if *runName != "" {
 		res, err := sess.RunKV(ctx, *runName, params)
@@ -134,7 +142,7 @@ func main() {
 		} else if err := res.Render(os.Stdout); err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
+		slog.Info("done", "total", time.Since(start).Round(time.Millisecond))
 		return
 	}
 
@@ -152,7 +160,7 @@ func main() {
 	} else if err := sess.RunAll(ctx, os.Stdout, opts); err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
+	slog.Info("done", "total", time.Since(start).Round(time.Millisecond))
 }
 
 // emitJSON writes indented, deterministic JSON.
@@ -176,6 +184,6 @@ func (p *paramList) Set(v string) error {
 
 func fail(err error) {
 	profStop()
-	fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+	slog.Error("fatal", "err", err)
 	os.Exit(1)
 }

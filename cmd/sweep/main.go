@@ -22,10 +22,11 @@
 //	sweep -format text                                  # rendered aggregate tables
 //
 // Records stream in scenario index order (deterministic for a given
-// topology and spec regardless of -j). Progress goes to stderr; the
-// final stderr line is machine-readable:
-//
-//	sweep: scenarios=N workers=J elapsed_ms=T
+// topology and spec regardless of -j). Progress goes to stderr as
+// structured logs (-log-level, -log-format); the final "sweep done"
+// line carries scenarios=N workers=J elapsed_ms=T, and -log-level
+// debug adds one "worker done" line per worker with its busy time —
+// the per-worker utilization behind any J>1 speedup claim.
 package main
 
 import (
@@ -34,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
@@ -44,6 +46,7 @@ import (
 	"github.com/policyscope/policyscope/internal/profiling"
 	"github.com/policyscope/policyscope/internal/simulate"
 	"github.com/policyscope/policyscope/internal/sweep"
+	"github.com/policyscope/policyscope/obs"
 )
 
 // profStop flushes any active profiles; fail() and normal returns both
@@ -70,8 +73,13 @@ func main() {
 		manifest   = flag.String("manifest", "", "JSON dataset manifest to add to the catalog")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		logFlags   obs.LogFlags
 	)
+	logFlags.Register(flag.CommandLine)
 	flag.Parse()
+	if err := logFlags.SetDefault(os.Stderr); err != nil {
+		fail(err)
+	}
 	if *format != "json" && *format != "text" {
 		fail(fmt.Errorf("-format must be json or text"))
 	}
@@ -95,7 +103,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "sweep: loading dataset %q...\n", cat.Default())
+	slog.Info("loading dataset", "dataset", cat.Default())
 	src, _ := cat.Get(cat.Default())
 	// Topology only: the engine below runs its own convergence, so a
 	// full study load would converge the base state twice.
@@ -146,11 +154,17 @@ func main() {
 		}
 		done++
 		if !*quiet && (done%step == 0 || done == len(scenarios)) {
-			fmt.Fprintf(os.Stderr, "sweep: %d/%d scenarios (%.0f%%), %v elapsed\n",
-				done, len(scenarios), 100*float64(done)/float64(len(scenarios)),
-				time.Since(start).Round(time.Millisecond))
+			slog.Info("sweep progress",
+				"done", done, "total", len(scenarios),
+				"pct", int(100*float64(done)/float64(len(scenarios))),
+				"elapsed", time.Since(start).Round(time.Millisecond))
 		}
 		return nil
+	}
+	opts.OnWorkerDone = func(ws sweep.WorkerStats) {
+		slog.Debug("worker done",
+			"worker", ws.Worker, "scenarios", ws.Scenarios,
+			"busy_ms", ws.Busy.Milliseconds(), "reclones", ws.Reclones)
 	}
 	agg, err := sweep.Run(ctx, base, scenarios, opts)
 	if err != nil {
@@ -178,8 +192,9 @@ func main() {
 			}
 		}
 	}
-	fmt.Fprintf(os.Stderr, "sweep: scenarios=%d workers=%d elapsed_ms=%d\n",
-		agg.Scenarios, effectiveWorkers, elapsed.Milliseconds())
+	slog.Info("sweep done",
+		"scenarios", agg.Scenarios, "workers", effectiveWorkers,
+		"elapsed_ms", elapsed.Milliseconds())
 }
 
 // resolveSpec builds the sweep spec from -spec, -gen, or the default
@@ -207,6 +222,6 @@ func resolveSpec(specPath, gen string, genAS, genMax, genTier int) (sweep.Spec, 
 
 func fail(err error) {
 	profStop()
-	fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+	slog.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -597,8 +597,45 @@ func TestPoolFailedBuildRetries(t *testing.T) {
 	if _, err := pool.Session(context.Background(), "broken"); err == nil {
 		t.Fatal("expected load failure on retry")
 	}
-	if st := pool.Stats(); st.Resident != 0 || st.Misses != 2 {
+	st := pool.Stats()
+	if st.Resident != 0 || st.Misses != 2 {
 		t.Fatalf("stats after failures: %+v", st)
+	}
+	// The failure leaves no entry but must leave a trace: healthz
+	// distinguishes a failing source from a cold one by LastErrors.
+	le, ok := st.LastErrors["broken"]
+	if !ok || le.Error == "" {
+		t.Fatalf("stats carry no last error for the failing dataset: %+v", st)
+	}
+	if le.AgeSeconds < 0 {
+		t.Fatalf("negative error age: %+v", le)
+	}
+}
+
+// TestPoolStatsEntries: resident entries report readiness, age and
+// build duration.
+func TestPoolStatsEntries(t *testing.T) {
+	cat := NewCatalog()
+	if err := cat.Register("only", NewSynthetic(tinyConfig(23))); err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(cat, 2)
+	if _, err := pool.Session(context.Background(), "only"); err != nil {
+		t.Fatal(err)
+	}
+	st := pool.Stats()
+	if len(st.Entries) != 1 {
+		t.Fatalf("entries = %+v, want 1", st.Entries)
+	}
+	e := st.Entries[0]
+	if e.Name != "only" || !e.Ready {
+		t.Fatalf("entry = %+v, want ready entry for %q", e, "only")
+	}
+	if e.AgeSeconds <= 0 || e.BuildSeconds <= 0 || e.BuildSeconds > e.AgeSeconds {
+		t.Fatalf("entry timings inconsistent: %+v", e)
+	}
+	if len(st.LastErrors) != 0 {
+		t.Fatalf("unexpected last errors: %+v", st.LastErrors)
 	}
 }
 

@@ -1,0 +1,23 @@
+package dataset
+
+import "github.com/policyscope/policyscope/obs"
+
+// Pool metrics, process-wide across all pools (a serving process runs
+// one). The counters mirror Pool.Stats so dashboards and healthz agree;
+// the histograms answer what Stats cannot: how long builds take per
+// outcome and how long hits wait on in-flight builds.
+var (
+	mPoolHits = obs.NewCounter("policyscope_pool_hits_total",
+		"Session resolutions served from a resident (or in-flight) pool entry.")
+	mPoolMisses = obs.NewCounter("policyscope_pool_misses_total",
+		"Session resolutions that started a new dataset build.")
+	mPoolEvictions = obs.NewCounter("policyscope_pool_evictions_total",
+		"Warmed sessions evicted by the LRU bound.")
+	mPoolBuildSeconds = obs.NewHistogramVec("policyscope_pool_build_seconds",
+		"Dataset build (Source.Load + session construction) latency by outcome.",
+		nil, "outcome")
+	mPoolBuildOK     = mPoolBuildSeconds.With("ok")
+	mPoolBuildError  = mPoolBuildSeconds.With("error")
+	mPoolWaitSeconds = obs.NewHistogram("policyscope_pool_wait_seconds",
+		"Time a pool hit spent waiting for the entry to become ready (0 for warm hits).", nil)
+)

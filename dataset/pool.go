@@ -4,10 +4,11 @@ import (
 	"container/list"
 	"context"
 	"fmt"
-
 	"sync"
+	"time"
 
 	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/obs"
 )
 
 // DefaultMaxSessions bounds the pool when the caller passes no limit: a
@@ -38,6 +39,13 @@ type Pool struct {
 	lru     *list.List // front = most recently used; values are *poolEntry
 
 	hits, misses, evictions uint64
+
+	// lastErr remembers the most recent build failure per dataset name.
+	// Failed builds are not cached as entries, so without this a
+	// flapping source is indistinguishable from a cold one in Stats —
+	// healthz needs the difference. A successful build clears the mark.
+	lastErr   map[string]string
+	lastErrAt map[string]time.Time
 }
 
 type poolEntry struct {
@@ -48,6 +56,9 @@ type poolEntry struct {
 	ready chan struct{}
 	sess  *policyscope.Session
 	err   error
+
+	created  time.Time     // when the build started
+	buildDur time.Duration // set when ready closes with success
 }
 
 // NewPool returns a pool over cat retaining at most maxSessions warmed
@@ -57,10 +68,12 @@ func NewPool(cat *Catalog, maxSessions int) *Pool {
 		maxSessions = DefaultMaxSessions
 	}
 	return &Pool{
-		cat:     cat,
-		max:     maxSessions,
-		entries: make(map[string]*poolEntry),
-		lru:     list.New(),
+		cat:       cat,
+		max:       maxSessions,
+		entries:   make(map[string]*poolEntry),
+		lru:       list.New(),
+		lastErr:   make(map[string]string),
+		lastErrAt: make(map[string]time.Time),
 	}
 }
 
@@ -86,19 +99,28 @@ func (p *Pool) Session(ctx context.Context, name string) (*policyscope.Session, 
 		p.lru.MoveToFront(e.elem)
 		p.hits++
 		p.mu.Unlock()
+		mPoolHits.Inc()
+		var wait time.Time
+		if obs.Enabled() {
+			wait = time.Now()
+		}
 		select {
 		case <-e.ready:
+			if !wait.IsZero() {
+				mPoolWaitSeconds.ObserveSince(wait)
+			}
 			return e.sess, e.err
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
-	e := &poolEntry{name: name, ready: make(chan struct{})}
+	e := &poolEntry{name: name, ready: make(chan struct{}), created: time.Now()}
 	e.elem = p.lru.PushFront(e)
 	p.entries[name] = e
 	p.misses++
 	p.evictLocked()
 	p.mu.Unlock()
+	mPoolMisses.Inc()
 
 	// Build outside the lock so other datasets keep resolving, and on a
 	// context detached from the triggering request: the build serves
@@ -108,9 +130,15 @@ func (p *Pool) Session(ctx context.Context, name string) (*policyscope.Session, 
 		study, err := src.Load(context.WithoutCancel(ctx))
 		if err != nil {
 			e.err = err
+			e.buildDur = time.Since(e.created)
+			mPoolBuildError.Observe(e.buildDur.Seconds())
 			close(e.ready)
-			// Do not cache the failure; later requests retry the source.
+			// Do not cache the failure; later requests retry the
+			// source. Remember the error so Stats can tell a failing
+			// source from a cold one.
 			p.mu.Lock()
+			p.lastErr[name] = err.Error()
+			p.lastErrAt[name] = time.Now()
 			if p.entries[name] == e {
 				delete(p.entries, name)
 				p.lru.Remove(e.elem)
@@ -119,10 +147,14 @@ func (p *Pool) Session(ctx context.Context, name string) (*policyscope.Session, 
 			return
 		}
 		e.sess = policyscope.NewSessionFromStudy(study)
+		e.buildDur = time.Since(e.created)
+		mPoolBuildOK.Observe(e.buildDur.Seconds())
 		close(e.ready)
 		// The entry is now evictable; trim any excess that accumulated
 		// while builds were in flight.
 		p.mu.Lock()
+		delete(p.lastErr, name)
+		delete(p.lastErrAt, name)
 		p.evictLocked()
 		p.mu.Unlock()
 	}()
@@ -151,6 +183,7 @@ func (p *Pool) evictLocked() {
 			p.lru.Remove(el)
 			delete(p.entries, e.name)
 			p.evictions++
+			mPoolEvictions.Inc()
 			over--
 		default:
 			// build in flight; keep
@@ -192,10 +225,37 @@ type Stats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	// Entries describes each resident entry, most recently used first
+	// (same order as ResidentNames).
+	Entries []EntryStat `json:"entries,omitempty"`
+	// LastErrors maps dataset name → most recent build failure, for
+	// datasets whose last build failed (cleared by a later success).
+	// Failed builds leave no resident entry, so this is the only trace
+	// that distinguishes a failing source from a never-queried one.
+	LastErrors map[string]EntryError `json:"last_errors,omitempty"`
+}
+
+// EntryStat describes one resident pool entry.
+type EntryStat struct {
+	Name string `json:"name"`
+	// Ready is false while the build is still in flight.
+	Ready bool `json:"ready"`
+	// AgeSeconds is the time since the build started.
+	AgeSeconds float64 `json:"age_seconds"`
+	// BuildSeconds is how long the build took (0 while in flight).
+	BuildSeconds float64 `json:"build_seconds,omitempty"`
+}
+
+// EntryError is a remembered build failure.
+type EntryError struct {
+	Error string `json:"error"`
+	// AgeSeconds is the time since the failure.
+	AgeSeconds float64 `json:"age_seconds"`
 }
 
 // Stats snapshots the pool counters.
 func (p *Pool) Stats() Stats {
+	now := time.Now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st := Stats{
@@ -208,7 +268,24 @@ func (p *Pool) Stats() Stats {
 		Evictions: p.evictions,
 	}
 	for el := p.lru.Front(); el != nil; el = el.Next() {
-		st.ResidentNames = append(st.ResidentNames, el.Value.(*poolEntry).name)
+		e := el.Value.(*poolEntry)
+		st.ResidentNames = append(st.ResidentNames, e.name)
+		es := EntryStat{Name: e.name, AgeSeconds: now.Sub(e.created).Seconds()}
+		select {
+		case <-e.ready:
+			// The ready close orders e.buildDur's write before this
+			// read, so touching it without further locking is race-free.
+			es.Ready = true
+			es.BuildSeconds = e.buildDur.Seconds()
+		default:
+		}
+		st.Entries = append(st.Entries, es)
+	}
+	if len(p.lastErr) > 0 {
+		st.LastErrors = make(map[string]EntryError, len(p.lastErr))
+		for name, msg := range p.lastErr {
+			st.LastErrors[name] = EntryError{Error: msg, AgeSeconds: now.Sub(p.lastErrAt[name]).Seconds()}
+		}
 	}
 	return st
 }

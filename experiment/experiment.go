@@ -175,22 +175,44 @@ func (r *Registry[S]) RunJSON(ctx context.Context, s S, name string, raw []byte)
 	if !ok {
 		return nil, &NotFoundError{Name: name}
 	}
-	var params any
-	if e.NewParams != nil {
-		params = e.NewParams()
-		if len(bytes.TrimSpace(raw)) > 0 {
-			if err := DecodeJSON(params, raw); err != nil {
-				return nil, &ParamError{Name: name, Err: err}
-			}
-		}
-	} else if len(bytes.TrimSpace(raw)) > 0 && !bytes.Equal(bytes.TrimSpace(raw), []byte("null")) &&
-		!bytes.Equal(bytes.TrimSpace(raw), []byte("{}")) {
-		return nil, &ParamError{Name: name, Err: fmt.Errorf("experiment takes no parameters")}
+	params, err := e.decodeJSON(raw)
+	if err != nil {
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return e.Run(ctx, s, params)
+}
+
+// DecodeJSONParams resolves the named experiment and decodes raw JSON
+// parameters (strict; empty raw, "null" or "{}" keep the defaults)
+// without running anything — the JSON twin of DecodeKV, letting
+// callers funnel every wire form through one Run entry point.
+func (r *Registry[S]) DecodeJSONParams(name string, raw []byte) (any, error) {
+	e, ok := r.Get(name)
+	if !ok {
+		return nil, &NotFoundError{Name: name}
+	}
+	return e.decodeJSON(raw)
+}
+
+// decodeJSON materializes the default parameters and applies a strict
+// JSON decode over them.
+func (e *Experiment[S]) decodeJSON(raw []byte) (any, error) {
+	var params any
+	if e.NewParams != nil {
+		params = e.NewParams()
+		if len(bytes.TrimSpace(raw)) > 0 {
+			if err := DecodeJSON(params, raw); err != nil {
+				return nil, &ParamError{Name: e.Name, Err: err}
+			}
+		}
+	} else if len(bytes.TrimSpace(raw)) > 0 && !bytes.Equal(bytes.TrimSpace(raw), []byte("null")) &&
+		!bytes.Equal(bytes.TrimSpace(raw), []byte("{}")) {
+		return nil, &ParamError{Name: e.Name, Err: fmt.Errorf("experiment takes no parameters")}
+	}
+	return params, nil
 }
 
 // RunKV runs the named experiment with key=value parameter overrides

@@ -80,6 +80,8 @@ func buildAtomIndex(e *engine) *atomIndex {
 			ai.trnSess = append(ai.trnSess, [2]int32{int32(a), int32(b)})
 		}
 	}
+	mAtomPrefixes.Set(int64(len(e.prefixes)))
+	mAtomClasses.Set(int64(len(ai.classes)))
 	return ai
 }
 

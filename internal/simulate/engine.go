@@ -41,11 +41,13 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/policyscope/policyscope/internal/asgraph"
 	"github.com/policyscope/policyscope/internal/bgp"
 	"github.com/policyscope/policyscope/internal/netx"
 	"github.com/policyscope/policyscope/internal/topogen"
+	"github.com/policyscope/policyscope/obs"
 )
 
 // LocalRoutePref is the local preference assigned to locally originated
@@ -362,6 +364,10 @@ func (e *engine) buildResult(unconverged []netx.Prefix) *Result {
 // partition is available, plain per-prefix otherwise — and returns the
 // sorted list of prefixes that exhausted their activation budget.
 func (e *engine) runPrefixes(prefixes []netx.Prefix) []netx.Prefix {
+	var start time.Time
+	if obs.Enabled() {
+		start = time.Now()
+	}
 	var (
 		mu          sync.Mutex
 		unconverged []netx.Prefix
@@ -382,6 +388,12 @@ func (e *engine) runPrefixes(prefixes []netx.Prefix) []netx.Prefix {
 		})
 	}
 	netx.SortPrefixes(unconverged)
+	mConvergeRuns.Inc()
+	mConvergePrefixes.Add(uint64(len(prefixes)))
+	mConvergeUnconverged.Add(uint64(len(unconverged)))
+	if !start.IsZero() {
+		mConvergeSeconds.ObserveSince(start)
+	}
 	return unconverged
 }
 
@@ -472,18 +484,24 @@ func (e *engine) propagate(st *workerState, prefix netx.Prefix) bool {
 func (e *engine) drain(st *workerState) bool {
 	budget := e.budget * (len(e.asns) + e.topo.Graph.NumEdges())
 	activations := 0
+	converged := true
 	for {
 		u := st.pop()
 		if u < 0 {
-			return true
+			break
 		}
 		activations++
 		if activations > budget {
-			return false
+			converged = false
+			break
 		}
 		st.inQueue[u] = false
 		e.exportFrom(st, u)
 	}
+	// Activations accumulate on the pooled state (plain int, no
+	// contention) and flush to the process counter in putState.
+	st.statActivations += activations
+	return converged
 }
 
 // exportFrom announces u's current best route to each neighbor (or

@@ -61,6 +61,7 @@ type applyJournal struct {
 // can restore the engine to this exact state. Only one checkpoint is
 // live at a time; arming again replaces the previous one.
 func (en *Engine) Checkpoint() {
+	mCheckpoints.Inc()
 	en.e.journal = &applyJournal{
 		supported: true,
 		rows:      make(map[int]journalRow),
@@ -84,8 +85,10 @@ func (en *Engine) Rollback() bool {
 		return j != nil // armed but unused: still at the checkpoint
 	}
 	if !j.supported {
+		mRollbackRefused.Inc()
 		return false
 	}
+	mRollbacks.Inc()
 	e.atomsStale = j.atomsStaleWas
 
 	// Undo the graph mutations and refresh adjacency.

@@ -1,0 +1,61 @@
+package simulate
+
+import (
+	"time"
+
+	"github.com/policyscope/policyscope/obs"
+)
+
+// Process-wide engine metrics, resolved once at init so every hot-path
+// touch is a bare atomic op. Counters aggregate across all engines in
+// the process (base + sweep-worker clones): they answer "what is this
+// process doing", not "what did one engine do" — per-run numbers stay
+// on the Result/Delta structs.
+//
+// Hot-path rule (see DESIGN.md "Observability"): nothing inside the
+// per-activation loops touches these directly. Activation counts
+// accumulate in plain ints on workerState and flush to the atomic in
+// putState; wall-time capture sites sit outside the loops and are
+// gated on obs.Enabled so bench_obs.sh can measure the delta.
+var (
+	mConvergeRuns = obs.NewCounter("policyscope_converge_runs_total",
+		"Convergence passes (full or subset) executed by any engine in the process.")
+	mConvergePrefixes = obs.NewCounter("policyscope_converge_prefixes_total",
+		"Prefixes submitted to convergence passes.")
+	mConvergeUnconverged = obs.NewCounter("policyscope_converge_unconverged_total",
+		"Prefixes that exhausted their activation budget during convergence passes.")
+	mConvergeSeconds = obs.NewHistogram("policyscope_converge_seconds",
+		"Wall time of one convergence pass.", nil)
+	mActivations = obs.NewCounter("policyscope_converge_activations_total",
+		"AS activations drained across all convergence and reconvergence loops.")
+	mStatesCreated = obs.NewCounter("policyscope_engine_worker_states_created_total",
+		"Worker states newly allocated (pool miss).")
+	mStatesReused = obs.NewCounter("policyscope_engine_worker_states_reused_total",
+		"Worker states pulled from the shared pool (pool hit).")
+
+	mAtomPrefixes = obs.NewGauge("policyscope_atom_prefixes",
+		"Prefixes covered by the most recently built atom partition.")
+	mAtomClasses = obs.NewGauge("policyscope_atom_classes",
+		"Policy-equivalence classes in the most recently built atom partition (dedup ratio = prefixes/classes).")
+
+	mApplies = obs.NewCounter("policyscope_scenario_applies_total",
+		"Scenario batches applied (incremental reconvergence).")
+	mApplySeconds = obs.NewHistogram("policyscope_scenario_apply_seconds",
+		"Wall time of one scenario Apply.", nil)
+	mCheckpoints = obs.NewCounter("policyscope_journal_checkpoints_total",
+		"Checkpoints armed on any engine.")
+	mRollbacks = obs.NewCounter("policyscope_journal_rollbacks_total",
+		"Rollbacks that restored the checkpointed state.")
+	mRollbackRefused = obs.NewCounter("policyscope_journal_rollbacks_unsupported_total",
+		"Rollbacks refused because the applied batch was not journalable.")
+)
+
+// observeApplyEnd closes the Apply timing started under obs.Enabled. A
+// plain deferred func (not a closure) so the defer record stays
+// open-coded and Apply's allocation profile is identical with
+// instrumentation on or off.
+func observeApplyEnd(start time.Time) {
+	if !start.IsZero() {
+		mApplySeconds.ObserveSince(start)
+	}
+}

@@ -1,0 +1,150 @@
+package simulate
+
+// Guards for ISSUE 8's hard constraint: instrumentation must not
+// regress the PR 5 zero-alloc core. The AllocsPerRun tests compare the
+// instrumented paths with obs enabled vs disabled — counters are
+// unconditional atomics and timing sites are branch-gated, so the two
+// must be allocation-identical. BenchmarkConvergeObsOn/Off feed the
+// scripts/bench_obs.sh overhead gate (≤3%).
+
+import (
+	"testing"
+
+	"github.com/policyscope/policyscope/obs"
+)
+
+// TestApplyRollbackAllocIdenticalWithObs: the sweep executor's journal
+// cycle (Checkpoint → Apply → Rollback) allocates exactly the same
+// with metrics enabled and disabled.
+func TestApplyRollbackAllocIdenticalWithObs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not deterministic under the race detector")
+	}
+	topo, vantage := equivalenceTopo(t, 200, 11)
+	en, err := NewEngine(topo, Options{VantagePoints: vantage, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := topo.Graph.Edges()
+	if len(edges) == 0 {
+		t.Fatal("no edges")
+	}
+	cycle := func() {
+		en.Checkpoint()
+		if _, err := en.Apply(Scenario{Events: []Event{FailLink(edges[7].A, edges[7].B)}}); err != nil {
+			t.Fatal(err)
+		}
+		if !en.Rollback() {
+			t.Fatal("rollback failed")
+		}
+	}
+	// Warm pools and arenas so both measurements see steady state.
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	defer obs.SetEnabled(true)
+	obs.SetEnabled(true)
+	on := testing.AllocsPerRun(20, cycle)
+	obs.SetEnabled(false)
+	off := testing.AllocsPerRun(20, cycle)
+	if on != off {
+		t.Errorf("apply/rollback allocs: obs on %.1f, obs off %.1f — instrumentation changed the allocation profile", on, off)
+	}
+}
+
+// TestConvergeAllocIdenticalWithObs: a full cold convergence allocates
+// the same with metrics enabled and disabled.
+func TestConvergeAllocIdenticalWithObs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not deterministic under the race detector")
+	}
+	topo, vantage := equivalenceTopo(t, 120, 5)
+	run := func() {
+		res, err := Run(topo, Options{VantagePoints: vantage, Parallelism: 1})
+		if err != nil || len(res.Tables) == 0 {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	run() // warm shared intern state
+	defer obs.SetEnabled(true)
+	obs.SetEnabled(true)
+	on := testing.AllocsPerRun(5, run)
+	obs.SetEnabled(false)
+	off := testing.AllocsPerRun(5, run)
+	if on != off {
+		t.Errorf("converge allocs: obs on %.1f, obs off %.1f — instrumentation changed the allocation profile", on, off)
+	}
+}
+
+// TestEngineMetricsAdvance: the engine counters actually move — a
+// converge pass counts its prefixes and activations, Checkpoint/
+// Rollback count their cycles, and the atom gauges describe the last
+// partition.
+func TestEngineMetricsAdvance(t *testing.T) {
+	topo, vantage := equivalenceTopo(t, 120, 5)
+
+	runs0 := counterValue(t, "policyscope_converge_runs_total")
+	acts0 := counterValue(t, "policyscope_converge_activations_total")
+	en, err := NewEngine(topo, Options{VantagePoints: vantage, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, "policyscope_converge_runs_total"); got <= runs0 {
+		t.Errorf("converge runs did not advance: %d -> %d", runs0, got)
+	}
+	if got := counterValue(t, "policyscope_converge_activations_total"); got <= acts0 {
+		t.Errorf("activations did not advance: %d -> %d", acts0, got)
+	}
+
+	cps0 := counterValue(t, "policyscope_journal_checkpoints_total")
+	rbs0 := counterValue(t, "policyscope_journal_rollbacks_total")
+	edges := topo.Graph.Edges()
+	en.Checkpoint()
+	if _, err := en.Apply(Scenario{Events: []Event{FailLink(edges[0].A, edges[0].B)}}); err != nil {
+		t.Fatal(err)
+	}
+	if !en.Rollback() {
+		t.Fatal("rollback failed")
+	}
+	if got := counterValue(t, "policyscope_journal_checkpoints_total"); got != cps0+1 {
+		t.Errorf("checkpoints %d -> %d, want +1", cps0, got)
+	}
+	if got := counterValue(t, "policyscope_journal_rollbacks_total"); got != rbs0+1 {
+		t.Errorf("rollbacks %d -> %d, want +1", rbs0, got)
+	}
+
+	stats := en.Atoms()
+	if stats.Prefixes > 0 {
+		if mAtomPrefixes.Value() <= 0 || mAtomClasses.Value() <= 0 {
+			t.Errorf("atom gauges not set: prefixes=%d classes=%d", mAtomPrefixes.Value(), mAtomClasses.Value())
+		}
+	}
+}
+
+// counterValue reads a counter off the default registry by name.
+func counterValue(t *testing.T, name string) uint64 {
+	t.Helper()
+	c := obs.NewCounter(name, "")
+	return c.Value()
+}
+
+// BenchmarkConvergeObsOn / BenchmarkConvergeObsOff bracket the cost of
+// the always-on instrumentation: identical workloads, timing capture
+// and counters live vs timing capture disabled. scripts/bench_obs.sh
+// gates the delta at ≤3%.
+func benchmarkConvergeObs(b *testing.B, enabled bool) {
+	topo, vantage := convergeBenchSetup(b)
+	defer obs.SetEnabled(true)
+	obs.SetEnabled(enabled)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(topo, Options{VantagePoints: vantage})
+		if err != nil || len(res.Tables) == 0 {
+			b.Fatalf("err %v", err)
+		}
+	}
+}
+
+func BenchmarkConvergeObsOn(b *testing.B)  { benchmarkConvergeObs(b, true) }
+func BenchmarkConvergeObsOff(b *testing.B) { benchmarkConvergeObs(b, false) }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package simulate
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package simulate
+
+// raceEnabled reports whether the race detector is compiled in. The
+// exact-equality AllocsPerRun guards skip under -race: the detector's
+// shadow-memory bookkeeping perturbs allocation counts by a handful of
+// allocations per run, which the ±0 identity comparison cannot absorb.
+const raceEnabled = true

@@ -7,11 +7,13 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/policyscope/policyscope/internal/asgraph"
 	"github.com/policyscope/policyscope/internal/bgp"
 	"github.com/policyscope/policyscope/internal/netx"
 	"github.com/policyscope/policyscope/internal/topogen"
+	"github.com/policyscope/policyscope/obs"
 )
 
 // What-if scenario engine. An Engine wraps a converged simulation plus a
@@ -364,6 +366,12 @@ func (en *Engine) Apply(sc Scenario) (*Delta, error) {
 	if err := en.validate(sc); err != nil {
 		return nil, err
 	}
+	mApplies.Inc()
+	var applyStart time.Time
+	if obs.Enabled() {
+		applyStart = time.Now()
+	}
+	defer observeApplyEnd(applyStart)
 	// Scenario events can change origins, policies and adjacency; the
 	// cold-convergence atom partition no longer describes this engine
 	// (a journaled Rollback restores the pre-Apply staleness).
@@ -1189,6 +1197,7 @@ func (en *Engine) reconverge(st *workerState, prefix netx.Prefix, events []Event
 		}
 	}
 
+	st.statActivations += activations
 	shift, reach := en.captureIncremental(st, prefix)
 	return shift, reach, len(st.touched), converged
 }

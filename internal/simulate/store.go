@@ -297,6 +297,11 @@ type workerState struct {
 	commCache map[string]bgp.Communities
 	commKey   []byte
 	intern    *bgp.Intern
+
+	// statActivations accumulates drained activations since the state
+	// was pulled from the pool — a plain int so the activation loops
+	// never touch an atomic; putState flushes it to the process counter.
+	statActivations int
 }
 
 // addCommunity returns cs+c, memoized through st's intern cache when a
@@ -426,11 +431,19 @@ func (e *engine) getState() *workerState {
 		st := v.(*workerState)
 		st.syncAdjacency(e)
 		st.intern = e.intern
+		mStatesReused.Inc()
 		return st
 	}
 	st := newWorkerState(e)
 	st.intern = e.intern
+	mStatesCreated.Inc()
 	return st
 }
 
-func (e *engine) putState(st *workerState) { e.statePool.Put(st) }
+func (e *engine) putState(st *workerState) {
+	if st.statActivations > 0 {
+		mActivations.Add(uint64(st.statActivations))
+		st.statActivations = 0
+	}
+	e.statePool.Put(st)
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/policyscope/policyscope/internal/asgraph"
 	"github.com/policyscope/policyscope/internal/simulate"
@@ -25,6 +26,26 @@ type Options struct {
 	// index order (calls are serialized). Returning an error aborts the
 	// sweep — the streaming server uses this to stop on a dead client.
 	OnImpact func(*Impact) error
+	// OnWorkerDone, when set, receives each worker's lifetime stats as
+	// it drains (calls may interleave across workers; the receiver
+	// serializes). cmd/sweep logs these and the executor benchmarks
+	// derive parallel efficiency from them.
+	OnWorkerDone func(WorkerStats)
+}
+
+// WorkerStats summarizes one sweep worker's run.
+type WorkerStats struct {
+	// Worker is the shard index in [0, EffectiveWorkers).
+	Worker int `json:"worker"`
+	// Scenarios is how many scenarios this worker applied.
+	Scenarios int `json:"scenarios"`
+	// Busy is the wall time spent applying and restoring scenarios
+	// (excludes queue idling — the gap between Busy and the run's wall
+	// time is contention or starvation).
+	Busy time.Duration `json:"busy_ns"`
+	// Reclones counts scenarios whose state restore fell back to a
+	// fresh engine clone.
+	Reclones int `json:"reclones"`
 }
 
 // EffectiveWorkers resolves the shard count actually used for an
@@ -79,58 +100,84 @@ func Run(ctx context.Context, base *simulate.Engine, scenarios []simulate.Scenar
 		wg   sync.WaitGroup
 	)
 	baseUnconv := base.UnconvergedCount()
+	mSweepRuns.Inc()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			var eng *simulate.Engine
+			ws := WorkerStats{Worker: worker}
+			defer func() {
+				mWorkerBusySeconds.Observe(ws.Busy.Seconds())
+				if opts.OnWorkerDone != nil {
+					opts.OnWorkerDone(ws)
+				}
+			}()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(scenarios) || ctx.Err() != nil || em.aborted() {
 					return
 				}
 				sc := scenarios[i]
+				start := time.Now()
 				if eng == nil {
 					eng = base.Clone()
 					// Parallelism lives across scenarios, not inside
 					// each incremental apply.
 					eng.SetParallelism(1)
 				}
+				var imp *Impact
 				if linkEventsOnly(sc) {
 					// Link scenarios (the dominant sweep families) roll
 					// back through the engine's pre-image journal: undo
 					// costs what the apply touched instead of a second
 					// incremental pass over the inverse events.
 					eng.Checkpoint()
-					imp, _, err := Apply(eng, sc, topShifts)
+					var err error
+					imp, _, err = Apply(eng, sc, topShifts)
 					if err != nil {
 						imp = &Impact{Name: sc.Name, Events: len(sc.Events), Error: err.Error()}
 					}
 					if !eng.Rollback() || eng.UnconvergedCount() != baseUnconv {
 						eng = nil // rollback not provably clean: re-clone
+						ws.Reclones++
+						mRestoreReclone.Inc()
+					} else {
+						mRestoreJournal.Inc()
 					}
-					imp.Index = i
-					em.emit(i, imp)
-					continue
-				}
-				inv, invertible := invertScenario(eng, sc)
-				imp, _, err := Apply(eng, sc, topShifts)
-				switch {
-				case err != nil:
-					// Validation failures leave the engine untouched
-					// (Apply validates before mutating).
-					imp = &Impact{Name: sc.Name, Events: len(sc.Events), Error: err.Error()}
-				case invertible:
-					if _, rbErr := eng.Apply(inv); rbErr != nil || eng.UnconvergedCount() != baseUnconv {
-						eng = nil // rollback not provably clean: re-clone
+				} else {
+					inv, invertible := invertScenario(eng, sc)
+					var err error
+					imp, _, err = Apply(eng, sc, topShifts)
+					switch {
+					case err != nil:
+						// Validation failures leave the engine untouched
+						// (Apply validates before mutating), so no
+						// restore mode is counted.
+						imp = &Impact{Name: sc.Name, Events: len(sc.Events), Error: err.Error()}
+					case invertible:
+						if _, rbErr := eng.Apply(inv); rbErr != nil || eng.UnconvergedCount() != baseUnconv {
+							eng = nil // rollback not provably clean: re-clone
+							ws.Reclones++
+							mRestoreReclone.Inc()
+						} else {
+							mRestoreInverse.Inc()
+						}
+					default:
+						eng = nil // policy edits have no inverse event: re-clone
+						ws.Reclones++
+						mRestoreReclone.Inc()
 					}
-				default:
-					eng = nil // policy edits have no inverse event: re-clone
 				}
+				el := time.Since(start)
+				ws.Busy += el
+				ws.Scenarios++
+				mSweepScenarios.Inc()
+				mScenarioSeconds.Observe(el.Seconds())
 				imp.Index = i
 				em.emit(i, imp)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {

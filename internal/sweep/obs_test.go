@@ -1,0 +1,71 @@
+package sweep
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWorkerStatsAndRestoreMetrics: every worker reports its stats,
+// the per-worker busy times cover the scenarios applied, and a
+// link-failure sweep restores through the journal (no re-clones).
+func TestWorkerStatsAndRestoreMetrics(t *testing.T) {
+	topo, opts := buildTestTopo(t, 150, 7)
+	base := newBase(t, topo, opts)
+	scenarios, err := Expand(context.Background(), base.Topology(), Spec{
+		Generators: []Generator{{Kind: KindAllSingleLinkFailures}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios = scenarios[:24]
+
+	journal0 := mRestoreJournal.Value()
+	scen0 := mSweepScenarios.Value()
+
+	var (
+		mu    sync.Mutex
+		stats []WorkerStats
+	)
+	agg, err := Run(context.Background(), base, scenarios, Options{
+		Workers: 4,
+		OnWorkerDone: func(ws WorkerStats) {
+			mu.Lock()
+			stats = append(stats, ws)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Scenarios != len(scenarios) {
+		t.Fatalf("ran %d of %d scenarios", agg.Scenarios, len(scenarios))
+	}
+	if len(stats) != 4 {
+		t.Fatalf("got %d worker reports, want 4", len(stats))
+	}
+	total, busy := 0, time.Duration(0)
+	for _, ws := range stats {
+		total += ws.Scenarios
+		busy += ws.Busy
+		if ws.Scenarios > 0 && ws.Busy <= 0 {
+			t.Errorf("worker %d applied %d scenarios in zero busy time", ws.Worker, ws.Scenarios)
+		}
+		if ws.Reclones != 0 {
+			t.Errorf("worker %d re-cloned %d times on a link-only sweep", ws.Worker, ws.Reclones)
+		}
+	}
+	if total != len(scenarios) {
+		t.Errorf("workers report %d scenarios, want %d", total, len(scenarios))
+	}
+	if busy <= 0 {
+		t.Error("no busy time recorded")
+	}
+	if got := mRestoreJournal.Value() - journal0; got != uint64(len(scenarios)) {
+		t.Errorf("journal restores advanced by %d, want %d", got, len(scenarios))
+	}
+	if got := mSweepScenarios.Value() - scen0; got != uint64(len(scenarios)) {
+		t.Errorf("scenario counter advanced by %d, want %d", got, len(scenarios))
+	}
+}

@@ -1,0 +1,26 @@
+package policyscope
+
+import "github.com/policyscope/policyscope/obs"
+
+// Session-level metrics: experiment throughput and the hit rates of
+// the two per-session memo layers (persistence series, inference
+// runs). Per-experiment breakdown deliberately stays out of the label
+// space — ?trace=1 spans name the experiment per request, and the
+// registry has enough entries that per-name counters would dominate
+// the exposition.
+var (
+	mExperimentRuns = obs.NewCounter("policyscope_session_experiment_runs_total",
+		"Experiment executions through Session.Run (all wire forms funnel here).")
+	mExperimentErrors = obs.NewCounter("policyscope_session_experiment_errors_total",
+		"Experiment executions that returned an error.")
+	mExperimentSeconds = obs.NewHistogram("policyscope_session_experiment_seconds",
+		"Wall time of one experiment execution.", nil)
+
+	mMemo = obs.NewCounterVec("policyscope_session_memo_total",
+		"Session memo lookups by cache (persist = persistence series, infer = inference runs) and result.",
+		"cache", "result")
+	mMemoPersistHit  = mMemo.With("persist", "hit")
+	mMemoPersistMiss = mMemo.With("persist", "miss")
+	mMemoInferHit    = mMemo.With("infer", "hit")
+	mMemoInferMiss   = mMemo.With("infer", "miss")
+)

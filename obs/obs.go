@@ -1,0 +1,478 @@
+// Package obs is the repo's dependency-free observability kit: a
+// metrics registry (counters, gauges, fixed-bucket histograms) that
+// renders Prometheus text exposition, a context-propagated span API
+// for per-request phase timing, and slog setup helpers shared by the
+// CLIs and the server.
+//
+// The registry is built for hot paths. Handles are resolved once at
+// registration time (package init or constructor); after that every
+// increment is a single atomic op — no map lookups, no label
+// formatting, no allocation. Label variants (CounterVec/HistogramVec)
+// pay their map cost in With(), which callers run at registration
+// time, never per event. The instrumented zero-alloc convergence core
+// depends on this: its AllocsPerRun guards run with obs compiled in
+// and enabled.
+//
+// There is deliberately no Prometheus client dependency: the text
+// exposition format is a page of code, the container image is stdlib
+// only, and the client library's default pipeline (label hashing,
+// sync.Map lookups, protobuf) costs allocations on paths this repo
+// has spent two PRs stripping to zero.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// enabled gates the *timing capture* sites (time.Now pairs around
+// converge/apply and similar), letting bench_obs.sh measure the
+// instrumented-vs-not delta in one binary. Pure counter increments are
+// cheaper than the branch and stay unconditional.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns optional timing capture on or off (default on).
+func SetEnabled(v bool) { enabled.Store(v) }
+
+// Enabled reports whether optional timing capture is on.
+func Enabled() bool { return enabled.Load() }
+
+// Default is the process-wide registry. Package-level instrumentation
+// (engine, pool, sweep, session, server) registers here; cmd binaries
+// expose it at /metrics.
+var Default = NewRegistry()
+
+// metric is anything the registry can render.
+type metric interface {
+	name() string
+	help() string
+	typ() string
+	write(w io.Writer)
+}
+
+// Registry holds named metrics and renders them as Prometheus text
+// exposition. Registration is mutex-protected and idempotent by name;
+// reads of registered handles are lock-free.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// register installs m under its name, or returns the existing metric
+// of the same name. A name collision across metric kinds panics: it is
+// a programming error, caught at init time because all handles resolve
+// at init time.
+func (r *Registry) register(m metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.metrics[m.name()]; ok {
+		if prev.typ() != m.typ() {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", m.name(), m.typ(), prev.typ()))
+		}
+		return prev
+	}
+	r.metrics[m.name()] = m
+	return m
+}
+
+// WriteText renders every registered metric in Prometheus text
+// exposition format, sorted by metric name so output is deterministic
+// (golden-testable). Values read atomically; rendering never blocks
+// writers.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for n := range r.metrics {
+		names = append(names, n)
+	}
+	ms := make([]metric, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		ms = append(ms, r.metrics[n])
+	}
+	r.mu.Unlock()
+	for _, m := range ms {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.name(), m.help())
+		fmt.Fprintf(w, "# TYPE %s %s\n", m.name(), m.typ())
+		m.write(w)
+	}
+}
+
+// Handler serves WriteText over HTTP — mount as GET /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// ---- Counter ----
+
+// Counter is a monotonically increasing uint64. Inc/Add are single
+// atomic ops: allocation-free and race-clean.
+type Counter struct {
+	base
+	v atomic.Uint64
+}
+
+// NewCounter registers (or fetches) a counter on r.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	return r.register(&Counter{base: base{n: name, h: help, t: "counter"}}).(*Counter)
+}
+
+// NewCounter registers a counter on the Default registry.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", c.n, c.v.Load())
+}
+
+// ---- Gauge ----
+
+// Gauge is an int64 that can go up and down.
+type Gauge struct {
+	base
+	v atomic.Int64
+}
+
+// NewGauge registers (or fetches) a gauge on r.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	return r.register(&Gauge{base: base{n: name, h: help, t: "gauge"}}).(*Gauge)
+}
+
+// NewGauge registers a gauge on the Default registry.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %d\n", g.n, g.v.Load())
+}
+
+// ---- GaugeFunc ----
+
+// GaugeFunc evaluates fn at render time — for values that already live
+// elsewhere (pool residency, goroutine count) and should not be
+// double-tracked.
+type GaugeFunc struct {
+	base
+	fn func() float64
+}
+
+// NewGaugeFunc registers a render-time gauge on r.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	return r.register(&GaugeFunc{base: base{n: name, h: help, t: "gauge"}, fn: fn}).(*GaugeFunc)
+}
+
+// NewGaugeFunc registers a render-time gauge on the Default registry.
+func NewGaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	return Default.NewGaugeFunc(name, help, fn)
+}
+
+func (g *GaugeFunc) write(w io.Writer) {
+	fmt.Fprintf(w, "%s %s\n", g.n, formatFloat(g.fn()))
+}
+
+// ---- Histogram ----
+
+// DefBuckets covers microseconds to minutes — wide enough for both a
+// counter increment and an 80k-AS converge. Values are seconds.
+var DefBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60,
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets are cumulative
+// at render time (Prometheus le= semantics) but stored per-bucket so
+// Observe touches exactly one bucket counter, the count, and the sum.
+// The sum is a float64 stored as bits and updated by CAS; contention on
+// it is bounded by the observation rate of one metric, which for every
+// site in this repo is per-request or per-scenario, not per-event.
+type Histogram struct {
+	base
+	bounds  []float64 // sorted upper bounds; implicit +Inf after
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram registers (or fetches) a histogram on r. A nil or empty
+// bounds slice means DefBuckets. Bounds must be sorted ascending.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	h := &Histogram{
+		base:    base{n: name, h: help, t: "histogram"},
+		bounds:  bounds,
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return r.register(h).(*Histogram)
+}
+
+// NewHistogram registers a histogram on the Default registry.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return Default.NewHistogram(name, help, bounds)
+}
+
+// Observe records v (in seconds for latency histograms). Allocation
+// free: binary search over a fixed bounds slice plus three atomics.
+func (h *Histogram) Observe(v float64) {
+	// Inline lower-bound search; sort.SearchFloat64s would be fine but
+	// this keeps the hot path free of interface calls.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.buckets[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) write(w io.Writer) {
+	h.writeAs(w, h.n, "")
+}
+
+// writeAs renders the bucket/sum/count triplet under name with an
+// optional extra label pair (used by HistogramVec children).
+func (h *Histogram) writeAs(w io.Writer, name, labels string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labels, formatFloat(b), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	lb := maybeBraces(labels)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, lb, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, lb, h.count.Load())
+}
+
+// maybeBraces wraps a non-empty rendered label list ("k=\"v\",") in
+// braces for _sum/_count lines, trimming the trailing comma.
+func maybeBraces(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + strings.TrimSuffix(labels, ",") + "}"
+}
+
+// ---- Vec variants ----
+
+// CounterVec is a family of counters distinguished by label values.
+// With() resolves (and lazily creates) the child under a mutex — call
+// it at registration time and hold the *Counter; never call With on a
+// hot path.
+type CounterVec struct {
+	base
+	labels   []string
+	mu       sync.Mutex
+	children map[string]*vecChild[*Counter]
+}
+
+type vecChild[T any] struct {
+	labelStr string // rendered `k="v",` pairs in declaration order
+	m        T
+}
+
+// NewCounterVec registers a counter family on r.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{
+		base:     base{n: name, h: help, t: "counter"},
+		labels:   labels,
+		children: make(map[string]*vecChild[*Counter]),
+	}
+	return r.register(v).(*CounterVec)
+}
+
+// NewCounterVec registers a counter family on the Default registry.
+func NewCounterVec(name, help string, labels ...string) *CounterVec {
+	return Default.NewCounterVec(name, help, labels...)
+}
+
+// With returns the child counter for the given label values (one per
+// declared label, in order).
+func (v *CounterVec) With(values ...string) *Counter {
+	key, labelStr := vecKey(v.n, v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c.m
+	}
+	c := &vecChild[*Counter]{labelStr: labelStr, m: &Counter{base: v.base}}
+	v.children[key] = c
+	return c.m
+}
+
+func (v *CounterVec) write(w io.Writer) {
+	for _, c := range v.sortedChildren() {
+		fmt.Fprintf(w, "%s{%s} %d\n", v.n, strings.TrimSuffix(c.labelStr, ","), c.m.Value())
+	}
+}
+
+func (v *CounterVec) sortedChildren() []*vecChild[*Counter] {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*vecChild[*Counter], 0, len(v.children))
+	for _, c := range v.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labelStr < out[j].labelStr })
+	return out
+}
+
+// HistogramVec is a family of histograms distinguished by label
+// values; same With() contract as CounterVec.
+type HistogramVec struct {
+	base
+	labels   []string
+	bounds   []float64
+	mu       sync.Mutex
+	children map[string]*vecChild[*Histogram]
+}
+
+// NewHistogramVec registers a histogram family on r. Nil bounds means
+// DefBuckets.
+func (r *Registry) NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	v := &HistogramVec{
+		base:     base{n: name, h: help, t: "histogram"},
+		labels:   labels,
+		bounds:   bounds,
+		children: make(map[string]*vecChild[*Histogram]),
+	}
+	return r.register(v).(*HistogramVec)
+}
+
+// NewHistogramVec registers a histogram family on the Default registry.
+func NewHistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return Default.NewHistogramVec(name, help, bounds, labels...)
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key, labelStr := vecKey(v.n, v.labels, values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c.m
+	}
+	h := &Histogram{
+		base:    v.base,
+		bounds:  v.bounds,
+		buckets: make([]atomic.Uint64, len(v.bounds)+1),
+	}
+	v.children[key] = &vecChild[*Histogram]{labelStr: labelStr, m: h}
+	return h
+}
+
+func (v *HistogramVec) write(w io.Writer) {
+	v.mu.Lock()
+	out := make([]*vecChild[*Histogram], 0, len(v.children))
+	for _, c := range v.children {
+		out = append(out, c)
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].labelStr < out[j].labelStr })
+	for _, c := range out {
+		c.m.writeAs(w, v.n, c.labelStr)
+	}
+}
+
+// vecKey validates the value count and renders the cache key plus the
+// `k="v",`-joined label string.
+func vecKey(name string, labels, values []string) (key, labelStr string) {
+	if len(values) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", name, len(labels), len(values)))
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		sb.WriteString(l)
+		sb.WriteString("=\"")
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteString("\",")
+	}
+	s := sb.String()
+	return s, s
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// ---- shared bits ----
+
+type base struct {
+	n, h, t string
+}
+
+func (b base) name() string { return b.n }
+func (b base) help() string { return b.h }
+func (b base) typ() string  { return b.t }
+
+// formatFloat renders a float the way Prometheus expects: integers
+// without a decimal point, everything else in shortest round-trip
+// form.
+func formatFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its rendered
+// label set (normalized to the exact `k="v",...` text between braces,
+// "" when unlabeled), and the value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// ParseText parses the subset of the Prometheus text exposition format
+// that WriteText emits: `# HELP`/`# TYPE` comments and
+// `name[{labels}] value` samples. It exists for the round-trip test
+// (render → parse → compare against live handles) and for scripts that
+// scrape /metrics without a Prometheus client; it is not a general
+// scrape parser (no timestamps, no escaped-newline continuation).
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		labels := ""
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				return nil, fmt.Errorf("obs: malformed sample line %q", line)
+			}
+			name = line[:i]
+			labels = line[i+1 : j]
+			rest = strings.TrimSpace(line[j+1:])
+		} else {
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("obs: malformed sample line %q", line)
+			}
+			name, rest = fields[0], fields[1]
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad value in %q: %w", line, err)
+		}
+		out = append(out, Sample{Name: name, Labels: labels, Value: v})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Find returns the value of the first sample matching name and, when
+// labelSub is non-empty, whose label text contains labelSub.
+func Find(samples []Sample, name, labelSub string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		if labelSub != "" && !strings.Contains(s.Labels, labelSub) {
+			continue
+		}
+		return s.Value, true
+	}
+	return 0, false
+}

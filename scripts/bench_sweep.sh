@@ -18,6 +18,12 @@
 #   j8_vs_j1            executor scaling across workers; ~1.0 on a
 #                       single-core box, approaches the core count on
 #                       real hardware
+#   utilization_*       sum(per-worker busy time) / (workers × wall) from
+#                       the executor's WorkerStats: ~1.0 = shards compute
+#                       the whole sweep, lower = workers idle. Separates
+#                       "executor contends" (low utilization) from "the
+#                       box has fewer cores than -j" (high utilization,
+#                       flat j8_vs_j1).
 #
 # Usage: scripts/bench_sweep.sh [serial_benchtime] [sweep_benchtime]
 #        (defaults 2x and 1x; one sweep op covers every scenario)
@@ -35,7 +41,7 @@ go test -run NONE -bench 'BenchmarkSweepSerialEngine$' \
 go test -run NONE -bench 'BenchmarkSweepExecutor(J1|J8)$' \
     -benchtime "$SWEEP_BT" . | tee -a "$RAW"
 
-awk '
+awk -v cores="$(nproc 2>/dev/null || echo 0)" '
     # Custom metrics print as "<value> <unit>" pairs; scan each line for
     # the units instead of trusting fixed field positions.
     /^BenchmarkSweepSerialEngine/ { serial = $3 }
@@ -43,8 +49,9 @@ awk '
         for (i = 2; i <= NF; i++) {
             if ($i == "ns/scenario") v = $(i - 1)
             if ($i == "scenarios")   n = $(i - 1)
+            if ($i == "utilization") u = $(i - 1)
         }
-        if ($0 ~ /ExecutorJ1/) { j1 = v } else { j8 = v }
+        if ($0 ~ /ExecutorJ1/) { j1 = v; u1 = u } else { j8 = v; u8 = u }
         scen = n
     }
     END {
@@ -57,12 +64,15 @@ awk '
         printf "{\n"
         printf "  \"benchmark\": \"all-single-link-failures sweep, 800-AS shared study\",\n"
         printf "  \"scenarios\": %.0f,\n", scen
+        printf "  \"cores\": %.0f,\n", cores
         printf "  \"serial_engine_ns_per_scenario\": %.0f,\n", serial
         printf "  \"sweep_j1_ns_per_scenario\": %.0f,\n", j1
         printf "  \"sweep_j8_ns_per_scenario\": %.0f,\n", j8
         printf "  \"speedup_vs_serial\": %.1f,\n", serial / j8
         printf "  \"j8_vs_j1\": %.2f,\n", j1 / j8
-        printf "  \"note\": \"serial = one full engine (complete resimulation) per scenario, the only batch path before the sweep executor, sampled across the scenario list via benchtime; j8_vs_j1 reflects the cores available to the run; worker engines clone the shared family (pooled per-prefix state, intern table, CSR) so cold-start cost is paid once per family, not per worker\"\n"
+        printf "  \"utilization_j1\": %.2f,\n", u1
+        printf "  \"utilization_j8\": %.2f,\n", u8
+        printf "  \"note\": \"serial = one full engine (complete resimulation) per scenario, the only batch path before the sweep executor, sampled across the scenario list via benchtime; j8_vs_j1 reflects the cores available to the run (a 1-core box pins it near 1.0 regardless of executor quality); utilization = sum(per-worker busy) / (workers x wall) from WorkerStats — high utilization with flat j8_vs_j1 means the cores, not the executor, are the ceiling; worker engines clone the shared family (pooled per-prefix state, intern table, CSR) so cold-start cost is paid once per family, not per worker\"\n"
         printf "}\n"
     }
 ' "$RAW" > "$OUT"

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"net/http"
+
+	"github.com/policyscope/policyscope/obs"
+)
+
+// HTTP surface metrics. Endpoint label values are the static route
+// names registered in New, so every handle is resolved once at
+// construction — request handling itself never formats a label.
+var (
+	mHTTPRequests = obs.NewCounterVec("policyscope_http_requests_total",
+		"HTTP requests received by endpoint.", "endpoint")
+	mHTTPResponses = obs.NewCounterVec("policyscope_http_responses_total",
+		"HTTP responses by endpoint and status class.", "endpoint", "class")
+	mHTTPSeconds = obs.NewHistogramVec("policyscope_http_request_seconds",
+		"HTTP request latency by endpoint.", nil, "endpoint")
+	mHTTPInflight = obs.NewGauge("policyscope_http_inflight",
+		"HTTP requests currently being served.")
+)
+
+var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// route carries one endpoint's pre-resolved metric handles.
+type route struct {
+	name     string
+	requests *obs.Counter
+	seconds  *obs.Histogram
+	classes  [5]*obs.Counter
+}
+
+func newRoute(name string) *route {
+	rt := &route{
+		name:     name,
+		requests: mHTTPRequests.With(name),
+		seconds:  mHTTPSeconds.With(name),
+	}
+	for i, class := range statusClasses {
+		rt.classes[i] = mHTTPResponses.With(name, class)
+	}
+	return rt
+}
+
+func (rt *route) observeStatus(status int) {
+	i := status/100 - 1
+	if i < 0 || i >= len(rt.classes) {
+		i = 4
+	}
+	rt.classes[i].Inc()
+}
+
+// statusWriter records the response status for the middleware and, when
+// the request is traced, rewrites the Content-Type to NDJSON — the span
+// summary is appended after the normal body, so the response as a whole
+// is a line stream, not a single JSON document.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	traced bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	if sw.status == 0 {
+		sw.status = status
+		if sw.traced {
+			sw.Header().Set("Content-Type", "application/x-ndjson")
+		}
+	}
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.WriteHeader(http.StatusOK)
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// Flush keeps the /sweep NDJSON stream incremental through the wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

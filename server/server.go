@@ -10,6 +10,7 @@
 //	POST /whatif             apply a scenario; body = scenario JSON
 //	POST /sweep              run a batch sweep; body = sweep request JSON
 //	GET  /healthz            liveness, default-dataset readiness, pool stats
+//	GET  /metrics            Prometheus text exposition of the obs registry
 //
 // Every query endpoint accepts ?dataset=<name> selecting the universe
 // it runs against; omitting it uses the catalog's default dataset, and
@@ -24,6 +25,12 @@
 // a "needs ground truth" error when the selected dataset is an imported
 // snapshot. Handlers honor the request context — a disconnected client
 // cancels its in-flight run, sweep, or dataset build.
+//
+// Every response carries an X-Request-ID header. Appending ?trace=1 to
+// any query endpoint additionally appends a per-request NDJSON span
+// summary after the normal body (Content-Type becomes
+// application/x-ndjson), decomposing the request into dataset-load /
+// warm / experiment / render phases.
 package server
 
 import (
@@ -33,8 +40,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	policyscope "github.com/policyscope/policyscope"
 	"github.com/policyscope/policyscope/dataset"
@@ -42,12 +51,14 @@ import (
 	"github.com/policyscope/policyscope/infer"
 	"github.com/policyscope/policyscope/internal/simulate"
 	"github.com/policyscope/policyscope/internal/sweep"
+	"github.com/policyscope/policyscope/obs"
 )
 
 // Server handles the HTTP surface over one dataset pool.
 type Server struct {
-	pool *dataset.Pool
-	mux  *http.ServeMux
+	pool  *dataset.Pool
+	mux   *http.ServeMux
+	start time.Time
 	// ready flips once the default dataset's study is built (healthz
 	// reports it).
 	ready atomic.Bool
@@ -55,16 +66,62 @@ type Server struct {
 
 // New returns an http.Handler serving the pool.
 func New(pool *dataset.Pool) *Server {
-	s := &Server{pool: pool, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /datasets", s.handleDatasets)
-	s.mux.HandleFunc("GET /experiments", s.handleExperiments)
-	s.mux.HandleFunc("GET /infer", s.handleInferList)
-	s.mux.HandleFunc("POST /run/{name}", s.handleRun)
-	s.mux.HandleFunc("POST /infer/{algo}", s.handleInfer)
-	s.mux.HandleFunc("POST /whatif", s.handleWhatIf)
-	s.mux.HandleFunc("POST /sweep", s.handleSweep)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s := &Server{pool: pool, mux: http.NewServeMux(), start: time.Now()}
+	s.handle("GET /datasets", "datasets", s.handleDatasets)
+	s.handle("GET /experiments", "experiments", s.handleExperiments)
+	s.handle("GET /infer", "infer_list", s.handleInferList)
+	s.handle("POST /run/{name}", "run", s.handleRun)
+	s.handle("POST /infer/{algo}", "infer", s.handleInfer)
+	s.handle("POST /whatif", "whatif", s.handleWhatIf)
+	s.handle("POST /sweep", "sweep", s.handleSweep)
+	s.handle("GET /healthz", "healthz", s.handleHealthz)
+	// The exposition endpoint bypasses the middleware so scraping does
+	// not inflate the request counters it reports.
+	s.mux.Handle("GET /metrics", obs.Default.Handler())
+	// Registration is idempotent by name, so with several servers in one
+	// process (tests) the first pool's residency wins — acceptable for a
+	// process-wide gauge.
+	obs.NewGaugeFunc("policyscope_pool_resident",
+		"Datasets currently resident in the session pool.",
+		func() float64 { return float64(s.pool.Stats().Resident) })
 	return s
+}
+
+// handle registers one instrumented route: request/latency/status-class
+// metrics with handles pre-resolved per endpoint, an X-Request-ID
+// header, optional ?trace=1 span capture, and a debug-level access log.
+func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
+	rt := newRoute(name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := obs.NextID()
+		w.Header().Set("X-Request-ID", id)
+		var tr *obs.Trace
+		if r.URL.Query().Get("trace") == "1" {
+			var ctx context.Context
+			ctx, tr = obs.WithTrace(r.Context(), id)
+			r = r.WithContext(ctx)
+		}
+		sw := &statusWriter{ResponseWriter: w, traced: tr != nil}
+		rt.requests.Inc()
+		mHTTPInflight.Add(1)
+		h(sw, r)
+		mHTTPInflight.Add(-1)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		rt.observeStatus(status)
+		dur := time.Since(start)
+		rt.seconds.Observe(dur.Seconds())
+		if tr != nil {
+			_ = tr.WriteNDJSON(sw)
+		}
+		slog.Debug("http request",
+			"id", id, "endpoint", name, "method", r.Method,
+			"path", r.URL.Path, "status", status,
+			"dur_ms", float64(dur.Microseconds())/1000)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -90,7 +147,9 @@ func (s *Server) Pool() *dataset.Pool { return s.pool }
 // for a failed build.
 func (s *Server) session(w http.ResponseWriter, r *http.Request) (*policyscope.Session, bool) {
 	name := r.URL.Query().Get("dataset")
+	_, span := obs.StartSpan(r.Context(), "dataset_load")
 	sess, err := s.pool.Session(r.Context(), name)
+	span.End()
 	if err != nil {
 		var unknown *dataset.UnknownDatasetError
 		if errors.As(err, &unknown) {
@@ -151,6 +210,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	_, span := obs.StartSpan(r.Context(), "render")
+	defer span.End()
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if err := res.Render(w); err != nil {
@@ -262,11 +323,16 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	// except a snapshot-only dataset, which can never run what-ifs
 	// (422). Only errors past a healthy base state are
 	// scenario-validation 422s.
-	if err := sess.Warm(); err != nil {
+	_, warmSpan := obs.StartSpan(r.Context(), "warm")
+	err = sess.Warm()
+	warmSpan.End()
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	_, span := obs.StartSpan(r.Context(), "whatif")
 	rep, err := sess.WhatIf(r.Context(), sc)
+	span.End()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -314,11 +380,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := sess.Warm(); err != nil {
+	_, warmSpan := obs.StartSpan(r.Context(), "warm")
+	err = sess.Warm()
+	warmSpan.End()
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
+	_, expandSpan := obs.StartSpan(r.Context(), "expand")
 	scenarios, err := sess.SweepScenarios(r.Context(), req.Spec)
+	expandSpan.End()
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -328,6 +399,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	_, sweepSpan := obs.StartSpan(r.Context(), "sweep")
+	defer sweepSpan.End()
 	agg, err := sess.Sweep(r.Context(), scenarios, sweep.Options{
 		Workers: req.Workers, TopShifts: req.TopShifts, TopK: req.TopK,
 		OnImpact: func(imp *sweep.Impact) error {
@@ -354,9 +427,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		OK bool `json:"ok"`
 		// Ready reports whether the default dataset has been built.
-		Ready bool          `json:"ready"`
-		Pool  dataset.Stats `json:"pool"`
-	}{OK: true, Ready: s.ready.Load(), Pool: s.pool.Stats()})
+		Ready         bool          `json:"ready"`
+		UptimeSeconds float64       `json:"uptime_seconds"`
+		Pool          dataset.Stats `json:"pool"`
+	}{OK: true, Ready: s.ready.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(), Pool: s.pool.Stats()})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -6,8 +6,8 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-
 	"sync"
+	"time"
 
 	"github.com/policyscope/policyscope/experiment"
 	"github.com/policyscope/policyscope/infer"
@@ -16,6 +16,7 @@ import (
 	"github.com/policyscope/policyscope/internal/lookingglass"
 	"github.com/policyscope/policyscope/internal/simulate"
 	"github.com/policyscope/policyscope/internal/sweep"
+	"github.com/policyscope/policyscope/obs"
 )
 
 // Session is the serving-side façade over a Study: it builds the Study
@@ -239,6 +240,11 @@ func (se *Session) persistence(k persistKey) (core.PersistenceResult, error) {
 		se.persist[k] = entry
 	}
 	se.persistMu.Unlock()
+	if ok {
+		mMemoPersistHit.Inc()
+	} else {
+		mMemoPersistMiss.Inc()
+	}
 	entry.once.Do(func() {
 		s, err := se.Study()
 		if err != nil {
@@ -286,6 +292,13 @@ func (se *Session) Infer(ctx context.Context, algo string, raw json.RawMessage) 
 		se.inferRuns[k] = entry
 	}
 	se.inferMu.Unlock()
+	if ok {
+		mMemoInferHit.Inc()
+	} else {
+		mMemoInferMiss.Inc()
+	}
+	_, span := obs.StartSpan(ctx, "infer:"+algo)
+	defer span.End()
 	entry.once.Do(func() {
 		s, err := se.Study()
 		if err != nil {
@@ -346,19 +359,43 @@ func (se *Session) Run(ctx context.Context, name string, params any) (experiment
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return e.Run(ctx, se, params)
+	ctx, span := obs.StartSpan(ctx, "experiment:"+name)
+	mExperimentRuns.Inc()
+	var start time.Time
+	if obs.Enabled() {
+		start = time.Now()
+	}
+	res, err := e.Run(ctx, se, params)
+	if !start.IsZero() {
+		mExperimentSeconds.ObserveSince(start)
+	}
+	span.End()
+	if err != nil {
+		mExperimentErrors.Inc()
+	}
+	return res, err
 }
 
 // RunJSON executes the named experiment with JSON-encoded parameters
-// (strict decoding; empty keeps defaults).
+// (strict decoding; empty keeps defaults). Decoding happens here; the
+// execution funnels through Run, so every wire form shares its
+// instrumentation.
 func (se *Session) RunJSON(ctx context.Context, name string, raw json.RawMessage) (experiment.Result, error) {
-	return catalog.RunJSON(ctx, se, name, raw)
+	params, err := catalog.DecodeJSONParams(name, raw)
+	if err != nil {
+		return nil, err
+	}
+	return se.Run(ctx, name, params)
 }
 
 // RunKV executes the named experiment with key=value parameter
 // overrides (the CLI form, e.g. "providers=3").
 func (se *Session) RunKV(ctx context.Context, name string, kv []string) (experiment.Result, error) {
-	return catalog.RunKV(ctx, se, name, kv)
+	params, err := catalog.DecodeKV(name, kv)
+	if err != nil {
+		return nil, err
+	}
+	return se.Run(ctx, name, params)
 }
 
 // RunAll executes every catalog experiment in order with the
