@@ -563,3 +563,102 @@ func TestServerInferSmoke(t *testing.T) {
 		t.Fatalf("/infer/rank: %d %s", resp.StatusCode, body)
 	}
 }
+
+// TestDistributedSweepSmoke drives the fleet path through real
+// binaries: two sweepd workers and a cmd/sweep coordinator, compared
+// byte for byte against the same sweep run locally, then resumed from
+// its checkpoint.
+func TestDistributedSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	root := repoRoot(t)
+	bins := map[string]string{}
+	for _, name := range []string{"sweep", "sweepd"} {
+		bin := filepath.Join(dir, name)
+		build := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+
+	// Two workers over the same flag-derived dataset as the coordinator.
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		w := exec.Command(bins["sweepd"], "-addr", addr,
+			"-ases", "60", "-seed", "3", "-peers", "5", "-lg", "3")
+		var wLog bytes.Buffer
+		w.Stdout = &wLog
+		w.Stderr = &wLog
+		if err := w.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			w.Process.Kill()
+			w.Wait()
+		})
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			resp, err := http.Get("http://" + addr + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("sweepd %s never became healthy: %v\n%s", addr, err, wLog.String())
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		addrs = append(addrs, addr)
+	}
+
+	cfgArgs := []string{"-ases", "60", "-seed", "3", "-peers", "5",
+		"-gen", "all_single_link_failures", "-max", "15", "-quiet"}
+	localOut := filepath.Join(dir, "local.ndjson")
+	run(t, bins["sweep"], append(cfgArgs, "-records", localOut)...)
+
+	distOut := filepath.Join(dir, "dist.ndjson")
+	cpDir := filepath.Join(dir, "checkpoint")
+	distArgs := append(cfgArgs, "-records", distOut,
+		"-workers", addrs[0]+","+addrs[1], "-shard-size", "4", "-checkpoint", cpDir)
+	run(t, bins["sweep"], distArgs...)
+
+	local, err := os.ReadFile(localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := os.ReadFile(distOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) == 0 || !bytes.Equal(local, dist) {
+		t.Fatalf("distributed records differ from local run (%d vs %d bytes)", len(dist), len(local))
+	}
+
+	// Reusing the checkpoint without -resume is refused; with -resume
+	// the finished run replays entirely from the spool, byte-identical.
+	out := runFail(t, bins["sweep"], distArgs...)
+	if !strings.Contains(out, "-resume") {
+		t.Fatalf("checkpoint reuse not refused: %s", out)
+	}
+	out = run(t, bins["sweep"], append(distArgs, "-resume")...)
+	if !strings.Contains(out, "resumed from checkpoint") {
+		t.Fatalf("resume did not replay from checkpoint: %s", out)
+	}
+	resumed, err := os.ReadFile(distOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(local, resumed) {
+		t.Fatal("resumed records differ from local run")
+	}
+}

@@ -21,12 +21,26 @@
 //	sweep -dataset paper                                # a catalog preset
 //	sweep -format text                                  # rendered aggregate tables
 //
+// With -workers the command becomes a distributed coordinator instead
+// of running scenarios itself: the scenario index space is partitioned
+// into contiguous shards (-shard-size) dispatched to the listed sweepd
+// fleet, with per-shard lease timeouts (-lease), bounded retry
+// (-retries), reassignment of failed workers' shards, and an optional
+// resumable checkpoint:
+//
+//	sweep -ases 800 -workers host1:8081,host2:8081 \
+//	      -checkpoint /tmp/cp -records records.ndjson   # distributed
+//	sweep ... -checkpoint /tmp/cp -resume               # continue a killed run
+//
+// Distributed output — records and aggregate — is byte-identical to the
+// single-process run of the same spec.
+//
 // Records stream in scenario index order (deterministic for a given
-// topology and spec regardless of -j). Progress goes to stderr as
-// structured logs (-log-level, -log-format); the final "sweep done"
-// line carries scenarios=N workers=J elapsed_ms=T, and -log-level
-// debug adds one "worker done" line per worker with its busy time —
-// the per-worker utilization behind any J>1 speedup claim.
+// topology and spec regardless of -j or the fleet layout). Progress
+// goes to stderr as structured logs (-log-level, -log-format); the
+// final "sweep done" line carries scenarios=N workers=J elapsed_ms=T,
+// and -log-level debug adds one "worker done" line per worker with its
+// busy time — the per-worker utilization behind any J>1 speedup claim.
 package main
 
 import (
@@ -38,11 +52,13 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	policyscope "github.com/policyscope/policyscope"
 	"github.com/policyscope/policyscope/dataset"
 	"github.com/policyscope/policyscope/internal/bgp"
+	"github.com/policyscope/policyscope/internal/dsweep"
 	"github.com/policyscope/policyscope/internal/profiling"
 	"github.com/policyscope/policyscope/internal/simulate"
 	"github.com/policyscope/policyscope/internal/sweep"
@@ -58,7 +74,14 @@ func main() {
 		ases       = flag.Int("ases", 800, "number of ASes")
 		seed       = flag.Int64("seed", 42, "random seed")
 		peers      = flag.Int("peers", 24, "collector peers (the sweep's vantage points)")
-		workers    = flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS)")
+		jobs       = flag.Int("j", 0, "sweep worker count; with -workers, the executor parallelism on each remote worker (0 = GOMAXPROCS)")
+		workerList = flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); run as a distributed coordinator")
+		shardSize  = flag.Int("shard-size", dsweep.DefaultShardSize, "scenarios per shard in -workers mode")
+		checkpoint = flag.String("checkpoint", "", "checkpoint directory in -workers mode: completed shards spool here for -resume")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint instead of refusing to reuse it")
+		lease      = flag.Duration("lease", 5*time.Minute, "per-shard lease timeout in -workers mode")
+		retries    = flag.Int("retries", 3, "max attempts per shard in -workers mode")
+		trace      = flag.Bool("trace", false, "dump a coordinator span waterfall (NDJSON) to stderr in -workers mode")
 		specPath   = flag.String("spec", "", "sweep spec JSON file ('-' = stdin)")
 		gen        = flag.String("gen", "", "generator shorthand instead of -spec (e.g. all_single_link_failures)")
 		genAS      = flag.Int("as", 0, "target AS for per-AS generators (-gen)")
@@ -86,6 +109,12 @@ func main() {
 	if *specPath != "" && *gen != "" {
 		fail(fmt.Errorf("-spec and -gen are mutually exclusive"))
 	}
+	if *resume && *checkpoint == "" {
+		fail(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *workerList == "" && (*checkpoint != "" || *resume) {
+		fail(fmt.Errorf("-checkpoint/-resume apply to -workers mode only"))
+	}
 	profStop = profiling.MustStart(*cpuProfile, *memProfile, fail)
 	defer profStop()
 
@@ -108,10 +137,6 @@ func main() {
 	// Topology only: the engine below runs its own convergence, so a
 	// full study load would converge the base state twice.
 	topo, peerSet, err := dataset.LoadTopology(ctx, src)
-	if err != nil {
-		fail(err)
-	}
-	base, err := simulate.NewEngine(topo, simulate.Options{VantagePoints: peerSet})
 	if err != nil {
 		fail(err)
 	}
@@ -144,9 +169,7 @@ func main() {
 		step = 1
 	}
 	start := time.Now()
-	opts := sweep.Options{Workers: *workers, TopShifts: *topShifts, TopK: *topK}
-	effectiveWorkers := opts.EffectiveWorkers(len(scenarios))
-	opts.OnImpact = func(imp *sweep.Impact) error {
+	onImpact := func(imp *sweep.Impact) error {
 		if recEnc != nil {
 			if err := recEnc.Encode(imp); err != nil {
 				return err
@@ -161,14 +184,74 @@ func main() {
 		}
 		return nil
 	}
-	opts.OnWorkerDone = func(ws sweep.WorkerStats) {
-		slog.Debug("worker done",
-			"worker", ws.Worker, "scenarios", ws.Scenarios,
-			"busy_ms", ws.Busy.Milliseconds(), "reclones", ws.Reclones)
-	}
-	agg, err := sweep.Run(ctx, base, scenarios, opts)
-	if err != nil {
-		fail(err)
+
+	var (
+		agg              *sweep.Aggregate
+		effectiveWorkers int
+	)
+	if *workerList != "" {
+		fleet := strings.Split(*workerList, ",")
+		effectiveWorkers = len(fleet)
+		var cp *dsweep.Checkpoint
+		if *checkpoint != "" {
+			fp, err := dsweep.NewFingerprint(spec, *dsName, len(scenarios), *shardSize, *topShifts)
+			if err != nil {
+				fail(err)
+			}
+			cp, err = dsweep.OpenCheckpoint(*checkpoint, fp)
+			if err != nil {
+				fail(err)
+			}
+			if cp.Resumed() && !*resume {
+				fail(fmt.Errorf("checkpoint %s already holds %d completed shards; pass -resume to continue it (or remove the directory)",
+					*checkpoint, cp.CompletedCount()))
+			}
+		}
+		var tr *obs.Trace
+		if *trace {
+			ctx, tr = obs.WithTrace(ctx, "dsweep")
+		}
+		agg, err = dsweep.Run(ctx, spec, scenarios, dsweep.Options{
+			Workers:           fleet,
+			ShardSize:         *shardSize,
+			TopShifts:         *topShifts,
+			TopK:              *topK,
+			WorkerParallelism: *jobs,
+			Dataset:           *dsName,
+			LeaseTimeout:      *lease,
+			MaxAttempts:       *retries,
+			Checkpoint:        cp,
+			OnImpact:          onImpact,
+			OnShardDone: func(worker string, d dsweep.ShardDone) {
+				slog.Debug("shard done",
+					"worker", worker, "start", d.Start, "end", d.End,
+					"records", d.Records)
+			},
+		})
+		if tr != nil {
+			_ = tr.WriteNDJSON(os.Stderr)
+		}
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		// Local mode runs the executor in-process; only here is the
+		// engine (and its base convergence) needed at all.
+		base, err := simulate.NewEngine(topo, simulate.Options{VantagePoints: peerSet})
+		if err != nil {
+			fail(err)
+		}
+		opts := sweep.Options{Workers: *jobs, TopShifts: *topShifts, TopK: *topK, OnImpact: onImpact}
+		effectiveWorkers = opts.EffectiveWorkers(len(scenarios))
+		opts.OnWorkerDone = func(ws sweep.WorkerStats) {
+			slog.Debug("worker done",
+				"worker", ws.Worker, "scenarios", ws.Scenarios,
+				"busy_ms", ws.Busy.Milliseconds(), "reclones", ws.Reclones)
+		}
+		agg, err = sweep.Run(ctx, base, scenarios, opts)
+		if err != nil {
+			fail(err)
+		}
 	}
 	elapsed := time.Since(start)
 	if recW != nil {

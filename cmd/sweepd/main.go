@@ -1,0 +1,116 @@
+// Command sweepd is a distributed-sweep worker daemon: the sweep
+// executor behind the server's POST /sweep/shard endpoint, meant to run
+// as a fleet behind one cmd/sweep coordinator (-workers). It serves the
+// full query surface (it *is* the policyscope server over a dataset
+// pool), but its defaults are tuned for fleet membership: point every
+// worker's -cache-dir at the shared content-addressed study cache and
+// the first fleet member to build a dataset pays for it once — the rest
+// warm from the cache instead of regenerating.
+//
+// Usage:
+//
+//	sweepd [-addr :8081] [-ases 2000] [-seed 42] [-peers 56]
+//	       [-dataset name] [-manifest datasets.json]
+//	       [-cache-dir /shared/psc-cache] [-pool 4] [-warm]
+//	       [-log-level info] [-log-format text] [-debug-addr :6061]
+//
+// A two-worker local fleet:
+//
+//	sweepd -addr :8081 -cache-dir /tmp/psc -warm &
+//	sweepd -addr :8082 -cache-dir /tmp/psc -warm &
+//	sweep -ases 800 -gen all_single_link_failures \
+//	      -workers localhost:8081,localhost:8082 -records -
+//
+// The coordinator verifies every record against its own expansion, so a
+// worker pointed at a different dataset is rejected, not merged.
+package main
+
+import (
+	"context"
+	"flag"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/dataset"
+	"github.com/policyscope/policyscope/obs"
+	"github.com/policyscope/policyscope/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8081", "listen address")
+		ases      = flag.Int("ases", 2000, "number of ASes in the flag-derived \"default\" dataset")
+		seed      = flag.Int64("seed", 42, "random seed (runs are deterministic per seed)")
+		peers     = flag.Int("peers", 56, "collector peer count")
+		lg        = flag.Int("lg", 15, "Looking Glass vantage count")
+		inferred  = flag.Bool("inferred", false, "use Gao-inferred relationships instead of ground truth")
+		warm      = flag.Bool("warm", false, "build and warm the default dataset before accepting shards")
+		dsName    = flag.String("dataset", "", "default dataset name (preset, manifest entry, or \"default\")")
+		manifest  = flag.String("manifest", "", "JSON dataset manifest to add to the catalog")
+		cacheDir  = flag.String("cache-dir", "", "shared content-addressed study cache (fleet cold-start is one build, not N)")
+		poolSize  = flag.Int("pool", dataset.DefaultMaxSessions, "max warmed sessions resident at once")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof/* and /metrics on this extra address (off when empty)")
+		logFlags  obs.LogFlags
+	)
+	logFlags.Register(flag.CommandLine)
+	flag.Parse()
+	if err := logFlags.SetDefault(os.Stderr); err != nil {
+		fail(err)
+	}
+
+	cfg := policyscope.DefaultConfig()
+	cfg.NumASes = *ases
+	cfg.Seed = *seed
+	cfg.CollectorPeers = *peers
+	cfg.LookingGlassASes = *lg
+	cfg.UseInferredRelationships = *inferred
+
+	cat, err := dataset.BuildCatalog(cfg, *dsName, *manifest, *cacheDir)
+	if err != nil {
+		fail(err)
+	}
+	pool := dataset.NewPool(cat, *poolSize)
+	srv := server.New(pool)
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr)
+	}
+	if *warm {
+		start := time.Now()
+		slog.Info("warming dataset", "dataset", cat.Default())
+		if err := srv.Warm(context.Background()); err != nil {
+			fail(err)
+		}
+		slog.Info("warm complete", "dataset", cat.Default(),
+			"elapsed", time.Since(start).Round(time.Millisecond))
+	}
+	slog.Info("sweep worker serving", "addr", *addr,
+		"datasets", len(cat.Names()), "default", cat.Default())
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fail(err)
+	}
+}
+
+// serveDebug exposes the profiling and metrics endpoints on their own
+// mux — never the public one.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", obs.Default.Handler())
+	slog.Info("debug server", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		slog.Error("debug server failed", "err", err)
+	}
+}
+
+func fail(err error) {
+	slog.Error("fatal", "err", err)
+	os.Exit(1)
+}

@@ -1,0 +1,229 @@
+package dsweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/policyscope/policyscope/internal/sweep"
+)
+
+// Fingerprint identifies the exact sweep a checkpoint belongs to. Every
+// field participates in the equality check a resume performs: replaying
+// a shard spool is only sound when the spec, dataset, scenario count,
+// shard boundaries, and record detail all match — otherwise the spooled
+// records describe a different universe.
+type Fingerprint struct {
+	// Name is the spec's display name (informational; still compared —
+	// two specs differing only in name hash differently anyway).
+	Name string `json:"name,omitempty"`
+	// SpecSHA256 is the hex digest of the spec's canonical JSON
+	// encoding.
+	SpecSHA256 string `json:"spec_sha256"`
+	// Dataset names the dataset the fleet runs against.
+	Dataset string `json:"dataset,omitempty"`
+	// Total is the expanded scenario count; ShardSize fixes the
+	// partition boundaries.
+	Total     int `json:"total"`
+	ShardSize int `json:"shard_size"`
+	// TopShifts is the per-record detail bound (records differ when it
+	// does).
+	TopShifts int `json:"top_shifts"`
+}
+
+// NewFingerprint derives the checkpoint identity for one sweep
+// configuration.
+func NewFingerprint(spec sweep.Spec, dataset string, total, shardSize, topShifts int) (Fingerprint, error) {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return Fingerprint{}, fmt.Errorf("dsweep: fingerprinting spec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	return Fingerprint{
+		Name:       spec.Name,
+		SpecSHA256: hex.EncodeToString(sum[:]),
+		Dataset:    dataset,
+		Total:      total,
+		ShardSize:  shardSize,
+		TopShifts:  topShifts,
+	}, nil
+}
+
+// Checkpoint is a coordinator's durable progress record: a directory
+// holding manifest.json (the Fingerprint) plus one NDJSON spool file
+// per completed shard (shard-000042.ndjson — the shard's Impact
+// records, one per line, in scenario order). Spools publish atomically
+// (write to a dot-temp file, fsync, rename), so a crash mid-write never
+// leaves a truncated spool that a resume would mistake for a complete
+// shard. Safe for concurrent use by the coordinator's worker loops.
+type Checkpoint struct {
+	dir     string
+	fp      Fingerprint
+	resumed bool
+
+	mu        sync.Mutex
+	completed map[int]bool
+}
+
+// manifestFile is the checkpoint's identity record.
+const manifestFile = "manifest.json"
+
+func shardFileName(index int) string {
+	return fmt.Sprintf("shard-%06d.ndjson", index)
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint directory for the
+// given fingerprint. Opening an existing checkpoint whose manifest does
+// not match fp is an error — resuming someone else's run would merge
+// records from a different sweep. On a match, the completed-shard set
+// is recovered by scanning the published spool files.
+func OpenCheckpoint(dir string, fp Fingerprint) (*Checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dsweep: checkpoint dir: %w", err)
+	}
+	c := &Checkpoint{dir: dir, fp: fp, completed: make(map[int]bool)}
+	path := filepath.Join(dir, manifestFile)
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var got Fingerprint
+		if err := json.Unmarshal(raw, &got); err != nil {
+			return nil, fmt.Errorf("dsweep: checkpoint manifest %s: %w", path, err)
+		}
+		if got != fp {
+			gb, _ := json.Marshal(got)
+			wb, _ := json.Marshal(fp)
+			return nil, fmt.Errorf("dsweep: checkpoint %s belongs to a different sweep:\n  found %s\n  want  %s", dir, gb, wb)
+		}
+		c.resumed = true
+		if err := c.scanShards(); err != nil {
+			return nil, err
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		b, err := json.MarshalIndent(fp, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := atomicWrite(dir, manifestFile, b); err != nil {
+			return nil, fmt.Errorf("dsweep: writing checkpoint manifest: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("dsweep: reading checkpoint manifest: %w", err)
+	}
+	return c, nil
+}
+
+// scanShards recovers the completed set from the published spool files.
+func (c *Checkpoint) scanShards() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("dsweep: scanning checkpoint: %w", err)
+	}
+	for _, e := range entries {
+		var idx int
+		if n, _ := fmt.Sscanf(e.Name(), "shard-%d.ndjson", &idx); n == 1 && e.Name() == shardFileName(idx) {
+			c.completed[idx] = true
+		}
+	}
+	return nil
+}
+
+// Resumed reports whether the directory held a matching checkpoint
+// already (i.e. this run continues a previous one).
+func (c *Checkpoint) Resumed() bool { return c.resumed }
+
+// Has reports whether shard index is already spooled.
+func (c *Checkpoint) Has(index int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.completed[index]
+}
+
+// CompletedCount returns how many shards are spooled.
+func (c *Checkpoint) CompletedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.completed)
+}
+
+// WriteShard publishes a completed shard's records. Already-spooled
+// shards are left untouched (first write wins — the spool is as
+// authoritative as the merge). The spool becomes visible only via the
+// final rename.
+func (c *Checkpoint) WriteShard(index int, recs []*sweep.Impact) error {
+	c.mu.Lock()
+	if c.completed[index] {
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+
+	var buf []byte
+	for _, imp := range recs {
+		line, err := json.Marshal(imp)
+		if err != nil {
+			return fmt.Errorf("dsweep: encoding shard %d record: %w", index, err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if err := atomicWrite(c.dir, shardFileName(index), buf); err != nil {
+		return fmt.Errorf("dsweep: spooling shard %d: %w", index, err)
+	}
+	c.mu.Lock()
+	c.completed[index] = true
+	c.mu.Unlock()
+	return nil
+}
+
+// ReadShard loads a spooled shard's records.
+func (c *Checkpoint) ReadShard(index int) ([]*sweep.Impact, error) {
+	f, err := os.Open(filepath.Join(c.dir, shardFileName(index)))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []*sweep.Impact
+	dec := json.NewDecoder(f)
+	for {
+		var imp sweep.Impact
+		if err := dec.Decode(&imp); err != nil {
+			if errors.Is(err, io.EOF) {
+				return recs, nil
+			}
+			return nil, fmt.Errorf("dsweep: shard %d spool: %w", index, err)
+		}
+		recs = append(recs, &imp)
+	}
+}
+
+// atomicWrite publishes name in dir via temp file + fsync + rename.
+func atomicWrite(dir, name string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "."+name+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, name))
+}

@@ -1,0 +1,177 @@
+package dsweep
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	refSweep(t)
+	fp, err := NewFingerprint(ref.spec, "paper", len(ref.scenarios), 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cp, err := OpenCheckpoint(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Resumed() {
+		t.Fatal("fresh checkpoint reports resumed")
+	}
+	recs := ref.impacts[:5]
+	if err := cp.WriteShard(2, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !cp.Has(2) || cp.Has(1) || cp.CompletedCount() != 1 {
+		t.Fatalf("completion state wrong: has2=%v has1=%v count=%d", cp.Has(2), cp.Has(1), cp.CompletedCount())
+	}
+	got, err := cp.ReadShard(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustJSON(t, got) != mustJSON(t, recs) {
+		t.Fatal("spooled records do not round-trip")
+	}
+
+	// Reopening with the same fingerprint resumes; a different
+	// fingerprint is refused.
+	cp2, err := OpenCheckpoint(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp2.Resumed() || cp2.CompletedCount() != 1 || !cp2.Has(2) {
+		t.Fatal("reopened checkpoint lost completion state")
+	}
+	other := fp
+	other.ShardSize = 99
+	if _, err := OpenCheckpoint(dir, other); err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("fingerprint mismatch accepted: %v", err)
+	}
+}
+
+// TestCheckpointResumeSkipsCompletedShards kills a coordinator after
+// its first completed shard, resumes from the checkpoint, and proves —
+// via the fake workers' shard-execution counters — that the completed
+// shard is replayed from the spool, never re-executed, while the output
+// stays byte-identical to the single-process run.
+func TestCheckpointResumeSkipsCompletedShards(t *testing.T) {
+	refSweep(t)
+	n := len(ref.scenarios)
+	size := (n + 3) / 4 // four shards
+	shards := Partition(n, size)
+	fp, err := NewFingerprint(ref.spec, "", n, size, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Run 1: a single worker, coordinator canceled the moment the first
+	// shard completes. The cancel happens synchronously inside
+	// OnShardDone, before the lone worker can pull another job, so
+	// exactly one shard lands in the checkpoint.
+	cp1, err := OpenCheckpoint(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = Run(ctx, ref.spec, ref.scenarios, Options{
+		Workers:     startWorkers(t, &fakeWorker{t: t}),
+		ShardSize:   size,
+		Checkpoint:  cp1,
+		Backoff:     time.Millisecond,
+		OnShardDone: func(string, ShardDone) { cancel() },
+	})
+	if err == nil {
+		t.Fatal("canceled run reported success")
+	}
+	if got := cp1.CompletedCount(); got != 1 || !cp1.Has(0) {
+		t.Fatalf("after kill: %d shards checkpointed (has0=%v), want exactly shard 0", got, cp1.Has(0))
+	}
+
+	// Run 2: resume with a fresh fleet. Shard 0 must replay from the
+	// spool — the workers' execution counters must only ever see the
+	// remaining shards.
+	cp2, err := OpenCheckpoint(dir, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cp2.Resumed() {
+		t.Fatal("second open did not resume")
+	}
+	w1, w2 := &fakeWorker{t: t}, &fakeWorker{t: t}
+	records, agg, err := collectRun(t, Options{
+		Workers:    startWorkers(t, w1, w2),
+		ShardSize:  size,
+		Checkpoint: cp2,
+		Backoff:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if records != refNDJSON(t) {
+		t.Fatal("resumed records differ from single-process output")
+	}
+	if mustJSON(t, agg) != mustJSON(t, ref.agg) {
+		t.Fatal("resumed aggregate differs from single-process output")
+	}
+	executed := append(w1.served(), w2.served()...)
+	if len(executed) != len(shards)-1 {
+		t.Fatalf("resume executed %d shards, want %d (total %d minus 1 checkpointed)",
+			len(executed), len(shards)-1, len(shards))
+	}
+	for _, start := range executed {
+		if start == 0 {
+			t.Fatal("resume re-executed the checkpointed shard")
+		}
+	}
+}
+
+// TestCheckpointRunWritesEveryShard: a clean distributed run with a
+// checkpoint leaves every shard spooled, so a later -resume is a pure
+// replay.
+func TestCheckpointRunWritesEveryShard(t *testing.T) {
+	refSweep(t)
+	n := len(ref.scenarios)
+	size := (n + 2) / 3
+	fp, err := NewFingerprint(ref.spec, "", n, size, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := OpenCheckpoint(t.TempDir(), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := collectRun(t, Options{
+		Workers:    startWorkers(t, &fakeWorker{t: t}),
+		ShardSize:  size,
+		Checkpoint: cp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != refNDJSON(t) {
+		t.Fatal("records differ")
+	}
+	if got, want := cp.CompletedCount(), len(Partition(n, size)); got != want {
+		t.Fatalf("%d shards checkpointed, want %d", got, want)
+	}
+	// The spool is valid NDJSON per shard.
+	recs, err := cp.ReadShard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []byte
+	for _, imp := range recs {
+		line, _ := json.Marshal(imp)
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if string(buf) != refNDJSON(t)[:len(buf)] {
+		t.Fatal("shard 0 spool is not a prefix of the reference stream")
+	}
+}

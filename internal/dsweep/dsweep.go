@@ -1,0 +1,478 @@
+package dsweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/sweep"
+	"github.com/policyscope/policyscope/obs"
+)
+
+// Options configures one distributed sweep run.
+type Options struct {
+	// Workers are the fleet's shard endpoints, as host:port or base
+	// URLs ("worker1:8080", "http://worker1:8080"). Required.
+	Workers []string
+	// ShardSize is the scenarios-per-shard partition granularity
+	// (<= 0 uses DefaultShardSize).
+	ShardSize int
+	// TopShifts bounds each record's per-prefix detail; forwarded to
+	// workers and part of the checkpoint fingerprint.
+	TopShifts int
+	// TopK bounds the aggregate's critical-scenario lists (default 10).
+	TopK int
+	// WorkerParallelism is the executor parallelism forwarded to each
+	// worker (0 lets the worker default to its own core count).
+	WorkerParallelism int
+	// Dataset names the dataset each worker must run against (the
+	// shard endpoint's ?dataset= parameter; empty = the worker's
+	// default).
+	Dataset string
+	// LeaseTimeout bounds one shard attempt end to end: dispatch,
+	// remote execution, and streaming the records back. An attempt that
+	// outlives its lease is abandoned and the shard requeued (default
+	// 5m).
+	LeaseTimeout time.Duration
+	// MaxAttempts bounds how many times one shard is tried before the
+	// run fails (default 3).
+	MaxAttempts int
+	// Backoff is the base delay before a shard's second attempt,
+	// doubling per subsequent attempt (default 200ms).
+	Backoff time.Duration
+	// EvictAfter drops a worker from the fleet after this many
+	// consecutive failed attempts (default 3). Its queued work is
+	// reassigned to the remaining workers; when the last worker is
+	// evicted the run fails.
+	EvictAfter int
+	// Checkpoint, when set, spools every completed shard before it
+	// merges, and Run replays already-spooled shards instead of
+	// executing them.
+	Checkpoint *Checkpoint
+	// Client overrides the HTTP client (tests; default is a dedicated
+	// client with no global timeout — the lease context bounds each
+	// attempt).
+	Client *http.Client
+	// OnImpact receives every record strictly in global scenario index
+	// order, exactly like the single-process executor's hook. Returning
+	// an error aborts the run.
+	OnImpact func(*sweep.Impact) error
+	// OnShardDone, when set, observes each shard trailer as it merges
+	// (first delivery only), with the worker that ran it. Calls are
+	// serialized.
+	OnShardDone func(worker string, d ShardDone)
+}
+
+func (o Options) shardSize() int {
+	if o.ShardSize <= 0 {
+		return DefaultShardSize
+	}
+	return o.ShardSize
+}
+
+func (o Options) leaseTimeout() time.Duration {
+	if o.LeaseTimeout <= 0 {
+		return 5 * time.Minute
+	}
+	return o.LeaseTimeout
+}
+
+func (o Options) maxAttempts() int {
+	if o.MaxAttempts <= 0 {
+		return 3
+	}
+	return o.MaxAttempts
+}
+
+func (o Options) backoff() time.Duration {
+	if o.Backoff <= 0 {
+		return 200 * time.Millisecond
+	}
+	return o.Backoff
+}
+
+func (o Options) evictAfter() int {
+	if o.EvictAfter <= 0 {
+		return 3
+	}
+	return o.EvictAfter
+}
+
+// job is one shard's place in the dispatch queue.
+type job struct {
+	shard Shard
+	// attempts counts dispatches so far; lastWorker is who failed it
+	// (reassignment accounting).
+	attempts   int
+	lastWorker string
+}
+
+// Run executes the spec's scenarios across the worker fleet and
+// returns the same aggregate a single-process sweep.Run would. The
+// scenarios slice must be the coordinator's own deterministic expansion
+// of spec (sweep.Expand) — it defines the global order records merge
+// into and the names each worker's records are verified against.
+//
+// Failure model: a shard attempt that times out, hits a transport
+// error, or streams back truncated (no trailer) is requeued with
+// backoff and picked up by any live worker, up to MaxAttempts; a worker
+// with EvictAfter consecutive failures is dropped and its work
+// reassigned. A 4xx from a worker (bad spec, range out of bounds,
+// dataset mismatch) is permanent and fails the run immediately. The
+// merge is exactly-once per shard regardless of retry races.
+func Run(ctx context.Context, spec sweep.Spec, scenarios []simulate.Scenario, opts Options) (*sweep.Aggregate, error) {
+	if len(scenarios) == 0 {
+		return nil, errors.New("dsweep: no scenarios")
+	}
+	if len(opts.Workers) == 0 {
+		return nil, errors.New("dsweep: no workers")
+	}
+	workers := make([]string, 0, len(opts.Workers))
+	for _, w := range opts.Workers {
+		u, err := workerURL(w, opts.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		workers = append(workers, u)
+	}
+	shards := Partition(len(scenarios), opts.shardSize())
+
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	m := newMerger(opts.TopK, opts.OnImpact, func(err error) { cancel(err) })
+
+	// Replay checkpointed shards through the same merge path a live
+	// delivery takes — the resumed run's output stays byte-identical.
+	todo := make([]Shard, 0, len(shards))
+	if cp := opts.Checkpoint; cp != nil && cp.CompletedCount() > 0 {
+		_, span := obs.StartSpan(runCtx, "dsweep:replay")
+		replayed := 0
+		for _, sh := range shards {
+			if !cp.Has(sh.Index) {
+				todo = append(todo, sh)
+				continue
+			}
+			recs, err := cp.ReadShard(sh.Index)
+			if err != nil {
+				return nil, err
+			}
+			if err := verifyShardRecords(recs, sh, scenarios); err != nil {
+				return nil, fmt.Errorf("dsweep: checkpoint spool for shard %d is not this sweep's (remove the checkpoint directory to start over): %w", sh.Index, err)
+			}
+			m.deliver(sh.Index, recs)
+			mShardsReplayed.Inc()
+			replayed++
+		}
+		span.End()
+		slog.Info("dsweep: resumed from checkpoint",
+			"replayed_shards", replayed, "remaining_shards", len(todo))
+	} else {
+		todo = shards
+	}
+	if m.sinkErr != nil {
+		return nil, fmt.Errorf("dsweep: emitting record: %w", m.sinkErr)
+	}
+	if len(todo) == 0 {
+		return m.agg.Aggregate(), nil
+	}
+
+	// The queue holds at most one entry per shard (a job is either
+	// queued or held by exactly one worker loop), so the buffer makes
+	// requeues non-blocking.
+	jobs := make(chan job, len(shards))
+	for _, sh := range todo {
+		jobs <- job{shard: sh}
+	}
+
+	c := &dispatcher{
+		spec:        spec,
+		scenarios:   scenarios,
+		opts:        opts,
+		http:        opts.Client,
+		merge:       m,
+		jobs:        jobs,
+		done:        make(chan struct{}),
+		cancel:      cancel,
+		workerStats: make(map[string]workerMetrics, len(workers)),
+	}
+	if c.http == nil {
+		c.http = &http.Client{}
+	}
+	c.remaining.Store(int64(len(todo)))
+	c.live.Store(int64(len(workers)))
+	for _, w := range workers {
+		c.workerStats[w] = newWorkerMetrics(w)
+	}
+
+	dispatchCtx, span := obs.StartSpan(runCtx, "dsweep:dispatch")
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			c.workerLoop(dispatchCtx, addr)
+		}(w)
+	}
+	wg.Wait()
+	span.End()
+
+	if err := m.sinkErr; err != nil {
+		return nil, fmt.Errorf("dsweep: emitting record: %w", err)
+	}
+	if c.remaining.Load() > 0 {
+		if cause := context.Cause(runCtx); cause != nil {
+			return nil, cause
+		}
+		return nil, errors.New("dsweep: workers exited with shards remaining")
+	}
+	return m.agg.Aggregate(), nil
+}
+
+// dispatcher is the coordinator's shared dispatch state.
+type dispatcher struct {
+	spec      sweep.Spec
+	scenarios []simulate.Scenario
+	opts      Options
+	http      *http.Client
+	merge     *merger
+	jobs      chan job
+	// done closes when the last shard merges; idle workers exit on it.
+	done      chan struct{}
+	cancel    context.CancelCauseFunc
+	remaining atomic.Int64
+	live      atomic.Int64
+	seq       atomic.Int64
+
+	workerStats map[string]workerMetrics
+}
+
+// workerLoop pulls shards for one worker until the run completes, the
+// context dies, or the worker is evicted.
+func (c *dispatcher) workerLoop(ctx context.Context, addr string) {
+	wm := c.workerStats[addr]
+	consecutive := 0
+	for {
+		var j job
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.done:
+			return
+		case j = <-c.jobs:
+		}
+		if j.lastWorker != "" && j.lastWorker != addr {
+			mShardsReassigned.Inc()
+		}
+		j.attempts++
+		seq := int(c.seq.Add(1))
+		mShardsDispatched.Inc()
+		wm.shards.Inc()
+		start := time.Now()
+		_, span := obs.StartSpan(ctx, fmt.Sprintf("shard%03d@%s", j.shard.Index, addr))
+		recs, trailer, err := c.runShard(ctx, addr, j.shard, seq)
+		span.End()
+		wm.seconds.ObserveSince(start)
+
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			var perm *PermanentError
+			if errors.As(err, &perm) {
+				c.cancel(fmt.Errorf("dsweep: worker %s rejected shard %d: %w", addr, j.shard.Index, err))
+				return
+			}
+			mShardsRetried.Inc()
+			consecutive++
+			slog.Warn("dsweep: shard attempt failed",
+				"worker", addr, "shard", j.shard.Index,
+				"attempt", j.attempts, "err", err)
+			if j.attempts >= c.opts.maxAttempts() {
+				c.cancel(fmt.Errorf("dsweep: shard %d [%d,%d) failed after %d attempts: %w",
+					j.shard.Index, j.shard.Start, j.shard.End, j.attempts, err))
+				return
+			}
+			j.lastWorker = addr
+			if !sleepCtx(ctx, backoffDelay(c.opts.backoff(), j.attempts)) {
+				c.jobs <- j // let a live worker pick it up even as we die
+				return
+			}
+			c.jobs <- j
+			if consecutive >= c.opts.evictAfter() {
+				mWorkersEvicted.Inc()
+				slog.Warn("dsweep: worker evicted", "worker", addr, "consecutive_failures", consecutive)
+				if c.live.Add(-1) == 0 {
+					c.cancel(fmt.Errorf("dsweep: every worker evicted (last: %s after %d consecutive failures)", addr, consecutive))
+				}
+				return
+			}
+			continue
+		}
+		consecutive = 0
+
+		// Spool before merging: once a shard is visible in the
+		// checkpoint it must also be in the output of this run.
+		if cp := c.opts.Checkpoint; cp != nil {
+			if err := cp.WriteShard(j.shard.Index, recs); err != nil {
+				c.cancel(err)
+				return
+			}
+		}
+		if dup := c.merge.deliver(j.shard.Index, recs); !dup {
+			mShardsCompleted.Inc()
+			if c.opts.OnShardDone != nil {
+				c.merge.mu.Lock() // serialize the observer like the sink
+				c.opts.OnShardDone(addr, *trailer)
+				c.merge.mu.Unlock()
+			}
+			if c.remaining.Add(-1) == 0 {
+				close(c.done)
+			}
+		}
+	}
+}
+
+// runShard executes one shard attempt against one worker and returns
+// the verified records and trailer.
+func (c *dispatcher) runShard(ctx context.Context, addr string, sh Shard, seq int) ([]*sweep.Impact, *ShardDone, error) {
+	leaseCtx, cancelLease := context.WithTimeout(ctx, c.opts.leaseTimeout())
+	defer cancelLease()
+
+	body, err := json.Marshal(ShardRequest{
+		Spec:        c.spec,
+		Start:       sh.Start,
+		End:         sh.End,
+		Seq:         seq,
+		ExpectTotal: len(c.scenarios),
+		TopShifts:   c.opts.TopShifts,
+		Workers:     c.opts.WorkerParallelism,
+	})
+	if err != nil {
+		return nil, nil, &PermanentError{Err: fmt.Errorf("encoding request: %w", err)}
+	}
+	req, err := http.NewRequestWithContext(leaseCtx, http.MethodPost, addr, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, &PermanentError{Err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		err := fmt.Errorf("worker returned %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 &&
+			resp.StatusCode != http.StatusRequestTimeout && resp.StatusCode != http.StatusTooManyRequests {
+			return nil, nil, &PermanentError{Err: err}
+		}
+		return nil, nil, err
+	}
+
+	recs := make([]*sweep.Impact, 0, sh.End-sh.Start)
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line wireLine
+		if err := dec.Decode(&line); err != nil {
+			// io.EOF without a trailer means the worker died mid-shard.
+			return nil, nil, fmt.Errorf("shard stream truncated after %d of %d records: %w",
+				len(recs), sh.End-sh.Start, err)
+		}
+		if line.ShardDone != nil {
+			d := line.ShardDone
+			if d.Start != sh.Start || d.End != sh.End || d.Records != len(recs) {
+				return nil, nil, fmt.Errorf("shard trailer mismatch: trailer says [%d,%d) %d records, stream carried [%d,%d) %d",
+					d.Start, d.End, d.Records, sh.Start, sh.End, len(recs))
+			}
+			return recs, d, nil
+		}
+		imp := line.Impact
+		want := sh.Start + len(recs)
+		if want >= sh.End {
+			return nil, nil, fmt.Errorf("worker streamed more than %d records for shard [%d,%d)", sh.End-sh.Start, sh.Start, sh.End)
+		}
+		if imp.Index != want {
+			return nil, nil, fmt.Errorf("record out of order: index %d, want %d", imp.Index, want)
+		}
+		if imp.Name != c.scenarios[want].Name {
+			return nil, nil, &PermanentError{Err: fmt.Errorf(
+				"scenario universe mismatch at index %d: worker ran %q, coordinator expects %q (is the fleet on the same dataset?)",
+				want, imp.Name, c.scenarios[want].Name)}
+		}
+		recs = append(recs, &imp)
+	}
+}
+
+// verifyShardRecords checks a replayed spool covers exactly its shard's
+// range with the expected scenario names.
+func verifyShardRecords(recs []*sweep.Impact, sh Shard, scenarios []simulate.Scenario) error {
+	if len(recs) != sh.End-sh.Start {
+		return fmt.Errorf("spool holds %d records, shard covers %d", len(recs), sh.End-sh.Start)
+	}
+	for i, imp := range recs {
+		want := sh.Start + i
+		if imp.Index != want || imp.Name != scenarios[want].Name {
+			return fmt.Errorf("record %d is (index=%d, name=%q), want (index=%d, name=%q)",
+				i, imp.Index, imp.Name, want, scenarios[want].Name)
+		}
+	}
+	return nil
+}
+
+// workerURL normalizes a fleet entry to the shard endpoint URL.
+func workerURL(addr, dataset string) (string, error) {
+	s := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil || u.Host == "" {
+		return "", fmt.Errorf("dsweep: bad worker address %q", addr)
+	}
+	u.Path = strings.TrimSuffix(u.Path, "/") + "/sweep/shard"
+	if dataset != "" {
+		q := u.Query()
+		q.Set("dataset", dataset)
+		u.RawQuery = q.Encode()
+	}
+	return u.String(), nil
+}
+
+// backoffDelay doubles the base per completed attempt, capped at 30s.
+func backoffDelay(base time.Duration, attempts int) time.Duration {
+	d := base
+	for i := 1; i < attempts && d < 30*time.Second; i++ {
+		d *= 2
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// sleepCtx waits d or until ctx dies; false means interrupted.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,85 @@
+package dsweep
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/policyscope/policyscope/internal/sweep"
+)
+
+// merger re-serializes complete shards into strict shard-index order
+// before their records reach the aggregator and the caller's sink. It
+// is the distributed analogue of the executor's emitter, at shard
+// granularity: deliver is called with a whole shard's records at once
+// (a shard is only delivered after its trailer validated), so within a
+// shard the records are already ordered and between shards ordering by
+// shard index restores the global scenario order.
+//
+// deliver is also the exactly-once guard: the first complete delivery
+// of a shard wins and any later duplicate — a slow first attempt
+// finishing after its retry already merged — is discarded whole.
+type merger struct {
+	mu sync.Mutex
+	// next is the lowest shard index not yet released downstream.
+	next int
+	// pending holds delivered-but-not-yet-released shards.
+	pending map[int][]*sweep.Impact
+	// delivered marks shard indices that already merged (exactly-once).
+	delivered map[int]bool
+	agg       *sweep.Aggregator
+	sink      func(*sweep.Impact) error
+	sinkErr   error
+	// fail aborts the run (used when the sink errors — e.g. the
+	// coordinator's output file went away).
+	fail func(error)
+}
+
+func newMerger(topK int, sink func(*sweep.Impact) error, fail func(error)) *merger {
+	return &merger{
+		pending:   make(map[int][]*sweep.Impact),
+		delivered: make(map[int]bool),
+		agg:       sweep.NewAggregator(topK),
+		sink:      sink,
+		fail:      fail,
+	}
+}
+
+// deliver hands a complete shard's records to the merger. It returns
+// true when the shard was a duplicate (already merged) and was
+// discarded. Safe for concurrent use.
+func (m *merger) deliver(shard int, recs []*sweep.Impact) (dup bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.delivered[shard] {
+		mShardDuplicates.Inc()
+		return true
+	}
+	m.delivered[shard] = true
+	m.pending[shard] = recs
+	for {
+		ready, ok := m.pending[m.next]
+		if !ok {
+			return false
+		}
+		delete(m.pending, m.next)
+		m.next++
+		for _, imp := range ready {
+			m.agg.Add(imp)
+			if m.sink != nil && m.sinkErr == nil {
+				if err := m.sink(imp); err != nil {
+					m.sinkErr = err
+					if m.fail != nil {
+						m.fail(fmt.Errorf("dsweep: emitting record: %w", err))
+					}
+				}
+			}
+		}
+	}
+}
+
+// mergedShards reports how many shards have been released downstream.
+func (m *merger) mergedShards() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.next
+}

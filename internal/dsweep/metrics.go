@@ -1,0 +1,44 @@
+package dsweep
+
+import "github.com/policyscope/policyscope/obs"
+
+// Coordinator metrics. Dispatch minus completed is in-flight work;
+// retries and reassignments rising faster than dispatches means the
+// fleet is unhealthy; duplicates count the (benign) races where a slow
+// attempt finished after its replacement. The per-worker vectors make a
+// straggler visible: one worker's shard latency histogram pulling away
+// from the fleet's is the signal to evict or rebalance.
+var (
+	mShardsDispatched = obs.NewCounter("policyscope_dsweep_shards_dispatched_total",
+		"Shard attempts dispatched to workers (retries included).")
+	mShardsCompleted = obs.NewCounter("policyscope_dsweep_shards_completed_total",
+		"Shards completed and merged into the global stream.")
+	mShardsRetried = obs.NewCounter("policyscope_dsweep_shard_retries_total",
+		"Shard attempts that failed (timeout, transport error, truncated stream) and were requeued.")
+	mShardsReassigned = obs.NewCounter("policyscope_dsweep_shards_reassigned_total",
+		"Requeued shards picked up by a different worker than the one that failed them.")
+	mShardsReplayed = obs.NewCounter("policyscope_dsweep_shards_replayed_total",
+		"Shards restored from a checkpoint spool instead of executed.")
+	mShardDuplicates = obs.NewCounter("policyscope_dsweep_shard_duplicates_total",
+		"Duplicate shard deliveries discarded by the exactly-once merge guard.")
+	mWorkersEvicted = obs.NewCounter("policyscope_dsweep_workers_evicted_total",
+		"Workers dropped from the fleet after consecutive failures.")
+	mWorkerShards = obs.NewCounterVec("policyscope_dsweep_worker_shards_total",
+		"Shard attempts by worker address.", "worker")
+	mWorkerShardSeconds = obs.NewHistogramVec("policyscope_dsweep_worker_shard_seconds",
+		"Per-shard round trip by worker address, dispatch to validated trailer.", nil, "worker")
+)
+
+// workerMetrics holds one worker's pre-resolved metric children —
+// resolved once at Run start, never in the dispatch loop.
+type workerMetrics struct {
+	shards  *obs.Counter
+	seconds *obs.Histogram
+}
+
+func newWorkerMetrics(addr string) workerMetrics {
+	return workerMetrics{
+		shards:  mWorkerShards.With(addr),
+		seconds: mWorkerShardSeconds.With(addr),
+	}
+}

@@ -76,26 +76,34 @@ var histBounds = []struct {
 	{"1000+", 1000},
 }
 
-// aggregator folds Impact records (in index order) into an Aggregate.
-type aggregator struct {
+// Aggregator folds Impact records into an Aggregate, online. Records
+// must be Added in scenario index order — the top-k tie-break relies on
+// it. The executor feeds one through its emitter; the distributed
+// coordinator reuses the same type so a merged fleet run aggregates
+// exactly like a single process. Not safe for concurrent use.
+type Aggregator struct {
 	agg   Aggregate
 	hist  []int
 	peers map[bgp.ASN]*PeerSummary
 	topK  int
 }
 
-func newAggregator(topK int) *aggregator {
+// NewAggregator returns an empty Aggregator keeping top-k lists of k
+// entries (k <= 0 selects the default of 10).
+func NewAggregator(topK int) *Aggregator {
 	if topK <= 0 {
 		topK = 10
 	}
-	return &aggregator{
+	return &Aggregator{
 		hist:  make([]int, len(histBounds)),
 		peers: make(map[bgp.ASN]*PeerSummary),
 		topK:  topK,
 	}
 }
 
-func (a *aggregator) add(imp *Impact) {
+// Add folds one record. Callers must add records in ascending scenario
+// index order.
+func (a *Aggregator) Add(imp *Impact) {
 	a.agg.Scenarios++
 	if imp.Error != "" {
 		a.agg.Errors++
@@ -157,8 +165,9 @@ func topInsert(list []CriticalScenario, e CriticalScenario, k int, metric func(C
 	return list
 }
 
-// aggregate finalizes the summary.
-func (a *aggregator) aggregate() *Aggregate {
+// Aggregate finalizes the summary. The Aggregator remains usable; a
+// later Add is reflected in the next call.
+func (a *Aggregator) Aggregate() *Aggregate {
 	out := a.agg
 	out.Histogram = make([]HistogramBucket, len(histBounds))
 	for i, b := range histBounds {

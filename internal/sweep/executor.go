@@ -30,7 +30,18 @@ type Options struct {
 	// it drains (calls may interleave across workers; the receiver
 	// serializes). cmd/sweep logs these and the executor benchmarks
 	// derive parallel efficiency from them.
+	//
+	// Delivery is guaranteed for every effective worker before Run
+	// returns — including when the run ends early on context
+	// cancellation or a sink abort — so a canceled sweep still reports
+	// the utilization of the work it did complete. Pinned by
+	// TestRunCancellationFlushesWorkerStats.
 	OnWorkerDone func(WorkerStats)
+	// BaseIndex offsets every record's Index (and the indices inside the
+	// aggregate's top-k lists). A distributed shard worker runs
+	// scenarios[start:end) with BaseIndex=start so its records carry
+	// global scenario indices; zero for whole-sweep runs.
+	BaseIndex int
 }
 
 // WorkerStats summarizes one sweep worker's run.
@@ -91,7 +102,7 @@ func Run(ctx context.Context, base *simulate.Engine, scenarios []simulate.Scenar
 	topShifts := opts.topShifts()
 
 	em := &emitter{
-		agg:     newAggregator(opts.TopK),
+		agg:     NewAggregator(opts.TopK),
 		pending: make(map[int]*Impact),
 		sink:    opts.OnImpact,
 	}
@@ -107,6 +118,10 @@ func Run(ctx context.Context, base *simulate.Engine, scenarios []simulate.Scenar
 			defer wg.Done()
 			var eng *simulate.Engine
 			ws := WorkerStats{Worker: worker}
+			// Deferred unconditionally (and registered after wg.Done, so
+			// it runs first): partial stats flush on every exit path —
+			// queue drained, context canceled, sink aborted — before
+			// wg.Wait can release Run.
 			defer func() {
 				mWorkerBusySeconds.Observe(ws.Busy.Seconds())
 				if opts.OnWorkerDone != nil {
@@ -174,7 +189,7 @@ func Run(ctx context.Context, base *simulate.Engine, scenarios []simulate.Scenar
 				ws.Scenarios++
 				mSweepScenarios.Inc()
 				mScenarioSeconds.Observe(el.Seconds())
-				imp.Index = i
+				imp.Index = opts.BaseIndex + i
 				em.emit(i, imp)
 			}
 		}(w)
@@ -186,7 +201,7 @@ func Run(ctx context.Context, base *simulate.Engine, scenarios []simulate.Scenar
 	if err := em.sinkErr; err != nil {
 		return nil, fmt.Errorf("sweep: emitting record: %w", err)
 	}
-	return em.agg.aggregate(), nil
+	return em.agg.Aggregate(), nil
 }
 
 // emitter re-serializes out-of-order worker completions into strict
@@ -196,7 +211,7 @@ type emitter struct {
 	mu       sync.Mutex
 	pending  map[int]*Impact
 	nextEmit int
-	agg      *aggregator
+	agg      *Aggregator
 	sink     func(*Impact) error
 	sinkErr  error
 	abort    atomic.Bool
@@ -215,7 +230,7 @@ func (em *emitter) emit(i int, imp *Impact) {
 		}
 		delete(em.pending, em.nextEmit)
 		em.nextEmit++
-		em.agg.add(ready)
+		em.agg.Add(ready)
 		if em.sink != nil && em.sinkErr == nil {
 			if err := em.sink(ready); err != nil {
 				em.sinkErr = err

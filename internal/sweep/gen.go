@@ -20,6 +20,9 @@ import (
 // chunks within a family — hijack and flip grids over a large topology
 // expand to (prefix × AS) products worth interrupting.
 func Expand(ctx context.Context, topo *topogen.Topology, sp Spec) ([]simulate.Scenario, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
 	var out []simulate.Scenario
 	for gi, g := range sp.Generators {
 		if err := ctx.Err(); err != nil {
@@ -27,7 +30,7 @@ func Expand(ctx context.Context, topo *topogen.Topology, sp Spec) ([]simulate.Sc
 		}
 		scs, err := expandOne(ctx, topo, g)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: generator %d (%s): %w", gi, g.Kind, err)
+			return nil, &GeneratorError{Index: gi, Kind: g.Kind, Err: err}
 		}
 		if g.Max > 0 && len(scs) > g.Max {
 			scs = scs[:g.Max]

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"github.com/policyscope/policyscope/internal/bgp"
 	"github.com/policyscope/policyscope/internal/simulate"
@@ -326,15 +328,80 @@ func TestRunCancellation(t *testing.T) {
 	}
 }
 
+// TestRunCancellationFlushesWorkerStats pins the partial-stats
+// guarantee: a canceled sweep still delivers OnWorkerDone exactly once
+// per effective worker before Run returns, and the delivered stats
+// cover at least the emitted records — utilization of a half-finished
+// run is never reported as zero. (Per-worker counts are NOT asserted
+// nonzero: on a single-core runner one worker can legitimately drain
+// the whole queue before another is scheduled.)
+func TestRunCancellationFlushesWorkerStats(t *testing.T) {
+	topo, opts := buildTestTopo(t, 60, 7)
+	base := newBase(t, topo, opts)
+	scenarios, err := Expand(context.Background(), topo, Spec{Generators: []Generator{
+		{Kind: KindAllSingleLinkFailures},
+	}})
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const workers = 2
+	var (
+		mu      sync.Mutex
+		emitted int
+		stats   []WorkerStats
+	)
+	_, err = Run(ctx, base, scenarios, Options{
+		Workers: workers,
+		OnImpact: func(*Impact) error {
+			emitted++
+			if emitted == 5 {
+				cancel()
+			}
+			return nil
+		},
+		OnWorkerDone: func(ws WorkerStats) {
+			mu.Lock()
+			stats = append(stats, ws)
+			mu.Unlock()
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if len(stats) != workers {
+		t.Fatalf("OnWorkerDone delivered %d times, want once per worker (%d): %+v",
+			len(stats), workers, stats)
+	}
+	seen := make(map[int]bool)
+	totalScenarios, totalBusy := 0, time.Duration(0)
+	for _, ws := range stats {
+		if seen[ws.Worker] {
+			t.Fatalf("worker %d reported twice: %+v", ws.Worker, stats)
+		}
+		seen[ws.Worker] = true
+		totalScenarios += ws.Scenarios
+		totalBusy += ws.Busy
+	}
+	if totalScenarios < emitted || totalScenarios == 0 {
+		t.Fatalf("flushed stats cover %d scenarios, want >= %d emitted", totalScenarios, emitted)
+	}
+	if totalBusy <= 0 {
+		t.Fatalf("canceled sweep reported zero utilization: %+v", stats)
+	}
+}
+
 func TestAggregatorShape(t *testing.T) {
-	agg := newAggregator(2)
+	agg := NewAggregator(2)
 	for i, shifted := range []int{5, 0, 120, 5, 3000} {
-		agg.add(&Impact{Index: i, Name: fmt.Sprintf("s%d", i), ShiftedASes: shifted,
+		agg.Add(&Impact{Index: i, Name: fmt.Sprintf("s%d", i), ShiftedASes: shifted,
 			LostReachPairs: shifted / 2,
 			PeerChanges:    []PeerChange{{Peer: 64512, Prefixes: 1 + i}}})
 	}
-	agg.add(&Impact{Index: 5, Name: "bad", Error: "nope"})
-	out := agg.aggregate()
+	agg.Add(&Impact{Index: 5, Name: "bad", Error: "nope"})
+	out := agg.Aggregate()
 	if out.Scenarios != 6 || out.Errors != 1 || out.ScenariosWithImpact != 4 {
 		t.Fatalf("totals wrong: %+v", out)
 	}
@@ -351,11 +418,11 @@ func TestAggregatorShape(t *testing.T) {
 		t.Fatalf("peer summary wrong: %+v", out.Peers)
 	}
 	// Ties keep the earlier index.
-	tie := newAggregator(2)
-	tie.add(&Impact{Index: 0, Name: "a", ShiftedASes: 7})
-	tie.add(&Impact{Index: 1, Name: "b", ShiftedASes: 7})
-	tie.add(&Impact{Index: 2, Name: "c", ShiftedASes: 7})
-	if got := tie.aggregate().TopByShift; got[0].Index != 0 || got[1].Index != 1 {
+	tie := NewAggregator(2)
+	tie.Add(&Impact{Index: 0, Name: "a", ShiftedASes: 7})
+	tie.Add(&Impact{Index: 1, Name: "b", ShiftedASes: 7})
+	tie.Add(&Impact{Index: 2, Name: "c", ShiftedASes: 7})
+	if got := tie.Aggregate().TopByShift; got[0].Index != 0 || got[1].Index != 1 {
 		t.Fatalf("tie-break wrong: %+v", got)
 	}
 }

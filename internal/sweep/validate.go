@@ -1,0 +1,85 @@
+package sweep
+
+import "fmt"
+
+// GeneratorError pinpoints the spec entry behind a failed validation or
+// expansion: the generator's position in Spec.Generators and its family
+// kind, wrapping the underlying cause. Servers surface it as a 422 whose
+// message names exactly which entry to fix — a multi-family spec no
+// longer fails with a bare "requires \"attackers\"" that could be any of
+// its entries.
+//
+// The message shape is pinned by test:
+//
+//	sweep: generator 2 (hijacks): requires "attackers"
+type GeneratorError struct {
+	// Index is the generator's position in Spec.Generators.
+	Index int
+	// Kind is the entry's declared family kind (possibly unknown).
+	Kind string
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *GeneratorError) Error() string {
+	return fmt.Sprintf("sweep: generator %d (%s): %v", e.Index, e.Kind, e.Err)
+}
+
+func (e *GeneratorError) Unwrap() error { return e.Err }
+
+// Validate checks the spec's structure without a topology: every
+// generator kind is known and every family's required fields are
+// present. It is the cheap fail-fast gate servers run before paying for
+// a dataset build or scenario expansion; topology-dependent failures
+// (unknown AS, prefix not originated) still surface from Expand, wrapped
+// in the same *GeneratorError. A structurally empty spec is an error —
+// it can never expand to anything.
+func (sp Spec) Validate() error {
+	if len(sp.Generators) == 0 {
+		return fmt.Errorf("sweep: spec has no generators")
+	}
+	for i, g := range sp.Generators {
+		if err := g.validate(); err != nil {
+			return &GeneratorError{Index: i, Kind: g.Kind, Err: err}
+		}
+	}
+	return nil
+}
+
+// validate checks the topology-independent requirements of one entry.
+// The messages match the ones the expansion functions produce for the
+// same faults, so callers see one shape regardless of which layer
+// rejected the entry first.
+func (g Generator) validate() error {
+	switch g.Kind {
+	case KindAllSingleLinkFailures, KindPrefixWithdrawals, KindNoUpstreamFlips:
+		return nil
+	case KindAllProviderDepeerings:
+		if g.AS == 0 {
+			return fmt.Errorf("requires a target \"as\"")
+		}
+	case KindHijacks:
+		if len(g.Attackers) == 0 {
+			return fmt.Errorf("requires \"attackers\"")
+		}
+	case KindLocalPrefFlips:
+		if g.AS == 0 {
+			return fmt.Errorf("requires a target \"as\"")
+		}
+		if len(g.Values) == 0 {
+			return fmt.Errorf("requires \"values\"")
+		}
+	case KindScenarios:
+		if len(g.Scenarios) == 0 {
+			return fmt.Errorf("no scenarios listed")
+		}
+		for i, sc := range g.Scenarios {
+			if len(sc.Events) == 0 {
+				return fmt.Errorf("scenario %d has no events", i)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown generator kind %q", g.Kind)
+	}
+	return nil
+}

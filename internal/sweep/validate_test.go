@@ -1,0 +1,119 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/policyscope/policyscope/internal/bgp"
+)
+
+// TestValidateNamesGenerator pins the satellite contract: a bad spec
+// entry is reported as a *GeneratorError naming the entry's index and
+// family kind, with the exact message shape clients (and the server's
+// 422 bodies) rely on.
+func TestValidateNamesGenerator(t *testing.T) {
+	cases := []struct {
+		name      string
+		spec      Spec
+		wantIndex int
+		wantKind  string
+		wantMsg   string
+	}{
+		{
+			name: "unknownKind",
+			spec: Spec{Generators: []Generator{
+				{Kind: KindAllSingleLinkFailures},
+				{Kind: "nope"},
+			}},
+			wantIndex: 1,
+			wantKind:  "nope",
+			wantMsg:   `sweep: generator 1 (nope): unknown generator kind "nope"`,
+		},
+		{
+			name: "hijackNoAttackers",
+			spec: Spec{Generators: []Generator{
+				{Kind: KindAllSingleLinkFailures},
+				{Kind: KindPrefixWithdrawals},
+				{Kind: KindHijacks},
+			}},
+			wantIndex: 2,
+			wantKind:  KindHijacks,
+			wantMsg:   `sweep: generator 2 (hijacks): requires "attackers"`,
+		},
+		{
+			name:      "depeerNoAS",
+			spec:      Spec{Generators: []Generator{{Kind: KindAllProviderDepeerings}}},
+			wantIndex: 0,
+			wantKind:  KindAllProviderDepeerings,
+			wantMsg:   `sweep: generator 0 (all_provider_depeerings): requires a target "as"`,
+		},
+		{
+			name:      "flipNoValues",
+			spec:      Spec{Generators: []Generator{{Kind: KindLocalPrefFlips, AS: 64512}}},
+			wantIndex: 0,
+			wantKind:  KindLocalPrefFlips,
+			wantMsg:   `sweep: generator 0 (local_pref_flips): requires "values"`,
+		},
+		{
+			name:      "emptyScenarioList",
+			spec:      Spec{Generators: []Generator{{Kind: KindScenarios}}},
+			wantIndex: 0,
+			wantKind:  KindScenarios,
+			wantMsg:   `sweep: generator 0 (scenarios): no scenarios listed`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			var ge *GeneratorError
+			if !errors.As(err, &ge) {
+				t.Fatalf("want *GeneratorError, got %T: %v", err, err)
+			}
+			if ge.Index != tc.wantIndex || ge.Kind != tc.wantKind {
+				t.Fatalf("got index=%d kind=%q, want index=%d kind=%q",
+					ge.Index, ge.Kind, tc.wantIndex, tc.wantKind)
+			}
+			if err.Error() != tc.wantMsg {
+				t.Fatalf("message shape changed:\n got %q\nwant %q", err.Error(), tc.wantMsg)
+			}
+		})
+	}
+
+	if err := (Spec{}).Validate(); err == nil {
+		t.Fatal("empty spec must not validate")
+	}
+	ok := Spec{Generators: []Generator{
+		{Kind: KindAllSingleLinkFailures},
+		{Kind: KindHijacks, Attackers: []bgp.ASN{64512}},
+		{Kind: KindLocalPrefFlips, AS: 64512, Values: []uint32{50}},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("well-formed spec rejected: %v", err)
+	}
+}
+
+// TestExpandWrapsTopologyErrors proves the topology-dependent failures
+// that only Expand can catch carry the same typed wrapper as structural
+// ones, so callers have one error surface.
+func TestExpandWrapsTopologyErrors(t *testing.T) {
+	topo, _ := buildTestTopo(t, 60, 5)
+	sp := Spec{Generators: []Generator{
+		{Kind: KindAllSingleLinkFailures},
+		{Kind: KindAllProviderDepeerings, AS: 65530}, // unknown AS: passes Validate, fails Expand
+	}}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("structural validation should pass: %v", err)
+	}
+	_, err := Expand(context.Background(), topo, sp)
+	var ge *GeneratorError
+	if !errors.As(err, &ge) {
+		t.Fatalf("want *GeneratorError, got %T: %v", err, err)
+	}
+	if ge.Index != 1 || ge.Kind != KindAllProviderDepeerings {
+		t.Fatalf("wrong generator named: %+v", ge)
+	}
+}

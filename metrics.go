@@ -17,10 +17,12 @@ var (
 		"Wall time of one experiment execution.", nil)
 
 	mMemo = obs.NewCounterVec("policyscope_session_memo_total",
-		"Session memo lookups by cache (persist = persistence series, infer = inference runs) and result.",
+		"Session memo lookups by cache (persist = persistence series, infer = inference runs, sweep_expand = sweep scenario expansions) and result.",
 		"cache", "result")
 	mMemoPersistHit  = mMemo.With("persist", "hit")
 	mMemoPersistMiss = mMemo.With("persist", "miss")
 	mMemoInferHit    = mMemo.With("infer", "hit")
 	mMemoInferMiss   = mMemo.With("infer", "miss")
+	mMemoSweepHit    = mMemo.With("sweep_expand", "hit")
+	mMemoSweepMiss   = mMemo.With("sweep_expand", "miss")
 )

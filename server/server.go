@@ -9,6 +9,7 @@
 //	POST /infer/{algo}       run one inference algorithm; body = algorithm params JSON
 //	POST /whatif             apply a scenario; body = scenario JSON
 //	POST /sweep              run a batch sweep; body = sweep request JSON
+//	POST /sweep/shard        run one shard of a distributed sweep (internal/dsweep protocol)
 //	GET  /healthz            liveness, default-dataset readiness, pool stats
 //	GET  /metrics            Prometheus text exposition of the obs registry
 //
@@ -74,6 +75,7 @@ func New(pool *dataset.Pool) *Server {
 	s.handle("POST /infer/{algo}", "infer", s.handleInfer)
 	s.handle("POST /whatif", "whatif", s.handleWhatIf)
 	s.handle("POST /sweep", "sweep", s.handleSweep)
+	s.handle("POST /sweep/shard", "sweep_shard", s.handleSweepShard)
 	s.handle("GET /healthz", "healthz", s.handleHealthz)
 	// The exposition endpoint bypasses the middleware so scraping does
 	// not inflate the request counters it reports.
@@ -374,6 +376,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("bad sweep request: %w", err))
+		return
+	}
+	// Structural spec validation is topology-free; reject a malformed
+	// spec (naming the offending generator) before paying for a dataset
+	// build.
+	if err := req.Spec.Validate(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	sess, ok := s.session(w, r)

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"github.com/policyscope/policyscope/internal/dsweep"
+	"github.com/policyscope/policyscope/internal/sweep"
+	"github.com/policyscope/policyscope/obs"
+)
+
+// handleSweepShard runs one contiguous slice of a sweep's deterministic
+// expansion — the worker half of the distributed coordinator protocol
+// (internal/dsweep). The body is a dsweep.ShardRequest; the response
+// streams the slice's Impact records as NDJSON, each carrying its
+// *global* scenario index, then one {"shard_done":{...}} trailer line.
+// The trailer is the stream-integrity signal: its absence tells the
+// coordinator this worker died mid-shard and the shard must be retried.
+//
+// Every rejection (bad spec, range out of bounds, expansion mismatch)
+// happens before the stream starts, as a 4xx the coordinator treats as
+// permanent. Spec validation runs before any dataset work so a
+// malformed spec fails in microseconds even on a cold worker.
+func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	var req dsweep.ShardRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("bad shard request: %w", err))
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if err := req.ValidateRange(-1); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	_, warmSpan := obs.StartSpan(r.Context(), "warm")
+	err = sess.Warm()
+	warmSpan.End()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	_, expandSpan := obs.StartSpan(r.Context(), "expand")
+	scenarios, err := sess.SweepScenariosCached(r.Context(), req.Spec)
+	expandSpan.End()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if req.ExpectTotal > 0 && req.ExpectTotal != len(scenarios) {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf(
+			"scenario universe mismatch: spec expands to %d scenarios here, coordinator expects %d (is this worker on the coordinator's dataset?)",
+			len(scenarios), req.ExpectTotal))
+		return
+	}
+	if err := req.ValidateRange(len(scenarios)); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var (
+		statsMu sync.Mutex
+		stats   []sweep.WorkerStats
+		records int
+	)
+	_, shardSpan := obs.StartSpan(r.Context(), fmt.Sprintf("shard[%d,%d)", req.Start, req.End))
+	defer shardSpan.End()
+	_, err = sess.Sweep(r.Context(), scenarios[req.Start:req.End], sweep.Options{
+		Workers:   req.Workers,
+		TopShifts: req.TopShifts,
+		BaseIndex: req.Start,
+		OnImpact: func(imp *sweep.Impact) error {
+			if err := enc.Encode(imp); err != nil {
+				return err
+			}
+			records++
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		},
+		OnWorkerDone: func(ws sweep.WorkerStats) {
+			statsMu.Lock()
+			stats = append(stats, ws)
+			statsMu.Unlock()
+		},
+	})
+	if err != nil {
+		// Mid-stream failure: end without a trailer so the coordinator
+		// sees a truncated shard and retries it.
+		return
+	}
+	// Worker drain order is nondeterministic; the trailer is not.
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Worker < stats[j].Worker })
+	_ = enc.Encode(struct {
+		ShardDone dsweep.ShardDone `json:"shard_done"`
+	}{ShardDone: dsweep.ShardDone{
+		Start:       req.Start,
+		End:         req.End,
+		Seq:         req.Seq,
+		Records:     records,
+		WorkerStats: stats,
+	}})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

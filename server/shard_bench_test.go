@@ -1,0 +1,112 @@
+package server
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	policyscope "github.com/policyscope/policyscope"
+	"github.com/policyscope/policyscope/dataset"
+	"github.com/policyscope/policyscope/internal/dsweep"
+	"github.com/policyscope/policyscope/internal/simulate"
+	"github.com/policyscope/policyscope/internal/sweep"
+)
+
+// benchFleet is the shared fixture for the distributed-overhead
+// benchmarks: one dataset pool serving a 300-AS study, the session the
+// single-process baseline sweeps directly, and two HTTP workers
+// (sharing the pool, like a fleet sharing a study cache) for the
+// coordinator. Built once — the study build dominates setup and must
+// not be attributed to either benchmark.
+var (
+	benchOnce sync.Once
+	benchErr  error
+	bench     struct {
+		sess      *policyscope.Session
+		spec      sweep.Spec
+		scenarios []simulate.Scenario
+		workers   []string
+		cleanup   []func()
+	}
+)
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := policyscope.Config{NumASes: 300, Seed: 11, CollectorPeers: 10, LookingGlassASes: 5}
+		src := dataset.NewSynthetic(cfg)
+		cat := dataset.NewCatalog()
+		if benchErr = cat.Register("bench", src); benchErr != nil {
+			return
+		}
+		pool := dataset.NewPool(cat, 1)
+		bench.sess, benchErr = pool.Session(context.Background(), "bench")
+		if benchErr != nil {
+			return
+		}
+		if benchErr = bench.sess.Warm(); benchErr != nil {
+			return
+		}
+		bench.spec = sweep.Spec{Generators: []sweep.Generator{{Kind: sweep.KindAllSingleLinkFailures, Max: 256}}}
+		topo, _, err := dataset.LoadTopology(context.Background(), src)
+		if err != nil {
+			benchErr = err
+			return
+		}
+		bench.scenarios, benchErr = sweep.Expand(context.Background(), topo, bench.spec)
+		if benchErr != nil {
+			return
+		}
+		srv := New(pool)
+		for i := 0; i < 2; i++ {
+			ts := httptest.NewServer(srv)
+			bench.cleanup = append(bench.cleanup, ts.Close)
+			bench.workers = append(bench.workers, ts.URL)
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+}
+
+// BenchmarkDSweepSingleProcess is the baseline: the in-process sharded
+// executor over the full scenario list. One op = the whole sweep.
+func BenchmarkDSweepSingleProcess(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.sess.Sweep(context.Background(), bench.scenarios, sweep.Options{Workers: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRecords(b)
+}
+
+// BenchmarkDSweepCoordinator runs the same sweep through the
+// distributed coordinator over two local HTTP workers — the number
+// bench_dsweep.sh gates against the single-process baseline: the fleet
+// protocol (shard dispatch, NDJSON round trip, re-serialization) must
+// not cost more than 20% of throughput even with zero network distance
+// and shared cores.
+func BenchmarkDSweepCoordinator(b *testing.B) {
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := dsweep.Run(context.Background(), bench.spec, bench.scenarios, dsweep.Options{
+			Workers:           bench.workers,
+			ShardSize:         32,
+			WorkerParallelism: 1,
+			Dataset:           "bench",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportRecords(b)
+}
+
+func reportRecords(b *testing.B) {
+	b.ReportMetric(float64(len(bench.scenarios)), "records")
+	b.ReportMetric(float64(len(bench.scenarios)*b.N)/b.Elapsed().Seconds(), "records/sec")
+}

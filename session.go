@@ -62,6 +62,14 @@ type Session struct {
 	// same way the lazy Gao gate shares one legacy inference.
 	inferMu   sync.Mutex
 	inferRuns map[inferKey]*inferEntry
+
+	// sweepExpand memoizes sweep spec expansions per canonical spec
+	// JSON, bounded FIFO: a distributed coordinator sends every shard of
+	// one sweep to this worker with the same spec, so only the first
+	// shard pays for generator enumeration.
+	sweepMu         sync.Mutex
+	sweepExpand     map[string]*sweepExpandEntry
+	sweepExpandFIFO []string
 }
 
 type persistEntry struct {
@@ -85,12 +93,25 @@ type inferEntry struct {
 	err  error
 }
 
+type sweepExpandEntry struct {
+	once sync.Once
+	scs  []simulate.Scenario
+	err  error
+}
+
+// maxSweepExpandMemo bounds the expansion memo: distinct concurrent
+// sweep specs per session are rare (one fleet runs one spec), so a few
+// entries cover the working set without letting a spec-fuzzing client
+// grow the map unboundedly.
+const maxSweepExpandMemo = 4
+
 // NewSession returns a session for cfg without doing any work yet.
 func NewSession(cfg Config) *Session {
 	return &Session{
-		cfg:       cfg,
-		persist:   make(map[persistKey]*persistEntry),
-		inferRuns: make(map[inferKey]*inferEntry),
+		cfg:         cfg,
+		persist:     make(map[persistKey]*persistEntry),
+		inferRuns:   make(map[inferKey]*inferEntry),
+		sweepExpand: make(map[string]*sweepExpandEntry),
 	}
 }
 
@@ -183,6 +204,59 @@ func (se *Session) SweepScenarios(ctx context.Context, spec sweep.Spec) ([]simul
 		return nil, err
 	}
 	return sweep.Expand(ctx, base.Topology(), spec)
+}
+
+// SweepScenariosCached is SweepScenarios behind a small per-session
+// memo keyed by the spec's canonical JSON. The shard endpoint uses it:
+// a distributed coordinator posts every shard of one sweep with the
+// same spec, and expansion over a large topology is real work worth
+// paying once per fleet member, not once per shard. Errors are not
+// cached (a canceled expansion must not poison later shards). The
+// returned slice is shared — callers must not mutate it.
+func (se *Session) SweepScenariosCached(ctx context.Context, spec sweep.Spec) ([]simulate.Scenario, error) {
+	canon, err := json.Marshal(spec)
+	if err != nil {
+		return se.SweepScenarios(ctx, spec)
+	}
+	key := string(canon)
+	se.sweepMu.Lock()
+	entry, ok := se.sweepExpand[key]
+	if !ok {
+		entry = &sweepExpandEntry{}
+		if len(se.sweepExpandFIFO) >= maxSweepExpandMemo {
+			oldest := se.sweepExpandFIFO[0]
+			se.sweepExpandFIFO = se.sweepExpandFIFO[1:]
+			delete(se.sweepExpand, oldest)
+		}
+		se.sweepExpand[key] = entry
+		se.sweepExpandFIFO = append(se.sweepExpandFIFO, key)
+	}
+	se.sweepMu.Unlock()
+	if ok {
+		mMemoSweepHit.Inc()
+	} else {
+		mMemoSweepMiss.Inc()
+	}
+	entry.once.Do(func() {
+		entry.scs, entry.err = se.SweepScenarios(ctx, spec)
+	})
+	if entry.err != nil {
+		// Drop the failed entry so the next caller retries instead of
+		// inheriting, say, this caller's context cancellation.
+		se.sweepMu.Lock()
+		if se.sweepExpand[key] == entry {
+			delete(se.sweepExpand, key)
+			for i, k := range se.sweepExpandFIFO {
+				if k == key {
+					se.sweepExpandFIFO = append(se.sweepExpandFIFO[:i], se.sweepExpandFIFO[i+1:]...)
+					break
+				}
+			}
+		}
+		se.sweepMu.Unlock()
+		return nil, entry.err
+	}
+	return entry.scs, nil
 }
 
 // Sweep runs a batch of scenarios against the session's base state on
