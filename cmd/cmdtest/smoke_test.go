@@ -18,6 +18,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -154,8 +155,8 @@ func TestCLISmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	recLines := strings.Split(strings.TrimSpace(string(recData)), "\n")
-	if len(recLines) != 5 {
-		t.Fatalf("sweep wrote %d records, want 5:\n%s", len(recLines), recData)
+	if len(recLines) != 6 {
+		t.Fatalf("sweep wrote %d lines, want 5 records + sweep_done trailer:\n%s", len(recLines), recData)
 	}
 	var rec struct {
 		Index int    `json:"index"`
@@ -163,6 +164,16 @@ func TestCLISmoke(t *testing.T) {
 	}
 	if err := json.Unmarshal([]byte(recLines[4]), &rec); err != nil || rec.Index != 4 {
 		t.Fatalf("sweep record 4 malformed (%v): %s", err, recLines[4])
+	}
+	var trailer struct {
+		Done *struct {
+			Scenarios int `json:"scenarios"`
+			Records   int `json:"records"`
+		} `json:"sweep_done"`
+	}
+	if err := json.Unmarshal([]byte(recLines[5]), &trailer); err != nil || trailer.Done == nil ||
+		trailer.Done.Scenarios != 5 || trailer.Done.Records != 5 {
+		t.Fatalf("sweep_done trailer malformed (%v): %s", err, recLines[5])
 	}
 
 	// inferrel recovers relationships from the snapshot and scores them.
@@ -564,6 +575,110 @@ func TestServerInferSmoke(t *testing.T) {
 	}
 }
 
+// TestGracefulShutdownSmoke sends SIGTERM to a live policyscoped while
+// it is mid-way through streaming a /sweep response. The drain contract:
+// the in-flight stream runs to completion (records, aggregate, and the
+// sweep_done trailer all arrive), and the daemon exits 0.
+func TestGracefulShutdownSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "policyscoped")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/policyscoped")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build policyscoped: %v\n%s", err, out)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	srv := exec.Command(bin, "-addr", addr, "-ases", "60", "-seed", "3", "-peers", "5", "-lg", "3",
+		"-drain-timeout", "30s")
+	var srvLog bytes.Buffer
+	srv.Stdout = &srvLog
+	srv.Stderr = &srvLog
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := false
+	t.Cleanup(func() {
+		if !exited {
+			srv.Process.Kill()
+			srv.Wait()
+		}
+	})
+
+	base := "http://" + addr
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("policyscoped never became healthy: %v\n%s", err, srvLog.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Open the sweep stream, read the first record, then SIGTERM the
+	// daemon while the stream is still going.
+	resp, err := http.Post(base+"/sweep", "application/json",
+		strings.NewReader(`{"spec": {"generators": [{"kind": "all_single_link_failures", "max": 40}]}, "workers": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("/sweep: %d %s", resp.StatusCode, body)
+	}
+	reader := bufio.NewReader(resp.Body)
+	first, err := reader.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading first sweep record: %v", err)
+	}
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// The in-flight stream must complete through the drain.
+	rest, err := io.ReadAll(reader)
+	if err != nil {
+		t.Fatalf("stream cut during drain: %v\n%s", err, srvLog.String())
+	}
+	lines := strings.Split(strings.TrimSpace(first+string(rest)), "\n")
+	if len(lines) != 42 { // 40 records + aggregate + sweep_done
+		t.Fatalf("drained stream has %d lines, want 42:\n%s", len(lines), srvLog.String())
+	}
+	if !strings.Contains(lines[41], `"sweep_done"`) {
+		t.Fatalf("drained stream missing sweep_done trailer: %s", lines[41])
+	}
+
+	// And the daemon exits cleanly.
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		exited = true
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after drain: %v\n%s", err, srvLog.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never exited after SIGTERM\n%s", srvLog.String())
+	}
+	if !strings.Contains(srvLog.String(), "drained") {
+		t.Fatalf("daemon log missing drain record:\n%s", srvLog.String())
+	}
+}
+
 // TestDistributedSweepSmoke drives the fleet path through real
 // binaries: two sweepd workers and a cmd/sweep coordinator, compared
 // byte for byte against the same sweep run locally, then resumed from
@@ -660,5 +775,105 @@ func TestDistributedSweepSmoke(t *testing.T) {
 	}
 	if !bytes.Equal(local, resumed) {
 		t.Fatal("resumed records differ from local run")
+	}
+}
+
+// TestFleetSweepSmoke drives dynamic fleet membership through real
+// binaries: a cmd/sweep coordinator starts with -fleet-addr and no
+// static workers at all; a sweepd started afterwards self-registers via
+// -coordinator heartbeats, runs every shard, and the records still match
+// the local run byte for byte.
+func TestFleetSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	root := repoRoot(t)
+	bins := map[string]string{}
+	for _, name := range []string{"sweep", "sweepd"} {
+		bin := filepath.Join(dir, name)
+		build := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+
+	freeAddr := func() string {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		return addr
+	}
+
+	cfgArgs := []string{"-ases", "60", "-seed", "3", "-peers", "5",
+		"-gen", "all_single_link_failures", "-max", "15", "-quiet"}
+	localOut := filepath.Join(dir, "local.ndjson")
+	run(t, bins["sweep"], append(cfgArgs, "-records", localOut)...)
+
+	fleetAddr := freeAddr()
+	distOut := filepath.Join(dir, "dist.ndjson")
+	coord := exec.Command(bins["sweep"], append(cfgArgs, "-records", distOut,
+		"-fleet-addr", fleetAddr, "-shard-size", "4", "-grace", "60s")...)
+	var coordLog bytes.Buffer
+	coord.Stdout = &coordLog
+	coord.Stderr = &coordLog
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	coordDone := false
+	t.Cleanup(func() {
+		if !coordDone {
+			coord.Process.Kill()
+			coord.Wait()
+		}
+	})
+
+	workerAddr := freeAddr()
+	w := exec.Command(bins["sweepd"], "-addr", workerAddr,
+		"-ases", "60", "-seed", "3", "-peers", "5", "-lg", "3",
+		"-coordinator", "http://"+fleetAddr,
+		"-advertise", "http://"+workerAddr,
+		"-heartbeat", "200ms")
+	var wLog bytes.Buffer
+	w.Stdout = &wLog
+	w.Stderr = &wLog
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		w.Process.Kill()
+		w.Wait()
+	})
+
+	done := make(chan error, 1)
+	go func() { done <- coord.Wait() }()
+	select {
+	case err := <-done:
+		coordDone = true
+		if err != nil {
+			t.Fatalf("fleet coordinator failed: %v\ncoordinator: %s\nworker: %s", err, coordLog.String(), wLog.String())
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatalf("fleet coordinator never finished\ncoordinator: %s\nworker: %s", coordLog.String(), wLog.String())
+	}
+
+	local, err := os.ReadFile(localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := os.ReadFile(distOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local) == 0 || !bytes.Equal(local, dist) {
+		t.Fatalf("fleet records differ from local run (%d vs %d bytes)", len(dist), len(local))
+	}
+	if !strings.Contains(coordLog.String(), "worker joined dispatch") {
+		t.Fatalf("coordinator never admitted the registered worker:\n%s", coordLog.String())
 	}
 }

@@ -10,7 +10,17 @@
 //	             [-lg 15] [-inferred] [-warm]
 //	             [-dataset name] [-manifest datasets.json]
 //	             [-cache-dir .policyscope-cache] [-pool 4]
+//	             [-max-inflight 64] [-max-inflight-light 1024]
+//	             [-request-timeout 0] [-drain-timeout 30s]
+//	             [-read-timeout 1m] [-write-timeout 0] [-idle-timeout 2m]
 //	             [-log-level info] [-log-format text] [-debug-addr :6060]
+//
+// The daemon runs on the hardened httpd lifecycle: real read/idle
+// timeouts, and SIGTERM/SIGINT triggers a graceful drain — /healthz
+// flips to 503 draining, the listener closes, and in-flight requests
+// get -drain-timeout to finish before connections are cut. Admission
+// control sheds load beyond -max-inflight with 429 + Retry-After
+// instead of queueing it.
 //
 // The dataset catalog holds the built-in presets (paper, small, large),
 // the manifest's entries, and the flag-derived configuration under the
@@ -57,6 +67,7 @@ import (
 
 	policyscope "github.com/policyscope/policyscope"
 	"github.com/policyscope/policyscope/dataset"
+	"github.com/policyscope/policyscope/internal/httpd"
 	"github.com/policyscope/policyscope/obs"
 	"github.com/policyscope/policyscope/server"
 )
@@ -75,9 +86,14 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "content-addressed study cache directory (cold starts load from it)")
 		poolSize  = flag.Int("pool", dataset.DefaultMaxSessions, "max warmed sessions resident at once")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof/* and /metrics on this extra address (off when empty)")
+		maxHeavy  = flag.Int("max-inflight", server.DefaultMaxHeavy, "admission bound on concurrent expensive requests (/run, /infer, /whatif, /sweep); excess sheds 429 (-1 = unbounded)")
+		maxLight  = flag.Int("max-inflight-light", server.DefaultMaxLight, "admission bound on concurrent catalog reads; excess sheds 429 (-1 = unbounded)")
+		reqTO     = flag.Duration("request-timeout", 0, "server-side deadline per expensive request (0 = none)")
 		logFlags  obs.LogFlags
+		srvFlags  httpd.Flags
 	)
 	logFlags.Register(flag.CommandLine)
+	srvFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if err := logFlags.SetDefault(os.Stderr); err != nil {
 		fail(err)
@@ -95,7 +111,9 @@ func main() {
 		fail(err)
 	}
 	pool := dataset.NewPool(cat, *poolSize)
-	srv := server.New(pool)
+	srv := server.New(pool, server.WithLimits(server.Limits{
+		MaxHeavy: *maxHeavy, MaxLight: *maxLight, RequestTimeout: *reqTO,
+	}))
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr)
 	}
@@ -109,7 +127,9 @@ func main() {
 			"elapsed", time.Since(start).Round(time.Millisecond))
 	}
 	slog.Info("serving", "addr", *addr, "datasets", len(cat.Names()), "default", cat.Default())
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	hcfg := srvFlags.Config(*addr)
+	hcfg.Draining = srv.SetDraining
+	if err := httpd.Run(context.Background(), hcfg, srv); err != nil {
 		fail(err)
 	}
 }

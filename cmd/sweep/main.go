@@ -47,12 +47,16 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	policyscope "github.com/policyscope/policyscope"
@@ -75,7 +79,13 @@ func main() {
 		seed       = flag.Int64("seed", 42, "random seed")
 		peers      = flag.Int("peers", 24, "collector peers (the sweep's vantage points)")
 		jobs       = flag.Int("j", 0, "sweep worker count; with -workers, the executor parallelism on each remote worker (0 = GOMAXPROCS)")
-		workerList = flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); run as a distributed coordinator")
+		workerList = flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); run as a distributed coordinator (with -fleet-addr, the static seed list)")
+		fleetAddr  = flag.String("fleet-addr", "", "listen address for worker self-registration (POST /fleet/register); enables dynamic fleet membership")
+		fleetTTL   = flag.Duration("fleet-ttl", dsweep.DefaultFleetTTL, "heartbeat liveness window in -fleet-addr mode; missed heartbeats past it evict the worker")
+		grace      = flag.Duration("grace", 30*time.Second, "how long a -fleet-addr run tolerates zero live workers before failing")
+		noSpec     = flag.Bool("no-speculate", false, "disable speculative re-dispatch of straggler shards")
+		specAfter  = flag.Duration("speculate-after", 5*time.Second, "straggler floor: never speculate a shard attempt younger than this")
+		adaptive   = flag.Bool("adaptive-shards", false, "shrink tail shards to a quarter of -shard-size so the last shard cannot dominate wall time")
 		shardSize  = flag.Int("shard-size", dsweep.DefaultShardSize, "scenarios per shard in -workers mode")
 		checkpoint = flag.String("checkpoint", "", "checkpoint directory in -workers mode: completed shards spool here for -resume")
 		resume     = flag.Bool("resume", false, "resume from -checkpoint instead of refusing to reuse it")
@@ -112,8 +122,9 @@ func main() {
 	if *resume && *checkpoint == "" {
 		fail(fmt.Errorf("-resume requires -checkpoint"))
 	}
-	if *workerList == "" && (*checkpoint != "" || *resume) {
-		fail(fmt.Errorf("-checkpoint/-resume apply to -workers mode only"))
+	distributed := *workerList != "" || *fleetAddr != ""
+	if !distributed && (*checkpoint != "" || *resume) {
+		fail(fmt.Errorf("-checkpoint/-resume apply to -workers/-fleet-addr mode only"))
 	}
 	profStop = profiling.MustStart(*cpuProfile, *memProfile, fail)
 	defer profStop()
@@ -123,7 +134,7 @@ func main() {
 		fail(err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	cat, err := dataset.BuildCatalog(policyscope.Config{
@@ -189,15 +200,41 @@ func main() {
 		agg              *sweep.Aggregate
 		effectiveWorkers int
 	)
-	if *workerList != "" {
-		fleet := strings.Split(*workerList, ",")
-		effectiveWorkers = len(fleet)
-		var cp *dsweep.Checkpoint
-		if *checkpoint != "" {
-			fp, err := dsweep.NewFingerprint(spec, *dsName, len(scenarios), *shardSize, *topShifts)
+	if distributed {
+		vantageFP := dsweep.VantageFingerprint(peerSet)
+		var seeds []string
+		if *workerList != "" {
+			seeds = strings.Split(*workerList, ",")
+		}
+		effectiveWorkers = len(seeds)
+		var fleet *dsweep.Fleet
+		if *fleetAddr != "" {
+			// Dynamic membership: workers self-register here and stay
+			// live by heartbeating; the static -workers list (if any)
+			// seeds the dispatch before the first registration lands.
+			fleet = dsweep.NewFleet(*fleetTTL)
+			mux := http.NewServeMux()
+			mux.Handle("/fleet/register", fleet.Handler())
+			ln, err := net.Listen("tcp", *fleetAddr)
 			if err != nil {
 				fail(err)
 			}
+			fsrv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+			go func() {
+				if err := fsrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+					slog.Error("fleet registry", "err", err)
+				}
+			}()
+			defer fsrv.Close()
+			slog.Info("fleet registry listening", "addr", ln.Addr().String(), "ttl", fleet.TTL())
+		}
+		var cp *dsweep.Checkpoint
+		if *checkpoint != "" {
+			fp, err := dsweep.NewFingerprint(spec, *dsName, len(scenarios), *shardSize, *topShifts, *adaptive)
+			if err != nil {
+				fail(err)
+			}
+			fp.Vantages = vantageFP
 			cp, err = dsweep.OpenCheckpoint(*checkpoint, fp)
 			if err != nil {
 				fail(err)
@@ -212,20 +249,30 @@ func main() {
 			ctx, tr = obs.WithTrace(ctx, "dsweep")
 		}
 		agg, err = dsweep.Run(ctx, spec, scenarios, dsweep.Options{
-			Workers:           fleet,
-			ShardSize:         *shardSize,
-			TopShifts:         *topShifts,
-			TopK:              *topK,
-			WorkerParallelism: *jobs,
-			Dataset:           *dsName,
-			LeaseTimeout:      *lease,
-			MaxAttempts:       *retries,
-			Checkpoint:        cp,
-			OnImpact:          onImpact,
+			Workers:            seeds,
+			Fleet:              fleet,
+			NoWorkerGrace:      *grace,
+			ShardSize:          *shardSize,
+			AdaptiveShards:     *adaptive,
+			DisableSpeculation: *noSpec,
+			SpeculateAfter:     *specAfter,
+			TopShifts:          *topShifts,
+			TopK:               *topK,
+			WorkerParallelism:  *jobs,
+			Dataset:            *dsName,
+			Vantages:           vantageFP,
+			LeaseTimeout:       *lease,
+			MaxAttempts:        *retries,
+			Checkpoint:         cp,
+			OnImpact:           onImpact,
 			OnShardDone: func(worker string, d dsweep.ShardDone) {
 				slog.Debug("shard done",
 					"worker", worker, "start", d.Start, "end", d.End,
 					"records", d.Records)
+			},
+			OnSpeculate: func(sh dsweep.Shard) {
+				slog.Info("speculating straggler shard",
+					"index", sh.Index, "start", sh.Start, "end", sh.End)
 			},
 		})
 		if tr != nil {
@@ -254,6 +301,17 @@ func main() {
 		}
 	}
 	elapsed := time.Since(start)
+	if recEnc != nil {
+		// The records stream ends with the same {"sweep_done": ...}
+		// trailer the /sweep endpoint emits: a file without one was
+		// truncated. Deterministic fields only, so local and distributed
+		// runs stay byte-identical.
+		if err := recEnc.Encode(struct {
+			Done sweep.Done `json:"sweep_done"`
+		}{sweep.Done{Scenarios: len(scenarios), Records: done}}); err != nil {
+			fail(err)
+		}
+	}
 	if recW != nil {
 		if err := recW.Flush(); err != nil {
 			fail(err)

@@ -12,30 +12,54 @@
 //	sweepd [-addr :8081] [-ases 2000] [-seed 42] [-peers 56]
 //	       [-dataset name] [-manifest datasets.json]
 //	       [-cache-dir /shared/psc-cache] [-pool 4] [-warm]
+//	       [-coordinator http://coord:9000] [-advertise http://me:8081]
+//	       [-heartbeat 5s] [-max-inflight 64] [-request-timeout 0]
+//	       [-drain-timeout 30s] [-read-timeout 1m] [-idle-timeout 2m]
 //	       [-log-level info] [-log-format text] [-debug-addr :6061]
 //
-// A two-worker local fleet:
+// A two-worker local fleet with a static worker list (dataset-shaping
+// flags -ases/-seed/-peers must match the coordinator's — the shard
+// protocol fingerprints the scenario universe and the vantage set and
+// rejects a drifted worker instead of merging it):
 //
-//	sweepd -addr :8081 -cache-dir /tmp/psc -warm &
-//	sweepd -addr :8082 -cache-dir /tmp/psc -warm &
+//	sweepd -addr :8081 -ases 800 -peers 24 -cache-dir /tmp/psc -warm &
+//	sweepd -addr :8082 -ases 800 -peers 24 -cache-dir /tmp/psc -warm &
 //	sweep -ases 800 -gen all_single_link_failures \
 //	      -workers localhost:8081,localhost:8082 -records -
 //
+// With -coordinator the worker instead registers itself against a
+// cmd/sweep coordinator running -fleet-addr, and keeps itself live with
+// heartbeats carrying its in-flight shard count and health; workers can
+// then join and leave a running sweep without the coordinator being
+// restarted:
+//
+//	sweep -ases 800 -fleet-addr :9000 -records -   # no static -workers
+//	sweepd -addr :8081 -ases 800 -peers 24 \
+//	       -coordinator http://localhost:9000 \
+//	       -advertise http://localhost:8081 &
+//
 // The coordinator verifies every record against its own expansion, so a
-// worker pointed at a different dataset is rejected, not merged.
+// worker pointed at a different dataset is rejected, not merged. The
+// daemon runs on the hardened httpd lifecycle: SIGTERM drains in-flight
+// shard streams (bounded by -drain-timeout) before exit, and /healthz
+// reports draining so the coordinator's next heartbeat sees it.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strings"
 	"time"
 
 	policyscope "github.com/policyscope/policyscope"
 	"github.com/policyscope/policyscope/dataset"
+	"github.com/policyscope/policyscope/internal/dsweep"
+	"github.com/policyscope/policyscope/internal/httpd"
 	"github.com/policyscope/policyscope/obs"
 	"github.com/policyscope/policyscope/server"
 )
@@ -54,9 +78,17 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "", "shared content-addressed study cache (fleet cold-start is one build, not N)")
 		poolSize  = flag.Int("pool", dataset.DefaultMaxSessions, "max warmed sessions resident at once")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/pprof/* and /metrics on this extra address (off when empty)")
+		coord     = flag.String("coordinator", "", "coordinator base URL for fleet self-registration (empty = static -workers membership)")
+		advertise = flag.String("advertise", "", "base URL to register with -coordinator (default http://<addr>)")
+		heartbeat = flag.Duration("heartbeat", dsweep.DefaultHeartbeatInterval, "heartbeat interval in -coordinator mode")
+		maxHeavy  = flag.Int("max-inflight", server.DefaultMaxHeavy, "admission bound on concurrent expensive requests (shards, runs); excess sheds 429 (-1 = unbounded)")
+		maxLight  = flag.Int("max-inflight-light", server.DefaultMaxLight, "admission bound on concurrent catalog reads; excess sheds 429 (-1 = unbounded)")
+		reqTO     = flag.Duration("request-timeout", 0, "server-side deadline per expensive request (0 = none)")
 		logFlags  obs.LogFlags
+		srvFlags  httpd.Flags
 	)
 	logFlags.Register(flag.CommandLine)
+	srvFlags.Register(flag.CommandLine)
 	flag.Parse()
 	if err := logFlags.SetDefault(os.Stderr); err != nil {
 		fail(err)
@@ -74,7 +106,9 @@ func main() {
 		fail(err)
 	}
 	pool := dataset.NewPool(cat, *poolSize)
-	srv := server.New(pool)
+	srv := server.New(pool, server.WithLimits(server.Limits{
+		MaxHeavy: *maxHeavy, MaxLight: *maxLight, RequestTimeout: *reqTO,
+	}))
 	if *debugAddr != "" {
 		go serveDebug(*debugAddr)
 	}
@@ -87,9 +121,45 @@ func main() {
 		slog.Info("warm complete", "dataset", cat.Default(),
 			"elapsed", time.Since(start).Round(time.Millisecond))
 	}
+
+	ctx, cancelBeats := context.WithCancel(context.Background())
+	defer cancelBeats()
+	draining := func() {
+		// Stop heartbeating the moment the drain starts: the coordinator
+		// sees the registration expire and routes around this worker
+		// while its in-flight shard streams finish.
+		cancelBeats()
+		srv.SetDraining()
+	}
+	if *coord != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + strings.TrimPrefix(*addr, "http://")
+		}
+		go func() {
+			err := dsweep.HeartbeatLoop(ctx, dsweep.HeartbeatOptions{
+				Coordinator: *coord,
+				Advertise:   adv,
+				Interval:    *heartbeat,
+				Status: func() dsweep.Heartbeat {
+					return dsweep.Heartbeat{
+						InFlightShards: srv.InflightShards(),
+						Healthy:        true,
+					}
+				},
+			})
+			if err != nil && !errors.Is(err, context.Canceled) {
+				slog.Error("heartbeat loop", "err", err)
+			}
+		}()
+	}
+
 	slog.Info("sweep worker serving", "addr", *addr,
-		"datasets", len(cat.Names()), "default", cat.Default())
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+		"datasets", len(cat.Names()), "default", cat.Default(),
+		"coordinator", *coord)
+	hcfg := srvFlags.Config(*addr)
+	hcfg.Draining = draining
+	if err := httpd.Run(context.Background(), hcfg, srv); err != nil {
 		fail(err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	policyscope "github.com/policyscope/policyscope"
 )
@@ -590,16 +591,23 @@ func TestPoolFailedBuildRetries(t *testing.T) {
 		t.Fatal(err)
 	}
 	pool := NewPool(cat, 1)
+	pool.SetFailureCooldown(50 * time.Millisecond)
 	if _, err := pool.Session(context.Background(), "broken"); err == nil {
 		t.Fatal("expected load failure")
 	}
-	// The failure is not cached: the pool retries (and fails afresh).
-	if _, err := pool.Session(context.Background(), "broken"); err == nil {
-		t.Fatal("expected load failure on retry")
+	// Inside the cooldown the pool refuses to hot-loop the builder: the
+	// request gets a typed cooldown error without a fresh Load.
+	_, err := pool.Session(context.Background(), "broken")
+	var cool *BuildCooldownError
+	if !errors.As(err, &cool) {
+		t.Fatalf("err during cooldown = %v, want *BuildCooldownError", err)
+	}
+	if cool.Name != "broken" || cool.RetryAfter <= 0 || cool.LastError == "" {
+		t.Fatalf("cooldown error incomplete: %+v", cool)
 	}
 	st := pool.Stats()
-	if st.Resident != 0 || st.Misses != 2 {
-		t.Fatalf("stats after failures: %+v", st)
+	if st.Resident != 0 || st.Misses != 1 {
+		t.Fatalf("stats after cooldown reject: %+v (cooldown reject must not count a miss)", st)
 	}
 	// The failure leaves no entry but must leave a trace: healthz
 	// distinguishes a failing source from a cold one by LastErrors.
@@ -609,6 +617,20 @@ func TestPoolFailedBuildRetries(t *testing.T) {
 	}
 	if le.AgeSeconds < 0 {
 		t.Fatalf("negative error age: %+v", le)
+	}
+	if le.RetryAfterSeconds <= 0 {
+		t.Fatalf("cooldown not visible in stats: %+v", le)
+	}
+	// Once the cooldown lapses the failure is not cached: the pool
+	// retries the source (and fails afresh).
+	time.Sleep(60 * time.Millisecond)
+	if _, err := pool.Session(context.Background(), "broken"); err == nil {
+		t.Fatal("expected load failure on retry")
+	} else if errors.As(err, &cool) {
+		t.Fatalf("retry after cooldown still rejected: %v", err)
+	}
+	if st := pool.Stats(); st.Misses != 2 {
+		t.Fatalf("retry after cooldown did not reach the source: %+v", st)
 	}
 }
 

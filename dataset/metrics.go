@@ -20,4 +20,6 @@ var (
 	mPoolBuildError  = mPoolBuildSeconds.With("error")
 	mPoolWaitSeconds = obs.NewHistogram("policyscope_pool_wait_seconds",
 		"Time a pool hit spent waiting for the entry to become ready (0 for warm hits).", nil)
+	mPoolCooldownRejects = obs.NewCounter("policyscope_pool_cooldown_rejects_total",
+		"Session requests refused because the dataset's last build failed within the cooldown window.")
 )

@@ -16,6 +16,29 @@ import (
 // process.
 const DefaultMaxSessions = 4
 
+// DefaultFailureCooldown is how long the pool refuses to rebuild a
+// dataset after its build failed. Without it a broken manifest entry
+// hot-loops the builder: every request against the name pays a fresh
+// (possibly expensive) failing Load. Requests during the cooldown get a
+// typed *BuildCooldownError carrying the remaining wait, which servers
+// surface as 503 + Retry-After.
+const DefaultFailureCooldown = 5 * time.Second
+
+// BuildCooldownError reports a dataset whose last build failed recently
+// enough that the pool is refusing to retry yet.
+type BuildCooldownError struct {
+	Name string
+	// RetryAfter is how long until the pool will attempt the build again.
+	RetryAfter time.Duration
+	// LastError is the failure that started the cooldown.
+	LastError string
+}
+
+func (e *BuildCooldownError) Error() string {
+	return fmt.Sprintf("dataset: %q build failing, cooling down %s: %s",
+		e.Name, e.RetryAfter.Round(time.Millisecond), e.LastError)
+}
+
 // UnknownDatasetError reports a name the catalog does not know. Servers
 // map it to 404 before doing any work.
 type UnknownDatasetError struct{ Name string }
@@ -27,12 +50,15 @@ func (e *UnknownDatasetError) Error() string {
 // Pool is a bounded LRU of warmed Sessions keyed by dataset name.
 // Builds are deduplicated singleflight-style: N concurrent first
 // queries against one dataset trigger one Load, and the other N-1 block
-// until it resolves. Failed builds are not cached — the next request
-// retries the source. Evicted sessions are simply released; in-flight
+// until it resolves. Failed builds are not cached as entries, but the
+// failure starts a cooldown (DefaultFailureCooldown) during which
+// requests for that dataset get a *BuildCooldownError instead of a
+// fresh build attempt. Evicted sessions are simply released; in-flight
 // queries against them finish on their own references.
 type Pool struct {
-	cat *Catalog
-	max int
+	cat      *Catalog
+	max      int
+	cooldown time.Duration
 
 	mu      sync.Mutex
 	entries map[string]*poolEntry
@@ -70,6 +96,7 @@ func NewPool(cat *Catalog, maxSessions int) *Pool {
 	return &Pool{
 		cat:       cat,
 		max:       maxSessions,
+		cooldown:  DefaultFailureCooldown,
 		entries:   make(map[string]*poolEntry),
 		lru:       list.New(),
 		lastErr:   make(map[string]string),
@@ -79,6 +106,11 @@ func NewPool(cat *Catalog, maxSessions int) *Pool {
 
 // Catalog returns the pool's catalog.
 func (p *Pool) Catalog() *Catalog { return p.cat }
+
+// SetFailureCooldown overrides how long a failed build blocks retries
+// for its dataset (0 disables the cooldown entirely). Call before
+// serving traffic; it is not synchronized against concurrent Sessions.
+func (p *Pool) SetFailureCooldown(d time.Duration) { p.cooldown = d }
 
 // Session returns the warmed session for the named dataset, building it
 // on first use ("" resolves to the catalog default). An unknown name
@@ -114,6 +146,20 @@ func (p *Pool) Session(ctx context.Context, name string) (*policyscope.Session, 
 			return nil, ctx.Err()
 		}
 	}
+	// A miss against a dataset whose last build just failed is refused
+	// until the cooldown lapses — the alternative is every request
+	// hot-looping an expensive failing Load. The typed error carries the
+	// remaining wait so servers can answer 503 + Retry-After.
+	if p.cooldown > 0 {
+		if at, ok := p.lastErrAt[name]; ok {
+			if rem := p.cooldown - time.Since(at); rem > 0 {
+				err := &BuildCooldownError{Name: name, RetryAfter: rem, LastError: p.lastErr[name]}
+				p.mu.Unlock()
+				mPoolCooldownRejects.Inc()
+				return nil, err
+			}
+		}
+	}
 	e := &poolEntry{name: name, ready: make(chan struct{}), created: time.Now()}
 	e.elem = p.lru.PushFront(e)
 	p.entries[name] = e
@@ -133,9 +179,9 @@ func (p *Pool) Session(ctx context.Context, name string) (*policyscope.Session, 
 			e.buildDur = time.Since(e.created)
 			mPoolBuildError.Observe(e.buildDur.Seconds())
 			close(e.ready)
-			// Do not cache the failure; later requests retry the
-			// source. Remember the error so Stats can tell a failing
-			// source from a cold one.
+			// Do not cache the failure as an entry; remember it so Stats
+			// can tell a failing source from a cold one, and so the
+			// cooldown check can refuse immediate retries.
 			p.mu.Lock()
 			p.lastErr[name] = err.Error()
 			p.lastErrAt[name] = time.Now()
@@ -251,6 +297,9 @@ type EntryError struct {
 	Error string `json:"error"`
 	// AgeSeconds is the time since the failure.
 	AgeSeconds float64 `json:"age_seconds"`
+	// RetryAfterSeconds is how long until the pool will retry the build
+	// (0 once the failure cooldown has lapsed or is disabled).
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 }
 
 // Stats snapshots the pool counters.
@@ -284,7 +333,11 @@ func (p *Pool) Stats() Stats {
 	if len(p.lastErr) > 0 {
 		st.LastErrors = make(map[string]EntryError, len(p.lastErr))
 		for name, msg := range p.lastErr {
-			st.LastErrors[name] = EntryError{Error: msg, AgeSeconds: now.Sub(p.lastErrAt[name]).Seconds()}
+			ee := EntryError{Error: msg, AgeSeconds: now.Sub(p.lastErrAt[name]).Seconds()}
+			if rem := p.cooldown - now.Sub(p.lastErrAt[name]); p.cooldown > 0 && rem > 0 {
+				ee.RetryAfterSeconds = rem.Seconds()
+			}
+			st.LastErrors[name] = ee
 		}
 	}
 	return st

@@ -1,0 +1,424 @@
+package dsweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPartitionAdaptiveCoversAndShrinksTail(t *testing.T) {
+	cases := []struct{ total, size int }{
+		{1, 16}, {15, 16}, {16, 16}, {17, 16}, {160, 16}, {1000, 64}, {1000, 256}, {5, 0},
+	}
+	for _, tc := range cases {
+		shards := PartitionAdaptive(tc.total, tc.size)
+		size := tc.size
+		if size <= 0 {
+			size = DefaultShardSize
+		}
+		covered := 0
+		for i, sh := range shards {
+			if sh.Index != i || sh.Start != covered || sh.End <= sh.Start {
+				t.Fatalf("PartitionAdaptive(%d,%d): shard %d is %+v (gap, misindex, or empty)",
+					tc.total, tc.size, i, sh)
+			}
+			if n := sh.End - sh.Start; n > size {
+				t.Fatalf("PartitionAdaptive(%d,%d): shard %d spans %d > size %d", tc.total, tc.size, i, n, size)
+			}
+			covered = sh.End
+		}
+		if covered != tc.total {
+			t.Fatalf("PartitionAdaptive(%d,%d) covers %d", tc.total, tc.size, covered)
+		}
+	}
+
+	// The tail really shrinks: with plenty of body, the last shards are
+	// quarter-size.
+	shards := PartitionAdaptive(1000, 64)
+	last := shards[len(shards)-1]
+	if n := last.End - last.Start; n > 64/4 {
+		t.Fatalf("tail shard spans %d, want <= %d", n, 64/4)
+	}
+	// Deterministic: same inputs, same boundaries.
+	again := PartitionAdaptive(1000, 64)
+	for i := range shards {
+		if shards[i] != again[i] {
+			t.Fatalf("PartitionAdaptive is not deterministic at shard %d", i)
+		}
+	}
+}
+
+func TestPartitionAdaptiveChangesFingerprint(t *testing.T) {
+	refSweep(t)
+	plain, err := NewFingerprint(ref.spec, "paper", 100, 16, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := NewFingerprint(ref.spec, "paper", 100, 16, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == adaptive {
+		t.Fatal("adaptive partitioning does not change the checkpoint fingerprint")
+	}
+	// Old manifests (no "adaptive" key) must keep matching non-adaptive
+	// fingerprints.
+	var decoded Fingerprint
+	b, _ := json.Marshal(plain)
+	if bytes.Contains(b, []byte("adaptive")) {
+		t.Fatalf("non-adaptive fingerprint serializes the adaptive field: %s", b)
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil || decoded != plain {
+		t.Fatalf("fingerprint round-trip: %v", err)
+	}
+}
+
+func TestFleetRegistryExpiryAndLive(t *testing.T) {
+	f := NewFleet(60 * time.Millisecond)
+	f.Observe(Heartbeat{Addr: "http://w1:8081", Healthy: true})
+	f.Observe(Heartbeat{Addr: "http://w2:8081", Healthy: false, Detail: "warming"})
+	if got := len(f.Members()); got != 2 {
+		t.Fatalf("%d members registered, want 2", got)
+	}
+	live := f.Live()
+	if len(live) != 1 || live[0].Addr != "http://w1:8081" {
+		t.Fatalf("Live() = %+v, want only the healthy worker", live)
+	}
+	// Heartbeats stop: both expire.
+	time.Sleep(90 * time.Millisecond)
+	if got := len(f.Members()); got != 0 {
+		t.Fatalf("%d members alive after TTL, want 0", got)
+	}
+	// A fresh heartbeat re-registers.
+	f.Observe(Heartbeat{Addr: "http://w1:8081", Healthy: true})
+	if got := len(f.Live()); got != 1 {
+		t.Fatalf("%d live after re-registration, want 1", got)
+	}
+}
+
+func TestFleetChangedWakesOnNewWorker(t *testing.T) {
+	f := NewFleet(time.Second)
+	ch := f.Changed()
+	f.Observe(Heartbeat{Addr: "http://w1:8081", Healthy: true})
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Changed channel did not fire on a new registration")
+	}
+	// A keep-alive from a known worker does not wake anyone.
+	ch = f.Changed()
+	f.Observe(Heartbeat{Addr: "http://w1:8081", Healthy: true})
+	select {
+	case <-ch:
+		t.Fatal("Changed channel fired on a keep-alive")
+	default:
+	}
+}
+
+// TestFleetHandlerHeartbeatLoop drives the real wire path: a worker's
+// HeartbeatLoop POSTing to the coordinator's registration handler.
+func TestFleetHandlerHeartbeatLoop(t *testing.T) {
+	fleet := NewFleet(time.Second)
+	mux := http.NewServeMux()
+	mux.Handle("/fleet/register", fleet.Handler())
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// Malformed and incomplete heartbeats are rejected.
+	resp, err := http.Post(ts.URL+"/fleet/register", "application/json", bytes.NewReader([]byte(`{"nope": 1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown-field heartbeat: status %d, want 422", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/fleet/register", "application/json", bytes.NewReader([]byte(`{"healthy": true}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("addr-less heartbeat: status %d, want 422", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var inflight atomic.Int64
+	inflight.Store(2)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- HeartbeatLoop(ctx, HeartbeatOptions{
+			Coordinator: ts.URL,
+			Advertise:   "http://worker1:8081",
+			Interval:    20 * time.Millisecond,
+			Status: func() Heartbeat {
+				return Heartbeat{InFlightShards: int(inflight.Load()), Healthy: true}
+			},
+		})
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		live := fleet.Live()
+		if len(live) == 1 {
+			if live[0].Addr != "http://worker1:8081" || live[0].InFlightShards != 2 {
+				t.Fatalf("registration carries %+v", live[0].Heartbeat)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never registered the worker")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("HeartbeatLoop returned %v, want context.Canceled", err)
+	}
+}
+
+// stallWorker accepts a shard request and then never responds — a
+// worker that was SIGKILLed (or wedged) while holding a lease. The
+// handler unblocks only when the coordinator abandons the request.
+type stallWorker struct {
+	mu       sync.Mutex
+	requests int
+}
+
+func (s *stallWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.requests++
+	s.mu.Unlock()
+	// Drain the body so the server's background read arms and the
+	// request context cancels when the abandoning coordinator closes
+	// the connection.
+	_, _ = io.Copy(io.Discard, r.Body)
+	<-r.Context().Done()
+}
+
+func (s *stallWorker) seen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// heartbeatDirectly keeps addr registered in the fleet until stop
+// closes, bypassing HTTP (the wire path has its own test above).
+func heartbeatDirectly(t *testing.T, fleet *Fleet, addr string, stop <-chan struct{}) {
+	t.Helper()
+	fleet.Observe(Heartbeat{Addr: addr, Healthy: true})
+	go func() {
+		tick := time.NewTicker(20 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				fleet.Observe(Heartbeat{Addr: addr, Healthy: true})
+			}
+		}
+	}()
+}
+
+// TestFleetEvictsSilentWorkerAndReassigns is the kill-between-heartbeats
+// chaos case: a registered worker takes a shard, wedges, and stops
+// heartbeating. The coordinator must evict it on TTL expiry, requeue its
+// in-flight shard to the surviving worker, and still produce output
+// byte-identical to the single-process run — with speculation disabled,
+// so only the eviction path can rescue the shard.
+func TestFleetEvictsSilentWorkerAndReassigns(t *testing.T) {
+	refSweep(t)
+	n := len(ref.scenarios)
+	healthy := &fakeWorker{t: t, delay: time.Millisecond}
+	wedged := &stallWorker{}
+	healthyURL := startWorkers(t, healthy)[0]
+	ws := httptest.NewServer(wedged)
+	defer ws.Close()
+
+	fleet := NewFleet(150 * time.Millisecond)
+	stop := make(chan struct{})
+	defer close(stop)
+	heartbeatDirectly(t, fleet, healthyURL, stop)
+	// The wedged worker registers once and never beats again — killed
+	// between heartbeats.
+	fleet.Observe(Heartbeat{Addr: ws.URL, Healthy: true})
+
+	records, agg, err := collectRun(t, Options{
+		Fleet:              fleet,
+		ShardSize:          (n + 5) / 6,
+		LeaseTimeout:       30 * time.Second, // the lease must not be the rescue
+		DisableSpeculation: true,
+		NoWorkerGrace:      10 * time.Second,
+		Backoff:            time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("run with wedged worker: %v", err)
+	}
+	if records != refNDJSON(t) {
+		t.Fatal("records differ from single-process output after eviction recovery")
+	}
+	if got := mustJSON(t, agg); got != mustJSON(t, ref.agg) {
+		t.Fatalf("aggregate differs after eviction recovery: %s", got)
+	}
+	if wedged.seen() == 0 {
+		t.Fatal("wedged worker never received a shard — eviction was not exercised")
+	}
+}
+
+// TestStragglerSpeculationRescuesStalledShard: in a static fleet, one
+// worker wedges on its first shard. With speculation enabled, the
+// coordinator re-dispatches the straggling shard to the healthy worker
+// and the run completes (bit-identically) without waiting out the
+// wedged attempt's lease.
+func TestStragglerSpeculationRescuesStalledShard(t *testing.T) {
+	refSweep(t)
+	n := len(ref.scenarios)
+	healthy := &fakeWorker{t: t, delay: time.Millisecond}
+	wedged := &stallWorker{}
+	healthyURL := startWorkers(t, healthy)[0]
+	ws := httptest.NewServer(wedged)
+	defer ws.Close()
+
+	var speculated atomic.Int64
+	start := time.Now()
+	records, agg, err := collectRun(t, Options{
+		Workers:        []string{healthyURL, ws.URL},
+		ShardSize:      (n + 5) / 6,
+		LeaseTimeout:   30 * time.Second, // lease expiry must not be the rescue
+		SpeculateAfter: 100 * time.Millisecond,
+		Backoff:        time.Millisecond,
+		OnSpeculate:    func(Shard) { speculated.Add(1) },
+	})
+	if err != nil {
+		t.Fatalf("run with straggler: %v", err)
+	}
+	if records != refNDJSON(t) {
+		t.Fatal("records differ from single-process output after speculation")
+	}
+	if got := mustJSON(t, agg); got != mustJSON(t, ref.agg) {
+		t.Fatalf("aggregate differs after speculation: %s", got)
+	}
+	if wedged.seen() == 0 {
+		t.Fatal("wedged worker never received a shard — speculation was not exercised")
+	}
+	if speculated.Load() == 0 {
+		t.Fatal("no shard was speculated")
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("run took %s — it waited out the wedged attempt instead of speculating", elapsed)
+	}
+}
+
+// TestFleetDynamicJoin starts a fleet-mode run with no workers at all;
+// a worker registering mid-run is admitted and completes the sweep.
+func TestFleetDynamicJoin(t *testing.T) {
+	refSweep(t)
+	n := len(ref.scenarios)
+	worker := &fakeWorker{t: t}
+	workerURL := startWorkers(t, worker)[0]
+
+	fleet := NewFleet(time.Second)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		heartbeatDirectly(t, fleet, workerURL, stop)
+	}()
+
+	records, _, err := collectRun(t, Options{
+		Fleet:         fleet,
+		ShardSize:     (n + 3) / 4,
+		NoWorkerGrace: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("run with late-joining worker: %v", err)
+	}
+	if records != refNDJSON(t) {
+		t.Fatal("records differ from single-process output")
+	}
+	if len(worker.served()) != 4 {
+		t.Fatalf("joined worker served %d shards, want 4", len(worker.served()))
+	}
+}
+
+// TestFleetNoWorkersFailsAfterGrace: a fleet-mode run whose workers
+// never materialize fails with the grace-window error instead of
+// hanging.
+func TestFleetNoWorkersFailsAfterGrace(t *testing.T) {
+	refSweep(t)
+	fleet := NewFleet(50 * time.Millisecond)
+	_, _, err := collectRun(t, Options{
+		Fleet:         fleet,
+		ShardSize:     len(ref.scenarios),
+		NoWorkerGrace: 100 * time.Millisecond,
+	})
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("no live workers")) {
+		t.Fatalf("want no-live-workers error, got %v", err)
+	}
+}
+
+// TestFleetChaosKilledAndSlowedWorkers is the acceptance scenario: a
+// registered fleet where one worker is killed mid-stream (and stops
+// heartbeating) and another runs an order of magnitude slower than its
+// peer. The output must stay byte-identical to the single-process run,
+// with adaptive tail shards and speculation enabled.
+func TestFleetChaosKilledAndSlowedWorkers(t *testing.T) {
+	refSweep(t)
+	n := len(ref.scenarios)
+	fast := &fakeWorker{t: t, delay: 200 * time.Microsecond}
+	slow := &fakeWorker{t: t, delay: 2 * time.Millisecond} // 10x slower
+	dying := &fakeWorker{t: t, dieAfter: 2}
+	fastURL := startWorkers(t, fast)[0]
+	slowURL := startWorkers(t, slow)[0]
+	dyingURL := startWorkers(t, dying)[0]
+
+	fleet := NewFleet(150 * time.Millisecond)
+	stop := make(chan struct{})
+	defer close(stop)
+	heartbeatDirectly(t, fleet, fastURL, stop)
+	heartbeatDirectly(t, fleet, slowURL, stop)
+	// The dying worker registers, keeps aborting shards mid-stream, and
+	// its heartbeats stop shortly into the run.
+	dyingStop := make(chan struct{})
+	heartbeatDirectly(t, fleet, dyingURL, dyingStop)
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		close(dyingStop)
+	}()
+
+	records, agg, err := collectRun(t, Options{
+		Fleet:          fleet,
+		ShardSize:      (n + 7) / 8,
+		AdaptiveShards: true,
+		SpeculateAfter: 250 * time.Millisecond,
+		LeaseTimeout:   30 * time.Second,
+		MaxAttempts:    50,
+		EvictAfter:     100, // membership, not failure count, evicts the dying worker
+		NoWorkerGrace:  10 * time.Second,
+		Backoff:        time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	if records != refNDJSON(t) {
+		t.Fatal("records differ from single-process output under chaos")
+	}
+	if got := mustJSON(t, agg); got != mustJSON(t, ref.agg) {
+		t.Fatalf("aggregate differs under chaos: %s", got)
+	}
+	if len(dying.served()) != 0 {
+		t.Fatalf("dying worker completed %d shards, should have none", len(dying.served()))
+	}
+	if dying.requests == 0 {
+		t.Fatal("dying worker never received a shard — the fault was not exercised")
+	}
+}

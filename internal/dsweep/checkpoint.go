@@ -33,14 +33,29 @@ type Fingerprint struct {
 	// partition boundaries.
 	Total     int `json:"total"`
 	ShardSize int `json:"shard_size"`
+	// Adaptive records which partitioner fixed the shard boundaries
+	// (PartitionAdaptive vs Partition). omitempty keeps manifests from
+	// pre-adaptive runs readable: their absence decodes as false, which
+	// is exactly what those runs used.
+	Adaptive bool `json:"adaptive,omitempty"`
 	// TopShifts is the per-record detail bound (records differ when it
 	// does).
 	TopShifts int `json:"top_shifts"`
+	// Vantages is the coordinator's vantage-set fingerprint
+	// (VantageFingerprint). Dataset is a *name* — often "" for the
+	// flag-derived default — so without this a coordinator restarted
+	// with a different -peers count would resume a checkpoint whose
+	// spooled records came from different vantages and merge a mixed
+	// stream. Manifests from before this field decode as "" and are
+	// refused once coordinators set it: their vantage set is
+	// unverifiable.
+	Vantages string `json:"vantages,omitempty"`
 }
 
 // NewFingerprint derives the checkpoint identity for one sweep
-// configuration.
-func NewFingerprint(spec sweep.Spec, dataset string, total, shardSize, topShifts int) (Fingerprint, error) {
+// configuration. adaptive must match Options.AdaptiveShards — the two
+// partitioners draw different shard boundaries over the same total.
+func NewFingerprint(spec sweep.Spec, dataset string, total, shardSize, topShifts int, adaptive bool) (Fingerprint, error) {
 	b, err := json.Marshal(spec)
 	if err != nil {
 		return Fingerprint{}, fmt.Errorf("dsweep: fingerprinting spec: %w", err)
@@ -55,6 +70,7 @@ func NewFingerprint(spec sweep.Spec, dataset string, total, shardSize, topShifts
 		Dataset:    dataset,
 		Total:      total,
 		ShardSize:  shardSize,
+		Adaptive:   adaptive,
 		TopShifts:  topShifts,
 	}, nil
 }

@@ -6,11 +6,13 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/policyscope/policyscope/internal/bgp"
 )
 
 func TestCheckpointRoundTrip(t *testing.T) {
 	refSweep(t)
-	fp, err := NewFingerprint(ref.spec, "paper", len(ref.scenarios), 16, 3)
+	fp, err := NewFingerprint(ref.spec, "paper", len(ref.scenarios), 16, 3, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,6 +53,14 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if _, err := OpenCheckpoint(dir, other); err == nil || !strings.Contains(err.Error(), "different sweep") {
 		t.Fatalf("fingerprint mismatch accepted: %v", err)
 	}
+	// A coordinator restarted with a different vantage set (e.g. a
+	// changed -peers count) must not resume: the spooled records came
+	// from the old vantages and would merge a mixed stream.
+	vant := fp
+	vant.Vantages = VantageFingerprint([]bgp.ASN{1, 2, 3})
+	if _, err := OpenCheckpoint(dir, vant); err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("vantage-set mismatch accepted: %v", err)
+	}
 }
 
 // TestCheckpointResumeSkipsCompletedShards kills a coordinator after
@@ -63,7 +73,7 @@ func TestCheckpointResumeSkipsCompletedShards(t *testing.T) {
 	n := len(ref.scenarios)
 	size := (n + 3) / 4 // four shards
 	shards := Partition(n, size)
-	fp, err := NewFingerprint(ref.spec, "", n, size, 0)
+	fp, err := NewFingerprint(ref.spec, "", n, size, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +148,7 @@ func TestCheckpointRunWritesEveryShard(t *testing.T) {
 	refSweep(t)
 	n := len(ref.scenarios)
 	size := (n + 2) / 3
-	fp, err := NewFingerprint(ref.spec, "", n, size, 0)
+	fp, err := NewFingerprint(ref.spec, "", n, size, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}

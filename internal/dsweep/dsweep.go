@@ -10,6 +10,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -23,11 +24,43 @@ import (
 // Options configures one distributed sweep run.
 type Options struct {
 	// Workers are the fleet's shard endpoints, as host:port or base
-	// URLs ("worker1:8080", "http://worker1:8080"). Required.
+	// URLs ("worker1:8080", "http://worker1:8080"). Required unless
+	// Fleet is set, in which case they are the static seed list and
+	// registered workers join dynamically.
 	Workers []string
+	// Fleet, when set, supplies dynamic membership: workers that
+	// registered (and keep heartbeating) are admitted to the dispatch
+	// while it runs, and a worker whose heartbeats stop is evicted and
+	// its in-flight shard requeued.
+	Fleet *Fleet
+	// NoWorkerGrace applies in fleet mode only: how long the run
+	// tolerates having zero dispatchable workers (e.g. the whole fleet
+	// is mid-deploy) before failing (default 30s). Static mode keeps
+	// the old contract — every seed evicted fails immediately.
+	NoWorkerGrace time.Duration
 	// ShardSize is the scenarios-per-shard partition granularity
 	// (<= 0 uses DefaultShardSize).
 	ShardSize int
+	// AdaptiveShards shrinks the tail of the partition: full-size
+	// shards for the body of the index space, quarter-size shards for
+	// the last stretch, so the run's wall clock cannot be dominated by
+	// one large shard dispatched last. Changes the shard layout, so it
+	// is part of the checkpoint fingerprint.
+	AdaptiveShards bool
+	// DisableSpeculation turns off straggler re-dispatch. By default
+	// the coordinator watches outstanding shards and, once a shard's
+	// oldest attempt has been running longer than
+	// max(SpeculateAfter, 2×p95 of completed shard durations), enqueues
+	// one speculative duplicate; whichever attempt merges first wins
+	// (the merge layer is exactly-once, so the loser is discarded).
+	DisableSpeculation bool
+	// SpeculateAfter is the floor on the speculation threshold —
+	// no shard is speculated before its attempt is at least this old
+	// (default 5s). Keeps cold-start p95 estimates from triggering
+	// duplicates on perfectly healthy shards.
+	SpeculateAfter time.Duration
+	// OnSpeculate, when set, observes each speculative dispatch (tests).
+	OnSpeculate func(Shard)
 	// TopShifts bounds each record's per-prefix detail; forwarded to
 	// workers and part of the checkpoint fingerprint.
 	TopShifts int
@@ -40,6 +73,11 @@ type Options struct {
 	// shard endpoint's ?dataset= parameter; empty = the worker's
 	// default).
 	Dataset string
+	// Vantages, when set, is the coordinator's vantage-set fingerprint
+	// (VantageFingerprint over its collector peers), sent with every
+	// shard so a worker on a same-topology-different-peers dataset is
+	// rejected instead of merged.
+	Vantages string
 	// LeaseTimeout bounds one shard attempt end to end: dispatch,
 	// remote execution, and streaming the records back. An attempt that
 	// outlives its lease is abandoned and the shard requeued (default
@@ -109,13 +147,44 @@ func (o Options) evictAfter() int {
 	return o.EvictAfter
 }
 
+func (o Options) speculateAfter() time.Duration {
+	if o.SpeculateAfter <= 0 {
+		return 5 * time.Second
+	}
+	return o.SpeculateAfter
+}
+
+func (o Options) noWorkerGrace() time.Duration {
+	if o.NoWorkerGrace <= 0 {
+		return 30 * time.Second
+	}
+	return o.NoWorkerGrace
+}
+
 // job is one shard's place in the dispatch queue.
 type job struct {
 	shard Shard
-	// attempts counts dispatches so far; lastWorker is who failed it
-	// (reassignment accounting).
-	attempts   int
+	// lastWorker is who failed or abandoned it (reassignment
+	// accounting).
 	lastWorker string
+	// speculative marks a duplicate dispatch of a straggling shard; it
+	// races the original and the merge layer keeps whichever finishes
+	// first.
+	speculative bool
+}
+
+// shardState is the dispatcher's per-shard bookkeeping, guarded by
+// dispatcher.mu. The retry budget counts failures — not dispatches — so
+// a speculative duplicate never consumes the shard's attempts.
+type shardState struct {
+	inflight   int
+	failures   int
+	speculated bool
+	done       bool
+	// started is when the oldest currently-outstanding attempt was
+	// dispatched (zero while nothing is in flight) — the straggler
+	// detector's clock.
+	started time.Time
 }
 
 // Run executes the spec's scenarios across the worker fleet and
@@ -135,7 +204,7 @@ func Run(ctx context.Context, spec sweep.Spec, scenarios []simulate.Scenario, op
 	if len(scenarios) == 0 {
 		return nil, errors.New("dsweep: no scenarios")
 	}
-	if len(opts.Workers) == 0 {
+	if len(opts.Workers) == 0 && opts.Fleet == nil {
 		return nil, errors.New("dsweep: no workers")
 	}
 	workers := make([]string, 0, len(opts.Workers))
@@ -146,7 +215,12 @@ func Run(ctx context.Context, spec sweep.Spec, scenarios []simulate.Scenario, op
 		}
 		workers = append(workers, u)
 	}
-	shards := Partition(len(scenarios), opts.shardSize())
+	var shards []Shard
+	if opts.AdaptiveShards {
+		shards = PartitionAdaptive(len(scenarios), opts.shardSize())
+	} else {
+		shards = Partition(len(scenarios), opts.shardSize())
+	}
 
 	runCtx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
@@ -187,10 +261,11 @@ func Run(ctx context.Context, spec sweep.Spec, scenarios []simulate.Scenario, op
 		return m.agg.Aggregate(), nil
 	}
 
-	// The queue holds at most one entry per shard (a job is either
-	// queued or held by exactly one worker loop), so the buffer makes
-	// requeues non-blocking.
-	jobs := make(chan job, len(shards))
+	// Each shard contributes at most two queue entries over its
+	// lifetime's instantaneous state — a (re)queued primary and one
+	// speculative duplicate — so this buffer keeps every requeue and
+	// speculation non-blocking.
+	jobs := make(chan job, 2*len(shards)+4)
 	for _, sh := range todo {
 		jobs <- job{shard: sh}
 	}
@@ -198,31 +273,53 @@ func Run(ctx context.Context, spec sweep.Spec, scenarios []simulate.Scenario, op
 	c := &dispatcher{
 		spec:        spec,
 		scenarios:   scenarios,
+		shards:      shards,
 		opts:        opts,
 		http:        opts.Client,
 		merge:       m,
 		jobs:        jobs,
 		done:        make(chan struct{}),
 		cancel:      cancel,
+		states:      make([]shardState, len(shards)),
 		workerStats: make(map[string]workerMetrics, len(workers)),
 	}
 	if c.http == nil {
 		c.http = &http.Client{}
 	}
 	c.remaining.Store(int64(len(todo)))
-	c.live.Store(int64(len(workers)))
-	for _, w := range workers {
-		c.workerStats[w] = newWorkerMetrics(w)
+	if opts.Fleet == nil {
+		// Fleet mode counts workers as manage() starts their loops.
+		c.live.Store(int64(len(workers)))
+	}
+	for _, sh := range shards {
+		if cp := opts.Checkpoint; cp != nil && cp.Has(sh.Index) {
+			c.states[sh.Index].done = true
+		}
 	}
 
 	dispatchCtx, span := obs.StartSpan(runCtx, "dsweep:dispatch")
 	var wg sync.WaitGroup
-	for _, w := range workers {
+	if !opts.DisableSpeculation {
 		wg.Add(1)
-		go func(addr string) {
+		go func() {
 			defer wg.Done()
-			c.workerLoop(dispatchCtx, addr)
-		}(w)
+			c.speculate(dispatchCtx)
+		}()
+	}
+	if opts.Fleet != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.manage(dispatchCtx, workers)
+		}()
+	} else {
+		for _, w := range workers {
+			wg.Add(1)
+			go func(addr string) {
+				defer wg.Done()
+				c.workerLoop(dispatchCtx, dispatchCtx, addr)
+			}(w)
+		}
 	}
 	wg.Wait()
 	span.End()
@@ -243,6 +340,7 @@ func Run(ctx context.Context, spec sweep.Spec, scenarios []simulate.Scenario, op
 type dispatcher struct {
 	spec      sweep.Spec
 	scenarios []simulate.Scenario
+	shards    []Shard
 	opts      Options
 	http      *http.Client
 	merge     *merger
@@ -254,13 +352,83 @@ type dispatcher struct {
 	live      atomic.Int64
 	seq       atomic.Int64
 
+	// mu guards the per-shard states, the completed-duration sample the
+	// straggler detector feeds on, and the worker metric handles (which
+	// grow as fleet members join).
+	mu          sync.Mutex
+	states      []shardState
+	durations   []float64
 	workerStats map[string]workerMetrics
 }
 
+func (c *dispatcher) workerMetricsFor(addr string) workerMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wm, ok := c.workerStats[addr]
+	if !ok {
+		wm = newWorkerMetrics(addr)
+		c.workerStats[addr] = wm
+	}
+	return wm
+}
+
+// shardDone reports whether the shard has already merged (a stale
+// duplicate in the queue can be dropped without a dispatch).
+func (c *dispatcher) shardDone(index int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.states[index].done
+}
+
+// noteDispatch marks one attempt outstanding.
+func (c *dispatcher) noteDispatch(index int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &c.states[index]
+	st.inflight++
+	if st.started.IsZero() {
+		st.started = time.Now()
+	}
+}
+
+// noteSettled marks one attempt finished (either way).
+func (c *dispatcher) noteSettled(index int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &c.states[index]
+	st.inflight--
+	if st.inflight <= 0 {
+		st.inflight = 0
+		st.started = time.Time{}
+	}
+}
+
+// noteFailure counts one failed attempt against the shard's budget and
+// returns the new failure count.
+func (c *dispatcher) noteFailure(index int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.states[index].failures++
+	return c.states[index].failures
+}
+
+// noteMerged records a first delivery: marks the shard done and feeds
+// its duration into the straggler detector's p95 sample.
+func (c *dispatcher) noteMerged(index int, dur time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.states[index].done = true
+	c.durations = append(c.durations, dur.Seconds())
+}
+
 // workerLoop pulls shards for one worker until the run completes, the
-// context dies, or the worker is evicted.
-func (c *dispatcher) workerLoop(ctx context.Context, addr string) {
-	wm := c.workerStats[addr]
+// worker's context is canceled (fleet eviction), the run context dies,
+// or the worker evicts itself after consecutive failures. runCtx is the
+// whole dispatch's context; ctx additionally carries this worker's
+// membership — when only the latter dies, the interrupted shard is
+// requeued for the rest of the fleet.
+func (c *dispatcher) workerLoop(runCtx, ctx context.Context, addr string) {
+	wm := c.workerMetricsFor(addr)
 	consecutive := 0
 	for {
 		var j job
@@ -271,22 +439,41 @@ func (c *dispatcher) workerLoop(ctx context.Context, addr string) {
 			return
 		case j = <-c.jobs:
 		}
+		if c.shardDone(j.shard.Index) {
+			// A stale duplicate (the shard merged while this entry sat in
+			// the queue); drop it without burning a dispatch.
+			continue
+		}
 		if j.lastWorker != "" && j.lastWorker != addr {
 			mShardsReassigned.Inc()
 		}
-		j.attempts++
 		seq := int(c.seq.Add(1))
 		mShardsDispatched.Inc()
 		wm.shards.Inc()
+		c.noteDispatch(j.shard.Index)
 		start := time.Now()
 		_, span := obs.StartSpan(ctx, fmt.Sprintf("shard%03d@%s", j.shard.Index, addr))
 		recs, trailer, err := c.runShard(ctx, addr, j.shard, seq)
 		span.End()
 		wm.seconds.ObserveSince(start)
+		c.noteSettled(j.shard.Index)
 
 		if err != nil {
 			if ctx.Err() != nil {
+				// Our context died. If the run as a whole is still going,
+				// this was a per-worker eviction — hand the interrupted
+				// shard back to the fleet before leaving.
+				if runCtx.Err() == nil && !c.shardDone(j.shard.Index) {
+					j.lastWorker = addr
+					c.jobs <- j
+				}
 				return
+			}
+			if c.shardDone(j.shard.Index) {
+				// The other attempt won while this one was failing; the
+				// shard needs nothing further.
+				consecutive = 0
+				continue
 			}
 			var perm *PermanentError
 			if errors.As(err, &perm) {
@@ -294,17 +481,19 @@ func (c *dispatcher) workerLoop(ctx context.Context, addr string) {
 				return
 			}
 			mShardsRetried.Inc()
+			failures := c.noteFailure(j.shard.Index)
 			consecutive++
 			slog.Warn("dsweep: shard attempt failed",
 				"worker", addr, "shard", j.shard.Index,
-				"attempt", j.attempts, "err", err)
-			if j.attempts >= c.opts.maxAttempts() {
+				"failures", failures, "err", err)
+			if failures >= c.opts.maxAttempts() {
 				c.cancel(fmt.Errorf("dsweep: shard %d [%d,%d) failed after %d attempts: %w",
-					j.shard.Index, j.shard.Start, j.shard.End, j.attempts, err))
+					j.shard.Index, j.shard.Start, j.shard.End, failures, err))
 				return
 			}
 			j.lastWorker = addr
-			if !sleepCtx(ctx, backoffDelay(c.opts.backoff(), j.attempts)) {
+			j.speculative = false
+			if !sleepCtx(ctx, backoffDelay(c.opts.backoff(), failures+1)) {
 				c.jobs <- j // let a live worker pick it up even as we die
 				return
 			}
@@ -312,7 +501,7 @@ func (c *dispatcher) workerLoop(ctx context.Context, addr string) {
 			if consecutive >= c.opts.evictAfter() {
 				mWorkersEvicted.Inc()
 				slog.Warn("dsweep: worker evicted", "worker", addr, "consecutive_failures", consecutive)
-				if c.live.Add(-1) == 0 {
+				if c.live.Add(-1) == 0 && c.opts.Fleet == nil {
 					c.cancel(fmt.Errorf("dsweep: every worker evicted (last: %s after %d consecutive failures)", addr, consecutive))
 				}
 				return
@@ -330,7 +519,13 @@ func (c *dispatcher) workerLoop(ctx context.Context, addr string) {
 			}
 		}
 		if dup := c.merge.deliver(j.shard.Index, recs); !dup {
+			c.noteMerged(j.shard.Index, time.Since(start))
 			mShardsCompleted.Inc()
+			if j.speculative {
+				mSpeculativeWins.Inc()
+				slog.Info("dsweep: speculative attempt won",
+					"shard", j.shard.Index, "worker", addr)
+			}
 			if c.opts.OnShardDone != nil {
 				c.merge.mu.Lock() // serialize the observer like the sink
 				c.opts.OnShardDone(addr, *trailer)
@@ -338,7 +533,221 @@ func (c *dispatcher) workerLoop(ctx context.Context, addr string) {
 			}
 			if c.remaining.Add(-1) == 0 {
 				close(c.done)
+				// Abort any attempts still in flight (a straggler's
+				// original racing its speculative winner, a stalled
+				// worker): the run's output is complete, and waiting out
+				// their leases would hand the tail latency right back.
+				c.cancel(nil)
 			}
+		}
+	}
+}
+
+// speculate is the straggler detector: it watches outstanding shards
+// and enqueues one duplicate dispatch (per shard, ever) for any whose
+// oldest attempt has been running longer than
+// max(SpeculateAfter, 2×p95 of completed shard durations). The merge
+// layer's exactly-once guarantee makes the race safe: whichever attempt
+// delivers first wins and the loser's records are discarded, so
+// speculation can only reduce tail latency, never change output.
+func (c *dispatcher) speculate(ctx context.Context) {
+	floor := c.opts.speculateAfter()
+	period := floor / 4
+	if period < 50*time.Millisecond {
+		period = 50 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		threshold := floor
+		if p95 := quantile(c.durations, 0.95); 2*p95 > threshold.Seconds() {
+			threshold = time.Duration(2 * p95 * float64(time.Second))
+		}
+		var specs []Shard
+		for i := range c.states {
+			st := &c.states[i]
+			if st.done || st.speculated || st.inflight == 0 || st.started.IsZero() {
+				continue
+			}
+			if now.Sub(st.started) < threshold {
+				continue
+			}
+			st.speculated = true
+			specs = append(specs, c.shards[i])
+		}
+		c.mu.Unlock()
+		for _, sh := range specs {
+			mShardsSpeculated.Inc()
+			slog.Info("dsweep: speculating straggler shard",
+				"shard", sh.Index, "threshold", threshold.Round(time.Millisecond))
+			if c.opts.OnSpeculate != nil {
+				c.opts.OnSpeculate(sh)
+			}
+			c.jobs <- job{shard: sh, speculative: true}
+		}
+	}
+}
+
+// quantile returns the q-quantile of xs (0 when empty). xs is copied;
+// the sample stays unsorted in place.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// manage runs fleet-mode membership: it starts a worker loop per
+// dispatchable address (static seeds plus live registrations), admits
+// workers as they register, and evicts a worker — canceling its loop,
+// which requeues its in-flight shard — when its heartbeats stop. A
+// worker that evicted itself (consecutive failures) or was expired is
+// only re-admitted on evidence of recovery: a heartbeat newer than the
+// eviction.
+func (c *dispatcher) manage(ctx context.Context, seeds []string) {
+	type runningWorker struct {
+		cancel context.CancelFunc
+		exited chan struct{}
+	}
+	fleet := c.opts.Fleet
+	active := make(map[string]*runningWorker)
+	evictedAt := make(map[string]time.Time)
+	var wg sync.WaitGroup
+	defer func() {
+		for _, rw := range active {
+			rw.cancel()
+		}
+		wg.Wait()
+	}()
+
+	start := func(addr string) {
+		wctx, cancel := context.WithCancel(ctx)
+		rw := &runningWorker{cancel: cancel, exited: make(chan struct{})}
+		active[addr] = rw
+		c.live.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(rw.exited)
+			defer c.live.Add(-1)
+			c.workerLoop(ctx, wctx, addr)
+		}()
+	}
+
+	// resolve maps a heartbeat's advertised address to the shard
+	// endpoint URL the loops dial; bad addresses are skipped (and
+	// logged) rather than failing the run.
+	resolve := func(addr string) (string, bool) {
+		u, err := workerURL(addr, c.opts.Dataset)
+		if err != nil {
+			slog.Warn("dsweep: ignoring unusable fleet registration", "addr", addr, "err", err)
+			return "", false
+		}
+		return u, true
+	}
+
+	for _, s := range seeds {
+		start(s)
+	}
+
+	ticker := time.NewTicker(fleet.TTL() / 3)
+	defer ticker.Stop()
+	var graceStart time.Time
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-c.done:
+			return
+		case <-ticker.C:
+		case <-fleet.Changed():
+		}
+
+		// The dispatchable set: every live registration (seeds are
+		// dispatchable from the start and evict only by failure, since
+		// they never promised heartbeats).
+		livemembers := fleet.Live()
+		liveSet := make(map[string]time.Time, len(livemembers))
+		for _, m := range livemembers {
+			u, ok := resolve(m.Addr)
+			if !ok {
+				continue
+			}
+			liveSet[u] = m.Last
+		}
+
+		// Reap self-exited loops (consecutive-failure evictions) so the
+		// re-admission rule below applies to them.
+		for addr, rw := range active {
+			select {
+			case <-rw.exited:
+				delete(active, addr)
+				evictedAt[addr] = time.Now()
+			default:
+			}
+		}
+
+		// Evict registered workers whose heartbeats stopped. Seeds are
+		// exempt — absence of a heartbeat is their normal state.
+		seedSet := make(map[string]bool, len(seeds))
+		for _, s := range seeds {
+			seedSet[s] = true
+		}
+		for addr, rw := range active {
+			if seedSet[addr] {
+				continue
+			}
+			if _, ok := liveSet[addr]; !ok {
+				mWorkersEvicted.Inc()
+				slog.Warn("dsweep: worker evicted (missed heartbeats)", "worker", addr)
+				rw.cancel() // the loop requeues its in-flight shard
+				delete(active, addr)
+				evictedAt[addr] = time.Now()
+			}
+		}
+
+		// Admit newly registered workers; re-admit an evicted one only
+		// when its latest heartbeat postdates the eviction.
+		for addr, last := range liveSet {
+			if _, running := active[addr]; running {
+				continue
+			}
+			if t, was := evictedAt[addr]; was && !last.After(t) {
+				continue
+			}
+			delete(evictedAt, addr)
+			mFleetJoins.Inc()
+			slog.Info("dsweep: worker joined dispatch", "worker", addr)
+			start(addr)
+		}
+
+		// A fleet with nobody to dispatch to gets a grace window (a
+		// rolling deploy restarting every worker at once) before the run
+		// fails; work is queued, not lost, throughout.
+		if len(active) == 0 {
+			if graceStart.IsZero() {
+				graceStart = time.Now()
+				slog.Warn("dsweep: no live workers; holding shards",
+					"grace", c.opts.noWorkerGrace())
+			} else if time.Since(graceStart) > c.opts.noWorkerGrace() {
+				c.cancel(fmt.Errorf("dsweep: no live workers for %s (%d shards unfinished)",
+					c.opts.noWorkerGrace(), c.remaining.Load()))
+				return
+			}
+		} else {
+			graceStart = time.Time{}
 		}
 	}
 }
@@ -355,6 +764,7 @@ func (c *dispatcher) runShard(ctx context.Context, addr string, sh Shard, seq in
 		End:         sh.End,
 		Seq:         seq,
 		ExpectTotal: len(c.scenarios),
+		Vantages:    c.opts.Vantages,
 		TopShifts:   c.opts.TopShifts,
 		Workers:     c.opts.WorkerParallelism,
 	})

@@ -102,10 +102,12 @@ type fakeWorker struct {
 	servedStart []int
 	// dieAfter > 0 aborts the connection after that many records, every
 	// request. failStatus != 0 responds with that status instead of a
-	// stream, for the first failTimes requests (0 = always).
+	// stream, for the first failTimes requests (0 = always). delay > 0
+	// sleeps before each record — a slowed worker for straggler tests.
 	dieAfter   int
 	failStatus int
 	failTimes  int
+	delay      time.Duration
 }
 
 func (f *fakeWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -142,6 +144,13 @@ func (f *fakeWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	for i := req.Start; i < req.End; i++ {
 		if f.dieAfter > 0 && written >= f.dieAfter {
 			panic(http.ErrAbortHandler) // drop the connection mid-stream
+		}
+		if f.delay > 0 {
+			select {
+			case <-time.After(f.delay):
+			case <-r.Context().Done():
+				return
+			}
 		}
 		if err := enc.Encode(ref.impacts[i]); err != nil {
 			return

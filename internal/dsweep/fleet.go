@@ -1,0 +1,236 @@
+package dsweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultFleetTTL is how long a registration stays live without a fresh
+// heartbeat before the coordinator treats the worker as gone.
+const DefaultFleetTTL = 15 * time.Second
+
+// DefaultHeartbeatInterval is the worker-side heartbeat period; three
+// missed beats inside DefaultFleetTTL is the eviction budget.
+const DefaultHeartbeatInterval = 5 * time.Second
+
+// Heartbeat is the body a worker POSTs to the coordinator's
+// /fleet/register endpoint — both the initial registration and every
+// subsequent keep-alive. Addr is the base URL the coordinator should
+// dial for shards; the load and health fields let the coordinator see a
+// sick worker before its shards start failing.
+type Heartbeat struct {
+	// Addr is the worker's advertised base URL ("http://worker1:8081").
+	Addr string `json:"addr"`
+	// InFlightShards is how many /sweep/shard requests the worker is
+	// currently streaming.
+	InFlightShards int `json:"in_flight_shards"`
+	// Healthy is the worker's own build/serving health; an unhealthy
+	// worker keeps heartbeating (it is alive) but is not dispatched to.
+	Healthy bool `json:"healthy"`
+	// Detail optionally says why Healthy is false.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Member is one fleet registration as the coordinator sees it.
+type Member struct {
+	Heartbeat
+	// Last is when the most recent heartbeat arrived.
+	Last time.Time `json:"last"`
+}
+
+// Fleet is the coordinator-side membership registry: workers
+// self-register and keep themselves alive with heartbeats; a
+// registration that outlives the TTL without a fresh beat is expired.
+// All methods are safe for concurrent use.
+type Fleet struct {
+	ttl time.Duration
+
+	mu      sync.Mutex
+	members map[string]Member
+	// changed is closed and replaced whenever membership gains a new
+	// (or returning) address, waking the dispatcher's reconcile loop
+	// immediately instead of on its next tick.
+	changed chan struct{}
+}
+
+// NewFleet returns an empty registry with the given liveness TTL
+// (<= 0 takes DefaultFleetTTL).
+func NewFleet(ttl time.Duration) *Fleet {
+	if ttl <= 0 {
+		ttl = DefaultFleetTTL
+	}
+	return &Fleet{ttl: ttl, members: make(map[string]Member), changed: make(chan struct{})}
+}
+
+// TTL returns the registry's liveness window.
+func (f *Fleet) TTL() time.Duration { return f.ttl }
+
+// Observe records one heartbeat (registration or keep-alive).
+func (f *Fleet) Observe(hb Heartbeat) {
+	now := time.Now()
+	f.mu.Lock()
+	_, known := f.members[hb.Addr]
+	f.members[hb.Addr] = Member{Heartbeat: hb, Last: now}
+	var wake chan struct{}
+	if !known {
+		wake, f.changed = f.changed, make(chan struct{})
+	}
+	f.mu.Unlock()
+	mFleetHeartbeats.Inc()
+	if wake != nil {
+		close(wake)
+		slog.Info("dsweep: worker registered", "addr", hb.Addr, "healthy", hb.Healthy)
+	}
+}
+
+// Changed returns a channel that closes the next time a new worker
+// registers. Callers re-arm by calling Changed again after it fires.
+func (f *Fleet) Changed() <-chan struct{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.changed
+}
+
+// Members snapshots every registration that has not expired, expiring
+// stale ones as a side effect.
+func (f *Fleet) Members() []Member {
+	now := time.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Member, 0, len(f.members))
+	for addr, m := range f.members {
+		if now.Sub(m.Last) > f.ttl {
+			delete(f.members, addr)
+			mFleetExpired.Inc()
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Live returns the members eligible for dispatch: fresh heartbeat and
+// self-reported healthy.
+func (f *Fleet) Live() []Member {
+	members := f.Members()
+	out := members[:0]
+	for _, m := range members {
+		if m.Healthy {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Handler serves the registration protocol: POST with a Heartbeat JSON
+// body registers or refreshes the sender. The response echoes the TTL
+// so workers can sanity-check their heartbeat interval against it.
+func (f *Fleet) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var hb Heartbeat
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&hb); err != nil {
+			http.Error(w, fmt.Sprintf(`{"error": "bad heartbeat: %v"}`, err), http.StatusUnprocessableEntity)
+			return
+		}
+		if hb.Addr == "" {
+			http.Error(w, `{"error": "heartbeat missing addr"}`, http.StatusUnprocessableEntity)
+			return
+		}
+		f.Observe(hb)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			TTLSeconds float64 `json:"ttl_seconds"`
+		}{f.ttl.Seconds()})
+	})
+}
+
+// HeartbeatOptions configures a worker's registration loop.
+type HeartbeatOptions struct {
+	// Coordinator is the coordinator's fleet endpoint base
+	// ("http://coord:9000"); the loop POSTs to <Coordinator>/fleet/register.
+	Coordinator string
+	// Advertise is the base URL this worker registers (what the
+	// coordinator will dial for shards). Required.
+	Advertise string
+	// Interval between heartbeats (<= 0 takes DefaultHeartbeatInterval).
+	Interval time.Duration
+	// Status, when set, fills the heartbeat's load/health fields each
+	// beat; Addr is always overwritten with Advertise. Nil reports an
+	// idle healthy worker.
+	Status func() Heartbeat
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// HeartbeatLoop registers the worker and keeps it alive until ctx ends.
+// Transient delivery failures are logged and retried on the next beat —
+// a coordinator restart must not kill its whole fleet. The first beat
+// is sent immediately.
+func HeartbeatLoop(ctx context.Context, opts HeartbeatOptions) error {
+	if opts.Advertise == "" {
+		return errors.New("dsweep: heartbeat needs an advertise address")
+	}
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: interval}
+	}
+	url := strings.TrimSuffix(opts.Coordinator, "/") + "/fleet/register"
+	beat := func() {
+		hb := Heartbeat{Healthy: true}
+		if opts.Status != nil {
+			hb = opts.Status()
+		}
+		hb.Addr = opts.Advertise
+		body, err := json.Marshal(hb)
+		if err != nil {
+			return
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			mFleetHeartbeatErrors.Inc()
+			if ctx.Err() == nil {
+				slog.Warn("dsweep: heartbeat failed", "coordinator", url, "err", err)
+			}
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			mFleetHeartbeatErrors.Inc()
+			slog.Warn("dsweep: heartbeat rejected", "coordinator", url, "status", resp.StatusCode)
+		}
+	}
+	beat()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			beat()
+		}
+	}
+}

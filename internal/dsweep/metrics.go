@@ -27,6 +27,18 @@ var (
 		"Shard attempts by worker address.", "worker")
 	mWorkerShardSeconds = obs.NewHistogramVec("policyscope_dsweep_worker_shard_seconds",
 		"Per-shard round trip by worker address, dispatch to validated trailer.", nil, "worker")
+	mShardsSpeculated = obs.NewCounter("policyscope_dsweep_shards_speculated_total",
+		"Speculative duplicate dispatches of straggling shards.")
+	mSpeculativeWins = obs.NewCounter("policyscope_dsweep_speculative_wins_total",
+		"Speculative attempts that merged before the original (first-complete-wins).")
+	mFleetHeartbeats = obs.NewCounter("policyscope_dsweep_fleet_heartbeats_total",
+		"Worker registrations and keep-alive heartbeats received.")
+	mFleetHeartbeatErrors = obs.NewCounter("policyscope_dsweep_fleet_heartbeat_errors_total",
+		"Worker-side heartbeats that failed to reach the coordinator.")
+	mFleetExpired = obs.NewCounter("policyscope_dsweep_fleet_expired_total",
+		"Fleet registrations expired after missed heartbeats.")
+	mFleetJoins = obs.NewCounter("policyscope_dsweep_fleet_joins_total",
+		"Workers admitted to a running dispatch by registration.")
 )
 
 // workerMetrics holds one worker's pre-resolved metric children —

@@ -18,8 +18,13 @@
 package dsweep
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"sort"
+	"strconv"
 
+	"github.com/policyscope/policyscope/internal/bgp"
 	"github.com/policyscope/policyscope/internal/sweep"
 )
 
@@ -50,6 +55,16 @@ type ShardRequest struct {
 	// the shard — the fleet is pointed at different datasets (or code
 	// versions) and its records would silently corrupt the merge.
 	ExpectTotal int `json:"expect_total,omitempty"`
+	// Vantages, when nonempty, is the coordinator's vantage-set
+	// fingerprint (VantageFingerprint over its dataset's collector
+	// peers). ExpectTotal pins the scenario universe and the per-record
+	// name checks pin the topology's link set, but records are
+	// functions of the *vantage set* too — two fleets on the same
+	// topology with different -peers counts would pass both checks and
+	// silently merge records that differ from the single-process run.
+	// A worker whose own vantage fingerprint disagrees refuses the
+	// shard before executing it.
+	Vantages string `json:"vantages,omitempty"`
 	// TopShifts and Workers pass through to the worker's executor
 	// options (per-record detail bound; local parallelism, defaulted by
 	// the worker when zero).
@@ -57,6 +72,24 @@ type ShardRequest struct {
 	// Workers is the executor parallelism on the worker, not the fleet
 	// size.
 	Workers int `json:"workers,omitempty"`
+}
+
+// VantageFingerprint hashes a vantage (collector peer) set to a short
+// order-insensitive identity. Sweep records are pure functions of
+// (topology, vantage set, scenario); the scenario-name verification
+// pins the topology, and this pins the other input, so a worker whose
+// flag-derived dataset shares the coordinator's topology but not its
+// -peers count is rejected instead of silently diverging.
+func VantageFingerprint(peers []bgp.ASN) string {
+	sorted := make([]bgp.ASN, len(peers))
+	copy(sorted, peers)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	h := sha256.New()
+	for _, p := range sorted {
+		h.Write([]byte(strconv.FormatUint(uint64(p), 10)))
+		h.Write([]byte{','})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
 // ValidateRange checks the request's index range against the expanded
@@ -120,6 +153,52 @@ func Partition(total, size int) []Shard {
 	shards := make([]Shard, 0, (total+size-1)/size)
 	for start := 0; start < total; start += size {
 		end := start + size
+		if end > total {
+			end = total
+		}
+		shards = append(shards, Shard{Index: len(shards), Start: start, End: end})
+	}
+	return shards
+}
+
+// PartitionAdaptive splits like Partition for the body of the index
+// space but shrinks the tail: the last ~10% of scenarios (at least one
+// full shard's worth) is cut into quarter-size shards. Large body
+// shards amortize per-shard overhead; small tail shards keep one slow
+// final shard from dominating the run's wall clock, and give the
+// straggler detector cheap units to speculate. Like Partition, the
+// split is a pure function of (total, size), so checkpoints stay
+// replayable — the choice of partitioner is part of the fingerprint.
+func PartitionAdaptive(total, size int) []Shard {
+	if total <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = DefaultShardSize
+	}
+	tailSize := size / 4
+	if tailSize < 1 {
+		tailSize = 1
+	}
+	tail := total / 10
+	if tail < size {
+		tail = size
+	}
+	cut := total - tail
+	if cut <= 0 {
+		// The whole space fits in the tail budget: plain small shards.
+		cut = 0
+	}
+	var shards []Shard
+	for start := 0; start < cut; start += size {
+		end := start + size
+		if end > cut {
+			end = cut
+		}
+		shards = append(shards, Shard{Index: len(shards), Start: start, End: end})
+	}
+	for start := cut; start < total; start += tailSize {
+		end := start + tailSize
 		if end > total {
 			end = total
 		}

@@ -1,0 +1,25 @@
+package sweep
+
+// Done is the NDJSON stream trailer a completed sweep emits as
+// {"sweep_done": {...}} — the analogue of the distributed protocol's
+// {"shard_done": ...}. Its presence is the stream-integrity signal: a
+// record stream that ends without one was truncated (server died, sink
+// failed, context canceled), so clients never mistake a partial sweep
+// for a finished one. Every field is deterministic (no timings), so
+// streams stay byte-identical across runs and fleet layouts.
+type Done struct {
+	// Scenarios is the expanded scenario count the sweep covered.
+	Scenarios int `json:"scenarios"`
+	// Records is how many record lines preceded the trailer (equal to
+	// Scenarios on success — the cross-check clients assert).
+	Records int `json:"records"`
+}
+
+// StreamError is the typed mid-stream failure record, emitted as
+// {"sweep_error": {...}} in place of the trailer when a sweep dies
+// after streaming began (headers are long gone, so an HTTP status can
+// no longer carry the fault). A stream ending in one — or in neither
+// trailer nor error — is incomplete.
+type StreamError struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Endpoint classes for admission control. Catalog reads cost
+// microseconds; /run, /infer, /whatif, /sweep, and /sweep/shard each
+// pin a core (or several) for the whole request, so they get a much
+// smaller in-flight bound. Shedding over the bound with 429 keeps the
+// process answering instead of queueing itself to death.
+type endpointClass int
+
+const (
+	// classNone exempts an endpoint from admission entirely (/healthz:
+	// load balancers must always get a probe answer, especially from an
+	// overloaded or draining process).
+	classNone endpointClass = iota
+	// classLight is the cheap catalog/read tier.
+	classLight
+	// classHeavy is the compute tier: experiments, inference, what-ifs,
+	// sweeps, and sweep shards.
+	classHeavy
+)
+
+// Limits is the server's admission-control configuration.
+type Limits struct {
+	// MaxHeavy bounds concurrently admitted heavy requests (run, infer,
+	// whatif, sweep, sweep/shard). 0 takes DefaultMaxHeavy; negative
+	// disables the gate.
+	MaxHeavy int
+	// MaxLight bounds concurrently admitted light requests (catalog
+	// reads). 0 takes DefaultMaxLight; negative disables the gate.
+	MaxLight int
+	// RequestTimeout, when positive, is a server-side deadline applied
+	// to every heavy request's context — a sweep or run that outlives it
+	// is canceled through the existing context plumbing. 0 disables it
+	// (long NDJSON sweeps run as long as they need by default).
+	RequestTimeout time.Duration
+	// RetryAfter is the Retry-After hint on shed (429) responses.
+	// 0 takes DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+// Admission defaults. MaxHeavy is deliberately generous — the gate
+// exists to stop unbounded pile-up under overload, not to serialize a
+// busy-but-healthy process.
+const (
+	DefaultMaxHeavy   = 64
+	DefaultMaxLight   = 1024
+	DefaultRetryAfter = time.Second
+)
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxHeavy == 0 {
+		l.MaxHeavy = DefaultMaxHeavy
+	}
+	if l.MaxLight == 0 {
+		l.MaxLight = DefaultMaxLight
+	}
+	if l.RetryAfter == 0 {
+		l.RetryAfter = DefaultRetryAfter
+	}
+	return l
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithLimits sets the server's admission-control limits.
+func WithLimits(l Limits) Option {
+	return func(s *Server) { s.limits = l }
+}
+
+// gate is a non-blocking in-flight bound: enter either admits
+// immediately or reports shed. There is no queue on purpose — queued
+// requests under overload just time out holding memory; better to 429
+// now and let the client retry against a less-loaded replica.
+type gate struct {
+	max int64
+	cur atomic.Int64
+}
+
+func newGate(max int) *gate {
+	if max < 0 {
+		return nil // disabled
+	}
+	return &gate{max: int64(max)}
+}
+
+func (g *gate) enter() bool {
+	if g.cur.Add(1) > g.max {
+		g.cur.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (g *gate) leave() { g.cur.Add(-1) }
+
+func (g *gate) inflight() int64 { return g.cur.Load() }
+
+// gateFor maps an endpoint class to its gate (nil = exempt).
+func (s *Server) gateFor(class endpointClass) *gate {
+	switch class {
+	case classHeavy:
+		return s.heavy
+	case classLight:
+		return s.light
+	default:
+		return nil
+	}
+}
+
+// shed writes the 429 load-shed response with its Retry-After hint.
+func (s *Server) shed(w http.ResponseWriter, name string) {
+	w.Header().Set("Retry-After", s.retryAfter)
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("overloaded: too many in-flight %s requests, retry after %ss", name, s.retryAfter))
+}
+
+// retryAfterSeconds renders a duration as whole Retry-After seconds
+// (minimum 1 — a zero hint reads as "retry immediately").
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}

@@ -18,6 +18,10 @@ var (
 		"HTTP request latency by endpoint.", nil, "endpoint")
 	mHTTPInflight = obs.NewGauge("policyscope_http_inflight",
 		"HTTP requests currently being served.")
+	mHTTPShed = obs.NewCounterVec("policyscope_http_shed_total",
+		"Requests shed with 429 by the admission gate, by endpoint.", "endpoint")
+	mHTTPPanics = obs.NewCounterVec("policyscope_http_panics_total",
+		"Handler panics recovered (answered 500 instead of killing the process), by endpoint.", "endpoint")
 )
 
 var statusClasses = [5]string{"1xx", "2xx", "3xx", "4xx", "5xx"}
@@ -27,6 +31,8 @@ type route struct {
 	name     string
 	requests *obs.Counter
 	seconds  *obs.Histogram
+	shed     *obs.Counter
+	panics   *obs.Counter
 	classes  [5]*obs.Counter
 }
 
@@ -35,6 +41,8 @@ func newRoute(name string) *route {
 		name:     name,
 		requests: mHTTPRequests.With(name),
 		seconds:  mHTTPSeconds.With(name),
+		shed:     mHTTPShed.With(name),
+		panics:   mHTTPPanics.With(name),
 	}
 	for i, class := range statusClasses {
 		rt.classes[i] = mHTTPResponses.With(name, class)

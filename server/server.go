@@ -57,26 +57,44 @@ import (
 
 // Server handles the HTTP surface over one dataset pool.
 type Server struct {
-	pool  *dataset.Pool
-	mux   *http.ServeMux
-	start time.Time
+	pool   *dataset.Pool
+	mux    *http.ServeMux
+	start  time.Time
+	limits Limits
+	// heavy/light are the per-class admission gates (nil = disabled).
+	heavy, light *gate
+	// retryAfter is the pre-rendered Retry-After header value for sheds.
+	retryAfter string
 	// ready flips once the default dataset's study is built (healthz
 	// reports it).
 	ready atomic.Bool
+	// draining flips when graceful shutdown begins; healthz turns 503 so
+	// load balancers stop routing here while in-flight requests finish.
+	draining atomic.Bool
+	// inflightShards counts /sweep/shard requests currently streaming —
+	// the load figure sweepd reports in its fleet heartbeats.
+	inflightShards atomic.Int64
 }
 
 // New returns an http.Handler serving the pool.
-func New(pool *dataset.Pool) *Server {
+func New(pool *dataset.Pool, opts ...Option) *Server {
 	s := &Server{pool: pool, mux: http.NewServeMux(), start: time.Now()}
-	s.handle("GET /datasets", "datasets", s.handleDatasets)
-	s.handle("GET /experiments", "experiments", s.handleExperiments)
-	s.handle("GET /infer", "infer_list", s.handleInferList)
-	s.handle("POST /run/{name}", "run", s.handleRun)
-	s.handle("POST /infer/{algo}", "infer", s.handleInfer)
-	s.handle("POST /whatif", "whatif", s.handleWhatIf)
-	s.handle("POST /sweep", "sweep", s.handleSweep)
-	s.handle("POST /sweep/shard", "sweep_shard", s.handleSweepShard)
-	s.handle("GET /healthz", "healthz", s.handleHealthz)
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.limits = s.limits.withDefaults()
+	s.heavy = newGate(s.limits.MaxHeavy)
+	s.light = newGate(s.limits.MaxLight)
+	s.retryAfter = retryAfterSeconds(s.limits.RetryAfter)
+	s.handle("GET /datasets", "datasets", classLight, s.handleDatasets)
+	s.handle("GET /experiments", "experiments", classLight, s.handleExperiments)
+	s.handle("GET /infer", "infer_list", classLight, s.handleInferList)
+	s.handle("POST /run/{name}", "run", classHeavy, s.handleRun)
+	s.handle("POST /infer/{algo}", "infer", classHeavy, s.handleInfer)
+	s.handle("POST /whatif", "whatif", classHeavy, s.handleWhatIf)
+	s.handle("POST /sweep", "sweep", classHeavy, s.handleSweep)
+	s.handle("POST /sweep/shard", "sweep_shard", classHeavy, s.handleSweepShard)
+	s.handle("GET /healthz", "healthz", classNone, s.handleHealthz)
 	// The exposition endpoint bypasses the middleware so scraping does
 	// not inflate the request counters it reports.
 	s.mux.Handle("GET /metrics", obs.Default.Handler())
@@ -91,9 +109,12 @@ func New(pool *dataset.Pool) *Server {
 
 // handle registers one instrumented route: request/latency/status-class
 // metrics with handles pre-resolved per endpoint, an X-Request-ID
-// header, optional ?trace=1 span capture, and a debug-level access log.
-func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
+// header, optional ?trace=1 span capture, admission control for the
+// endpoint's class, panic recovery, the server-side request deadline,
+// and a debug-level access log.
+func (s *Server) handle(pattern, name string, class endpointClass, h http.HandlerFunc) {
 	rt := newRoute(name)
+	g := s.gateFor(class)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		id := obs.NextID()
@@ -106,9 +127,43 @@ func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
 		}
 		sw := &statusWriter{ResponseWriter: w, traced: tr != nil}
 		rt.requests.Inc()
+		if g != nil && !g.enter() {
+			rt.shed.Inc()
+			s.shed(sw, name)
+			rt.observeStatus(http.StatusTooManyRequests)
+			return
+		}
 		mHTTPInflight.Add(1)
-		h(sw, r)
-		mHTTPInflight.Add(-1)
+		func() {
+			defer func() {
+				v := recover()
+				mHTTPInflight.Add(-1)
+				if g != nil {
+					g.leave()
+				}
+				if v == nil {
+					return
+				}
+				if v == http.ErrAbortHandler {
+					// A deliberate stream abort, not a bug: net/http
+					// expects the sentinel to propagate so it can kill the
+					// connection without a log line.
+					panic(v)
+				}
+				rt.panics.Inc()
+				slog.Error("handler panic", "id", id, "endpoint", name, "panic", v)
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError,
+						fmt.Errorf("internal error (request %s)", id))
+				}
+			}()
+			if class == classHeavy && s.limits.RequestTimeout > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), s.limits.RequestTimeout)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+			h(sw, r)
+		}()
 		status := sw.status
 		if status == 0 {
 			status = http.StatusOK
@@ -125,6 +180,17 @@ func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
 			"dur_ms", float64(dur.Microseconds())/1000)
 	})
 }
+
+// SetDraining flips the server into its draining state: /healthz
+// answers 503 with draining=true so load balancers pull this replica
+// while in-flight requests complete. Wired as the httpd.Config.Draining
+// hook by both daemons. It is one-way — a draining process is exiting.
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// InflightShards reports how many /sweep/shard requests are currently
+// streaming; sweepd carries it in fleet heartbeats so the coordinator
+// sees per-worker load.
+func (s *Server) InflightShards() int { return int(s.inflightShards.Load()) }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -157,8 +223,10 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (*policyscope.S
 		if errors.As(err, &unknown) {
 			writeError(w, http.StatusNotFound, err)
 		} else {
-			// A dataset that fails to load is the server's fault.
-			writeError(w, http.StatusInternalServerError, err)
+			// A dataset that fails to load is the server's fault (500),
+			// unless it is merely cooling down or the request ran out of
+			// deadline (503).
+			s.writeFailure(w, r, err)
 		}
 		return nil, false
 	}
@@ -208,7 +276,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			// answer it: the request, not the server, is at fault.
 			writeError(w, http.StatusUnprocessableEntity, err)
 		default:
-			writeError(w, http.StatusInternalServerError, err)
+			s.writeFailure(w, r, err)
 		}
 		return
 	}
@@ -277,7 +345,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		if errors.As(err, &pe) {
 			writeError(w, http.StatusUnprocessableEntity, err)
 		} else {
-			writeError(w, http.StatusInternalServerError, err)
+			s.writeFailure(w, r, err)
 		}
 		return
 	}
@@ -329,7 +397,7 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	err = sess.Warm()
 	warmSpan.End()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeFailure(w, r, err)
 		return
 	}
 	_, span := obs.StartSpan(r.Context(), "whatif")
@@ -360,11 +428,13 @@ type SweepRequest struct {
 }
 
 // handleSweep expands the spec, then streams one NDJSON line per
-// scenario record followed by a final aggregate line. Spec and
-// expansion errors are reported as ordinary JSON errors before any
-// stream output; once streaming starts, a failure can only truncate
-// the stream (the client detects it by the missing aggregate line).
-// The request context aborts the sweep when the client goes away.
+// scenario record, a final aggregate line, and a {"sweep_done": ...}
+// trailer (the stream-completeness signal, mirroring /sweep/shard's
+// shard_done). Spec and expansion errors are reported as ordinary JSON
+// errors before any stream output; once streaming starts, a failure is
+// reported as a typed {"sweep_error": ...} record in place of the
+// trailer — a stream ending in neither was truncated. The request
+// context aborts the sweep when the client goes away.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
@@ -393,7 +463,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	err = sess.Warm()
 	warmSpan.End()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeFailure(w, r, err)
 		return
 	}
 	_, expandSpan := obs.StartSpan(r.Context(), "expand")
@@ -410,12 +480,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	_, sweepSpan := obs.StartSpan(r.Context(), "sweep")
 	defer sweepSpan.End()
+	records := 0
 	agg, err := sess.Sweep(r.Context(), scenarios, sweep.Options{
 		Workers: req.Workers, TopShifts: req.TopShifts, TopK: req.TopK,
 		OnImpact: func(imp *sweep.Impact) error {
 			if err := enc.Encode(imp); err != nil {
 				return err
 			}
+			records++
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -423,23 +495,42 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		},
 	})
 	if err != nil {
-		// Mid-stream failure (dead client, canceled context): the
-		// stream just ends without an aggregate line.
+		// Mid-stream failure: headers are long gone, so a typed error
+		// record is the only channel left. When the failure is the
+		// client's own disconnect the write goes nowhere — either way
+		// the stream ends without sweep_done, which is the truncation
+		// signal.
+		_ = enc.Encode(struct {
+			Err sweep.StreamError `json:"sweep_error"`
+		}{sweep.StreamError{Error: err.Error()}})
 		return
 	}
 	_ = enc.Encode(struct {
 		Aggregate *sweep.Aggregate `json:"aggregate"`
 	}{Aggregate: agg})
+	_ = enc.Encode(struct {
+		Done sweep.Done `json:"sweep_done"`
+	}{sweep.Done{Scenarios: len(scenarios), Records: records}})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
+	draining := s.draining.Load()
+	status := http.StatusOK
+	if draining {
+		// 503 pulls the replica from load-balancer rotation while
+		// in-flight requests drain; the body says why.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, struct {
 		OK bool `json:"ok"`
 		// Ready reports whether the default dataset has been built.
-		Ready         bool          `json:"ready"`
+		Ready bool `json:"ready"`
+		// Draining is true once graceful shutdown has begun: the
+		// listener still answers, but no new work should be routed here.
+		Draining      bool          `json:"draining"`
 		UptimeSeconds float64       `json:"uptime_seconds"`
 		Pool          dataset.Stats `json:"pool"`
-	}{OK: true, Ready: s.ready.Load(),
+	}{OK: !draining, Ready: s.ready.Load(), Draining: draining,
 		UptimeSeconds: time.Since(s.start).Seconds(), Pool: s.pool.Stats()})
 }
 
@@ -455,4 +546,24 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, struct {
 		Error string `json:"error"`
 	}{Error: err.Error()})
+}
+
+// writeFailure maps a post-validation failure to its response status.
+// A dataset cooling down after a failed build and a request that ran
+// out of its server-side deadline are transient (503 + Retry-After);
+// everything else is a genuine 500.
+func (s *Server) writeFailure(w http.ResponseWriter, r *http.Request, err error) {
+	var cool *dataset.BuildCooldownError
+	switch {
+	case errors.As(err, &cool):
+		w.Header().Set("Retry-After", retryAfterSeconds(cool.RetryAfter))
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.Is(r.Context().Err(), context.DeadlineExceeded):
+		w.Header().Set("Retry-After", s.retryAfter)
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("request deadline exceeded: %w", err))
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
 }

@@ -303,15 +303,15 @@ func TestSweepEndpoint(t *testing.T) {
 	ts := testServer(t)
 
 	// A capped single-link-failure sweep streams NDJSON: one record per
-	// scenario, a final aggregate line.
+	// scenario, a final aggregate line, and the sweep_done trailer.
 	status, body := post(t, ts.URL+"/sweep",
 		`{"spec": {"generators": [{"kind": "all_single_link_failures", "max": 6}]}, "workers": 3}`)
 	if status != http.StatusOK {
 		t.Fatalf("status %d: %s", status, body)
 	}
 	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
-	if len(lines) != 7 {
-		t.Fatalf("want 6 records + aggregate, got %d lines: %s", len(lines), body)
+	if len(lines) != 8 {
+		t.Fatalf("want 6 records + aggregate + sweep_done, got %d lines: %s", len(lines), body)
 	}
 	for i, line := range lines[:6] {
 		var rec struct {
@@ -335,6 +335,21 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 	if final.Aggregate.Scenarios != 6 {
 		t.Fatalf("aggregate scenarios = %d", final.Aggregate.Scenarios)
+	}
+	// The trailer is the completeness signal: scenarios and records must
+	// cross-check, and its content is deterministic (byte-identity below
+	// covers it too).
+	var trailer struct {
+		Done *struct {
+			Scenarios int `json:"scenarios"`
+			Records   int `json:"records"`
+		} `json:"sweep_done"`
+	}
+	if err := json.Unmarshal([]byte(lines[7]), &trailer); err != nil || trailer.Done == nil {
+		t.Fatalf("sweep_done trailer: %v in %s", err, lines[7])
+	}
+	if trailer.Done.Scenarios != 6 || trailer.Done.Records != 6 {
+		t.Fatalf("trailer counts = %+v, want 6/6", trailer.Done)
 	}
 
 	// Identical request → byte-identical stream (deterministic across

@@ -27,6 +27,8 @@ import (
 // permanent. Spec validation runs before any dataset work so a
 // malformed spec fails in microseconds even on a cold worker.
 func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request) {
+	s.inflightShards.Add(1)
+	defer s.inflightShards.Add(-1)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
@@ -55,7 +57,7 @@ func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request) {
 	err = sess.Warm()
 	warmSpan.End()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		s.writeFailure(w, r, err)
 		return
 	}
 	_, expandSpan := obs.StartSpan(r.Context(), "expand")
@@ -70,6 +72,19 @@ func (s *Server) handleSweepShard(w http.ResponseWriter, r *http.Request) {
 			"scenario universe mismatch: spec expands to %d scenarios here, coordinator expects %d (is this worker on the coordinator's dataset?)",
 			len(scenarios), req.ExpectTotal))
 		return
+	}
+	if req.Vantages != "" {
+		st, err := sess.Study()
+		if err != nil {
+			s.writeFailure(w, r, err)
+			return
+		}
+		if fp := dsweep.VantageFingerprint(st.Peers); fp != req.Vantages {
+			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf(
+				"vantage set mismatch: this worker's dataset has %d collector peers (fingerprint %s), coordinator sent %s — same topology, different vantages silently changes every record; check -peers (and manifest) parity across the fleet",
+				len(st.Peers), fp, req.Vantages))
+			return
+		}
 	}
 	if err := req.ValidateRange(len(scenarios)); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)

@@ -82,6 +82,8 @@ func TestSweepShardRejections(t *testing.T) {
 		{"expect_total mismatch", `{"spec": ` + shardSpec + `, "start": 0, "end": 1, "expect_total": 77}`,
 			"scenario universe mismatch"},
 		{"unknown field", `{"bogus": 1}`, "bad shard request"},
+		{"vantage mismatch", `{"spec": ` + shardSpec + `, "start": 0, "end": 1, "vantages": "deadbeefdeadbeef"}`,
+			"vantage set mismatch"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -117,6 +119,44 @@ func TestSweepValidationBeforeDataset(t *testing.T) {
 	}
 }
 
+// TestSweepShardVantageGuard pins both sides of the vantage-set check:
+// the fingerprint of the worker's own peers is accepted, and the
+// fingerprint of a same-topology-different-peers dataset — the case
+// the scenario-universe guard cannot see, since single-link-failure
+// scenarios are defined by links, not vantages — is a 422.
+func TestSweepShardVantageGuard(t *testing.T) {
+	ts := testServer(t)
+	tiny := policyscope.Config{NumASes: 120, Seed: 7, CollectorPeers: 8, LookingGlassASes: 5}
+	_, peers, err := dataset.LoadTopology(context.Background(), dataset.NewSynthetic(tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := dsweep.VantageFingerprint(peers)
+
+	status, body := post(t, ts.URL+"/sweep/shard?dataset=tiny",
+		`{"spec": `+shardSpec+`, "start": 0, "end": 2, "expect_total": 12, "vantages": "`+good+`"}`)
+	if status != http.StatusOK {
+		t.Fatalf("matching vantage fingerprint rejected: %d %s", status, body)
+	}
+
+	// The same topology observed from more collector peers: identical
+	// link universe (expect_total passes), different records.
+	morePeers := tiny
+	morePeers.CollectorPeers = 12
+	_, peers2, err := dataset.LoadTopology(context.Background(), dataset.NewSynthetic(morePeers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsweep.VantageFingerprint(peers2) == good {
+		t.Fatal("test premise broken: different peer counts fingerprint identically")
+	}
+	status, body = post(t, ts.URL+"/sweep/shard?dataset=tiny",
+		`{"spec": `+shardSpec+`, "start": 0, "end": 2, "expect_total": 12, "vantages": "`+dsweep.VantageFingerprint(peers2)+`"}`)
+	if status != http.StatusUnprocessableEntity || !strings.Contains(string(body), "vantage set mismatch") {
+		t.Fatalf("mismatched vantage fingerprint not refused: %d %s", status, body)
+	}
+}
+
 // TestDistributedMatchesServerSweep is the end-to-end integration: a
 // dsweep coordinator over two HTTP workers (sharing one Server, hence
 // one dataset pool) reproduces the /sweep endpoint's record stream and
@@ -139,9 +179,11 @@ func TestDistributedMatchesServerSweep(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("reference sweep: status %d: %s", status, body)
 	}
+	// The stream ends with the aggregate line and the sweep_done trailer;
+	// the coordinator reproduces the records and the aggregate.
 	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
-	wantRecords := strings.Join(lines[:len(lines)-1], "\n") + "\n"
-	wantAggLine := lines[len(lines)-1]
+	wantRecords := strings.Join(lines[:len(lines)-2], "\n") + "\n"
+	wantAggLine := lines[len(lines)-2]
 
 	// Coordinator side: expand the same spec from the same synthetic
 	// source — exactly what cmd/sweep -workers does.
